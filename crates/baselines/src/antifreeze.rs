@@ -1,0 +1,294 @@
+//! The Antifreeze comparison system (§VI-D), reimplemented from the
+//! paper's description:
+//!
+//! > "Antifreeze builds an uncompressed formula graph for the input
+//! > dependencies, precomputes the dependents for each cell, compresses
+//! > the dependents for each cell via bounding ranges, and stores each
+//! > cell along with the compressed dependents in a look-up table. If
+//! > formula cells are changed, it modifies the uncompressed graph and
+//! > builds the look-up table from scratch. The number of bounding ranges
+//! > is set to 20."
+//!
+//! Queries are O(1) table lookups — as fast as TACO — but:
+//!
+//! - building is expensive (one transitive traversal per distinct
+//!   precedent cell), which is why Antifreeze DNFs on large sheets in
+//!   Fig. 13;
+//! - capping each dependent set at `K` bounding ranges introduces **false
+//!   positives**: merged ranges may cover cells that are not dependents;
+//! - any modification pays a full table rebuild (Fig. 15).
+
+use std::collections::HashMap;
+use taco_core::{Dependency, DependencyBackend, FormulaGraph};
+use taco_grid::{Cell, Range};
+
+/// Maximum bounding ranges stored per cell (paper setting).
+pub const DEFAULT_K: usize = 20;
+
+/// The Antifreeze backend.
+#[derive(Debug, Clone)]
+pub struct Antifreeze {
+    /// The uncompressed formula graph Antifreeze maintains internally.
+    graph: FormulaGraph,
+    /// cell → (≤ K bounding ranges covering all its dependents).
+    table: HashMap<Cell, Vec<Range>>,
+    k: usize,
+    dirty: bool,
+    /// Build budget: a table rebuild touching more than this many
+    /// (cell, traversal) steps aborts — the harness reports it as DNF.
+    pub build_budget: u64,
+    /// Set when the last rebuild exceeded `build_budget`.
+    pub did_not_finish: bool,
+}
+
+impl Default for Antifreeze {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Antifreeze {
+    /// Creates an empty instance with `K = 20` and a large default budget.
+    pub fn new() -> Self {
+        Self::with_k(DEFAULT_K)
+    }
+
+    /// Creates an empty instance with a custom bounding-range cap.
+    pub fn with_k(k: usize) -> Self {
+        Antifreeze {
+            graph: FormulaGraph::nocomp(),
+            table: HashMap::new(),
+            k,
+            dirty: false,
+            build_budget: u64::MAX,
+            did_not_finish: false,
+        }
+    }
+
+    /// Builds from a dependency list and precomputes the lookup table.
+    pub fn build<I: IntoIterator<Item = Dependency>>(deps: I) -> Self {
+        let mut g = Self::new();
+        for d in deps {
+            DependencyBackend::add_dependency(&mut g, &d);
+        }
+        g.rebuild_table();
+        g
+    }
+
+    /// `true` when the lookup table is stale.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Rebuilds the lookup table from scratch: one transitive-dependents
+    /// traversal per distinct cell covered by any precedent vertex.
+    pub fn rebuild_table(&mut self) {
+        self.table.clear();
+        self.did_not_finish = false;
+        let mut steps: u64 = 0;
+
+        // Every cell covered by a precedent vertex can have dependents.
+        let mut seen = std::collections::HashSet::new();
+        let precs: Vec<Range> = self.graph.edges().map(|e| e.prec).collect();
+        for prec in precs {
+            for cell in prec.cells() {
+                if !seen.insert(cell) {
+                    continue;
+                }
+                let deps = self.graph.find_dependents(Range::cell(cell));
+                steps += 1 + deps.len() as u64;
+                if steps > self.build_budget {
+                    self.did_not_finish = true;
+                    self.table.clear();
+                    return;
+                }
+                if !deps.is_empty() {
+                    self.table.insert(cell, bound_to_k(deps, self.k));
+                }
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// The number of cells with table entries.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+}
+
+/// Greedily merges a set of ranges down to at most `k` bounding ranges,
+/// always merging the pair of (sorted-adjacent) ranges whose bounding union
+/// wastes the least area. The result *covers* the input but may cover more
+/// (false positives).
+pub fn bound_to_k(mut ranges: Vec<Range>, k: usize) -> Vec<Range> {
+    debug_assert!(k >= 1);
+    ranges.sort();
+    while ranges.len() > k {
+        // Find the adjacent pair (in sorted order) with minimal waste.
+        let mut best = 0;
+        let mut best_waste = u64::MAX;
+        for i in 0..ranges.len() - 1 {
+            let u = ranges[i].bounding_union(&ranges[i + 1]);
+            let waste = u.area() - ranges[i].area().min(u.area()); // monotone proxy
+            if waste < best_waste {
+                best_waste = waste;
+                best = i;
+            }
+        }
+        let merged = ranges[best].bounding_union(&ranges[best + 1]);
+        ranges[best] = merged;
+        ranges.remove(best + 1);
+    }
+    ranges
+}
+
+impl DependencyBackend for Antifreeze {
+    fn name(&self) -> &'static str {
+        "Antifreeze"
+    }
+
+    fn add_dependency(&mut self, d: &Dependency) {
+        DependencyBackend::add_dependency(&mut self.graph, d);
+        self.dirty = true;
+    }
+
+    fn find_dependents(&mut self, r: Range) -> Vec<Range> {
+        if self.dirty {
+            // Modifications force a full rebuild before the next query.
+            self.rebuild_table();
+        }
+        // Union the table entries of every probed cell.
+        let mut out: Vec<Range> = Vec::new();
+        for cell in r.cells() {
+            if let Some(ranges) = self.table.get(&cell) {
+                for &b in ranges {
+                    // Cheap dedup: skip if an existing result contains it.
+                    if !out.iter().any(|o| o.contains(&b)) {
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn find_precedents(&mut self, r: Range) -> Vec<Range> {
+        // Antifreeze only precomputes dependents; precedents fall back to
+        // the inner uncompressed graph.
+        DependencyBackend::find_precedents(&mut self.graph, r)
+    }
+
+    fn clear_cells(&mut self, s: Range) {
+        DependencyBackend::clear_cells(&mut self.graph, s);
+        self.dirty = true;
+    }
+
+    fn num_edges(&self) -> usize {
+        DependencyBackend::num_edges(&self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: &str) -> Range {
+        Range::parse_a1(s).unwrap()
+    }
+
+    fn d(prec: &str, dep: &str) -> Dependency {
+        Dependency::new(r(prec), Cell::parse_a1(dep).unwrap())
+    }
+
+    #[test]
+    fn lookups_cover_true_dependents() {
+        let mut af = Antifreeze::build([
+            d("A1", "B1"),
+            d("B1", "C1"),
+            d("C1", "D1"),
+            d("A1", "B5"),
+        ]);
+        let found = af.find_dependents(r("A1"));
+        // Every true dependent must be covered (no false negatives).
+        for cell in ["B1", "C1", "D1", "B5"] {
+            assert!(
+                found.iter().any(|x| x.contains(&r(cell))),
+                "missing true dependent {cell}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounding_introduces_false_positives() {
+        // 25 scattered dependents forced into K=2 bounding ranges must
+        // cover extra cells.
+        let mut deps = Vec::new();
+        for i in 0..25u32 {
+            deps.push(Dependency::new(r("A1"), Cell::new(3 + 2 * i, 1 + 3 * i)));
+        }
+        let mut af = Antifreeze::with_k(2);
+        for dd in &deps {
+            DependencyBackend::add_dependency(&mut af, dd);
+        }
+        af.rebuild_table();
+        let found = af.find_dependents(r("A1"));
+        assert!(found.len() <= 2);
+        let covered: u64 = found.iter().map(Range::area).sum();
+        assert!(covered > 25, "bounded cover should exceed the 25 true dependents");
+    }
+
+    #[test]
+    fn bound_to_k_always_covers() {
+        let input = vec![r("A1"), r("C3"), r("E5"), r("B9:C12")];
+        let out = bound_to_k(input.clone(), 2);
+        assert_eq!(out.len(), 2);
+        for i in &input {
+            assert!(out.iter().any(|o| o.contains(i)), "{i} uncovered");
+        }
+        // k >= n is identity (sorted).
+        let out = bound_to_k(input.clone(), 10);
+        assert_eq!(out.len(), input.len());
+    }
+
+    #[test]
+    fn modification_marks_dirty_and_rebuilds() {
+        let mut af = Antifreeze::build([d("A1", "B1")]);
+        assert!(!af.is_dirty());
+        DependencyBackend::add_dependency(&mut af, &d("B1", "C1"));
+        assert!(af.is_dirty());
+        // Query triggers rebuild.
+        let found = af.find_dependents(r("A1"));
+        assert!(!af.is_dirty());
+        assert!(found.iter().any(|x| x.contains(&r("C1"))));
+    }
+
+    #[test]
+    fn clear_cells_updates_answers() {
+        let mut af = Antifreeze::build([d("A1", "B1"), d("B1", "C1")]);
+        af.clear_cells(r("B1"));
+        let found = af.find_dependents(r("A1"));
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn build_budget_dnf() {
+        let mut af = Antifreeze::new();
+        af.build_budget = 2;
+        for i in 0..50u32 {
+            DependencyBackend::add_dependency(
+                &mut af,
+                &Dependency::new(Range::from_coords(1, 1, 1, 50), Cell::new(2, i + 1)),
+            );
+        }
+        af.rebuild_table();
+        assert!(af.did_not_finish);
+    }
+
+    #[test]
+    fn precedents_fall_back_to_graph() {
+        let mut af = Antifreeze::build([d("A1", "B1"), d("B1", "C1")]);
+        let precs = af.find_precedents(r("C1"));
+        assert!(precs.iter().any(|x| x.contains(&r("A1"))));
+        assert!(precs.iter().any(|x| x.contains(&r("B1"))));
+    }
+}

@@ -1,0 +1,251 @@
+//! NoComp-Calc (§VI-E): the formula-graph design described in the
+//! OpenOffice Calc implementation notes. No compression, and — unlike
+//! NoComp — no R-tree: the spreadsheet space is pre-partitioned into
+//! fixed-size *containers*; each container stores the ranges overlapping
+//! it, and overlap lookups scan the containers the probe touches.
+//!
+//! Containers are cheap to maintain but degrade when ranges span many
+//! containers (every spanned container holds a copy of the entry) or when
+//! many ranges pile into one container — which is what the paper's Fig. 16
+//! shows against TACO.
+
+use std::collections::HashMap;
+use taco_core::{Dependency, DependencyBackend, Edge};
+use taco_grid::{Cell, Range};
+
+/// Side length (cells) of one spatial container.
+pub const CONTAINER_SIZE: u32 = 256;
+
+/// Identifier of an edge in the arena.
+type EdgeId = usize;
+
+/// Container-partitioned overlap index.
+#[derive(Debug, Default, Clone)]
+struct ContainerIndex {
+    buckets: HashMap<(u32, u32), Vec<(Range, EdgeId)>>,
+}
+
+impl ContainerIndex {
+    fn keys_of(r: Range) -> impl Iterator<Item = (u32, u32)> {
+        let c0 = (r.head().col - 1) / CONTAINER_SIZE;
+        let c1 = (r.tail().col - 1) / CONTAINER_SIZE;
+        let r0 = (r.head().row - 1) / CONTAINER_SIZE;
+        let r1 = (r.tail().row - 1) / CONTAINER_SIZE;
+        (c0..=c1).flat_map(move |c| (r0..=r1).map(move |row| (c, row)))
+    }
+
+    fn insert(&mut self, r: Range, id: EdgeId) {
+        for key in Self::keys_of(r) {
+            self.buckets.entry(key).or_default().push((r, id));
+        }
+    }
+
+    fn remove(&mut self, r: Range, id: EdgeId) {
+        for key in Self::keys_of(r) {
+            if let Some(v) = self.buckets.get_mut(&key) {
+                if let Some(pos) = v.iter().position(|&(vr, vid)| vr == r && vid == id) {
+                    v.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Collects `(range, id)` entries overlapping `probe`. May yield
+    /// duplicates when an entry spans several probed containers; the caller
+    /// dedups by id.
+    fn overlapping(&self, probe: Range, out: &mut Vec<(Range, EdgeId)>) {
+        for key in Self::keys_of(probe) {
+            if let Some(v) = self.buckets.get(&key) {
+                out.extend(v.iter().filter(|(r, _)| r.overlaps(&probe)));
+            }
+        }
+    }
+}
+
+/// The NoComp-Calc baseline backend.
+#[derive(Debug, Default, Clone)]
+pub struct NoCompCalc {
+    edges: Vec<Option<Edge>>,
+    free: Vec<usize>,
+    live: usize,
+    prec_index: ContainerIndex,
+    dep_index: ContainerIndex,
+}
+
+impl NoCompCalc {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a dependency list.
+    pub fn build<I: IntoIterator<Item = Dependency>>(deps: I) -> Self {
+        let mut g = Self::new();
+        for d in deps {
+            g.add_dependency(&d);
+        }
+        g
+    }
+
+    fn insert_edge(&mut self, e: Edge) {
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.edges[id] = Some(e);
+                id
+            }
+            None => {
+                self.edges.push(Some(e));
+                self.edges.len() - 1
+            }
+        };
+        let e = self.edges[id].as_ref().expect("just inserted");
+        let (prec, dep) = (e.prec, e.dep);
+        self.prec_index.insert(prec, id);
+        self.dep_index.insert(dep, id);
+        self.live += 1;
+    }
+
+    fn remove_edge(&mut self, id: EdgeId) -> Edge {
+        let e = self.edges[id].take().expect("live edge");
+        self.prec_index.remove(e.prec, id);
+        self.dep_index.remove(e.dep, id);
+        self.free.push(id);
+        self.live -= 1;
+        e
+    }
+
+    fn bfs(&self, r: Range, dependents: bool) -> Vec<Range> {
+        let mut result: Vec<Range> = Vec::new();
+        let mut queue: std::collections::VecDeque<Range> = [r].into();
+        let mut hits: Vec<(Range, EdgeId)> = Vec::new();
+        while let Some(cur) = queue.pop_front() {
+            hits.clear();
+            let index = if dependents { &self.prec_index } else { &self.dep_index };
+            index.overlapping(cur, &mut hits);
+            hits.sort_unstable_by_key(|&(_, id)| id);
+            hits.dedup_by_key(|&mut (_, id)| id);
+            for &(_, id) in &hits {
+                let e = self.edges[id].as_ref().expect("indexed edge is live");
+                let found = if dependents { e.dep } else { e.prec };
+                // Uncompressed edges: the direct dependent/precedent is the
+                // full vertex. Subtract what we've already visited.
+                let new_parts = found.subtract_all(result.iter().filter(|v| v.overlaps(&found)));
+                for p in new_parts {
+                    result.push(p);
+                    queue.push_back(p);
+                }
+            }
+        }
+        result
+    }
+}
+
+impl DependencyBackend for NoCompCalc {
+    fn name(&self) -> &'static str {
+        "NoComp-Calc"
+    }
+
+    fn add_dependency(&mut self, d: &Dependency) {
+        self.insert_edge(Edge::single(d));
+    }
+
+    fn find_dependents(&mut self, r: Range) -> Vec<Range> {
+        self.bfs(r, true)
+    }
+
+    fn find_precedents(&mut self, r: Range) -> Vec<Range> {
+        self.bfs(r, false)
+    }
+
+    fn clear_cells(&mut self, s: Range) {
+        let mut hits = Vec::new();
+        self.dep_index.overlapping(s, &mut hits);
+        let mut ids: Vec<EdgeId> = hits.into_iter().map(|(_, id)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            // Single edges: dependent is one cell, so overlap = removal.
+            self.remove_edge(id);
+        }
+    }
+
+    fn num_edges(&self) -> usize {
+        self.live
+    }
+}
+
+/// Convenience: dependents of a single cell.
+pub fn dependents_of_cell(g: &mut NoCompCalc, c: Cell) -> Vec<Range> {
+    g.find_dependents(Range::cell(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: &str) -> Range {
+        Range::parse_a1(s).unwrap()
+    }
+
+    fn d(prec: &str, dep: &str) -> Dependency {
+        Dependency::new(r(prec), Cell::parse_a1(dep).unwrap())
+    }
+
+    fn cells(v: &[Range]) -> std::collections::BTreeSet<Cell> {
+        v.iter().flat_map(|x| x.cells()).collect()
+    }
+
+    #[test]
+    fn agrees_with_nocomp() {
+        let deps = [
+            d("A1:A3", "B1"),
+            d("A1:A3", "B2"),
+            d("B1", "C1"),
+            d("B3", "C1"),
+            d("B2:B3", "C2"),
+        ];
+        let mut calc = NoCompCalc::build(deps.iter().copied());
+        let mut nocomp = taco_core::FormulaGraph::nocomp();
+        for dep in &deps {
+            taco_core::DependencyBackend::add_dependency(&mut nocomp, dep);
+        }
+        for probe in ["A1", "B2", "B1:B3", "C1"] {
+            assert_eq!(
+                cells(&calc.find_dependents(r(probe))),
+                cells(&taco_core::DependencyBackend::find_dependents(&mut nocomp, r(probe))),
+                "probe {probe}"
+            );
+        }
+        assert_eq!(
+            cells(&calc.find_precedents(r("C2"))),
+            cells(&taco_core::DependencyBackend::find_precedents(&mut nocomp, r("C2")))
+        );
+    }
+
+    #[test]
+    fn container_spanning_ranges_found_once() {
+        // A range spanning several containers must not duplicate results.
+        let mut g = NoCompCalc::new();
+        let big = Range::from_coords(1, 1, 1, CONTAINER_SIZE * 3);
+        g.add_dependency(&Dependency::new(big, Cell::new(5, 1)));
+        let found = g.find_dependents(Range::from_coords(1, 1, 1, CONTAINER_SIZE * 3));
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn clear_cells_removes_edges() {
+        let mut g = NoCompCalc::build([d("A1", "B1"), d("A1", "B2"), d("A1", "C5")]);
+        assert_eq!(g.num_edges(), 3);
+        g.clear_cells(r("B1:B2"));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(cells(&g.find_dependents(r("A1"))).len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_queries() {
+        let mut g = NoCompCalc::new();
+        assert!(g.find_dependents(r("A1")).is_empty());
+        assert!(g.find_precedents(r("A1")).is_empty());
+        assert_eq!(g.num_edges(), 0);
+    }
+}

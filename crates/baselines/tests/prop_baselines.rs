@@ -1,0 +1,104 @@
+//! Every exact baseline must agree with NoComp on arbitrary workloads;
+//! Antifreeze must at least cover the truth (false positives allowed,
+//! false negatives not).
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use taco_baselines::{Antifreeze, CellGraph, ExcelLike, NoCompCalc};
+use taco_core::{Dependency, DependencyBackend, FormulaGraph};
+use taco_grid::{Cell, Range};
+
+const W: u32 = 10;
+const H: u32 = 16;
+
+fn arb_dep() -> impl Strategy<Value = Dependency> {
+    (1u32..=W, 1u32..=H, 1u32..=W, 1u32..=H, 0u32..2, 0u32..4).prop_map(
+        |(pc, pr, dc, dr, w, h)| {
+            let prec = Range::from_coords(pc, pr, (pc + w).min(W), (pr + h).min(H));
+            Dependency::new(prec, Cell::new(dc, dr))
+        },
+    )
+}
+
+fn arb_deps() -> impl Strategy<Value = Vec<Dependency>> {
+    prop::collection::vec(arb_dep(), 1..40).prop_map(|mut v| {
+        v.sort_by_key(|d| (d.prec, d.dep));
+        v.dedup_by_key(|d| (d.prec, d.dep));
+        v
+    })
+}
+
+fn arb_probe() -> impl Strategy<Value = Range> {
+    (1u32..=W, 1u32..=H).prop_map(|(c, r)| Range::cell(Cell::new(c, r)))
+}
+
+fn cells(v: &[Range]) -> BTreeSet<Cell> {
+    v.iter().flat_map(|x| x.cells()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_baselines_agree_with_nocomp(deps in arb_deps(), probe in arb_probe()) {
+        let mut nocomp = FormulaGraph::nocomp();
+        let mut calc = NoCompCalc::new();
+        let mut cg = CellGraph::new();
+        let mut ex = ExcelLike::new();
+        for d in &deps {
+            DependencyBackend::add_dependency(&mut nocomp, d);
+            calc.add_dependency(d);
+            DependencyBackend::add_dependency(&mut cg, d);
+            DependencyBackend::add_dependency(&mut ex, d);
+        }
+        let truth_dep = cells(&DependencyBackend::find_dependents(&mut nocomp, probe));
+        prop_assert_eq!(&cells(&calc.find_dependents(probe)), &truth_dep, "calc");
+        prop_assert_eq!(&cells(&cg.find_dependents(probe)), &truth_dep, "cellgraph");
+        prop_assert_eq!(&cells(&ex.find_dependents(probe)), &truth_dep, "excel-like");
+
+        let truth_prec = cells(&DependencyBackend::find_precedents(&mut nocomp, probe));
+        prop_assert_eq!(&cells(&calc.find_precedents(probe)), &truth_prec, "calc prec");
+        prop_assert_eq!(&cells(&cg.find_precedents(probe)), &truth_prec, "cellgraph prec");
+        prop_assert_eq!(&cells(&ex.find_precedents(probe)), &truth_prec, "excel prec");
+    }
+
+    #[test]
+    fn antifreeze_covers_the_truth(deps in arb_deps(), probe in arb_probe()) {
+        let mut nocomp = FormulaGraph::nocomp();
+        let mut af = Antifreeze::new();
+        for d in &deps {
+            DependencyBackend::add_dependency(&mut nocomp, d);
+            DependencyBackend::add_dependency(&mut af, d);
+        }
+        let truth = cells(&DependencyBackend::find_dependents(&mut nocomp, probe));
+        let got = cells(&af.find_dependents(probe));
+        prop_assert!(got.is_superset(&truth), "missing: {:?}", truth.difference(&got));
+    }
+
+    #[test]
+    fn clearing_keeps_baselines_in_sync(
+        deps in arb_deps(),
+        clear in arb_probe(),
+        probe in arb_probe(),
+    ) {
+        let mut nocomp = FormulaGraph::nocomp();
+        let mut calc = NoCompCalc::new();
+        let mut cg = CellGraph::new();
+        let mut ex = ExcelLike::new();
+        for d in &deps {
+            DependencyBackend::add_dependency(&mut nocomp, d);
+            calc.add_dependency(d);
+            DependencyBackend::add_dependency(&mut cg, d);
+            DependencyBackend::add_dependency(&mut ex, d);
+        }
+        DependencyBackend::clear_cells(&mut nocomp, clear);
+        calc.clear_cells(clear);
+        DependencyBackend::clear_cells(&mut cg, clear);
+        DependencyBackend::clear_cells(&mut ex, clear);
+
+        let truth = cells(&DependencyBackend::find_dependents(&mut nocomp, probe));
+        prop_assert_eq!(&cells(&calc.find_dependents(probe)), &truth, "calc");
+        prop_assert_eq!(&cells(&cg.find_dependents(probe)), &truth, "cellgraph");
+        prop_assert_eq!(&cells(&ex.find_dependents(probe)), &truth, "excel-like");
+    }
+}

@@ -1,0 +1,54 @@
+//! Ablation benches beyond the paper (DESIGN.md call-outs): disable each
+//! pattern / heuristic in turn and measure the effect on compression and
+//! query latency.
+
+use taco_bench::{build_graph, corpora, header, ms, time};
+use taco_core::{Config, PatternType};
+use taco_grid::Range;
+use taco_workload::stats::measure_on;
+
+fn main() {
+    header("Ablation — pattern set and heuristics");
+    println!(
+        "{:<26} {:>12} {:>12} {:>14}",
+        "config", "edges", "build(ms)", "find-dep p-max"
+    );
+    let corpus = corpora().remove(0);
+    let mut configs: Vec<(String, Config)> = vec![
+        ("full".into(), Config::taco_full()),
+        ("full+gap-one".into(), Config::taco_with_gap_one()),
+        ("nocomp".into(), Config::nocomp()),
+        ("in-row".into(), Config::taco_in_row()),
+    ];
+    for p in [
+        PatternType::RR,
+        PatternType::RF,
+        PatternType::FR,
+        PatternType::FF,
+        PatternType::RRChain,
+    ] {
+        configs.push((format!("full - {p:?}"), Config::taco_without(p)));
+    }
+    let mut no_col = Config::taco_full();
+    no_col.column_priority = false;
+    configs.push(("no column priority".into(), no_col));
+    let mut no_cue = Config::taco_full();
+    no_cue.use_cues = false;
+    configs.push(("no $-cues".into(), no_cue));
+
+    for (label, config) in configs {
+        let mut edges = 0u64;
+        let mut build_ms = 0.0;
+        let mut find_ms = 0.0f64;
+        for sheet in &corpus.sheets {
+            let (g, bt) = build_graph(config.clone(), sheet);
+            edges += g.num_edges() as u64;
+            build_ms += ms(bt);
+            let st = measure_on(sheet, &g);
+            let probe = Range::cell(sheet.hot_cells[st.max_dependents_cell]);
+            let (_, ft) = time(|| g.find_dependents(probe));
+            find_ms = find_ms.max(ms(ft));
+        }
+        println!("{label:<26} {edges:>12} {build_ms:>12.1} {find_ms:>14.3}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Fig. 10: CDFs of the time to find dependents — TACO vs NoComp, for the
+//! Maximum-Dependents cell and the Longest-Path cell of every sheet.
+
+use taco_bench::{build_graph, cdf_line, corpora, header, ms, time};
+use taco_core::Config;
+use taco_grid::Range;
+use taco_workload::stats::measure_on;
+
+fn main() {
+    header("Fig. 10 — time to find dependents (CDF summaries)");
+    for corpus in corpora() {
+        let mut taco_max = Vec::new();
+        let mut taco_long = Vec::new();
+        let mut nocomp_max = Vec::new();
+        let mut nocomp_long = Vec::new();
+        let mut speedup_max: f64 = 1.0;
+        for sheet in &corpus.sheets {
+            let (taco, _) = build_graph(Config::taco_full(), sheet);
+            let (nocomp, _) = build_graph(Config::nocomp(), sheet);
+            let stats = measure_on(sheet, &taco);
+            let max_cell = sheet.hot_cells[stats.max_dependents_cell];
+            let long_cell = sheet.longest_path_cell;
+
+            let (td, t1) = time(|| taco.find_dependents(Range::cell(max_cell)));
+            let (nd, n1) = time(|| nocomp.find_dependents(Range::cell(max_cell)));
+            assert_eq!(
+                td.iter().map(Range::area).sum::<u64>(),
+                nd.iter().map(Range::area).sum::<u64>(),
+                "lossless check failed on {}",
+                sheet.name
+            );
+            let (_, t2) = time(|| taco.find_dependents(Range::cell(long_cell)));
+            let (_, n2) = time(|| nocomp.find_dependents(Range::cell(long_cell)));
+            taco_max.push(ms(t1));
+            nocomp_max.push(ms(n1));
+            taco_long.push(ms(t2));
+            nocomp_long.push(ms(n2));
+            if ms(t1) > 0.0 {
+                speedup_max = speedup_max.max(ms(n1) / ms(t1).max(1e-6));
+            }
+        }
+        println!("\n[{}] Maximum-Dependents case", corpus.params.name);
+        cdf_line("  TACO", &taco_max);
+        cdf_line("  NoComp", &nocomp_max);
+        println!("[{}] Longest-Path case", corpus.params.name);
+        cdf_line("  TACO", &taco_long);
+        cdf_line("  NoComp", &nocomp_long);
+        println!("  max speedup TACO/NoComp (max-dependents): {speedup_max:.0}x");
+    }
+}

@@ -1,0 +1,25 @@
+//! Fig. 11: CDFs of the time to build formula graphs — TACO vs NoComp.
+//! TACO pays a compression overhead at build time (the paper argues this
+//! is acceptable: building happens once, off the interactive path).
+
+use taco_bench::{build_graph, cdf_line, corpora, header, ms};
+use taco_core::Config;
+
+fn main() {
+    header("Fig. 11 — time to build formula graphs (CDF summaries)");
+    for corpus in corpora() {
+        let mut taco = Vec::new();
+        let mut nocomp = Vec::new();
+        for sheet in &corpus.sheets {
+            let (_, t) = build_graph(Config::taco_full(), sheet);
+            let (_, n) = build_graph(Config::nocomp(), sheet);
+            taco.push(ms(t));
+            nocomp.push(ms(n));
+        }
+        println!("\n[{}]", corpus.params.name);
+        cdf_line("  TACO", &taco);
+        cdf_line("  NoComp", &nocomp);
+        let ratio = taco.iter().sum::<f64>() / nocomp.iter().sum::<f64>().max(1e-9);
+        println!("  total build overhead TACO/NoComp: {ratio:.2}x");
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 12: CDFs of the time to modify formula graphs — remove the content
+//! of a column of 1K cells starting at the cell with the most dependents.
+
+use taco_bench::{build_graph, cdf_line, corpora, header, ms, time};
+use taco_core::Config;
+use taco_grid::{Cell, Range, MAX_ROW};
+use taco_workload::stats::measure_on;
+
+fn main() {
+    header("Fig. 12 — time to modify formula graphs (clear 1K-cell column)");
+    for corpus in corpora() {
+        let mut taco_ms = Vec::new();
+        let mut nocomp_ms = Vec::new();
+        for sheet in &corpus.sheets {
+            let (taco, _) = build_graph(Config::taco_full(), sheet);
+            let (nocomp, _) = build_graph(Config::nocomp(), sheet);
+            let stats = measure_on(sheet, &taco);
+            let start = sheet.hot_cells[stats.max_dependents_cell];
+            let clear = Range::new(
+                start,
+                Cell::new(start.col, (start.row + 999).min(MAX_ROW)),
+            );
+            let mut taco = taco;
+            let mut nocomp = nocomp;
+            let (_, t) = time(|| taco.clear_cells(clear));
+            let (_, n) = time(|| nocomp.clear_cells(clear));
+            taco_ms.push(ms(t));
+            nocomp_ms.push(ms(n));
+        }
+        println!("\n[{}]", corpus.params.name);
+        cdf_line("  TACO", &taco_ms);
+        cdf_line("  NoComp", &nocomp_ms);
+    }
+}

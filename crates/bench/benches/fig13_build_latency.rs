@@ -1,0 +1,51 @@
+//! Fig. 13: graph build latency on the top-10 hardest sheets per corpus —
+//! TACO, NoComp, CellGraph (RedisGraph stand-in), Antifreeze. A red `DNF`
+//! marks builds exceeding the budget, as in the paper.
+
+use taco_baselines::{Antifreeze, CellGraph};
+use taco_bench::{build_backend, build_graph, corpora, fmt_ms, header, ms, time, top_n_by};
+use taco_core::Config;
+
+fn main() {
+    header("Fig. 13 — build latency on top-10 sheets (maxi = hardest for TACO)");
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>14}",
+        "sheet", "TACO", "NoComp", "CellGraph", "Antifreeze"
+    );
+    for corpus in corpora() {
+        // Rank by TACO build time, like the paper.
+        let ranked = top_n_by(&corpus.sheets, 10, |s| {
+            ms(build_graph(Config::taco_full(), s).1)
+        });
+        for (i, sheet) in ranked.iter().enumerate() {
+            let (_, taco_t) = build_graph(Config::taco_full(), sheet);
+            let (_, nocomp_t) = build_graph(Config::nocomp(), sheet);
+
+            let mut cg = CellGraph::new();
+            cg.edge_limit = 5_000_000;
+            let cg_t = build_backend(&mut cg, &sheet.deps);
+            let cg_txt =
+                if cg.did_not_finish { "DNF(X)".to_string() } else { fmt_ms(ms(cg_t)) };
+
+            let mut af = Antifreeze::new();
+            af.build_budget = 3_000_000;
+            let af_t = {
+                let mut total = build_backend(&mut af, &sheet.deps);
+                let (_, t) = time(|| af.rebuild_table());
+                total += t;
+                total
+            };
+            let af_txt =
+                if af.did_not_finish { "DNF(X)".to_string() } else { fmt_ms(ms(af_t)) };
+
+            println!(
+                "{:<12} {:>12} {:>12} {:>14} {:>14}",
+                format!("{}max{}", corpus.params.name, i + 1),
+                fmt_ms(ms(taco_t)),
+                fmt_ms(ms(nocomp_t)),
+                cg_txt,
+                af_txt
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 14: find-dependents latency on the top-10 sheets — TACO, NoComp,
+//! CellGraph (RedisGraph stand-in), Antifreeze (lookup-table queries).
+
+use taco_baselines::{Antifreeze, CellGraph};
+use taco_bench::{build_backend, build_graph, corpora, fmt_ms, header, ms, time, top_n_by};
+use taco_core::{Config, DependencyBackend};
+use taco_grid::Range;
+use taco_workload::stats::measure_on;
+
+fn main() {
+    header("Fig. 14 — find-dependents latency on top-10 sheets");
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>14}",
+        "sheet", "TACO", "NoComp", "CellGraph", "Antifreeze"
+    );
+    for corpus in corpora() {
+        let ranked = top_n_by(&corpus.sheets, 10, |s| {
+            ms(build_graph(Config::taco_full(), s).1)
+        });
+        for (i, sheet) in ranked.iter().enumerate() {
+            let (taco, _) = build_graph(Config::taco_full(), sheet);
+            let (nocomp, _) = build_graph(Config::nocomp(), sheet);
+            let stats = measure_on(sheet, &taco);
+            let probe = Range::cell(sheet.hot_cells[stats.max_dependents_cell]);
+
+            let (_, t) = time(|| taco.find_dependents(probe));
+            let (_, n) = time(|| nocomp.find_dependents(probe));
+
+            let mut cg = CellGraph::new();
+            cg.edge_limit = 5_000_000;
+            build_backend(&mut cg, &sheet.deps);
+            let cg_txt = if cg.did_not_finish {
+                "DNF(X)".to_string()
+            } else {
+                let (_, d) = time(|| cg.find_dependents(probe));
+                fmt_ms(ms(d))
+            };
+
+            let mut af = Antifreeze::new();
+            af.build_budget = 3_000_000;
+            build_backend(&mut af, &sheet.deps);
+            af.rebuild_table();
+            let af_txt = if af.did_not_finish {
+                "DNF(X)".to_string()
+            } else {
+                let (_, d) = time(|| af.find_dependents(probe));
+                fmt_ms(ms(d))
+            };
+
+            println!(
+                "{:<12} {:>12} {:>12} {:>14} {:>14}",
+                format!("{}max{}", corpus.params.name, i + 1),
+                fmt_ms(ms(t)),
+                fmt_ms(ms(n)),
+                cg_txt,
+                af_txt
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Fig. 15: graph modification latency on the top-10 sheets (clear a 1K
+//! column at the max-dependents cell) — Antifreeze pays a full lookup-table
+//! rebuild on its next query; CellGraph deletes cell-level edges.
+
+use taco_baselines::{Antifreeze, CellGraph};
+use taco_bench::{build_backend, build_graph, corpora, fmt_ms, header, ms, time, top_n_by};
+use taco_core::{Config, DependencyBackend};
+use taco_grid::{Cell, Range, MAX_ROW};
+use taco_workload::stats::measure_on;
+
+fn main() {
+    header("Fig. 15 — modify latency on top-10 sheets (clear 1K column)");
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>14}",
+        "sheet", "TACO", "NoComp", "CellGraph", "Antifreeze"
+    );
+    for corpus in corpora() {
+        let ranked = top_n_by(&corpus.sheets, 10, |s| {
+            ms(build_graph(Config::taco_full(), s).1)
+        });
+        for (i, sheet) in ranked.iter().enumerate() {
+            let (mut taco, _) = build_graph(Config::taco_full(), sheet);
+            let (mut nocomp, _) = build_graph(Config::nocomp(), sheet);
+            let stats = measure_on(sheet, &taco);
+            let start = sheet.hot_cells[stats.max_dependents_cell];
+            let clear =
+                Range::new(start, Cell::new(start.col, (start.row + 999).min(MAX_ROW)));
+
+            let (_, t) = time(|| taco.clear_cells(clear));
+            let (_, n) = time(|| nocomp.clear_cells(clear));
+
+            let mut cg = CellGraph::new();
+            cg.edge_limit = 5_000_000;
+            build_backend(&mut cg, &sheet.deps);
+            let cg_txt = if cg.did_not_finish {
+                "DNF(X)".to_string()
+            } else {
+                let (_, d) = time(|| cg.clear_cells(clear));
+                fmt_ms(ms(d))
+            };
+
+            let mut af = Antifreeze::new();
+            af.build_budget = 3_000_000;
+            build_backend(&mut af, &sheet.deps);
+            af.rebuild_table();
+            let af_txt = if af.did_not_finish {
+                "DNF(X)".to_string()
+            } else {
+                // Modification cost for Antifreeze = graph update + the
+                // from-scratch table rebuild its design requires.
+                let (_, d) = time(|| {
+                    af.clear_cells(clear);
+                    af.rebuild_table();
+                });
+                if af.did_not_finish { "DNF(X)".to_string() } else { fmt_ms(ms(d)) }
+            };
+
+            println!(
+                "{:<12} {:>12} {:>12} {:>14} {:>14}",
+                format!("{}max{}", corpus.params.name, i + 1),
+                fmt_ms(ms(t)),
+                fmt_ms(ms(n)),
+                cg_txt,
+                af_txt
+            );
+        }
+    }
+}

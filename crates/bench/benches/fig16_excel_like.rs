@@ -1,0 +1,53 @@
+//! Fig. 16: find-dependents latency — TACO, NoComp, NoComp-Calc
+//! (container index instead of R-tree) and ExcelLike (compressed storage,
+//! decompress-to-traverse: the §VI-E conjecture about the commercial
+//! system). Top-10 sheets by TACO find-dependents time.
+
+use taco_baselines::{ExcelLike, NoCompCalc};
+use taco_bench::{build_backend, build_graph, corpora, fmt_ms, header, ms, time, top_n_by};
+use taco_core::{Config, DependencyBackend};
+use taco_grid::Range;
+use taco_workload::stats::measure_on;
+
+fn main() {
+    header("Fig. 16 — find-dependents latency vs Excel-style baselines");
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>14}",
+        "sheet", "TACO", "NoComp", "NoComp-Calc", "ExcelLike"
+    );
+    for corpus in corpora() {
+        // Rank by TACO find time, like the paper's §VI-E selection.
+        let ranked = top_n_by(&corpus.sheets, 10, |s| {
+            let (g, _) = build_graph(Config::taco_full(), s);
+            let st = measure_on(s, &g);
+            let probe = Range::cell(s.hot_cells[st.max_dependents_cell]);
+            ms(time(|| g.find_dependents(probe)).1)
+        });
+        for (i, sheet) in ranked.iter().enumerate() {
+            let (taco, _) = build_graph(Config::taco_full(), sheet);
+            let (nocomp, _) = build_graph(Config::nocomp(), sheet);
+            let stats = measure_on(sheet, &taco);
+            let probe = Range::cell(sheet.hot_cells[stats.max_dependents_cell]);
+
+            let (_, t) = time(|| taco.find_dependents(probe));
+            let (_, n) = time(|| nocomp.find_dependents(probe));
+
+            let mut calc = NoCompCalc::new();
+            build_backend(&mut calc, &sheet.deps);
+            let (_, c) = time(|| calc.find_dependents(probe));
+
+            let mut ex = ExcelLike::new();
+            build_backend(&mut ex, &sheet.deps);
+            let (_, x) = time(|| ex.find_dependents(probe));
+
+            println!(
+                "{:<12} {:>12} {:>12} {:>14} {:>14}",
+                format!("{}max{}", corpus.params.name, i + 1),
+                fmt_ms(ms(t)),
+                fmt_ms(ms(n)),
+                fmt_ms(ms(c)),
+                fmt_ms(ms(x))
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Fig. 1: probability distributions of the maximum number of dependents
+//! and the longest path per spreadsheet, for both corpora.
+
+use taco_bench::{corpora, header};
+use taco_workload::stats::{fig1_buckets, measure};
+
+fn main() {
+    header("Fig. 1 — max dependents / longest path distributions");
+    println!("buckets: (0,100] (100,1e3] (1e3,1e4] (1e4,+inf)");
+    for corpus in corpora() {
+        let stats: Vec<_> = corpus.sheets.iter().map(measure).collect();
+        let max_dep = fig1_buckets(stats.iter().map(|s| s.max_dependents));
+        let longest = fig1_buckets(stats.iter().map(|s| u64::from(s.longest_path)));
+        println!("\n[{}] {} sheets", corpus.params.name, corpus.sheets.len());
+        println!(
+            "  Maximum Dependents: {:.2} {:.2} {:.2} {:.2}",
+            max_dep[0], max_dep[1], max_dep[2], max_dep[3]
+        );
+        println!(
+            "  Longest Path:       {:.2} {:.2} {:.2} {:.2}",
+            longest[0], longest[1], longest[2], longest[3]
+        );
+        let biggest = stats.iter().map(|s| s.max_dependents).max().unwrap_or(0);
+        let longest_any = stats.iter().map(|s| s.longest_path).max().unwrap_or(0);
+        println!("  (largest fan-out {biggest} cells; longest path {longest_any} edges)");
+    }
+}

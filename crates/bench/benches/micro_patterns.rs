@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks: the four key functions must be O(1) in the
+//! number of compressed dependencies (§III-B "Algorithmic complexity"),
+//! and the graph-level operations should scale as analyzed in Table I.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use taco_core::{Config, Dependency, FormulaGraph, PatternType};
+use taco_grid::{Cell, Range};
+
+/// Builds one RR compressed edge covering `n` dependencies.
+fn rr_edge(n: u32) -> taco_core::Edge {
+    let mk = |row: u32| {
+        Dependency::new(Range::from_coords(1, row, 2, row + 2), Cell::new(5, row))
+    };
+    let mut e = taco_core::Edge::single(&mk(1));
+    let second = mk(2);
+    e = e.try_pair(&second, PatternType::RR, taco_grid::Axis::Col).unwrap();
+    for row in 3..=n {
+        e = e.try_extend(&mk(row)).unwrap();
+    }
+    e
+}
+
+fn bench_key_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_functions_o1");
+    for n in [100u32, 10_000, 1_000_000] {
+        let e = rr_edge(n);
+        let probe = Range::from_coords(1, n / 2, 2, n / 2);
+        group.bench_with_input(BenchmarkId::new("find_dep", n), &e, |b, e| {
+            b.iter(|| black_box(e.find_dep(black_box(probe))))
+        });
+        let s = Range::from_coords(5, n / 2, 5, n / 2 + 1);
+        group.bench_with_input(BenchmarkId::new("find_prec", n), &e, |b, e| {
+            b.iter(|| black_box(e.find_prec(black_box(s))))
+        });
+        let next =
+            Dependency::new(Range::from_coords(1, n + 1, 2, n + 3), Cell::new(5, n + 1));
+        group.bench_with_input(BenchmarkId::new("add_dep", n), &e, |b, e| {
+            b.iter(|| black_box(e.try_extend(black_box(&next))))
+        });
+        group.bench_with_input(BenchmarkId::new("remove_dep", n), &e, |b, e| {
+            b.iter(|| black_box(e.remove_dep(black_box(s))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_ops");
+    group.sample_size(20);
+    for n in [1_000u32, 10_000] {
+        // A sheet with RR windows + an FF lookup block.
+        let mut deps = Vec::new();
+        for row in 1..=n {
+            deps.push(Dependency::new(Range::from_coords(1, row, 1, row + 1), Cell::new(3, row)));
+            deps.push(Dependency::new(Range::from_coords(5, 1, 6, 10), Cell::new(8, row)));
+        }
+        group.bench_with_input(BenchmarkId::new("build_taco", n), &deps, |b, deps| {
+            b.iter(|| FormulaGraph::build(Config::taco_full(), deps.iter().copied()))
+        });
+        group.bench_with_input(BenchmarkId::new("build_nocomp", n), &deps, |b, deps| {
+            b.iter(|| FormulaGraph::build(Config::nocomp(), deps.iter().copied()))
+        });
+        let taco = FormulaGraph::build(Config::taco_full(), deps.iter().copied());
+        let nocomp = FormulaGraph::build(Config::nocomp(), deps.iter().copied());
+        let probe = Range::cell(Cell::new(5, 5)); // the hot lookup table
+        group.bench_with_input(BenchmarkId::new("find_dep_taco", n), &taco, |b, g| {
+            b.iter(|| black_box(g.find_dependents(black_box(probe))))
+        });
+        group.bench_with_input(BenchmarkId::new("find_dep_nocomp", n), &nocomp, |b, g| {
+            b.iter(|| black_box(g.find_dependents(black_box(probe))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_key_functions, bench_graph_ops);
+criterion_main!(benches);

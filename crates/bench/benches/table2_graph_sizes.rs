@@ -1,0 +1,43 @@
+//! Table II: total vertices and edges of the formula graphs built by
+//! NoComp, TACO-InRow, and TACO-Full over each corpus (lower is better).
+
+use taco_bench::{build_graph, corpora, header};
+use taco_core::Config;
+
+fn main() {
+    header("Table II — graph sizes after compression");
+    println!(
+        "{:<10} {:<12} {:>14} {:>14} {:>10} {:>10}",
+        "corpus", "system", "vertices", "edges", "vert %", "edge %"
+    );
+    for corpus in corpora() {
+        let mut totals: Vec<(&str, u64, u64)> = Vec::new();
+        for (label, config) in [
+            ("NoComp", Config::nocomp()),
+            ("TACO-InRow", Config::taco_in_row()),
+            ("TACO-Full", Config::taco_full()),
+        ] {
+            let mut vertices = 0u64;
+            let mut edges = 0u64;
+            for sheet in &corpus.sheets {
+                let (g, _) = build_graph(config.clone(), sheet);
+                let s = g.stats();
+                vertices += s.vertices as u64;
+                edges += s.edges as u64;
+            }
+            totals.push((label, vertices, edges));
+        }
+        let (base_v, base_e) = (totals[0].1, totals[0].2);
+        for (label, v, e) in totals {
+            println!(
+                "{:<10} {:<12} {:>14} {:>14} {:>9.1}% {:>9.1}%",
+                corpus.params.name,
+                label,
+                v,
+                e,
+                100.0 * v as f64 / base_v as f64,
+                100.0 * e as f64 / base_e as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Table III: number of edges reduced by TACO per spreadsheet —
+//! max / 75th percentile / median / mean (higher is better).
+
+use taco_bench::{build_graph, corpora, header, percentile};
+use taco_core::Config;
+
+fn main() {
+    header("Table III — edges reduced per sheet");
+    println!(
+        "{:<10} {:<12} {:>12} {:>12} {:>12} {:>12}",
+        "corpus", "system", "max", "p75", "median", "mean"
+    );
+    for corpus in corpora() {
+        for (label, config) in
+            [("TACO-InRow", Config::taco_in_row()), ("TACO-Full", Config::taco_full())]
+        {
+            let reduced: Vec<f64> = corpus
+                .sheets
+                .iter()
+                .map(|sheet| {
+                    let (g, _) = build_graph(config.clone(), sheet);
+                    g.stats().edges_reduced() as f64
+                })
+                .collect();
+            let mean = reduced.iter().sum::<f64>() / reduced.len() as f64;
+            println!(
+                "{:<10} {:<12} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+                corpus.params.name,
+                label,
+                percentile(&reduced, 1.0),
+                percentile(&reduced, 0.75),
+                percentile(&reduced, 0.5),
+                mean
+            );
+        }
+    }
+}

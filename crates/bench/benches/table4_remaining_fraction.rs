@@ -1,0 +1,37 @@
+//! Table IV: fraction of edges remaining after compression per sheet —
+//! min / 25th percentile / median / mean (lower is better).
+
+use taco_bench::{build_graph, corpora, header, percentile};
+use taco_core::Config;
+
+fn main() {
+    header("Table IV — remaining edges after compression");
+    println!(
+        "{:<10} {:<12} {:>10} {:>10} {:>10} {:>10}",
+        "corpus", "system", "min", "p25", "median", "mean"
+    );
+    for corpus in corpora() {
+        for (label, config) in
+            [("TACO-InRow", Config::taco_in_row()), ("TACO-Full", Config::taco_full())]
+        {
+            let fracs: Vec<f64> = corpus
+                .sheets
+                .iter()
+                .map(|sheet| {
+                    let (g, _) = build_graph(config.clone(), sheet);
+                    g.stats().remaining_fraction() * 100.0
+                })
+                .collect();
+            let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
+            println!(
+                "{:<10} {:<12} {:>9.3}% {:>9.3}% {:>9.3}% {:>9.3}%",
+                corpus.params.name,
+                label,
+                percentile(&fracs, 0.0),
+                percentile(&fracs, 0.25),
+                percentile(&fracs, 0.5),
+                mean
+            );
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared harness for the paper-reproduction benchmarks.
+//!
+//! Every table and figure of §VI has a bench target under `benches/`; they
+//! all pull their corpora and timing/percentile utilities from here.
+//! Corpus size scales with the `TACO_SCALE` environment variable
+//! (default 0.12 — a couple of minutes for the full `cargo bench`; the
+//! paper-shaped run used for EXPERIMENTS.md sets it higher).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+use taco_core::{Config, Dependency, FormulaGraph};
+use taco_grid::Range;
+use taco_workload::{enron_like, github_like, CorpusParams, SyntheticSheet};
+
+/// Benchmark scale factor from `TACO_SCALE` (default 0.12).
+pub fn scale() -> f64 {
+    std::env::var("TACO_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.12)
+}
+
+/// A generated corpus plus its parameters.
+pub struct Corpus {
+    /// Preset parameters (name, sizes).
+    pub params: CorpusParams,
+    /// The generated sheets.
+    pub sheets: Vec<SyntheticSheet>,
+}
+
+/// Generates both corpora at the current scale.
+pub fn corpora() -> Vec<Corpus> {
+    let s = scale();
+    [enron_like(s), github_like(s)]
+        .into_iter()
+        .map(|params| {
+            let sheets = params.generate();
+            Corpus { params, sheets }
+        })
+        .collect()
+}
+
+/// Times a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Builds a graph from a sheet under `config`, returning the build time.
+pub fn build_graph(config: Config, sheet: &SyntheticSheet) -> (FormulaGraph, Duration) {
+    time(|| FormulaGraph::build(config, sheet.deps.iter().copied()))
+}
+
+/// Builds a dependency list into any backend, returning the build time.
+pub fn build_backend<B: taco_core::DependencyBackend>(
+    backend: &mut B,
+    deps: &[Dependency],
+) -> Duration {
+    let (_, d) = time(|| {
+        for dep in deps {
+            backend.add_dependency(dep);
+        }
+    });
+    d
+}
+
+/// Total number of cells covered by a disjoint range list.
+pub fn cell_count(ranges: &[Range]) -> u64 {
+    ranges.iter().map(Range::area).sum()
+}
+
+/// Returns the `q`-quantile (0.0–1.0) of an unsorted sample.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let idx = ((v.len() - 1) as f64 * q).round() as usize;
+    v[idx]
+}
+
+/// Duration → milliseconds as f64.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Formats a millisecond value compactly.
+pub fn fmt_ms(v: f64) -> String {
+    if v.is_nan() {
+        "DNF".to_string()
+    } else if v >= 100.0 {
+        format!("{v:.0} ms")
+    } else if v >= 1.0 {
+        format!("{v:.1} ms")
+    } else {
+        format!("{:.0} µs", v * 1e3)
+    }
+}
+
+/// Prints a bench section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a CDF-style summary line for a latency sample (the textual
+/// equivalent of the paper's CDF plots).
+pub fn cdf_line(label: &str, samples_ms: &[f64]) {
+    println!(
+        "{label:<22} n={:<4} p50={:<10} p75={:<10} p90={:<10} p99={:<10} max={}",
+        samples_ms.len(),
+        fmt_ms(percentile(samples_ms, 0.50)),
+        fmt_ms(percentile(samples_ms, 0.75)),
+        fmt_ms(percentile(samples_ms, 0.90)),
+        fmt_ms(percentile(samples_ms, 0.99)),
+        fmt_ms(percentile(samples_ms, 1.0)),
+    );
+}
+
+/// The top-`n` sheets of a corpus ranked by a score, descending
+/// (the paper's `max1..max10` selections).
+pub fn top_n_by(
+    sheets: &[SyntheticSheet],
+    n: usize,
+    mut score: impl FnMut(&SyntheticSheet) -> f64,
+) -> Vec<&SyntheticSheet> {
+    let mut scored: Vec<(&SyntheticSheet, f64)> =
+        sheets.iter().map(|s| (s, score(s))).collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+    scored.into_iter().take(n).map(|(s, _)| s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        // round(49.5) = 50 → the 51st element.
+        assert_eq!(percentile(&v, 0.5), 51.0);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ms(0.5), "500 µs");
+        assert_eq!(fmt_ms(5.25), "5.2 ms");
+        assert_eq!(fmt_ms(250.0), "250 ms");
+        assert_eq!(fmt_ms(f64::NAN), "DNF");
+    }
+
+    #[test]
+    fn top_n_ranks_descending() {
+        let p = taco_workload::enron_like(0.05);
+        let sheets = CorpusParams { sheets: 4, ..p }.generate();
+        let top = top_n_by(&sheets, 2, |s| s.deps.len() as f64);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].deps.len() >= top[1].deps.len());
+    }
+
+    use taco_workload::CorpusParams;
+}

@@ -1,0 +1,321 @@
+//! The compressed-edge representation (§II-B) in sheet coordinates.
+//!
+//! An [`Edge`] is the tuple `(prec, dep, p, meta)`: the minimal bounding
+//! precedent and dependent ranges, the pattern tag, and the constant-size
+//! pattern metadata. The `axis` field records whether the dependent run is
+//! a column (canonical) or a row; all pattern math lives in canonical
+//! coordinates and this module transposes at the boundary.
+
+use crate::pattern::{self, CanonDep, PatternMeta, PatternType};
+use crate::Dependency;
+use serde::{Deserialize, Serialize};
+use taco_grid::{Axis, Range};
+
+/// Identifier of an edge inside a [`crate::FormulaGraph`]'s arena.
+pub type EdgeId = usize;
+
+/// A (possibly compressed) edge of the formula graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Minimal bounding range of the compressed precedents (`⊕` of all
+    /// underlying `e.prec`).
+    pub prec: Range,
+    /// Minimal bounding range of the compressed dependents.
+    pub dep: Range,
+    /// Compression axis of the dependent run (meaningless for `Single`).
+    pub axis: Axis,
+    /// Pattern metadata in canonical coordinates.
+    pub meta: PatternMeta,
+    /// Number of underlying dependencies this edge represents.
+    pub count: u32,
+}
+
+impl Edge {
+    /// An uncompressed edge holding exactly one dependency.
+    pub fn single(d: &Dependency) -> Edge {
+        Edge {
+            prec: d.prec,
+            dep: Range::cell(d.dep),
+            axis: Axis::Col,
+            meta: PatternMeta::Single,
+            count: 1,
+        }
+    }
+
+    /// The pattern tag.
+    pub fn pattern(&self) -> PatternType {
+        self.meta.pattern_type()
+    }
+
+    /// `true` iff this edge holds a single dependency.
+    pub fn is_single(&self) -> bool {
+        matches!(self.meta, PatternMeta::Single)
+    }
+
+    fn canon_dep(&self, d: &Dependency) -> CanonDep {
+        CanonDep { prec: self.axis.canon(d.prec), dep: self.axis.canon_cell(d.dep) }
+    }
+
+    /// Attempts to compress a *single* edge and a new dependency into a
+    /// fresh compressed edge using `pattern` along `axis` (the
+    /// `candE.p == Single` branch of `genCompEdges`, Alg. 2).
+    pub fn try_pair(&self, d: &Dependency, pattern: PatternType, axis: Axis) -> Option<Edge> {
+        debug_assert!(self.is_single());
+        let a = CanonDep { prec: axis.canon(self.prec), dep: axis.canon_cell(self.dep.head()) };
+        let b = CanonDep { prec: axis.canon(d.prec), dep: axis.canon_cell(d.dep) };
+        let meta = pattern::pair_meta(pattern, &a, &b)?;
+        Some(Edge {
+            prec: self.prec.bounding_union(&d.prec),
+            dep: self.dep.bounding_union(&Range::cell(d.dep)),
+            axis,
+            meta,
+            count: 2,
+        })
+    }
+
+    /// Attempts to extend this compressed edge with one more dependency
+    /// (the compressed branch of `genCompEdges`).
+    pub fn try_extend(&self, d: &Dependency) -> Option<Edge> {
+        debug_assert!(!self.is_single());
+        let cd = self.canon_dep(d);
+        if !pattern::can_extend(&self.meta, self.axis.canon(self.dep), &cd) {
+            return None;
+        }
+        Some(Edge {
+            prec: self.prec.bounding_union(&d.prec),
+            dep: self.dep.bounding_union(&Range::cell(d.dep)),
+            axis: self.axis,
+            meta: self.meta,
+            count: self.count + 1,
+        })
+    }
+
+    /// `findDep`: dependents of `r` within this edge; `r` must be contained
+    /// in `self.prec` (callers intersect first).
+    pub fn find_dep(&self, r: Range) -> Vec<Range> {
+        if self.is_single() {
+            return vec![self.dep];
+        }
+        let canon = pattern::find_dep(
+            &self.meta,
+            self.axis.canon(self.prec),
+            self.axis.canon(self.dep),
+            self.axis.canon(r),
+        );
+        canon.into_iter().map(|x| self.axis.uncanon(x)).collect()
+    }
+
+    /// `findPrec`: precedents of `s` within this edge; `s` must be
+    /// contained in `self.dep`.
+    pub fn find_prec(&self, s: Range) -> Vec<Range> {
+        if self.is_single() {
+            return vec![self.prec];
+        }
+        let canon = pattern::find_prec(
+            &self.meta,
+            self.axis.canon(self.prec),
+            self.axis.canon(self.dep),
+            self.axis.canon(s),
+        );
+        canon.into_iter().map(|x| self.axis.uncanon(x)).collect()
+    }
+
+    /// `removeDep`: removes the dependencies for formula cells `s`,
+    /// returning the replacement edges (empty when the edge disappears).
+    pub fn remove_dep(&self, s: Range) -> Vec<Edge> {
+        let parts = pattern::remove_dep(
+            &self.meta,
+            self.axis.canon(self.prec),
+            self.axis.canon(self.dep),
+            self.axis.canon(s),
+        );
+        parts
+            .into_iter()
+            .map(|p| Edge {
+                prec: self.axis.uncanon(p.prec),
+                dep: self.axis.uncanon(p.dep),
+                axis: self.axis,
+                meta: p.meta,
+                count: p.count,
+            })
+            .collect()
+    }
+
+    /// Expands this edge into its underlying dependencies (the inverse of
+    /// compression). Used by tests, the `ExcelLike` baseline, and
+    /// round-trip verification; O(count).
+    pub fn decompress(&self) -> Vec<Dependency> {
+        if self.is_single() {
+            return vec![Dependency::new(self.prec, self.dep.head())];
+        }
+        let cdep = self.axis.canon(self.dep);
+        let cprec = self.axis.canon(self.prec);
+        let col = cdep.head().col;
+        let step = if matches!(self.meta, PatternMeta::RRGapOne { .. }) { 2 } else { 1 };
+        let mut out = Vec::with_capacity(self.count as usize);
+        let mut row = cdep.head().row;
+        while row <= cdep.tail().row {
+            let cell = taco_grid::Cell::new(col, row);
+            // For chains find_prec is transitive; the direct precedent of a
+            // single cell is the adjacent cell, recovered structurally.
+            let prec_canon = match &self.meta {
+                PatternMeta::RRChain { dir } => {
+                    Some(Range::cell(cell.offset_saturating(dir.rel())))
+                }
+                m => pattern::find_prec(m, cprec, cdep, Range::cell(cell)).into_iter().next(),
+            };
+            if let Some(p) = prec_canon {
+                // canon_cell is a transposition (its own inverse), so it
+                // also maps canonical cells back to sheet coordinates.
+                out.push(Dependency::new(self.axis.uncanon(p), self.axis.canon_cell(cell)));
+            }
+            row += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cue;
+    use taco_grid::{Cell, Offset};
+
+    fn r(s: &str) -> Range {
+        Range::parse_a1(s).unwrap()
+    }
+
+    fn d(prec: &str, dep: &str) -> Dependency {
+        Dependency::new(r(prec), Cell::parse_a1(dep).unwrap())
+    }
+
+    #[test]
+    fn pair_column_axis_rr() {
+        let e = Edge::single(&d("A1:B3", "C1"));
+        let got = e.try_pair(&d("A2:B4", "C2"), PatternType::RR, Axis::Col).unwrap();
+        assert_eq!(got.prec, r("A1:B4"));
+        assert_eq!(got.dep, r("C1:C2"));
+        assert_eq!(got.count, 2);
+        assert_eq!(got.pattern(), PatternType::RR);
+    }
+
+    #[test]
+    fn pair_row_axis_rr() {
+        // Formulae along row 5: B5 references B1:B3, C5 references C1:C3.
+        let e = Edge::single(&d("B1:B3", "B5"));
+        let got = e.try_pair(&d("C1:C3", "C5"), PatternType::RR, Axis::Row).unwrap();
+        assert_eq!(got.prec, r("B1:C3"));
+        assert_eq!(got.dep, r("B5:C5"));
+        // In canonical coordinates the rel offsets are (0,-2)..(0,-4)
+        // transposed; just confirm the round trip below.
+        let deps = got.decompress();
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0], d("B1:B3", "B5"));
+        assert_eq!(deps[1], d("C1:C3", "C5"));
+    }
+
+    #[test]
+    fn extend_row_axis() {
+        let e = Edge::single(&d("B1:B3", "B5"));
+        let e2 = e.try_pair(&d("C1:C3", "C5"), PatternType::RR, Axis::Row).unwrap();
+        let e3 = e2.try_extend(&d("D1:D3", "D5")).unwrap();
+        assert_eq!(e3.dep, r("B5:D5"));
+        assert_eq!(e3.count, 3);
+        // Cannot extend with a mismatched window.
+        assert!(e3.try_extend(&d("E1:E4", "E5")).is_none());
+    }
+
+    #[test]
+    fn find_dep_row_axis() {
+        let e = Edge::single(&d("B1:B3", "B5"));
+        let e2 = e.try_pair(&d("C1:C3", "C5"), PatternType::RR, Axis::Row).unwrap();
+        let e3 = e2.try_extend(&d("D1:D3", "D5")).unwrap();
+        // C2 only sits in C5's window.
+        assert_eq!(e3.find_dep(r("C2")), vec![r("C5")]);
+        // The whole precedent block hits all three formulae.
+        assert_eq!(e3.find_dep(r("B1:D3")), vec![r("B5:D5")]);
+    }
+
+    #[test]
+    fn find_prec_row_axis() {
+        let e = Edge::single(&d("B1:B3", "B5"));
+        let e2 = e.try_pair(&d("C1:C3", "C5"), PatternType::RR, Axis::Row).unwrap();
+        assert_eq!(e2.find_prec(r("B5")), vec![r("B1:B3")]);
+        assert_eq!(e2.find_prec(r("B5:C5")), vec![r("B1:C3")]);
+    }
+
+    #[test]
+    fn remove_dep_row_axis() {
+        let e = Edge::single(&d("B1:B3", "B5"));
+        let e2 = e.try_pair(&d("C1:C3", "C5"), PatternType::RR, Axis::Row).unwrap();
+        let e3 = e2.try_extend(&d("D1:D3", "D5")).unwrap();
+        let parts = e3.remove_dep(r("C5"));
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].dep, r("B5"));
+        assert!(parts[0].is_single());
+        assert_eq!(parts[0].prec, r("B1:B3"));
+        assert_eq!(parts[1].dep, r("D5"));
+        assert_eq!(parts[1].prec, r("D1:D3"));
+    }
+
+    #[test]
+    fn decompress_round_trips_ff() {
+        let e = Edge::single(&d("A1:B3", "C1"));
+        let e2 = e.try_pair(&d("A1:B3", "C2"), PatternType::FF, Axis::Col).unwrap();
+        let e3 = e2.try_extend(&d("A1:B3", "C3")).unwrap();
+        let deps = e3.decompress();
+        assert_eq!(deps, vec![d("A1:B3", "C1"), d("A1:B3", "C2"), d("A1:B3", "C3")]);
+    }
+
+    #[test]
+    fn decompress_round_trips_chain() {
+        let e = Edge::single(&d("A1", "A2"));
+        let e2 = e.try_pair(&d("A2", "A3"), PatternType::RRChain, Axis::Col).unwrap();
+        let e3 = e2.try_extend(&d("A3", "A4")).unwrap();
+        assert_eq!(e3.prec, r("A1:A3"));
+        assert_eq!(e3.dep, r("A2:A4"));
+        let deps = e3.decompress();
+        assert_eq!(deps, vec![d("A1", "A2"), d("A2", "A3"), d("A3", "A4")]);
+    }
+
+    #[test]
+    fn single_edge_key_functions() {
+        let e = Edge::single(&d("A1:A3", "B1"));
+        assert_eq!(e.find_dep(r("A2")), vec![r("B1")]);
+        assert_eq!(e.find_prec(r("B1")), vec![r("A1:A3")]);
+        assert!(e.remove_dep(r("B1")).is_empty());
+        assert_eq!(e.remove_dep(r("C1")).len(), 1);
+    }
+
+    #[test]
+    fn cue_is_carried_by_dependency_not_edge() {
+        let dep = Dependency {
+            prec: r("B1:B4"),
+            dep: Cell::parse_a1("C4").unwrap(),
+            cue: Cue { head_fixed: true, tail_fixed: false },
+        };
+        let e = Edge::single(&dep);
+        // Edges themselves don't store cues.
+        assert_eq!(e.count, 1);
+    }
+
+    #[test]
+    fn fig4b_full_round_trip() {
+        // Build the Fig. 4b RF edge from scratch and decompress it.
+        let e = Edge::single(&d("A1:B4", "C1"));
+        let e = e.try_pair(&d("A2:B4", "C2"), PatternType::RF, Axis::Col).unwrap();
+        let e = e.try_extend(&d("A3:B4", "C3")).unwrap();
+        let e = e.try_extend(&d("A4:B4", "C4")).unwrap();
+        assert_eq!(e.prec, r("A1:B4"));
+        assert_eq!(e.dep, r("C1:C4"));
+        assert_eq!(
+            e.meta,
+            PatternMeta::RF { h_rel: Offset::new(-2, 0), t_fix: Cell::parse_a1("B4").unwrap() }
+        );
+        let deps = e.decompress();
+        assert_eq!(
+            deps,
+            vec![d("A1:B4", "C1"), d("A2:B4", "C2"), d("A3:B4", "C3"), d("A4:B4", "C4")]
+        );
+    }
+}

@@ -1,0 +1,814 @@
+//! The TACO framework (§IV): greedy compression (Alg. 2), the modified BFS
+//! for querying the compressed graph directly (Alg. 3), and incremental
+//! maintenance.
+
+use crate::config::Config;
+use crate::dep::Dependency;
+use crate::edge::{Edge, EdgeId};
+use crate::pattern::PatternType;
+use crate::slab::Slab;
+use crate::stats::{count_vertices, GraphStats, PatternCounts};
+use std::collections::VecDeque;
+use taco_grid::{Axis, Cell, Offset, Range};
+use taco_rtree::RTree;
+
+/// Instrumentation for one query (used by the complexity analysis benches
+/// and the §IV-D edge-access discussion).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Number of `(vertex, edge)` pairs examined during BFS.
+    pub edges_accessed: u64,
+    /// Number of ranges pushed into the BFS queue.
+    pub enqueued: u64,
+    /// Number of R-tree window searches issued.
+    pub rtree_searches: u64,
+}
+
+/// A formula dependency graph, compressed according to a [`Config`].
+///
+/// With `Config::nocomp()` this is exactly the paper's NoComp baseline:
+/// identical storage (adjacency arena + R-trees over the vertices),
+/// identical BFS — only the compression step differs.
+///
+/// ```
+/// use taco_core::{Dependency, FormulaGraph};
+/// use taco_grid::{Cell, Range};
+///
+/// // C1=SUM(A1:B3), C2=SUM(A2:B4): an autofilled sliding window.
+/// let mut g = FormulaGraph::taco();
+/// g.add_dependency(&Dependency::new(
+///     Range::parse_a1("A1:B3").unwrap(),
+///     Cell::parse_a1("C1").unwrap(),
+/// ));
+/// g.add_dependency(&Dependency::new(
+///     Range::parse_a1("A2:B4").unwrap(),
+///     Cell::parse_a1("C2").unwrap(),
+/// ));
+/// assert_eq!(g.num_edges(), 1); // compressed into one RR edge
+///
+/// // Queried directly, without decompression:
+/// let deps = g.find_dependents(Range::parse_a1("A2").unwrap());
+/// assert_eq!(deps, vec![Range::parse_a1("C1:C2").unwrap()]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FormulaGraph {
+    config: Config,
+    edges: Slab<Edge>,
+    /// R-tree over precedent vertex ranges → edge id.
+    prec_index: RTree<EdgeId>,
+    /// R-tree over dependent vertex ranges → edge id.
+    dep_index: RTree<EdgeId>,
+    /// Total dependencies ever inserted (the paper's `|E'|` when the graph
+    /// is built once from a parsed file).
+    deps_inserted: u64,
+}
+
+impl FormulaGraph {
+    /// Creates an empty graph with the given compressor configuration.
+    pub fn new(config: Config) -> Self {
+        FormulaGraph {
+            config,
+            edges: Slab::new(),
+            prec_index: RTree::new(),
+            dep_index: RTree::new(),
+            deps_inserted: 0,
+        }
+    }
+
+    /// Creates an empty graph with the full TACO configuration.
+    pub fn taco() -> Self {
+        Self::new(Config::taco_full())
+    }
+
+    /// Creates an empty uncompressed graph (the NoComp baseline).
+    pub fn nocomp() -> Self {
+        Self::new(Config::nocomp())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Number of edges currently stored, `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` iff no edges are stored.
+    pub fn is_empty(&self) -> bool {
+        self.edges.len() == 0
+    }
+
+    /// Iterates over the stored edges.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().map(|(_, e)| e)
+    }
+
+    /// Builds a graph by inserting every dependency in order.
+    pub fn build<I: IntoIterator<Item = Dependency>>(config: Config, deps: I) -> Self {
+        let mut g = FormulaGraph::new(config);
+        for d in deps {
+            g.add_dependency(&d);
+        }
+        g
+    }
+
+    // ---- compression (Alg. 2) ---------------------------------------------
+
+    /// Compresses one dependency into the graph (Alg. 2, `addDep(G, e')`).
+    pub fn add_dependency(&mut self, d: &Dependency) {
+        self.deps_inserted += 1;
+        self.compress_dependency(d);
+    }
+
+    /// The compression logic without touching the lifetime insert counter
+    /// (used when re-inserting dependencies during structural edits).
+    pub(crate) fn compress_dependency(&mut self, d: &Dependency) {
+        if self.config.patterns.is_empty() {
+            self.insert_edge(Edge::single(d));
+            return;
+        }
+
+        // Step 1: find candidate edges — those whose dependent vertex is
+        // adjacent to e'.dep along the column or row axis (shift the cell by
+        // one in all four directions and consult the R-tree; gap patterns
+        // extend the search radius to two).
+        let mut candidates: Vec<EdgeId> = Vec::new();
+        let radius = if self.config.has_gap_pattern() { 2 } else { 1 };
+        for step in 1..=radius {
+            for (dc, dr) in [(0, -step), (0, step), (-step, 0), (step, 0)] {
+                if let Ok(shifted) = d.dep.offset(Offset::new(dc, dr)) {
+                    self.dep_index
+                        .for_each_overlapping(Range::cell(shifted), |_, &id| candidates.push(id));
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        // Step 2: find valid compressed edges (genCompEdges).
+        let mut valid: Vec<(Edge, EdgeId)> = Vec::new();
+        for &cand_id in &candidates {
+            let cand = self.edges.get(cand_id);
+            if cand.is_single() {
+                for &p in &self.config.patterns {
+                    for axis in [Axis::Col, Axis::Row] {
+                        if let Some(new_edge) = cand.try_pair(d, p, axis) {
+                            if self.config.allows(&new_edge.meta, axis) {
+                                valid.push((new_edge, cand_id));
+                            }
+                        }
+                    }
+                }
+            } else if let Some(new_edge) = cand.try_extend(d) {
+                if self.config.allows(&new_edge.meta, new_edge.axis) {
+                    valid.push((new_edge, cand_id));
+                }
+            }
+        }
+
+        // Step 3: select the final edge by the §IV-A heuristics:
+        // column-wise first, then special patterns (RR-Chain ≺ RR), then
+        // `$`-cue agreement, then pattern declaration order.
+        let Some(best_idx) = self.select_best(&valid, d) else {
+            self.insert_edge(Edge::single(d));
+            return;
+        };
+        let (new_edge, old_id) = valid.swap_remove(best_idx);
+        self.remove_edge(old_id);
+        self.insert_edge(new_edge);
+    }
+
+    fn select_best(&self, valid: &[(Edge, EdgeId)], d: &Dependency) -> Option<usize> {
+        valid
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (e, _))| {
+                let p = e.pattern();
+                let axis_rank = if self.config.column_priority && e.axis == Axis::Row {
+                    1u8
+                } else {
+                    0
+                };
+                // Special-case patterns outrank their general forms.
+                let special_rank =
+                    if PatternType::ALL.iter().any(|&q| p.is_special_case_of(q)) { 0u8 } else { 1 };
+                let cue_rank = if self.config.use_cues && p.matches_cue(d.cue) { 0u8 } else { 1 };
+                let order_rank = self
+                    .config
+                    .patterns
+                    .iter()
+                    .position(|&q| q == p)
+                    .unwrap_or(usize::MAX);
+                // Prefer extending an existing compressed edge over pairing
+                // two singles when otherwise tied (larger count first).
+                let count_rank = u32::MAX - e.count;
+                (axis_rank, special_rank, cue_rank, order_rank, count_rank)
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Snapshot of the live edge ids (structural edits iterate this).
+    pub(crate) fn edge_ids(&self) -> Vec<EdgeId> {
+        self.edges.iter().map(|(i, _)| i).collect()
+    }
+
+    /// Borrow an edge by id.
+    pub(crate) fn peek_edge(&self, id: EdgeId) -> &Edge {
+        self.edges.get(id)
+    }
+
+    /// Remove an edge (and its index entries) by id.
+    pub(crate) fn take_edge(&mut self, id: EdgeId) -> Edge {
+        self.remove_edge(id)
+    }
+
+    /// Insert a fully-formed edge without attempting compression.
+    pub(crate) fn put_edge(&mut self, e: Edge) {
+        self.insert_edge(e);
+    }
+
+    /// Restores the lifetime insert counter (snapshot restore).
+    pub(crate) fn set_dependencies_inserted(&mut self, n: u64) {
+        self.deps_inserted = n;
+    }
+
+    fn insert_edge(&mut self, e: Edge) -> EdgeId {
+        let prec = e.prec;
+        let dep = e.dep;
+        let id = self.edges.insert(e);
+        self.prec_index.insert(prec, id);
+        self.dep_index.insert(dep, id);
+        id
+    }
+
+    fn remove_edge(&mut self, id: EdgeId) -> Edge {
+        let e = self.edges.remove(id);
+        let removed_p = self.prec_index.remove(e.prec, &id);
+        let removed_d = self.dep_index.remove(e.dep, &id);
+        debug_assert!(removed_p && removed_d, "edge {id} must be indexed");
+        e
+    }
+
+    // ---- querying (Alg. 3) --------------------------------------------------
+
+    /// Finds all (direct and transitive) dependents of `r`, returned as
+    /// disjoint ranges.
+    pub fn find_dependents(&self, r: Range) -> Vec<Range> {
+        self.find_dependents_with_stats(r).0
+    }
+
+    /// [`Self::find_dependents`] with query instrumentation.
+    pub fn find_dependents_with_stats(&self, r: Range) -> (Vec<Range>, QueryStats) {
+        self.bfs(r, Direction::Dependents)
+    }
+
+    /// Finds all (direct and transitive) precedents of `r`.
+    pub fn find_precedents(&self, r: Range) -> Vec<Range> {
+        self.find_precedents_with_stats(r).0
+    }
+
+    /// [`Self::find_precedents`] with query instrumentation.
+    pub fn find_precedents_with_stats(&self, r: Range) -> (Vec<Range>, QueryStats) {
+        self.bfs(r, Direction::Precedents)
+    }
+
+    fn bfs(&self, r: Range, dir: Direction) -> (Vec<Range>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut result: Vec<Range> = Vec::new();
+        // R-tree over the visited ranges for the not-yet-contained check.
+        let mut visited: RTree<()> = RTree::new();
+        let mut queue: VecDeque<Range> = VecDeque::new();
+        queue.push_back(r);
+
+        // Reused scratch buffers (hot loop: avoid re-allocating per step).
+        let mut hits: Vec<(Range, EdgeId)> = Vec::new();
+        let mut covers: Vec<Range> = Vec::new();
+
+        while let Some(to_visit) = queue.pop_front() {
+            let index = match dir {
+                Direction::Dependents => &self.prec_index,
+                Direction::Precedents => &self.dep_index,
+            };
+            stats.rtree_searches += 1;
+            hits.clear();
+            index.for_each_overlapping(to_visit, |vr, &id| hits.push((vr, id)));
+            for &(vertex_range, id) in &hits {
+                stats.edges_accessed += 1;
+                let e = self.edges.get(id);
+                // findDep/findPrec require the probe to be contained in the
+                // edge's vertex: intersect first.
+                let probe = to_visit
+                    .intersect(&vertex_range)
+                    .expect("R-tree returned an overlapping vertex");
+                let found = match dir {
+                    Direction::Dependents => e.find_dep(probe),
+                    Direction::Precedents => e.find_prec(probe),
+                };
+                for f in found {
+                    // Subtract the already-visited subset (via the R-tree on
+                    // the result set), keep the new parts.
+                    covers.clear();
+                    visited.for_each_overlapping(f, |c, _| covers.push(c));
+                    for new_range in f.subtract_all(covers.iter()) {
+                        visited.insert(new_range, ());
+                        result.push(new_range);
+                        queue.push_back(new_range);
+                        stats.enqueued += 1;
+                    }
+                }
+            }
+        }
+        (result, stats)
+    }
+
+    // ---- maintenance (§IV-C) -------------------------------------------------
+
+    /// Clears the dependencies of all formula cells inside `s`: every edge
+    /// whose dependent overlaps `s` loses the overlapping part
+    /// (`removeDep`). Pure-value cells in `s` are unaffected (they carry no
+    /// outgoing-formula edges).
+    pub fn clear_cells(&mut self, s: Range) {
+        let mut ids: Vec<EdgeId> = Vec::new();
+        self.dep_index.for_each_overlapping(s, |_, &id| ids.push(id));
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            let e = self.remove_edge(id);
+            for part in e.remove_dep(s) {
+                self.insert_edge(part);
+            }
+        }
+    }
+
+    /// Replaces the dependencies of the formula cell `cell`: clears its old
+    /// ones, then compresses the new ones in (update = clear + insert).
+    pub fn update_cell(&mut self, cell: Cell, new_precs: &[Dependency]) {
+        self.clear_cells(Range::cell(cell));
+        for d in new_precs {
+            debug_assert_eq!(d.dep, cell);
+            self.add_dependency(d);
+        }
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.edges.clear();
+        self.prec_index.clear();
+        self.dep_index.clear();
+        self.deps_inserted = 0;
+    }
+
+    // ---- stats -----------------------------------------------------------------
+
+    /// Snapshot of graph size and per-pattern compression effectiveness.
+    pub fn stats(&self) -> GraphStats {
+        let mut reduced = PatternCounts::default();
+        let mut dependencies = 0u64;
+        for (_, e) in self.edges.iter() {
+            dependencies += u64::from(e.count);
+            reduced.add(e.pattern(), u64::from(e.count) - 1);
+        }
+        GraphStats {
+            edges: self.edges.len(),
+            vertices: count_vertices(self.edges.iter().map(|(_, e)| e)),
+            dependencies,
+            reduced,
+        }
+    }
+
+    /// Total dependencies inserted over the graph's lifetime (`|E'|` for a
+    /// build-once graph).
+    pub fn dependencies_inserted(&self) -> u64 {
+        self.deps_inserted
+    }
+
+    /// Expands every compressed edge back into raw dependencies (testing /
+    /// verification; O(|E'|)).
+    pub fn decompress_all(&self) -> Vec<Dependency> {
+        let mut out = Vec::new();
+        for (_, e) in self.edges.iter() {
+            out.extend(e.decompress());
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Dependents,
+    Precedents,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: &str) -> Range {
+        Range::parse_a1(s).unwrap()
+    }
+
+    fn d(prec: &str, dep: &str) -> Dependency {
+        Dependency::new(r(prec), Cell::parse_a1(dep).unwrap())
+    }
+
+    /// Sorts ranges for order-insensitive comparison.
+    fn sorted(mut v: Vec<Range>) -> Vec<Range> {
+        v.sort();
+        v
+    }
+
+    /// The total cell area of a range list (ranges must be disjoint).
+    fn area(v: &[Range]) -> u64 {
+        v.iter().map(Range::area).sum()
+    }
+
+    #[test]
+    fn fig3_uncompressed_graph() {
+        // Fig. 3: B1=SUM(A1:A3), B2=SUM(A1:A3), C1=B1+B3, C2=AVG(B2:B3).
+        let mut g = FormulaGraph::nocomp();
+        g.add_dependency(&d("A1:A3", "B1"));
+        g.add_dependency(&d("A1:A3", "B2"));
+        g.add_dependency(&d("B1", "C1"));
+        g.add_dependency(&d("B3", "C1"));
+        g.add_dependency(&d("B2:B3", "C2"));
+        assert_eq!(g.num_edges(), 5);
+
+        // Dependents of A1 = {B1, B2, C1, C2} (paper's example).
+        let deps = g.find_dependents(r("A1"));
+        assert_eq!(area(&deps), 4);
+        for cell in ["B1", "B2", "C1", "C2"] {
+            assert!(deps.iter().any(|x| x.contains(&r(cell))), "missing {cell}");
+        }
+    }
+
+    #[test]
+    fn fig4a_compresses_to_one_edge() {
+        let mut g = FormulaGraph::taco();
+        g.add_dependency(&d("A1:B3", "C1"));
+        g.add_dependency(&d("A2:B4", "C2"));
+        g.add_dependency(&d("A3:B5", "C3"));
+        g.add_dependency(&d("A4:B6", "C4"));
+        assert_eq!(g.num_edges(), 1);
+        let e = g.edges().next().unwrap();
+        assert_eq!(e.pattern(), PatternType::RR);
+        assert_eq!(e.prec, r("A1:B6"));
+        assert_eq!(e.dep, r("C1:C4"));
+        assert_eq!(e.count, 4);
+    }
+
+    #[test]
+    fn fig4_all_patterns_compress() {
+        // 4b RF.
+        let mut g = FormulaGraph::taco();
+        for (p, c) in [("A1:B4", "C1"), ("A2:B4", "C2"), ("A3:B4", "C3"), ("A4:B4", "C4")] {
+            g.add_dependency(&d(p, c));
+        }
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edges().next().unwrap().pattern(), PatternType::RF);
+
+        // 4c FR.
+        let mut g = FormulaGraph::taco();
+        for (p, c) in [("A1:B1", "C1"), ("A1:B2", "C2"), ("A1:B3", "C3")] {
+            g.add_dependency(&d(p, c));
+        }
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edges().next().unwrap().pattern(), PatternType::FR);
+
+        // 4d FF.
+        let mut g = FormulaGraph::taco();
+        for c in ["C1", "C2", "C3"] {
+            g.add_dependency(&d("A1:B3", c));
+        }
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edges().next().unwrap().pattern(), PatternType::FF);
+    }
+
+    #[test]
+    fn fig9_chain_pattern_selected_over_rr() {
+        let mut g = FormulaGraph::taco();
+        g.add_dependency(&d("A1", "A2"));
+        g.add_dependency(&d("A2", "A3"));
+        g.add_dependency(&d("A3", "A4"));
+        assert_eq!(g.num_edges(), 1);
+        let e = g.edges().next().unwrap();
+        assert_eq!(e.pattern(), PatternType::RRChain);
+        assert_eq!(e.prec, r("A1:A3"));
+        assert_eq!(e.dep, r("A2:A4"));
+    }
+
+    #[test]
+    fn chain_query_single_pass() {
+        // 1000-cell chain: dependents of the head must be found with few
+        // edge accesses thanks to the transitive findDep.
+        let mut g = FormulaGraph::taco();
+        for row in 2..=1000u32 {
+            g.add_dependency(&Dependency::new(
+                Range::cell(Cell::new(1, row - 1)),
+                Cell::new(1, row),
+            ));
+        }
+        assert_eq!(g.num_edges(), 1);
+        let (deps, stats) = g.find_dependents_with_stats(r("A1"));
+        assert_eq!(area(&deps), 999);
+        assert!(
+            stats.edges_accessed <= 4,
+            "chain should resolve transitively, got {} accesses",
+            stats.edges_accessed
+        );
+    }
+
+    #[test]
+    fn rr_without_chain_config_uses_rr() {
+        let mut g = FormulaGraph::new(Config::taco_without(PatternType::RRChain));
+        g.add_dependency(&d("A1", "A2"));
+        g.add_dependency(&d("A2", "A3"));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edges().next().unwrap().pattern(), PatternType::RR);
+    }
+
+    #[test]
+    fn fig8_insert_into_existing_column_edge() {
+        // Setup of Fig. 8: C1:C3 reference $B$1:Bi (FR) and A1 (FF);
+        // D4 references B1:B4 (single). Insert SUM($B$1:B4)*? at C4: its
+        // B-reference must extend the FR edge column-wise.
+        let mut g = FormulaGraph::taco();
+        for (p, c) in [("B1", "C1"), ("B1:B2", "C2"), ("B1:B3", "C3")] {
+            let mut dep = d(p, c);
+            dep.cue = crate::Cue { head_fixed: true, tail_fixed: false };
+            g.add_dependency(&dep);
+        }
+        for c in ["C1", "C2", "C3"] {
+            g.add_dependency(&d("A1", c));
+        }
+        g.add_dependency(&d("B1:B4", "D4"));
+        assert_eq!(g.num_edges(), 3);
+
+        // The insert at C4.
+        let mut new_dep = d("B1:B4", "C4");
+        new_dep.cue = crate::Cue { head_fixed: true, tail_fixed: false };
+        g.add_dependency(&new_dep);
+        assert_eq!(g.num_edges(), 3);
+
+        // The FR edge must now cover C1:C4 (column-wise compression chosen
+        // over pairing with D4 row-wise).
+        let fr = g.edges().find(|e| e.pattern() == PatternType::FR).unwrap();
+        assert_eq!(fr.dep, r("C1:C4"));
+        assert_eq!(fr.prec, r("B1:B4"));
+        // D4 stays single.
+        assert!(g.edges().any(|e| e.is_single() && e.dep == r("D4")));
+    }
+
+    #[test]
+    fn query_compressed_graph_fig8() {
+        // Step-3 graph of Fig. 8; find dependents of B2 — paper expects
+        // C2:C4 from the FR edge (C1 does not depend on B2) plus D4.
+        let mut g = FormulaGraph::taco();
+        for (p, c) in [("B1", "C1"), ("B1:B2", "C2"), ("B1:B3", "C3"), ("B1:B4", "C4")] {
+            g.add_dependency(&d(p, c));
+        }
+        g.add_dependency(&d("B1:B4", "D4"));
+        let deps = g.find_dependents(r("B2"));
+        assert_eq!(area(&deps), 4);
+        assert!(deps.iter().any(|x| x.contains(&r("C2"))));
+        assert!(deps.iter().any(|x| x.contains(&r("C4"))));
+        assert!(deps.iter().any(|x| x.contains(&r("D4"))));
+        assert!(!deps.iter().any(|x| x.contains(&r("C1"))));
+    }
+
+    #[test]
+    fn transitive_dependents_across_edges() {
+        // A1 → B1:B3 (three formulae), B1:B3 → C1 (SUM).
+        let mut g = FormulaGraph::taco();
+        for c in ["B1", "B2", "B3"] {
+            g.add_dependency(&d("A1", c));
+        }
+        g.add_dependency(&d("B1:B3", "C1"));
+        let deps = g.find_dependents(r("A1"));
+        assert_eq!(area(&deps), 4); // B1,B2,B3,C1
+    }
+
+    #[test]
+    fn find_precedents_dual() {
+        let mut g = FormulaGraph::taco();
+        g.add_dependency(&d("A1:B3", "C1"));
+        g.add_dependency(&d("A2:B4", "C2"));
+        g.add_dependency(&d("C1:C2", "D1"));
+        let precs = g.find_precedents(r("D1"));
+        // C1:C2 directly; A1:B4 transitively.
+        assert!(precs.iter().any(|x| x.contains(&r("C1"))));
+        assert!(precs.iter().any(|x| x.contains(&r("A1"))));
+        assert!(precs.iter().any(|x| x.contains(&r("B4"))));
+        assert_eq!(area(&precs), 2 + 8);
+    }
+
+    #[test]
+    fn no_dependents_returns_empty() {
+        let mut g = FormulaGraph::taco();
+        g.add_dependency(&d("A1", "B1"));
+        assert!(g.find_dependents(r("Z99")).is_empty());
+        assert!(g.find_precedents(r("A1")).is_empty());
+    }
+
+    #[test]
+    fn clear_cells_splits_compressed_edge() {
+        let mut g = FormulaGraph::taco();
+        for (p, c) in [("A1:B3", "C1"), ("A2:B4", "C2"), ("A3:B5", "C3"), ("A4:B6", "C4")] {
+            g.add_dependency(&d(p, c));
+        }
+        assert_eq!(g.num_edges(), 1);
+        g.clear_cells(r("C2"));
+        assert_eq!(g.num_edges(), 2);
+        let deps = sorted(g.edges().map(|e| e.dep).collect());
+        assert_eq!(deps, vec![r("C1"), r("C3:C4")]);
+        // Dependents of A4 must no longer include C2.
+        let found = g.find_dependents(r("A4"));
+        assert!(!found.iter().any(|x| x.contains(&r("C2"))));
+        assert!(found.iter().any(|x| x.contains(&r("C3"))));
+    }
+
+    #[test]
+    fn clear_then_reinsert_recompresses() {
+        let mut g = FormulaGraph::taco();
+        for (p, c) in [("A1:B3", "C1"), ("A2:B4", "C2"), ("A3:B5", "C3")] {
+            g.add_dependency(&d(p, c));
+        }
+        g.clear_cells(r("C2"));
+        assert_eq!(g.num_edges(), 2);
+        g.add_dependency(&d("A2:B4", "C2"));
+        // The re-inserted dependency can merge back into a neighbour edge.
+        assert!(g.num_edges() <= 2);
+        let all = g.find_dependents(r("A3"));
+        assert_eq!(area(&all), 3); // C1,C2,C3 all reference A3
+    }
+
+    #[test]
+    fn update_cell_replaces_dependencies() {
+        let mut g = FormulaGraph::taco();
+        g.add_dependency(&d("A1", "B1"));
+        g.update_cell(Cell::parse_a1("B1").unwrap(), &[d("A2", "B1"), d("A3", "B1")]);
+        assert!(g.find_dependents(r("A1")).is_empty());
+        assert_eq!(area(&g.find_dependents(r("A2"))), 1);
+        assert_eq!(area(&g.find_dependents(r("A3"))), 1);
+    }
+
+    #[test]
+    fn nocomp_and_taco_agree_on_queries() {
+        // Build the same messy sheet both ways; answers must be identical
+        // cell sets (lossless compression).
+        let deps = [
+            d("A1:B3", "C1"),
+            d("A2:B4", "C2"),
+            d("A3:B5", "C3"),
+            d("A1", "D1"),
+            d("A1", "D2"),
+            d("A1", "D3"),
+            d("C1:C3", "E1"),
+            d("D1:D3", "E2"),
+            d("E1", "F1"),
+            d("F1", "F2"),
+            d("F2", "F3"),
+        ];
+        let taco = FormulaGraph::build(Config::taco_full(), deps.iter().copied());
+        let nocomp = FormulaGraph::build(Config::nocomp(), deps.iter().copied());
+        assert!(taco.num_edges() < nocomp.num_edges());
+
+        for probe in ["A1", "A2", "B3", "C2", "D2", "E1", "F1", "A1:B5"] {
+            let a = cells_of(&taco.find_dependents(r(probe)));
+            let b = cells_of(&nocomp.find_dependents(r(probe)));
+            assert_eq!(a, b, "dependents({probe}) disagree");
+            let a = cells_of(&taco.find_precedents(r(probe)));
+            let b = cells_of(&nocomp.find_precedents(r(probe)));
+            assert_eq!(a, b, "precedents({probe}) disagree");
+        }
+    }
+
+    #[test]
+    fn stats_account_per_pattern() {
+        let mut g = FormulaGraph::taco();
+        // RR run of 4 (reduces 3).
+        for (p, c) in [("A1:B3", "C1"), ("A2:B4", "C2"), ("A3:B5", "C3"), ("A4:B6", "C4")] {
+            g.add_dependency(&d(p, c));
+        }
+        // FF run of 3 (reduces 2).
+        for c in ["E1", "E2", "E3"] {
+            g.add_dependency(&d("G1:G9", c));
+        }
+        // One single.
+        g.add_dependency(&d("H1", "I1"));
+        let s = g.stats();
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.dependencies, 8);
+        assert_eq!(s.reduced.rr, 3);
+        assert_eq!(s.reduced.ff, 2);
+        assert_eq!(s.edges_reduced(), 5);
+        assert!((s.remaining_fraction() - 3.0 / 8.0).abs() < 1e-12);
+        assert_eq!(g.dependencies_inserted(), 8);
+    }
+
+    #[test]
+    fn decompress_all_round_trips() {
+        let deps = vec![
+            d("A1:B3", "C1"),
+            d("A2:B4", "C2"),
+            d("A3:B5", "C3"),
+            d("G1:G9", "E1"),
+            d("G1:G9", "E2"),
+            d("H1", "I1"),
+        ];
+        let g = FormulaGraph::build(Config::taco_full(), deps.iter().copied());
+        let mut got: Vec<(Range, Cell)> =
+            g.decompress_all().into_iter().map(|x| (x.prec, x.dep)).collect();
+        let mut want: Vec<(Range, Cell)> = deps.into_iter().map(|x| (x.prec, x.dep)).collect();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn in_row_config_only_compresses_same_row_refs() {
+        let mut g = FormulaGraph::new(Config::taco_in_row());
+        // Derived column: Bi = Ai * 2 — same-row references, compresses.
+        for row in 1..=5u32 {
+            g.add_dependency(&Dependency::new(
+                Range::cell(Cell::new(1, row)),
+                Cell::new(2, row),
+            ));
+        }
+        // Sliding windows (cross-row): must NOT compress under InRow.
+        for (p, c) in [("D1:D3", "E2"), ("D2:D4", "E3"), ("D3:D5", "E4")] {
+            g.add_dependency(&d(p, c));
+        }
+        let s = g.stats();
+        assert_eq!(s.reduced.rr, 4);
+        assert_eq!(s.edges, 1 + 3);
+    }
+
+    #[test]
+    fn row_axis_compression_works() {
+        // Formulae along row 10, each referencing the three cells above.
+        let mut g = FormulaGraph::taco();
+        for col in 1..=6u32 {
+            g.add_dependency(&Dependency::new(
+                Range::new(Cell::new(col, 7), Cell::new(col, 9)),
+                Cell::new(col, 10),
+            ));
+        }
+        assert_eq!(g.num_edges(), 1);
+        let e = g.edges().next().unwrap();
+        assert_eq!(e.axis, Axis::Row);
+        assert_eq!(e.count, 6);
+        // Query still works.
+        let deps = g.find_dependents(Range::cell(Cell::new(3, 8)));
+        assert_eq!(deps, vec![Range::cell(Cell::new(3, 10))]);
+    }
+
+    #[test]
+    fn gap_one_compresses_when_enabled() {
+        let mut g = FormulaGraph::new(Config::taco_with_gap_one());
+        // Formulae at C1, C3, C5 referencing the cell to the left.
+        for row in [1u32, 3, 5] {
+            g.add_dependency(&Dependency::new(
+                Range::cell(Cell::new(2, row)),
+                Cell::new(3, row),
+            ));
+        }
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edges().next().unwrap().pattern(), PatternType::RRGapOne);
+        // Dependents of B3 = C3 only.
+        let deps = g.find_dependents(Range::cell(Cell::new(2, 3)));
+        assert_eq!(deps, vec![Range::cell(Cell::new(3, 3))]);
+        // B2 (a gap row) has no dependents.
+        assert!(g.find_dependents(Range::cell(Cell::new(2, 2))).is_empty());
+    }
+
+    #[test]
+    fn self_overlapping_rr_terminates() {
+        // The Fig. 2 shape: N-column formulae reference the N column itself
+        // (Ni depends on N(i-1)); prec and dep bounding ranges overlap.
+        let mut g = FormulaGraph::taco();
+        for row in 3..=50u32 {
+            // N col = 14, M col = 13, A col = 1.
+            g.add_dependency(&Dependency::new(
+                Range::new(Cell::new(1, row - 1), Cell::new(1, row)),
+                Cell::new(14, row),
+            ));
+            g.add_dependency(&Dependency::new(Range::cell(Cell::new(13, row)), Cell::new(14, row)));
+            g.add_dependency(&Dependency::new(
+                Range::cell(Cell::new(14, row - 1)),
+                Cell::new(14, row),
+            ));
+        }
+        let s = g.stats();
+        assert!(s.edges <= 6, "Fig. 2 compresses to a handful of edges, got {}", s.edges);
+        // Updating A10 must reach every N-row at or below 10.
+        let deps = g.find_dependents(Range::cell(Cell::new(1, 10)));
+        let total: u64 = deps.iter().map(Range::area).sum();
+        assert_eq!(total, 41);
+    }
+
+    fn cells_of(ranges: &[Range]) -> std::collections::BTreeSet<Cell> {
+        ranges.iter().flat_map(|r| r.cells()).collect()
+    }
+}

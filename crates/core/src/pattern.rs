@@ -1,0 +1,863 @@
+//! The compression patterns and their four key functions (§III).
+//!
+//! Everything in this module operates in **canonical coordinates**: the
+//! dependent cells form a vertical run (one column, consecutive rows), the
+//! column-axis case of the paper. The row-wise case is obtained by the
+//! caller ([`crate::edge`]) transposing ranges on the way in and out — the
+//! paper's "derived symmetrically".
+//!
+//! Per §II-B, for a set of edges of arbitrary size a pattern is a
+//! constant-size representation that can reconstruct the set, and finding
+//! direct dependents/precedents within it must be constant-time. All
+//! functions here are O(1) except those of the exploratory RR-GapOne
+//! pattern, whose results cannot be expressed as a single rectangle.
+
+use serde::{Deserialize, Serialize};
+use taco_grid::{Cell, Offset, Range};
+
+/// The pattern tag of a (compressed) edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PatternType {
+    /// An uncompressed edge (a single dependency).
+    Single,
+    /// Relative head + relative tail — the sliding window (Fig. 4a).
+    RR,
+    /// Relative head + fixed tail — the shrinking window (Fig. 4b).
+    RF,
+    /// Fixed head + relative tail — the expanding window (Fig. 4c),
+    /// e.g. cumulative totals.
+    FR,
+    /// Fixed head + fixed tail — point/range lookups (Fig. 4d).
+    FF,
+    /// The §V extension: a chain where each formula references its adjacent
+    /// cell above/below. A special case of RR whose `findDep`/`findPrec`
+    /// return the whole downstream/upstream chain segment in one step.
+    RRChain,
+    /// Exploratory pattern from §V's limitations discussion: RR applied to
+    /// the formula cells of every other row.
+    RRGapOne,
+}
+
+impl PatternType {
+    /// All compressible patterns (everything but `Single`), in the priority
+    /// order the greedy compressor tries them.
+    pub const ALL: [PatternType; 6] = [
+        PatternType::RRChain,
+        PatternType::RR,
+        PatternType::RF,
+        PatternType::FR,
+        PatternType::FF,
+        PatternType::RRGapOne,
+    ];
+
+    /// `true` iff `self` is a special case of `other` (the §IV heuristic
+    /// prefers the special pattern: RR-Chain over RR).
+    pub fn is_special_case_of(self, other: PatternType) -> bool {
+        matches!((self, other), (PatternType::RRChain, PatternType::RR))
+    }
+
+    /// `true` iff the `$`-marker cue of a reference is consistent with this
+    /// pattern (used by the final-edge-selection heuristic).
+    pub fn matches_cue(self, cue: crate::Cue) -> bool {
+        match self {
+            PatternType::Single => false,
+            PatternType::RR | PatternType::RRChain | PatternType::RRGapOne => {
+                !cue.head_fixed && !cue.tail_fixed
+            }
+            PatternType::RF => !cue.head_fixed && cue.tail_fixed,
+            PatternType::FR => cue.head_fixed && !cue.tail_fixed,
+            PatternType::FF => cue.head_fixed && cue.tail_fixed,
+        }
+    }
+}
+
+/// Direction of an RR-Chain: which adjacent cell each formula references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChainDir {
+    /// Each formula references the cell directly above it (canonical
+    /// coordinates), like `A2=A1+1` filled downward.
+    Above,
+    /// Each formula references the cell directly below it.
+    Below,
+}
+
+impl ChainDir {
+    /// The relative position of the referenced cell.
+    pub fn rel(self) -> Offset {
+        match self {
+            ChainDir::Above => Offset::new(0, -1),
+            ChainDir::Below => Offset::new(0, 1),
+        }
+    }
+}
+
+/// The `meta` component of a compressed edge (§II-B): the constant-size
+/// pattern information that reconstructs the compressed dependencies.
+/// Offsets/cells are stored in canonical coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternMeta {
+    /// No metadata: the edge is a single dependency.
+    Single,
+    /// `hRel` + `tRel`.
+    RR {
+        /// Relative position of the precedent's head w.r.t. the dependent.
+        h_rel: Offset,
+        /// Relative position of the precedent's tail w.r.t. the dependent.
+        t_rel: Offset,
+    },
+    /// `hRel` + `tFix`.
+    RF {
+        /// Relative position of the precedent's head w.r.t. the dependent.
+        h_rel: Offset,
+        /// The fixed tail cell every dependency references.
+        t_fix: Cell,
+    },
+    /// `hFix` + `tRel`.
+    FR {
+        /// The fixed head cell every dependency references.
+        h_fix: Cell,
+        /// Relative position of the precedent's tail w.r.t. the dependent.
+        t_rel: Offset,
+    },
+    /// `hFix` + `tFix`.
+    FF {
+        /// The fixed head cell every dependency references.
+        h_fix: Cell,
+        /// The fixed tail cell every dependency references.
+        t_fix: Cell,
+    },
+    /// Chain direction (`l` in Fig. 9); `hRel = tRel = dir.rel()`.
+    RRChain {
+        /// Whether formulae reference the cell above or below.
+        dir: ChainDir,
+    },
+    /// Like RR, but dependents occupy every other row of the dependent
+    /// bounding range (rows with even distance from its head).
+    RRGapOne {
+        /// Relative position of the precedent's head w.r.t. the dependent.
+        h_rel: Offset,
+        /// Relative position of the precedent's tail w.r.t. the dependent.
+        t_rel: Offset,
+    },
+}
+
+impl PatternMeta {
+    /// The pattern tag for this metadata.
+    pub fn pattern_type(&self) -> PatternType {
+        match self {
+            PatternMeta::Single => PatternType::Single,
+            PatternMeta::RR { .. } => PatternType::RR,
+            PatternMeta::RF { .. } => PatternType::RF,
+            PatternMeta::FR { .. } => PatternType::FR,
+            PatternMeta::FF { .. } => PatternType::FF,
+            PatternMeta::RRChain { .. } => PatternType::RRChain,
+            PatternMeta::RRGapOne { .. } => PatternType::RRGapOne,
+        }
+    }
+}
+
+/// One dependency in canonical coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CanonDep {
+    pub prec: Range,
+    pub dep: Cell,
+}
+
+/// The constituent parts of an edge produced by `remove_dep`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CanonParts {
+    pub prec: Range,
+    pub dep: Range,
+    pub meta: PatternMeta,
+    pub count: u32,
+}
+
+/// The paper's `rel(e)` procedure (Alg. 1 lines 9–12): relative positions
+/// of the precedent's head and tail w.r.t. the dependent cell.
+pub(crate) fn rel(prec: Range, dep: Cell) -> (Offset, Offset) {
+    (prec.head().offset_from(dep), prec.tail().offset_from(dep))
+}
+
+/// Number of dependencies a canonical edge with this meta and dependent
+/// run represents.
+pub(crate) fn count_for(meta: &PatternMeta, dep: Range) -> u32 {
+    match meta {
+        PatternMeta::RRGapOne { .. } => dep.height().div_ceil(2),
+        PatternMeta::Single => 1,
+        _ => dep.height(),
+    }
+}
+
+/// Checks whether two *single* dependencies whose dependent cells sit in
+/// the same column can be compressed with `pattern`, and returns the
+/// resulting metadata. `a` and `b` may be in either vertical order.
+///
+/// Adjacency requirements: row distance 1 for all patterns except
+/// RR-GapOne, which requires distance 2.
+pub(crate) fn pair_meta(pattern: PatternType, a: &CanonDep, b: &CanonDep) -> Option<PatternMeta> {
+    if a.dep.col != b.dep.col {
+        return None;
+    }
+    let gap = a.dep.row.abs_diff(b.dep.row);
+    let need_gap = if pattern == PatternType::RRGapOne { 2 } else { 1 };
+    if gap != need_gap {
+        return None;
+    }
+    let (ha, ta) = rel(a.prec, a.dep);
+    let (hb, tb) = rel(b.prec, b.dep);
+    match pattern {
+        PatternType::Single => None,
+        PatternType::RR => {
+            ((ha, ta) == (hb, tb)).then_some(PatternMeta::RR { h_rel: ha, t_rel: ta })
+        }
+        PatternType::RRGapOne => {
+            ((ha, ta) == (hb, tb)).then_some(PatternMeta::RRGapOne { h_rel: ha, t_rel: ta })
+        }
+        PatternType::RF => (ha == hb && a.prec.tail() == b.prec.tail())
+            .then_some(PatternMeta::RF { h_rel: ha, t_fix: a.prec.tail() }),
+        PatternType::FR => (ta == tb && a.prec.head() == b.prec.head())
+            .then_some(PatternMeta::FR { h_fix: a.prec.head(), t_rel: ta }),
+        PatternType::FF => {
+            (a.prec == b.prec).then_some(PatternMeta::FF { h_fix: a.prec.head(), t_fix: a.prec.tail() })
+        }
+        PatternType::RRChain => {
+            let dir = chain_dir(a)?;
+            (chain_dir(b) == Some(dir)).then_some(PatternMeta::RRChain { dir })
+        }
+    }
+}
+
+/// If `d` is chain-shaped (references the single cell directly above or
+/// below itself), the chain direction.
+fn chain_dir(d: &CanonDep) -> Option<ChainDir> {
+    if !d.prec.is_cell() || d.prec.head().col != d.dep.col {
+        return None;
+    }
+    let dr = i64::from(d.prec.head().row) - i64::from(d.dep.row);
+    match dr {
+        -1 => Some(ChainDir::Above),
+        1 => Some(ChainDir::Below),
+        _ => None,
+    }
+}
+
+/// The paper's `addDep(e, e')` condition for extending an already
+/// compressed edge with one more dependency: the new dependent cell must
+/// extend the run at one end, and the dependency must match the metadata.
+pub(crate) fn can_extend(meta: &PatternMeta, dep_run: Range, d: &CanonDep) -> bool {
+    debug_assert_eq!(dep_run.width(), 1, "canonical dependent runs are single-column");
+    if d.dep.col != dep_run.head().col {
+        return false;
+    }
+    let step = if matches!(meta, PatternMeta::RRGapOne { .. }) { 2 } else { 1 };
+    let extends = i64::from(d.dep.row) == i64::from(dep_run.head().row) - step
+        || i64::from(d.dep.row) == i64::from(dep_run.tail().row) + step;
+    if !extends {
+        return false;
+    }
+    let (h, t) = rel(d.prec, d.dep);
+    match meta {
+        PatternMeta::Single => false,
+        PatternMeta::RR { h_rel, t_rel } | PatternMeta::RRGapOne { h_rel, t_rel } => {
+            h == *h_rel && t == *t_rel
+        }
+        PatternMeta::RF { h_rel, t_fix } => h == *h_rel && d.prec.tail() == *t_fix,
+        PatternMeta::FR { h_fix, t_rel } => d.prec.head() == *h_fix && t == *t_rel,
+        PatternMeta::FF { h_fix, t_fix } => {
+            d.prec.head() == *h_fix && d.prec.tail() == *t_fix
+        }
+        PatternMeta::RRChain { dir } => chain_dir(d) == Some(*dir),
+    }
+}
+
+/// Intersects a signed row interval with a range's rows and rebuilds the
+/// single-column result in the range's column.
+fn clamp_rows(col: u32, lo: i64, hi: i64, within: Range) -> Option<Range> {
+    let lo = lo.max(i64::from(within.head().row));
+    let hi = hi.min(i64::from(within.tail().row));
+    if lo > hi {
+        return None;
+    }
+    Some(Range::from_coords(col, lo as u32, col, hi as u32))
+}
+
+/// `findDep(e, r)`: the dependents of `r` within the edge, where `r` is
+/// contained in (or at least intersected with) `e.prec`.
+///
+/// Returns zero or more disjoint ranges; every pattern except RR-GapOne
+/// yields at most one.
+pub(crate) fn find_dep(meta: &PatternMeta, prec: Range, dep: Range, r: Range) -> Vec<Range> {
+    debug_assert!(prec.contains(&r), "findDep requires r ⊆ e.prec");
+    let col = dep.head().col;
+    let out = match meta {
+        PatternMeta::Single => Some(dep),
+        PatternMeta::RR { h_rel, t_rel } => {
+            // Back-calculate (Fig. 6): the head dependent's precedent tail
+            // lies in r's top row and in prec's right-most column; the tail
+            // dependent's precedent head lies in r's bottom row / prec's
+            // left-most column.
+            let dh_row = i64::from(r.head().row) - t_rel.dr;
+            let dt_row = i64::from(r.tail().row) - h_rel.dr;
+            clamp_rows(col, dh_row, dt_row, dep)
+        }
+        PatternMeta::RF { h_rel, .. } => {
+            // Fig. 7: e.dep.head references all of e.prec, so it is the head
+            // dependent of any r; windows shrink moving down.
+            let dt_row = i64::from(r.tail().row) - h_rel.dr;
+            clamp_rows(col, i64::from(dep.head().row), dt_row, dep)
+        }
+        PatternMeta::FR { t_rel, .. } => {
+            // Dual of RF: e.dep.tail references all of e.prec.
+            let dh_row = i64::from(r.head().row) - t_rel.dr;
+            clamp_rows(col, dh_row, i64::from(dep.tail().row), dep)
+        }
+        PatternMeta::FF { .. } => Some(dep),
+        PatternMeta::RRChain { dir } => match dir {
+            // Transitive within the chain (Fig. 9): everything downstream of
+            // r.head's direct dependent.
+            ChainDir::Above => {
+                clamp_rows(col, i64::from(r.head().row) + 1, i64::from(dep.tail().row), dep)
+            }
+            ChainDir::Below => {
+                clamp_rows(col, i64::from(dep.head().row), i64::from(r.tail().row) - 1, dep)
+            }
+        },
+        PatternMeta::RRGapOne { h_rel, t_rel } => {
+            // RR row math, then keep only the parity rows that actually
+            // hold dependents.
+            let dh_row = i64::from(r.head().row) - t_rel.dr;
+            let dt_row = i64::from(r.tail().row) - h_rel.dr;
+            let Some(bounds) = clamp_rows(col, dh_row, dt_row, dep) else {
+                return Vec::new();
+            };
+            return parity_rows(dep, bounds)
+                .map(|row| Range::cell(Cell::new(col, row)))
+                .collect();
+        }
+    };
+    out.into_iter().collect()
+}
+
+/// `findPrec(e, s)`: the precedents of `s` within the edge, where `s` is
+/// contained in `e.dep`.
+pub(crate) fn find_prec(meta: &PatternMeta, prec: Range, dep: Range, s: Range) -> Vec<Range> {
+    debug_assert!(dep.contains(&s), "findPrec requires s ⊆ e.dep");
+    let out = match meta {
+        PatternMeta::Single => Some(prec),
+        PatternMeta::RR { h_rel, t_rel } => {
+            // Union of sliding windows: head of s.head's precedent through
+            // tail of s.tail's precedent.
+            Some(Range::new(
+                s.head().offset_saturating(*h_rel),
+                s.tail().offset_saturating(*t_rel),
+            ))
+        }
+        PatternMeta::RF { h_rel, t_fix } => {
+            // s.head's precedent contains all others (shrinking windows).
+            Some(Range::new(s.head().offset_saturating(*h_rel), *t_fix))
+        }
+        PatternMeta::FR { h_fix, t_rel } => {
+            // s.tail's precedent contains all others (expanding windows).
+            Some(Range::new(*h_fix, s.tail().offset_saturating(*t_rel)))
+        }
+        PatternMeta::FF { h_fix, t_fix } => Some(Range::new(*h_fix, *t_fix)),
+        PatternMeta::RRChain { dir } => {
+            let col = prec.head().col;
+            match dir {
+                // Transitive upstream chain segment.
+                ChainDir::Above => clamp_rows(
+                    col,
+                    i64::from(prec.head().row),
+                    i64::from(s.tail().row) - 1,
+                    prec,
+                ),
+                ChainDir::Below => clamp_rows(
+                    col,
+                    i64::from(s.head().row) + 1,
+                    i64::from(prec.tail().row),
+                    prec,
+                ),
+            }
+        }
+        PatternMeta::RRGapOne { h_rel, t_rel } => {
+            return parity_rows(dep, s)
+                .map(|row| {
+                    let d = Cell::new(dep.head().col, row);
+                    Range::new(d.offset_saturating(*h_rel), d.offset_saturating(*t_rel))
+                })
+                .collect();
+        }
+    };
+    out.into_iter().collect()
+}
+
+/// Rows of `within` that carry dependents of a gap-one edge whose
+/// dependent bounding range is `dep`.
+fn parity_rows(dep: Range, within: Range) -> impl Iterator<Item = u32> {
+    let base = dep.head().row;
+    let (lo, hi) = (within.head().row, within.tail().row);
+    // First parity row >= lo.
+    let start = if (lo - base).is_multiple_of(2) { lo } else { lo + 1 };
+    (start..=hi).step_by(2)
+}
+
+/// The structural precedent of a sub-run `seg` of an edge's dependents —
+/// the exact bounding precedent the new (smaller) edge must carry. Unlike
+/// `find_prec`, chains use the *direct* reference here (shifting by one),
+/// not the transitive closure, because we are rebuilding edge structure.
+fn seg_prec(meta: &PatternMeta, seg: Range) -> Range {
+    match meta {
+        PatternMeta::Single => unreachable!("single edges are removed whole"),
+        PatternMeta::RR { h_rel, t_rel } | PatternMeta::RRGapOne { h_rel, t_rel } => {
+            Range::new(seg.head().offset_saturating(*h_rel), seg.tail().offset_saturating(*t_rel))
+        }
+        PatternMeta::RF { h_rel, t_fix } => {
+            Range::new(seg.head().offset_saturating(*h_rel), *t_fix)
+        }
+        PatternMeta::FR { h_fix, t_rel } => {
+            Range::new(*h_fix, seg.tail().offset_saturating(*t_rel))
+        }
+        PatternMeta::FF { h_fix, t_fix } => Range::new(*h_fix, *t_fix),
+        PatternMeta::RRChain { dir } => {
+            let rel = dir.rel();
+            Range::new(seg.head().offset_saturating(rel), seg.tail().offset_saturating(rel))
+        }
+    }
+}
+
+/// `removeDep(e, s)`: removes the dependencies for the formula cells `s`
+/// from the edge and returns the edges reconstructing the remainder
+/// (Alg. 1 lines 23–30). `s` need not be contained in `e.dep`; only the
+/// overlap is removed. An empty result means the whole edge disappears.
+pub(crate) fn remove_dep(
+    meta: &PatternMeta,
+    prec: Range,
+    dep: Range,
+    s: Range,
+) -> Vec<CanonParts> {
+    let Some(cut) = dep.intersect(&s) else {
+        // Nothing to remove: the edge survives unchanged.
+        return vec![CanonParts { prec, dep, meta: *meta, count: count_for(meta, dep) }];
+    };
+    if matches!(meta, PatternMeta::Single) {
+        // A single dependency either survives whole or is dropped whole;
+        // any overlap with the dependent cell drops it.
+        debug_assert!(dep.overlaps(&cut));
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(2);
+    for seg in dep.subtract(&cut) {
+        debug_assert_eq!(seg.width(), 1);
+        if let PatternMeta::RRGapOne { h_rel, t_rel } = meta {
+            // Snap the segment to the rows that actually hold dependents.
+            let rows: Vec<u32> = parity_rows(dep, seg).collect();
+            let Some((&first, &last)) = rows.first().zip(rows.last()) else {
+                continue;
+            };
+            let col = seg.head().col;
+            let snapped = Range::from_coords(col, first, col, last);
+            let (new_meta, count) = if rows.len() == 1 {
+                (PatternMeta::Single, 1)
+            } else {
+                (PatternMeta::RRGapOne { h_rel: *h_rel, t_rel: *t_rel }, rows.len() as u32)
+            };
+            out.push(CanonParts {
+                prec: seg_prec(meta, snapped),
+                dep: snapped,
+                meta: new_meta,
+                count,
+            });
+            continue;
+        }
+        let new_meta = if seg.is_cell() { PatternMeta::Single } else { *meta };
+        out.push(CanonParts {
+            prec: seg_prec(meta, seg),
+            dep: seg,
+            meta: new_meta,
+            count: count_for(&new_meta, seg),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: &str) -> Range {
+        Range::parse_a1(s).unwrap()
+    }
+
+    fn c(s: &str) -> Cell {
+        Cell::parse_a1(s).unwrap()
+    }
+
+    fn dep(prec: &str, d: &str) -> CanonDep {
+        CanonDep { prec: r(prec), dep: c(d) }
+    }
+
+    // ---- rel -------------------------------------------------------------
+
+    #[test]
+    fn rel_matches_paper_example() {
+        // e' = A5:B7 → C5: hRel = (−2, 0), tRel = (−1, 2).
+        let (h, t) = rel(r("A5:B7"), c("C5"));
+        assert_eq!(h, Offset::new(-2, 0));
+        assert_eq!(t, Offset::new(-1, 2));
+    }
+
+    // ---- pair_meta (addDep on two singles) --------------------------------
+
+    #[test]
+    fn rr_pairs_sliding_windows() {
+        // Fig. 4a: C1=SUM(A1:B3), C2=SUM(A2:B4).
+        let m = pair_meta(PatternType::RR, &dep("A1:B3", "C1"), &dep("A2:B4", "C2")).unwrap();
+        assert_eq!(m, PatternMeta::RR { h_rel: Offset::new(-2, 0), t_rel: Offset::new(-1, 2) });
+        // Order independence.
+        let m2 = pair_meta(PatternType::RR, &dep("A2:B4", "C2"), &dep("A1:B3", "C1")).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn rr_rejects_mismatched_rel() {
+        assert!(pair_meta(PatternType::RR, &dep("A1:B3", "C1"), &dep("A2:B5", "C2")).is_none());
+    }
+
+    #[test]
+    fn rr_rejects_non_adjacent_or_cross_column() {
+        assert!(pair_meta(PatternType::RR, &dep("A1:B3", "C1"), &dep("A3:B5", "C3")).is_none());
+        assert!(pair_meta(PatternType::RR, &dep("A1:B3", "C1"), &dep("B2:C4", "D2")).is_none());
+    }
+
+    #[test]
+    fn rf_pairs_shrinking_windows() {
+        // Fig. 4b: C1=SUM(A1:B4), C2=SUM(A2:B4).
+        let m = pair_meta(PatternType::RF, &dep("A1:B4", "C1"), &dep("A2:B4", "C2")).unwrap();
+        assert_eq!(m, PatternMeta::RF { h_rel: Offset::new(-2, 0), t_fix: c("B4") });
+    }
+
+    #[test]
+    fn fr_pairs_expanding_windows() {
+        // Fig. 4c: C1=SUM(A1:B1), C2=SUM(A1:B2).
+        let m = pair_meta(PatternType::FR, &dep("A1:B1", "C1"), &dep("A1:B2", "C2")).unwrap();
+        assert_eq!(m, PatternMeta::FR { h_fix: c("A1"), t_rel: Offset::new(-1, 0) });
+    }
+
+    #[test]
+    fn ff_pairs_identical_windows() {
+        // Fig. 4d.
+        let m = pair_meta(PatternType::FF, &dep("A1:B3", "C1"), &dep("A1:B3", "C2")).unwrap();
+        assert_eq!(m, PatternMeta::FF { h_fix: c("A1"), t_fix: c("B3") });
+    }
+
+    #[test]
+    fn chain_pairs_above() {
+        // Fig. 9: A2=A1+1, A3=A2+1.
+        let m = pair_meta(PatternType::RRChain, &dep("A1", "A2"), &dep("A2", "A3")).unwrap();
+        assert_eq!(m, PatternMeta::RRChain { dir: ChainDir::Above });
+    }
+
+    #[test]
+    fn chain_rejects_non_chain_and_mixed_dirs() {
+        assert!(pair_meta(PatternType::RRChain, &dep("B1", "A2"), &dep("B2", "A3")).is_none());
+        assert!(pair_meta(PatternType::RRChain, &dep("A1", "A2"), &dep("A4", "A3")).is_none());
+        assert!(pair_meta(PatternType::RRChain, &dep("A1:A2", "A3"), &dep("A2:A3", "A4")).is_none());
+    }
+
+    #[test]
+    fn gap_one_needs_distance_two() {
+        let a = dep("B1", "C1");
+        let b2 = dep("B3", "C3");
+        let m = pair_meta(PatternType::RRGapOne, &a, &b2).unwrap();
+        assert!(matches!(m, PatternMeta::RRGapOne { .. }));
+        assert!(pair_meta(PatternType::RRGapOne, &a, &dep("B2", "C2")).is_none());
+        assert!(pair_meta(PatternType::RR, &a, &b2).is_none());
+    }
+
+    // ---- can_extend --------------------------------------------------------
+
+    #[test]
+    fn extend_rr_at_both_ends() {
+        let m = PatternMeta::RR { h_rel: Offset::new(-2, 0), t_rel: Offset::new(-1, 2) };
+        let run = r("C2:C3");
+        // Extend below (C4 references A4:B6).
+        assert!(can_extend(&m, run, &dep("A4:B6", "C4")));
+        // Extend above (C1 references A1:B3).
+        assert!(can_extend(&m, run, &dep("A1:B3", "C1")));
+        // Wrong rel.
+        assert!(!can_extend(&m, run, &dep("A4:B7", "C4")));
+        // Not adjacent.
+        assert!(!can_extend(&m, run, &dep("A5:B7", "C5")));
+        // Wrong column.
+        assert!(!can_extend(&m, run, &dep("B4:C6", "D4")));
+    }
+
+    #[test]
+    fn extend_rf_requires_fixed_tail() {
+        let m = PatternMeta::RF { h_rel: Offset::new(-2, 0), t_fix: c("B4") };
+        assert!(can_extend(&m, r("C1:C2"), &dep("A3:B4", "C3")));
+        assert!(!can_extend(&m, r("C1:C2"), &dep("A3:B5", "C3")));
+    }
+
+    #[test]
+    fn extend_ff() {
+        let m = PatternMeta::FF { h_fix: c("A1"), t_fix: c("B3") };
+        assert!(can_extend(&m, r("C1:C2"), &dep("A1:B3", "C3")));
+        assert!(!can_extend(&m, r("C1:C2"), &dep("A1:B4", "C3")));
+    }
+
+    #[test]
+    fn extend_chain() {
+        let m = PatternMeta::RRChain { dir: ChainDir::Above };
+        assert!(can_extend(&m, r("A2:A3"), &dep("A3", "A4")));
+        assert!(!can_extend(&m, r("A2:A3"), &dep("A5", "A4")));
+    }
+
+    // ---- find_dep ----------------------------------------------------------
+
+    #[test]
+    fn find_dep_rr_full_prec() {
+        // Fig. 4a: prec A1:B6, dep C1:C4.
+        let m = PatternMeta::RR { h_rel: Offset::new(-2, 0), t_rel: Offset::new(-1, 2) };
+        assert_eq!(find_dep(&m, r("A1:B6"), r("C1:C4"), r("A1:B6")), vec![r("C1:C4")]);
+    }
+
+    #[test]
+    fn find_dep_rr_single_cell_probe() {
+        let m = PatternMeta::RR { h_rel: Offset::new(-2, 0), t_rel: Offset::new(-1, 2) };
+        // A3 is inside windows of C1 (A1:B3), C2 (A2:B4), C3 (A3:B5):
+        // dh = row 3 - tRel.dr(2) = 1, dt = row 3 - hRel.dr(0) = 3.
+        assert_eq!(find_dep(&m, r("A1:B6"), r("C1:C4"), r("A3")), vec![r("C1:C3")]);
+        // B6 only in window of C4.
+        assert_eq!(find_dep(&m, r("A1:B6"), r("C1:C4"), r("B6")), vec![r("C4")]);
+        // A1 only in window of C1 (clamped from below).
+        assert_eq!(find_dep(&m, r("A1:B6"), r("C1:C4"), r("A1")), vec![r("C1")]);
+    }
+
+    #[test]
+    fn find_dep_rf() {
+        // Fig. 4b: prec A1:B4, dep C1:C4, windows shrink.
+        let m = PatternMeta::RF { h_rel: Offset::new(-2, 0), t_fix: c("B4") };
+        // B4 is in every window.
+        assert_eq!(find_dep(&m, r("A1:B4"), r("C1:C4"), r("B4")), vec![r("C1:C4")]);
+        // A2 is in windows of C1 (A1:B4) and C2 (A2:B4).
+        assert_eq!(find_dep(&m, r("A1:B4"), r("C1:C4"), r("A2")), vec![r("C1:C2")]);
+        // A1 only in C1's window.
+        assert_eq!(find_dep(&m, r("A1:B4"), r("C1:C4"), r("A1")), vec![r("C1")]);
+    }
+
+    #[test]
+    fn find_dep_fr() {
+        // Fig. 4c: prec A1:B3, dep C1:C3, windows expand.
+        let m = PatternMeta::FR { h_fix: c("A1"), t_rel: Offset::new(-1, 0) };
+        // A1 is in every window.
+        assert_eq!(find_dep(&m, r("A1:B3"), r("C1:C3"), r("A1")), vec![r("C1:C3")]);
+        // B2 is in windows of C2 (A1:B2) and C3 (A1:B3).
+        assert_eq!(find_dep(&m, r("A1:B3"), r("C1:C3"), r("B2")), vec![r("C2:C3")]);
+        // B3 only in C3's window.
+        assert_eq!(find_dep(&m, r("A1:B3"), r("C1:C3"), r("B3")), vec![r("C3")]);
+    }
+
+    #[test]
+    fn find_dep_ff_returns_whole_dep() {
+        let m = PatternMeta::FF { h_fix: c("A1"), t_fix: c("B3") };
+        assert_eq!(find_dep(&m, r("A1:B3"), r("C1:C3"), r("B2")), vec![r("C1:C3")]);
+    }
+
+    #[test]
+    fn find_dep_chain_is_transitive() {
+        // Fig. 9: prec A1:A3, dep A2:A4.
+        let m = PatternMeta::RRChain { dir: ChainDir::Above };
+        // Dependents of A2: everything below it in the chain (A3:A4).
+        assert_eq!(find_dep(&m, r("A1:A3"), r("A2:A4"), r("A2")), vec![r("A3:A4")]);
+        // Dependents of A1: A2:A4.
+        assert_eq!(find_dep(&m, r("A1:A3"), r("A2:A4"), r("A1")), vec![r("A2:A4")]);
+        // Dependents of A3 (within prec): A4.
+        assert_eq!(find_dep(&m, r("A1:A3"), r("A2:A4"), r("A3")), vec![r("A4")]);
+    }
+
+    #[test]
+    fn find_dep_chain_below() {
+        // B1=B2+1, B2=B3+1, B3=B4+1: prec B2:B4, dep B1:B3, dir Below.
+        let m = PatternMeta::RRChain { dir: ChainDir::Below };
+        assert_eq!(find_dep(&m, r("B2:B4"), r("B1:B3"), r("B4")), vec![r("B1:B3")]);
+        assert_eq!(find_dep(&m, r("B2:B4"), r("B1:B3"), r("B2")), vec![r("B1")]);
+    }
+
+    #[test]
+    fn find_dep_gap_one_returns_parity_cells() {
+        // Dependents at C1, C3, C5 each referencing the cell to the left.
+        let m = PatternMeta::RRGapOne { h_rel: Offset::new(-1, 0), t_rel: Offset::new(-1, 0) };
+        let got = find_dep(&m, r("B1:B5"), r("C1:C5"), r("B1:B5"));
+        assert_eq!(got, vec![r("C1"), r("C3"), r("C5")]);
+        let got = find_dep(&m, r("B1:B5"), r("C1:C5"), r("B3"));
+        assert_eq!(got, vec![r("C3")]);
+        // A pure-value parity gap row has no dependents.
+        let got = find_dep(&m, r("B1:B5"), r("C1:C5"), r("B2"));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn find_dep_out_of_range_is_empty() {
+        // Probe rows whose computed dependents fall outside e.dep.
+        let m = PatternMeta::RR { h_rel: Offset::new(-1, -3), t_rel: Offset::new(-1, -3) };
+        // dep C4:C6 references B1:B3 (3 rows above, to the left).
+        assert_eq!(find_dep(&m, r("B1:B3"), r("C4:C6"), r("B1")), vec![r("C4")]);
+    }
+
+    // ---- find_prec ---------------------------------------------------------
+
+    #[test]
+    fn find_prec_rr() {
+        let m = PatternMeta::RR { h_rel: Offset::new(-2, 0), t_rel: Offset::new(-1, 2) };
+        // Precedents of C2:C3 = A2:B5 (union of A2:B4 and A3:B5).
+        assert_eq!(find_prec(&m, r("A1:B6"), r("C1:C4"), r("C2:C3")), vec![r("A2:B5")]);
+        assert_eq!(find_prec(&m, r("A1:B6"), r("C1:C4"), r("C1")), vec![r("A1:B3")]);
+    }
+
+    #[test]
+    fn find_prec_rf() {
+        let m = PatternMeta::RF { h_rel: Offset::new(-2, 0), t_fix: c("B4") };
+        // Precedent of C2:C4 = C2's window A2:B4 (it contains the others).
+        assert_eq!(find_prec(&m, r("A1:B4"), r("C1:C4"), r("C2:C4")), vec![r("A2:B4")]);
+    }
+
+    #[test]
+    fn find_prec_fr() {
+        let m = PatternMeta::FR { h_fix: c("A1"), t_rel: Offset::new(-1, 0) };
+        // Precedent of C1:C2 = C2's window A1:B2.
+        assert_eq!(find_prec(&m, r("A1:B3"), r("C1:C3"), r("C1:C2")), vec![r("A1:B2")]);
+    }
+
+    #[test]
+    fn find_prec_ff() {
+        let m = PatternMeta::FF { h_fix: c("A1"), t_fix: c("B3") };
+        assert_eq!(find_prec(&m, r("A1:B3"), r("C1:C3"), r("C2")), vec![r("A1:B3")]);
+    }
+
+    #[test]
+    fn find_prec_chain_is_transitive() {
+        let m = PatternMeta::RRChain { dir: ChainDir::Above };
+        // Precedents of A4 within prec A1:A3: A1:A3 (whole upstream chain).
+        assert_eq!(find_prec(&m, r("A1:A3"), r("A2:A4"), r("A4")), vec![r("A1:A3")]);
+        // Precedents of A2: A1.
+        assert_eq!(find_prec(&m, r("A1:A3"), r("A2:A4"), r("A2")), vec![r("A1")]);
+    }
+
+    #[test]
+    fn find_prec_gap_one() {
+        let m = PatternMeta::RRGapOne { h_rel: Offset::new(-1, 0), t_rel: Offset::new(-1, 0) };
+        let got = find_prec(&m, r("B1:B5"), r("C1:C5"), r("C1:C3"));
+        assert_eq!(got, vec![r("B1"), r("B3")]);
+    }
+
+    // ---- remove_dep --------------------------------------------------------
+
+    #[test]
+    fn remove_middle_splits_edge() {
+        // Paper: removing C2 from C1:C4 leaves C1 and C3:C4.
+        let m = PatternMeta::RR { h_rel: Offset::new(-2, 0), t_rel: Offset::new(-1, 2) };
+        let parts = remove_dep(&m, r("A1:B6"), r("C1:C4"), r("C2"));
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].dep, r("C1"));
+        assert_eq!(parts[0].meta, PatternMeta::Single);
+        assert_eq!(parts[0].prec, r("A1:B3"));
+        assert_eq!(parts[0].count, 1);
+        assert_eq!(parts[1].dep, r("C3:C4"));
+        assert_eq!(parts[1].meta, m);
+        assert_eq!(parts[1].prec, r("A3:B6"));
+        assert_eq!(parts[1].count, 2);
+    }
+
+    #[test]
+    fn remove_whole_dep_erases_edge() {
+        let m = PatternMeta::FF { h_fix: c("A1"), t_fix: c("B3") };
+        assert!(remove_dep(&m, r("A1:B3"), r("C1:C3"), r("C1:C3")).is_empty());
+        // Superset also erases.
+        assert!(remove_dep(&m, r("A1:B3"), r("C1:C3"), r("C1:C9")).is_empty());
+    }
+
+    #[test]
+    fn remove_disjoint_keeps_edge() {
+        let m = PatternMeta::FF { h_fix: c("A1"), t_fix: c("B3") };
+        let parts = remove_dep(&m, r("A1:B3"), r("C1:C3"), r("D1:D3"));
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].dep, r("C1:C3"));
+        assert_eq!(parts[0].meta, m);
+    }
+
+    #[test]
+    fn remove_from_single_erases() {
+        assert!(remove_dep(&PatternMeta::Single, r("A1:A3"), r("B1"), r("B1")).is_empty());
+    }
+
+    #[test]
+    fn remove_end_of_chain() {
+        let m = PatternMeta::RRChain { dir: ChainDir::Above };
+        let parts = remove_dep(&m, r("A1:A3"), r("A2:A4"), r("A4"));
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].dep, r("A2:A3"));
+        assert_eq!(parts[0].prec, r("A1:A2"));
+        assert_eq!(parts[0].meta, m);
+    }
+
+    #[test]
+    fn remove_from_gap_one_snaps_parity() {
+        let m = PatternMeta::RRGapOne { h_rel: Offset::new(-1, 0), t_rel: Offset::new(-1, 0) };
+        // Dependents at C1,C3,C5,C7; remove C3.
+        let parts = remove_dep(&m, r("B1:B7"), r("C1:C7"), r("C3"));
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].dep, r("C1"));
+        assert_eq!(parts[0].meta, PatternMeta::Single);
+        // The C4:C7 remainder snaps to C5:C7 (parity rows 5 and 7).
+        assert_eq!(parts[1].dep, r("C5:C7"));
+        assert_eq!(parts[1].count, 2);
+        assert_eq!(parts[1].prec, r("B5:B7"));
+    }
+
+    #[test]
+    fn remove_gap_one_cut_covering_gap_row_only_keeps_edge_shape() {
+        let m = PatternMeta::RRGapOne { h_rel: Offset::new(-1, 0), t_rel: Offset::new(-1, 0) };
+        // Removing the pure-value row C2 splits the bounding range but both
+        // halves keep their dependents: C1 and C3..C7.
+        let parts = remove_dep(&m, r("B1:B7"), r("C1:C7"), r("C2"));
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].dep, r("C1"));
+        assert_eq!(parts[1].dep, r("C3:C7"));
+        assert_eq!(parts[1].count, 3);
+    }
+
+    // ---- counting ----------------------------------------------------------
+
+    #[test]
+    fn count_for_patterns() {
+        assert_eq!(count_for(&PatternMeta::Single, r("C1")), 1);
+        let rr = PatternMeta::RR { h_rel: Offset::ZERO, t_rel: Offset::ZERO };
+        assert_eq!(count_for(&rr, r("C1:C10")), 10);
+        let gap = PatternMeta::RRGapOne { h_rel: Offset::ZERO, t_rel: Offset::ZERO };
+        assert_eq!(count_for(&gap, r("C1:C9")), 5);
+        assert_eq!(count_for(&gap, r("C1:C10")), 5);
+    }
+
+    #[test]
+    fn cue_matching() {
+        use crate::Cue;
+        let none = Cue::NONE;
+        let fr = Cue { head_fixed: true, tail_fixed: false };
+        let rf = Cue { head_fixed: false, tail_fixed: true };
+        let ff = Cue { head_fixed: true, tail_fixed: true };
+        assert!(PatternType::RR.matches_cue(none));
+        assert!(PatternType::FR.matches_cue(fr));
+        assert!(PatternType::RF.matches_cue(rf));
+        assert!(PatternType::FF.matches_cue(ff));
+        assert!(!PatternType::RR.matches_cue(ff));
+        assert!(!PatternType::FF.matches_cue(none));
+    }
+
+    #[test]
+    fn chain_is_special_case_of_rr() {
+        assert!(PatternType::RRChain.is_special_case_of(PatternType::RR));
+        assert!(!PatternType::RR.is_special_case_of(PatternType::RRChain));
+        assert!(!PatternType::FF.is_special_case_of(PatternType::RR));
+    }
+}

@@ -1,0 +1,86 @@
+/// A minimal arena with slot reuse: edges get stable ids while the graph
+/// mutates, and iteration skips holes. Ids are recycled, which is safe here
+/// because every external reference to an id (the two R-trees) is removed
+/// in the same operation that frees the slot.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Self {
+        Slab { slots: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id].is_none());
+                self.slots[id] = Some(value);
+                id
+            }
+            None => {
+                self.slots.push(Some(value));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    pub fn remove(&mut self, id: usize) -> T {
+        let v = self.slots[id].take().expect("removing a live slot");
+        self.free.push(id);
+        self.len -= 1;
+        v
+    }
+
+    pub fn get(&self, id: usize) -> &T {
+        self.slots[id].as_ref().expect("accessing a live slot")
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+    }
+
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_reuse() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(*s.get(a), "a");
+        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.len(), 1);
+        let c = s.insert("c");
+        assert_eq!(c, a, "freed slot is reused");
+        let ids: Vec<usize> = s.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&b) && ids.contains(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "live slot")]
+    fn double_remove_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        s.remove(a);
+    }
+}

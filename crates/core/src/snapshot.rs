@@ -1,0 +1,130 @@
+//! Graph persistence: serialize a compressed formula graph and restore it
+//! without recompressing.
+//!
+//! Compression happens once at load time (§VI-C measures it in seconds for
+//! the largest sheets); a workbook that persists its compressed graph
+//! alongside the file skips that work on reopen. A snapshot is exactly the
+//! edge list — the R-tree indexes are rebuilt on restore, since they are
+//! derived state.
+
+use crate::config::Config;
+use crate::edge::Edge;
+use crate::graph::FormulaGraph;
+use serde::{Deserialize, Serialize};
+
+/// A serializable image of a [`FormulaGraph`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphSnapshot {
+    /// The compressor configuration the graph was built with.
+    pub config: Config,
+    /// Every (possibly compressed) edge.
+    pub edges: Vec<Edge>,
+    /// Lifetime insert counter (restored for stats continuity).
+    pub dependencies_inserted: u64,
+}
+
+impl FormulaGraph {
+    /// Captures the graph as a snapshot (edge order is unspecified).
+    pub fn snapshot(&self) -> GraphSnapshot {
+        GraphSnapshot {
+            config: self.config().clone(),
+            edges: self.edges().cloned().collect(),
+            dependencies_inserted: self.dependencies_inserted(),
+        }
+    }
+
+    /// Restores a graph from a snapshot, rebuilding the spatial indexes.
+    /// No recompression is attempted: edges come back exactly as saved.
+    pub fn restore(snapshot: GraphSnapshot) -> FormulaGraph {
+        let mut g = FormulaGraph::new(snapshot.config);
+        for e in snapshot.edges {
+            g.put_edge(e);
+        }
+        g.set_dependencies_inserted(snapshot.dependencies_inserted);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dependency;
+    use std::collections::BTreeSet;
+    use taco_grid::{Cell, Range};
+
+    fn build_sample() -> FormulaGraph {
+        let deps = [
+            ("A1:B3", "C1"),
+            ("A2:B4", "C2"),
+            ("A3:B5", "C3"),
+            ("G1:G9", "H1"),
+            ("G1:G9", "H2"),
+            ("J1", "K1"),
+        ];
+        FormulaGraph::build(
+            Config::taco_full(),
+            deps.iter().map(|(p, d)| {
+                Dependency::new(Range::parse_a1(p).unwrap(), Cell::parse_a1(d).unwrap())
+            }),
+        )
+    }
+
+    fn cells(v: &[Range]) -> BTreeSet<Cell> {
+        v.iter().flat_map(|r| r.cells()).collect()
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let g = build_sample();
+        let snap = g.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: GraphSnapshot = serde_json::from_str(&json).expect("deserialize");
+        let restored = FormulaGraph::restore(back);
+
+        assert_eq!(restored.num_edges(), g.num_edges());
+        assert_eq!(restored.stats(), g.stats());
+        for probe in ["A2", "G5", "J1", "C2"] {
+            let probe = Range::parse_a1(probe).unwrap();
+            assert_eq!(
+                cells(&restored.find_dependents(probe)),
+                cells(&g.find_dependents(probe))
+            );
+        }
+    }
+
+    #[test]
+    fn restored_graph_remains_maintainable() {
+        let g = build_sample();
+        let mut restored = FormulaGraph::restore(g.snapshot());
+        // Extend a compressed run after restore.
+        restored.add_dependency(&Dependency::new(
+            Range::parse_a1("A4:B6").unwrap(),
+            Cell::parse_a1("C4").unwrap(),
+        ));
+        let rr = restored
+            .edges()
+            .find(|e| e.dep.contains(&Range::parse_a1("C1").unwrap()))
+            .expect("the RR edge");
+        assert_eq!(rr.count, 4, "restored edge must keep compressing");
+        // And clearing still splits correctly.
+        restored.clear_cells(Range::parse_a1("C2").unwrap());
+        let deps = restored.find_dependents(Range::parse_a1("A3").unwrap());
+        assert!(!deps.iter().any(|r| r.contains(&Range::parse_a1("C2").unwrap())));
+    }
+
+    #[test]
+    fn hand_edited_snapshot_ranges_are_renormalized() {
+        // Swapped corners in JSON must come back normalized (Deserialize
+        // goes through Range::new).
+        let json = r#"{"head":{"col":3,"row":5},"tail":{"col":1,"row":2}}"#;
+        let r: Range = serde_json::from_str(json).unwrap();
+        assert_eq!(r, Range::from_coords(1, 2, 3, 5));
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let g = FormulaGraph::taco();
+        let restored = FormulaGraph::restore(g.snapshot());
+        assert_eq!(restored.num_edges(), 0);
+    }
+}

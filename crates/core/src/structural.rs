@@ -1,0 +1,400 @@
+//! Structural maintenance: keeping the compressed graph correct when rows
+//! or columns are inserted or deleted.
+//!
+//! This extends the paper's maintenance story (§IV-C covers cell-level
+//! insert/clear/update) to the other ubiquitous spreadsheet edit. The
+//! interesting property of the compressed representation is that most
+//! edges survive a structural edit *without decompression*:
+//!
+//! - an edge whose precedent and dependent ranges both lie entirely on one
+//!   side of the edit keeps its pattern; only its bounding ranges shift,
+//!   and — when precedent and dependent shift by different amounts — the
+//!   relative offsets in its metadata are adjusted by the difference;
+//! - only edges whose bounding ranges *straddle* the edited band need the
+//!   slow path: decompress, transform each underlying dependency with
+//!   Excel semantics (stretch/shrink/`#REF!`), and re-compress.
+
+use crate::edge::Edge;
+use crate::graph::FormulaGraph;
+use crate::pattern::PatternMeta;
+use crate::Dependency;
+use taco_grid::{Cell, Offset, Range};
+
+/// A row/column structural edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructuralOp {
+    /// Insert `n` rows before row `at`.
+    InsertRows {
+        /// Row the new rows are inserted before (1-based).
+        at: u32,
+        /// Number of rows inserted.
+        n: u32,
+    },
+    /// Delete the rows `[at, at + n)`.
+    DeleteRows {
+        /// First deleted row (1-based).
+        at: u32,
+        /// Number of rows deleted.
+        n: u32,
+    },
+    /// Insert `n` columns before column `at`.
+    InsertCols {
+        /// Column the new columns are inserted before (1-based).
+        at: u32,
+        /// Number of columns inserted.
+        n: u32,
+    },
+    /// Delete the columns `[at, at + n)`.
+    DeleteCols {
+        /// First deleted column (1-based).
+        at: u32,
+        /// Number of columns deleted.
+        n: u32,
+    },
+}
+
+impl StructuralOp {
+    /// Where a cell moves (None = deleted or pushed off the grid).
+    pub fn map_cell(self, c: Cell) -> Option<Cell> {
+        match self {
+            StructuralOp::InsertRows { at, n } => c.insert_rows(at, n),
+            StructuralOp::DeleteRows { at, n } => c.delete_rows(at, n),
+            StructuralOp::InsertCols { at, n } => c.insert_cols(at, n),
+            StructuralOp::DeleteCols { at, n } => c.delete_cols(at, n),
+        }
+    }
+
+    /// Where a range moves/stretches/shrinks (None = `#REF!`).
+    pub fn map_range(self, r: Range) -> Option<Range> {
+        match self {
+            StructuralOp::InsertRows { at, n } => r.insert_rows(at, n),
+            StructuralOp::DeleteRows { at, n } => r.delete_rows(at, n),
+            StructuralOp::InsertCols { at, n } => r.insert_cols(at, n),
+            StructuralOp::DeleteCols { at, n } => r.delete_cols(at, n),
+        }
+    }
+
+    /// `true` iff the edit band touches the interior of `r`, forcing the
+    /// decompress-and-rebuild path for edges carrying it.
+    pub fn disturbs(self, r: Range) -> bool {
+        match self {
+            StructuralOp::InsertRows { at, .. } => r.row_insert_straddles(at),
+            StructuralOp::DeleteRows { at, n } => r.row_delete_overlaps(at, n),
+            StructuralOp::InsertCols { at, .. } => r.transpose().row_insert_straddles(at),
+            StructuralOp::DeleteCols { at, n } => r.transpose().row_delete_overlaps(at, n),
+        }
+    }
+
+    /// Transforms one raw dependency (slow path). `None` drops it: either
+    /// the formula cell itself vanished, or its referenced range did
+    /// (`#REF!` — the formula survives but references nothing).
+    pub fn map_dependency(self, d: &Dependency) -> Option<Dependency> {
+        let dep = self.map_cell(d.dep)?;
+        let prec = self.map_range(d.prec)?;
+        Some(Dependency { prec, dep, cue: d.cue })
+    }
+}
+
+impl FormulaGraph {
+    /// Inserts `n` rows before row `at`, updating every edge.
+    pub fn insert_rows(&mut self, at: u32, n: u32) {
+        self.apply_structural(StructuralOp::InsertRows { at, n });
+    }
+
+    /// Deletes the rows `[at, at + n)`, updating every edge. Dependencies
+    /// of deleted formula cells are dropped; references wholly inside the
+    /// band become `#REF!` (dropped from the graph).
+    pub fn delete_rows(&mut self, at: u32, n: u32) {
+        self.apply_structural(StructuralOp::DeleteRows { at, n });
+    }
+
+    /// Inserts `n` columns before column `at`.
+    pub fn insert_cols(&mut self, at: u32, n: u32) {
+        self.apply_structural(StructuralOp::InsertCols { at, n });
+    }
+
+    /// Deletes the columns `[at, at + n)`.
+    pub fn delete_cols(&mut self, at: u32, n: u32) {
+        self.apply_structural(StructuralOp::DeleteCols { at, n });
+    }
+
+    /// Applies a structural edit: fast wholesale shift for undisturbed
+    /// edges, decompress + re-compress for edges the band cuts through.
+    pub fn apply_structural(&mut self, op: StructuralOp) {
+        let ids: Vec<usize> = self.edge_ids();
+        let mut reinsert: Vec<Dependency> = Vec::new();
+        for id in ids {
+            let e = self.peek_edge(id);
+            let disturbed = op.disturbs(e.prec) || op.disturbs(e.dep);
+            if disturbed || e.is_single() {
+                let e = self.take_edge(id);
+                for d in e.decompress() {
+                    if let Some(t) = op.map_dependency(&d) {
+                        reinsert.push(t);
+                    }
+                }
+                continue;
+            }
+            // Fast path: both bounding ranges move rigidly (possibly by
+            // different amounts); adjust the metadata accordingly.
+            match shift_edge(e, op) {
+                Some(ne) => {
+                    self.take_edge(id);
+                    self.put_edge(ne);
+                }
+                None => {
+                    // Off-grid or dimension change: fall back.
+                    let e = self.take_edge(id);
+                    for d in e.decompress() {
+                        if let Some(t) = op.map_dependency(&d) {
+                            reinsert.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        for d in reinsert {
+            self.compress_dependency(&d);
+        }
+    }
+}
+
+/// Rigid transform of an undisturbed edge. Returns `None` when the edge
+/// cannot be moved rigidly (off-grid clamp changed a dimension).
+fn shift_edge(e: &Edge, op: StructuralOp) -> Option<Edge> {
+    let new_prec = op.map_range(e.prec)?;
+    let new_dep = op.map_range(e.dep)?;
+    if new_prec.width() != e.prec.width()
+        || new_prec.height() != e.prec.height()
+        || new_dep.width() != e.dep.width()
+        || new_dep.height() != e.dep.height()
+    {
+        return None;
+    }
+    let dp = new_prec.head().offset_from(e.prec.head());
+    let dd = new_dep.head().offset_from(e.dep.head());
+    // Relative metadata stores prec-relative-to-dep offsets; if both sides
+    // moved equally nothing changes, otherwise adjust by the difference
+    // (in canonical coordinates).
+    let rel_delta = e.axis.canon_offset(dp - dd);
+    let map_fix = |c: Cell| -> Option<Cell> {
+        // meta cells are canonical; move them by the precedent delta.
+        let sheet = e.axis.canon_cell(c);
+        let moved = sheet.offset(dp).ok()?;
+        Some(e.axis.canon_cell(moved))
+    };
+    let meta = match e.meta {
+        PatternMeta::Single => return None, // singles take the slow path
+        PatternMeta::RR { h_rel, t_rel } => {
+            PatternMeta::RR { h_rel: h_rel + rel_delta, t_rel: t_rel + rel_delta }
+        }
+        PatternMeta::RRGapOne { h_rel, t_rel } => {
+            PatternMeta::RRGapOne { h_rel: h_rel + rel_delta, t_rel: t_rel + rel_delta }
+        }
+        PatternMeta::RF { h_rel, t_fix } => {
+            PatternMeta::RF { h_rel: h_rel + rel_delta, t_fix: map_fix(t_fix)? }
+        }
+        PatternMeta::FR { h_fix, t_rel } => {
+            PatternMeta::FR { h_fix: map_fix(h_fix)?, t_rel: t_rel + rel_delta }
+        }
+        PatternMeta::FF { h_fix, t_fix } => {
+            PatternMeta::FF { h_fix: map_fix(h_fix)?, t_fix: map_fix(t_fix)? }
+        }
+        PatternMeta::RRChain { dir } => {
+            // Chains have overlapping prec/dep; undisturbed means both
+            // sides moved together.
+            if rel_delta != Offset::ZERO {
+                return None;
+            }
+            PatternMeta::RRChain { dir }
+        }
+    };
+    Some(Edge { prec: new_prec, dep: new_dep, axis: e.axis, meta, count: e.count })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Config, PatternType};
+    use std::collections::BTreeSet;
+
+    fn r(s: &str) -> Range {
+        Range::parse_a1(s).unwrap()
+    }
+
+    fn d(prec: &str, dep: &str) -> Dependency {
+        Dependency::new(r(prec), Cell::parse_a1(dep).unwrap())
+    }
+
+    /// Reference implementation: decompress everything, transform each raw
+    /// dependency, rebuild from scratch.
+    fn reference(g: &FormulaGraph, op: StructuralOp) -> BTreeSet<(Range, Cell)> {
+        g.decompress_all()
+            .iter()
+            .filter_map(|dep| op.map_dependency(dep))
+            .map(|dep| (dep.prec, dep.dep))
+            .collect()
+    }
+
+    fn actual(g: &FormulaGraph) -> BTreeSet<(Range, Cell)> {
+        g.decompress_all().into_iter().map(|dep| (dep.prec, dep.dep)).collect()
+    }
+
+    fn check(mut g: FormulaGraph, op: StructuralOp) -> FormulaGraph {
+        let want = reference(&g, op);
+        g.apply_structural(op);
+        assert_eq!(actual(&g), want, "structural op {op:?}");
+        g
+    }
+
+    #[test]
+    fn insert_below_everything_is_noop() {
+        let g = FormulaGraph::build(
+            Config::taco_full(),
+            [d("A1:B3", "C1"), d("A2:B4", "C2"), d("A3:B5", "C3")],
+        );
+        let edges_before = g.num_edges();
+        let g = check(g, StructuralOp::InsertRows { at: 100, n: 5 });
+        assert_eq!(g.num_edges(), edges_before);
+    }
+
+    #[test]
+    fn insert_above_shifts_edge_rigidly() {
+        let g = FormulaGraph::build(
+            Config::taco_full(),
+            [d("A5:B7", "C5"), d("A6:B8", "C6"), d("A7:B9", "C7")],
+        );
+        let g = check(g, StructuralOp::InsertRows { at: 2, n: 3 });
+        // Still one compressed RR edge, shifted down by 3.
+        assert_eq!(g.num_edges(), 1);
+        let e = g.edges().next().unwrap();
+        assert_eq!(e.pattern(), PatternType::RR);
+        assert_eq!(e.dep, r("C8:C10"));
+        assert_eq!(e.prec, r("A8:B12"));
+    }
+
+    #[test]
+    fn insert_between_prec_and_dep_adjusts_rel() {
+        // FF-style: lookups in C20:C22 referencing table A1:B2 above.
+        let g = FormulaGraph::build(
+            Config::taco_full(),
+            [d("A1:B2", "C20"), d("A1:B2", "C21"), d("A1:B2", "C22")],
+        );
+        let g = check(g, StructuralOp::InsertRows { at: 10, n: 4 });
+        assert_eq!(g.num_edges(), 1);
+        let e = g.edges().next().unwrap();
+        assert_eq!(e.pattern(), PatternType::FF);
+        assert_eq!(e.prec, r("A1:B2")); // table stays
+        assert_eq!(e.dep, r("C24:C26")); // lookups shift
+        // Queries still work.
+        let deps = g.find_dependents(r("A1"));
+        assert_eq!(deps.iter().map(Range::area).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn insert_between_adjusts_rr_offsets() {
+        // RR windows above their formulas: C20..C22 reference A1:A3-style
+        // rows far above, so the band falls between prec and dep.
+        let g = FormulaGraph::build(
+            Config::taco_full(),
+            [d("A1:A2", "C20"), d("A2:A3", "C21"), d("A3:A4", "C22")],
+        );
+        let g = check(g, StructuralOp::InsertRows { at: 10, n: 5 });
+        assert_eq!(g.num_edges(), 1);
+        let e = g.edges().next().unwrap();
+        assert_eq!(e.pattern(), PatternType::RR);
+        // Dependents of A2 were C20:C21; now C25:C26.
+        let deps = g.find_dependents(r("A2"));
+        assert_eq!(deps, vec![r("C25:C26")]);
+    }
+
+    #[test]
+    fn insert_inside_dep_run_splits_edge() {
+        let g = FormulaGraph::build(
+            Config::taco_full(),
+            [d("A1:B3", "C1"), d("A2:B4", "C2"), d("A3:B5", "C3"), d("A4:B6", "C4")],
+        );
+        let g = check(g, StructuralOp::InsertRows { at: 3, n: 2 });
+        // The run C1:C4 splits around the new blank rows; windows that
+        // straddled the band stretched, so patterns may differ — the
+        // reference check above guarantees correctness; also verify a
+        // query end to end.
+        let deps = g.find_dependents(r("A1"));
+        assert!(deps.iter().any(|x| x.contains(&r("C1"))));
+        assert!(!deps.iter().any(|x| x.contains(&r("C3")))); // C3 is blank now
+    }
+
+    #[test]
+    fn delete_rows_drops_formulas_and_shrinks_refs() {
+        let g = FormulaGraph::build(
+            Config::taco_full(),
+            [d("A1:A10", "C1"), d("A1:A10", "C2"), d("A1:A10", "C3")],
+        );
+        // Delete rows 2..=3: C2, C3 die; the A1:A10 reference shrinks.
+        let g = check(g, StructuralOp::DeleteRows { at: 2, n: 2 });
+        assert_eq!(g.num_edges(), 1);
+        let e = g.edges().next().unwrap();
+        assert_eq!(e.prec, r("A1:A8"));
+        assert_eq!(e.dep, r("C1"));
+    }
+
+    #[test]
+    fn delete_entire_reference_is_ref_error() {
+        let g = FormulaGraph::build(Config::taco_full(), [d("A5:A6", "C1")]);
+        let mut g = g;
+        g.delete_rows(5, 2);
+        assert_eq!(g.num_edges(), 0, "reference vanished → dependency dropped");
+    }
+
+    #[test]
+    fn chain_survives_rigid_shift() {
+        let g = FormulaGraph::build(
+            Config::taco_full(),
+            (2..=20u32).map(|row| {
+                Dependency::new(Range::cell(Cell::new(1, row - 1)), Cell::new(1, row))
+            }),
+        );
+        assert_eq!(g.num_edges(), 1);
+        let g = check(g, StructuralOp::InsertRows { at: 30, n: 4 });
+        assert_eq!(g.num_edges(), 1);
+        let g2 = check(g, StructuralOp::InsertRows { at: 1, n: 10 });
+        assert_eq!(g2.num_edges(), 1);
+        assert_eq!(g2.edges().next().unwrap().pattern(), PatternType::RRChain);
+        // Cutting through the chain splits it.
+        let g3 = check(g2, StructuralOp::InsertRows { at: 15, n: 1 });
+        assert!(g3.num_edges() >= 2);
+    }
+
+    #[test]
+    fn column_ops_mirror_row_ops() {
+        // Row-axis edge: formulas along row 5 referencing the cell above.
+        let g = FormulaGraph::build(
+            Config::taco_full(),
+            (2..=8u32).map(|col| {
+                Dependency::new(Range::cell(Cell::new(col, 4)), Cell::new(col, 5))
+            }),
+        );
+        assert_eq!(g.num_edges(), 1);
+        let g = check(g, StructuralOp::InsertCols { at: 1, n: 2 });
+        assert_eq!(g.num_edges(), 1);
+        let deps = g.find_dependents(Range::cell(Cell::new(5, 4)));
+        assert_eq!(deps, vec![Range::cell(Cell::new(5, 5))]);
+        // Delete a column through the middle.
+        let g = check(g, StructuralOp::DeleteCols { at: 6, n: 1 });
+        let total: u64 = g.edges().map(|e| u64::from(e.count)).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn stats_remain_consistent_after_structural_ops() {
+        let mut g = FormulaGraph::build(
+            Config::taco_full(),
+            [d("A1:B3", "C1"), d("A2:B4", "C2"), d("A3:B5", "C3"), d("G1:G5", "H1"), d("G1:G5", "H2")],
+        );
+        g.insert_rows(2, 3);
+        let s = g.stats();
+        assert_eq!(s.edges as u64 + s.reduced.total(), s.dependencies);
+        let total: u64 = g.edges().map(|e| u64::from(e.count)).sum();
+        assert_eq!(total, s.dependencies);
+    }
+}

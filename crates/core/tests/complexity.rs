@@ -1,0 +1,162 @@
+//! Validates the complexity claims of §III-B and §IV-D empirically:
+//! pattern key functions are O(1) in the run length, chains resolve
+//! without repeated edge accesses, and BFS edge-access counts stay small
+//! on pattern-structured sheets.
+
+use taco_core::{Config, Dependency, FormulaGraph, PatternType};
+use taco_grid::{Cell, Range};
+
+fn rr_deps(n: u32) -> impl Iterator<Item = Dependency> {
+    (1..=n).map(|row| {
+        Dependency::new(Range::from_coords(1, row, 2, row + 2), Cell::new(5, row))
+    })
+}
+
+#[test]
+fn compressed_edge_count_is_independent_of_run_length() {
+    for n in [10u32, 1_000, 100_000] {
+        let g = FormulaGraph::build(Config::taco_full(), rr_deps(n));
+        assert_eq!(g.num_edges(), 1, "n={n}");
+        let s = g.stats();
+        assert_eq!(s.dependencies, u64::from(n));
+        assert_eq!(s.reduced.rr, u64::from(n) - 1);
+    }
+}
+
+#[test]
+fn find_dep_work_is_constant_per_edge() {
+    // Edge accesses for a point probe must not grow with run length.
+    let mut accesses = Vec::new();
+    for n in [100u32, 10_000, 1_000_000] {
+        let g = FormulaGraph::build(Config::taco_full(), rr_deps(n));
+        let (_, stats) = g.find_dependents_with_stats(Range::cell(Cell::new(1, n / 2)));
+        accesses.push(stats.edges_accessed);
+    }
+    assert!(
+        accesses.windows(2).all(|w| w[1] <= w[0] + 2),
+        "edge accesses must not scale with run length: {accesses:?}"
+    );
+}
+
+#[test]
+fn chain_pattern_avoids_quadratic_reaccess() {
+    // Without RR-Chain, a chain of length n forces ~n accesses of the same
+    // RR edge (the §V motivation); with it, a constant number.
+    let n = 5_000u32;
+    let chain = (2..=n).map(|row| {
+        Dependency::new(Range::cell(Cell::new(1, row - 1)), Cell::new(1, row))
+    });
+    let with_chain = FormulaGraph::build(Config::taco_full(), chain.clone());
+    let without_chain =
+        FormulaGraph::build(Config::taco_without(PatternType::RRChain), chain);
+
+    let (a, sa) = with_chain.find_dependents_with_stats(Range::cell(Cell::new(1, 1)));
+    let (b, sb) = without_chain.find_dependents_with_stats(Range::cell(Cell::new(1, 1)));
+    let cells = |v: &[Range]| v.iter().map(Range::area).sum::<u64>();
+    assert_eq!(cells(&a), cells(&b), "answers must agree");
+    assert!(sa.edges_accessed <= 4, "RR-Chain: {} accesses", sa.edges_accessed);
+    assert!(
+        sb.edges_accessed >= u64::from(n) / 2,
+        "plain RR should re-access the edge per hop, got {}",
+        sb.edges_accessed
+    );
+}
+
+#[test]
+fn edge_accesses_stay_low_on_structured_sheets() {
+    // §IV-D: "the average number of edge accesses during BFS is no larger
+    // than 7 for 98% of the tests".
+    use taco_workload::generator::{gen_sheet, SheetParams};
+    let params = SheetParams { target_deps: 20_000, ..Default::default() };
+    let sheet = gen_sheet("acc", 21, &params);
+    let g = FormulaGraph::build(Config::taco_full(), sheet.deps.iter().copied());
+    let mut ratios = Vec::new();
+    for &hot in &sheet.hot_cells {
+        let (_, st) = g.find_dependents_with_stats(Range::cell(hot));
+        if st.enqueued > 0 {
+            ratios.push(st.edges_accessed as f64 / (g.num_edges() as f64).max(1.0));
+        }
+    }
+    let ok = ratios.iter().filter(|&&r| r <= 7.0).count();
+    assert!(
+        ok as f64 >= ratios.len() as f64 * 0.9,
+        "avg per-edge access ratio exceeded 7 too often: {ratios:?}"
+    );
+}
+
+#[test]
+fn nocomp_edges_equal_dependencies_exactly() {
+    let g = FormulaGraph::build(Config::nocomp(), rr_deps(5_000));
+    assert_eq!(g.num_edges() as u64, g.dependencies_inserted());
+    let s = g.stats();
+    assert_eq!(s.reduced.total(), 0);
+}
+
+#[test]
+fn build_then_query_on_grid_boundaries() {
+    // Dependencies hugging the grid edges must compress and query safely.
+    use taco_grid::{MAX_COL, MAX_ROW};
+    let mut g = FormulaGraph::taco();
+    // Column at the last valid column, rows near MAX_ROW.
+    for row in (MAX_ROW - 50)..MAX_ROW {
+        g.add_dependency(&Dependency::new(
+            Range::cell(Cell::new(MAX_COL - 1, row)),
+            Cell::new(MAX_COL, row),
+        ));
+    }
+    assert_eq!(g.num_edges(), 1);
+    let deps = g.find_dependents(Range::cell(Cell::new(MAX_COL - 1, MAX_ROW - 10)));
+    assert_eq!(deps, vec![Range::cell(Cell::new(MAX_COL, MAX_ROW - 10))]);
+
+    // Chain ending exactly at MAX_ROW.
+    let mut g = FormulaGraph::taco();
+    for row in (MAX_ROW - 20 + 1)..=MAX_ROW {
+        g.add_dependency(&Dependency::new(
+            Range::cell(Cell::new(1, row - 1)),
+            Cell::new(1, row),
+        ));
+    }
+    let deps = g.find_dependents(Range::cell(Cell::new(1, MAX_ROW - 20)));
+    assert_eq!(deps.iter().map(Range::area).sum::<u64>(), 20);
+}
+
+#[test]
+fn huge_probe_ranges_are_handled() {
+    let g = FormulaGraph::build(Config::taco_full(), rr_deps(1_000));
+    // Probe the whole sheet: everything that depends on anything.
+    let all = g.find_dependents(Range::from_coords(1, 1, taco_grid::MAX_COL, taco_grid::MAX_ROW));
+    assert_eq!(all.iter().map(Range::area).sum::<u64>(), 1_000);
+}
+
+#[test]
+fn duplicate_dependencies_do_not_corrupt_state() {
+    // The same dependency inserted twice (two identical references in one
+    // formula, or a re-parse) must keep the graph queryable and clearable.
+    let mut g = FormulaGraph::taco();
+    let d = Dependency::new(Range::parse_a1("A1:A3").unwrap(), Cell::parse_a1("B1").unwrap());
+    g.add_dependency(&d);
+    g.add_dependency(&d);
+    let deps = g.find_dependents(Range::parse_a1("A2").unwrap());
+    assert_eq!(deps.iter().map(Range::area).sum::<u64>(), 1);
+    g.clear_cells(Range::parse_a1("B1").unwrap());
+    assert!(g.find_dependents(Range::parse_a1("A2").unwrap()).is_empty());
+    assert_eq!(g.num_edges(), 0);
+}
+
+#[test]
+fn interleaved_inserts_still_compress() {
+    // Alternating between two runs must not prevent either from
+    // compressing (insertion order independence at the run level).
+    let mut g = FormulaGraph::taco();
+    for row in 1..=100u32 {
+        g.add_dependency(&Dependency::new(
+            Range::cell(Cell::new(1, row)),
+            Cell::new(2, row),
+        ));
+        g.add_dependency(&Dependency::new(
+            Range::cell(Cell::new(4, row)),
+            Cell::new(5, row),
+        ));
+    }
+    assert_eq!(g.num_edges(), 2);
+}

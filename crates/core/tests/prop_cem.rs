@@ -1,0 +1,70 @@
+//! Greedy-vs-exact: on any small instance, the exact CEM optimum is a
+//! lower bound on the greedy compressor's edge count, and on clean
+//! single-run instances greedy achieves the optimum.
+
+use proptest::prelude::*;
+use taco_core::{cem, Config, Dependency, FormulaGraph};
+use taco_grid::{Cell, Range};
+
+fn arb_small_instance() -> impl Strategy<Value = Vec<Dependency>> {
+    // 1-3 short runs of assorted shapes + up to 2 noise singles, ≤ 12 deps.
+    let run = (1u32..6, 1u32..6, 2u32..4, 0u8..4).prop_map(|(col, row0, len, kind)| {
+        let col = col + 2;
+        let mut out = Vec::new();
+        for k in 0..len {
+            let row = row0 + k;
+            let prec = match kind {
+                0 => Range::from_coords(col - 1, row, col - 1, row + 1),
+                1 => Range::from_coords(col - 2, 1, col - 2, 3),
+                2 => Range::from_coords(col - 1, row0, col - 1, row),
+                _ => Range::cell(Cell::new(col - 1, row)),
+            };
+            out.push(Dependency::new(prec, Cell::new(col, row)));
+        }
+        out
+    });
+    let noise = (1u32..8, 1u32..8, 1u32..8, 1u32..8)
+        .prop_map(|(pc, pr, dc, dr)| vec![Dependency::new(Range::cell(Cell::new(pc, pr)), Cell::new(dc, dr))]);
+    prop::collection::vec(prop_oneof![3 => run, 1 => noise], 1..4).prop_map(|chunks| {
+        let mut seen = std::collections::BTreeSet::new();
+        chunks
+            .into_iter()
+            .flatten()
+            .filter(|d| seen.insert((d.prec, d.dep)))
+            .take(12)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_lower_bounds_greedy(deps in arb_small_instance()) {
+        let cfg = Config::taco_full();
+        let greedy = FormulaGraph::build(cfg.clone(), deps.iter().copied()).num_edges();
+        if let Some(exact) = cem::exact_min_edges(&deps, &cfg, 3_000_000) {
+            prop_assert!(exact <= greedy, "exact {exact} > greedy {greedy}");
+            // Greedy is a decent approximation on these instances.
+            prop_assert!(greedy <= exact.saturating_mul(3).max(deps.len().min(3)),
+                "greedy {greedy} too far from exact {exact}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_optimal_on_single_runs(col in 3u32..8, row0 in 1u32..5, len in 2u32..8) {
+        // One clean sliding-window run: the optimum is exactly 1.
+        let deps: Vec<Dependency> = (0..len)
+            .map(|k| {
+                Dependency::new(
+                    Range::from_coords(col - 2, row0 + k, col - 1, row0 + k + 2),
+                    Cell::new(col, row0 + k),
+                )
+            })
+            .collect();
+        let cfg = Config::taco_full();
+        let greedy = FormulaGraph::build(cfg.clone(), deps.iter().copied()).num_edges();
+        prop_assert_eq!(greedy, 1);
+        prop_assert_eq!(cem::exact_min_edges(&deps, &cfg, 1_000_000), Some(1));
+    }
+}

@@ -1,0 +1,188 @@
+//! The central correctness property of the paper: compression is lossless.
+//! For ANY workload, the compressed graph must answer dependents/precedents
+//! queries identically to the uncompressed graph, including after
+//! incremental maintenance.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use taco_core::{Config, Dependency, FormulaGraph};
+use taco_grid::{Cell, Range};
+
+const W: u32 = 12; // sheet width used by generators
+const H: u32 = 24; // sheet height
+
+/// Generates structured dependency workloads: runs of autofill-like
+/// formulae (the four patterns + chains) mixed with random noise edges.
+fn arb_deps() -> impl Strategy<Value = Vec<Dependency>> {
+    let run = (1u32..W, 1u32..H, 2u32..8, 0u8..6, 1u32..4, 1u32..4).prop_map(
+        |(col, row0, len, kind, w, h)| {
+            let mut out = Vec::new();
+            for k in 0..len {
+                let row = row0 + k;
+                if row > H {
+                    break;
+                }
+                let dep = Cell::new(col, row);
+                // Keep precedents inside the sheet and left of the formula
+                // column where possible.
+                let pc = if col > 1 { col - 1 } else { col + 1 };
+                let prec = match kind {
+                    // RR sliding window
+                    0 => Range::from_coords(pc, row, (pc + w - 1).min(W), (row + h - 1).min(H)),
+                    // FF fixed window
+                    1 => Range::from_coords(pc, 1, pc, h.min(H)),
+                    // FR expanding (cumulative)
+                    2 => Range::from_coords(pc, 1, pc, row),
+                    // RF shrinking
+                    3 => Range::from_coords(pc, row.min(H), pc, H),
+                    // chain above (self column)
+                    4 => {
+                        if row == 1 {
+                            Range::cell(Cell::new(pc, 1))
+                        } else {
+                            Range::cell(Cell::new(col, row - 1))
+                        }
+                    }
+                    // in-row derived column
+                    _ => Range::cell(Cell::new(pc, row)),
+                };
+                out.push(Dependency::new(prec, dep));
+            }
+            out
+        },
+    );
+    let noise = (1u32..=W, 1u32..=H, 1u32..=W, 1u32..=H, 1u32..3, 1u32..3).prop_map(
+        |(pc, pr, dc, dr, w, h)| {
+            let prec = Range::from_coords(pc, pr, (pc + w - 1).min(W), (pr + h - 1).min(H));
+            vec![Dependency::new(prec, Cell::new(dc, dr))]
+        },
+    );
+    prop::collection::vec(prop_oneof![3 => run, 1 => noise], 1..12)
+        .prop_map(|chunks| {
+            // Deduplicate identical (prec, dep) pairs: a real parser emits a
+            // set of references per formula cell.
+            let mut seen = BTreeSet::new();
+            let mut out = Vec::new();
+            for d in chunks.into_iter().flatten() {
+                if seen.insert((d.prec, d.dep)) {
+                    out.push(d);
+                }
+            }
+            out
+        })
+}
+
+fn cells_of(ranges: &[Range]) -> BTreeSet<Cell> {
+    ranges.iter().flat_map(|r| r.cells()).collect()
+}
+
+fn arb_probe() -> impl Strategy<Value = Range> {
+    (1u32..=W, 1u32..=H, 0u32..3, 0u32..4).prop_map(|(c, r, w, h)| {
+        Range::from_coords(c, r, (c + w).min(W), (r + h).min(H))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn taco_equals_nocomp_on_queries(deps in arb_deps(), probes in prop::collection::vec(arb_probe(), 1..6)) {
+        let taco = FormulaGraph::build(Config::taco_full(), deps.iter().copied());
+        let nocomp = FormulaGraph::build(Config::nocomp(), deps.iter().copied());
+        for probe in probes {
+            prop_assert_eq!(
+                cells_of(&taco.find_dependents(probe)),
+                cells_of(&nocomp.find_dependents(probe)),
+                "dependents({}) disagree", probe
+            );
+            prop_assert_eq!(
+                cells_of(&taco.find_precedents(probe)),
+                cells_of(&nocomp.find_precedents(probe)),
+                "precedents({}) disagree", probe
+            );
+        }
+    }
+
+    #[test]
+    fn query_results_are_disjoint_ranges(deps in arb_deps(), probe in arb_probe()) {
+        let taco = FormulaGraph::build(Config::taco_full(), deps.iter().copied());
+        let found = taco.find_dependents(probe);
+        for (i, a) in found.iter().enumerate() {
+            for b in found.iter().skip(i + 1) {
+                prop_assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn decompression_round_trips(deps in arb_deps()) {
+        let taco = FormulaGraph::build(Config::taco_full(), deps.iter().copied());
+        let mut got: Vec<(Range, Cell)> =
+            taco.decompress_all().into_iter().map(|d| (d.prec, d.dep)).collect();
+        let mut want: Vec<(Range, Cell)> = deps.iter().map(|d| (d.prec, d.dep)).collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn clearing_matches_nocomp(
+        deps in arb_deps(),
+        clear in arb_probe(),
+        probe in arb_probe(),
+    ) {
+        let mut taco = FormulaGraph::build(Config::taco_full(), deps.iter().copied());
+        let mut nocomp = FormulaGraph::build(Config::nocomp(), deps.iter().copied());
+        taco.clear_cells(clear);
+        nocomp.clear_cells(clear);
+        prop_assert_eq!(
+            cells_of(&taco.find_dependents(probe)),
+            cells_of(&nocomp.find_dependents(probe))
+        );
+        prop_assert_eq!(
+            cells_of(&taco.find_precedents(probe)),
+            cells_of(&nocomp.find_precedents(probe))
+        );
+        // Decompression after clearing must contain no dependent inside the
+        // cleared region.
+        for d in taco.decompress_all() {
+            prop_assert!(!clear.contains_cell(d.dep), "{} survived clear {}", d.dep, clear);
+        }
+    }
+
+    #[test]
+    fn insert_order_does_not_change_answers(deps in arb_deps(), probe in arb_probe()) {
+        let forward = FormulaGraph::build(Config::taco_full(), deps.iter().copied());
+        let backward = FormulaGraph::build(Config::taco_full(), deps.iter().rev().copied());
+        prop_assert_eq!(
+            cells_of(&forward.find_dependents(probe)),
+            cells_of(&backward.find_dependents(probe))
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_answers(deps in arb_deps(), probe in arb_probe()) {
+        let g = FormulaGraph::build(Config::taco_full(), deps.iter().copied());
+        let restored = FormulaGraph::restore(g.snapshot());
+        prop_assert_eq!(restored.num_edges(), g.num_edges());
+        prop_assert_eq!(
+            cells_of(&restored.find_dependents(probe)),
+            cells_of(&g.find_dependents(probe))
+        );
+        prop_assert_eq!(
+            cells_of(&restored.find_precedents(probe)),
+            cells_of(&g.find_precedents(probe))
+        );
+    }
+
+    #[test]
+    fn compression_never_inflates_edge_count(deps in arb_deps()) {
+        let taco = FormulaGraph::build(Config::taco_full(), deps.iter().copied());
+        let nocomp = FormulaGraph::build(Config::nocomp(), deps.iter().copied());
+        prop_assert!(taco.num_edges() <= nocomp.num_edges());
+        prop_assert_eq!(nocomp.num_edges() as u64, nocomp.dependencies_inserted());
+        // Stats bookkeeping agrees with the arena.
+        let s = taco.stats();
+        prop_assert_eq!(s.edges as u64 + s.reduced.total(), s.dependencies);
+    }
+}

@@ -1,0 +1,494 @@
+use crate::sheet::CellContent;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+use taco_core::{Dependency, DependencyBackend, FormulaGraph};
+use taco_formula::eval::{eval, CellProvider};
+use taco_formula::{autofill, CellError, Formula, FormulaError, Value};
+use taco_grid::{Cell, Range};
+
+/// What an edit reported back before recalculation: the information the
+/// asynchronous model needs to "return control to the user".
+#[derive(Debug, Clone)]
+pub struct EditReceipt {
+    /// Ranges marked dirty (the dependents of the edit).
+    pub dirty: Vec<Range>,
+    /// Time spent identifying the dependents — the paper's
+    /// interactivity-critical metric.
+    pub control_latency: Duration,
+}
+
+/// A headless spreadsheet backed by a pluggable formula graph.
+pub struct Engine<B: DependencyBackend = FormulaGraph> {
+    cells: HashMap<Cell, CellContent>,
+    graph: B,
+    dirty: HashSet<Cell>,
+}
+
+impl Engine<FormulaGraph> {
+    /// An engine using the full TACO compressed graph.
+    pub fn with_taco() -> Self {
+        Engine::new(FormulaGraph::taco())
+    }
+
+    /// An engine using the uncompressed NoComp graph.
+    pub fn with_nocomp() -> Self {
+        Engine::new(FormulaGraph::nocomp())
+    }
+}
+
+impl<B: DependencyBackend> Engine<B> {
+    /// Wraps a backend into an empty sheet.
+    pub fn new(graph: B) -> Self {
+        Engine { cells: HashMap::new(), graph, dirty: HashSet::new() }
+    }
+
+    /// The underlying formula graph.
+    pub fn graph(&self) -> &B {
+        &self.graph
+    }
+
+    /// Mutable access to the formula graph (structural edits).
+    pub(crate) fn graph_mut(&mut self) -> &mut B {
+        &mut self.graph
+    }
+
+    /// Takes the whole cell store (structural edits rebuild it).
+    pub(crate) fn take_cells(&mut self) -> HashMap<Cell, CellContent> {
+        std::mem::take(&mut self.cells)
+    }
+
+    /// Reinserts one cell during a structural rebuild.
+    pub(crate) fn put_cell(&mut self, cell: Cell, content: CellContent) {
+        self.cells.insert(cell, content);
+    }
+
+    /// Marks every formula cell dirty (conservative post-structural-edit
+    /// state; the next recalculation settles all values).
+    pub(crate) fn mark_all_formulas_dirty(&mut self) {
+        self.dirty = self
+            .cells
+            .iter()
+            .filter(|(_, content)| content.formula().is_some())
+            .map(|(&c, _)| c)
+            .collect();
+    }
+
+    /// Current value of a cell (`Empty` when blank).
+    pub fn value(&self, cell: Cell) -> Value {
+        self.cells.get(&cell).map_or(Value::Empty, |c| c.value().clone())
+    }
+
+    /// The formula text of a cell, if it is a formula cell.
+    pub fn formula_of(&self, cell: Cell) -> Option<String> {
+        self.cells.get(&cell).and_then(|c| c.formula()).map(|f| f.src.clone())
+    }
+
+    /// Number of non-empty cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` iff the sheet has no content.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cells currently awaiting recalculation.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    // ---- edits ---------------------------------------------------------
+
+    /// Sets a pure value, returning the dependents receipt.
+    pub fn set_value(&mut self, cell: Cell, v: Value) -> EditReceipt {
+        self.detach_formula(cell);
+        self.cells.insert(cell, CellContent::Pure(v));
+        self.mark_dependents_dirty(Range::cell(cell))
+    }
+
+    /// Sets a formula (with or without leading `=`), parses it, updates the
+    /// graph, and returns the dependents receipt.
+    pub fn set_formula(&mut self, cell: Cell, src: &str) -> Result<EditReceipt, FormulaError> {
+        let formula = Formula::parse(src)?;
+        Ok(self.set_parsed_formula(cell, formula))
+    }
+
+    /// Sets an already-parsed formula.
+    pub fn set_parsed_formula(&mut self, cell: Cell, formula: Formula) -> EditReceipt {
+        self.detach_formula(cell);
+        for rref in &formula.refs {
+            self.graph.add_dependency(&Dependency::from_ref(rref, cell));
+        }
+        self.cells.insert(cell, CellContent::Formula { formula, value: Value::Empty });
+        self.dirty.insert(cell);
+        self.mark_dependents_dirty(Range::cell(cell))
+    }
+
+    /// Clears every cell in `range` (values and formulae).
+    pub fn clear_range(&mut self, range: Range) -> EditReceipt {
+        self.graph.clear_cells(range);
+        self.cells.retain(|c, _| !range.contains_cell(*c));
+        self.dirty.retain(|c| !range.contains_cell(*c));
+        self.mark_dependents_dirty(range)
+    }
+
+    /// Autofills the formula at `src` over `targets` (the tool that
+    /// generates tabular locality). Fails if `src` has no formula.
+    pub fn autofill(&mut self, src: Cell, targets: Range) -> Result<EditReceipt, CellError> {
+        let formula =
+            self.cells.get(&src).and_then(|c| c.formula()).cloned().ok_or(CellError::Value)?;
+        let start = Instant::now();
+        let mut dirty = Vec::new();
+        for filled in autofill::autofill(src, &formula, targets) {
+            let receipt = self.set_parsed_formula(filled.cell, filled.formula);
+            dirty.extend(receipt.dirty);
+        }
+        Ok(EditReceipt { dirty, control_latency: start.elapsed() })
+    }
+
+    /// Removes the graph dependencies of a formula cell before overwriting.
+    fn detach_formula(&mut self, cell: Cell) {
+        if matches!(self.cells.get(&cell), Some(CellContent::Formula { .. })) {
+            self.graph.clear_cells(Range::cell(cell));
+        }
+    }
+
+    /// Queries the graph for dependents of `of` and marks the formula cells
+    /// among them dirty. This is the control-latency critical path.
+    fn mark_dependents_dirty(&mut self, of: Range) -> EditReceipt {
+        let start = Instant::now();
+        let dirty = self.graph.find_dependents(of);
+        let control_latency = start.elapsed();
+        for range in &dirty {
+            // Only existing formula cells need recalculation. Iterate the
+            // smaller of (range cells, stored cells).
+            if range.area() as usize <= self.cells.len() {
+                for c in range.cells() {
+                    if matches!(self.cells.get(&c), Some(CellContent::Formula { .. })) {
+                        self.dirty.insert(c);
+                    }
+                }
+            } else {
+                for (&c, content) in &self.cells {
+                    if range.contains_cell(c) && content.formula().is_some() {
+                        self.dirty.insert(c);
+                    }
+                }
+            }
+        }
+        EditReceipt { dirty, control_latency }
+    }
+
+    // ---- recalculation ----------------------------------------------------
+
+    /// Re-evaluates all dirty formula cells in dependency order; cycles
+    /// evaluate to `#CYCLE!`. Returns the number of cells evaluated.
+    pub fn recalculate(&mut self) -> usize {
+        let order = self.topo_order_of_dirty();
+        let evaluated = order.len();
+        for cell in order {
+            let value = match self.cells.get(&cell) {
+                Some(CellContent::Formula { formula, .. }) => {
+                    let view = SheetView { cells: &self.cells };
+                    eval(&formula.ast, &view)
+                }
+                _ => continue,
+            };
+            if let Some(CellContent::Formula { value: slot, .. }) = self.cells.get_mut(&cell) {
+                *slot = value;
+            }
+        }
+        self.dirty.clear();
+        evaluated
+    }
+
+    /// Topologically orders the dirty formula cells so precedents evaluate
+    /// before dependents (iterative DFS; members of cycles get `#CYCLE!`
+    /// immediately and are excluded from the order).
+    fn topo_order_of_dirty(&mut self) -> Vec<Cell> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        // Deterministic order: identical scripts must produce identical
+        // results regardless of hash seeds (and across backends).
+        let mut dirty: Vec<Cell> = self.dirty.iter().copied().collect();
+        dirty.sort_unstable();
+        let mut color: HashMap<Cell, Color> = dirty.iter().map(|&c| (c, Color::White)).collect();
+        let mut order = Vec::with_capacity(dirty.len());
+        let mut cycle_members: Vec<Cell> = Vec::new();
+
+        for &root in &dirty {
+            if color[&root] != Color::White {
+                continue;
+            }
+            // Iterative DFS: (cell, next-neighbour-index).
+            let mut stack: Vec<(Cell, usize, Vec<Cell>)> = Vec::new();
+            let nbrs = self.dirty_precedents_of(root, &color);
+            color.insert(root, Color::Gray);
+            stack.push((root, 0, nbrs));
+            while let Some((cell, idx, nbrs)) = stack.last_mut() {
+                if *idx < nbrs.len() {
+                    let next = nbrs[*idx];
+                    *idx += 1;
+                    match color.get(&next).copied() {
+                        Some(Color::White) => {
+                            color.insert(next, Color::Gray);
+                            let nn = self.dirty_precedents_of(next, &color);
+                            stack.push((next, 0, nn));
+                        }
+                        Some(Color::Gray) => {
+                            // Back edge: cycle.
+                            cycle_members.push(next);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    let cell = *cell;
+                    color.insert(cell, Color::Black);
+                    order.push(cell);
+                    stack.pop();
+                }
+            }
+        }
+
+        if !cycle_members.is_empty() {
+            let members: HashSet<Cell> = cycle_members.into_iter().collect();
+            for c in &members {
+                if let Some(CellContent::Formula { value, .. }) = self.cells.get_mut(c) {
+                    *value = Value::Error(CellError::Cycle);
+                }
+            }
+        }
+        order
+    }
+
+    /// Dirty formula cells referenced by `cell`'s formula.
+    fn dirty_precedents_of(&self, cell: Cell, _color: &HashMap<Cell, impl Sized>) -> Vec<Cell> {
+        let Some(CellContent::Formula { formula, .. }) = self.cells.get(&cell) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for rref in &formula.refs {
+            let range = rref.range();
+            if range.area() as usize <= self.dirty.len() {
+                for c in range.cells() {
+                    if self.dirty.contains(&c) && c != cell {
+                        out.push(c);
+                    }
+                }
+            } else {
+                let mut hits: Vec<Cell> = self
+                    .dirty
+                    .iter()
+                    .copied()
+                    .filter(|c| range.contains_cell(*c) && *c != cell)
+                    .collect();
+                hits.sort_unstable();
+                out.extend(hits);
+            }
+        }
+        out
+    }
+
+    // ---- passthrough graph queries ----------------------------------------
+
+    /// Dependents of `r` per the formula graph.
+    pub fn find_dependents(&mut self, r: Range) -> Vec<Range> {
+        self.graph.find_dependents(r)
+    }
+
+    /// Precedents of `r` per the formula graph.
+    pub fn find_precedents(&mut self, r: Range) -> Vec<Range> {
+        self.graph.find_precedents(r)
+    }
+}
+
+/// Read-only evaluator view over the cell store.
+struct SheetView<'a> {
+    cells: &'a HashMap<Cell, CellContent>,
+}
+
+impl CellProvider for SheetView<'_> {
+    fn value(&self, cell: Cell) -> Value {
+        self.cells.get(&cell).map_or(Value::Empty, |c| c.value().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Cell {
+        Cell::parse_a1(s).unwrap()
+    }
+
+    fn r(s: &str) -> Range {
+        Range::parse_a1(s).unwrap()
+    }
+
+    fn n(v: f64) -> Value {
+        Value::Number(v)
+    }
+
+    #[test]
+    fn values_and_formulas_evaluate() {
+        let mut e = Engine::with_taco();
+        e.set_value(c("A1"), n(2.0));
+        e.set_value(c("A2"), n(3.0));
+        e.set_formula(c("B1"), "=A1+A2").unwrap();
+        e.recalculate();
+        assert_eq!(e.value(c("B1")), n(5.0));
+    }
+
+    #[test]
+    fn update_propagates_through_chain() {
+        let mut e = Engine::with_taco();
+        e.set_value(c("A1"), n(1.0));
+        for row in 2..=20u32 {
+            e.set_formula(Cell::new(1, row), &format!("=A{}+1", row - 1)).unwrap();
+        }
+        e.recalculate();
+        assert_eq!(e.value(c("A20")), n(20.0));
+
+        // Update the head: all downstream cells must go dirty and refresh.
+        let receipt = e.set_value(c("A1"), n(100.0));
+        assert_eq!(receipt.dirty.iter().map(Range::area).sum::<u64>(), 19);
+        assert_eq!(e.dirty_count(), 19);
+        e.recalculate();
+        assert_eq!(e.value(c("A20")), n(119.0));
+    }
+
+    #[test]
+    fn cumulative_sum_via_autofill() {
+        let mut e = Engine::with_taco();
+        for row in 1..=10u32 {
+            e.set_value(Cell::new(1, row), n(f64::from(row)));
+        }
+        // B1 = SUM($A$1:A1), autofill down: FR expanding windows.
+        e.set_formula(c("B1"), "=SUM($A$1:A1)").unwrap();
+        e.autofill(c("B1"), r("B2:B10")).unwrap();
+        e.recalculate();
+        assert_eq!(e.value(c("B10")), n(55.0));
+        assert_eq!(e.value(c("B5")), n(15.0));
+        // The graph compressed the fill into few edges.
+        assert!(e.graph().num_edges() <= 2, "got {}", e.graph().num_edges());
+    }
+
+    #[test]
+    fn fig2_if_chain_recalculates() {
+        let mut e = Engine::with_taco();
+        // Column A: group ids; column M: amounts; column N: running
+        // group-subtotals, exactly the Fig. 2 shape.
+        let groups = [1.0, 1.0, 1.0, 2.0, 2.0, 3.0];
+        for (i, g) in groups.iter().enumerate() {
+            let row = i as u32 + 2;
+            e.set_value(Cell::new(1, row), n(*g));
+            e.set_value(Cell::new(13, row), n(10.0));
+        }
+        e.set_formula(c("N2"), "=M2").unwrap();
+        e.set_formula(c("N3"), "=IF(A3=A2,N2+M3,M3)").unwrap();
+        e.autofill(c("N3"), r("N4:N7")).unwrap();
+        e.recalculate();
+        // Group 1 rows 2-4 accumulate 10,20,30; group 2 resets.
+        assert_eq!(e.value(c("N4")), n(30.0));
+        assert_eq!(e.value(c("N5")), n(10.0));
+        assert_eq!(e.value(c("N6")), n(20.0));
+        assert_eq!(e.value(c("N7")), n(10.0));
+    }
+
+    #[test]
+    fn clear_range_detaches_dependencies() {
+        let mut e = Engine::with_taco();
+        e.set_value(c("A1"), n(1.0));
+        e.set_formula(c("B1"), "=A1*2").unwrap();
+        e.recalculate();
+        assert_eq!(e.value(c("B1")), n(2.0));
+        e.clear_range(r("B1"));
+        assert_eq!(e.value(c("B1")), Value::Empty);
+        // A1 edits no longer dirty anything.
+        let receipt = e.set_value(c("A1"), n(9.0));
+        assert!(receipt.dirty.is_empty());
+    }
+
+    #[test]
+    fn overwrite_formula_updates_graph() {
+        let mut e = Engine::with_taco();
+        e.set_value(c("A1"), n(1.0));
+        e.set_value(c("A2"), n(2.0));
+        e.set_formula(c("B1"), "=A1").unwrap();
+        e.set_formula(c("B1"), "=A2").unwrap();
+        e.recalculate();
+        assert_eq!(e.value(c("B1")), n(2.0));
+        assert!(e.set_value(c("A1"), n(5.0)).dirty.is_empty());
+        assert_eq!(e.set_value(c("A2"), n(5.0)).dirty.iter().map(Range::area).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn cycles_become_cycle_errors() {
+        let mut e = Engine::with_taco();
+        e.set_formula(c("A1"), "=B1+1").unwrap();
+        e.set_formula(c("B1"), "=A1+1").unwrap();
+        e.recalculate();
+        assert!(
+            e.value(c("A1")) == Value::Error(CellError::Cycle)
+                || e.value(c("B1")) == Value::Error(CellError::Cycle),
+            "at least one cycle member must be flagged"
+        );
+    }
+
+    #[test]
+    fn taco_and_nocomp_engines_agree() {
+        let build = |mut e: Engine<FormulaGraph>| {
+            for row in 1..=30u32 {
+                e.set_value(Cell::new(1, row), n(f64::from(row)));
+            }
+            e.set_formula(c("B1"), "=A1*2").unwrap();
+            e.autofill(c("B1"), r("B2:B30")).unwrap();
+            e.set_formula(c("C1"), "=SUM(B1:B30)").unwrap();
+            e.recalculate();
+            e
+        };
+        let taco = build(Engine::with_taco());
+        let nocomp = build(Engine::with_nocomp());
+        assert_eq!(taco.value(c("C1")), nocomp.value(c("C1")));
+        assert_eq!(taco.value(c("C1")), n(2.0 * (30.0 * 31.0 / 2.0)));
+        assert!(taco.graph().num_edges() < nocomp.graph().num_edges());
+    }
+
+    #[test]
+    fn vlookup_sheet() {
+        let mut e = Engine::with_taco();
+        // Rate table in F1:G3.
+        for (i, (k, v)) in [(1.0, 0.1), (2.0, 0.2), (3.0, 0.3)].iter().enumerate() {
+            e.set_value(Cell::new(6, i as u32 + 1), n(*k));
+            e.set_value(Cell::new(7, i as u32 + 1), n(*v));
+        }
+        for row in 1..=5u32 {
+            e.set_value(Cell::new(1, row), n(f64::from(row % 3 + 1)));
+            e.set_formula(Cell::new(2, row), &format!("=VLOOKUP(A{row},$F$1:$G$3,2,FALSE)"))
+                .unwrap();
+        }
+        e.recalculate();
+        assert_eq!(e.value(c("B1")), n(0.2));
+        assert_eq!(e.value(c("B2")), n(0.3));
+        assert_eq!(e.value(c("B3")), n(0.1));
+        // The five FF lookups compress well: 5 deps over the table + 5 on
+        // column A.
+        assert!(e.graph().num_edges() <= 4, "got {}", e.graph().num_edges());
+    }
+
+    #[test]
+    fn receipt_reports_latency() {
+        let mut e = Engine::with_taco();
+        e.set_value(c("A1"), n(1.0));
+        e.set_formula(c("B1"), "=A1").unwrap();
+        let receipt = e.set_value(c("A1"), n(2.0));
+        assert_eq!(receipt.dirty.len(), 1);
+        // Latency is measured (may be ~0 on fast machines, just present).
+        let _ = receipt.control_latency;
+    }
+}

@@ -1,0 +1,31 @@
+//! A headless spreadsheet engine: the DataSpread-style substrate the paper
+//! integrates TACO into (§VI-A).
+//!
+//! The engine owns a sparse cell store and a pluggable formula graph
+//! backend ([`taco_core::DependencyBackend`]). Edits follow the paper's
+//! interactivity model:
+//!
+//! 1. a cell changes;
+//! 2. the engine queries the formula graph for the **dependents** of the
+//!    change and marks them dirty — this step is on the critical path for
+//!    returning control to the user, and is what TACO accelerates;
+//! 3. dirty formulae are re-evaluated (synchronously here; DataSpread does
+//!    it asynchronously — the graph query cost is the same either way).
+//!
+//! [`Engine::autofill`] reproduces the formula-generation tool whose
+//! `$`-rules create the tabular locality TACO compresses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod async_engine;
+mod engine;
+mod sheet;
+mod structural;
+
+pub use async_engine::AsyncEngine;
+pub use engine::{EditReceipt, Engine};
+pub use sheet::CellContent;
+
+pub use taco_core::DependencyBackend;
+pub use taco_formula::{CellError, Value};

@@ -1,0 +1,53 @@
+use taco_formula::{Formula, Value};
+
+/// What a cell holds: a pure value, or a formula plus its last evaluated
+/// value (the paper's "pure value" vs "formula cell / evaluated value").
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellContent {
+    /// A pure (typed constant) value.
+    Pure(Value),
+    /// A formula and the result of its most recent evaluation.
+    Formula {
+        /// The parsed formula.
+        formula: Formula,
+        /// Last evaluated result (`Value::Empty` before first evaluation).
+        value: Value,
+    },
+}
+
+impl CellContent {
+    /// The current user-visible value of the cell.
+    pub fn value(&self) -> &Value {
+        match self {
+            CellContent::Pure(v) => v,
+            CellContent::Formula { value, .. } => value,
+        }
+    }
+
+    /// The formula, if this is a formula cell.
+    pub fn formula(&self) -> Option<&Formula> {
+        match self {
+            CellContent::Pure(_) => None,
+            CellContent::Formula { formula, .. } => Some(formula),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = CellContent::Pure(Value::Number(4.0));
+        assert_eq!(p.value(), &Value::Number(4.0));
+        assert!(p.formula().is_none());
+
+        let f = CellContent::Formula {
+            formula: Formula::parse("=A1+1").unwrap(),
+            value: Value::Empty,
+        };
+        assert_eq!(f.value(), &Value::Empty);
+        assert_eq!(f.formula().unwrap().src, "A1+1");
+    }
+}

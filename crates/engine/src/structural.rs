@@ -1,0 +1,195 @@
+//! Engine-level structural edits: moving cell contents, rewriting formula
+//! references, and updating the formula graph together.
+
+use crate::engine::Engine;
+use crate::sheet::CellContent;
+use taco_core::{FormulaGraph, StructuralOp};
+use taco_formula::Formula;
+use taco_grid::a1::{CellRef, RangeRef};
+
+/// Rewrites one formula reference under a structural edit, preserving its
+/// `$` flags; `None` becomes `#REF!` in the formula.
+fn map_ref(op: StructuralOp, r: &RangeRef) -> Option<RangeRef> {
+    let nr = op.map_range(r.range())?;
+    Some(RangeRef {
+        head: CellRef { cell: nr.head(), ..r.head },
+        tail: CellRef { cell: nr.tail(), ..r.tail },
+    })
+}
+
+impl Engine<FormulaGraph> {
+    /// Inserts `n` rows before row `at`: contents shift, formula references
+    /// stretch/shift per Excel semantics, the graph updates incrementally.
+    pub fn insert_rows(&mut self, at: u32, n: u32) {
+        self.apply_structural(StructuralOp::InsertRows { at, n });
+    }
+
+    /// Deletes the rows `[at, at + n)`; formulae referencing only deleted
+    /// cells become `#REF!` errors.
+    pub fn delete_rows(&mut self, at: u32, n: u32) {
+        self.apply_structural(StructuralOp::DeleteRows { at, n });
+    }
+
+    /// Inserts `n` columns before column `at`.
+    pub fn insert_cols(&mut self, at: u32, n: u32) {
+        self.apply_structural(StructuralOp::InsertCols { at, n });
+    }
+
+    /// Deletes the columns `[at, at + n)`.
+    pub fn delete_cols(&mut self, at: u32, n: u32) {
+        self.apply_structural(StructuralOp::DeleteCols { at, n });
+    }
+
+    /// Applies any structural edit to sheet + graph, then marks every
+    /// formula cell dirty (cheap and conservative; the next
+    /// [`Engine::recalculate`] settles values).
+    pub fn apply_structural(&mut self, op: StructuralOp) {
+        self.graph_mut().apply_structural(op);
+        let old = self.take_cells();
+        for (cell, content) in old {
+            let Some(nc) = op.map_cell(cell) else { continue };
+            let content = match content {
+                CellContent::Pure(v) => CellContent::Pure(v),
+                CellContent::Formula { formula, value } => {
+                    let ast = formula.ast.map_refs(&mut |r| map_ref(op, r));
+                    let refs = ast.collect_refs();
+                    CellContent::Formula {
+                        formula: Formula { src: ast.to_string(), ast, refs },
+                        value,
+                    }
+                }
+            };
+            self.put_cell(nc, content);
+        }
+        self.mark_all_formulas_dirty();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Engine;
+    use taco_formula::{CellError, Value};
+    use taco_grid::{Cell, Range};
+
+    fn c(s: &str) -> Cell {
+        Cell::parse_a1(s).unwrap()
+    }
+
+    fn r(s: &str) -> Range {
+        Range::parse_a1(s).unwrap()
+    }
+
+    fn n(v: f64) -> Value {
+        Value::Number(v)
+    }
+
+    /// A cumulative-total sheet used by several tests.
+    fn cumulative_sheet(rows: u32) -> Engine {
+        let mut e = Engine::with_taco();
+        for row in 1..=rows {
+            e.set_value(Cell::new(1, row), n(1.0));
+        }
+        e.set_formula(c("B1"), "=SUM($A$1:A1)").unwrap();
+        e.autofill(c("B1"), Range::from_coords(2, 2, 2, rows)).unwrap();
+        e.recalculate();
+        e
+    }
+
+    #[test]
+    fn insert_rows_shifts_values_and_formulas() {
+        let mut e = cumulative_sheet(10);
+        assert_eq!(e.value(c("B10")), n(10.0));
+        e.insert_rows(5, 2);
+        e.recalculate();
+        // Row 10's content moved to row 12; the inserted rows are blank so
+        // the totals are unchanged.
+        assert_eq!(e.value(c("B12")), n(10.0));
+        assert_eq!(e.value(c("B5")), Value::Empty);
+        // The formula at the moved cell references the stretched range.
+        assert_eq!(e.formula_of(c("B12")).unwrap(), "SUM($A$1:A12)");
+        // Filling one inserted row updates downstream totals.
+        e.set_value(c("A5"), n(100.0));
+        e.recalculate();
+        assert_eq!(e.value(c("B12")), n(110.0));
+    }
+
+    #[test]
+    fn delete_rows_shrinks_references() {
+        let mut e = cumulative_sheet(10);
+        e.delete_rows(3, 2); // drop rows 3-4 (two of the 1.0 inputs)
+        e.recalculate();
+        assert_eq!(e.value(c("B8")), n(8.0)); // old B10: 10 − 2 inputs
+        assert_eq!(e.formula_of(c("B8")).unwrap(), "SUM($A$1:A8)");
+    }
+
+    #[test]
+    fn delete_referenced_cells_yields_ref_error() {
+        let mut e = Engine::with_taco();
+        e.set_value(c("A5"), n(7.0));
+        e.set_formula(c("C1"), "=A5*2").unwrap();
+        e.recalculate();
+        assert_eq!(e.value(c("C1")), n(14.0));
+        e.delete_rows(5, 1);
+        e.recalculate();
+        assert_eq!(e.formula_of(c("C1")).unwrap(), "#REF!*2");
+        assert_eq!(e.value(c("C1")), Value::Error(CellError::Ref));
+        // The graph no longer reports any precedents for C1.
+        assert!(e.find_precedents(r("C1")).is_empty());
+    }
+
+    #[test]
+    fn insert_cols_shifts_column_references() {
+        let mut e = Engine::with_taco();
+        e.set_value(c("A1"), n(3.0));
+        e.set_formula(c("B1"), "=A1*10").unwrap();
+        e.recalculate();
+        e.insert_cols(2, 2); // push B to D
+        e.recalculate();
+        assert_eq!(e.value(c("D1")), n(30.0));
+        assert_eq!(e.formula_of(c("D1")).unwrap(), "A1*10");
+        // Changing A1 still propagates through the shifted graph.
+        e.set_value(c("A1"), n(5.0));
+        e.recalculate();
+        assert_eq!(e.value(c("D1")), n(50.0));
+    }
+
+    #[test]
+    fn structural_edit_matches_fresh_build() {
+        // Inserting rows then recalculating must equal a sheet built in the
+        // final layout from scratch.
+        let mut edited = cumulative_sheet(8);
+        edited.insert_rows(4, 3);
+        edited.recalculate();
+
+        let mut fresh = Engine::with_taco();
+        for row in 1..=11u32 {
+            if !(4..7).contains(&row) {
+                fresh.set_value(Cell::new(1, row), n(1.0));
+            }
+        }
+        for row in 1..=11u32 {
+            if !(4..7).contains(&row) {
+                fresh
+                    .set_formula(Cell::new(2, row), &format!("=SUM($A$1:A{row})"))
+                    .unwrap();
+            }
+        }
+        fresh.recalculate();
+        for row in 1..=11u32 {
+            let cell = Cell::new(2, row);
+            assert_eq!(edited.value(cell), fresh.value(cell), "row {row}");
+        }
+    }
+
+    #[test]
+    fn graph_stays_compressed_after_rigid_shift() {
+        let mut e = cumulative_sheet(50);
+        let before = e.graph().num_edges();
+        e.insert_rows(60, 5); // below everything: rigid no-op
+        assert_eq!(e.graph().num_edges(), before);
+        e.insert_rows(1, 5); // above everything: rigid shift
+        assert_eq!(e.graph().num_edges(), before);
+        e.recalculate();
+        assert_eq!(e.value(c("B55")), n(50.0));
+    }
+}

@@ -1,0 +1,99 @@
+//! Engine-level property: arbitrary edit scripts (values, formulae,
+//! autofills, clears, recalcs) produce identical sheets under the TACO and
+//! NoComp backends — compression must be invisible to the user.
+
+use proptest::prelude::*;
+use taco_engine::Engine;
+use taco_formula::Value;
+use taco_grid::{Cell, Range};
+
+const W: u32 = 8;
+const H: u32 = 14;
+
+#[derive(Debug, Clone)]
+enum Op {
+    SetValue(Cell, f64),
+    SetFormula(Cell, String),
+    Autofill(Cell, Range),
+    Clear(Range),
+    Recalc,
+}
+
+fn arb_cell() -> impl Strategy<Value = Cell> {
+    (1u32..=W, 1u32..=H).prop_map(|(c, r)| Cell::new(c, r))
+}
+
+fn arb_formula_at() -> impl Strategy<Value = (Cell, String)> {
+    (arb_cell(), arb_cell(), arb_cell(), 0u8..5).prop_map(|(at, a, b, kind)| {
+        let (a, b) = (a.to_a1(), b.to_a1());
+        let src = match kind {
+            0 => format!("={a}+1"),
+            1 => format!("=SUM({}:{})", a.clone().min(b.clone()), a.max(b)),
+            2 => format!("=IF({a}>{b},{a},{b})"),
+            3 => format!("={a}*2-{b}"),
+            _ => format!("=MAX({a},{b},0)"),
+        };
+        (at, src)
+    })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (arb_cell(), -50i32..50).prop_map(|(c, v)| Op::SetValue(c, f64::from(v))),
+        3 => arb_formula_at().prop_map(|(c, s)| Op::SetFormula(c, s)),
+        1 => (arb_cell(), arb_cell(), arb_cell()).prop_map(|(src, a, b)| {
+            Op::Autofill(src, Range::new(a, b))
+        }),
+        1 => (arb_cell(), arb_cell()).prop_map(|(a, b)| Op::Clear(Range::new(a, b))),
+        1 => Just(Op::Recalc),
+    ]
+}
+
+fn apply(e: &mut Engine, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::SetValue(c, v) => {
+                e.set_value(*c, Value::Number(*v));
+            }
+            Op::SetFormula(c, s) => {
+                e.set_formula(*c, s).expect("generated formulae parse");
+            }
+            Op::Autofill(src, targets) => {
+                // Only meaningful if src currently holds a formula.
+                let _ = e.autofill(*src, *targets);
+            }
+            Op::Clear(r) => {
+                e.clear_range(*r);
+            }
+            Op::Recalc => {
+                e.recalculate();
+            }
+        }
+    }
+    e.recalculate();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn taco_and_nocomp_engines_are_indistinguishable(ops in prop::collection::vec(arb_op(), 1..25)) {
+        let mut taco = Engine::with_taco();
+        let mut nocomp = Engine::with_nocomp();
+        apply(&mut taco, &ops);
+        apply(&mut nocomp, &ops);
+        for col in 1..=W {
+            for row in 1..=H {
+                let cell = Cell::new(col, row);
+                prop_assert_eq!(
+                    taco.value(cell),
+                    nocomp.value(cell),
+                    "divergence at {} after {:?}",
+                    cell,
+                    ops
+                );
+            }
+        }
+        prop_assert!(taco.graph().num_edges() <= nocomp.graph().num_edges());
+    }
+}

@@ -1,0 +1,265 @@
+//! Expression tree for parsed formulae.
+
+use std::fmt;
+use taco_grid::a1::RangeRef;
+
+/// Binary operators, in Excel semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `^`
+    Pow,
+    /// `&` string concatenation
+    Concat,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl BinOp {
+    /// Operator symbol as written in a formula.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "^",
+            BinOp::Concat => "&",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        }
+    }
+
+    /// Binding strength, higher binds tighter (used when rendering).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 1,
+            BinOp::Concat => 2,
+            BinOp::Add | BinOp::Sub => 3,
+            BinOp::Mul | BinOp::Div => 4,
+            BinOp::Pow => 5,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Unary minus.
+    Neg,
+    /// Unary plus (no-op, kept for round-tripping).
+    Plus,
+}
+
+/// A parsed formula expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Text(String),
+    /// Boolean literal (`TRUE`/`FALSE`).
+    Bool(bool),
+    /// A cell or range reference.
+    Ref(RangeRef),
+    /// A broken reference (produced by autofill falling off the grid —
+    /// Excel's `#REF!`).
+    RefError,
+    /// Function call.
+    Func {
+        /// Upper-cased function name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Postfix percent (`50%` = 0.5).
+    Percent(Box<Expr>),
+}
+
+impl Expr {
+    /// Collects every reference in the expression, in source order.
+    pub fn collect_refs(&self) -> Vec<RangeRef> {
+        let mut out = Vec::new();
+        self.visit_refs(&mut |r| out.push(*r));
+        out
+    }
+
+    /// Visits every reference in source order.
+    pub fn visit_refs<F: FnMut(&RangeRef)>(&self, f: &mut F) {
+        match self {
+            Expr::Ref(r) => f(r),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.visit_refs(f);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit_refs(f);
+                rhs.visit_refs(f);
+            }
+            Expr::Unary { expr, .. } | Expr::Percent(expr) => expr.visit_refs(f),
+            Expr::Number(_) | Expr::Text(_) | Expr::Bool(_) | Expr::RefError => {}
+        }
+    }
+
+    /// Rewrites every reference with `f`; `None` marks the reference broken
+    /// (replaced by `#REF!`). Used by autofill.
+    pub fn map_refs<F: FnMut(&RangeRef) -> Option<RangeRef>>(&self, f: &mut F) -> Expr {
+        match self {
+            Expr::Ref(r) => match f(r) {
+                Some(nr) => Expr::Ref(nr),
+                None => Expr::RefError,
+            },
+            Expr::Func { name, args } => Expr::Func {
+                name: name.clone(),
+                args: args.iter().map(|a| a.map_refs(f)).collect(),
+            },
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(lhs.map_refs(f)),
+                rhs: Box::new(rhs.map_refs(f)),
+            },
+            Expr::Unary { op, expr } => {
+                Expr::Unary { op: *op, expr: Box::new(expr.map_refs(f)) }
+            }
+            Expr::Percent(expr) => Expr::Percent(Box::new(expr.map_refs(f))),
+            other => other.clone(),
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        match self {
+            Expr::Number(n) => write!(f, "{n}"),
+            Expr::Text(s) => write!(f, "\"{}\"", s.replace('"', "\"\"")),
+            Expr::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Expr::Ref(r) => write!(f, "{r}"),
+            Expr::RefError => write!(f, "#REF!"),
+            Expr::Func { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let p = op.precedence();
+                let need = p < parent;
+                if need {
+                    write!(f, "(")?;
+                }
+                lhs.fmt_prec(f, p)?;
+                write!(f, "{}", op.symbol())?;
+                // Left-associative: right child parenthesizes at p+1.
+                rhs.fmt_prec(f, p + 1)?;
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Unary { op, expr } => {
+                // Unary binds at level 6; postfix `%` binds tighter (7), so
+                // a unary operand of `%` needs parentheses: `(-1)%`.
+                let need = parent > 6;
+                if need {
+                    write!(f, "(")?;
+                }
+                write!(f, "{}", if *op == UnOp::Neg { "-" } else { "+" })?;
+                expr.fmt_prec(f, 6)?;
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Percent(expr) => {
+                expr.fmt_prec(f, 7)?;
+                write!(f, "%")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        for src in [
+            "IF(A3=A2,N2+M3,M3)",
+            "SUM($B$1:B4)*A1",
+            "1+2*3",
+            "(1+2)*3",
+            "-A1+B2%",
+            "A1&\"x\"&B1",
+            "2^3^2",
+            "VLOOKUP(A1,$D$1:$E$9,2,FALSE)",
+        ] {
+            let ast = parse(src).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse(&printed).unwrap();
+            assert_eq!(ast, reparsed, "src={src} printed={printed}");
+        }
+    }
+
+    #[test]
+    fn precedence_printing_minimal_parens() {
+        let ast = parse("(1+2)*3").unwrap();
+        assert_eq!(ast.to_string(), "(1+2)*3");
+        let ast = parse("1+2*3").unwrap();
+        assert_eq!(ast.to_string(), "1+2*3");
+    }
+
+    #[test]
+    fn map_refs_to_ref_error() {
+        let ast = parse("A1+B2").unwrap();
+        let broken = ast.map_refs(&mut |_| None);
+        assert_eq!(broken.to_string(), "#REF!+#REF!");
+        assert!(broken.collect_refs().is_empty());
+    }
+}

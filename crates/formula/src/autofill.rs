@@ -1,0 +1,141 @@
+//! Autofill: the formula-generation mechanism behind tabular locality.
+//!
+//! Autofill "generates formulae by applying the pattern of one source
+//! formula cell to adjacent cells": the function structure is copied and
+//! each reference is shifted by the fill delta, except coordinates pinned
+//! with `$`, which stay fixed. §III-A of the paper spells out the
+//! correspondence this crate reproduces:
+//!
+//! - no `$` anywhere            → generated ranges follow **RR**,
+//! - relative head, `$` tail    → **RF**,
+//! - `$` head, relative tail    → **FR**,
+//! - `$` on both corners        → **FF**.
+
+use crate::{Expr, Formula};
+use taco_grid::{Cell, Range};
+
+/// The result of autofilling one target cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilledCell {
+    /// The target cell that received a generated formula.
+    pub cell: Cell,
+    /// The generated formula.
+    pub formula: Formula,
+}
+
+/// Applies the source formula at `src` to every cell of `targets`
+/// (excluding `src` itself if it lies inside), exactly like dragging the
+/// fill handle. References that fall off the grid become `#REF!`.
+pub fn autofill(src: Cell, formula: &Formula, targets: Range) -> Vec<FilledCell> {
+    let mut out = Vec::with_capacity(targets.area() as usize);
+    for cell in targets.cells() {
+        if cell == src {
+            continue;
+        }
+        let dc = i64::from(cell.col) - i64::from(src.col);
+        let dr = i64::from(cell.row) - i64::from(src.row);
+        let ast = formula.ast.map_refs(&mut |r| r.autofill(dc, dr));
+        out.push(FilledCell { cell, formula: from_ast(ast) });
+    }
+    out
+}
+
+fn from_ast(ast: Expr) -> Formula {
+    let refs = ast.collect_refs();
+    Formula { src: ast.to_string(), ast, refs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_grid::Range;
+
+    fn fill(src: &str, formula: &str, targets: &str) -> Vec<(String, String)> {
+        let f = Formula::parse(formula).unwrap();
+        autofill(Cell::parse_a1(src).unwrap(), &f, Range::parse_a1(targets).unwrap())
+            .into_iter()
+            .map(|fc| (fc.cell.to_a1(), fc.formula.src))
+            .collect()
+    }
+
+    #[test]
+    fn rr_sliding_window() {
+        // Fig. 4a: SUM(A1:B3) at C1 filled down → sliding windows.
+        let got = fill("C1", "=SUM(A1:B3)", "C2:C4");
+        assert_eq!(
+            got,
+            vec![
+                ("C2".to_string(), "SUM(A2:B4)".to_string()),
+                ("C3".to_string(), "SUM(A3:B5)".to_string()),
+                ("C4".to_string(), "SUM(A4:B6)".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rf_shrinking_window() {
+        // Fig. 4b: relative head, fixed tail.
+        let got = fill("C1", "=SUM(A1:$B$4)", "C2:C3");
+        assert_eq!(got[0].1, "SUM(A2:$B$4)");
+        assert_eq!(got[1].1, "SUM(A3:$B$4)");
+    }
+
+    #[test]
+    fn fr_expanding_window() {
+        // Fig. 4c: fixed head, relative tail (cumulative sums).
+        let got = fill("C1", "=SUM($A$1:B1)", "C2:C3");
+        assert_eq!(got[0].1, "SUM($A$1:B2)");
+        assert_eq!(got[1].1, "SUM($A$1:B3)");
+    }
+
+    #[test]
+    fn ff_fixed_window() {
+        // Fig. 4d: both corners fixed — every fill references A1:B3.
+        let got = fill("C1", "=SUM($A$1:$B$3)", "C2:C4");
+        for (_, f) in &got {
+            assert_eq!(f, "SUM($A$1:$B$3)");
+        }
+    }
+
+    #[test]
+    fn source_cell_is_skipped_when_inside_targets() {
+        let got = fill("C2", "=A2", "C1:C3");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], ("C1".to_string(), "A1".to_string()));
+        assert_eq!(got[1], ("C3".to_string(), "A3".to_string()));
+    }
+
+    #[test]
+    fn falling_off_grid_becomes_ref_error() {
+        let f = Formula::parse("=A1").unwrap();
+        let got = autofill(
+            Cell::parse_a1("B2").unwrap(),
+            &f,
+            Range::parse_a1("B1").unwrap(),
+        );
+        assert_eq!(got[0].formula.src, "#REF!");
+        assert!(got[0].formula.refs.is_empty());
+    }
+
+    #[test]
+    fn horizontal_fill_shifts_columns() {
+        let got = fill("A2", "=A1*2", "B2:C2");
+        assert_eq!(got[0].1, "B1*2");
+        assert_eq!(got[1].1, "C1*2");
+    }
+
+    #[test]
+    fn mixed_anchors() {
+        // Column pinned, row free.
+        let got = fill("B1", "=$A1", "C2");
+        assert_eq!(got[0].1, "$A2");
+    }
+
+    #[test]
+    fn fig2_running_example_fills_correctly() {
+        // N3 = IF(A3=A2,N2+M3,M3); filling down one row must produce the N4
+        // formula from Fig. 2.
+        let got = fill("N3", "=IF(A3=A2,N2+M3,M3)", "N4");
+        assert_eq!(got[0].1, "IF(A4=A3,N3+M4,M4)");
+    }
+}

@@ -1,0 +1,795 @@
+//! Formula interpreter.
+//!
+//! Evaluation is a substrate concern (the paper's contribution is the
+//! formula *graph*, not the calculator), but the engine needs real
+//! recalculation to demonstrate the end-to-end "update → find dependents →
+//! re-evaluate" loop, and the workload generator needs evaluable formulae.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::value::{CellError, Value};
+use taco_grid::{Cell, Range};
+
+/// Provides cell values to the evaluator. Implemented by the sheet model
+/// in `taco-engine` and by test fixtures here.
+pub trait CellProvider {
+    /// Current value of `cell` (`Value::Empty` when blank).
+    fn value(&self, cell: Cell) -> Value;
+}
+
+impl<F: Fn(Cell) -> Value> CellProvider for F {
+    fn value(&self, cell: Cell) -> Value {
+        self(cell)
+    }
+}
+
+/// Maximum number of cells a single range argument may cover during
+/// evaluation; larger ranges produce `#VALUE!` instead of hanging.
+pub const MAX_RANGE_CELLS: u64 = 4_000_000;
+
+/// Evaluates an expression against a provider.
+pub fn eval<P: CellProvider>(expr: &Expr, cells: &P) -> Value {
+    match eval_operand(expr, cells) {
+        Operand::Scalar(v) => v,
+        // A bare range in scalar position (e.g. `=A1:A3`) is a #VALUE!
+        // error in classic evaluation.
+        Operand::Range(r) => {
+            if r.is_cell() {
+                cells.value(r.head())
+            } else {
+                Value::Error(CellError::Value)
+            }
+        }
+    }
+}
+
+/// An intermediate operand: functions like SUM accept ranges, scalar
+/// operators do not.
+enum Operand {
+    Scalar(Value),
+    Range(Range),
+}
+
+impl Operand {
+    fn scalar<P: CellProvider>(self, cells: &P) -> Value {
+        match self {
+            Operand::Scalar(v) => v,
+            Operand::Range(r) => {
+                if r.is_cell() {
+                    cells.value(r.head())
+                } else {
+                    Value::Error(CellError::Value)
+                }
+            }
+        }
+    }
+}
+
+fn eval_operand<P: CellProvider>(expr: &Expr, cells: &P) -> Operand {
+    match expr {
+        Expr::Number(n) => Operand::Scalar(Value::Number(*n)),
+        Expr::Text(s) => Operand::Scalar(Value::Text(s.clone())),
+        Expr::Bool(b) => Operand::Scalar(Value::Bool(*b)),
+        Expr::RefError => Operand::Scalar(Value::Error(CellError::Ref)),
+        Expr::Ref(r) => Operand::Range(r.range()),
+        Expr::Percent(e) => {
+            let v = eval_operand(e, cells).scalar(cells);
+            Operand::Scalar(match v.as_number() {
+                Ok(n) => Value::Number(n / 100.0),
+                Err(e) => Value::Error(e),
+            })
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_operand(expr, cells).scalar(cells);
+            Operand::Scalar(match (op, v.as_number()) {
+                (UnOp::Neg, Ok(n)) => Value::Number(-n),
+                (UnOp::Plus, Ok(n)) => Value::Number(n),
+                (_, Err(e)) => Value::Error(e),
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_operand(lhs, cells).scalar(cells);
+            let r = eval_operand(rhs, cells).scalar(cells);
+            Operand::Scalar(eval_binary(*op, l, r))
+        }
+        Expr::Func { name, args } => Operand::Scalar(eval_func(name, args, cells)),
+    }
+}
+
+fn eval_binary(op: BinOp, l: Value, r: Value) -> Value {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div | Pow => {
+            let (a, b) = match (l.as_number(), r.as_number()) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => return Value::Error(e),
+            };
+            match op {
+                Add => Value::Number(a + b),
+                Sub => Value::Number(a - b),
+                Mul => Value::Number(a * b),
+                Div => {
+                    if b == 0.0 {
+                        Value::Error(CellError::Div0)
+                    } else {
+                        Value::Number(a / b)
+                    }
+                }
+                Pow => Value::Number(a.powf(b)),
+                _ => unreachable!(),
+            }
+        }
+        Concat => match (l.as_text(), r.as_text()) {
+            (Ok(a), Ok(b)) => Value::Text(a + &b),
+            (Err(e), _) | (_, Err(e)) => Value::Error(e),
+        },
+        Eq | Ne | Lt | Le | Gt | Ge => compare(op, &l, &r),
+    }
+}
+
+/// Excel-style comparison: numbers compare numerically, text
+/// case-insensitively; mixed number/text compares with text high.
+fn compare(op: BinOp, l: &Value, r: &Value) -> Value {
+    use std::cmp::Ordering;
+    if let Value::Error(e) = l {
+        return Value::Error(*e);
+    }
+    if let Value::Error(e) = r {
+        return Value::Error(*e);
+    }
+    let ord = match (l, r) {
+        (Value::Text(a), Value::Text(b)) => {
+            a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase())
+        }
+        (Value::Text(_), _) => Ordering::Greater,
+        (_, Value::Text(_)) => Ordering::Less,
+        _ => {
+            let a = l.as_number().unwrap_or(0.0);
+            let b = r.as_number().unwrap_or(0.0);
+            a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+        }
+    };
+    let b = match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::Ne => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::Le => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::Ge => ord != Ordering::Less,
+        _ => unreachable!("compare called with non-comparison op"),
+    };
+    Value::Bool(b)
+}
+
+/// Iterates the scalar values of an argument: a scalar yields itself, a
+/// range yields every cell value.
+fn for_each_value<P: CellProvider>(
+    arg: &Expr,
+    cells: &P,
+    f: &mut impl FnMut(Value) -> Result<(), CellError>,
+) -> Result<(), CellError> {
+    match eval_operand(arg, cells) {
+        Operand::Scalar(v) => f(v),
+        Operand::Range(r) => {
+            if r.area() > MAX_RANGE_CELLS {
+                return Err(CellError::Value);
+            }
+            for c in r.cells() {
+                f(cells.value(c))?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn eval_func<P: CellProvider>(name: &str, args: &[Expr], cells: &P) -> Value {
+    let result = match name {
+        "SUM" => fold_numbers(args, cells, 0.0, |acc, n| acc + n).map(Value::Number),
+        "PRODUCT" => fold_numbers(args, cells, 1.0, |acc, n| acc * n).map(Value::Number),
+        "COUNT" => {
+            // Counts numeric values only, like Excel.
+            let mut count = 0u64;
+            visit_all(args, cells, &mut |v| {
+                if matches!(v, Value::Number(_)) {
+                    count += 1;
+                }
+                Ok(())
+            })
+            .map(|()| Value::Number(count as f64))
+        }
+        "COUNTA" => {
+            let mut count = 0u64;
+            visit_all(args, cells, &mut |v| {
+                if !v.is_empty() {
+                    count += 1;
+                }
+                Ok(())
+            })
+            .map(|()| Value::Number(count as f64))
+        }
+        "AVERAGE" | "AVG" => {
+            let mut sum = 0.0;
+            let mut count = 0u64;
+            visit_numbers(args, cells, &mut |n| {
+                sum += n;
+                count += 1;
+            })
+            .and_then(|()| {
+                if count == 0 {
+                    Err(CellError::Div0)
+                } else {
+                    Ok(Value::Number(sum / count as f64))
+                }
+            })
+        }
+        "MIN" | "MAX" => {
+            let mut best: Option<f64> = None;
+            let take_max = name == "MAX";
+            visit_numbers(args, cells, &mut |n| {
+                best = Some(match best {
+                    None => n,
+                    Some(b) => {
+                        if take_max {
+                            b.max(n)
+                        } else {
+                            b.min(n)
+                        }
+                    }
+                });
+            })
+            .map(|()| Value::Number(best.unwrap_or(0.0)))
+        }
+        "IF" => {
+            if args.is_empty() || args.len() > 3 {
+                Err(CellError::Value)
+            } else {
+                match eval(&args[0], cells).as_bool() {
+                    Err(e) => Err(e),
+                    Ok(true) => Ok(args.get(1).map_or(Value::Bool(true), |a| eval(a, cells))),
+                    Ok(false) => Ok(args.get(2).map_or(Value::Bool(false), |a| eval(a, cells))),
+                }
+            }
+        }
+        "AND" | "OR" => {
+            let is_and = name == "AND";
+            let mut acc = is_and;
+            visit_all(args, cells, &mut |v| {
+                if v.is_empty() {
+                    return Ok(());
+                }
+                let b = v.as_bool()?;
+                acc = if is_and { acc && b } else { acc || b };
+                Ok(())
+            })
+            .map(|()| Value::Bool(acc))
+        }
+        "NOT" => single_arg(args, cells).and_then(|v| v.as_bool()).map(|b| Value::Bool(!b)),
+        "ABS" => num1(args, cells, f64::abs),
+        "SQRT" => num1(args, cells, f64::sqrt),
+        "INT" => num1(args, cells, f64::floor),
+        "ROUND" => {
+            if args.len() != 2 {
+                Err(CellError::Value)
+            } else {
+                let n = eval(&args[0], cells).as_number();
+                let d = eval(&args[1], cells).as_number();
+                match (n, d) {
+                    (Ok(n), Ok(d)) => {
+                        let m = 10f64.powi(d as i32);
+                        Ok(Value::Number((n * m).round() / m))
+                    }
+                    (Err(e), _) | (_, Err(e)) => Err(e),
+                }
+            }
+        }
+        "LEN" => single_arg(args, cells).and_then(|v| v.as_text()).map(|s| {
+            Value::Number(s.chars().count() as f64)
+        }),
+        "CONCATENATE" => {
+            let mut s = String::new();
+            let mut err = None;
+            for a in args {
+                match eval(a, cells).as_text() {
+                    Ok(t) => s.push_str(&t),
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            match err {
+                Some(e) => Err(e),
+                None => Ok(Value::Text(s)),
+            }
+        }
+        "VLOOKUP" => vlookup(args, cells),
+        "SUMIF" | "COUNTIF" | "AVERAGEIF" => cond_aggregate(name, args, cells),
+        "INDEX" => index(args, cells),
+        "MATCH" => match_fn(args, cells),
+        "NOW" | "TODAY" => {
+            // Deterministic stand-in: real time would break reproducibility.
+            Ok(Value::Number(0.0))
+        }
+        _ => Err(CellError::Name),
+    };
+    result.unwrap_or_else(Value::Error)
+}
+
+fn single_arg<P: CellProvider>(args: &[Expr], cells: &P) -> Result<Value, CellError> {
+    if args.len() != 1 {
+        return Err(CellError::Value);
+    }
+    let v = eval(&args[0], cells);
+    if let Value::Error(e) = v {
+        return Err(e);
+    }
+    Ok(v)
+}
+
+fn num1<P: CellProvider>(
+    args: &[Expr],
+    cells: &P,
+    f: impl Fn(f64) -> f64,
+) -> Result<Value, CellError> {
+    single_arg(args, cells).and_then(|v| v.as_number()).map(|n| Value::Number(f(n)))
+}
+
+fn visit_all<P: CellProvider>(
+    args: &[Expr],
+    cells: &P,
+    f: &mut impl FnMut(Value) -> Result<(), CellError>,
+) -> Result<(), CellError> {
+    for a in args {
+        for_each_value(a, cells, f)?;
+    }
+    Ok(())
+}
+
+/// Visits numeric values; non-numeric and empty cells inside ranges are
+/// skipped (Excel SUM semantics), but error values propagate.
+fn visit_numbers<P: CellProvider>(
+    args: &[Expr],
+    cells: &P,
+    f: &mut impl FnMut(f64),
+) -> Result<(), CellError> {
+    visit_all(args, cells, &mut |v| match v {
+        Value::Number(n) => {
+            f(n);
+            Ok(())
+        }
+        Value::Error(e) => Err(e),
+        _ => Ok(()),
+    })
+}
+
+fn fold_numbers<P: CellProvider>(
+    args: &[Expr],
+    cells: &P,
+    init: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<f64, CellError> {
+    let mut acc = init;
+    visit_numbers(args, cells, &mut |n| acc = f(acc, n))?;
+    Ok(acc)
+}
+
+/// SUMIF/COUNTIF/AVERAGEIF: criteria over one range, optionally summing a
+/// second, same-shaped range.
+fn cond_aggregate<P: CellProvider>(
+    name: &str,
+    args: &[Expr],
+    cells: &P,
+) -> Result<Value, CellError> {
+    let want_sum_range = name != "COUNTIF";
+    if args.len() < 2 || args.len() > if want_sum_range { 3 } else { 2 } {
+        return Err(CellError::Value);
+    }
+    let Operand::Range(crit_range) = eval_operand(&args[0], cells) else {
+        return Err(CellError::Value);
+    };
+    let criterion = eval(&args[1], cells);
+    if let Value::Error(e) = criterion {
+        return Err(e);
+    }
+    let sum_range = match args.get(2) {
+        None => crit_range,
+        Some(a) => match eval_operand(a, cells) {
+            Operand::Range(r) => r,
+            Operand::Scalar(_) => return Err(CellError::Value),
+        },
+    };
+    if crit_range.area() > MAX_RANGE_CELLS {
+        return Err(CellError::Value);
+    }
+    let (dc, dr) = (
+        i64::from(sum_range.head().col) - i64::from(crit_range.head().col),
+        i64::from(sum_range.head().row) - i64::from(crit_range.head().row),
+    );
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for c in crit_range.cells() {
+        if !criterion_matches(&cells.value(c), &criterion) {
+            continue;
+        }
+        count += 1;
+        if want_sum_range {
+            let sc = Cell::try_new(i64::from(c.col) + dc, i64::from(c.row) + dr)
+                .map_err(|_| CellError::Ref)?;
+            if let Ok(n) = cells.value(sc).as_number() {
+                sum += n;
+            }
+        }
+    }
+    Ok(match name {
+        "COUNTIF" => Value::Number(count as f64),
+        "SUMIF" => Value::Number(sum),
+        _ => {
+            if count == 0 {
+                return Err(CellError::Div0);
+            }
+            Value::Number(sum / count as f64)
+        }
+    })
+}
+
+/// Excel-style criterion matching: a plain value means equality; a text
+/// criterion may start with a comparison operator (`">=10"`).
+fn criterion_matches(v: &Value, criterion: &Value) -> bool {
+    if let Value::Text(s) = criterion {
+        for (op, f) in [
+            (">=", BinOp::Ge),
+            ("<=", BinOp::Le),
+            ("<>", BinOp::Ne),
+            (">", BinOp::Gt),
+            ("<", BinOp::Lt),
+            ("=", BinOp::Eq),
+        ] {
+            if let Some(rest) = s.strip_prefix(op) {
+                let rhs = rest
+                    .trim()
+                    .parse::<f64>()
+                    .map(Value::Number)
+                    .unwrap_or_else(|_| Value::Text(rest.trim().to_string()));
+                return compare(f, v, &rhs) == Value::Bool(true);
+            }
+        }
+    }
+    values_equal(v, criterion)
+}
+
+/// INDEX(range, row, [col]): the value at a 1-based position in a range.
+fn index<P: CellProvider>(args: &[Expr], cells: &P) -> Result<Value, CellError> {
+    if args.len() < 2 || args.len() > 3 {
+        return Err(CellError::Value);
+    }
+    let Operand::Range(table) = eval_operand(&args[0], cells) else {
+        return Err(CellError::Value);
+    };
+    let row = eval(&args[1], cells).as_number()? as i64;
+    let col = match args.get(2) {
+        None => 1,
+        Some(a) => eval(a, cells).as_number()? as i64,
+    };
+    if row < 1 || col < 1 || row > i64::from(table.height()) || col > i64::from(table.width()) {
+        return Err(CellError::Ref);
+    }
+    Ok(cells.value(Cell::new(
+        table.head().col + (col - 1) as u32,
+        table.head().row + (row - 1) as u32,
+    )))
+}
+
+/// MATCH(value, range, [0|1]): 1-based position of a value in a one-
+/// dimensional range (0 = exact, 1 = largest ≤ value, the default).
+fn match_fn<P: CellProvider>(args: &[Expr], cells: &P) -> Result<Value, CellError> {
+    if args.len() < 2 || args.len() > 3 {
+        return Err(CellError::Value);
+    }
+    let needle = eval(&args[0], cells);
+    if let Value::Error(e) = needle {
+        return Err(e);
+    }
+    let Operand::Range(range) = eval_operand(&args[1], cells) else {
+        return Err(CellError::Value);
+    };
+    if !range.is_line() || range.area() > MAX_RANGE_CELLS {
+        return Err(CellError::Value);
+    }
+    let exact = match args.get(2) {
+        None => false,
+        Some(a) => eval(a, cells).as_number()? == 0.0,
+    };
+    let mut best: Option<u64> = None;
+    for (i, c) in range.cells().enumerate() {
+        let v = cells.value(c);
+        if exact {
+            if values_equal(&v, &needle) {
+                return Ok(Value::Number(i as f64 + 1.0));
+            }
+        } else if let (Ok(a), Ok(b)) = (v.as_number(), needle.as_number()) {
+            if a <= b {
+                best = Some(i as u64 + 1);
+            }
+        }
+    }
+    best.map(|i| Value::Number(i as f64)).ok_or(CellError::Na)
+}
+
+fn vlookup<P: CellProvider>(args: &[Expr], cells: &P) -> Result<Value, CellError> {
+    if args.len() < 3 || args.len() > 4 {
+        return Err(CellError::Value);
+    }
+    let needle = eval(&args[0], cells);
+    if let Value::Error(e) = needle {
+        return Err(e);
+    }
+    let Operand::Range(table) = eval_operand(&args[1], cells) else {
+        return Err(CellError::Value);
+    };
+    let col_index = eval(&args[2], cells).as_number()? as i64;
+    if col_index < 1 || col_index > i64::from(table.width()) {
+        return Err(CellError::Ref);
+    }
+    let exact = match args.get(3) {
+        None => false, // Excel default is approximate match
+        Some(a) => !eval(a, cells).as_bool()?,
+    };
+    let lookup_col = table.head().col;
+    let result_col = table.head().col + (col_index - 1) as u32;
+    let mut best_row: Option<u32> = None;
+    for row in table.head().row..=table.tail().row {
+        let v = cells.value(Cell::new(lookup_col, row));
+        if exact {
+            if values_equal(&v, &needle) {
+                best_row = Some(row);
+                break;
+            }
+        } else {
+            // Approximate: largest value <= needle (assumes sorted column).
+            match (v.as_number(), needle.as_number()) {
+                (Ok(a), Ok(b)) if a <= b => best_row = Some(row),
+                _ => {}
+            }
+        }
+    }
+    match best_row {
+        Some(row) => Ok(cells.value(Cell::new(result_col, row))),
+        None => Err(CellError::Na),
+    }
+}
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Text(x), Value::Text(y)) => x.eq_ignore_ascii_case(y),
+        _ => match (a.as_number(), b.as_number()) {
+            (Ok(x), Ok(y)) => x == y,
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use std::collections::HashMap;
+
+    struct Fixture(HashMap<Cell, Value>);
+
+    impl CellProvider for Fixture {
+        fn value(&self, cell: Cell) -> Value {
+            self.0.get(&cell).cloned().unwrap_or(Value::Empty)
+        }
+    }
+
+    fn fixture(entries: &[(&str, Value)]) -> Fixture {
+        Fixture(
+            entries
+                .iter()
+                .map(|(a1, v)| (Cell::parse_a1(a1).unwrap(), v.clone()))
+                .collect(),
+        )
+    }
+
+    fn run(src: &str, fix: &Fixture) -> Value {
+        eval(&parse(src).unwrap(), fix)
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let fx = fixture(&[]);
+        assert_eq!(run("1+2*3", &fx), Value::Number(7.0));
+        assert_eq!(run("(1+2)*3", &fx), Value::Number(9.0));
+        assert_eq!(run("2^3", &fx), Value::Number(8.0));
+        assert_eq!(run("10/4", &fx), Value::Number(2.5));
+        assert_eq!(run("1/0", &fx), Value::Error(CellError::Div0));
+        assert_eq!(run("50%", &fx), Value::Number(0.5));
+        assert_eq!(run("-5", &fx), Value::Number(-5.0));
+    }
+
+    #[test]
+    fn references_and_sum() {
+        let fx = fixture(&[
+            ("A1", Value::Number(1.0)),
+            ("A2", Value::Number(2.0)),
+            ("A3", Value::Number(3.0)),
+            ("B1", Value::Text("x".into())),
+        ]);
+        assert_eq!(run("A1+A2", &fx), Value::Number(3.0));
+        assert_eq!(run("SUM(A1:A3)", &fx), Value::Number(6.0));
+        // Text inside SUM range is skipped.
+        assert_eq!(run("SUM(A1:B3)", &fx), Value::Number(6.0));
+        // Bare multi-cell range in scalar context errors.
+        assert_eq!(run("A1:A3", &fx), Value::Error(CellError::Value));
+        // Empty cell numeric coercion.
+        assert_eq!(run("A9+1", &fx), Value::Number(1.0));
+    }
+
+    #[test]
+    fn aggregates() {
+        let fx = fixture(&[
+            ("A1", Value::Number(4.0)),
+            ("A2", Value::Number(-1.0)),
+            ("A3", Value::Number(9.0)),
+        ]);
+        assert_eq!(run("MIN(A1:A3)", &fx), Value::Number(-1.0));
+        assert_eq!(run("MAX(A1:A3)", &fx), Value::Number(9.0));
+        assert_eq!(run("AVERAGE(A1:A3)", &fx), Value::Number(4.0));
+        assert_eq!(run("COUNT(A1:A9)", &fx), Value::Number(3.0));
+        assert_eq!(run("COUNTA(A1:A9)", &fx), Value::Number(3.0));
+        assert_eq!(run("AVERAGE(B1:B9)", &fx), Value::Error(CellError::Div0));
+        assert_eq!(run("PRODUCT(A1,A3)", &fx), Value::Number(36.0));
+    }
+
+    #[test]
+    fn if_and_logic() {
+        let fx = fixture(&[("A1", Value::Number(5.0)), ("A2", Value::Number(5.0))]);
+        // The Fig. 2 shape: IF(A1=A2, then, else).
+        assert_eq!(run("IF(A1=A2,1,2)", &fx), Value::Number(1.0));
+        assert_eq!(run("IF(A1>9,1,2)", &fx), Value::Number(2.0));
+        assert_eq!(run("AND(TRUE,A1=5)", &fx), Value::Bool(true));
+        assert_eq!(run("OR(FALSE,A1<0)", &fx), Value::Bool(false));
+        assert_eq!(run("NOT(TRUE)", &fx), Value::Bool(false));
+    }
+
+    #[test]
+    fn comparisons_mixed_types() {
+        let fx = fixture(&[]);
+        assert_eq!(run("\"abc\"=\"ABC\"", &fx), Value::Bool(true));
+        assert_eq!(run("\"a\"<\"b\"", &fx), Value::Bool(true));
+        // Text sorts above numbers.
+        assert_eq!(run("\"a\">99", &fx), Value::Bool(true));
+        assert_eq!(run("1<>2", &fx), Value::Bool(true));
+    }
+
+    #[test]
+    fn text_functions() {
+        let fx = fixture(&[("A1", Value::Number(7.0))]);
+        assert_eq!(run("\"v=\"&A1", &fx), Value::Text("v=7".into()));
+        assert_eq!(run("LEN(\"hello\")", &fx), Value::Number(5.0));
+        assert_eq!(run("CONCATENATE(\"a\",1,TRUE)", &fx), Value::Text("a1TRUE".into()));
+    }
+
+    #[test]
+    fn vlookup_exact_and_approx() {
+        let fx = fixture(&[
+            ("D1", Value::Number(10.0)),
+            ("E1", Value::Text("ten".into())),
+            ("D2", Value::Number(20.0)),
+            ("E2", Value::Text("twenty".into())),
+            ("D3", Value::Number(30.0)),
+            ("E3", Value::Text("thirty".into())),
+        ]);
+        assert_eq!(run("VLOOKUP(20,D1:E3,2,FALSE)", &fx), Value::Text("twenty".into()));
+        assert_eq!(run("VLOOKUP(25,D1:E3,2)", &fx), Value::Text("twenty".into()));
+        assert_eq!(run("VLOOKUP(5,D1:E3,2)", &fx), Value::Error(CellError::Na));
+        assert_eq!(run("VLOOKUP(20,D1:E3,2,TRUE)", &fx), Value::Text("twenty".into()));
+        assert_eq!(run("VLOOKUP(20,D1:E3,9,FALSE)", &fx), Value::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn unknown_function_is_name_error() {
+        let fx = fixture(&[]);
+        assert_eq!(run("FROBNICATE(1)", &fx), Value::Error(CellError::Name));
+    }
+
+    #[test]
+    fn error_propagation() {
+        let fx = fixture(&[("A1", Value::Error(CellError::Div0))]);
+        assert_eq!(run("A1+1", &fx), Value::Error(CellError::Div0));
+        assert_eq!(run("SUM(A1:A3)", &fx), Value::Error(CellError::Div0));
+        assert_eq!(run("IF(A1,1,2)", &fx), Value::Error(CellError::Div0));
+    }
+}
+
+#[cfg(test)]
+mod lookup_tests {
+    use super::*;
+    use crate::parser::parse;
+    use std::collections::HashMap;
+
+    struct Fixture(HashMap<Cell, Value>);
+
+    impl CellProvider for Fixture {
+        fn value(&self, cell: Cell) -> Value {
+            self.0.get(&cell).cloned().unwrap_or(Value::Empty)
+        }
+    }
+
+    fn grid(entries: &[(&str, f64)]) -> Fixture {
+        Fixture(
+            entries
+                .iter()
+                .map(|(a1, v)| (Cell::parse_a1(a1).unwrap(), Value::Number(*v)))
+                .collect(),
+        )
+    }
+
+    fn run(src: &str, fix: &Fixture) -> Value {
+        eval(&parse(src).unwrap(), fix)
+    }
+
+    #[test]
+    fn sumif_with_criteria_range_only() {
+        let fx = grid(&[("A1", 1.0), ("A2", 5.0), ("A3", 10.0), ("A4", 5.0)]);
+        assert_eq!(run("SUMIF(A1:A4,5)", &fx), Value::Number(10.0));
+        assert_eq!(run("SUMIF(A1:A4,\">4\")", &fx), Value::Number(20.0));
+        assert_eq!(run("SUMIF(A1:A4,\"<=5\")", &fx), Value::Number(11.0));
+    }
+
+    #[test]
+    fn sumif_with_separate_sum_range() {
+        let fx = grid(&[
+            ("A1", 1.0),
+            ("A2", 2.0),
+            ("A3", 1.0),
+            ("B1", 10.0),
+            ("B2", 20.0),
+            ("B3", 30.0),
+        ]);
+        assert_eq!(run("SUMIF(A1:A3,1,B1:B3)", &fx), Value::Number(40.0));
+    }
+
+    #[test]
+    fn countif_and_averageif() {
+        let fx = grid(&[("A1", 2.0), ("A2", 4.0), ("A3", 6.0)]);
+        assert_eq!(run("COUNTIF(A1:A3,\">3\")", &fx), Value::Number(2.0));
+        assert_eq!(run("AVERAGEIF(A1:A3,\">2\")", &fx), Value::Number(5.0));
+        assert_eq!(run("AVERAGEIF(A1:A3,\">99\")", &fx), Value::Error(CellError::Div0));
+        assert_eq!(run("COUNTIF(A1:A3,\"<>4\")", &fx), Value::Number(2.0));
+    }
+
+    #[test]
+    fn index_two_dimensional() {
+        let fx = grid(&[("A1", 1.0), ("B1", 2.0), ("A2", 3.0), ("B2", 4.0)]);
+        assert_eq!(run("INDEX(A1:B2,2,2)", &fx), Value::Number(4.0));
+        assert_eq!(run("INDEX(A1:A2,2)", &fx), Value::Number(3.0));
+        assert_eq!(run("INDEX(A1:B2,3,1)", &fx), Value::Error(CellError::Ref));
+        assert_eq!(run("INDEX(A1:B2,0,1)", &fx), Value::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn match_exact_and_approx() {
+        let fx = grid(&[("A1", 10.0), ("A2", 20.0), ("A3", 30.0)]);
+        assert_eq!(run("MATCH(20,A1:A3,0)", &fx), Value::Number(2.0));
+        assert_eq!(run("MATCH(25,A1:A3,1)", &fx), Value::Number(2.0));
+        assert_eq!(run("MATCH(25,A1:A3)", &fx), Value::Number(2.0));
+        assert_eq!(run("MATCH(5,A1:A3,0)", &fx), Value::Error(CellError::Na));
+        // MATCH needs a 1-D range.
+        let fx2 = grid(&[("A1", 1.0), ("B2", 2.0)]);
+        assert_eq!(run("MATCH(1,A1:B2,0)", &fx2), Value::Error(CellError::Value));
+    }
+
+    #[test]
+    fn index_match_idiom() {
+        // The INDEX/MATCH lookup idiom common in real sheets.
+        let fx = grid(&[
+            ("A1", 100.0),
+            ("A2", 200.0),
+            ("A3", 300.0),
+            ("B1", 7.0),
+            ("B2", 8.0),
+            ("B3", 9.0),
+        ]);
+        assert_eq!(run("INDEX(B1:B3,MATCH(200,A1:A3,0))", &fx), Value::Number(8.0));
+    }
+}

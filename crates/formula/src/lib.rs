@@ -1,0 +1,96 @@
+//! Spreadsheet formula language substrate for the TACO reproduction.
+//!
+//! The paper's prototype parses real `xls`/`xlsx` formulae (via Apache POI)
+//! to extract, for every formula cell, the set of ranges it references —
+//! those `(referenced range → formula cell)` pairs are the dependencies the
+//! formula graph stores. This crate provides that pipeline natively:
+//!
+//! - [`lexer`]/[`parser`] — an Excel-style formula grammar (`=IF(A3=A2,
+//!   N2+M3, M3)`, `SUM($B$1:B4)*A1`, …) with `$` absolute markers preserved,
+//! - [`ast::Expr`] — the parsed tree; [`Formula`] bundles source, AST and
+//!   the extracted references,
+//! - [`eval`] — an interpreter (SUM/AVERAGE/IF/VLOOKUP/arithmetic/…) so the
+//!   `taco-engine` substrate can actually recalculate cells,
+//! - [`autofill`] — the reference-adjustment transform whose `$` rules are
+//!   what make autofilled spreadsheets exhibit the RR/RF/FR/FF patterns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod autofill;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+mod error;
+
+pub use ast::{BinOp, Expr, UnOp};
+pub use error::FormulaError;
+pub use value::{CellError, Value};
+
+use taco_grid::a1::RangeRef;
+
+/// A parsed formula: original source, AST, and the extracted references.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Formula {
+    /// Source text with any leading `=` stripped.
+    pub src: String,
+    /// Parsed expression tree.
+    pub ast: Expr,
+    /// Every cell/range reference in the formula, in source order, with
+    /// `$` fixed/relative flags per corner. These become the formula
+    /// graph's dependencies.
+    pub refs: Vec<RangeRef>,
+}
+
+impl Formula {
+    /// Parses a formula (leading `=` optional).
+    pub fn parse(src: &str) -> Result<Self, FormulaError> {
+        let body = src.strip_prefix('=').unwrap_or(src);
+        let ast = parser::parse(body)?;
+        let refs = ast.collect_refs();
+        Ok(Formula { src: body.to_string(), ast, refs })
+    }
+
+    /// Renders the formula with a leading `=` (canonical, fully
+    /// parenthesized form — not necessarily byte-identical to the source).
+    pub fn to_string_with_eq(&self) -> String {
+        format!("={}", self.ast)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_grid::Range;
+
+    #[test]
+    fn parse_extracts_refs_in_order() {
+        // The running example from Fig. 2.
+        let f = Formula::parse("=IF(A3=A2,N2+M3,M3)").unwrap();
+        let got: Vec<Range> = f.refs.iter().map(|r| r.range()).collect();
+        let want: Vec<Range> = ["A3", "A2", "N2", "M3", "M3"]
+            .iter()
+            .map(|s| Range::parse_a1(s).unwrap())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dollar_flags_survive() {
+        let f = Formula::parse("=SUM($B$1:B4)*A1").unwrap();
+        assert_eq!(f.refs.len(), 2);
+        assert!(f.refs[0].head.is_fixed());
+        assert!(f.refs[0].tail.is_relative());
+        assert!(f.refs[1].head.is_relative());
+    }
+
+    #[test]
+    fn equals_prefix_is_optional() {
+        let a = Formula::parse("=SUM(A1:A3)").unwrap();
+        let b = Formula::parse("SUM(A1:A3)").unwrap();
+        assert_eq!(a.ast, b.ast);
+    }
+}

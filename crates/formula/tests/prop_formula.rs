@@ -1,0 +1,140 @@
+//! Property tests for the formula pipeline: printing and re-parsing an
+//! arbitrary expression tree is the identity, reference extraction matches
+//! a structural walk, autofill respects `$` semantics, and the evaluator
+//! never panics on arbitrary generated expressions.
+
+use proptest::prelude::*;
+use taco_formula::eval::{eval, CellProvider};
+use taco_formula::{parser, BinOp, Expr, Formula, UnOp, Value};
+use taco_grid::a1::{CellRef, RangeRef};
+use taco_grid::{Cell, Range};
+
+fn arb_cell_ref() -> impl Strategy<Value = CellRef> {
+    (1u32..60, 1u32..60, any::<bool>(), any::<bool>()).prop_map(|(c, r, ca, ra)| CellRef {
+        cell: Cell::new(c, r),
+        col_abs: ca,
+        row_abs: ra,
+    })
+}
+
+fn arb_range_ref() -> impl Strategy<Value = RangeRef> {
+    (arb_cell_ref(), arb_cell_ref())
+        .prop_map(|(a, b)| RangeRef::from_corners(a, b))
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Includes quotes to exercise escaping.
+    proptest::string::string_regex("[a-zA-Z0-9 \"]{0,8}").expect("valid regex")
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u32..1000, 0u32..100).prop_map(|(a, b)| Expr::Number(f64::from(a) + f64::from(b) / 100.0)),
+        arb_text().prop_map(Expr::Text),
+        any::<bool>().prop_map(Expr::Bool),
+        arb_range_ref().prop_map(Expr::Ref),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        let bin = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Pow),
+            Just(BinOp::Concat),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+        ];
+        prop_oneof![
+            (bin, inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnOp::Neg, expr: Box::new(e) }),
+            inner.clone().prop_map(|e| Expr::Percent(Box::new(e))),
+            (
+                prop_oneof![
+                    Just("SUM"),
+                    Just("AVERAGE"),
+                    Just("MIN"),
+                    Just("MAX"),
+                    Just("COUNT"),
+                    Just("IF"),
+                    Just("AND"),
+                    Just("NOT"),
+                    Just("LEN"),
+                ],
+                prop::collection::vec(inner, 1..3),
+            )
+                .prop_map(|(name, args)| Expr::Func { name: name.to_string(), args }),
+        ]
+    })
+}
+
+struct Zeros;
+impl CellProvider for Zeros {
+    fn value(&self, _c: Cell) -> Value {
+        Value::Number(0.0)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_round_trip(expr in arb_expr()) {
+        let printed = expr.to_string();
+        let reparsed = parser::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed form must re-parse: {printed:?}: {e}"));
+        prop_assert_eq!(&reparsed, &expr, "printed = {}", printed);
+    }
+
+    #[test]
+    fn collect_refs_matches_formula_parse(expr in arb_expr()) {
+        let f = Formula::parse(&expr.to_string()).expect("valid");
+        prop_assert_eq!(f.refs, expr.collect_refs());
+    }
+
+    #[test]
+    fn eval_never_panics(expr in arb_expr()) {
+        // Any generated expression must evaluate to *some* Value.
+        let _ = eval(&expr, &Zeros);
+    }
+
+    #[test]
+    fn autofill_moves_only_relative_coords(r in arb_range_ref(), dc in -5i64..5, dr in -5i64..5) {
+        if let Some(filled) = r.autofill(dc, dr) {
+            for (orig, new) in [(r.head, filled.head), (r.tail, filled.tail)] {
+                let want_col = if orig.col_abs { i64::from(orig.cell.col) } else { i64::from(orig.cell.col) + dc };
+                let want_row = if orig.row_abs { i64::from(orig.cell.row) } else { i64::from(orig.cell.row) + dr };
+                prop_assert_eq!(i64::from(new.cell.col), want_col);
+                prop_assert_eq!(i64::from(new.cell.row), want_row);
+            }
+        }
+    }
+
+    #[test]
+    fn range_ref_display_round_trips(r in arb_range_ref()) {
+        let printed = r.to_string();
+        let parsed = RangeRef::parse(&printed).expect("printed refs re-parse");
+        prop_assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "[ -~]{0,40}") {
+        let _ = Formula::parse(&s); // Ok or Err, never panic.
+    }
+
+    #[test]
+    fn refs_are_within_parsed_ranges(expr in arb_expr()) {
+        for r in expr.collect_refs() {
+            let range: Range = r.range();
+            prop_assert!(range.head() <= range.tail());
+        }
+    }
+}

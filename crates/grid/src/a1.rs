@@ -1,0 +1,307 @@
+//! A1-notation parsing and formatting, including `$` absolute markers.
+//!
+//! The `$` markers matter to TACO beyond mere syntax: autofill treats
+//! `$`-prefixed coordinates as *fixed* and the rest as *relative*, which is
+//! exactly what generates the four basic patterns (RR/RF/FR/FF). The greedy
+//! compressor's final heuristic consults these flags as cues, so the parsed
+//! reference types here carry them through.
+
+use crate::{Cell, GridError, Range, MAX_COL, MAX_ROW};
+use std::fmt;
+
+/// Converts a 1-based column index to letters (`1 → "A"`, `28 → "AB"`).
+pub fn col_to_letters(mut col: u32) -> String {
+    debug_assert!(col >= 1);
+    let mut buf = [0u8; 7];
+    let mut i = buf.len();
+    while col > 0 {
+        let rem = (col - 1) % 26;
+        i -= 1;
+        buf[i] = b'A' + rem as u8;
+        col = (col - 1) / 26;
+    }
+    String::from_utf8_lossy(&buf[i..]).into_owned()
+}
+
+/// Converts column letters to the 1-based index (`"A" → 1`, `"AB" → 28`).
+pub fn letters_to_col(s: &str) -> Result<u32, GridError> {
+    if s.is_empty() || s.len() > 7 {
+        return Err(GridError::BadA1(s.to_string()));
+    }
+    let mut col: u64 = 0;
+    for b in s.bytes() {
+        let v = match b {
+            b'A'..=b'Z' => u64::from(b - b'A') + 1,
+            b'a'..=b'z' => u64::from(b - b'a') + 1,
+            _ => return Err(GridError::BadA1(s.to_string())),
+        };
+        col = col * 26 + v;
+        if col > u64::from(MAX_COL) {
+            return Err(GridError::BadA1(s.to_string()));
+        }
+    }
+    Ok(col as u32)
+}
+
+/// A parsed single-cell reference with absolute/relative flags per
+/// coordinate, e.g. `$B$1` (both fixed) or `B4` (both relative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellRef {
+    /// The referenced cell position.
+    pub cell: Cell,
+    /// `true` iff the column was `$`-prefixed (fixed under autofill).
+    pub col_abs: bool,
+    /// `true` iff the row was `$`-prefixed (fixed under autofill).
+    pub row_abs: bool,
+}
+
+impl CellRef {
+    /// A fully relative reference to `cell`.
+    pub fn relative(cell: Cell) -> Self {
+        CellRef { cell, col_abs: false, row_abs: false }
+    }
+
+    /// A fully absolute (`$C$R`) reference to `cell`.
+    pub fn absolute(cell: Cell) -> Self {
+        CellRef { cell, col_abs: true, row_abs: true }
+    }
+
+    /// `true` iff both coordinates are `$`-fixed.
+    pub fn is_fixed(&self) -> bool {
+        self.col_abs && self.row_abs
+    }
+
+    /// `true` iff neither coordinate is `$`-fixed.
+    pub fn is_relative(&self) -> bool {
+        !self.col_abs && !self.row_abs
+    }
+
+    /// Parses `[$]LETTERS[$]DIGITS`.
+    pub fn parse(s: &str) -> Result<Self, GridError> {
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        let col_abs = bytes.first() == Some(&b'$');
+        if col_abs {
+            i += 1;
+        }
+        let col_start = i;
+        while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+            i += 1;
+        }
+        if i == col_start {
+            return Err(GridError::BadA1(s.to_string()));
+        }
+        let col = letters_to_col(&s[col_start..i])?;
+        let row_abs = bytes.get(i) == Some(&b'$');
+        if row_abs {
+            i += 1;
+        }
+        let row_str = &s[i..];
+        if row_str.is_empty() || !row_str.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(GridError::BadA1(s.to_string()));
+        }
+        let row: u64 = row_str.parse().map_err(|_| GridError::BadA1(s.to_string()))?;
+        if row == 0 || row > u64::from(MAX_ROW) {
+            return Err(GridError::BadA1(s.to_string()));
+        }
+        Ok(CellRef { cell: Cell::new(col, row as u32), col_abs, row_abs })
+    }
+
+    /// Applies an autofill translation: relative coordinates shift by the
+    /// delta, `$`-fixed coordinates stay put. Returns `None` if a relative
+    /// coordinate would leave the grid.
+    pub fn autofill(&self, dc: i64, dr: i64) -> Option<CellRef> {
+        let col = if self.col_abs {
+            i64::from(self.cell.col)
+        } else {
+            i64::from(self.cell.col) + dc
+        };
+        let row = if self.row_abs {
+            i64::from(self.cell.row)
+        } else {
+            i64::from(self.cell.row) + dr
+        };
+        let cell = Cell::try_new(col, row).ok()?;
+        Some(CellRef { cell, col_abs: self.col_abs, row_abs: self.row_abs })
+    }
+}
+
+impl fmt::Display for CellRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            if self.col_abs { "$" } else { "" },
+            col_to_letters(self.cell.col),
+            if self.row_abs { "$" } else { "" },
+            self.cell.row
+        )
+    }
+}
+
+/// A parsed reference to either a single cell or a rectangular range, with
+/// per-corner `$` flags (`SUM($B$1:B4)` has a fixed head and relative tail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RangeRef {
+    /// Head-corner reference (top-left after normalization).
+    pub head: CellRef,
+    /// Tail-corner reference (bottom-right after normalization).
+    pub tail: CellRef,
+}
+
+impl RangeRef {
+    /// A reference to a single cell (head == tail, shared flags).
+    pub fn single(r: CellRef) -> Self {
+        RangeRef { head: r, tail: r }
+    }
+
+    /// Builds from two corner refs, normalizing so head is top-left. The
+    /// `$` flags travel with the coordinate they annotate.
+    pub fn from_corners(a: CellRef, b: CellRef) -> Self {
+        // Normalize per coordinate: flags follow the coordinate chosen.
+        let (head_col, head_col_abs, tail_col, tail_col_abs) = if a.cell.col <= b.cell.col {
+            (a.cell.col, a.col_abs, b.cell.col, b.col_abs)
+        } else {
+            (b.cell.col, b.col_abs, a.cell.col, a.col_abs)
+        };
+        let (head_row, head_row_abs, tail_row, tail_row_abs) = if a.cell.row <= b.cell.row {
+            (a.cell.row, a.row_abs, b.cell.row, b.row_abs)
+        } else {
+            (b.cell.row, b.row_abs, a.cell.row, a.row_abs)
+        };
+        RangeRef {
+            head: CellRef {
+                cell: Cell::new(head_col, head_row),
+                col_abs: head_col_abs,
+                row_abs: head_row_abs,
+            },
+            tail: CellRef {
+                cell: Cell::new(tail_col, tail_row),
+                col_abs: tail_col_abs,
+                row_abs: tail_row_abs,
+            },
+        }
+    }
+
+    /// Parses `"B4"`, `"$B$1:B4"`, etc.
+    pub fn parse(s: &str) -> Result<Self, GridError> {
+        match s.split_once(':') {
+            None => Ok(RangeRef::single(CellRef::parse(s)?)),
+            Some((a, b)) => Ok(RangeRef::from_corners(CellRef::parse(a)?, CellRef::parse(b)?)),
+        }
+    }
+
+    /// The plain geometric range (flags dropped).
+    pub fn range(&self) -> Range {
+        Range::new(self.head.cell, self.tail.cell)
+    }
+
+    /// `true` iff the reference is a single cell.
+    pub fn is_cell(&self) -> bool {
+        self.head.cell == self.tail.cell
+    }
+
+    /// Applies an autofill translation to both corners (see
+    /// [`CellRef::autofill`]).
+    pub fn autofill(&self, dc: i64, dr: i64) -> Option<RangeRef> {
+        Some(RangeRef { head: self.head.autofill(dc, dr)?, tail: self.tail.autofill(dc, dr)? })
+    }
+}
+
+impl fmt::Display for RangeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_cell() && self.head == self.tail {
+            write!(f, "{}", self.head)
+        } else {
+            write!(f, "{}:{}", self.head, self.tail)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_letters_round_trip() {
+        for (n, s) in [(1, "A"), (26, "Z"), (27, "AA"), (28, "AB"), (52, "AZ"), (53, "BA"), (702, "ZZ"), (703, "AAA"), (16384, "XFD")] {
+            assert_eq!(col_to_letters(n), s);
+            assert_eq!(letters_to_col(s).unwrap(), n);
+            assert_eq!(letters_to_col(&s.to_lowercase()).unwrap(), n);
+        }
+        assert!(letters_to_col("").is_err());
+        assert!(letters_to_col("XFE").is_err()); // beyond MAX_COL
+        assert!(letters_to_col("A1").is_err());
+    }
+
+    #[test]
+    fn cell_ref_parse_flags() {
+        let r = CellRef::parse("$B$1").unwrap();
+        assert!(r.is_fixed());
+        assert_eq!(r.cell, Cell::new(2, 1));
+
+        let r = CellRef::parse("B4").unwrap();
+        assert!(r.is_relative());
+
+        let r = CellRef::parse("$B4").unwrap();
+        assert!(r.col_abs && !r.row_abs);
+
+        let r = CellRef::parse("B$4").unwrap();
+        assert!(!r.col_abs && r.row_abs);
+
+        for bad in ["", "B", "4", "$", "B$", "$B$", "B0", "1B", "B-1", "B 4"] {
+            assert!(CellRef::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn cell_ref_display_round_trip() {
+        for s in ["A1", "$A1", "A$1", "$A$1", "XFD1048576"] {
+            assert_eq!(CellRef::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn autofill_respects_dollar() {
+        // $B$1 never moves; B4 moves with the fill delta.
+        let fixed = CellRef::parse("$B$1").unwrap();
+        assert_eq!(fixed.autofill(3, 7).unwrap(), fixed);
+
+        let rel = CellRef::parse("B4").unwrap();
+        assert_eq!(rel.autofill(1, 2).unwrap(), CellRef::parse("C6").unwrap());
+
+        let mixed = CellRef::parse("$B4").unwrap();
+        assert_eq!(mixed.autofill(1, 2).unwrap(), CellRef::parse("$B6").unwrap());
+
+        // Falling off the grid fails.
+        assert!(CellRef::parse("A1").unwrap().autofill(-1, 0).is_none());
+    }
+
+    #[test]
+    fn range_ref_parse_and_range() {
+        let r = RangeRef::parse("$B$1:B4").unwrap();
+        assert!(r.head.is_fixed());
+        assert!(r.tail.is_relative());
+        assert_eq!(r.range(), Range::from_coords(2, 1, 2, 4));
+        assert_eq!(r.to_string(), "$B$1:B4");
+    }
+
+    #[test]
+    fn range_ref_normalizes_with_flags() {
+        // Corners given bottom-right first; flags must follow coordinates.
+        let r = RangeRef::parse("B$4:$A1").unwrap();
+        assert_eq!(r.range(), Range::from_coords(1, 1, 2, 4));
+        assert!(r.head.col_abs); // the $A column flag
+        assert!(!r.head.row_abs);
+        assert!(!r.tail.col_abs);
+        assert!(r.tail.row_abs); // the $4 row flag
+    }
+
+    #[test]
+    fn range_ref_autofill_generates_rr_pattern() {
+        // SUM(A1:B3) autofilled down yields A2:B4, A3:B5, ... (Fig. 4a).
+        let src = RangeRef::parse("A1:B3").unwrap();
+        let filled = src.autofill(0, 1).unwrap();
+        assert_eq!(filled.range(), Range::from_coords(1, 2, 2, 4));
+    }
+}

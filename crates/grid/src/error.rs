@@ -1,0 +1,29 @@
+use std::fmt;
+
+/// Errors produced by geometry and A1-notation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// A cell coordinate would fall outside the valid grid (column/row < 1
+    /// or beyond [`crate::MAX_COL`]/[`crate::MAX_ROW`]).
+    OutOfBounds {
+        /// Signed column index that was requested.
+        col: i64,
+        /// Signed row index that was requested.
+        row: i64,
+    },
+    /// An A1-notation string could not be parsed.
+    BadA1(String),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::OutOfBounds { col, row } => {
+                write!(f, "cell position ({col}, {row}) is outside the grid")
+            }
+            GridError::BadA1(s) => write!(f, "invalid A1 reference: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}

@@ -1,0 +1,40 @@
+//! Spreadsheet geometry substrate for the TACO reproduction.
+//!
+//! This crate owns the coordinate system everything else builds on:
+//!
+//! - [`Cell`] — a single cell position (1-based column and row),
+//! - [`Offset`] — a relative position between two cells (the paper's
+//!   `(p, q)` pairs used by the RR/RF/FR pattern metadata),
+//! - [`Range`] — a rectangular region identified by its head (top-left) and
+//!   tail (bottom-right) cells,
+//! - [`Axis`] — the compression axis (column-wise or row-wise) together with
+//!   the transposition helpers that let pattern math be written once for the
+//!   column case and reused for the row case,
+//! - A1 notation parsing/formatting including `$` absolute markers
+//!   ([`a1::CellRef`], [`a1::RangeRef`]).
+//!
+//! The rectangle algebra here (`bounding_union` = the paper's `⊕`,
+//! `intersect`, `subtract`) is exactly what the compressed-edge
+//! representation and the modified BFS in `taco-core` rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod a1;
+mod axis;
+mod cell;
+mod error;
+mod offset;
+mod range;
+mod structural;
+
+pub use axis::Axis;
+pub use cell::Cell;
+pub use error::GridError;
+pub use offset::Offset;
+pub use range::Range;
+
+/// Maximum 1-based column index supported (xlsx limit: `XFD` = 16_384).
+pub const MAX_COL: u32 = 16_384;
+/// Maximum 1-based row index supported (xlsx limit: 1_048_576).
+pub const MAX_ROW: u32 = 1_048_576;

@@ -1,0 +1,272 @@
+//! An R-tree spatial index built from scratch (Guttman 1984, quadratic
+//! split), specialized to the integer cell grid of a spreadsheet.
+//!
+//! TACO keeps one R-tree over the precedent vertices and one over the
+//! dependent vertices of the compressed formula graph; every core operation
+//! (candidate discovery during compression, the modified BFS, visited-set
+//! subtraction, clearing cells) starts with "find all stored ranges that
+//! overlap an input range", which is exactly the window query this index
+//! answers.
+//!
+//! The tree stores `(Range, T)` entries; `T` is typically an edge id.
+//! Duplicate ranges are allowed (several edges can share a vertex range).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+
+pub use node::{MAX_ENTRIES, MIN_ENTRIES};
+
+use node::Node;
+use taco_grid::Range;
+
+/// A spatial index over `(Range, T)` entries supporting overlap queries.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RTree { root: Node::new_leaf(), len: 0 }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.root = Node::new_leaf();
+        self.len = 0;
+    }
+
+    /// Inserts an entry. Duplicates (same range, same or different payload)
+    /// are allowed and stored separately.
+    pub fn insert(&mut self, range: Range, value: T) {
+        if let Some((mbr, sibling)) = self.root.insert(range, value) {
+            // Root split: grow the tree by one level.
+            let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
+            let old_mbr = old_root.mbr().expect("split node is non-empty");
+            self.root = Node::new_internal(vec![
+                (old_mbr, Box::new(old_root)),
+                (mbr, Box::new(sibling)),
+            ]);
+        }
+        self.len += 1;
+    }
+
+    /// Calls `f` for every stored entry whose range overlaps `query`.
+    pub fn for_each_overlapping<'a, F>(&'a self, query: Range, mut f: F)
+    where
+        F: FnMut(Range, &'a T),
+    {
+        self.root.search(query, &mut f);
+    }
+
+    /// Collects every `(range, &value)` overlapping `query`.
+    pub fn overlapping(&self, query: Range) -> Vec<(Range, &T)> {
+        let mut out = Vec::new();
+        self.for_each_overlapping(query, |r, v| out.push((r, v)));
+        out
+    }
+
+    /// `true` iff at least one stored range overlaps `query`.
+    pub fn any_overlapping(&self, query: Range) -> bool {
+        self.root.any_overlapping(query)
+    }
+
+    /// Iterates over all entries (no particular order).
+    pub fn iter(&self) -> impl Iterator<Item = (Range, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.root.collect_into(&mut out);
+        out.into_iter()
+    }
+
+    /// Height of the tree (a single leaf has height 1). Exposed for tests
+    /// and diagnostics.
+    pub fn height(&self) -> usize {
+        self.root.height()
+    }
+}
+
+impl<T: PartialEq> RTree<T> {
+    /// Removes one entry matching `(range, value)` exactly. Returns `true`
+    /// if an entry was removed.
+    ///
+    /// Underflowing nodes are condensed Guttman-style: their surviving
+    /// entries are re-inserted from the top.
+    pub fn remove(&mut self, range: Range, value: &T) -> bool {
+        let mut orphans = Vec::new();
+        let removed = self.root.remove(range, value, &mut orphans);
+        if removed {
+            self.len -= 1;
+            // Shrink the root if it became a trivial internal node.
+            self.root.shrink_root();
+            for (r, v) in orphans {
+                // Re-insert orphans without double-counting len.
+                if let Some((mbr, sibling)) = self.root.insert(r, v) {
+                    let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
+                    let old_mbr = old_root.mbr().expect("split node is non-empty");
+                    self.root = Node::new_internal(vec![
+                        (old_mbr, Box::new(old_root)),
+                        (mbr, Box::new(sibling)),
+                    ]);
+                }
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_grid::Cell;
+
+    fn r(s: &str) -> Range {
+        Range::parse_a1(s).unwrap()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTree<u32> = RTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.overlapping(r("A1:Z100")).is_empty());
+        assert!(!t.any_overlapping(r("A1")));
+    }
+
+    #[test]
+    fn insert_and_query_basics() {
+        let mut t = RTree::new();
+        t.insert(r("A1:A3"), 1u32);
+        t.insert(r("B1"), 2);
+        t.insert(r("B2"), 3);
+        t.insert(r("B2:B3"), 4);
+        assert_eq!(t.len(), 4);
+
+        let mut hits: Vec<u32> = t.overlapping(r("A1")).iter().map(|(_, v)| **v).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1]);
+
+        let mut hits: Vec<u32> = t.overlapping(r("B2")).iter().map(|(_, v)| **v).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![3, 4]);
+
+        assert!(t.any_overlapping(r("A2:B2")));
+        assert!(!t.any_overlapping(r("D4:E9")));
+    }
+
+    #[test]
+    fn duplicate_ranges_are_kept_separately() {
+        let mut t = RTree::new();
+        t.insert(r("C1:C4"), 10u32);
+        t.insert(r("C1:C4"), 11);
+        assert_eq!(t.overlapping(r("C2")).len(), 2);
+        assert!(t.remove(r("C1:C4"), &10));
+        assert_eq!(t.overlapping(r("C2")).len(), 1);
+        assert_eq!(*t.overlapping(r("C2"))[0].1, 11);
+    }
+
+    #[test]
+    fn remove_missing_returns_false() {
+        let mut t = RTree::new();
+        t.insert(r("A1"), 1u32);
+        assert!(!t.remove(r("A1"), &2));
+        assert!(!t.remove(r("A2"), &1));
+        assert_eq!(t.len(), 1);
+        assert!(t.remove(r("A1"), &1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn grows_and_answers_point_queries() {
+        let mut t = RTree::new();
+        // A 40x40 block of single cells.
+        for col in 1..=40u32 {
+            for row in 1..=40u32 {
+                t.insert(Range::cell(Cell::new(col, row)), (col, row));
+            }
+        }
+        assert_eq!(t.len(), 1600);
+        assert!(t.height() > 1);
+        for probe in [(1, 1), (40, 40), (17, 23)] {
+            let hits = t.overlapping(Range::cell(Cell::new(probe.0, probe.1)));
+            assert_eq!(hits.len(), 1);
+            assert_eq!(*hits[0].1, probe);
+        }
+        // Window query.
+        let hits = t.overlapping(Range::from_coords(3, 3, 5, 4));
+        assert_eq!(hits.len(), 6);
+    }
+
+    #[test]
+    fn mass_delete_shrinks_back() {
+        let mut t = RTree::new();
+        let mut keys = Vec::new();
+        for col in 1..=25u32 {
+            for row in 1..=25u32 {
+                let range = Range::cell(Cell::new(col, row));
+                t.insert(range, col * 100 + row);
+                keys.push((range, col * 100 + row));
+            }
+        }
+        for (range, v) in &keys {
+            assert!(t.remove(*range, v), "missing {range}");
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.overlapping(r("A1:Z99")).is_empty());
+    }
+
+    #[test]
+    fn overlapping_ranges_all_found() {
+        let mut t = RTree::new();
+        // Nested / overlapping ranges stress the MBR logic.
+        t.insert(r("A1:J10"), 0u32);
+        t.insert(r("C3:D4"), 1);
+        t.insert(r("J10:K11"), 2);
+        t.insert(r("K11"), 3);
+        let mut hits: Vec<u32> = t.overlapping(r("J10")).iter().map(|(_, v)| **v).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2]);
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let mut t = RTree::new();
+        for i in 0..100u32 {
+            t.insert(Range::cell(Cell::new(i % 10 + 1, i / 10 + 1)), i);
+        }
+        let mut seen: Vec<u32> = t.iter().map(|(_, v)| *v).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = RTree::new();
+        for i in 0..50u32 {
+            t.insert(Range::cell(Cell::new(i + 1, 1)), i);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert!(!t.any_overlapping(r("A1:XFD1")));
+    }
+}

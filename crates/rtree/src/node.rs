@@ -1,0 +1,288 @@
+use taco_grid::Range;
+
+/// Maximum entries per node before a split (Guttman's `M`).
+pub const MAX_ENTRIES: usize = 8;
+/// Minimum fill per node (Guttman's `m`); underflowing nodes are condensed.
+pub const MIN_ENTRIES: usize = 3;
+
+/// Area of a range as `u64` (used by the least-enlargement heuristics).
+#[inline]
+fn area(r: Range) -> u64 {
+    r.area()
+}
+
+/// Area growth needed for `mbr` to also cover `add`.
+#[inline]
+fn enlargement(mbr: Range, add: Range) -> u64 {
+    area(mbr.bounding_union(&add)) - area(mbr)
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Node<T> {
+    Leaf { entries: Vec<(Range, T)> },
+    Internal { children: Vec<(Range, Box<Node<T>>)> },
+}
+
+impl<T> Node<T> {
+    pub(crate) fn new_leaf() -> Self {
+        Node::Leaf { entries: Vec::new() }
+    }
+
+    pub(crate) fn new_internal(children: Vec<(Range, Box<Node<T>>)>) -> Self {
+        Node::Internal { children }
+    }
+
+    pub(crate) fn height(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children } => {
+                1 + children.first().map_or(0, |(_, c)| c.height())
+            }
+        }
+    }
+
+    /// Minimal bounding rectangle of this node's contents, `None` if empty.
+    pub(crate) fn mbr(&self) -> Option<Range> {
+        match self {
+            Node::Leaf { entries } => {
+                entries.iter().map(|(r, _)| *r).reduce(|a, b| a.bounding_union(&b))
+            }
+            Node::Internal { children } => {
+                children.iter().map(|(r, _)| *r).reduce(|a, b| a.bounding_union(&b))
+            }
+        }
+    }
+
+    /// Inserts and returns `Some((mbr, sibling))` when this node split.
+    pub(crate) fn insert(&mut self, range: Range, value: T) -> Option<(Range, Node<T>)> {
+        match self {
+            Node::Leaf { entries } => {
+                entries.push((range, value));
+                if entries.len() > MAX_ENTRIES {
+                    let split = quadratic_split(entries, |(r, _)| *r);
+                    Some((
+                        split.iter().map(|(r, _)| *r).reduce(|a, b| a.bounding_union(&b)).unwrap(),
+                        Node::Leaf { entries: split },
+                    ))
+                } else {
+                    None
+                }
+            }
+            Node::Internal { children } => {
+                // ChooseSubtree: least enlargement, ties by smallest area.
+                let idx = children
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (mbr, _))| (enlargement(*mbr, range), area(*mbr)))
+                    .map(|(i, _)| i)
+                    .expect("internal nodes are never empty");
+                let (child_mbr, child) = &mut children[idx];
+                let result = child.insert(range, value);
+                *child_mbr = child_mbr.bounding_union(&range);
+                if let Some((new_mbr, new_node)) = result {
+                    // The split may have moved entries out of the child:
+                    // recompute its MBR exactly.
+                    *child_mbr = child.mbr().expect("child keeps at least half its entries");
+                    children.push((new_mbr, Box::new(new_node)));
+                    if children.len() > MAX_ENTRIES {
+                        let split = quadratic_split(children, |(r, _)| *r);
+                        return Some((
+                            split
+                                .iter()
+                                .map(|(r, _)| *r)
+                                .reduce(|a, b| a.bounding_union(&b))
+                                .unwrap(),
+                            Node::Internal { children: split },
+                        ));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    pub(crate) fn search<'a, F>(&'a self, query: Range, f: &mut F)
+    where
+        F: FnMut(Range, &'a T),
+    {
+        match self {
+            Node::Leaf { entries } => {
+                for (r, v) in entries {
+                    if r.overlaps(&query) {
+                        f(*r, v);
+                    }
+                }
+            }
+            Node::Internal { children } => {
+                for (mbr, child) in children {
+                    if mbr.overlaps(&query) {
+                        child.search(query, f);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn any_overlapping(&self, query: Range) -> bool {
+        match self {
+            Node::Leaf { entries } => entries.iter().any(|(r, _)| r.overlaps(&query)),
+            Node::Internal { children } => children
+                .iter()
+                .any(|(mbr, child)| mbr.overlaps(&query) && child.any_overlapping(query)),
+        }
+    }
+
+    pub(crate) fn collect_into<'a>(&'a self, out: &mut Vec<(Range, &'a T)>) {
+        match self {
+            Node::Leaf { entries } => out.extend(entries.iter().map(|(r, v)| (*r, v))),
+            Node::Internal { children } => {
+                for (_, child) in children {
+                    child.collect_into(out);
+                }
+            }
+        }
+    }
+
+    /// Drains every leaf entry of the subtree into `out` (used when a node
+    /// underflows and its survivors must be re-inserted).
+    fn drain_into(self, out: &mut Vec<(Range, T)>) {
+        match self {
+            Node::Leaf { entries } => out.extend(entries),
+            Node::Internal { children } => {
+                for (_, child) in children {
+                    child.drain_into(out);
+                }
+            }
+        }
+    }
+
+    /// Replaces a root of the form `Internal[single child]` by that child.
+    pub(crate) fn shrink_root(&mut self) {
+        loop {
+            match self {
+                Node::Internal { children } if children.len() == 1 => {
+                    let (_, only) = children.pop().expect("len checked");
+                    *self = *only;
+                }
+                Node::Internal { children } if children.is_empty() => {
+                    *self = Node::new_leaf();
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+impl<T: PartialEq> Node<T> {
+    /// Removes one `(range, value)` entry. Underflowing descendants are
+    /// dissolved and their entries pushed to `orphans` for re-insertion.
+    pub(crate) fn remove(
+        &mut self,
+        range: Range,
+        value: &T,
+        orphans: &mut Vec<(Range, T)>,
+    ) -> bool {
+        match self {
+            Node::Leaf { entries } => {
+                if let Some(pos) = entries.iter().position(|(r, v)| *r == range && v == value) {
+                    entries.swap_remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+            Node::Internal { children } => {
+                let mut removed_at = None;
+                for (i, (mbr, child)) in children.iter_mut().enumerate() {
+                    if mbr.overlaps(&range) && child.remove(range, value, orphans) {
+                        removed_at = Some(i);
+                        break;
+                    }
+                }
+                let Some(i) = removed_at else { return false };
+                let underflow = match children[i].1.as_ref() {
+                    Node::Leaf { entries } => entries.len() < MIN_ENTRIES,
+                    Node::Internal { children } => children.len() < MIN_ENTRIES,
+                };
+                if underflow {
+                    let (_, child) = children.swap_remove(i);
+                    child.drain_into(orphans);
+                } else {
+                    let (mbr, child) = &mut children[i];
+                    *mbr = child.mbr().expect("non-underflowing node is non-empty");
+                }
+                true
+            }
+        }
+    }
+}
+
+/// Guttman's quadratic split: picks the pair of seeds wasting the most
+/// area if grouped together, then assigns remaining entries to the group
+/// whose MBR grows least (respecting the minimum fill). Returns the entries
+/// for the *new* sibling node; the survivors stay in `entries`.
+fn quadratic_split<E, K>(entries: &mut Vec<E>, key: K) -> Vec<E>
+where
+    K: Fn(&E) -> Range,
+{
+    debug_assert!(entries.len() > MAX_ENTRIES);
+    // PickSeeds: the pair with maximal dead space.
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, 0i64);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let (ri, rj) = (key(&entries[i]), key(&entries[j]));
+            let dead = area(ri.bounding_union(&rj)) as i64 - area(ri) as i64 - area(rj) as i64;
+            if dead > worst || (i, j) == (0, 1) {
+                (seed_a, seed_b, worst) = (i, j, dead);
+            }
+        }
+    }
+    let total = entries.len();
+    let mut rest: Vec<E> = Vec::with_capacity(total - 2);
+    // Take seed_b first so indices stay valid (seed_b > seed_a).
+    let eb = entries.swap_remove(seed_b.max(seed_a));
+    let ea = entries.swap_remove(seed_b.min(seed_a));
+    rest.append(entries);
+
+    let mut group_a = vec![ea];
+    let mut group_b = vec![eb];
+    let mut mbr_a = key(&group_a[0]);
+    let mut mbr_b = key(&group_b[0]);
+
+    while let Some(e) = rest.pop() {
+        let remaining = rest.len() + 1;
+        // Force assignment if a group must take all remaining entries to
+        // reach minimum fill.
+        if group_a.len() + remaining <= MIN_ENTRIES {
+            mbr_a = mbr_a.bounding_union(&key(&e));
+            group_a.push(e);
+            continue;
+        }
+        if group_b.len() + remaining <= MIN_ENTRIES {
+            mbr_b = mbr_b.bounding_union(&key(&e));
+            group_b.push(e);
+            continue;
+        }
+        let r = key(&e);
+        let grow_a = enlargement(mbr_a, r);
+        let grow_b = enlargement(mbr_b, r);
+        let pick_a = match grow_a.cmp(&grow_b) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                // Ties: smaller area, then fewer entries.
+                (area(mbr_a), group_a.len()) <= (area(mbr_b), group_b.len())
+            }
+        };
+        if pick_a {
+            mbr_a = mbr_a.bounding_union(&r);
+            group_a.push(e);
+        } else {
+            mbr_b = mbr_b.bounding_union(&r);
+            group_b.push(e);
+        }
+    }
+    *entries = group_a;
+    group_b
+}

@@ -1,0 +1,72 @@
+//! Property tests: the R-tree must agree with a brute-force scan on every
+//! query, through arbitrary interleavings of inserts and removes.
+
+use proptest::prelude::*;
+use taco_grid::{Cell, Range};
+use taco_rtree::RTree;
+
+fn arb_range() -> impl Strategy<Value = Range> {
+    ((1u32..60, 1u32..60), (0u32..5, 0u32..8)).prop_map(|((c, r), (w, h))| {
+        Range::new(Cell::new(c, r), Cell::new(c + w, r + h))
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Range),
+    RemoveNth(usize),
+    Query(Range),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => arb_range().prop_map(Op::Insert),
+        1 => (0usize..64).prop_map(Op::RemoveNth),
+        2 => arb_range().prop_map(Op::Query),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn matches_brute_force(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut tree: RTree<u64> = RTree::new();
+        let mut shadow: Vec<(Range, u64)> = Vec::new();
+        let mut next_id = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Insert(r) => {
+                    tree.insert(r, next_id);
+                    shadow.push((r, next_id));
+                    next_id += 1;
+                }
+                Op::RemoveNth(n) => {
+                    if !shadow.is_empty() {
+                        let (r, id) = shadow.remove(n % shadow.len());
+                        prop_assert!(tree.remove(r, &id));
+                    }
+                }
+                Op::Query(q) => {
+                    let mut got: Vec<u64> = tree.overlapping(q).iter().map(|(_, v)| **v).collect();
+                    got.sort_unstable();
+                    let mut want: Vec<u64> = shadow
+                        .iter()
+                        .filter(|(r, _)| r.overlaps(&q))
+                        .map(|(_, id)| *id)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(&got, &want);
+                    prop_assert_eq!(tree.any_overlapping(q), !want.is_empty());
+                }
+            }
+            prop_assert_eq!(tree.len(), shadow.len());
+        }
+
+        let mut all: Vec<u64> = tree.iter().map(|(_, v)| *v).collect();
+        all.sort_unstable();
+        let mut want: Vec<u64> = shadow.iter().map(|(_, id)| *id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(all, want);
+    }
+}

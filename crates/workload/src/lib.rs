@@ -1,0 +1,28 @@
+//! Benchmark workloads for the TACO reproduction.
+//!
+//! The paper evaluates on two real corpora: 593 large Enron `xls` files and
+//! 2,238 large Github `xlsx` files. Neither ships with this repository, so
+//! [`generator`] synthesizes spreadsheets whose *dependency structure*
+//! matches what the paper reports — region-by-region autofill runs of the
+//! four basic patterns, cumulative totals, fixed-table lookups, chains,
+//! derived columns, the multi-reference Fig. 2 shape, and noise — with
+//! per-sheet sizes and tail behaviour (max dependents, longest paths)
+//! shaped like Fig. 1. [`corpus`] provides the calibrated `enron_like()`
+//! and `github_like()` presets; [`stats`] measures the Fig. 1 metrics.
+//!
+//! [`xlsx`] additionally loads *real* `.xlsx` files through `calamine` (the
+//! Rust analogue of the Apache POI parser the paper's prototype uses), so
+//! every experiment can also run against actual spreadsheets when
+//! available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod generator;
+pub mod stats;
+pub mod xlsx;
+
+pub use corpus::{enron_like, github_like, CorpusParams};
+pub use generator::{Region, SheetParams, SyntheticSheet};
+pub use stats::{fig1_buckets, SheetStats};

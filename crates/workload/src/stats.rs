@@ -1,0 +1,101 @@
+//! Per-sheet statistics for Fig. 1: maximum number of dependents of any
+//! single cell, and the longest dependency path.
+
+use crate::generator::SyntheticSheet;
+use taco_core::{Config, FormulaGraph};
+use taco_grid::Range;
+
+/// Fig. 1 metrics for one sheet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SheetStats {
+    /// Total dependencies (`|E'|`).
+    pub dependencies: u64,
+    /// Maximum number of dependent cells over the probed hot cells.
+    pub max_dependents: u64,
+    /// The hot-cell index achieving the maximum (into `sheet.hot_cells`).
+    pub max_dependents_cell: usize,
+    /// Longest dependency path (edges), as constructed by the generator.
+    pub longest_path: u32,
+}
+
+/// Measures a sheet by building a TACO graph (compression does not change
+/// answers, only speed) and probing the generator's hot cells.
+pub fn measure(sheet: &SyntheticSheet) -> SheetStats {
+    let g = FormulaGraph::build(Config::taco_full(), sheet.deps.iter().copied());
+    measure_on(sheet, &g)
+}
+
+/// Measures using an already-built graph.
+pub fn measure_on(sheet: &SyntheticSheet, g: &FormulaGraph) -> SheetStats {
+    let mut max_dependents = 0u64;
+    let mut max_cell = 0usize;
+    for (i, &cell) in sheet.hot_cells.iter().enumerate() {
+        let found = g.find_dependents(Range::cell(cell));
+        let n: u64 = found.iter().map(Range::area).sum();
+        if n > max_dependents {
+            max_dependents = n;
+            max_cell = i;
+        }
+    }
+    SheetStats {
+        dependencies: sheet.deps.len() as u64,
+        max_dependents,
+        max_dependents_cell: max_cell,
+        longest_path: sheet.longest_path_len,
+    }
+}
+
+/// Buckets a metric into the Fig. 1 histogram edges:
+/// `(0,100] (100,1e3] (1e3,1e4] (1e4,∞)`. Returns the bucket index 0–3.
+pub fn fig1_bucket(v: u64) -> usize {
+    match v {
+        0..=100 => 0,
+        101..=1_000 => 1,
+        1_001..=10_000 => 2,
+        _ => 3,
+    }
+}
+
+/// Builds the Fig. 1 probability distribution over the four buckets.
+pub fn fig1_buckets(values: impl Iterator<Item = u64>) -> [f64; 4] {
+    let mut counts = [0usize; 4];
+    let mut total = 0usize;
+    for v in values {
+        counts[fig1_bucket(v)] += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return [0.0; 4];
+    }
+    counts.map(|c| c as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{gen_sheet, SheetParams};
+
+    #[test]
+    fn buckets() {
+        assert_eq!(fig1_bucket(0), 0);
+        assert_eq!(fig1_bucket(100), 0);
+        assert_eq!(fig1_bucket(101), 1);
+        assert_eq!(fig1_bucket(1_000), 1);
+        assert_eq!(fig1_bucket(10_000), 2);
+        assert_eq!(fig1_bucket(10_001), 3);
+        let dist = fig1_buckets([50, 150, 5_000, 50_000, 70].into_iter());
+        assert_eq!(dist, [0.4, 0.2, 0.2, 0.2]);
+    }
+
+    #[test]
+    fn measure_finds_large_fanouts() {
+        let p = SheetParams { target_deps: 8_000, ..Default::default() };
+        let sheet = gen_sheet("s", 11, &p);
+        let stats = measure(&sheet);
+        assert_eq!(stats.dependencies, sheet.deps.len() as u64);
+        // A sheet this size contains FF lookups or chains with large
+        // dependent fan-outs.
+        assert!(stats.max_dependents > 100, "got {}", stats.max_dependents);
+        assert!(stats.longest_path > 0);
+    }
+}

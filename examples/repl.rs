@@ -1,0 +1,180 @@
+//! A tiny interactive spreadsheet shell over the TACO-backed engine —
+//! handy for poking at compression behaviour by hand.
+//!
+//! ```sh
+//! cargo run --release --example repl
+//! ```
+//!
+//! Commands (one per line; also accepts a script on stdin):
+//!
+//! ```text
+//! A1 = 42                 set a value
+//! B1 = =SUM(A1:A10)       set a formula
+//! fill B1 B2:B50          autofill from a source cell
+//! show B5                 print a cell's value (and formula)
+//! trace B5                dependents + precedents of a cell
+//! clear A1:B10            clear a range
+//! insrows 5 2 / delrows 5 2 / inscols 2 1 / delcols 2 1
+//! stats                   graph size + per-pattern compression
+//! edges                   list compressed edges
+//! quit
+//! ```
+
+use std::io::{self, BufRead, Write};
+use taco_repro::core::PatternType;
+use taco_repro::engine::Engine;
+use taco_repro::formula::Value;
+use taco_repro::grid::{Cell, Range};
+
+fn main() {
+    let mut engine = Engine::with_taco();
+    let stdin = io::stdin();
+    let interactive = atty();
+    if interactive {
+        println!("taco repl — type `help` for commands");
+    }
+    let mut line = String::new();
+    loop {
+        if interactive {
+            print!("> ");
+            let _ = io::stdout().flush();
+        }
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let input = line.trim();
+        if input.is_empty() || input.starts_with('#') {
+            continue;
+        }
+        match run_command(&mut engine, input) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(msg) => println!("error: {msg}"),
+        }
+    }
+}
+
+fn atty() -> bool {
+    // Keep the example dependency-free: assume non-interactive when stdin
+    // is piped (scripts print no prompts because output order matters).
+    std::env::var("TACO_REPL_PROMPT").is_ok()
+}
+
+fn run_command(engine: &mut Engine, input: &str) -> Result<bool, String> {
+    if input == "quit" || input == "exit" {
+        return Ok(true);
+    }
+    if input == "help" {
+        println!("A1 = 42 | B1 = =SUM(A1:A3) | fill SRC RANGE | show CELL | trace CELL");
+        println!("clear RANGE | insrows AT N | delrows AT N | inscols AT N | delcols AT N");
+        println!("stats | edges | quit");
+        return Ok(false);
+    }
+    if input == "stats" {
+        let s = engine.graph().stats();
+        println!(
+            "edges={} vertices={} dependencies={} remaining={:.2}%",
+            s.edges,
+            s.vertices,
+            s.dependencies,
+            100.0 * s.remaining_fraction()
+        );
+        for p in [
+            PatternType::RR,
+            PatternType::RF,
+            PatternType::FR,
+            PatternType::FF,
+            PatternType::RRChain,
+        ] {
+            let n = s.reduced.get(p);
+            if n > 0 {
+                println!("  {p:?}: {n} edges reduced");
+            }
+        }
+        return Ok(false);
+    }
+    if input == "edges" {
+        for e in engine.graph().edges() {
+            println!("  {:?}: {} -> {} (count {})", e.pattern(), e.prec, e.dep, e.count);
+        }
+        return Ok(false);
+    }
+    if let Some(rest) = input.strip_prefix("show ") {
+        let cell = Cell::parse_a1(rest.trim()).map_err(|e| e.to_string())?;
+        match engine.formula_of(cell) {
+            Some(f) => println!("{cell} = ={f} → {}", engine.value(cell)),
+            None => println!("{cell} = {}", engine.value(cell)),
+        }
+        return Ok(false);
+    }
+    if let Some(rest) = input.strip_prefix("trace ") {
+        let cell = Cell::parse_a1(rest.trim()).map_err(|e| e.to_string())?;
+        let deps = engine.find_dependents(Range::cell(cell));
+        let precs = engine.find_precedents(Range::cell(cell));
+        println!("dependents: {}", join(&deps));
+        println!("precedents: {}", join(&precs));
+        return Ok(false);
+    }
+    if let Some(rest) = input.strip_prefix("clear ") {
+        let range = Range::parse_a1(rest.trim()).map_err(|e| e.to_string())?;
+        engine.clear_range(range);
+        engine.recalculate();
+        return Ok(false);
+    }
+    if let Some(rest) = input.strip_prefix("fill ") {
+        let mut parts = rest.split_whitespace();
+        let src = parts.next().ok_or("fill SRC RANGE")?;
+        let targets = parts.next().ok_or("fill SRC RANGE")?;
+        let src = Cell::parse_a1(src).map_err(|e| e.to_string())?;
+        let targets = Range::parse_a1(targets).map_err(|e| e.to_string())?;
+        engine.autofill(src, targets).map_err(|e| e.to_string())?;
+        engine.recalculate();
+        return Ok(false);
+    }
+    for (cmd, f) in [
+        ("insrows", Engine::insert_rows as fn(&mut Engine, u32, u32)),
+        ("delrows", Engine::delete_rows),
+        ("inscols", Engine::insert_cols),
+        ("delcols", Engine::delete_cols),
+    ] {
+        if let Some(rest) = input.strip_prefix(cmd) {
+            let nums: Vec<u32> = rest
+                .split_whitespace()
+                .map(|s| s.parse().map_err(|_| format!("{cmd} AT N")))
+                .collect::<Result<_, _>>()?;
+            if nums.len() != 2 {
+                return Err(format!("{cmd} AT N"));
+            }
+            f(engine, nums[0], nums[1]);
+            engine.recalculate();
+            return Ok(false);
+        }
+    }
+    // Assignment: `CELL = value-or-formula`.
+    if let Some((lhs, rhs)) = input.split_once('=') {
+        let cell = Cell::parse_a1(lhs.trim()).map_err(|e| e.to_string())?;
+        let rhs = rhs.trim();
+        if let Some(formula) = rhs.strip_prefix('=') {
+            engine.set_formula(cell, formula).map_err(|e| e.to_string())?;
+        } else if let Ok(n) = rhs.parse::<f64>() {
+            engine.set_value(cell, Value::Number(n));
+        } else {
+            engine.set_value(cell, Value::Text(rhs.to_string()));
+        }
+        engine.recalculate();
+        return Ok(false);
+    }
+    Err(format!("unknown command {input:?} (try `help`)"))
+}
+
+fn join(ranges: &[Range]) -> String {
+    if ranges.is_empty() {
+        return "(none)".to_string();
+    }
+    let mut parts: Vec<String> = ranges.iter().map(|r| r.to_a1()).collect();
+    parts.sort();
+    parts.join(", ")
+}

@@ -1,0 +1,197 @@
+//! Cross-crate integration: formulae → parser → engine → formula graph →
+//! queries, with every backend agreeing on answers.
+
+use taco_repro::baselines::{Antifreeze, CellGraph, ExcelLike, NoCompCalc};
+use taco_repro::core::{Config, DependencyBackend, FormulaGraph};
+use taco_repro::engine::Engine;
+use taco_repro::formula::Value;
+use taco_repro::grid::{Cell, Range};
+use taco_repro::workload::generator::{gen_sheet, SheetParams};
+
+fn c(s: &str) -> Cell {
+    Cell::parse_a1(s).unwrap()
+}
+
+fn r(s: &str) -> Range {
+    Range::parse_a1(s).unwrap()
+}
+
+fn cells(v: &[Range]) -> std::collections::BTreeSet<Cell> {
+    v.iter().flat_map(|x| x.cells()).collect()
+}
+
+/// Builds the Fig. 2 spreadsheet through the engine (formula strings all
+/// the way) and verifies values, compression, and dependents.
+#[test]
+fn fig2_workbook_end_to_end() {
+    let mut e = Engine::with_taco();
+    let rows = 400u32;
+    // Column A: sorted group ids. Column M: amounts.
+    for row in 2..=rows {
+        e.set_value(Cell::new(1, row), Value::Number(f64::from(row / 50)));
+        e.set_value(Cell::new(13, row), Value::Number(1.0));
+    }
+    e.set_formula(c("N2"), "=M2").unwrap();
+    e.set_formula(c("N3"), "=IF(A3=A2,N2+M3,M3)").unwrap();
+    e.autofill(c("N3"), Range::from_coords(14, 4, 14, rows)).unwrap();
+    e.recalculate();
+
+    // Running totals reset at group boundaries (row 50k).
+    assert_eq!(e.value(Cell::new(14, 49)), Value::Number(48.0));
+    assert_eq!(e.value(Cell::new(14, 50)), Value::Number(1.0));
+    assert_eq!(e.value(Cell::new(14, 99)), Value::Number(50.0));
+
+    // The ~1600 dependencies compress to a handful of edges (Fig. 2
+    // compresses to 6 compressed edges in the paper's illustration).
+    assert!(e.graph().num_edges() <= 8, "got {} edges", e.graph().num_edges());
+
+    // Update one amount: every N at or below that row must be dirty.
+    let receipt = e.set_value(Cell::new(13, 100), Value::Number(5.0));
+    let dirty: u64 = receipt.dirty.iter().map(Range::area).sum();
+    assert_eq!(dirty, u64::from(rows) - 100 + 1);
+    e.recalculate();
+    // Row 100 starts a new group (100/50 = 2), so N100 resets to M100.
+    assert_eq!(e.value(Cell::new(14, 100)), Value::Number(5.0));
+    assert_eq!(e.value(Cell::new(14, 101)), Value::Number(6.0));
+}
+
+/// All six backends must return the same dependent cell sets on a messy
+/// generated sheet.
+#[test]
+fn all_backends_agree() {
+    let params = SheetParams { target_deps: 1_500, max_run: 120, ..Default::default() };
+    let sheet = gen_sheet("agree", 99, &params);
+
+    let mut backends: Vec<Box<dyn DependencyBackend>> = vec![
+        Box::new(FormulaGraph::taco()),
+        Box::new(FormulaGraph::nocomp()),
+        Box::new(FormulaGraph::new(Config::taco_in_row())),
+        Box::new(NoCompCalc::new()),
+        Box::new(CellGraph::new()),
+        Box::new(ExcelLike::new()),
+        Box::new(Antifreeze::new()),
+    ];
+    for b in &mut backends {
+        for d in &sheet.deps {
+            b.add_dependency(d);
+        }
+    }
+
+    // Probe the interesting cells. Antifreeze may over-approximate (false
+    // positives by design), so it is checked for coverage, not equality.
+    for &probe in sheet.hot_cells.iter().take(6) {
+        let reference = cells(&backends[1].find_dependents(Range::cell(probe)));
+        for b in &mut backends[..6] {
+            let got = cells(&b.find_dependents(Range::cell(probe)));
+            assert_eq!(got, reference, "{} disagrees on {probe}", b.name());
+        }
+        let af = cells(&backends[6].find_dependents(Range::cell(probe)));
+        assert!(
+            af.is_superset(&reference),
+            "Antifreeze missed true dependents at {probe}"
+        );
+    }
+}
+
+/// Maintenance equivalence across backends that support exact clearing.
+#[test]
+fn clear_column_consistency() {
+    let params = SheetParams { target_deps: 800, max_run: 80, ..Default::default() };
+    let sheet = gen_sheet("clear", 7, &params);
+    let clear = {
+        // Clear a column segment through the densest area.
+        let d = &sheet.deps[sheet.deps.len() / 2];
+        Range::new(d.dep, Cell::new(d.dep.col, d.dep.row + 50))
+    };
+
+    let mut taco = FormulaGraph::taco();
+    let mut nocomp = FormulaGraph::nocomp();
+    let mut calc = NoCompCalc::new();
+    for d in &sheet.deps {
+        DependencyBackend::add_dependency(&mut taco, d);
+        DependencyBackend::add_dependency(&mut nocomp, d);
+        calc.add_dependency(d);
+    }
+    DependencyBackend::clear_cells(&mut taco, clear);
+    DependencyBackend::clear_cells(&mut nocomp, clear);
+    calc.clear_cells(clear);
+
+    for &probe in sheet.hot_cells.iter().take(4) {
+        let a = cells(&DependencyBackend::find_dependents(&mut taco, Range::cell(probe)));
+        let b = cells(&DependencyBackend::find_dependents(&mut nocomp, Range::cell(probe)));
+        let cc = cells(&calc.find_dependents(Range::cell(probe)));
+        assert_eq!(a, b, "taco vs nocomp after clear at {probe}");
+        assert_eq!(a, cc, "taco vs calc after clear at {probe}");
+    }
+}
+
+/// The engine produces identical computed values under TACO and NoComp on
+/// a workbook exercising all pattern shapes.
+#[test]
+fn engine_value_equivalence() {
+    let build = |mut e: Engine| {
+        for row in 1..=60u32 {
+            e.set_value(Cell::new(1, row), Value::Number(f64::from(row)));
+        }
+        // Derived column.
+        e.set_formula(c("B1"), "=A1*2").unwrap();
+        e.autofill(c("B1"), r("B2:B60")).unwrap();
+        // Cumulative.
+        e.set_formula(c("C1"), "=SUM($B$1:B1)").unwrap();
+        e.autofill(c("C1"), r("C2:C60")).unwrap();
+        // Sliding window.
+        e.set_formula(c("D3"), "=AVERAGE(A1:A5)").unwrap();
+        e.autofill(c("D3"), r("D4:D56")).unwrap();
+        // Chain.
+        e.set_formula(c("E1"), "=A1").unwrap();
+        e.set_formula(c("E2"), "=E1+1").unwrap();
+        e.autofill(c("E2"), r("E3:E60")).unwrap();
+        // Fixed lookup.
+        e.set_formula(c("F1"), "=MAX($A$1:$A$60)").unwrap();
+        e.autofill(c("F1"), r("F2:F20")).unwrap();
+        e.recalculate();
+        e
+    };
+    let taco = build(Engine::with_taco());
+    let nocomp = build(Engine::with_nocomp());
+    for col in 2..=6u32 {
+        for row in 1..=60u32 {
+            let cell = Cell::new(col, row);
+            assert_eq!(taco.value(cell), nocomp.value(cell), "cell {cell}");
+        }
+    }
+    assert!(taco.graph().num_edges() * 10 < nocomp.graph().num_edges());
+}
+
+/// Compression bookkeeping survives heavy incremental churn.
+#[test]
+fn incremental_churn_stays_consistent() {
+    let params = SheetParams { target_deps: 600, max_run: 60, ..Default::default() };
+    let sheet = gen_sheet("churn", 3, &params);
+    let mut taco = FormulaGraph::taco();
+    let mut nocomp = FormulaGraph::nocomp();
+    for d in &sheet.deps {
+        taco.add_dependency(d);
+        nocomp.add_dependency(d);
+    }
+    // Clear and re-add slices repeatedly.
+    for i in 0..10u32 {
+        let d = sheet.deps[(i as usize * 37) % sheet.deps.len()];
+        let seg = Range::new(d.dep, Cell::new(d.dep.col, d.dep.row + 5));
+        taco.clear_cells(seg);
+        nocomp.clear_cells(seg);
+        for dd in sheet.deps.iter().filter(|dd| seg.contains_cell(dd.dep)) {
+            taco.add_dependency(dd);
+            nocomp.add_dependency(dd);
+        }
+    }
+    let mut got: Vec<(Range, Cell)> =
+        taco.decompress_all().into_iter().map(|d| (d.prec, d.dep)).collect();
+    let mut want: Vec<(Range, Cell)> =
+        nocomp.decompress_all().into_iter().map(|d| (d.prec, d.dep)).collect();
+    got.sort();
+    got.dedup();
+    want.sort();
+    want.dedup();
+    assert_eq!(got, want);
+}
