@@ -202,19 +202,12 @@ mod tests {
 
     #[test]
     fn lookups_cover_true_dependents() {
-        let mut af = Antifreeze::build([
-            d("A1", "B1"),
-            d("B1", "C1"),
-            d("C1", "D1"),
-            d("A1", "B5"),
-        ]);
+        let mut af =
+            Antifreeze::build([d("A1", "B1"), d("B1", "C1"), d("C1", "D1"), d("A1", "B5")]);
         let found = af.find_dependents(r("A1"));
         // Every true dependent must be covered (no false negatives).
         for cell in ["B1", "C1", "D1", "B5"] {
-            assert!(
-                found.iter().any(|x| x.contains(&r(cell))),
-                "missing true dependent {cell}"
-            );
+            assert!(found.iter().any(|x| x.contains(&r(cell))), "missing true dependent {cell}");
         }
     }
 

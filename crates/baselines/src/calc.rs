@@ -197,13 +197,8 @@ mod tests {
 
     #[test]
     fn agrees_with_nocomp() {
-        let deps = [
-            d("A1:A3", "B1"),
-            d("A1:A3", "B2"),
-            d("B1", "C1"),
-            d("B3", "C1"),
-            d("B2:B3", "C2"),
-        ];
+        let deps =
+            [d("A1:A3", "B1"), d("A1:A3", "B2"), d("B1", "C1"), d("B3", "C1"), d("B2:B3", "C2")];
         let mut calc = NoCompCalc::build(deps.iter().copied());
         let mut nocomp = taco_core::FormulaGraph::nocomp();
         for dep in &deps {

@@ -141,13 +141,8 @@ mod tests {
 
     #[test]
     fn memory_matches_taco_but_answers_match_nocomp() {
-        let deps = [
-            d("A1:B3", "C1"),
-            d("A2:B4", "C2"),
-            d("A3:B5", "C3"),
-            d("C1:C3", "D1"),
-            d("D1", "E1"),
-        ];
+        let deps =
+            [d("A1:B3", "C1"), d("A2:B4", "C2"), d("A3:B5", "C3"), d("C1:C3", "D1"), d("D1", "E1")];
         let mut ex = ExcelLike::build(deps.iter().copied());
         let taco = FormulaGraph::build(taco_core::Config::taco_full(), deps.iter().copied());
         assert_eq!(ex.compressed_edges(), taco.num_edges());

@@ -12,12 +12,10 @@ const W: u32 = 10;
 const H: u32 = 16;
 
 fn arb_dep() -> impl Strategy<Value = Dependency> {
-    (1u32..=W, 1u32..=H, 1u32..=W, 1u32..=H, 0u32..2, 0u32..4).prop_map(
-        |(pc, pr, dc, dr, w, h)| {
-            let prec = Range::from_coords(pc, pr, (pc + w).min(W), (pr + h).min(H));
-            Dependency::new(prec, Cell::new(dc, dr))
-        },
-    )
+    (1u32..=W, 1u32..=H, 1u32..=W, 1u32..=H, 0u32..2, 0u32..4).prop_map(|(pc, pr, dc, dr, w, h)| {
+        let prec = Range::from_coords(pc, pr, (pc + w).min(W), (pr + h).min(H));
+        Dependency::new(prec, Cell::new(dc, dr))
+    })
 }
 
 fn arb_deps() -> impl Strategy<Value = Vec<Dependency>> {

@@ -9,10 +9,7 @@ use taco_workload::stats::measure_on;
 
 fn main() {
     header("Ablation — pattern set and heuristics");
-    println!(
-        "{:<26} {:>12} {:>12} {:>14}",
-        "config", "edges", "build(ms)", "find-dep p-max"
-    );
+    println!("{:<26} {:>12} {:>12} {:>14}", "config", "edges", "build(ms)", "find-dep p-max");
     let corpus = corpora().remove(0);
     let mut configs: Vec<(String, Config)> = vec![
         ("full".into(), Config::taco_full()),
@@ -20,13 +17,9 @@ fn main() {
         ("nocomp".into(), Config::nocomp()),
         ("in-row".into(), Config::taco_in_row()),
     ];
-    for p in [
-        PatternType::RR,
-        PatternType::RF,
-        PatternType::FR,
-        PatternType::FF,
-        PatternType::RRChain,
-    ] {
+    for p in
+        [PatternType::RR, PatternType::RF, PatternType::FR, PatternType::FF, PatternType::RRChain]
+    {
         configs.push((format!("full - {p:?}"), Config::taco_without(p)));
     }
     let mut no_col = Config::taco_full();

@@ -16,10 +16,7 @@ fn main() {
             let (nocomp, _) = build_graph(Config::nocomp(), sheet);
             let stats = measure_on(sheet, &taco);
             let start = sheet.hot_cells[stats.max_dependents_cell];
-            let clear = Range::new(
-                start,
-                Cell::new(start.col, (start.row + 999).min(MAX_ROW)),
-            );
+            let clear = Range::new(start, Cell::new(start.col, (start.row + 999).min(MAX_ROW)));
             let mut taco = taco;
             let mut nocomp = nocomp;
             let (_, t) = time(|| taco.clear_cells(clear));

@@ -14,9 +14,7 @@ fn main() {
     );
     for corpus in corpora() {
         // Rank by TACO build time, like the paper.
-        let ranked = top_n_by(&corpus.sheets, 10, |s| {
-            ms(build_graph(Config::taco_full(), s).1)
-        });
+        let ranked = top_n_by(&corpus.sheets, 10, |s| ms(build_graph(Config::taco_full(), s).1));
         for (i, sheet) in ranked.iter().enumerate() {
             let (_, taco_t) = build_graph(Config::taco_full(), sheet);
             let (_, nocomp_t) = build_graph(Config::nocomp(), sheet);
@@ -24,8 +22,7 @@ fn main() {
             let mut cg = CellGraph::new();
             cg.edge_limit = 5_000_000;
             let cg_t = build_backend(&mut cg, &sheet.deps);
-            let cg_txt =
-                if cg.did_not_finish { "DNF(X)".to_string() } else { fmt_ms(ms(cg_t)) };
+            let cg_txt = if cg.did_not_finish { "DNF(X)".to_string() } else { fmt_ms(ms(cg_t)) };
 
             let mut af = Antifreeze::new();
             af.build_budget = 3_000_000;
@@ -35,8 +32,7 @@ fn main() {
                 total += t;
                 total
             };
-            let af_txt =
-                if af.did_not_finish { "DNF(X)".to_string() } else { fmt_ms(ms(af_t)) };
+            let af_txt = if af.did_not_finish { "DNF(X)".to_string() } else { fmt_ms(ms(af_t)) };
 
             println!(
                 "{:<12} {:>12} {:>12} {:>14} {:>14}",

@@ -14,9 +14,7 @@ fn main() {
         "sheet", "TACO", "NoComp", "CellGraph", "Antifreeze"
     );
     for corpus in corpora() {
-        let ranked = top_n_by(&corpus.sheets, 10, |s| {
-            ms(build_graph(Config::taco_full(), s).1)
-        });
+        let ranked = top_n_by(&corpus.sheets, 10, |s| ms(build_graph(Config::taco_full(), s).1));
         for (i, sheet) in ranked.iter().enumerate() {
             let (taco, _) = build_graph(Config::taco_full(), sheet);
             let (nocomp, _) = build_graph(Config::nocomp(), sheet);

@@ -15,16 +15,13 @@ fn main() {
         "sheet", "TACO", "NoComp", "CellGraph", "Antifreeze"
     );
     for corpus in corpora() {
-        let ranked = top_n_by(&corpus.sheets, 10, |s| {
-            ms(build_graph(Config::taco_full(), s).1)
-        });
+        let ranked = top_n_by(&corpus.sheets, 10, |s| ms(build_graph(Config::taco_full(), s).1));
         for (i, sheet) in ranked.iter().enumerate() {
             let (mut taco, _) = build_graph(Config::taco_full(), sheet);
             let (mut nocomp, _) = build_graph(Config::nocomp(), sheet);
             let stats = measure_on(sheet, &taco);
             let start = sheet.hot_cells[stats.max_dependents_cell];
-            let clear =
-                Range::new(start, Cell::new(start.col, (start.row + 999).min(MAX_ROW)));
+            let clear = Range::new(start, Cell::new(start.col, (start.row + 999).min(MAX_ROW)));
 
             let (_, t) = time(|| taco.clear_cells(clear));
             let (_, n) = time(|| nocomp.clear_cells(clear));
@@ -52,7 +49,11 @@ fn main() {
                     af.clear_cells(clear);
                     af.rebuild_table();
                 });
-                if af.did_not_finish { "DNF(X)".to_string() } else { fmt_ms(ms(d)) }
+                if af.did_not_finish {
+                    "DNF(X)".to_string()
+                } else {
+                    fmt_ms(ms(d))
+                }
             };
 
             println!(

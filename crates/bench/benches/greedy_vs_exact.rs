@@ -41,10 +41,7 @@ fn main() {
         let mut deps = Vec::new();
         for col in 10..10 + k {
             for row in 1..=k {
-                deps.push(Dependency::new(
-                    Range::parse_a1("A1:B2").unwrap(),
-                    Cell::new(col, row),
-                ));
+                deps.push(Dependency::new(Range::parse_a1("A1:B2").unwrap(), Cell::new(col, row)));
             }
         }
         let greedy = FormulaGraph::build(cfg.clone(), deps.iter().copied()).num_edges();

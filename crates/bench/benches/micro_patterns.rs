@@ -9,9 +9,7 @@ use taco_grid::{Cell, Range};
 
 /// Builds one RR compressed edge covering `n` dependencies.
 fn rr_edge(n: u32) -> taco_core::Edge {
-    let mk = |row: u32| {
-        Dependency::new(Range::from_coords(1, row, 2, row + 2), Cell::new(5, row))
-    };
+    let mk = |row: u32| Dependency::new(Range::from_coords(1, row, 2, row + 2), Cell::new(5, row));
     let mut e = taco_core::Edge::single(&mk(1));
     let second = mk(2);
     e = e.try_pair(&second, PatternType::RR, taco_grid::Axis::Col).unwrap();
@@ -33,8 +31,7 @@ fn bench_key_functions(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("find_prec", n), &e, |b, e| {
             b.iter(|| black_box(e.find_prec(black_box(s))))
         });
-        let next =
-            Dependency::new(Range::from_coords(1, n + 1, 2, n + 3), Cell::new(5, n + 1));
+        let next = Dependency::new(Range::from_coords(1, n + 1, 2, n + 3), Cell::new(5, n + 1));
         group.bench_with_input(BenchmarkId::new("add_dep", n), &e, |b, e| {
             b.iter(|| black_box(e.try_extend(black_box(&next))))
         });

@@ -6,10 +6,7 @@ use taco_core::{Config, PatternCounts, PatternType};
 
 fn main() {
     header("Table V — edges reduced per pattern");
-    println!(
-        "{:<10} {:<10} {:>14} {:>14}",
-        "corpus", "pattern", "total", "max(sheet)"
-    );
+    println!("{:<10} {:<10} {:>14} {:>14}", "corpus", "pattern", "total", "max(sheet)");
     for corpus in corpora() {
         let mut total = PatternCounts::default();
         let mut max = PatternCounts::default();

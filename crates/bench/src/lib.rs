@@ -124,8 +124,7 @@ pub fn top_n_by(
     n: usize,
     mut score: impl FnMut(&SyntheticSheet) -> f64,
 ) -> Vec<&SyntheticSheet> {
-    let mut scored: Vec<(&SyntheticSheet, f64)> =
-        sheets.iter().map(|s| (s, score(s))).collect();
+    let mut scored: Vec<(&SyntheticSheet, f64)> = sheets.iter().map(|s| (s, score(s))).collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
     scored.into_iter().take(n).map(|(s, _)| s).collect()
 }

@@ -146,8 +146,7 @@ mod tests {
 
     #[test]
     fn groups_fig4a_is_compressible() {
-        let deps =
-            vec![d("A1:B3", "C1"), d("A2:B4", "C2"), d("A3:B5", "C3"), d("A4:B6", "C4")];
+        let deps = vec![d("A1:B3", "C1"), d("A2:B4", "C2"), d("A3:B5", "C3"), d("A4:B6", "C4")];
         assert!(compressible_group(&deps, &Config::taco_full()));
         // Out of order is fine.
         let rev: Vec<Dependency> = deps.iter().rev().copied().collect();
@@ -168,8 +167,7 @@ mod tests {
     #[test]
     fn exact_matches_greedy_on_clean_runs() {
         // A pure RR run + an FF pair: optimum is clearly 2.
-        let mut deps =
-            vec![d("A1:B3", "C1"), d("A2:B4", "C2"), d("A3:B5", "C3"), d("A4:B6", "C4")];
+        let mut deps = vec![d("A1:B3", "C1"), d("A2:B4", "C2"), d("A3:B5", "C3"), d("A4:B6", "C4")];
         deps.push(d("G1:G9", "H1"));
         deps.push(d("G1:G9", "H2"));
         let exact = exact_min_edges(&deps, &Config::taco_full(), 1_000_000).unwrap();

@@ -63,12 +63,7 @@ impl Config {
     /// No compression: every dependency is stored as a `Single` edge. This
     /// is the paper's NoComp baseline, implemented in the same framework.
     pub fn nocomp() -> Self {
-        Config {
-            patterns: Vec::new(),
-            in_row_only: false,
-            column_priority: true,
-            use_cues: true,
-        }
+        Config { patterns: Vec::new(), in_row_only: false, column_priority: true, use_cues: true }
     }
 
     /// Full TACO minus one pattern (pattern-ablation benches).

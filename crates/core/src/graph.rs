@@ -186,21 +186,14 @@ impl FormulaGraph {
             .enumerate()
             .min_by_key(|(_, (e, _))| {
                 let p = e.pattern();
-                let axis_rank = if self.config.column_priority && e.axis == Axis::Row {
-                    1u8
-                } else {
-                    0
-                };
+                let axis_rank =
+                    if self.config.column_priority && e.axis == Axis::Row { 1u8 } else { 0 };
                 // Special-case patterns outrank their general forms.
                 let special_rank =
                     if PatternType::ALL.iter().any(|&q| p.is_special_case_of(q)) { 0u8 } else { 1 };
                 let cue_rank = if self.config.use_cues && p.matches_cue(d.cue) { 0u8 } else { 1 };
-                let order_rank = self
-                    .config
-                    .patterns
-                    .iter()
-                    .position(|&q| q == p)
-                    .unwrap_or(usize::MAX);
+                let order_rank =
+                    self.config.patterns.iter().position(|&q| q == p).unwrap_or(usize::MAX);
                 // Prefer extending an existing compressed edge over pairing
                 // two singles when otherwise tied (larger count first).
                 let count_rank = u32::MAX - e.count;
@@ -731,10 +724,7 @@ mod tests {
         let mut g = FormulaGraph::new(Config::taco_in_row());
         // Derived column: Bi = Ai * 2 — same-row references, compresses.
         for row in 1..=5u32 {
-            g.add_dependency(&Dependency::new(
-                Range::cell(Cell::new(1, row)),
-                Cell::new(2, row),
-            ));
+            g.add_dependency(&Dependency::new(Range::cell(Cell::new(1, row)), Cell::new(2, row)));
         }
         // Sliding windows (cross-row): must NOT compress under InRow.
         for (p, c) in [("D1:D3", "E2"), ("D2:D4", "E3"), ("D3:D5", "E4")] {
@@ -769,10 +759,7 @@ mod tests {
         let mut g = FormulaGraph::new(Config::taco_with_gap_one());
         // Formulae at C1, C3, C5 referencing the cell to the left.
         for row in [1u32, 3, 5] {
-            g.add_dependency(&Dependency::new(
-                Range::cell(Cell::new(2, row)),
-                Cell::new(3, row),
-            ));
+            g.add_dependency(&Dependency::new(Range::cell(Cell::new(2, row)), Cell::new(3, row)));
         }
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.edges().next().unwrap().pattern(), PatternType::RRGapOne);

@@ -37,8 +37,8 @@ pub mod edge;
 pub mod graph;
 pub mod pattern;
 pub mod snapshot;
-pub mod structural;
 pub mod stats;
+pub mod structural;
 
 mod dep;
 mod slab;
@@ -55,6 +55,6 @@ pub use dep::{Cue, Dependency};
 pub use edge::{Edge, EdgeId};
 pub use graph::{FormulaGraph, QueryStats};
 pub use pattern::{ChainDir, PatternMeta, PatternType};
-pub use stats::{GraphStats, PatternCounts};
 pub use snapshot::GraphSnapshot;
+pub use stats::{GraphStats, PatternCounts};
 pub use structural::StructuralOp;

@@ -217,9 +217,8 @@ pub(crate) fn pair_meta(pattern: PatternType, a: &CanonDep, b: &CanonDep) -> Opt
             .then_some(PatternMeta::RF { h_rel: ha, t_fix: a.prec.tail() }),
         PatternType::FR => (ta == tb && a.prec.head() == b.prec.head())
             .then_some(PatternMeta::FR { h_fix: a.prec.head(), t_rel: ta }),
-        PatternType::FF => {
-            (a.prec == b.prec).then_some(PatternMeta::FF { h_fix: a.prec.head(), t_fix: a.prec.tail() })
-        }
+        PatternType::FF => (a.prec == b.prec)
+            .then_some(PatternMeta::FF { h_fix: a.prec.head(), t_fix: a.prec.tail() }),
         PatternType::RRChain => {
             let dir = chain_dir(a)?;
             (chain_dir(b) == Some(dir)).then_some(PatternMeta::RRChain { dir })
@@ -263,9 +262,7 @@ pub(crate) fn can_extend(meta: &PatternMeta, dep_run: Range, d: &CanonDep) -> bo
         }
         PatternMeta::RF { h_rel, t_fix } => h == *h_rel && d.prec.tail() == *t_fix,
         PatternMeta::FR { h_fix, t_rel } => d.prec.head() == *h_fix && t == *t_rel,
-        PatternMeta::FF { h_fix, t_fix } => {
-            d.prec.head() == *h_fix && d.prec.tail() == *t_fix
-        }
+        PatternMeta::FF { h_fix, t_fix } => d.prec.head() == *h_fix && d.prec.tail() == *t_fix,
         PatternMeta::RRChain { dir } => chain_dir(d) == Some(*dir),
     }
 }
@@ -330,9 +327,7 @@ pub(crate) fn find_dep(meta: &PatternMeta, prec: Range, dep: Range, r: Range) ->
             let Some(bounds) = clamp_rows(col, dh_row, dt_row, dep) else {
                 return Vec::new();
             };
-            return parity_rows(dep, bounds)
-                .map(|row| Range::cell(Cell::new(col, row)))
-                .collect();
+            return parity_rows(dep, bounds).map(|row| Range::cell(Cell::new(col, row))).collect();
         }
     };
     out.into_iter().collect()
@@ -347,10 +342,7 @@ pub(crate) fn find_prec(meta: &PatternMeta, prec: Range, dep: Range, s: Range) -
         PatternMeta::RR { h_rel, t_rel } => {
             // Union of sliding windows: head of s.head's precedent through
             // tail of s.tail's precedent.
-            Some(Range::new(
-                s.head().offset_saturating(*h_rel),
-                s.tail().offset_saturating(*t_rel),
-            ))
+            Some(Range::new(s.head().offset_saturating(*h_rel), s.tail().offset_saturating(*t_rel)))
         }
         PatternMeta::RF { h_rel, t_fix } => {
             // s.head's precedent contains all others (shrinking windows).
@@ -365,18 +357,12 @@ pub(crate) fn find_prec(meta: &PatternMeta, prec: Range, dep: Range, s: Range) -
             let col = prec.head().col;
             match dir {
                 // Transitive upstream chain segment.
-                ChainDir::Above => clamp_rows(
-                    col,
-                    i64::from(prec.head().row),
-                    i64::from(s.tail().row) - 1,
-                    prec,
-                ),
-                ChainDir::Below => clamp_rows(
-                    col,
-                    i64::from(s.head().row) + 1,
-                    i64::from(prec.tail().row),
-                    prec,
-                ),
+                ChainDir::Above => {
+                    clamp_rows(col, i64::from(prec.head().row), i64::from(s.tail().row) - 1, prec)
+                }
+                ChainDir::Below => {
+                    clamp_rows(col, i64::from(s.head().row) + 1, i64::from(prec.tail().row), prec)
+                }
             }
         }
         PatternMeta::RRGapOne { h_rel, t_rel } => {
@@ -429,12 +415,7 @@ fn seg_prec(meta: &PatternMeta, seg: Range) -> Range {
 /// from the edge and returns the edges reconstructing the remainder
 /// (Alg. 1 lines 23–30). `s` need not be contained in `e.dep`; only the
 /// overlap is removed. An empty result means the whole edge disappears.
-pub(crate) fn remove_dep(
-    meta: &PatternMeta,
-    prec: Range,
-    dep: Range,
-    s: Range,
-) -> Vec<CanonParts> {
+pub(crate) fn remove_dep(meta: &PatternMeta, prec: Range, dep: Range, s: Range) -> Vec<CanonParts> {
     let Some(cut) = dep.intersect(&s) else {
         // Nothing to remove: the edge survives unchanged.
         return vec![CanonParts { prec, dep, meta: *meta, count: count_for(meta, dep) }];

@@ -85,10 +85,7 @@ mod tests {
         assert_eq!(restored.stats(), g.stats());
         for probe in ["A2", "G5", "J1", "C2"] {
             let probe = Range::parse_a1(probe).unwrap();
-            assert_eq!(
-                cells(&restored.find_dependents(probe)),
-                cells(&g.find_dependents(probe))
-            );
+            assert_eq!(cells(&restored.find_dependents(probe)), cells(&g.find_dependents(probe)));
         }
     }
 

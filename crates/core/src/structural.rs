@@ -286,6 +286,7 @@ mod tests {
         assert_eq!(e.pattern(), PatternType::FF);
         assert_eq!(e.prec, r("A1:B2")); // table stays
         assert_eq!(e.dep, r("C24:C26")); // lookups shift
+
         // Queries still work.
         let deps = g.find_dependents(r("A1"));
         assert_eq!(deps.iter().map(Range::area).sum::<u64>(), 3);
@@ -350,9 +351,8 @@ mod tests {
     fn chain_survives_rigid_shift() {
         let g = FormulaGraph::build(
             Config::taco_full(),
-            (2..=20u32).map(|row| {
-                Dependency::new(Range::cell(Cell::new(1, row - 1)), Cell::new(1, row))
-            }),
+            (2..=20u32)
+                .map(|row| Dependency::new(Range::cell(Cell::new(1, row - 1)), Cell::new(1, row))),
         );
         assert_eq!(g.num_edges(), 1);
         let g = check(g, StructuralOp::InsertRows { at: 30, n: 4 });
@@ -370,9 +370,8 @@ mod tests {
         // Row-axis edge: formulas along row 5 referencing the cell above.
         let g = FormulaGraph::build(
             Config::taco_full(),
-            (2..=8u32).map(|col| {
-                Dependency::new(Range::cell(Cell::new(col, 4)), Cell::new(col, 5))
-            }),
+            (2..=8u32)
+                .map(|col| Dependency::new(Range::cell(Cell::new(col, 4)), Cell::new(col, 5))),
         );
         assert_eq!(g.num_edges(), 1);
         let g = check(g, StructuralOp::InsertCols { at: 1, n: 2 });
@@ -389,7 +388,13 @@ mod tests {
     fn stats_remain_consistent_after_structural_ops() {
         let mut g = FormulaGraph::build(
             Config::taco_full(),
-            [d("A1:B3", "C1"), d("A2:B4", "C2"), d("A3:B5", "C3"), d("G1:G5", "H1"), d("G1:G5", "H2")],
+            [
+                d("A1:B3", "C1"),
+                d("A2:B4", "C2"),
+                d("A3:B5", "C3"),
+                d("G1:G5", "H1"),
+                d("G1:G5", "H2"),
+            ],
         );
         g.insert_rows(2, 3);
         let s = g.stats();

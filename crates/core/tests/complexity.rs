@@ -7,9 +7,7 @@ use taco_core::{Config, Dependency, FormulaGraph, PatternType};
 use taco_grid::{Cell, Range};
 
 fn rr_deps(n: u32) -> impl Iterator<Item = Dependency> {
-    (1..=n).map(|row| {
-        Dependency::new(Range::from_coords(1, row, 2, row + 2), Cell::new(5, row))
-    })
+    (1..=n).map(|row| Dependency::new(Range::from_coords(1, row, 2, row + 2), Cell::new(5, row)))
 }
 
 #[test]
@@ -43,12 +41,10 @@ fn chain_pattern_avoids_quadratic_reaccess() {
     // Without RR-Chain, a chain of length n forces ~n accesses of the same
     // RR edge (the §V motivation); with it, a constant number.
     let n = 5_000u32;
-    let chain = (2..=n).map(|row| {
-        Dependency::new(Range::cell(Cell::new(1, row - 1)), Cell::new(1, row))
-    });
+    let chain =
+        (2..=n).map(|row| Dependency::new(Range::cell(Cell::new(1, row - 1)), Cell::new(1, row)));
     let with_chain = FormulaGraph::build(Config::taco_full(), chain.clone());
-    let without_chain =
-        FormulaGraph::build(Config::taco_without(PatternType::RRChain), chain);
+    let without_chain = FormulaGraph::build(Config::taco_without(PatternType::RRChain), chain);
 
     let (a, sa) = with_chain.find_dependents_with_stats(Range::cell(Cell::new(1, 1)));
     let (b, sb) = without_chain.find_dependents_with_stats(Range::cell(Cell::new(1, 1)));
@@ -111,10 +107,7 @@ fn build_then_query_on_grid_boundaries() {
     // Chain ending exactly at MAX_ROW.
     let mut g = FormulaGraph::taco();
     for row in (MAX_ROW - 20 + 1)..=MAX_ROW {
-        g.add_dependency(&Dependency::new(
-            Range::cell(Cell::new(1, row - 1)),
-            Cell::new(1, row),
-        ));
+        g.add_dependency(&Dependency::new(Range::cell(Cell::new(1, row - 1)), Cell::new(1, row)));
     }
     let deps = g.find_dependents(Range::cell(Cell::new(1, MAX_ROW - 20)));
     assert_eq!(deps.iter().map(Range::area).sum::<u64>(), 20);
@@ -149,14 +142,8 @@ fn interleaved_inserts_still_compress() {
     // compressing (insertion order independence at the run level).
     let mut g = FormulaGraph::taco();
     for row in 1..=100u32 {
-        g.add_dependency(&Dependency::new(
-            Range::cell(Cell::new(1, row)),
-            Cell::new(2, row),
-        ));
-        g.add_dependency(&Dependency::new(
-            Range::cell(Cell::new(4, row)),
-            Cell::new(5, row),
-        ));
+        g.add_dependency(&Dependency::new(Range::cell(Cell::new(1, row)), Cell::new(2, row)));
+        g.add_dependency(&Dependency::new(Range::cell(Cell::new(4, row)), Cell::new(5, row)));
     }
     assert_eq!(g.num_edges(), 2);
 }

@@ -23,16 +23,12 @@ fn arb_small_instance() -> impl Strategy<Value = Vec<Dependency>> {
         }
         out
     });
-    let noise = (1u32..8, 1u32..8, 1u32..8, 1u32..8)
-        .prop_map(|(pc, pr, dc, dr)| vec![Dependency::new(Range::cell(Cell::new(pc, pr)), Cell::new(dc, dr))]);
+    let noise = (1u32..8, 1u32..8, 1u32..8, 1u32..8).prop_map(|(pc, pr, dc, dr)| {
+        vec![Dependency::new(Range::cell(Cell::new(pc, pr)), Cell::new(dc, dr))]
+    });
     prop::collection::vec(prop_oneof![3 => run, 1 => noise], 1..4).prop_map(|chunks| {
         let mut seen = std::collections::BTreeSet::new();
-        chunks
-            .into_iter()
-            .flatten()
-            .filter(|d| seen.insert((d.prec, d.dep)))
-            .take(12)
-            .collect()
+        chunks.into_iter().flatten().filter(|d| seen.insert((d.prec, d.dep))).take(12).collect()
     })
 }
 

@@ -57,19 +57,18 @@ fn arb_deps() -> impl Strategy<Value = Vec<Dependency>> {
             vec![Dependency::new(prec, Cell::new(dc, dr))]
         },
     );
-    prop::collection::vec(prop_oneof![3 => run, 1 => noise], 1..12)
-        .prop_map(|chunks| {
-            // Deduplicate identical (prec, dep) pairs: a real parser emits a
-            // set of references per formula cell.
-            let mut seen = BTreeSet::new();
-            let mut out = Vec::new();
-            for d in chunks.into_iter().flatten() {
-                if seen.insert((d.prec, d.dep)) {
-                    out.push(d);
-                }
+    prop::collection::vec(prop_oneof![3 => run, 1 => noise], 1..12).prop_map(|chunks| {
+        // Deduplicate identical (prec, dep) pairs: a real parser emits a
+        // set of references per formula cell.
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for d in chunks.into_iter().flatten() {
+            if seen.insert((d.prec, d.dep)) {
+                out.push(d);
             }
-            out
-        })
+        }
+        out
+    })
 }
 
 fn cells_of(ranges: &[Range]) -> BTreeSet<Cell> {
@@ -77,9 +76,8 @@ fn cells_of(ranges: &[Range]) -> BTreeSet<Cell> {
 }
 
 fn arb_probe() -> impl Strategy<Value = Range> {
-    (1u32..=W, 1u32..=H, 0u32..3, 0u32..4).prop_map(|(c, r, w, h)| {
-        Range::from_coords(c, r, (c + w).min(W), (r + h).min(H))
-    })
+    (1u32..=W, 1u32..=H, 0u32..3, 0u32..4)
+        .prop_map(|(c, r, w, h)| Range::from_coords(c, r, (c + w).min(W), (r + h).min(H)))
 }
 
 proptest! {

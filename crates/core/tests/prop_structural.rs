@@ -34,11 +34,7 @@ fn arb_deps() -> impl Strategy<Value = Vec<Dependency>> {
     });
     prop::collection::vec(run, 1..6).prop_map(|chunks| {
         let mut seen = BTreeSet::new();
-        chunks
-            .into_iter()
-            .flatten()
-            .filter(|d| seen.insert((d.prec, d.dep)))
-            .collect()
+        chunks.into_iter().flatten().filter(|d| seen.insert((d.prec, d.dep))).collect()
     })
 }
 

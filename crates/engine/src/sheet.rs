@@ -43,10 +43,8 @@ mod tests {
         assert_eq!(p.value(), &Value::Number(4.0));
         assert!(p.formula().is_none());
 
-        let f = CellContent::Formula {
-            formula: Formula::parse("=A1+1").unwrap(),
-            value: Value::Empty,
-        };
+        let f =
+            CellContent::Formula { formula: Formula::parse("=A1+1").unwrap(), value: Value::Empty };
         assert_eq!(f.value(), &Value::Empty);
         assert_eq!(f.formula().unwrap().src, "A1+1");
     }

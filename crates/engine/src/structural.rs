@@ -169,9 +169,7 @@ mod tests {
         }
         for row in 1..=11u32 {
             if !(4..7).contains(&row) {
-                fresh
-                    .set_formula(Cell::new(2, row), &format!("=SUM($A$1:A{row})"))
-                    .unwrap();
+                fresh.set_formula(Cell::new(2, row), &format!("=SUM($A$1:A{row})")).unwrap();
             }
         }
         fresh.recalculate();

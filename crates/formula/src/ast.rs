@@ -156,9 +156,7 @@ impl Expr {
                 lhs: Box::new(lhs.map_refs(f)),
                 rhs: Box::new(rhs.map_refs(f)),
             },
-            Expr::Unary { op, expr } => {
-                Expr::Unary { op: *op, expr: Box::new(expr.map_refs(f)) }
-            }
+            Expr::Unary { op, expr } => Expr::Unary { op: *op, expr: Box::new(expr.map_refs(f)) },
             Expr::Percent(expr) => Expr::Percent(Box::new(expr.map_refs(f))),
             other => other.clone(),
         }

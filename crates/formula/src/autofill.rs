@@ -108,11 +108,7 @@ mod tests {
     #[test]
     fn falling_off_grid_becomes_ref_error() {
         let f = Formula::parse("=A1").unwrap();
-        let got = autofill(
-            Cell::parse_a1("B2").unwrap(),
-            &f,
-            Range::parse_a1("B1").unwrap(),
-        );
+        let got = autofill(Cell::parse_a1("B2").unwrap(), &f, Range::parse_a1("B1").unwrap());
         assert_eq!(got[0].formula.src, "#REF!");
         assert!(got[0].formula.refs.is_empty());
     }

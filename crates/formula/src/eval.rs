@@ -137,9 +137,7 @@ fn compare(op: BinOp, l: &Value, r: &Value) -> Value {
         return Value::Error(*e);
     }
     let ord = match (l, r) {
-        (Value::Text(a), Value::Text(b)) => {
-            a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase())
-        }
+        (Value::Text(a), Value::Text(b)) => a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase()),
         (Value::Text(_), _) => Ordering::Greater,
         (_, Value::Text(_)) => Ordering::Less,
         _ => {
@@ -281,9 +279,9 @@ fn eval_func<P: CellProvider>(name: &str, args: &[Expr], cells: &P) -> Value {
                 }
             }
         }
-        "LEN" => single_arg(args, cells).and_then(|v| v.as_text()).map(|s| {
-            Value::Number(s.chars().count() as f64)
-        }),
+        "LEN" => single_arg(args, cells)
+            .and_then(|v| v.as_text())
+            .map(|s| Value::Number(s.chars().count() as f64)),
         "CONCATENATE" => {
             let mut s = String::new();
             let mut err = None;
@@ -472,10 +470,8 @@ fn index<P: CellProvider>(args: &[Expr], cells: &P) -> Result<Value, CellError> 
     if row < 1 || col < 1 || row > i64::from(table.height()) || col > i64::from(table.width()) {
         return Err(CellError::Ref);
     }
-    Ok(cells.value(Cell::new(
-        table.head().col + (col - 1) as u32,
-        table.head().row + (row - 1) as u32,
-    )))
+    Ok(cells
+        .value(Cell::new(table.head().col + (col - 1) as u32, table.head().row + (row - 1) as u32)))
 }
 
 /// MATCH(value, range, [0|1]): 1-based position of a value in a one-
@@ -582,12 +578,7 @@ mod tests {
     }
 
     fn fixture(entries: &[(&str, Value)]) -> Fixture {
-        Fixture(
-            entries
-                .iter()
-                .map(|(a1, v)| (Cell::parse_a1(a1).unwrap(), v.clone()))
-                .collect(),
-        )
+        Fixture(entries.iter().map(|(a1, v)| (Cell::parse_a1(a1).unwrap(), v.clone())).collect())
     }
 
     fn run(src: &str, fix: &Fixture) -> Value {

@@ -199,9 +199,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FormulaError> {
                 // identifiers (SUM, TRUE) and references ($B$12).
                 let start = i;
                 while i < bytes.len()
-                    && (bytes[i] == b'$'
-                        || bytes[i] == b'_'
-                        || bytes[i].is_ascii_alphanumeric())
+                    && (bytes[i] == b'$' || bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
                 {
                     i += 1;
                 }
@@ -259,14 +257,7 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("SUM($B$1:B4)"),
-            vec![
-                Name("SUM".into()),
-                LParen,
-                Name("$B$1".into()),
-                Colon,
-                Name("B4".into()),
-                RParen,
-            ]
+            vec![Name("SUM".into()), LParen, Name("$B$1".into()), Colon, Name("B4".into()), RParen,]
         );
     }
 

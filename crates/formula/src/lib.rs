@@ -71,10 +71,8 @@ mod tests {
         // The running example from Fig. 2.
         let f = Formula::parse("=IF(A3=A2,N2+M3,M3)").unwrap();
         let got: Vec<Range> = f.refs.iter().map(|r| r.range()).collect();
-        let want: Vec<Range> = ["A3", "A2", "N2", "M3", "M3"]
-            .iter()
-            .map(|s| Range::parse_a1(s).unwrap())
-            .collect();
+        let want: Vec<Range> =
+            ["A3", "A2", "N2", "M3", "M3"].iter().map(|s| Range::parse_a1(s).unwrap()).collect();
         assert_eq!(got, want);
     }
 

@@ -213,8 +213,9 @@ impl Parser {
                     return Ok(Expr::Bool(false));
                 }
                 // Reference (optionally `head:tail`).
-                let head = CellRef::parse(&name).map_err(|_| {
-                    FormulaError::Syntax { pos: t.pos, msg: format!("unknown name {name:?}") }
+                let head = CellRef::parse(&name).map_err(|_| FormulaError::Syntax {
+                    pos: t.pos,
+                    msg: format!("unknown name {name:?}"),
                 })?;
                 self.i += 1;
                 if self.eat(&TokenKind::Colon) {
@@ -229,10 +230,9 @@ impl Parser {
                 }
                 Ok(Expr::Ref(RangeRef::single(head)))
             }
-            other => Err(FormulaError::Syntax {
-                pos: t.pos,
-                msg: format!("unexpected token {other:?}"),
-            }),
+            other => {
+                Err(FormulaError::Syntax { pos: t.pos, msg: format!("unexpected token {other:?}") })
+            }
         }
     }
 }

@@ -18,8 +18,7 @@ fn arb_cell_ref() -> impl Strategy<Value = CellRef> {
 }
 
 fn arb_range_ref() -> impl Strategy<Value = RangeRef> {
-    (arb_cell_ref(), arb_cell_ref())
-        .prop_map(|(a, b)| RangeRef::from_corners(a, b))
+    (arb_cell_ref(), arb_cell_ref()).prop_map(|(a, b)| RangeRef::from_corners(a, b))
 }
 
 fn arb_text() -> impl Strategy<Value = String> {
@@ -29,7 +28,8 @@ fn arb_text() -> impl Strategy<Value = String> {
 
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        (0u32..1000, 0u32..100).prop_map(|(a, b)| Expr::Number(f64::from(a) + f64::from(b) / 100.0)),
+        (0u32..1000, 0u32..100)
+            .prop_map(|(a, b)| Expr::Number(f64::from(a) + f64::from(b) / 100.0)),
         arb_text().prop_map(Expr::Text),
         any::<bool>().prop_map(Expr::Bool),
         arb_range_ref().prop_map(Expr::Ref),

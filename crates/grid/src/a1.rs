@@ -111,16 +111,10 @@ impl CellRef {
     /// delta, `$`-fixed coordinates stay put. Returns `None` if a relative
     /// coordinate would leave the grid.
     pub fn autofill(&self, dc: i64, dr: i64) -> Option<CellRef> {
-        let col = if self.col_abs {
-            i64::from(self.cell.col)
-        } else {
-            i64::from(self.cell.col) + dc
-        };
-        let row = if self.row_abs {
-            i64::from(self.cell.row)
-        } else {
-            i64::from(self.cell.row) + dr
-        };
+        let col =
+            if self.col_abs { i64::from(self.cell.col) } else { i64::from(self.cell.col) + dc };
+        let row =
+            if self.row_abs { i64::from(self.cell.row) } else { i64::from(self.cell.row) + dr };
         let cell = Cell::try_new(col, row).ok()?;
         Some(CellRef { cell, col_abs: self.col_abs, row_abs: self.row_abs })
     }
@@ -224,7 +218,17 @@ mod tests {
 
     #[test]
     fn column_letters_round_trip() {
-        for (n, s) in [(1, "A"), (26, "Z"), (27, "AA"), (28, "AB"), (52, "AZ"), (53, "BA"), (702, "ZZ"), (703, "AAA"), (16384, "XFD")] {
+        for (n, s) in [
+            (1, "A"),
+            (26, "Z"),
+            (27, "AA"),
+            (28, "AB"),
+            (52, "AZ"),
+            (53, "BA"),
+            (702, "ZZ"),
+            (703, "AAA"),
+            (16384, "XFD"),
+        ] {
             assert_eq!(col_to_letters(n), s);
             assert_eq!(letters_to_col(s).unwrap(), n);
             assert_eq!(letters_to_col(&s.to_lowercase()).unwrap(), n);

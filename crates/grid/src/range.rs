@@ -184,21 +184,11 @@ impl Range {
         }
         // Left slab: columns left of the overlap, within overlap rows.
         if self.head.col < ov.head.col {
-            out.push(Range::from_coords(
-                self.head.col,
-                ov.head.row,
-                ov.head.col - 1,
-                ov.tail.row,
-            ));
+            out.push(Range::from_coords(self.head.col, ov.head.row, ov.head.col - 1, ov.tail.row));
         }
         // Right slab: columns right of the overlap, within overlap rows.
         if ov.tail.col < self.tail.col {
-            out.push(Range::from_coords(
-                ov.tail.col + 1,
-                ov.head.row,
-                self.tail.col,
-                ov.tail.row,
-            ));
+            out.push(Range::from_coords(ov.tail.col + 1, ov.head.row, self.tail.col, ov.tail.row));
         }
         out
     }
@@ -368,7 +358,13 @@ mod tests {
     #[test]
     fn subtract_all_multiple_covers() {
         let out = r("A1:A10").subtract_all([r("A2:A3"), r("A7")].iter());
-        assert_eq!(out, vec![r("A1"), r("A4:A10")].into_iter().flat_map(|p| p.subtract(&r("A7"))).collect::<Vec<_>>());
+        assert_eq!(
+            out,
+            vec![r("A1"), r("A4:A10")]
+                .into_iter()
+                .flat_map(|p| p.subtract(&r("A7")))
+                .collect::<Vec<_>>()
+        );
         let total: u64 = out.iter().map(Range::area).sum();
         assert_eq!(total, 7);
     }
@@ -384,10 +380,7 @@ mod tests {
     #[test]
     fn cells_iteration_row_major() {
         let cells: Vec<Cell> = r("B2:C3").cells().collect();
-        assert_eq!(
-            cells,
-            vec![Cell::new(2, 2), Cell::new(3, 2), Cell::new(2, 3), Cell::new(3, 3)]
-        );
+        assert_eq!(cells, vec![Cell::new(2, 2), Cell::new(3, 2), Cell::new(2, 3), Cell::new(3, 3)]);
     }
 
     #[test]

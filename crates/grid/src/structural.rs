@@ -93,8 +93,13 @@ impl Range {
         if head.row >= at && tail.row < band_end {
             return None;
         }
-        let new_head_row =
-            if head.row < at { head.row } else if head.row < band_end { at } else { head.row - n };
+        let new_head_row = if head.row < at {
+            head.row
+        } else if head.row < band_end {
+            at
+        } else {
+            head.row - n
+        };
         let new_tail_row = if tail.row < band_end { at - 1 } else { tail.row - n };
         if new_head_row > new_tail_row || new_tail_row == 0 {
             return None;

@@ -1,0 +1,134 @@
+//! Deterministic corner-case tests for A1 geometry: grid bounds, `$`
+//! absolute markers, single-cell ranges, and malformed inputs (which must
+//! return `Err`, never panic). Complements the property tests in
+//! `prop_geometry.rs` with exact goldens.
+
+use taco_grid::a1::{col_to_letters, letters_to_col, CellRef, RangeRef};
+use taco_grid::{Cell, GridError, Range, MAX_COL, MAX_ROW};
+
+#[test]
+fn column_letters_round_trip_at_the_edges() {
+    for (col, letters) in
+        [(1, "A"), (26, "Z"), (27, "AA"), (52, "AZ"), (702, "ZZ"), (703, "AAA"), (MAX_COL, "XFD")]
+    {
+        assert_eq!(col_to_letters(col), letters);
+        assert_eq!(letters_to_col(letters).unwrap(), col);
+    }
+    // Lowercase is accepted on input.
+    assert_eq!(letters_to_col("xfd").unwrap(), MAX_COL);
+}
+
+#[test]
+fn bounds_are_enforced_not_panicked() {
+    // The exact last cell of the grid parses…
+    let last = format!("XFD{MAX_ROW}");
+    assert_eq!(Cell::parse_a1(&last).unwrap(), Cell::new(MAX_COL, MAX_ROW));
+    assert_eq!(Cell::new(MAX_COL, MAX_ROW).to_a1(), last);
+    // …and one past it, in either coordinate, is an error.
+    assert!(matches!(letters_to_col("XFE"), Err(GridError::BadA1(_))));
+    assert!(Cell::parse_a1(&format!("XFD{}", u64::from(MAX_ROW) + 1)).is_err());
+    assert!(Cell::parse_a1("A0").is_err());
+    assert!(Cell::try_new(0, 1).is_err());
+    assert!(Cell::try_new(1, 0).is_err());
+    assert!(Cell::try_new(i64::from(MAX_COL) + 1, 1).is_err());
+    assert!(Cell::try_new(1, i64::from(MAX_ROW) + 1).is_err());
+    // Row numbers beyond u64 must not overflow the parser either.
+    assert!(Cell::parse_a1("A99999999999999999999999999").is_err());
+}
+
+#[test]
+fn absolute_markers_parse_and_print() {
+    let r = CellRef::parse("$A$1").unwrap();
+    assert_eq!(r.cell, Cell::new(1, 1));
+    assert!(r.col_abs && r.row_abs);
+    assert!(r.is_fixed());
+    assert_eq!(r.to_string(), "$A$1");
+
+    let mixed = CellRef::parse("B$4").unwrap();
+    assert!(!mixed.col_abs && mixed.row_abs);
+    assert_eq!(mixed.to_string(), "B$4");
+    let mixed = CellRef::parse("$B4").unwrap();
+    assert!(mixed.col_abs && !mixed.row_abs);
+    assert_eq!(mixed.to_string(), "$B4");
+
+    // Mixed-flag range: fixed head, relative tail (`SUM($B$1:B4)` shape).
+    let rr = RangeRef::parse("$B$1:B4").unwrap();
+    assert!(rr.head.is_fixed());
+    assert!(rr.tail.is_relative());
+    assert_eq!(rr.range(), Range::parse_a1("B1:B4").unwrap());
+    assert_eq!(rr.to_string(), "$B$1:B4");
+}
+
+#[test]
+fn absolute_markers_pin_coordinates_under_autofill() {
+    let rr = RangeRef::parse("$B$1:B4").unwrap();
+    // Fill two rows down: the fixed head stays, the relative tail slides.
+    let filled = rr.autofill(0, 2).unwrap();
+    assert_eq!(filled.to_string(), "$B$1:B6");
+    // A fully absolute ref never moves.
+    let pinned = RangeRef::parse("$F$1:$G$3").unwrap();
+    assert_eq!(pinned.autofill(7, 1000).unwrap(), pinned);
+    // A relative ref that would slide off the grid reports None.
+    assert!(RangeRef::parse("A1").unwrap().autofill(0, -1).is_none());
+    assert!(RangeRef::parse("A1").unwrap().autofill(-1, 0).is_none());
+    assert!(RangeRef::parse("XFD1").unwrap().autofill(1, 0).is_none());
+}
+
+#[test]
+fn plain_parsers_reject_absolute_markers() {
+    // Cell/Range::parse_a1 are the geometry-only entry points; `$` belongs
+    // to the reference layer (taco_grid::a1).
+    assert!(Cell::parse_a1("$A$1").is_err());
+    assert!(Range::parse_a1("$A$1:B2").is_err());
+}
+
+#[test]
+fn single_cell_ranges_are_degenerate_rectangles() {
+    let r = Range::parse_a1("D4").unwrap();
+    assert!(r.is_cell());
+    assert_eq!(r, Range::cell(Cell::new(4, 4)));
+    assert_eq!((r.width(), r.height(), r.area()), (1, 1, 1));
+    assert_eq!(r.head(), r.tail());
+    assert_eq!(r.to_a1(), "D4");
+    // A collapsed colon form normalizes to the same thing but prints with
+    // its corners.
+    let colon = Range::parse_a1("D4:D4").unwrap();
+    assert_eq!(colon, r);
+    // Corner order never matters.
+    assert_eq!(Range::parse_a1("B5:A1").unwrap(), Range::parse_a1("A1:B5").unwrap());
+    // RangeRef::parse of a single cell knows it is one.
+    assert!(RangeRef::parse("D4").unwrap().is_cell());
+}
+
+#[test]
+fn malformed_inputs_error_cleanly() {
+    for bad in [
+        "",
+        " ",
+        "A",
+        "1",
+        "11A",
+        "A1A",
+        "A-1",
+        "A 1",
+        "$",
+        "$$A$1",
+        "A$",
+        "$1",
+        "ABCDEFGH1",
+        "A1:",
+        ":A1",
+        "A1:B2:C3",
+        "A1:1B",
+        "Ä1",
+        "A1\u{200b}",
+        "a1 :b2",
+    ] {
+        assert!(Cell::parse_a1(bad).is_err(), "Cell::parse_a1({bad:?}) should be Err");
+        assert!(Range::parse_a1(bad).is_err(), "Range::parse_a1({bad:?}) should be Err");
+        assert!(RangeRef::parse(bad).is_err(), "RangeRef::parse({bad:?}) should be Err");
+    }
+    // Whitespace is not trimmed implicitly.
+    assert!(CellRef::parse(" A1").is_err());
+    assert!(CellRef::parse("A1 ").is_err());
+}

@@ -63,10 +63,8 @@ impl<T> RTree<T> {
             // Root split: grow the tree by one level.
             let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
             let old_mbr = old_root.mbr().expect("split node is non-empty");
-            self.root = Node::new_internal(vec![
-                (old_mbr, Box::new(old_root)),
-                (mbr, Box::new(sibling)),
-            ]);
+            self.root =
+                Node::new_internal(vec![(old_mbr, Box::new(old_root)), (mbr, Box::new(sibling))]);
         }
         self.len += 1;
     }

@@ -35,9 +35,7 @@ impl<T> Node<T> {
     pub(crate) fn height(&self) -> usize {
         match self {
             Node::Leaf { .. } => 1,
-            Node::Internal { children } => {
-                1 + children.first().map_or(0, |(_, c)| c.height())
-            }
+            Node::Internal { children } => 1 + children.first().map_or(0, |(_, c)| c.height()),
         }
     }
 

@@ -6,9 +6,8 @@ use taco_grid::{Cell, Range};
 use taco_rtree::RTree;
 
 fn arb_range() -> impl Strategy<Value = Range> {
-    ((1u32..60, 1u32..60), (0u32..5, 0u32..8)).prop_map(|((c, r), (w, h))| {
-        Range::new(Cell::new(c, r), Cell::new(c + w, r + h))
-    })
+    ((1u32..60, 1u32..60), (0u32..5, 0u32..8))
+        .prop_map(|((c, r), (w, h))| Range::new(Cell::new(c, r), Cell::new(c + w, r + h)))
 }
 
 #[derive(Debug, Clone)]

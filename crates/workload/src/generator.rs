@@ -145,8 +145,7 @@ impl Region {
                 let pc = col.saturating_sub(left_off).max(1);
                 for k in 0..len {
                     let row = row0 + k;
-                    let prec =
-                        Range::from_coords(pc, row, pc + width - 1, row + height - 1);
+                    let prec = Range::from_coords(pc, row, pc + width - 1, row + height - 1);
                     out.push(Dependency::new(prec, Cell::new(col, row)));
                 }
             }
@@ -246,10 +245,9 @@ impl Region {
                 vec![(Cell::new(target_col, row0 + len - 1), 1)]
             }
             // Fig. 2: the first amount cell flows down the N chain.
-            Region::Fig2 { m_col, n_col, row0, len, .. } => vec![
-                (Cell::new(m_col, row0), len),
-                (Cell::new(n_col, row0 - 1), len),
-            ],
+            Region::Fig2 { m_col, n_col, row0, len, .. } => {
+                vec![(Cell::new(m_col, row0), len), (Cell::new(n_col, row0 - 1), len)]
+            }
             _ => Vec::new(),
         }
     }
@@ -316,21 +314,16 @@ pub fn gen_sheet(name: &str, seed: u64, params: &SheetParams) -> SyntheticSheet 
     let mut next_col: u32 = 2;
     let mut band_row: u32 = 2;
     let total_weight: u32 = params.weights.iter().sum();
+    // Guarantee every enabled kind appears at least once per sheet
+    // (low-weight kinds like GapOne would otherwise vanish from small
+    // corpora); after this seeding the weighted draw takes over.
+    let mut unseeded_kinds: Vec<usize> =
+        params.weights.iter().enumerate().filter(|&(_, &w)| w > 0).map(|(i, _)| i).collect();
 
     while emitted < structured_target {
         let remaining = structured_target - emitted;
         let run_cap = params.max_run.min(remaining.min(u64::from(params.max_row) - 2) as u32);
         let len = if run_cap <= 8 { run_cap.max(1) } else { rng.gen_range(8..=run_cap) };
-        let pick = rng.gen_range(0..total_weight);
-        let mut acc = 0;
-        let mut kind = 0usize;
-        for (i, w) in params.weights.iter().enumerate() {
-            acc += w;
-            if pick < acc {
-                kind = i;
-                break;
-            }
-        }
         // Reserve a strip wide enough for the region (≤ 8 columns).
         if next_col + 8 >= taco_grid::MAX_COL {
             next_col = 2;
@@ -344,6 +337,21 @@ pub fn gen_sheet(name: &str, seed: u64, params: &SheetParams) -> SyntheticSheet 
             next_col += 9;
             continue;
         }
+        let kind = if let Some(k) = unseeded_kinds.pop() {
+            k
+        } else {
+            let pick = rng.gen_range(0..total_weight);
+            let mut acc = 0;
+            let mut kind = 0usize;
+            for (i, w) in params.weights.iter().enumerate() {
+                acc += w;
+                if pick < acc {
+                    kind = i;
+                    break;
+                }
+            }
+            kind
+        };
         let region = match kind {
             0 => Region::RrWindow {
                 col,
@@ -384,11 +392,8 @@ pub fn gen_sheet(name: &str, seed: u64, params: &SheetParams) -> SyntheticSheet 
         Region::NoiseSingle { prec, dep }.emit(&mut deps);
     }
 
-    let (longest_path_cell, longest_path_len) = hot
-        .iter()
-        .copied()
-        .max_by_key(|&(_, l)| l)
-        .unwrap_or((Cell::new(1, 1), 0));
+    let (longest_path_cell, longest_path_len) =
+        hot.iter().copied().max_by_key(|&(_, l)| l).unwrap_or((Cell::new(1, 1), 0));
     SyntheticSheet {
         name: name.to_string(),
         deps,

@@ -12,18 +12,22 @@ use taco_repro::engine::AsyncEngine;
 use taco_repro::formula::Value;
 use taco_repro::grid::{Cell, Range};
 
-const ROWS: u32 = 20_000;
+/// Chain length: 20 000 by default, overridable for quick smoke runs.
+fn rows() -> u32 {
+    std::env::var("TACO_EXAMPLE_ROWS").ok().and_then(|s| s.parse().ok()).unwrap_or(20_000).max(3)
+}
 
 fn main() {
+    let rows = rows();
     let eng = AsyncEngine::spawn();
 
-    println!("building a {ROWS}-cell running-total chain in the background…");
+    println!("building a {rows}-cell running-total chain in the background…");
     eng.set_value(Cell::new(1, 1), Value::Number(1.0));
     eng.set_formula(Cell::new(1, 2), "=A1+1");
-    eng.autofill(Cell::new(1, 2), Range::from_coords(1, 3, 1, ROWS));
+    eng.autofill(Cell::new(1, 2), Range::from_coords(1, 3, 1, rows));
     eng.sync();
-    assert_eq!(eng.value(Cell::new(1, ROWS)), Value::Number(f64::from(ROWS)));
-    println!("chain built; A{ROWS} = {}", eng.value(Cell::new(1, ROWS)));
+    assert_eq!(eng.value(Cell::new(1, rows)), Value::Number(f64::from(rows)));
+    println!("chain built; A{rows} = {}", eng.value(Cell::new(1, rows)));
 
     // The interactive edit: the enqueue returns instantly, the worker marks
     // ~20K dependents hidden, then recalculates.
@@ -33,8 +37,8 @@ fn main() {
 
     // Immediately keep "using the UI": reads never block.
     let mut stale_reads = 0u32;
-    let old = Value::Number(f64::from(ROWS));
-    while eng.value(Cell::new(1, ROWS)) == old {
+    let old = Value::Number(f64::from(rows));
+    while eng.value(Cell::new(1, rows)) == old {
         stale_reads += 1;
         if stale_reads > 50_000_000 {
             break;
@@ -47,10 +51,7 @@ fn main() {
         "background recalculation settled after {settle:?} ({stale_reads} stale reads served meanwhile)"
     );
     eng.sync();
-    assert_eq!(
-        eng.value(Cell::new(1, ROWS)),
-        Value::Number(99.0 + f64::from(ROWS))
-    );
-    println!("final A{ROWS} = {}", eng.value(Cell::new(1, ROWS)));
+    assert_eq!(eng.value(Cell::new(1, rows)), Value::Number(99.0 + f64::from(rows)));
+    println!("final A{rows} = {}", eng.value(Cell::new(1, rows)));
     println!("recalc rounds: {}", eng.recalc_rounds());
 }

@@ -11,20 +11,15 @@ use taco_repro::workload::{enron_like, xlsx};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
 
-    let sheets: Vec<(String, Vec<taco_repro::core::Dependency>)> =
-        if let Some(path) = args.get(1) {
-            let report = xlsx::load_workbook(std::path::Path::new(path)).unwrap_or_else(|e| {
-                eprintln!("failed to load {path}: {e}");
-                std::process::exit(1);
-            });
-            vec![(path.clone(), report.deps)]
-        } else {
-            enron_like(0.15)
-                .generate()
-                .into_iter()
-                .map(|s| (s.name, s.deps))
-                .collect()
-        };
+    let sheets: Vec<(String, Vec<taco_repro::core::Dependency>)> = if let Some(path) = args.get(1) {
+        let report = xlsx::load_workbook(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("failed to load {path}: {e}");
+            std::process::exit(1);
+        });
+        vec![(path.clone(), report.deps)]
+    } else {
+        enron_like(0.15).generate().into_iter().map(|s| (s.name, s.deps)).collect()
+    };
 
     println!(
         "{:<12} {:>9} {:>8} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",

@@ -32,14 +32,16 @@ fn main() {
         let corpus = enron_like(0.1);
         let sheet = corpus.generate().pop().expect("non-empty corpus");
         let probe = sheet.hot_cells.first().copied().unwrap_or(Cell::new(1, 1));
-        println!("no xlsx given; auditing synthetic sheet {} ({} deps)", sheet.name, sheet.deps.len());
+        println!(
+            "no xlsx given; auditing synthetic sheet {} ({} deps)",
+            sheet.name,
+            sheet.deps.len()
+        );
         (sheet.name.clone(), sheet.deps, probe)
     };
 
-    let probe = args
-        .get(2)
-        .map(|s| Cell::parse_a1(s).expect("valid A1 cell"))
-        .unwrap_or(default_probe);
+    let probe =
+        args.get(2).map(|s| Cell::parse_a1(s).expect("valid A1 cell")).unwrap_or(default_probe);
 
     let graph = FormulaGraph::build(Config::taco_full(), deps.iter().copied());
     let stats = graph.stats();

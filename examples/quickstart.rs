@@ -40,13 +40,7 @@ fn main() {
     println!("uncompressed edges: {}", nocomp.num_edges());
     println!("compressed edges:   {}", taco.num_edges());
     for e in taco.edges() {
-        println!(
-            "  {:?}: {} -> {}  ({} dependencies)",
-            e.pattern(),
-            e.prec,
-            e.dep,
-            e.count
-        );
+        println!("  {:?}: {} -> {}  ({} dependencies)", e.pattern(), e.prec, e.dep, e.count);
     }
 
     // Querying works directly on the compressed graph — no decompression.

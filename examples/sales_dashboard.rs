@@ -12,11 +12,15 @@ use taco_repro::engine::Engine;
 use taco_repro::formula::Value;
 use taco_repro::grid::{Cell, Range};
 
-const ROWS: u32 = 5_000;
+/// Row count: 5 000 by default, overridable for quick smoke runs.
+fn rows() -> u32 {
+    std::env::var("TACO_EXAMPLE_ROWS").ok().and_then(|s| s.parse().ok()).unwrap_or(5_000).max(3)
+}
 
 fn build(mut e: Engine) -> Engine {
+    let rows = rows();
     // Column A: region id (1..=5), column B: units, column C: unit price.
-    for row in 1..=ROWS {
+    for row in 1..=rows {
         e.set_value(Cell::new(1, row), Value::Number(f64::from(row % 5 + 1)));
         e.set_value(Cell::new(2, row), Value::Number(f64::from(row % 7 + 1)));
         e.set_value(Cell::new(3, row), Value::Number(10.0 + f64::from(row % 3)));
@@ -29,24 +33,24 @@ fn build(mut e: Engine) -> Engine {
 
     // D: revenue (derived column) = B*C — autofilled.
     e.set_formula(Cell::new(4, 1), "=B1*C1").unwrap();
-    e.autofill(Cell::new(4, 1), Range::from_coords(4, 2, 4, ROWS)).unwrap();
+    e.autofill(Cell::new(4, 1), Range::from_coords(4, 2, 4, rows)).unwrap();
 
     // E: running total = SUM($D$1:D row) — FR cumulative.
     e.set_formula(Cell::new(5, 1), "=SUM($D$1:D1)").unwrap();
-    e.autofill(Cell::new(5, 1), Range::from_coords(5, 2, 5, ROWS)).unwrap();
+    e.autofill(Cell::new(5, 1), Range::from_coords(5, 2, 5, rows)).unwrap();
 
     // H: fx-adjusted revenue via a fixed-table lookup (FF).
     e.set_formula(Cell::new(8, 1), "=D1*VLOOKUP(1,$F$1:$G$3,2,FALSE)").unwrap();
-    e.autofill(Cell::new(8, 1), Range::from_coords(8, 2, 8, ROWS)).unwrap();
+    e.autofill(Cell::new(8, 1), Range::from_coords(8, 2, 8, rows)).unwrap();
 
     // Grand total.
-    e.set_formula(Cell::parse_a1("J1").unwrap(), &format!("=SUM(H1:H{ROWS})")).unwrap();
+    e.set_formula(Cell::parse_a1("J1").unwrap(), &format!("=SUM(H1:H{rows})")).unwrap();
     e.recalculate();
     e
 }
 
 fn main() {
-    println!("building {ROWS}-row dashboard with TACO and NoComp backends…");
+    println!("building {}-row dashboard with TACO and NoComp backends…", rows());
     let t0 = Instant::now();
     let mut taco = build(Engine::with_taco());
     let taco_build = t0.elapsed();

@@ -1,0 +1,109 @@
+//! Offline stub of the `calamine` workbook-reading API.
+//!
+//! Parsing real `.xlsx` files requires zip + XML machinery that is not
+//! available in this build environment, so [`open_workbook_auto`] always
+//! returns [`Error::Unsupported`]. The rest of the API exists so that
+//! `taco_workload::xlsx` compiles unchanged; callers already treat a load
+//! failure as "fall back to the synthetic corpus".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::path::Path;
+
+/// Errors reported while opening or reading a workbook.
+#[derive(Debug)]
+pub enum Error {
+    /// Workbook parsing is not available in this offline build.
+    Unsupported(String),
+    /// An I/O problem (file missing, unreadable, …).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Unsupported(path) => {
+                write!(f, "xlsx parsing unavailable in offline build: {path}")
+            }
+            Error::Io(e) => write!(f, "workbook I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A rectangular block of formulae from one worksheet.
+#[derive(Debug, Default, Clone)]
+pub struct FormulaRange {
+    start: Option<(u32, u32)>,
+    rows: Vec<Vec<String>>,
+}
+
+impl FormulaRange {
+    /// Top-left (row, column) of the block, 0-based; `None` when empty.
+    pub fn start(&self) -> Option<(u32, u32)> {
+        self.start
+    }
+
+    /// Iterates the block's rows.
+    pub fn rows(&self) -> std::slice::Iter<'_, Vec<String>> {
+        self.rows.iter()
+    }
+}
+
+/// Common operations over any workbook flavour (the calamine `Reader`
+/// trait, reduced to the subset this workspace calls).
+pub trait Reader {
+    /// Names of the worksheets, in file order.
+    fn sheet_names(&self) -> &[String];
+
+    /// The formula block of one worksheet.
+    fn worksheet_formula(&mut self, name: &str) -> Result<FormulaRange, Error>;
+}
+
+/// A workbook of any supported format (`Sheets` in the real crate).
+#[derive(Debug, Default)]
+pub struct Sheets {
+    names: Vec<String>,
+}
+
+impl Reader for Sheets {
+    fn sheet_names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn worksheet_formula(&mut self, name: &str) -> Result<FormulaRange, Error> {
+        Err(Error::Unsupported(name.to_string()))
+    }
+}
+
+/// Opens a workbook, auto-detecting the format. In this offline stub the
+/// call always fails: with [`Error::Io`] if the file does not exist, and
+/// [`Error::Unsupported`] otherwise.
+pub fn open_workbook_auto<P: AsRef<Path>>(path: P) -> Result<Sheets, Error> {
+    let path = path.as_ref();
+    match std::fs::metadata(path) {
+        Err(e) => Err(Error::Io(e)),
+        Ok(_) => Err(Error::Unsupported(path.display().to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(open_workbook_auto("/nonexistent/file.xlsx"), Err(Error::Io(_))));
+    }
+
+    #[test]
+    fn existing_file_is_unsupported() {
+        let path = std::env::temp_dir().join("calamine_stub_probe.xlsx");
+        std::fs::write(&path, b"zip-ish").unwrap();
+        assert!(matches!(open_workbook_auto(&path), Err(Error::Unsupported(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+}

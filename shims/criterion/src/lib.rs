@@ -1,0 +1,188 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/type surface the workspace's microbenchmarks use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`) with a simple
+//! measure-median harness instead of criterion's full statistics: each
+//! benchmark is warmed up briefly, then timed over batches until a time
+//! budget is spent, and the best batch mean is reported.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered into the label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("find_dep", 100)` → label `find_dep/100`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    best_ns_per_iter: f64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the fastest observed batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + batch sizing: grow the batch until one batch takes
+        // ≥ ~200µs so Instant overhead stays negligible.
+        let mut batch = 1u64;
+        let batch_time = loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt >= Duration::from_micros(200) || batch >= 1 << 24 {
+                break dt;
+            }
+            batch *= 4;
+        };
+        let mut best = batch_time.as_secs_f64() * 1e9 / batch as f64;
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per = t.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            if per < best {
+                best = per;
+            }
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count (accepted for API compatibility; the
+    /// shim's time-budget harness does not use it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { best_ns_per_iter: f64::NAN, budget: Duration::from_millis(30) };
+        routine(&mut b, input);
+        println!("{}/{:<40} {:>12.1} ns/iter", self.name, id, b.best_ns_per_iter);
+        self
+    }
+
+    /// Benchmarks a routine with no external input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { best_ns_per_iter: f64::NAN, budget: Duration::from_millis(30) };
+        routine(&mut b);
+        println!("{}/{:<40} {:>12.1} ns/iter", self.name, id, b.best_ns_per_iter);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name}");
+        BenchmarkGroup { name, _criterion: self }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { best_ns_per_iter: f64::NAN, budget: Duration::from_millis(30) };
+        routine(&mut b);
+        println!("{:<48} {:>12.1} ns/iter", name, b.best_ns_per_iter);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { best_ns_per_iter: f64::NAN, budget: Duration::from_millis(2) };
+        b.iter(|| black_box(3u64).wrapping_mul(5));
+        assert!(b.best_ns_per_iter.is_finite());
+        assert!(b.best_ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .bench_with_input(BenchmarkId::new("f", 1), &2u32, |b, &x| b.iter(|| x + 1));
+        g.finish();
+    }
+}

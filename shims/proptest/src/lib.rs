@@ -1,0 +1,250 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators, macros, and config surface this
+//! workspace's property tests use — `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_oneof!`, `Strategy::prop_map` /
+//! `prop_recursive`, `collection::vec`, `string::string_regex`, `Just`,
+//! `any::<bool>()` — on top of a deterministic seeded generator. Compared
+//! to the real crate there is **no shrinking**: a failing case panics with
+//! the generated inputs' `Debug` form (tests here keep inputs small), and
+//! the per-test seed is fixed so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, TestRng, Union};
+
+/// Per-`proptest!` block configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The `Arbitrary`-driven entry point behind [`any`].
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Types with a canonical strategy over all their values.
+    pub trait Arbitrary: Sized {
+        /// That canonical strategy.
+        type Strategy: Strategy<Value = Self>;
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T` (like `proptest::arbitrary::any`).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Strategy over both booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty => $name:ident),*) => {$(
+            /// Strategy over the full range of the integer type.
+            #[derive(Debug, Clone, Copy)]
+            pub struct $name;
+
+            impl Strategy for $name {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = $name;
+                fn arbitrary() -> $name {
+                    $name
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64,
+                        i8 => AnyI8, i16 => AnyI16, i32 => AnyI32, i64 => AnyI64);
+}
+
+/// Everything a property-test file usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced re-exports, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a normal test running `cases` seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                $(let $arg = $strategy;)*
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::gen_value(&$arg, &mut __rng);)*
+                    let __debug = format!(
+                        concat!("case {} of ", stringify!($name), ":", $(" ", stringify!($arg), "={:?}",)*),
+                        __case, $(&$arg),*
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let ::std::result::Result::Err(payload) = __outcome {
+                        eprintln!("proptest shim failure: {__debug}");
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Picks among several strategies for the same value type — uniformly,
+/// or by `weight => strategy` arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::weighted(::std::vec![
+            $(($weight, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        (1u32..10).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn mapped_values_in_range(x in small(), flag in any::<bool>()) {
+            prop_assert!((2..20).contains(&x));
+            prop_assert_eq!(x % 2, 0);
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_vec(v in prop::collection::vec(prop_oneof![Just(1u8), Just(9)], 0..5)) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 9));
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u8..7).prop_map(Tree::Leaf).prop_recursive(4, 24, 3, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::from_name("recursion_terminates");
+        let mut saw_node = false;
+        for _ in 0..256 {
+            if matches!(strat.gen_value(&mut rng), Tree::Node(_)) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node, "recursive arm must be reachable");
+    }
+
+    #[test]
+    fn string_regex_shapes_strings() {
+        let strat = crate::string::string_regex("[a-c0-1 \"]{0,8}").unwrap();
+        let mut rng = crate::TestRng::from_name("string_regex_shapes_strings");
+        for _ in 0..256 {
+            let s = strat.gen_value(&mut rng);
+            assert!(s.chars().count() <= 8);
+            assert!(s.chars().all(|c| "abc01 \"".contains(c)));
+        }
+    }
+}

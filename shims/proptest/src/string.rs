@@ -1,0 +1,141 @@
+//! String strategies (`proptest::string` subset).
+//!
+//! Supports the regex shapes the workspace actually generates from:
+//! a sequence of atoms, where an atom is a character class `[...]` (with
+//! ranges and `\`-escapes) or a literal character, optionally followed by
+//! a `{min,max}` repetition.
+
+use crate::strategy::{Strategy, TestRng};
+use std::fmt;
+
+/// A regex this shim cannot generate from.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported generation regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The alphabet this atom draws from.
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+/// Generates strings matching (the supported subset of) `pattern`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut atoms = Vec::new();
+    let mut rest = pattern.chars().peekable();
+    while let Some(c) = rest.next() {
+        let chars = match c {
+            '[' => {
+                let mut class = Vec::new();
+                loop {
+                    let c = rest
+                        .next()
+                        .ok_or_else(|| Error(format!("{pattern}: unterminated class")))?;
+                    match c {
+                        ']' => break,
+                        '\\' => class.push(
+                            rest.next()
+                                .ok_or_else(|| Error(format!("{pattern}: trailing escape")))?,
+                        ),
+                        c => {
+                            // `a-z` range (a trailing `-` is a literal).
+                            if rest.peek() == Some(&'-') {
+                                let mut ahead = rest.clone();
+                                ahead.next(); // the '-'
+                                match ahead.peek() {
+                                    Some(&end) if end != ']' => {
+                                        rest = ahead;
+                                        let end = rest.next().expect("peeked");
+                                        if (end as u32) < (c as u32) {
+                                            return Err(Error(format!(
+                                                "{pattern}: inverted range {c}-{end}"
+                                            )));
+                                        }
+                                        class.extend((c..=end).collect::<Vec<_>>());
+                                        continue;
+                                    }
+                                    _ => class.push(c),
+                                }
+                            } else {
+                                class.push(c);
+                            }
+                        }
+                    }
+                }
+                if class.is_empty() {
+                    return Err(Error(format!("{pattern}: empty class")));
+                }
+                class
+            }
+            '\\' => {
+                vec![rest.next().ok_or_else(|| Error(format!("{pattern}: trailing escape")))?]
+            }
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$' => {
+                return Err(Error(format!("{pattern}: unsupported metachar `{c}`")))
+            }
+            c => vec![c],
+        };
+        // Optional {min,max} / {n} quantifier.
+        let (min, max) = if rest.peek() == Some(&'{') {
+            rest.next();
+            let mut spec = String::new();
+            loop {
+                match rest.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => return Err(Error(format!("{pattern}: unterminated quantifier"))),
+                }
+            }
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<u32>()
+                    .map_err(|_| Error(format!("{pattern}: bad quantifier {{{spec}}}")))
+            };
+            match spec.split_once(',') {
+                Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                None => {
+                    let n = parse(&spec)?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if min > max {
+            return Err(Error(format!("{pattern}: quantifier min > max")));
+        }
+        atoms.push(Atom { chars, min, max });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+/// The strategy returned by [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let span = u64::from(atom.max - atom.min);
+            let reps = atom.min + rng.below(span + 1) as u32;
+            for _ in 0..reps {
+                out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}

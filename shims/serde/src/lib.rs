@@ -1,0 +1,309 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real serde abstracts serialization over a visitor-based data model; this
+//! shim collapses that model to one self-describing [`Value`] tree, which
+//! is all the workspace needs (JSON snapshots via `serde_json`). The
+//! public trait names match serde's so `#[derive(Serialize, Deserialize)]`
+//! and hand-written `impl<'de> Deserialize<'de>` blocks compile unchanged:
+//!
+//! - [`Serialize`] renders `self` into a [`Value`];
+//! - [`Deserializer`] is anything that can yield a [`Value`];
+//! - [`Deserialize`] builds `Self` from any [`Deserializer`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized tree (the shim's entire data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (struct fields, enum tags).
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the shim's data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization error plumbing, mirroring `serde::de`.
+pub mod de {
+    use super::Display;
+
+    /// Errors a [`super::Deserializer`] can produce.
+    pub trait Error: Sized + Display {
+        /// Wraps an arbitrary message into the error type.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A source of one [`Value`] tree (serde's input-format abstraction).
+pub trait Deserializer<'de>: Sized {
+    /// The error type reported by this input format.
+    type Error: de::Error;
+
+    /// Consumes the deserializer, yielding its value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types that can be rebuilt from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from any input format.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// `Deserialize` with no borrowed data — every type in this shim.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let wide = match v {
+                    Value::U64(x) => x,
+                    Value::I64(x) if x >= 0 => x as u64,
+                    other => {
+                        return Err(de::Error::custom(format_args!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(de::Error::custom)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let wide = match v {
+                    Value::I64(x) => x,
+                    Value::U64(x) => {
+                        i64::try_from(x).map_err(de::Error::custom)?
+                    }
+                    other => {
+                        return Err(de::Error::custom(format_args!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(de::Error::custom)
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format_args!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::F64(x) => Ok(x),
+            Value::I64(x) => Ok(x as f64),
+            Value::U64(x) => Ok(x as f64),
+            other => Err(de::Error::custom(format_args!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format_args!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|item| {
+                    T::deserialize(__private::ValueDeserializer(item)).map_err(de::Error::custom)
+                })
+                .collect(),
+            other => Err(de::Error::custom(format_args!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => {
+                T::deserialize(__private::ValueDeserializer(v)).map(Some).map_err(de::Error::custom)
+            }
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+/// Support machinery for derive-generated code. Not part of the public
+/// API contract.
+pub mod __private {
+    use super::{de, DeserializeOwned, Deserializer, Value};
+    use std::fmt;
+
+    /// The concrete error produced while picking a [`Value`] tree apart.
+    #[derive(Debug)]
+    pub struct DeError(String);
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl de::Error for DeError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            DeError(msg.to_string())
+        }
+    }
+
+    /// Deserializer over an in-memory [`Value`] (used for nested fields).
+    pub struct ValueDeserializer(pub Value);
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = DeError;
+
+        fn take_value(self) -> Result<Value, DeError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Unwraps a map value into its entries.
+    pub fn into_map(v: Value) -> Result<Vec<(String, Value)>, DeError> {
+        match v {
+            Value::Map(m) => Ok(m),
+            other => Err(DeError(format!("expected map, got {other:?}"))),
+        }
+    }
+
+    /// Removes and deserializes one named struct field.
+    pub fn take_field<T: DeserializeOwned>(
+        map: &mut Vec<(String, Value)>,
+        name: &str,
+    ) -> Result<T, DeError> {
+        let idx = map
+            .iter()
+            .position(|(k, _)| k == name)
+            .ok_or_else(|| DeError(format!("missing field `{name}`")))?;
+        let (_, v) = map.swap_remove(idx);
+        T::deserialize(ValueDeserializer(v))
+    }
+
+    /// Splits an externally tagged enum value into `(variant, payload)`:
+    /// a bare string is a unit variant; a single-entry map is a variant
+    /// with data.
+    pub fn enum_parts(v: Value) -> Result<(String, Option<Value>), DeError> {
+        match v {
+            Value::Str(tag) => Ok((tag, None)),
+            Value::Map(mut m) if m.len() == 1 => {
+                let (tag, payload) = m.pop().expect("len checked");
+                Ok((tag, Some(payload)))
+            }
+            other => Err(DeError(format!("expected enum representation, got {other:?}"))),
+        }
+    }
+
+    /// Payload accessor for data-carrying enum variants.
+    pub fn variant_fields(
+        tag: &str,
+        payload: Option<Value>,
+    ) -> Result<Vec<(String, Value)>, DeError> {
+        match payload {
+            Some(v) => into_map(v),
+            None => Err(DeError(format!("variant `{tag}` expects fields"))),
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Supports the shapes this workspace actually derives on: non-generic
+//! structs with named fields, and non-generic enums whose variants are
+//! unit or struct-like. The macros parse the item with a small hand-rolled
+//! token walk (no `syn`/`quote` available offline) and emit impls of the
+//! shim's `Serialize`/`Deserialize` traits over its `Value` tree.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed variant: its name, plus field names if struct-like.
+struct Variant {
+    name: String,
+    fields: Option<Vec<String>>,
+}
+
+/// The parsed item: its name and either struct fields or enum variants.
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+/// Derives the shim `Serialize` trait (renders into `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Map(::std::vec![{entries}])")
+        }
+        ItemKind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let (vname, ty) = (&v.name, &item.name);
+                    match &v.fields {
+                        None => format!(
+                            "{ty}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Some(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{ty}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Map(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl must parse")
+}
+
+/// Derives the shim `Deserialize` trait (rebuilds from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let takes = fields.iter().map(|f| field_take(f)).collect::<Vec<_>>().join("\n");
+            let inits =
+                fields.iter().map(|f| format!("{f}: __field_{f},")).collect::<Vec<_>>().join(" ");
+            format!(
+                "let mut __map = match ::serde::__private::into_map(__value) {{\n\
+                     Ok(m) => m,\n\
+                     Err(e) => return Err(<D::Error as ::serde::de::Error>::custom(e)),\n\
+                 }};\n\
+                 {takes}\n\
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!("\"{vname}\" => Ok({name}::{vname}),"),
+                        Some(fields) => {
+                            let takes = fields
+                                .iter()
+                                .map(|f| field_take(f))
+                                .collect::<Vec<_>>()
+                                .join("\n");
+                            let inits = fields
+                                .iter()
+                                .map(|f| format!("{f}: __field_{f},"))
+                                .collect::<Vec<_>>()
+                                .join(" ");
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                     let mut __map = match \
+                                     ::serde::__private::variant_fields(\"{vname}\", __payload) {{\n\
+                                         Ok(m) => m,\n\
+                                         Err(e) => return Err(\
+                                         <D::Error as ::serde::de::Error>::custom(e)),\n\
+                                     }};\n\
+                                     {takes}\n\
+                                     Ok({name}::{vname} {{ {inits} }})\n\
+                                 }}"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "let (__tag, __payload) = match ::serde::__private::enum_parts(__value) {{\n\
+                     Ok(parts) => parts,\n\
+                     Err(e) => return Err(<D::Error as ::serde::de::Error>::custom(e)),\n\
+                 }};\n\
+                 let _ = &__payload;\n\
+                 match __tag.as_str() {{\n\
+                     {arms}\n\
+                     other => Err(<D::Error as ::serde::de::Error>::custom(\
+                         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(__d: D) \
+             -> ::std::result::Result<Self, D::Error> {{\n\
+                 let __value = ::serde::Deserializer::take_value(__d)?;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Deserialize): generated impl must parse")
+}
+
+/// Emits the statement extracting field `f` from `__map` into `__field_f`.
+fn field_take(f: &str) -> String {
+    format!(
+        "let __field_{f} = match ::serde::__private::take_field(&mut __map, \"{f}\") {{\n\
+             Ok(v) => v,\n\
+             Err(e) => return Err(<D::Error as ::serde::de::Error>::custom(e)),\n\
+         }};"
+    )
+}
+
+/// Parses `[attrs] [vis] (struct|enum) Name { ... }` from the derive input.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic types are not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde shim derive: `{name}` has no braced body"),
+        }
+    };
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_field_names(body.stream())),
+        "enum" => ItemKind::Enum(parse_variants(body.stream())),
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Skips leading `#[...]` attributes and a `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis<I: Iterator<Item = TokenTree>>(tokens: &mut std::iter::Peekable<I>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from `name: Type, ...` (types skipped with
+/// angle-bracket awareness so `Vec<(A, B)>` does not split a field).
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde shim derive: expected `:` after field `{name}`, got {other:?} \
+                 (tuple structs are not supported)"
+            ),
+        }
+        fields.push(name);
+        let mut angle_depth = 0u32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts variants from an enum body: `Name`, or `Name { fields }`.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        let mut fields = None;
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_field_names(g.stream()));
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == ',' {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple variant `{name}` is not supported")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(Variant { name, fields });
+                break;
+            }
+            other => panic!("serde shim derive: unexpected token after `{name}`: {other:?}"),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

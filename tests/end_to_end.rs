@@ -86,10 +86,7 @@ fn all_backends_agree() {
             assert_eq!(got, reference, "{} disagrees on {probe}", b.name());
         }
         let af = cells(&backends[6].find_dependents(Range::cell(probe)));
-        assert!(
-            af.is_superset(&reference),
-            "Antifreeze missed true dependents at {probe}"
-        );
+        assert!(af.is_superset(&reference), "Antifreeze missed true dependents at {probe}");
     }
 }
 
