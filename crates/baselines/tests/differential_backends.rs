@@ -1,0 +1,163 @@
+//! Differential backend harness: every [`DependencyBackend`] answers the
+//! same seeded corpora identically.
+//!
+//! All six systems — TACO, TACO-InRow, NoComp, Antifreeze, CellGraph,
+//! ExcelLike — ingest the same generated sheets (both corpus presets'
+//! pattern mixes) and then face an interleaved script of
+//! `find_dependents` / `find_precedents` / `clear_cells` operations.
+//! Answers are normalized to cell sets (different backends legitimately
+//! return different disjoint-range decompositions) and must be identical.
+//!
+//! Antifreeze runs in its lossless configuration (`K = ∞`): the paper's
+//! `K = 20` cap deliberately introduces bounding-range false positives,
+//! which `prop_baselines.rs` covers separately as a superset property —
+//! an equality harness would reject the lossy cap by design. A unit test
+//! below pins the capped behaviour on this corpus too.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use taco_baselines::{Antifreeze, CellGraph, ExcelLike};
+use taco_core::{Config, DependencyBackend, FormulaGraph};
+use taco_grid::{Cell, Range};
+use taco_workload::{CorpusParams, SheetParams, SyntheticSheet};
+
+/// Small, fast instances of the two corpus presets: the preset's pattern
+/// mix and row limits, at differential-test scale.
+fn presets() -> Vec<CorpusParams> {
+    [taco_workload::enron_like(0.1), taco_workload::github_like(0.1)]
+        .into_iter()
+        .map(|p| CorpusParams {
+            sheets: 2,
+            min_deps: 250,
+            max_deps: 600,
+            sheet: SheetParams { max_run: 40, ..p.sheet },
+            ..p
+        })
+        .collect()
+}
+
+fn backends() -> Vec<Box<dyn DependencyBackend>> {
+    vec![
+        Box::new(FormulaGraph::taco()),
+        Box::new(FormulaGraph::new(Config::taco_in_row())),
+        Box::new(FormulaGraph::nocomp()),
+        Box::new(Antifreeze::with_k(usize::MAX)),
+        Box::new(CellGraph::new()),
+        Box::new(ExcelLike::new()),
+    ]
+}
+
+fn cells(v: &[Range]) -> BTreeSet<Cell> {
+    v.iter().flat_map(|x| x.cells()).collect()
+}
+
+/// The probe pool for one sheet: its hot cells plus seeded random cells
+/// inside the occupied area.
+fn probes(sheet: &SyntheticSheet, rng: &mut StdRng) -> Vec<Cell> {
+    let max_col = sheet.deps.iter().map(|d| d.dep.col.max(d.prec.tail().col)).max().unwrap_or(2);
+    let max_row =
+        sheet.deps.iter().map(|d| d.dep.row.max(d.prec.tail().row)).max().unwrap_or(2).min(70_000);
+    let mut out: Vec<Cell> = sheet.hot_cells.iter().copied().take(4).collect();
+    out.push(sheet.longest_path_cell);
+    for _ in 0..4 {
+        out.push(Cell::new(rng.gen_range(1..=max_col), rng.gen_range(1..=max_row)));
+    }
+    // And some dependency endpoints, which are guaranteed interesting.
+    for _ in 0..3 {
+        let d = &sheet.deps[rng.gen_range(0..sheet.deps.len())];
+        out.push(d.dep);
+        out.push(d.prec.head());
+    }
+    out
+}
+
+/// Asserts that every backend currently gives the same answers for the
+/// probe pool.
+fn assert_agreement(backs: &mut [Box<dyn DependencyBackend>], pool: &[Cell], context: &str) {
+    for &cell in pool {
+        let probe = Range::cell(cell);
+        let truth_dep: BTreeSet<Cell> = cells(&backs[0].find_dependents(probe));
+        let truth_prec: BTreeSet<Cell> = cells(&backs[0].find_precedents(probe));
+        for b in backs.iter_mut().skip(1) {
+            let name = b.name();
+            assert_eq!(
+                cells(&b.find_dependents(probe)),
+                truth_dep,
+                "{context}: dependents({cell}) disagree for {name}"
+            );
+            assert_eq!(
+                cells(&b.find_precedents(probe)),
+                truth_prec,
+                "{context}: precedents({cell}) disagree for {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_backends_agree_on_both_corpus_presets() {
+    for params in presets() {
+        let sheets = params.generate();
+        for sheet in &sheets {
+            let mut rng = StdRng::seed_from_u64(0xD1FF ^ sheet.deps.len() as u64);
+            let mut backs = backends();
+            for b in backs.iter_mut() {
+                for d in &sheet.deps {
+                    b.add_dependency(d);
+                }
+            }
+            let pool = probes(sheet, &mut rng);
+            assert_agreement(&mut backs, &pool, &format!("{} fresh", sheet.name));
+
+            // Interleave clears with re-probes: incremental maintenance
+            // must keep all six in lockstep.
+            for round in 0..4 {
+                let d = &sheet.deps[rng.gen_range(0..sheet.deps.len())];
+                let anchor = if round % 2 == 0 { d.dep } else { d.prec.head() };
+                let clear = Range::from_coords(
+                    anchor.col,
+                    anchor.row,
+                    anchor.col + rng.gen_range(0..2),
+                    anchor.row + rng.gen_range(0..3),
+                );
+                for b in backs.iter_mut() {
+                    b.clear_cells(clear);
+                }
+                let mut pool = probes(sheet, &mut rng);
+                pool.push(anchor);
+                assert_agreement(
+                    &mut backs,
+                    &pool,
+                    &format!("{} after clear #{round} {clear}", sheet.name),
+                );
+            }
+        }
+    }
+}
+
+/// The paper-faithful `K = 20` Antifreeze is *not* exact — its bounding
+/// ranges may cover extra cells — but it must never miss a dependent on
+/// these corpora either.
+#[test]
+fn capped_antifreeze_covers_truth_on_corpus() {
+    let params = presets().remove(0);
+    let sheet = &params.generate()[0];
+    let mut truth = FormulaGraph::nocomp();
+    let mut af = Antifreeze::new(); // K = 20
+    for d in &sheet.deps {
+        DependencyBackend::add_dependency(&mut truth, d);
+        DependencyBackend::add_dependency(&mut af, d);
+    }
+    let mut rng = StdRng::seed_from_u64(7);
+    for cell in probes(sheet, &mut rng) {
+        let probe = Range::cell(cell);
+        let want = cells(&DependencyBackend::find_dependents(&mut truth, probe));
+        let got = cells(&DependencyBackend::find_dependents(&mut af, probe));
+        assert!(
+            got.is_superset(&want),
+            "capped Antifreeze missed dependents of {cell}: {:?}",
+            want.difference(&got).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Workbook scaling: sharded build and whole-workbook dependents queries
+//! vs sheet count and thread count, plus recalculation speedup of the
+//! level scheduler.
+//!
+//! The workbook shards one compressed formula graph per sheet, so graph
+//! *builds* parallelize across sheets (scoped threads), and cross-sheet
+//! dependents queries pay the per-sheet compressed query plus edge-table
+//! hops. `TACO_SCALE` stretches the per-sheet dependency counts.
+
+use std::time::Instant;
+use taco_bench::{cell_count, fmt_ms, header, ms, scale, time};
+use taco_core::{Config, Dependency};
+use taco_engine::{CrossEdge, RecalcMode, SheetId, Workbook};
+use taco_grid::{Cell, Range};
+use taco_workload::{gen_workbook, SheetParams, WorkbookParams};
+
+fn build_inputs(sheets: usize, per_sheet_deps: u64) -> taco_workload::SyntheticWorkbook {
+    gen_workbook(&WorkbookParams {
+        name: format!("bench-{sheets}"),
+        sheets,
+        sheet: SheetParams { target_deps: per_sheet_deps, ..SheetParams::default() },
+        cross_frac: 0.03,
+        seed: 0xB00C + sheets as u64,
+    })
+}
+
+fn as_workbook(wb: &taco_workload::SyntheticWorkbook, threads: usize) -> Workbook {
+    let names: Vec<String> = wb.sheets.iter().map(|s| s.name.clone()).collect();
+    let sheets: Vec<(&str, &[Dependency])> =
+        names.iter().map(String::as_str).zip(wb.sheets.iter().map(|s| s.deps.as_slice())).collect();
+    let cross: Vec<CrossEdge> = wb
+        .cross
+        .iter()
+        .map(|d| CrossEdge {
+            src: SheetId(d.src_sheet),
+            prec: d.prec,
+            dst: SheetId(d.dst_sheet),
+            dep: d.dep,
+        })
+        .collect();
+    Workbook::from_sheet_deps(Config::taco_full(), &sheets, &cross, threads)
+        .expect("generated workbook is well-formed")
+}
+
+fn main() {
+    let per_sheet = (30_000.0 * scale()) as u64 + 2_000;
+    header(&format!("Workbook scaling — {per_sheet} deps/sheet (TACO_SCALE={})", scale()));
+
+    for sheets in [2usize, 4, 8] {
+        let input = build_inputs(sheets, per_sheet);
+        println!(
+            "\n[{} sheets, {} local + {} cross deps]",
+            sheets,
+            input.total_deps() - input.cross.len(),
+            input.cross.len()
+        );
+
+        // Build: per-sheet graph compression, serial vs scoped threads.
+        let mut serial_build_ms = 0.0;
+        for threads in [1usize, 2, 4, 8] {
+            let (wb, t) = time(|| as_workbook(&input, threads));
+            if threads == 1 {
+                serial_build_ms = ms(t);
+            }
+            println!(
+                "  build  threads={threads}: {:>10}  ({:.2}x vs serial)",
+                fmt_ms(ms(t)),
+                serial_build_ms / ms(t).max(1e-9)
+            );
+            drop(wb);
+        }
+
+        // Whole-workbook dependents: probe every sheet's hottest cell and
+        // the head of the reserved cross-chain strip.
+        let mut wb = as_workbook(&input, 8);
+        let mut probes: Vec<(SheetId, Cell)> = input
+            .sheets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SheetId(i), s.longest_path_cell))
+            .collect();
+        // Probe actual cross-chain precedent cells, so the numbers include
+        // edge-table hops by construction.
+        for d in input.cross.iter().filter(|d| d.prec.is_cell()).take(3) {
+            probes.push((SheetId(d.src_sheet), d.prec.head()));
+        }
+        let start = Instant::now();
+        let mut found = 0u64;
+        for &(sid, cell) in &probes {
+            let deps = wb.find_dependents(sid, Range::cell(cell));
+            found += cell_count(&deps.iter().map(|&(_, r)| r).collect::<Vec<_>>());
+        }
+        println!(
+            "  query  {} whole-workbook dependents probes: {:>10}  ({} dependent cells)",
+            probes.len(),
+            fmt_ms(ms(start.elapsed())),
+            found
+        );
+    }
+
+    // Recalculation: a formula workbook (cross-sheet rollup chain), serial
+    // vs parallel scheduler.
+    let rows = (400.0 * scale()) as u32 + 50;
+    header(&format!("Workbook recalc — 8 sheets × {rows} cumulative rows"));
+    let build = || {
+        let mut wb = Workbook::with_taco();
+        let ids: Vec<SheetId> =
+            (0..8).map(|i| wb.add_sheet(&format!("S{i}")).expect("fresh name")).collect();
+        for (k, &id) in ids.iter().enumerate() {
+            for row in 1..=rows {
+                wb.set_value(id, Cell::new(1, row), taco_engine::Value::Number(f64::from(row)));
+            }
+            wb.set_formula(id, Cell::new(2, 1), "=SUM($A$1:A1)").expect("valid formula");
+            wb.autofill(id, Cell::new(2, 1), Range::from_coords(2, 2, 2, rows)).expect("fill");
+            if k > 0 {
+                wb.set_formula(id, Cell::new(3, 1), &format!("=S{}!C1+B{rows}", k - 1))
+                    .expect("valid formula");
+            } else {
+                wb.set_formula(id, Cell::new(3, 1), &format!("=B{rows}")).expect("valid formula");
+            }
+        }
+        wb
+    };
+    let mut reference = None;
+    for (label, mode) in [
+        ("serial", RecalcMode::Serial),
+        ("2 threads", RecalcMode::Parallel { threads: 2 }),
+        ("8 threads", RecalcMode::Parallel { threads: 8 }),
+    ] {
+        let mut wb = build();
+        let (evaluated, t) = time(|| wb.recalculate(mode));
+        let total = wb.value(SheetId(7), Cell::new(3, 1));
+        match &reference {
+            None => reference = Some(total),
+            Some(r) => assert_eq!(r, &total, "modes must agree bit-for-bit"),
+        }
+        println!("  recalc {label:<10} {evaluated} cells: {:>10}", fmt_ms(ms(t)));
+    }
+    println!("  all modes produced identical values");
+}

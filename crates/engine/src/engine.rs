@@ -4,7 +4,26 @@ use std::time::{Duration, Instant};
 use taco_core::{Dependency, DependencyBackend, FormulaGraph};
 use taco_formula::eval::{eval, CellProvider};
 use taco_formula::{autofill, CellError, Formula, FormulaError, Value};
+use taco_grid::a1::QualifiedRef;
 use taco_grid::{Cell, Range};
+
+/// Values of *other* sheets, visible to this sheet's evaluator. The
+/// workbook supplies an implementation during multi-sheet recalculation; a
+/// standalone engine uses [`NoExternal`], which turns every foreign
+/// reference into `#REF!`.
+pub(crate) trait ExternalSheets {
+    /// Value of `cell` on the sheet named `sheet` (`#REF!` if unknown).
+    fn value(&self, sheet: &str, cell: Cell) -> Value;
+}
+
+/// The standalone-engine external view: no other sheets exist.
+pub(crate) struct NoExternal;
+
+impl ExternalSheets for NoExternal {
+    fn value(&self, _sheet: &str, _cell: Cell) -> Value {
+        Value::Error(CellError::Ref)
+    }
+}
 
 /// What an edit reported back before recalculation: the information the
 /// asynchronous model needs to "return control to the user".
@@ -22,6 +41,10 @@ pub struct Engine<B: DependencyBackend = FormulaGraph> {
     cells: HashMap<Cell, CellContent>,
     graph: B,
     dirty: HashSet<Cell>,
+    /// The sheet's name when mounted in a [`crate::Workbook`]; references
+    /// qualified with this name (`Sheet1!A1` inside `Sheet1`) are treated
+    /// as local. `None` for a standalone engine.
+    sheet_name: Option<String>,
 }
 
 impl Engine<FormulaGraph> {
@@ -39,7 +62,26 @@ impl Engine<FormulaGraph> {
 impl<B: DependencyBackend> Engine<B> {
     /// Wraps a backend into an empty sheet.
     pub fn new(graph: B) -> Self {
-        Engine { cells: HashMap::new(), graph, dirty: HashSet::new() }
+        Engine { cells: HashMap::new(), graph, dirty: HashSet::new(), sheet_name: None }
+    }
+
+    /// Names the sheet (workbook mounting).
+    pub(crate) fn set_sheet_name(&mut self, name: String) {
+        self.sheet_name = Some(name);
+    }
+
+    /// The sheet's name, when mounted in a workbook.
+    pub fn sheet_name(&self) -> Option<&str> {
+        self.sheet_name.as_deref()
+    }
+
+    /// `true` iff `q` resolves to this sheet: unqualified, or qualified
+    /// with this sheet's own name.
+    fn is_local_ref(&self, q: &QualifiedRef) -> bool {
+        match &q.sheet {
+            None => true,
+            Some(s) => self.sheet_name.as_deref().is_some_and(|n| s.matches(n)),
+        }
     }
 
     /// The underlying formula graph.
@@ -114,11 +156,15 @@ impl<B: DependencyBackend> Engine<B> {
         Ok(self.set_parsed_formula(cell, formula))
     }
 
-    /// Sets an already-parsed formula.
+    /// Sets an already-parsed formula. Only same-sheet references enter
+    /// this sheet's graph; sheet-qualified ones are the workbook's to
+    /// route (a standalone engine evaluates them to `#REF!`).
     pub fn set_parsed_formula(&mut self, cell: Cell, formula: Formula) -> EditReceipt {
         self.detach_formula(cell);
-        for rref in &formula.refs {
-            self.graph.add_dependency(&Dependency::from_ref(rref, cell));
+        for q in &formula.refs {
+            if self.is_local_ref(q) {
+                self.graph.add_dependency(&Dependency::from_ref(&q.rref, cell));
+            }
         }
         self.cells.insert(cell, CellContent::Formula { formula, value: Value::Empty });
         self.dirty.insert(cell);
@@ -160,7 +206,14 @@ impl<B: DependencyBackend> Engine<B> {
         let start = Instant::now();
         let dirty = self.graph.find_dependents(of);
         let control_latency = start.elapsed();
-        for range in &dirty {
+        self.mark_ranges_dirty(&dirty);
+        EditReceipt { dirty, control_latency }
+    }
+
+    /// Marks the formula cells inside `ranges` dirty (workbook cross-sheet
+    /// routing enters here).
+    pub(crate) fn mark_ranges_dirty(&mut self, ranges: &[Range]) {
+        for range in ranges {
             // Only existing formula cells need recalculation. Iterate the
             // smaller of (range cells, stored cells).
             if range.area() as usize <= self.cells.len() {
@@ -170,14 +223,39 @@ impl<B: DependencyBackend> Engine<B> {
                     }
                 }
             } else {
-                for (&c, content) in &self.cells {
-                    if range.contains_cell(c) && content.formula().is_some() {
-                        self.dirty.insert(c);
-                    }
-                }
+                let cells = &self.cells;
+                self.dirty.extend(
+                    cells
+                        .iter()
+                        .filter(|(c, content)| {
+                            range.contains_cell(**c) && content.formula().is_some()
+                        })
+                        .map(|(&c, _)| c),
+                );
             }
         }
-        EditReceipt { dirty, control_latency }
+    }
+
+    /// Marks one formula cell dirty; returns `true` iff the cell holds a
+    /// formula and was not already dirty.
+    pub(crate) fn mark_cell_dirty(&mut self, cell: Cell) -> bool {
+        matches!(self.cells.get(&cell), Some(CellContent::Formula { .. }))
+            && self.dirty.insert(cell)
+    }
+
+    /// `true` iff `cell` is awaiting recalculation.
+    pub(crate) fn is_cell_dirty(&self, cell: Cell) -> bool {
+        self.dirty.contains(&cell)
+    }
+
+    /// Read access to the whole cell store (workbook import snapshots).
+    pub(crate) fn cells_map(&self) -> &HashMap<Cell, CellContent> {
+        &self.cells
+    }
+
+    /// The parsed formula at `cell`, if any (workbook autofill).
+    pub(crate) fn formula_at(&self, cell: Cell) -> Option<&Formula> {
+        self.cells.get(&cell).and_then(CellContent::formula)
     }
 
     // ---- recalculation ----------------------------------------------------
@@ -185,12 +263,20 @@ impl<B: DependencyBackend> Engine<B> {
     /// Re-evaluates all dirty formula cells in dependency order; cycles
     /// evaluate to `#CYCLE!`. Returns the number of cells evaluated.
     pub fn recalculate(&mut self) -> usize {
+        self.recalculate_with(&NoExternal)
+    }
+
+    /// Recalculation with a view of other sheets' values (the workbook's
+    /// per-level import snapshot). Fully deterministic: the evaluation
+    /// order depends only on the dirty set and the local graph.
+    pub(crate) fn recalculate_with<E: ExternalSheets>(&mut self, ext: &E) -> usize {
         let order = self.topo_order_of_dirty();
         let evaluated = order.len();
         for cell in order {
             let value = match self.cells.get(&cell) {
                 Some(CellContent::Formula { formula, .. }) => {
-                    let view = SheetView { cells: &self.cells };
+                    let view =
+                        SheetView { cells: &self.cells, own: self.sheet_name.as_deref(), ext };
                     eval(&formula.ast, &view)
                 }
                 _ => continue,
@@ -266,14 +352,19 @@ impl<B: DependencyBackend> Engine<B> {
         order
     }
 
-    /// Dirty formula cells referenced by `cell`'s formula.
+    /// Dirty formula cells referenced by `cell`'s formula. Only same-sheet
+    /// references matter here: cross-sheet ordering is the workbook
+    /// scheduler's job (sheets evaluate level by level).
     fn dirty_precedents_of(&self, cell: Cell, _color: &HashMap<Cell, impl Sized>) -> Vec<Cell> {
         let Some(CellContent::Formula { formula, .. }) = self.cells.get(&cell) else {
             return Vec::new();
         };
         let mut out = Vec::new();
-        for rref in &formula.refs {
-            let range = rref.range();
+        for q in &formula.refs {
+            if !self.is_local_ref(q) {
+                continue;
+            }
+            let range = q.range();
             if range.area() as usize <= self.dirty.len() {
                 for c in range.cells() {
                     if self.dirty.contains(&c) && c != cell {
@@ -307,14 +398,27 @@ impl<B: DependencyBackend> Engine<B> {
     }
 }
 
-/// Read-only evaluator view over the cell store.
-struct SheetView<'a> {
+/// Read-only evaluator view over the cell store, plus the external-sheet
+/// window used for `Sheet2!A1`-style reads.
+struct SheetView<'a, E: ExternalSheets> {
     cells: &'a HashMap<Cell, CellContent>,
+    own: Option<&'a str>,
+    ext: &'a E,
 }
 
-impl CellProvider for SheetView<'_> {
+impl<E: ExternalSheets> CellProvider for SheetView<'_, E> {
     fn value(&self, cell: Cell) -> Value {
         self.cells.get(&cell).map_or(Value::Empty, |c| c.value().clone())
+    }
+
+    fn sheet_value(&self, sheet: &str, cell: Cell) -> Value {
+        // A self-qualified reference (`Sheet1!A1` inside `Sheet1`) reads
+        // locally; everything else goes through the external window.
+        if self.own.is_some_and(|n| n.eq_ignore_ascii_case(sheet)) {
+            self.value(cell)
+        } else {
+            self.ext.value(sheet, cell)
+        }
     }
 }
 

@@ -14,6 +14,12 @@
 //!
 //! [`Engine::autofill`] reproduces the formula-generation tool whose
 //! `$`-rules create the tabular locality TACO compresses.
+//!
+//! [`Workbook`] scales the model to multi-sheet files: one engine shard
+//! (cells + compressed graph) per sheet, an inter-sheet edge table for
+//! `Sheet2!A1`-style cross-references, and a level-scheduled recalculation
+//! that evaluates independent sheets on parallel scoped threads with
+//! values bit-identical to the serial order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,10 +28,12 @@ mod async_engine;
 mod engine;
 mod sheet;
 mod structural;
+mod workbook;
 
 pub use async_engine::AsyncEngine;
 pub use engine::{EditReceipt, Engine};
 pub use sheet::CellContent;
+pub use workbook::{CrossEdge, RecalcMode, SheetId, Workbook, WorkbookError, WorkbookReceipt};
 
 pub use taco_core::DependencyBackend;
 pub use taco_formula::{CellError, Value};

@@ -5,16 +5,22 @@ use crate::engine::Engine;
 use crate::sheet::CellContent;
 use taco_core::{FormulaGraph, StructuralOp};
 use taco_formula::Formula;
-use taco_grid::a1::{CellRef, RangeRef};
+use taco_grid::a1::{CellRef, QualifiedRef, RangeRef};
 
 /// Rewrites one formula reference under a structural edit, preserving its
-/// `$` flags; `None` becomes `#REF!` in the formula.
-fn map_ref(op: StructuralOp, r: &RangeRef) -> Option<RangeRef> {
+/// `$` flags; `None` becomes `#REF!` in the formula. Sheet-qualified
+/// references point at *other* sheets, whose geometry this edit does not
+/// touch, so they pass through unchanged.
+fn map_ref(op: StructuralOp, q: &QualifiedRef) -> Option<QualifiedRef> {
+    if q.sheet.is_some() {
+        return Some(q.clone());
+    }
+    let r = &q.rref;
     let nr = op.map_range(r.range())?;
-    Some(RangeRef {
+    Some(QualifiedRef::local(RangeRef {
         head: CellRef { cell: nr.head(), ..r.head },
         tail: CellRef { cell: nr.tail(), ..r.tail },
-    })
+    }))
 }
 
 impl Engine<FormulaGraph> {

@@ -1,0 +1,1181 @@
+//! Multi-sheet workbooks: sheet-sharded formula graphs, cross-sheet
+//! reference routing, and a parallel recalculation scheduler.
+//!
+//! The paper evaluates TACO per sheet, but the Enron/Github workbooks it
+//! draws from are multi-sheet with `Sheet2!A1`-style cross-references. A
+//! [`Workbook`] shards state accordingly:
+//!
+//! - every sheet keeps its **own** cell store and its own compressed
+//!   formula graph ([`taco_core::DependencyBackend`]), so each shard stays
+//!   exactly as compressible as the paper's per-sheet graphs;
+//! - cross-sheet dependencies live in a separate **inter-sheet edge
+//!   table** ([`CrossEdge`]): `(source sheet, referenced range) → (target
+//!   sheet, formula cell)`. Dependents/precedents queries and dirty
+//!   propagation run the per-sheet compressed query within a shard and hop
+//!   through the edge table between shards;
+//! - recalculation is scheduled **per sheet**: sheets are topologically
+//!   leveled by the cross-edge graph (longest-path levels), so sheets in
+//!   the same level share no cross-sheet edges and can evaluate
+//!   concurrently on crossbeam scoped threads. Before a level runs, each
+//!   of its sheets gets an *import snapshot* — the values covered by its
+//!   incoming cross edges — so worker threads never share sheet state.
+//!
+//! [`RecalcMode::Serial`] walks the same levels in ascending sheet order;
+//! because within-level sheets are independent and every per-sheet
+//! evaluation is deterministic, serial and parallel recalculation produce
+//! **bit-identical** values (property-tested in
+//! `tests/prop_workbook.rs`).
+//!
+//! Cross-sheet *cycles* (sheet A reads B, B reads A) cannot be leveled;
+//! the scheduler levels the **SCC condensation** instead: each cyclic
+//! component unrolls into consecutive singleton levels in ascending sheet
+//! order, and everything downstream of it is placed strictly later, so
+//! only the cycle members themselves see stale values. One `recalculate`
+//! call relaxes a cyclic component by a single pass over its dirty cells
+//! — deterministic in either mode. An edit that re-dirties the cycle
+//! advances it another pass; a genuine cell-level cycle across sheets
+//! never settles, matching Excel's circular-reference behaviour with
+//! iterative calculation off.
+
+use crate::engine::{Engine, ExternalSheets};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::time::{Duration, Instant};
+use taco_core::{Config, Dependency, DependencyBackend, FormulaGraph};
+use taco_formula::{autofill, CellError, Formula, FormulaError, Value};
+use taco_grid::a1::SheetRef;
+use taco_grid::{Cell, GridError, Range};
+
+/// Index of a sheet within its workbook (dense, allocation order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SheetId(pub usize);
+
+impl SheetId {
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SheetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sheet#{}", self.0)
+    }
+}
+
+/// One inter-sheet dependency: the formula at `dst!dep` references the
+/// range `src!prec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossEdge {
+    /// Sheet holding the referenced range.
+    pub src: SheetId,
+    /// The referenced range on `src`.
+    pub prec: Range,
+    /// Sheet holding the referencing formula.
+    pub dst: SheetId,
+    /// The formula cell on `dst`.
+    pub dep: Cell,
+}
+
+/// The inter-sheet edge table, indexed both ways so the hot paths only
+/// scan the edges of the sheet at hand: routing (`expand`) walks a source
+/// sheet's outgoing edges, import snapshots and precedent queries walk a
+/// target sheet's incoming edges. Every edge is stored in both buckets.
+#[derive(Default)]
+struct EdgeTable {
+    by_src: Vec<Vec<CrossEdge>>,
+    by_dst: Vec<Vec<CrossEdge>>,
+    len: usize,
+}
+
+impl EdgeTable {
+    /// Grows both indices for a newly added sheet.
+    fn add_sheet(&mut self) {
+        self.by_src.push(Vec::new());
+        self.by_dst.push(Vec::new());
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn insert(&mut self, e: CrossEdge) {
+        self.by_src[e.src.0].push(e);
+        self.by_dst[e.dst.0].push(e);
+        self.len += 1;
+    }
+
+    /// Edges whose referenced range lives on `sid`.
+    fn outgoing(&self, sid: usize) -> &[CrossEdge] {
+        &self.by_src[sid]
+    }
+
+    /// Edges whose formula cell lives on `sid`.
+    fn incoming(&self, sid: usize) -> &[CrossEdge] {
+        &self.by_dst[sid]
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &CrossEdge> {
+        self.by_src.iter().flatten()
+    }
+
+    /// Removes every edge of the formula cell `dst!dep`.
+    fn remove_dep(&mut self, dst: SheetId, dep: Cell) {
+        self.remove_where(dst, |e| e.dep == dep);
+    }
+
+    /// Removes every edge of a formula cell inside `dst!range`.
+    fn remove_deps_in(&mut self, dst: SheetId, range: Range) {
+        self.remove_where(dst, move |e| range.contains_cell(e.dep));
+    }
+
+    fn remove_where(&mut self, dst: SheetId, pred: impl Fn(&CrossEdge) -> bool) {
+        let removed: Vec<CrossEdge> =
+            self.by_dst[dst.0].iter().filter(|e| pred(e)).copied().collect();
+        if removed.is_empty() {
+            return;
+        }
+        self.by_dst[dst.0].retain(|e| !pred(e));
+        for src in removed.iter().map(|e| e.src.0).collect::<BTreeSet<_>>() {
+            self.by_src[src].retain(|e| !(e.dst == dst && pred(e)));
+        }
+        self.len -= removed.len();
+    }
+}
+
+/// One unit of routing work inside [`Workbook::expand`]: a range on a
+/// sheet, plus what is left to do with it.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    sid: usize,
+    range: Range,
+    /// Run the per-sheet dependents query over `range`? `false` when the
+    /// caller already has the local closure (engine edit receipts).
+    expand_local: bool,
+    /// Include `range` itself in the result? (Edit origins and query
+    /// probes are not their own dependents.)
+    report: bool,
+}
+
+impl Job {
+    /// A query probe: expand locally, do not report the probe itself.
+    fn probe(sid: usize, range: Range) -> Job {
+        Job { sid, range, expand_local: true, report: false }
+    }
+
+    /// A range whose local closure is already complete: report it and
+    /// scan it for cross hops only.
+    fn expanded(sid: usize, range: Range) -> Job {
+        Job { sid, range, expand_local: false, report: true }
+    }
+
+    /// A cross-hop formula cell: it is a dependent (report) whose own
+    /// local dependents are still unknown (expand).
+    fn hop(sid: usize, cell: Cell) -> Job {
+        Job { sid, range: Range::cell(cell), expand_local: true, report: true }
+    }
+
+    /// The jobs for one engine edit: the edited range (cross hops only —
+    /// the engine already ran and marked the local query) plus the
+    /// receipt's dependent ranges.
+    fn from_receipt(sid: usize, origin: Range, receipt: crate::EditReceipt) -> Vec<Job> {
+        let mut jobs = Vec::with_capacity(receipt.dirty.len() + 1);
+        jobs.push(Job { sid, range: origin, expand_local: false, report: false });
+        jobs.extend(receipt.dirty.into_iter().map(|r| Job::expanded(sid, r)));
+        jobs
+    }
+}
+
+/// How [`Workbook::recalculate`] schedules sheet evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecalcMode {
+    /// Level by level, sheets in ascending id order, one at a time.
+    Serial,
+    /// Level by level, sheets of a level split over up to `threads`
+    /// crossbeam scoped threads. Values are bit-identical to serial.
+    Parallel {
+        /// Worker-thread cap (clamped to ≥ 1 and to the level width).
+        threads: usize,
+    },
+}
+
+/// What a workbook edit reported back before recalculation: the dirty
+/// ranges per sheet, plus the time spent identifying them (the paper's
+/// control-latency metric, now workbook-wide).
+#[derive(Debug, Clone)]
+pub struct WorkbookReceipt {
+    /// Dirty ranges, `(sheet, range)`, sorted and deduplicated.
+    pub dirty: Vec<(SheetId, Range)>,
+    /// Time spent finding the dependents across all sheets.
+    pub control_latency: Duration,
+}
+
+impl WorkbookReceipt {
+    /// Number of distinct sheets the edit dirtied.
+    pub fn sheets_touched(&self) -> usize {
+        self.dirty.iter().map(|(s, _)| s).collect::<BTreeSet<_>>().len()
+    }
+}
+
+/// Errors from workbook-level operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkbookError {
+    /// A sheet with this name already exists (names are case-insensitive).
+    DuplicateSheet(String),
+    /// The sheet name failed validation.
+    BadSheetName(GridError),
+    /// A sheet id or cross-edge endpoint is out of range.
+    NoSuchSheet(usize),
+    /// A formula failed to parse.
+    Formula(FormulaError),
+}
+
+impl fmt::Display for WorkbookError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkbookError::DuplicateSheet(n) => write!(f, "duplicate sheet name {n:?}"),
+            WorkbookError::BadSheetName(e) => write!(f, "{e}"),
+            WorkbookError::NoSuchSheet(i) => write!(f, "no sheet with index {i}"),
+            WorkbookError::Formula(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkbookError {}
+
+impl From<FormulaError> for WorkbookError {
+    fn from(e: FormulaError) -> Self {
+        WorkbookError::Formula(e)
+    }
+}
+
+/// One shard: a named sheet with its own engine (cells + formula graph).
+struct SheetShard<B: DependencyBackend> {
+    name: SheetRef,
+    engine: Engine<B>,
+}
+
+/// A multi-sheet workbook: one [`Engine`] shard per sheet plus the
+/// inter-sheet edge table. See the module docs for the sharding model.
+///
+/// # Panics
+///
+/// [`SheetId`]s are dense indices handed out by `add_sheet*`; like slice
+/// indexing, every method taking a `SheetId` panics (with a descriptive
+/// message) when given an id that does not name a sheet of *this*
+/// workbook. Resolve names with [`Workbook::sheet_id`] when in doubt.
+pub struct Workbook<B: DependencyBackend = FormulaGraph> {
+    sheets: Vec<SheetShard<B>>,
+    /// Lower-cased sheet name → dense id.
+    index: HashMap<String, usize>,
+    /// The inter-sheet edge table.
+    xedges: EdgeTable,
+}
+
+impl<B: DependencyBackend> Default for Workbook<B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workbook<FormulaGraph> {
+    /// An empty workbook whose sheets use the full TACO compressed graph.
+    pub fn with_taco() -> Self {
+        Workbook::new()
+    }
+
+    /// Adds a sheet backed by a TACO-compressed formula graph.
+    pub fn add_sheet(&mut self, name: &str) -> Result<SheetId, WorkbookError> {
+        self.add_sheet_with(name, FormulaGraph::taco())
+    }
+
+    /// Builds a workbook straight from per-sheet dependency lists plus a
+    /// cross-edge table — the graph-only ingestion path used by the
+    /// workload generator and the scaling benchmarks (no cell values, so
+    /// queries work but recalculation has nothing to evaluate). With
+    /// `threads > 1` the per-sheet graphs are compressed concurrently on
+    /// crossbeam scoped threads.
+    pub fn from_sheet_deps(
+        config: Config,
+        sheets: &[(&str, &[Dependency])],
+        cross: &[CrossEdge],
+        threads: usize,
+    ) -> Result<Self, WorkbookError> {
+        let graphs: Vec<FormulaGraph> = if threads <= 1 || sheets.len() <= 1 {
+            sheets
+                .iter()
+                .map(|(_, deps)| FormulaGraph::build(config.clone(), deps.iter().copied()))
+                .collect()
+        } else {
+            let per = sheets.len().div_ceil(threads.min(sheets.len()));
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = sheets
+                    .chunks(per)
+                    .map(|chunk| {
+                        let cfg = config.clone();
+                        s.spawn(move |_| {
+                            chunk
+                                .iter()
+                                .map(|(_, deps)| {
+                                    FormulaGraph::build(cfg.clone(), deps.iter().copied())
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("graph build thread")).collect()
+            })
+            .expect("graph build scope")
+        };
+        let mut wb = Workbook::new();
+        for ((name, _), graph) in sheets.iter().zip(graphs) {
+            wb.add_sheet_with(name, graph)?;
+        }
+        for e in cross {
+            if e.src.0 >= wb.sheets.len() {
+                return Err(WorkbookError::NoSuchSheet(e.src.0));
+            }
+            if e.dst.0 >= wb.sheets.len() {
+                return Err(WorkbookError::NoSuchSheet(e.dst.0));
+            }
+            wb.xedges.insert(*e);
+        }
+        Ok(wb)
+    }
+}
+
+impl<B: DependencyBackend> Workbook<B> {
+    /// An empty workbook.
+    pub fn new() -> Self {
+        Workbook { sheets: Vec::new(), index: HashMap::new(), xedges: EdgeTable::default() }
+    }
+
+    /// Adds a sheet around the given backend. Names are validated like
+    /// formula qualifiers and must be unique case-insensitively.
+    ///
+    /// Existing formulae that already reference the new name (written
+    /// while it resolved to `#REF!`) are re-bound: their cross edges are
+    /// registered and the cells re-marked dirty, so the next
+    /// recalculation sees the new sheet's values.
+    pub fn add_sheet_with(&mut self, name: &str, backend: B) -> Result<SheetId, WorkbookError> {
+        let sref = SheetRef::new(name).map_err(WorkbookError::BadSheetName)?;
+        if self.index.contains_key(&sref.key()) {
+            return Err(WorkbookError::DuplicateSheet(name.to_string()));
+        }
+        let id = self.sheets.len();
+        let mut engine = Engine::new(backend);
+        engine.set_sheet_name(sref.name().to_string());
+        self.index.insert(sref.key(), id);
+        self.sheets.push(SheetShard { name: sref, engine });
+        self.xedges.add_sheet();
+        self.rebind_dangling_refs(id);
+        Ok(SheetId(id))
+    }
+
+    /// Registers cross edges for formulae whose qualified references only
+    /// now resolve (the sheet with this id was just added), and routes the
+    /// resulting dirtiness.
+    fn rebind_dangling_refs(&mut self, new_id: usize) {
+        let name = &self.sheets[new_id].name;
+        let mut edges = Vec::new();
+        for (sid, shard) in self.sheets.iter().enumerate() {
+            for (&cell, content) in shard.engine.cells_map() {
+                let Some(formula) = content.formula() else { continue };
+                for q in &formula.refs {
+                    if q.sheet.as_ref().is_some_and(|s| s.matches(name.name())) {
+                        edges.push(CrossEdge {
+                            src: SheetId(new_id),
+                            prec: q.range(),
+                            dst: SheetId(sid),
+                            dep: cell,
+                        });
+                    }
+                }
+            }
+        }
+        if edges.is_empty() {
+            return;
+        }
+        let mut jobs = Vec::with_capacity(edges.len());
+        for e in edges {
+            self.sheets[e.dst.0].engine.mark_cell_dirty(e.dep);
+            jobs.push(Job::hop(e.dst.0, e.dep));
+            self.xedges.insert(e);
+        }
+        let _ = self.expand(jobs, true);
+    }
+
+    /// Number of sheets.
+    pub fn sheet_count(&self) -> usize {
+        self.sheets.len()
+    }
+
+    /// Validates a caller-supplied id (see the type-level panic note).
+    #[track_caller]
+    fn ensure_sheet(&self, id: SheetId) {
+        assert!(
+            id.0 < self.sheets.len(),
+            "{id} does not exist in this workbook ({} sheets; ids are dense — resolve names \
+             with sheet_id())",
+            self.sheets.len()
+        );
+    }
+
+    /// Resolves a sheet name (case-insensitive).
+    pub fn sheet_id(&self, name: &str) -> Option<SheetId> {
+        self.index.get(&name.to_ascii_lowercase()).copied().map(SheetId)
+    }
+
+    /// The name of a sheet.
+    pub fn sheet_name(&self, id: SheetId) -> &str {
+        self.ensure_sheet(id);
+        self.sheets[id.0].name.name()
+    }
+
+    /// Read access to one sheet's engine (values, graph stats).
+    pub fn sheet(&self, id: SheetId) -> &Engine<B> {
+        self.ensure_sheet(id);
+        &self.sheets[id.0].engine
+    }
+
+    /// Number of inter-sheet edges currently routed.
+    pub fn cross_edge_count(&self) -> usize {
+        self.xedges.len()
+    }
+
+    /// The inter-sheet edge table (routing diagnostics).
+    pub fn cross_edges(&self) -> impl Iterator<Item = &CrossEdge> {
+        self.xedges.iter()
+    }
+
+    /// Current value of a cell.
+    pub fn value(&self, id: SheetId, cell: Cell) -> Value {
+        self.ensure_sheet(id);
+        self.sheets[id.0].engine.value(cell)
+    }
+
+    /// The formula text of a cell, if it is a formula cell.
+    pub fn formula_of(&self, id: SheetId, cell: Cell) -> Option<String> {
+        self.ensure_sheet(id);
+        self.sheets[id.0].engine.formula_of(cell)
+    }
+
+    /// Cells awaiting recalculation, across all sheets.
+    pub fn dirty_count(&self) -> usize {
+        self.sheets.iter().map(|s| s.engine.dirty_count()).sum()
+    }
+
+    // ---- edits ---------------------------------------------------------
+
+    /// Sets a pure value, routing dirtiness across sheets.
+    pub fn set_value(&mut self, id: SheetId, cell: Cell, v: Value) -> WorkbookReceipt {
+        self.ensure_sheet(id);
+        let start = Instant::now();
+        // Overwriting a formula cell drops its cross-sheet dependencies
+        // (a plain value cell cannot own cross edges — skip the scan).
+        if self.sheets[id.0].engine.formula_at(cell).is_some() {
+            self.xedges.remove_dep(id, cell);
+        }
+        let receipt = self.sheets[id.0].engine.set_value(cell, v);
+        let dirty = self.expand(Job::from_receipt(id.0, Range::cell(cell), receipt), true);
+        WorkbookReceipt { dirty, control_latency: start.elapsed() }
+    }
+
+    /// Sets a formula (leading `=` optional); same-sheet references go to
+    /// the sheet's own graph, qualified ones into the cross-edge table.
+    pub fn set_formula(
+        &mut self,
+        id: SheetId,
+        cell: Cell,
+        src: &str,
+    ) -> Result<WorkbookReceipt, WorkbookError> {
+        self.ensure_sheet(id);
+        let formula = Formula::parse(src)?;
+        let start = Instant::now();
+        let jobs = self.apply_formula(id.0, cell, formula);
+        let dirty = self.expand(jobs, true);
+        Ok(WorkbookReceipt { dirty, control_latency: start.elapsed() })
+    }
+
+    /// Autofills the formula at `src` over `targets`, exactly like
+    /// [`Engine::autofill`] but with cross-sheet references preserved
+    /// (their sheet qualifier is pinned under the fill) and routed.
+    pub fn autofill(
+        &mut self,
+        id: SheetId,
+        src: Cell,
+        targets: Range,
+    ) -> Result<WorkbookReceipt, CellError> {
+        self.ensure_sheet(id);
+        let formula = self.sheets[id.0].engine.formula_at(src).cloned().ok_or(CellError::Value)?;
+        let start = Instant::now();
+        let mut jobs = Vec::new();
+        for filled in autofill::autofill(src, &formula, targets) {
+            jobs.extend(self.apply_formula(id.0, filled.cell, filled.formula));
+        }
+        let dirty = self.expand(jobs, true);
+        Ok(WorkbookReceipt { dirty, control_latency: start.elapsed() })
+    }
+
+    /// Clears every cell in `range` on one sheet, detaching both local and
+    /// cross-sheet dependencies of the cleared formulae.
+    pub fn clear_range(&mut self, id: SheetId, range: Range) -> WorkbookReceipt {
+        self.ensure_sheet(id);
+        let start = Instant::now();
+        self.xedges.remove_deps_in(id, range);
+        let receipt = self.sheets[id.0].engine.clear_range(range);
+        let dirty = self.expand(Job::from_receipt(id.0, range, receipt), true);
+        WorkbookReceipt { dirty, control_latency: start.elapsed() }
+    }
+
+    /// Installs a parsed formula: registers cross edges for foreign
+    /// qualified references, hands the rest to the sheet engine, and
+    /// returns the routing jobs for the edit.
+    fn apply_formula(&mut self, sid: usize, cell: Cell, formula: Formula) -> Vec<Job> {
+        if self.sheets[sid].engine.formula_at(cell).is_some() {
+            self.xedges.remove_dep(SheetId(sid), cell);
+        }
+        let mut added: Vec<(usize, Range)> = Vec::new();
+        for q in &formula.refs {
+            let Some(sheet) = &q.sheet else { continue };
+            if self.sheets[sid].name.matches(sheet.name()) {
+                continue; // self-qualified: the engine stores it locally
+            }
+            if let Some(&src) = self.index.get(&sheet.key()) {
+                // One edge per distinct (sheet, range) the formula reads.
+                if added.contains(&(src, q.range())) {
+                    continue;
+                }
+                added.push((src, q.range()));
+                self.xedges.insert(CrossEdge {
+                    src: SheetId(src),
+                    prec: q.range(),
+                    dst: SheetId(sid),
+                    dep: cell,
+                });
+            }
+            // Unknown sheets get no edge: the evaluator yields #REF!
+            // until a sheet of that name appears (see
+            // `rebind_dangling_refs`).
+        }
+        let receipt = self.sheets[sid].engine.set_parsed_formula(cell, formula);
+        Job::from_receipt(sid, Range::cell(cell), receipt)
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    /// All direct and transitive dependents of `src!r`, across sheets.
+    pub fn find_dependents(&mut self, id: SheetId, r: Range) -> Vec<(SheetId, Range)> {
+        self.ensure_sheet(id);
+        self.expand(vec![Job::probe(id.0, r)], false)
+    }
+
+    /// All direct and transitive precedents of `dst!r`, across sheets.
+    pub fn find_precedents(&mut self, id: SheetId, r: Range) -> Vec<(SheetId, Range)> {
+        self.ensure_sheet(id);
+        let Workbook { sheets, xedges, .. } = self;
+        let mut out: Vec<(SheetId, Range)> = Vec::new();
+        let mut used: HashSet<(usize, usize)> = HashSet::new();
+        let mut queue: VecDeque<(usize, Range)> = VecDeque::from([(id.0, r)]);
+        while let Some((sid, seed)) = queue.pop_front() {
+            let local = sheets[sid].engine.find_precedents(seed);
+            for range in std::iter::once(seed).chain(local.iter().copied()) {
+                for (i, e) in xedges.incoming(sid).iter().enumerate() {
+                    if range.contains_cell(e.dep) && used.insert((sid, i)) {
+                        out.push((e.src, e.prec));
+                        queue.push_back((e.src.0, e.prec));
+                    }
+                }
+            }
+            out.extend(local.into_iter().map(|range| (SheetId(sid), range)));
+        }
+        out.sort_unstable_by_key(|&(s, range)| (s, range.head(), range.tail()));
+        out.dedup();
+        out
+    }
+
+    /// Transitive dependents of the queued jobs, hopping the cross-edge
+    /// table between sheets; with `mark` the discovered formula cells are
+    /// also marked dirty (the edit path). Jobs whose local dependents the
+    /// caller already computed (engine edit receipts) skip the second
+    /// graph query — the control-latency path pays each per-sheet query
+    /// once.
+    fn expand(&mut self, jobs: Vec<Job>, mark: bool) -> Vec<(SheetId, Range)> {
+        let Workbook { sheets, xedges, .. } = self;
+        let mut out: Vec<(SheetId, Range)> = Vec::new();
+        // Each cross edge fires at most once per expansion, which both
+        // bounds the loop and deduplicates hops.
+        let mut hopped: HashSet<(usize, Cell)> = HashSet::new();
+        let mut queue: VecDeque<Job> = VecDeque::from(jobs);
+        while let Some(job) = queue.pop_front() {
+            let Job { sid, range, expand_local, report } = job;
+            if expand_local {
+                let local = sheets[sid].engine.find_dependents(range);
+                if mark {
+                    sheets[sid].engine.mark_ranges_dirty(&local);
+                }
+                queue.extend(local.into_iter().map(|r| Job::expanded(sid, r)));
+            }
+            if report {
+                out.push((SheetId(sid), range));
+            }
+            for e in xedges.outgoing(sid) {
+                if e.prec.overlaps(&range) && hopped.insert((e.dst.0, e.dep)) {
+                    if mark {
+                        sheets[e.dst.0].engine.mark_cell_dirty(e.dep);
+                    }
+                    queue.push_back(Job::hop(e.dst.0, e.dep));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(s, range)| (s, range.head(), range.tail()));
+        out.dedup();
+        out
+    }
+
+    // ---- recalculation -------------------------------------------------
+
+    /// Topological levels of the sheet graph induced by the cross-edge
+    /// table: every cross edge either goes from an earlier level to a
+    /// later one, or connects two members of the same strongly connected
+    /// component (a cross-sheet cycle). Sheets within a level are
+    /// independent. The levels are those of the **SCC condensation**
+    /// (longest-path), with a multi-sheet SCC occupying one consecutive
+    /// singleton level per member in id order — so everything downstream
+    /// of a cycle still evaluates strictly after every cycle member.
+    pub fn sheet_levels(&self) -> Vec<Vec<SheetId>> {
+        self.levels().into_iter().map(|l| l.into_iter().map(SheetId).collect()).collect()
+    }
+
+    fn levels(&self) -> Vec<Vec<usize>> {
+        let n = self.sheets.len();
+        let mut succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for e in self.xedges.iter() {
+            if e.src != e.dst {
+                succ[e.src.0].insert(e.dst.0);
+            }
+        }
+        // Strongly connected components via mutual reachability (sheet
+        // counts are small; BFS per sheet is plenty).
+        let reach: Vec<Vec<bool>> = (0..n)
+            .map(|start| {
+                let mut seen = vec![false; n];
+                let mut queue = VecDeque::from([start]);
+                while let Some(u) = queue.pop_front() {
+                    for &v in &succ[u] {
+                        if !seen[v] {
+                            seen[v] = true;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+                seen
+            })
+            .collect();
+        let mut comp_of = vec![usize::MAX; n];
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            if comp_of[i] != usize::MAX {
+                continue;
+            }
+            let c = comps.len();
+            let members: Vec<usize> =
+                (i..n).filter(|&j| j == i || (reach[i][j] && reach[j][i])).collect();
+            for &m in &members {
+                comp_of[m] = c;
+            }
+            comps.push(members);
+        }
+        // Longest-path base level per component over the condensation
+        // (acyclic, so relaxation converges); a k-sheet component spans k
+        // consecutive singleton levels, and successors start after it.
+        let mut base = vec![0usize; comps.len()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for u in 0..n {
+                for &v in &succ[u] {
+                    let (cu, cv) = (comp_of[u], comp_of[v]);
+                    if cu != cv && base[cv] < base[cu] + comps[cu].len() {
+                        base[cv] = base[cu] + comps[cu].len();
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let height =
+            comps.iter().zip(&base).map(|(members, b)| b + members.len()).max().unwrap_or(0);
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); height];
+        for (members, b) in comps.iter().zip(&base) {
+            // Members are already in ascending id order; a trivial
+            // component shares its level with independent peers, a cyclic
+            // one unrolls into singleton sub-levels.
+            for (j, &m) in members.iter().enumerate() {
+                levels[b + j].push(m);
+            }
+        }
+        levels.retain(|l| !l.is_empty());
+        for level in &mut levels {
+            level.sort_unstable();
+        }
+        levels
+    }
+
+    /// Recalculates every dirty formula cell in the workbook. Both modes
+    /// walk the same sheet levels and produce bit-identical values; see
+    /// the module docs for the scheduling model. Returns the number of
+    /// cells evaluated.
+    pub fn recalculate(&mut self, mode: RecalcMode) -> usize
+    where
+        B: Send,
+    {
+        let levels = self.levels();
+        let Workbook { sheets, index, xedges } = self;
+        let mut total = 0usize;
+        for level in levels {
+            let work: Vec<usize> =
+                level.into_iter().filter(|&i| sheets[i].engine.dirty_count() > 0).collect();
+            if work.is_empty() {
+                continue;
+            }
+            // Import snapshots: the foreign values each dirty sheet's
+            // cross references cover, read while no shard is borrowed
+            // mutably. Precedent sheets live in earlier levels, so their
+            // values are final by now.
+            let mut imports: HashMap<usize, SheetImports<'_>> = work
+                .iter()
+                .map(|&t| {
+                    let mut values: HashMap<(usize, Cell), Value> = HashMap::new();
+                    // Only edges whose formula is actually dirty matter:
+                    // clean cells are not re-evaluated this pass.
+                    for e in xedges
+                        .incoming(t)
+                        .iter()
+                        .filter(|e| e.src.0 != t && sheets[t].engine.is_cell_dirty(e.dep))
+                    {
+                        let src = sheets[e.src.0].engine.cells_map();
+                        if (e.prec.area() as usize) <= src.len() {
+                            for c in e.prec.cells() {
+                                if let Some(content) = src.get(&c) {
+                                    values.insert((e.src.0, c), content.value().clone());
+                                }
+                            }
+                        } else {
+                            for (&c, content) in src {
+                                if e.prec.contains_cell(c) {
+                                    values.insert((e.src.0, c), content.value().clone());
+                                }
+                            }
+                        }
+                    }
+                    (t, SheetImports { index, values })
+                })
+                .collect();
+            // Disjoint mutable borrows of exactly the level's shards, in
+            // ascending sheet order (the deterministic serial order).
+            let mut jobs: Vec<(&mut SheetShard<B>, SheetImports<'_>)> = sheets
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, shard)| imports.remove(&i).map(|imp| (shard, imp)))
+                .collect();
+            match mode {
+                RecalcMode::Serial => {
+                    for (shard, imp) in jobs.iter_mut() {
+                        total += shard.engine.recalculate_with(&*imp);
+                    }
+                }
+                RecalcMode::Parallel { threads } => {
+                    let t = threads.clamp(1, jobs.len());
+                    let per = jobs.len().div_ceil(t);
+                    total += crossbeam::thread::scope(|s| {
+                        let handles: Vec<_> = jobs
+                            .chunks_mut(per)
+                            .map(|chunk| {
+                                s.spawn(move |_| {
+                                    let mut n = 0usize;
+                                    for (shard, imp) in chunk.iter_mut() {
+                                        n += shard.engine.recalculate_with(&*imp);
+                                    }
+                                    n
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().expect("recalc worker")).sum::<usize>()
+                    })
+                    .expect("recalc scope");
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Per-sheet import snapshot: foreign values visible during one level's
+/// evaluation. Unknown sheet names resolve to `#REF!`; known sheets fall
+/// back to `Empty` for cells outside any imported (referenced) range.
+struct SheetImports<'a> {
+    index: &'a HashMap<String, usize>,
+    values: HashMap<(usize, Cell), Value>,
+}
+
+impl ExternalSheets for SheetImports<'_> {
+    fn value(&self, sheet: &str, cell: Cell) -> Value {
+        match self.index.get(&sheet.to_ascii_lowercase()) {
+            None => Value::Error(CellError::Ref),
+            Some(&sid) => self.values.get(&(sid, cell)).cloned().unwrap_or(Value::Empty),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Cell {
+        Cell::parse_a1(s).unwrap()
+    }
+
+    fn r(s: &str) -> Range {
+        Range::parse_a1(s).unwrap()
+    }
+
+    fn n(v: f64) -> Value {
+        Value::Number(v)
+    }
+
+    /// Data on `Data`, rollup on `Summary`, including a quoted name.
+    fn two_sheet_book() -> (Workbook, SheetId, SheetId) {
+        let mut wb = Workbook::with_taco();
+        let data = wb.add_sheet("Data").unwrap();
+        let summary = wb.add_sheet("My Summary").unwrap();
+        for row in 1..=4u32 {
+            wb.set_value(data, Cell::new(1, row), n(f64::from(row)));
+        }
+        wb.set_formula(summary, c("A1"), "=SUM(Data!A1:A4)").unwrap();
+        wb.set_formula(summary, c("B1"), "=A1*2").unwrap();
+        (wb, data, summary)
+    }
+
+    #[test]
+    fn cross_sheet_formula_evaluates() {
+        let (mut wb, _, summary) = two_sheet_book();
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(summary, c("A1")), n(10.0));
+        assert_eq!(wb.value(summary, c("B1")), n(20.0));
+        assert_eq!(wb.cross_edge_count(), 1);
+    }
+
+    #[test]
+    fn quoted_sheet_names_resolve() {
+        let (mut wb, data, _summary) = two_sheet_book();
+        wb.set_formula(data, c("C1"), "='My Summary'!A1+1").unwrap();
+        // Data!C1 reads Summary!A1 — a sheet-level cycle, so Data (lower
+        // id) evaluates first and sees Summary!A1 still empty.
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(data, c("C1")), n(1.0));
+        // Re-dirtying the chain advances it one pass: now Summary!A1 = 10
+        // is visible.
+        wb.set_value(data, c("A1"), n(1.0));
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(data, c("C1")), n(11.0));
+    }
+
+    #[test]
+    fn repeated_refs_register_one_edge() {
+        let (mut wb, _, summary) = two_sheet_book();
+        wb.set_formula(summary, c("D1"), "=Data!A1+Data!A1*2").unwrap();
+        // One edge for SUM(Data!A1:A4) in the fixture, one for Data!A1.
+        assert_eq!(wb.cross_edge_count(), 2);
+    }
+
+    #[test]
+    fn unknown_sheet_is_ref_error() {
+        let (mut wb, _, summary) = two_sheet_book();
+        wb.set_formula(summary, c("C1"), "=Nope!A1+1").unwrap();
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(summary, c("C1")), Value::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn self_qualified_reference_is_local() {
+        let (mut wb, data, _) = two_sheet_book();
+        wb.set_formula(data, c("B1"), "=Data!A1*100").unwrap();
+        assert_eq!(wb.cross_edge_count(), 1, "self-reference must not add a cross edge");
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(data, c("B1")), n(100.0));
+        // And it participates in local dirty propagation.
+        let receipt = wb.set_value(data, c("A1"), n(7.0));
+        assert!(receipt.dirty.iter().any(|&(s, range)| s == data && range.contains_cell(c("B1"))));
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(data, c("B1")), n(700.0));
+    }
+
+    #[test]
+    fn edits_route_dirtiness_across_sheets() {
+        let (mut wb, data, summary) = two_sheet_book();
+        wb.recalculate(RecalcMode::Serial);
+        let receipt = wb.set_value(data, c("A1"), n(100.0));
+        // Summary!A1 (direct) and Summary!B1 (transitive) both dirty.
+        assert!(receipt
+            .dirty
+            .iter()
+            .any(|&(s, range)| s == summary && range.contains_cell(c("A1"))));
+        assert!(receipt
+            .dirty
+            .iter()
+            .any(|&(s, range)| s == summary && range.contains_cell(c("B1"))));
+        assert_eq!(receipt.sheets_touched(), 1);
+        assert_eq!(wb.dirty_count(), 2);
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(summary, c("A1")), n(109.0));
+        assert_eq!(wb.value(summary, c("B1")), n(218.0));
+    }
+
+    #[test]
+    fn queries_hop_sheets_both_ways() {
+        let (mut wb, data, summary) = two_sheet_book();
+        wb.recalculate(RecalcMode::Serial);
+        let deps = wb.find_dependents(data, r("A2"));
+        assert!(deps.iter().any(|&(s, range)| s == summary && range.contains_cell(c("A1"))));
+        assert!(deps.iter().any(|&(s, range)| s == summary && range.contains_cell(c("B1"))));
+
+        let precs = wb.find_precedents(summary, r("B1"));
+        assert!(precs.iter().any(|&(s, range)| s == summary && range.contains_cell(c("A1"))));
+        assert!(precs.iter().any(|&(s, range)| s == data && range == r("A1:A4")));
+    }
+
+    #[test]
+    fn clear_detaches_cross_edges() {
+        let (mut wb, data, summary) = two_sheet_book();
+        wb.recalculate(RecalcMode::Serial);
+        wb.clear_range(summary, r("A1"));
+        assert_eq!(wb.cross_edge_count(), 0);
+        let receipt = wb.set_value(data, c("A1"), n(50.0));
+        assert!(
+            !receipt.dirty.iter().any(|&(s, range)| s == summary && range.contains_cell(c("A1"))),
+            "cleared formula must no longer be routed to: {:?}",
+            receipt.dirty
+        );
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(summary, c("A1")), Value::Empty);
+    }
+
+    #[test]
+    fn autofill_carries_sheet_qualifiers() {
+        let mut wb = Workbook::with_taco();
+        let data = wb.add_sheet("Data").unwrap();
+        let out = wb.add_sheet("Out").unwrap();
+        for row in 1..=6u32 {
+            wb.set_value(data, Cell::new(1, row), n(f64::from(row)));
+        }
+        wb.set_formula(out, c("A1"), "=Data!A1*10").unwrap();
+        wb.autofill(out, c("A1"), r("A2:A6")).unwrap();
+        assert_eq!(wb.formula_of(out, c("A4")).unwrap(), "Data!A4*10");
+        assert_eq!(wb.cross_edge_count(), 6);
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(out, c("A6")), n(60.0));
+    }
+
+    #[test]
+    fn levels_follow_cross_edges() {
+        let mut wb = Workbook::with_taco();
+        let s0 = wb.add_sheet("S0").unwrap();
+        let s1 = wb.add_sheet("S1").unwrap();
+        let s2 = wb.add_sheet("S2").unwrap();
+        let s3 = wb.add_sheet("S3").unwrap();
+        // S1 and S2 read S0; S3 reads S1 and S2.
+        wb.set_value(s0, c("A1"), n(1.0));
+        wb.set_formula(s1, c("A1"), "=S0!A1+1").unwrap();
+        wb.set_formula(s2, c("A1"), "=S0!A1+2").unwrap();
+        wb.set_formula(s3, c("A1"), "=S1!A1+S2!A1").unwrap();
+        let levels = wb.sheet_levels();
+        assert_eq!(levels, vec![vec![s0], vec![s1, s2], vec![s3]]);
+        let evaluated = wb.recalculate(RecalcMode::Parallel { threads: 2 });
+        assert_eq!(evaluated, 3);
+        assert_eq!(wb.value(s3, c("A1")), n(5.0));
+    }
+
+    #[test]
+    fn serial_and_parallel_recalc_are_identical() {
+        let build = || {
+            let mut wb = Workbook::with_taco();
+            let ids: Vec<SheetId> =
+                (0..8).map(|i| wb.add_sheet(&format!("Sheet {i}")).unwrap()).collect();
+            for (k, &id) in ids.iter().enumerate() {
+                for row in 1..=20u32 {
+                    wb.set_value(id, Cell::new(1, row), n(f64::from(row) + k as f64));
+                }
+                wb.set_formula(id, c("B1"), "=SUM($A$1:A1)").unwrap();
+                wb.autofill(id, c("B1"), r("B2:B20")).unwrap();
+                if k > 0 {
+                    let prev = format!("'Sheet {}'", k - 1);
+                    wb.set_formula(id, c("C1"), &format!("={prev}!C1+B20")).unwrap();
+                } else {
+                    wb.set_formula(id, c("C1"), "=B20").unwrap();
+                }
+            }
+            wb
+        };
+        let mut serial = build();
+        let mut parallel = build();
+        let evaluated_s = serial.recalculate(RecalcMode::Serial);
+        let evaluated_p = parallel.recalculate(RecalcMode::Parallel { threads: 4 });
+        assert_eq!(evaluated_s, evaluated_p);
+        let last = serial.sheet_id("Sheet 7").unwrap();
+        assert_eq!(serial.value(last, c("C1")), parallel.value(last, c("C1")));
+        for i in 0..8 {
+            let id = SheetId(i);
+            for row in 1..=20u32 {
+                let cell = Cell::new(2, row);
+                assert_eq!(serial.value(id, cell), parallel.value(id, cell), "{id} B{row}");
+            }
+        }
+        // The chain accumulated across all eight sheets.
+        assert_ne!(serial.value(last, c("C1")), Value::Empty);
+    }
+
+    #[test]
+    fn graph_only_ingestion_builds_and_queries() {
+        use taco_core::Dependency;
+        let deps0: Vec<Dependency> = (2..=40u32)
+            .map(|row| Dependency::new(Range::cell(Cell::new(1, row - 1)), Cell::new(1, row)))
+            .collect();
+        let deps1: Vec<Dependency> =
+            vec![Dependency::new(Range::from_coords(1, 1, 1, 40), Cell::new(2, 1))];
+        let cross = vec![CrossEdge {
+            src: SheetId(0),
+            prec: Range::from_coords(1, 30, 1, 40),
+            dst: SheetId(1),
+            dep: Cell::new(3, 1),
+        }];
+        for threads in [1, 4] {
+            let mut wb = Workbook::from_sheet_deps(
+                Config::taco_full(),
+                &[("a", deps0.as_slice()), ("b", deps1.as_slice())],
+                &cross,
+                threads,
+            )
+            .unwrap();
+            let deps = wb.find_dependents(SheetId(0), Range::cell(Cell::new(1, 1)));
+            assert!(
+                deps.iter().any(|&(s, range)| s == SheetId(1) && range.contains_cell(c("C1"))),
+                "threads={threads}: cross hop missing from {deps:?}"
+            );
+            // The chain sheet stays compressed: one RR-Chain edge.
+            assert_eq!(wb.sheet(SheetId(0)).graph().num_edges(), 1);
+        }
+    }
+
+    #[test]
+    fn cross_sheet_sumif_reads_the_implicitly_resized_sum_range() {
+        // SUMIF's sum range is shaped to the criteria range (B1:B1 reads
+        // B1:B3 here); the cross edge must cover the implicit cells, both
+        // for the import snapshot and for dirty routing.
+        let mut wb = Workbook::with_taco();
+        let data = wb.add_sheet("Data").unwrap();
+        let summary = wb.add_sheet("Summary").unwrap();
+        for row in 1..=3u32 {
+            wb.set_value(data, Cell::new(1, row), n(1.0));
+        }
+        wb.set_value(data, c("B3"), n(7.0));
+        wb.set_formula(summary, c("A1"), "=SUMIF(Data!A1:A3,\">0\",Data!B1:B1)").unwrap();
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(summary, c("A1")), n(7.0));
+        // Editing an implicitly-read cell propagates.
+        let receipt = wb.set_value(data, c("B2"), n(2.0));
+        assert!(receipt
+            .dirty
+            .iter()
+            .any(|&(s, range)| s == summary && range.contains_cell(c("A1"))));
+        wb.recalculate(RecalcMode::Parallel { threads: 2 });
+        assert_eq!(wb.value(summary, c("A1")), n(9.0));
+    }
+
+    #[test]
+    fn late_added_sheet_rebinds_dangling_references() {
+        let mut wb = Workbook::with_taco();
+        let a = wb.add_sheet("A").unwrap();
+        wb.set_value(a, c("C1"), n(2.0));
+        wb.set_formula(a, c("B1"), "=Late!A1+C1").unwrap();
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(a, c("B1")), Value::Error(CellError::Ref));
+        assert_eq!(wb.cross_edge_count(), 0);
+
+        // Adding the sheet re-binds the reference: the edge appears, the
+        // formula goes dirty, and edits on the new sheet propagate.
+        let late = wb.add_sheet("Late").unwrap();
+        assert_eq!(wb.cross_edge_count(), 1);
+        assert!(wb.dirty_count() > 0, "dangling formula must be re-marked dirty");
+        wb.set_value(late, c("A1"), n(5.0));
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(a, c("B1")), n(7.0));
+        wb.set_value(late, c("A1"), n(8.0));
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(a, c("B1")), n(10.0));
+    }
+
+    #[test]
+    fn duplicate_and_bad_sheet_names_err() {
+        let mut wb = Workbook::with_taco();
+        wb.add_sheet("Data").unwrap();
+        assert!(matches!(wb.add_sheet("data"), Err(WorkbookError::DuplicateSheet(_))));
+        assert!(matches!(wb.add_sheet("a:b"), Err(WorkbookError::BadSheetName(_))));
+        assert!(matches!(wb.add_sheet(""), Err(WorkbookError::BadSheetName(_))));
+    }
+
+    #[test]
+    fn sheets_downstream_of_a_cycle_evaluate_after_it() {
+        // A (id 0) only *reads* the B↔C cycle; the cell-level graph is
+        // acyclic, so A must still settle correctly: the scheduler places
+        // the condensation level of {B, C} before A despite A's lower id.
+        let mut wb = Workbook::with_taco();
+        let a = wb.add_sheet("A").unwrap();
+        let b = wb.add_sheet("B").unwrap();
+        let c_id = wb.add_sheet("C").unwrap();
+        wb.set_formula(a, c("A1"), "=B!A1*10").unwrap();
+        wb.set_value(b, c("B1"), n(5.0));
+        wb.set_formula(b, c("A1"), "=B1+C!B1").unwrap();
+        wb.set_formula(c_id, c("A1"), "=B!B1").unwrap();
+        assert_eq!(wb.sheet_levels(), vec![vec![b], vec![c_id], vec![a]]);
+        for mode in [RecalcMode::Serial, RecalcMode::Parallel { threads: 8 }] {
+            let mut fresh = Workbook::with_taco();
+            let a = fresh.add_sheet("A").unwrap();
+            let b = fresh.add_sheet("B").unwrap();
+            let c2 = fresh.add_sheet("C").unwrap();
+            fresh.set_formula(a, c("A1"), "=B!A1*10").unwrap();
+            fresh.set_value(b, c("B1"), n(5.0));
+            fresh.set_formula(b, c("A1"), "=B1+C!B1").unwrap();
+            fresh.set_formula(c2, c("A1"), "=B!B1").unwrap();
+            fresh.recalculate(mode);
+            assert_eq!(fresh.value(a, c("A1")), n(50.0), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn cross_sheet_cycle_is_deterministic_in_both_modes() {
+        let build = || {
+            let mut wb = Workbook::with_taco();
+            let a = wb.add_sheet("A").unwrap();
+            let b = wb.add_sheet("B").unwrap();
+            wb.set_value(a, c("A1"), n(1.0));
+            wb.set_formula(a, c("B1"), "=B!A1+1").unwrap();
+            wb.set_formula(b, c("A1"), "=A!A1+1").unwrap();
+            wb
+        };
+        let mut s = build();
+        let mut p = build();
+        s.recalculate(RecalcMode::Serial);
+        p.recalculate(RecalcMode::Parallel { threads: 8 });
+        let (a, b) = (SheetId(0), SheetId(1));
+        assert_eq!(s.value(a, c("B1")), p.value(a, c("B1")));
+        assert_eq!(s.value(b, c("A1")), p.value(b, c("A1")));
+        // Re-dirtying the chain advances it one pass, in both modes alike:
+        // the cell-level chain A!A1 → B!A1 → A!B1 is acyclic and settles.
+        s.set_value(a, c("A1"), n(1.0));
+        p.set_value(a, c("A1"), n(1.0));
+        s.recalculate(RecalcMode::Serial);
+        p.recalculate(RecalcMode::Parallel { threads: 8 });
+        assert_eq!(s.value(a, c("B1")), n(3.0));
+        assert_eq!(p.value(a, c("B1")), n(3.0));
+    }
+}

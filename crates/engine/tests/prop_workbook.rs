@@ -1,0 +1,147 @@
+//! Property test for the workbook scheduler: parallel recalculation is
+//! observationally identical to serial recalculation — same receipts,
+//! same dirty counts, same evaluated-cell counts, bit-identical values —
+//! across thread counts {1, 2, 8} on randomized multi-sheet workbooks
+//! with cross-sheet chains, rollups, and mid-life edits.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taco_engine::{RecalcMode, SheetId, Workbook};
+use taco_formula::Value;
+use taco_grid::{Cell, Range};
+
+const MODES: [RecalcMode; 4] = [
+    RecalcMode::Serial,
+    RecalcMode::Parallel { threads: 1 },
+    RecalcMode::Parallel { threads: 2 },
+    RecalcMode::Parallel { threads: 8 },
+];
+
+/// Builds one workbook from the seeded script. Sheet names deliberately
+/// include spaces so every generated formula exercises quoted qualifiers.
+fn build(nsheets: usize, rows: u32, seed: u64) -> Workbook {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wb = Workbook::with_taco();
+    let ids: Vec<SheetId> =
+        (0..nsheets).map(|i| wb.add_sheet(&format!("Sheet {i}")).expect("fresh name")).collect();
+    for (k, &id) in ids.iter().enumerate() {
+        for row in 1..=rows {
+            wb.set_value(id, Cell::new(1, row), Value::Number(rng.gen_range(-50..50) as f64));
+        }
+        // Local structure: a cumulative column B.
+        wb.set_formula(id, Cell::new(2, 1), "=SUM($A$1:A1)").expect("valid");
+        if rows > 1 {
+            wb.autofill(id, Cell::new(2, 1), Range::from_coords(2, 2, 2, rows)).expect("fill");
+        }
+        // Cross-sheet structure into earlier sheets (acyclic), and
+        // occasionally a *forward* reference (sheet-level cycle) to pin
+        // the cyclic-fallback schedule as deterministic too.
+        if k > 0 {
+            let j = rng.gen_range(0..k);
+            let row = rng.gen_range(1..=rows);
+            wb.set_formula(
+                id,
+                Cell::new(3, 1),
+                &format!("='Sheet {j}'!B{row}+SUM('Sheet {j}'!A1:A{rows})"),
+            )
+            .expect("valid");
+            wb.set_formula(id, Cell::new(3, 2), &format!("='Sheet {}'!C1+B{rows}", k - 1))
+                .expect("valid");
+        }
+        if k + 1 < nsheets && rng.gen_range(0..3) == 0 {
+            wb.set_formula(id, Cell::new(4, 1), &format!("='Sheet {}'!A1*2", k + 1))
+                .expect("valid");
+        }
+    }
+    wb
+}
+
+/// The same seeded edit script against any instance.
+fn edit(wb: &mut Workbook, nsheets: usize, rows: u32, seed: u64) -> Vec<(SheetId, Range)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xED17);
+    let mut receipts = Vec::new();
+    for _ in 0..3 {
+        let id = SheetId(rng.gen_range(0..nsheets));
+        let cell = Cell::new(1, rng.gen_range(1..=rows));
+        let receipt = wb.set_value(id, cell, Value::Number(rng.gen_range(-9..9) as f64));
+        receipts.extend(receipt.dirty);
+    }
+    receipts
+}
+
+fn snapshot(wb: &Workbook, nsheets: usize, rows: u32) -> Vec<Value> {
+    let mut out = Vec::new();
+    for s in 0..nsheets {
+        for col in 1..=4u32 {
+            for row in 1..=rows {
+                out.push(wb.value(SheetId(s), Cell::new(col, row)));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_recalc_equals_serial(
+        nsheets in 2usize..=5,
+        rows in 3u32..=8,
+        seed in 0u64..10_000,
+    ) {
+        // One instance per mode, all driven by identical scripts.
+        let mut books: Vec<Workbook> =
+            MODES.iter().map(|_| build(nsheets, rows, seed)).collect();
+
+        // Same pre-recalc dirty state everywhere.
+        let dirty0 = books[0].dirty_count();
+        for wb in &books {
+            prop_assert_eq!(wb.dirty_count(), dirty0);
+        }
+
+        // First full recalculation.
+        let evaluated: Vec<usize> =
+            books.iter_mut().zip(MODES).map(|(wb, m)| wb.recalculate(m)).collect();
+        for &e in &evaluated[1..] {
+            prop_assert_eq!(e, evaluated[0], "evaluated-cell counts diverged");
+        }
+        let reference = snapshot(&books[0], nsheets, rows);
+        for (i, wb) in books.iter().enumerate().skip(1) {
+            prop_assert_eq!(
+                &snapshot(wb, nsheets, rows), &reference,
+                "values diverged after initial recalc (mode #{})", i
+            );
+        }
+
+        // Mid-life edits: identical receipts (routing is mode-independent),
+        // identical dirty counts, identical values after recalc.
+        let receipts0 = edit(&mut books[0], nsheets, rows, seed);
+        let dirty_after_edit = books[0].dirty_count();
+        for (i, wb) in books.iter_mut().enumerate().skip(1) {
+            let receipts = edit(wb, nsheets, rows, seed);
+            prop_assert_eq!(&receipts, &receipts0, "receipts diverged (mode #{})", i);
+            prop_assert_eq!(wb.dirty_count(), dirty_after_edit);
+        }
+        let evaluated: Vec<usize> =
+            books.iter_mut().zip(MODES).map(|(wb, m)| wb.recalculate(m)).collect();
+        for &e in &evaluated[1..] {
+            prop_assert_eq!(e, evaluated[0], "post-edit evaluated counts diverged");
+        }
+        let reference = snapshot(&books[0], nsheets, rows);
+        for (i, wb) in books.iter().enumerate().skip(1) {
+            prop_assert_eq!(
+                &snapshot(wb, nsheets, rows), &reference,
+                "values diverged after edits (mode #{})", i
+            );
+        }
+
+        // Nothing left dirty, and the schedule itself is deterministic.
+        prop_assert_eq!(books[0].dirty_count(), 0);
+        let levels = books[0].sheet_levels();
+        for wb in &books[1..] {
+            prop_assert_eq!(&wb.sheet_levels(), &levels);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Expression tree for parsed formulae.
 
 use std::fmt;
-use taco_grid::a1::RangeRef;
+use taco_grid::a1::QualifiedRef;
 
 /// Binary operators, in Excel semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,8 +81,9 @@ pub enum Expr {
     Text(String),
     /// Boolean literal (`TRUE`/`FALSE`).
     Bool(bool),
-    /// A cell or range reference.
-    Ref(RangeRef),
+    /// A cell or range reference, optionally sheet-qualified
+    /// (`Sheet2!A1`).
+    Ref(QualifiedRef),
     /// A broken reference (produced by autofill falling off the grid —
     /// Excel's `#REF!`).
     RefError,
@@ -114,15 +115,62 @@ pub enum Expr {
 }
 
 impl Expr {
-    /// Collects every reference in the expression, in source order.
-    pub fn collect_refs(&self) -> Vec<RangeRef> {
+    /// Collects every reference in the expression, in source order, as the
+    /// *dependency read set*: the cells evaluation may actually touch.
+    ///
+    /// This is function-aware where evaluation reads outside the literal
+    /// reference: `SUMIF`/`AVERAGEIF` shape their sum range to the
+    /// criteria range's dimensions (Excel's implicit resize), so the sum
+    /// reference is resized here the same way — otherwise the formula
+    /// graph would miss dependencies on the cells the aggregate reads
+    /// beyond the written range, and edits there would never dirty the
+    /// formula.
+    pub fn collect_refs(&self) -> Vec<QualifiedRef> {
         let mut out = Vec::new();
-        self.visit_refs(&mut |r| out.push(*r));
+        self.collect_read_set(&mut out);
         out
     }
 
-    /// Visits every reference in source order.
-    pub fn visit_refs<F: FnMut(&RangeRef)>(&self, f: &mut F) {
+    fn collect_read_set(&self, out: &mut Vec<QualifiedRef>) {
+        match self {
+            Expr::Func { name, args }
+                if args.len() == 3 && (name == "SUMIF" || name == "AVERAGEIF") =>
+            {
+                args[0].collect_read_set(out);
+                args[1].collect_read_set(out);
+                match (&args[0], &args[2]) {
+                    (Expr::Ref(crit), Expr::Ref(sum)) => {
+                        let shape = crit.range();
+                        out.push(sum.resized(shape.width(), shape.height()));
+                    }
+                    _ => args[2].collect_read_set(out),
+                }
+            }
+            _ => {
+                // Every other node reads exactly its literal references;
+                // recurse one level and delegate.
+                match self {
+                    Expr::Ref(r) => out.push(r.clone()),
+                    Expr::Func { args, .. } => {
+                        for a in args {
+                            a.collect_read_set(out);
+                        }
+                    }
+                    Expr::Binary { lhs, rhs, .. } => {
+                        lhs.collect_read_set(out);
+                        rhs.collect_read_set(out);
+                    }
+                    Expr::Unary { expr, .. } | Expr::Percent(expr) => expr.collect_read_set(out),
+                    Expr::Number(_) | Expr::Text(_) | Expr::Bool(_) | Expr::RefError => {}
+                }
+            }
+        }
+    }
+
+    /// Visits every reference in source order, *as written* (no
+    /// function-aware resizing — see [`Expr::collect_refs`] for the
+    /// dependency read set).
+    pub fn visit_refs<F: FnMut(&QualifiedRef)>(&self, f: &mut F) {
         match self {
             Expr::Ref(r) => f(r),
             Expr::Func { args, .. } => {
@@ -141,7 +189,7 @@ impl Expr {
 
     /// Rewrites every reference with `f`; `None` marks the reference broken
     /// (replaced by `#REF!`). Used by autofill.
-    pub fn map_refs<F: FnMut(&RangeRef) -> Option<RangeRef>>(&self, f: &mut F) -> Expr {
+    pub fn map_refs<F: FnMut(&QualifiedRef) -> Option<QualifiedRef>>(&self, f: &mut F) -> Expr {
         match self {
             Expr::Ref(r) => match f(r) {
                 Some(nr) => Expr::Ref(nr),
@@ -259,5 +307,39 @@ mod tests {
         let broken = ast.map_refs(&mut |_| None);
         assert_eq!(broken.to_string(), "#REF!+#REF!");
         assert!(broken.collect_refs().is_empty());
+    }
+
+    #[test]
+    fn sumif_sum_range_is_resized_to_criteria_shape() {
+        // Evaluation reads B1..B3 (criteria shape at the sum head), so the
+        // read set must too — while the AST keeps what was written.
+        let ast = parse("SUMIF(A1:A3,\">0\",B1:B1)").unwrap();
+        let refs = ast.collect_refs();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[1].range().to_a1(), "B1:B3");
+        // (a single-cell range prints collapsed, but is still as written)
+        assert_eq!(ast.to_string(), "SUMIF(A1:A3,\">0\",B1)");
+        // Sheet qualifiers survive the resize.
+        let refs = parse("SUMIF(Data!A1:A3,1,Data!B1:B1)").unwrap().collect_refs();
+        assert_eq!(refs[1].sheet_name(), Some("Data"));
+        assert_eq!(refs[1].range().to_a1(), "B1:B3");
+        // An oversized sum range shrinks to what is actually read.
+        let refs = parse("AVERAGEIF(A1:A2,1,B1:B9)").unwrap().collect_refs();
+        assert_eq!(refs[1].range().to_a1(), "B1:B2");
+        // COUNTIF and 2-arg SUMIF have no sum range to shape.
+        assert_eq!(parse("SUMIF(A1:A3,1)").unwrap().collect_refs().len(), 1);
+        assert_eq!(parse("COUNTIF(A1:A3,1)").unwrap().collect_refs().len(), 1);
+    }
+
+    #[test]
+    fn resized_read_set_follows_denormalized_autofilled_corners() {
+        // Autofill can leave stored corners inverted (B1:B$2 filled four
+        // rows down stores B5:B$2); evaluation anchors at the normalized
+        // head (B2, criteria shape 3 tall → reads B2:B4), and the
+        // dependency read set must match.
+        let ast = parse("SUMIF($A$1:$A$3,\">0\",B1:B$2)").unwrap();
+        let filled = ast.map_refs(&mut |q| q.autofill(0, 4));
+        let refs = filled.collect_refs();
+        assert_eq!(refs[1].range().to_a1(), "B2:B4");
     }
 }

@@ -14,11 +14,28 @@ use taco_grid::{Cell, Range};
 pub trait CellProvider {
     /// Current value of `cell` (`Value::Empty` when blank).
     fn value(&self, cell: Cell) -> Value;
+
+    /// Value of a cell on the named sheet (for `Sheet2!A1`-style
+    /// references). Single-sheet providers keep the default, which treats
+    /// every sheet qualifier as a broken reference (`#REF!`); the workbook
+    /// engine overrides it to route across sheets.
+    fn sheet_value(&self, sheet: &str, cell: Cell) -> Value {
+        let _ = (sheet, cell);
+        Value::Error(CellError::Ref)
+    }
 }
 
 impl<F: Fn(Cell) -> Value> CellProvider for F {
     fn value(&self, cell: Cell) -> Value {
         self(cell)
+    }
+}
+
+/// Resolves a possibly sheet-qualified cell read through the provider.
+fn value_on<P: CellProvider>(cells: &P, sheet: Option<&str>, cell: Cell) -> Value {
+    match sheet {
+        None => cells.value(cell),
+        Some(s) => cells.sheet_value(s, cell),
     }
 }
 
@@ -28,34 +45,26 @@ pub const MAX_RANGE_CELLS: u64 = 4_000_000;
 
 /// Evaluates an expression against a provider.
 pub fn eval<P: CellProvider>(expr: &Expr, cells: &P) -> Value {
-    match eval_operand(expr, cells) {
-        Operand::Scalar(v) => v,
-        // A bare range in scalar position (e.g. `=A1:A3`) is a #VALUE!
-        // error in classic evaluation.
-        Operand::Range(r) => {
-            if r.is_cell() {
-                cells.value(r.head())
-            } else {
-                Value::Error(CellError::Value)
-            }
-        }
-    }
+    eval_operand(expr, cells).scalar(cells)
 }
 
 /// An intermediate operand: functions like SUM accept ranges, scalar
-/// operators do not.
-enum Operand {
+/// operators do not. A range carries the sheet qualifier of the reference
+/// it came from (`None` = the formula's own sheet).
+enum Operand<'a> {
     Scalar(Value),
-    Range(Range),
+    Range(Option<&'a str>, Range),
 }
 
-impl Operand {
+impl Operand<'_> {
     fn scalar<P: CellProvider>(self, cells: &P) -> Value {
         match self {
             Operand::Scalar(v) => v,
-            Operand::Range(r) => {
+            // A bare multi-cell range in scalar position (e.g. `=A1:A3`)
+            // is a #VALUE! error in classic evaluation.
+            Operand::Range(sheet, r) => {
                 if r.is_cell() {
-                    cells.value(r.head())
+                    value_on(cells, sheet, r.head())
                 } else {
                     Value::Error(CellError::Value)
                 }
@@ -64,13 +73,13 @@ impl Operand {
     }
 }
 
-fn eval_operand<P: CellProvider>(expr: &Expr, cells: &P) -> Operand {
+fn eval_operand<'a, P: CellProvider>(expr: &'a Expr, cells: &P) -> Operand<'a> {
     match expr {
         Expr::Number(n) => Operand::Scalar(Value::Number(*n)),
         Expr::Text(s) => Operand::Scalar(Value::Text(s.clone())),
         Expr::Bool(b) => Operand::Scalar(Value::Bool(*b)),
         Expr::RefError => Operand::Scalar(Value::Error(CellError::Ref)),
-        Expr::Ref(r) => Operand::Range(r.range()),
+        Expr::Ref(r) => Operand::Range(r.sheet_name(), r.range()),
         Expr::Percent(e) => {
             let v = eval_operand(e, cells).scalar(cells);
             Operand::Scalar(match v.as_number() {
@@ -167,12 +176,12 @@ fn for_each_value<P: CellProvider>(
 ) -> Result<(), CellError> {
     match eval_operand(arg, cells) {
         Operand::Scalar(v) => f(v),
-        Operand::Range(r) => {
+        Operand::Range(sheet, r) => {
             if r.area() > MAX_RANGE_CELLS {
                 return Err(CellError::Value);
             }
             for c in r.cells() {
-                f(cells.value(c))?;
+                f(value_on(cells, sheet, c))?;
             }
             Ok(())
         }
@@ -381,17 +390,17 @@ fn cond_aggregate<P: CellProvider>(
     if args.len() < 2 || args.len() > if want_sum_range { 3 } else { 2 } {
         return Err(CellError::Value);
     }
-    let Operand::Range(crit_range) = eval_operand(&args[0], cells) else {
+    let Operand::Range(crit_sheet, crit_range) = eval_operand(&args[0], cells) else {
         return Err(CellError::Value);
     };
     let criterion = eval(&args[1], cells);
     if let Value::Error(e) = criterion {
         return Err(e);
     }
-    let sum_range = match args.get(2) {
-        None => crit_range,
+    let (sum_sheet, sum_range) = match args.get(2) {
+        None => (crit_sheet, crit_range),
         Some(a) => match eval_operand(a, cells) {
-            Operand::Range(r) => r,
+            Operand::Range(s, r) => (s, r),
             Operand::Scalar(_) => return Err(CellError::Value),
         },
     };
@@ -405,14 +414,14 @@ fn cond_aggregate<P: CellProvider>(
     let mut sum = 0.0;
     let mut count = 0u64;
     for c in crit_range.cells() {
-        if !criterion_matches(&cells.value(c), &criterion) {
+        if !criterion_matches(&value_on(cells, crit_sheet, c), &criterion) {
             continue;
         }
         count += 1;
         if want_sum_range {
             let sc = Cell::try_new(i64::from(c.col) + dc, i64::from(c.row) + dr)
                 .map_err(|_| CellError::Ref)?;
-            if let Ok(n) = cells.value(sc).as_number() {
+            if let Ok(n) = value_on(cells, sum_sheet, sc).as_number() {
                 sum += n;
             }
         }
@@ -459,7 +468,7 @@ fn index<P: CellProvider>(args: &[Expr], cells: &P) -> Result<Value, CellError> 
     if args.len() < 2 || args.len() > 3 {
         return Err(CellError::Value);
     }
-    let Operand::Range(table) = eval_operand(&args[0], cells) else {
+    let Operand::Range(sheet, table) = eval_operand(&args[0], cells) else {
         return Err(CellError::Value);
     };
     let row = eval(&args[1], cells).as_number()? as i64;
@@ -470,8 +479,11 @@ fn index<P: CellProvider>(args: &[Expr], cells: &P) -> Result<Value, CellError> 
     if row < 1 || col < 1 || row > i64::from(table.height()) || col > i64::from(table.width()) {
         return Err(CellError::Ref);
     }
-    Ok(cells
-        .value(Cell::new(table.head().col + (col - 1) as u32, table.head().row + (row - 1) as u32)))
+    Ok(value_on(
+        cells,
+        sheet,
+        Cell::new(table.head().col + (col - 1) as u32, table.head().row + (row - 1) as u32),
+    ))
 }
 
 /// MATCH(value, range, [0|1]): 1-based position of a value in a one-
@@ -484,7 +496,7 @@ fn match_fn<P: CellProvider>(args: &[Expr], cells: &P) -> Result<Value, CellErro
     if let Value::Error(e) = needle {
         return Err(e);
     }
-    let Operand::Range(range) = eval_operand(&args[1], cells) else {
+    let Operand::Range(sheet, range) = eval_operand(&args[1], cells) else {
         return Err(CellError::Value);
     };
     if !range.is_line() || range.area() > MAX_RANGE_CELLS {
@@ -496,7 +508,7 @@ fn match_fn<P: CellProvider>(args: &[Expr], cells: &P) -> Result<Value, CellErro
     };
     let mut best: Option<u64> = None;
     for (i, c) in range.cells().enumerate() {
-        let v = cells.value(c);
+        let v = value_on(cells, sheet, c);
         if exact {
             if values_equal(&v, &needle) {
                 return Ok(Value::Number(i as f64 + 1.0));
@@ -518,7 +530,7 @@ fn vlookup<P: CellProvider>(args: &[Expr], cells: &P) -> Result<Value, CellError
     if let Value::Error(e) = needle {
         return Err(e);
     }
-    let Operand::Range(table) = eval_operand(&args[1], cells) else {
+    let Operand::Range(sheet, table) = eval_operand(&args[1], cells) else {
         return Err(CellError::Value);
     };
     let col_index = eval(&args[2], cells).as_number()? as i64;
@@ -533,7 +545,7 @@ fn vlookup<P: CellProvider>(args: &[Expr], cells: &P) -> Result<Value, CellError
     let result_col = table.head().col + (col_index - 1) as u32;
     let mut best_row: Option<u32> = None;
     for row in table.head().row..=table.tail().row {
-        let v = cells.value(Cell::new(lookup_col, row));
+        let v = value_on(cells, sheet, Cell::new(lookup_col, row));
         if exact {
             if values_equal(&v, &needle) {
                 best_row = Some(row);
@@ -548,7 +560,7 @@ fn vlookup<P: CellProvider>(args: &[Expr], cells: &P) -> Result<Value, CellError
         }
     }
     match best_row {
-        Some(row) => Ok(cells.value(Cell::new(result_col, row))),
+        Some(row) => Ok(value_on(cells, sheet, Cell::new(result_col, row))),
         None => Err(CellError::Na),
     }
 }
@@ -689,6 +701,36 @@ mod tests {
         assert_eq!(run("A1+1", &fx), Value::Error(CellError::Div0));
         assert_eq!(run("SUM(A1:A3)", &fx), Value::Error(CellError::Div0));
         assert_eq!(run("IF(A1,1,2)", &fx), Value::Error(CellError::Div0));
+    }
+
+    #[test]
+    fn sheet_qualified_reads_route_through_provider() {
+        struct TwoSheets;
+        impl CellProvider for TwoSheets {
+            fn value(&self, _c: Cell) -> Value {
+                Value::Number(1.0)
+            }
+            fn sheet_value(&self, sheet: &str, c: Cell) -> Value {
+                if sheet.eq_ignore_ascii_case("Data") {
+                    Value::Number(f64::from(c.row) * 10.0)
+                } else {
+                    Value::Error(CellError::Ref)
+                }
+            }
+        }
+        let fx = TwoSheets;
+        assert_eq!(eval(&parse("Data!A3").unwrap(), &fx), Value::Number(30.0));
+        assert_eq!(eval(&parse("SUM(Data!A1:A4)").unwrap(), &fx), Value::Number(100.0));
+        assert_eq!(eval(&parse("'DATA'!A2+A1").unwrap(), &fx), Value::Number(21.0));
+        assert_eq!(eval(&parse("Other!A1").unwrap(), &fx), Value::Error(CellError::Ref));
+        assert_eq!(eval(&parse("VLOOKUP(10,Data!A1:B1,2)").unwrap(), &fx), Value::Number(10.0));
+    }
+
+    #[test]
+    fn default_provider_rejects_sheet_qualifiers() {
+        let fx = fixture(&[("A1", Value::Number(5.0))]);
+        assert_eq!(run("Sheet2!A1", &fx), Value::Error(CellError::Ref));
+        assert_eq!(run("SUM(Sheet2!A1:A3)", &fx), Value::Error(CellError::Ref));
     }
 }
 

@@ -23,6 +23,11 @@ pub enum TokenKind {
     Str(String),
     /// Identifier or cell reference text, `$` markers included.
     Name(String),
+    /// A single-quoted sheet name (`'My Sheet'`, quotes stripped, `''`
+    /// unescaped). Only valid immediately before a `!`.
+    Sheet(String),
+    /// `!` (sheet-qualifier separator)
+    Bang,
     /// `(`
     LParen,
     /// `)`
@@ -115,6 +120,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FormulaError> {
                 out.push(Token { pos, kind: TokenKind::Percent });
                 i += 1;
             }
+            b'!' => {
+                out.push(Token { pos, kind: TokenKind::Bang });
+                i += 1;
+            }
             b'=' => {
                 out.push(Token { pos, kind: TokenKind::Eq });
                 i += 1;
@@ -168,6 +177,36 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FormulaError> {
                     }
                 }
                 out.push(Token { pos, kind: TokenKind::Str(s) });
+            }
+            b'\'' => {
+                // Single quotes delimit sheet names (`'My Sheet'!A1`), with
+                // `''` escaping an embedded apostrophe.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(FormulaError::BadToken {
+                                pos,
+                                msg: "unterminated sheet name".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let ch = src[i..].chars().next().expect("in-bounds");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token { pos, kind: TokenKind::Sheet(s) });
             }
             b'0'..=b'9' | b'.' => {
                 let start = i;
@@ -274,6 +313,25 @@ mod tests {
     fn string_escapes() {
         assert_eq!(kinds(r#""he said ""hi""""#), vec![TokenKind::Str(r#"he said "hi""#.into())]);
         assert!(lex("\"open").is_err());
+    }
+
+    #[test]
+    fn sheet_names_and_bang() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("Sheet1!A1+'My Sheet'!B2"),
+            vec![
+                Name("Sheet1".into()),
+                Bang,
+                Name("A1".into()),
+                Plus,
+                Sheet("My Sheet".into()),
+                Bang,
+                Name("B2".into()),
+            ]
+        );
+        assert_eq!(kinds("'it''s'!C3")[0], Sheet("it's".into()));
+        assert!(lex("'open sheet!A1").is_err());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use ast::{BinOp, Expr, UnOp};
 pub use error::FormulaError;
 pub use value::{CellError, Value};
 
-use taco_grid::a1::RangeRef;
+use taco_grid::a1::QualifiedRef;
 
 /// A parsed formula: original source, AST, and the extracted references.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,9 +40,11 @@ pub struct Formula {
     /// Parsed expression tree.
     pub ast: Expr,
     /// Every cell/range reference in the formula, in source order, with
-    /// `$` fixed/relative flags per corner. These become the formula
-    /// graph's dependencies.
-    pub refs: Vec<RangeRef>,
+    /// `$` fixed/relative flags per corner and the sheet qualifier (if
+    /// any). Same-sheet references become the formula graph's
+    /// dependencies; qualified ones become the workbook's inter-sheet
+    /// edges.
+    pub refs: Vec<QualifiedRef>,
 }
 
 impl Formula {
@@ -80,9 +82,9 @@ mod tests {
     fn dollar_flags_survive() {
         let f = Formula::parse("=SUM($B$1:B4)*A1").unwrap();
         assert_eq!(f.refs.len(), 2);
-        assert!(f.refs[0].head.is_fixed());
-        assert!(f.refs[0].tail.is_relative());
-        assert!(f.refs[1].head.is_relative());
+        assert!(f.refs[0].rref.head.is_fixed());
+        assert!(f.refs[0].rref.tail.is_relative());
+        assert!(f.refs[1].rref.head.is_relative());
     }
 
     #[test]
@@ -90,5 +92,14 @@ mod tests {
         let a = Formula::parse("=SUM(A1:A3)").unwrap();
         let b = Formula::parse("SUM(A1:A3)").unwrap();
         assert_eq!(a.ast, b.ast);
+    }
+
+    #[test]
+    fn sheet_qualifiers_survive() {
+        let f = Formula::parse("=SUM('My Sheet'!B1:B4)+Sheet2!A1*C1").unwrap();
+        assert_eq!(f.refs.len(), 3);
+        assert_eq!(f.refs[0].sheet_name(), Some("My Sheet"));
+        assert_eq!(f.refs[1].sheet_name(), Some("Sheet2"));
+        assert_eq!(f.refs[2].sheet_name(), None);
     }
 }

@@ -13,14 +13,15 @@
 //! postfix    := primary '%'*
 //! primary    := NUMBER | STRING | TRUE | FALSE
 //!             | NAME '(' args ')'          -- function call
-//!             | REF (':' REF)?             -- cell or range reference
+//!             | sheet? REF (':' REF)?      -- cell or range reference
 //!             | '(' expr ')'
+//! sheet      := (NAME | QUOTED) '!'        -- `Sheet1!` or `'My Sheet'!`
 //! ```
 
 use crate::ast::{BinOp, Expr, UnOp};
 use crate::lexer::{lex, Token, TokenKind};
 use crate::FormulaError;
-use taco_grid::a1::{CellRef, RangeRef};
+use taco_grid::a1::{CellRef, QualifiedRef, RangeRef, SheetRef};
 
 /// Parses a formula body (no leading `=`) into an expression tree.
 pub fn parse(src: &str) -> Result<Expr, FormulaError> {
@@ -203,6 +204,23 @@ impl Parser {
                     }
                     return Ok(Expr::Func { name: name.to_ascii_uppercase(), args });
                 }
+                // Sheet qualifier (`Sheet1!A1`)?
+                if self.peek2().map(|t| &t.kind) == Some(&TokenKind::Bang) {
+                    let sheet = SheetRef::new(name.as_str()).map_err(|e| FormulaError::Syntax {
+                        pos: t.pos,
+                        msg: format!("invalid sheet name: {e}"),
+                    })?;
+                    // Bare qualifiers must be identifiers; `X$1!A1` needs
+                    // quotes (`'X$1'!A1`), same as `QualifiedRef::parse`.
+                    if sheet.needs_quoting() {
+                        return Err(FormulaError::Syntax {
+                            pos: t.pos,
+                            msg: format!("sheet name {name:?} must be quoted"),
+                        });
+                    }
+                    self.i += 2;
+                    return self.reference(Some(sheet));
+                }
                 // Boolean literals.
                 if name.eq_ignore_ascii_case("TRUE") {
                     self.i += 1;
@@ -212,28 +230,47 @@ impl Parser {
                     self.i += 1;
                     return Ok(Expr::Bool(false));
                 }
-                // Reference (optionally `head:tail`).
-                let head = CellRef::parse(&name).map_err(|_| FormulaError::Syntax {
+                self.reference(None)
+            }
+            TokenKind::Sheet(name) => {
+                // A quoted sheet name must qualify a reference.
+                let sheet = SheetRef::new(name.as_str()).map_err(|e| FormulaError::Syntax {
                     pos: t.pos,
-                    msg: format!("unknown name {name:?}"),
+                    msg: format!("invalid sheet name: {e}"),
                 })?;
                 self.i += 1;
-                if self.eat(&TokenKind::Colon) {
-                    let Some(Token { pos, kind: TokenKind::Name(tail_name) }) = self.bump() else {
-                        return Err(self.err("expected reference after `:`".into()));
-                    };
-                    let tail = CellRef::parse(&tail_name).map_err(|_| FormulaError::Syntax {
-                        pos,
-                        msg: format!("invalid range tail {tail_name:?}"),
-                    })?;
-                    return Ok(Expr::Ref(RangeRef::from_corners(head, tail)));
-                }
-                Ok(Expr::Ref(RangeRef::single(head)))
+                self.expect(&TokenKind::Bang, "`!` after sheet name")?;
+                self.reference(Some(sheet))
             }
             other => {
                 Err(FormulaError::Syntax { pos: t.pos, msg: format!("unexpected token {other:?}") })
             }
         }
+    }
+
+    /// Parses `REF (':' REF)?` at the current position, attaching an
+    /// already-consumed sheet qualifier if one preceded it. The qualifier
+    /// covers the whole range (`Sheet2!A1:B3`).
+    fn reference(&mut self, sheet: Option<SheetRef>) -> Result<Expr, FormulaError> {
+        let Some(Token { pos, kind: TokenKind::Name(name) }) = self.peek().cloned() else {
+            return Err(self.err("expected cell reference".into()));
+        };
+        let head = CellRef::parse(&name)
+            .map_err(|_| FormulaError::Syntax { pos, msg: format!("unknown name {name:?}") })?;
+        self.i += 1;
+        let rref = if self.eat(&TokenKind::Colon) {
+            let Some(Token { pos, kind: TokenKind::Name(tail_name) }) = self.bump() else {
+                return Err(self.err("expected reference after `:`".into()));
+            };
+            let tail = CellRef::parse(&tail_name).map_err(|_| FormulaError::Syntax {
+                pos,
+                msg: format!("invalid range tail {tail_name:?}"),
+            })?;
+            RangeRef::from_corners(head, tail)
+        } else {
+            RangeRef::single(head)
+        };
+        Ok(Expr::Ref(QualifiedRef { sheet, rref }))
     }
 }
 
@@ -303,6 +340,48 @@ mod tests {
         let rs = e.collect_refs();
         assert_eq!(rs.len(), 5); // A3, A2, N2, M3, M3
         assert_eq!(rs[0].range(), Range::parse_a1("A3").unwrap());
+    }
+
+    #[test]
+    fn sheet_qualified_references() {
+        // Bare and quoted qualifiers, on cells and ranges.
+        assert_eq!(refs("Sheet2!A1"), vec!["A1"]);
+        let e = parse("'My Sheet'!A1:B3").unwrap();
+        match &e {
+            Expr::Ref(q) => {
+                assert_eq!(q.sheet_name(), Some("My Sheet"));
+                assert_eq!(q.range(), Range::parse_a1("A1:B3").unwrap());
+            }
+            other => panic!("expected Ref, got {other:?}"),
+        }
+        // Round-trips through the printer, quoting preserved.
+        for src in
+            ["Sheet2!A1+1", "SUM('My Sheet'!$A$1:B3)*data!C1", "'it''s'!A1", "'Q4 2023'!B2:B9"]
+        {
+            let ast = parse(src).unwrap();
+            assert_eq!(parse(&ast.to_string()).unwrap(), ast, "src={src}");
+        }
+        // The qualifier does not turn function names into references.
+        assert!(matches!(parse("SUM(Sheet1!A1)").unwrap(), Expr::Func { .. }));
+    }
+
+    #[test]
+    fn malformed_sheet_qualifiers_err() {
+        for bad in [
+            "Sheet1!",
+            "!A1",
+            "Sheet1!!A1",
+            "'My Sheet'A1",
+            "'My Sheet'!",
+            "Sheet1!TRUE",
+            "Sheet1!SUM(A1)",
+            "A1:Sheet2!B2",
+            "''!A1",
+            "Sheet1!A1:!B2",
+            "X$1!A1", // non-identifier bare name must be quoted: 'X$1'!A1
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

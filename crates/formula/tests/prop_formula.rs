@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use taco_formula::eval::{eval, CellProvider};
 use taco_formula::{parser, BinOp, Expr, Formula, UnOp, Value};
-use taco_grid::a1::{CellRef, RangeRef};
+use taco_grid::a1::{CellRef, QualifiedRef, RangeRef, SheetRef};
 use taco_grid::{Cell, Range};
 
 fn arb_cell_ref() -> impl Strategy<Value = CellRef> {
@@ -21,6 +21,26 @@ fn arb_range_ref() -> impl Strategy<Value = RangeRef> {
     (arb_cell_ref(), arb_cell_ref()).prop_map(|(a, b)| RangeRef::from_corners(a, b))
 }
 
+/// `None` (local), a bare identifier sheet, or a name that needs quoting
+/// (spaces, digits-first, embedded apostrophe).
+fn arb_sheet() -> impl Strategy<Value = Option<SheetRef>> {
+    prop_oneof![
+        3 => Just(None),
+        1 => proptest::string::string_regex("[A-Za-z_][A-Za-z0-9_]{0,6}")
+            .expect("valid regex")
+            .prop_map(|s| Some(SheetRef::new(s).expect("valid sheet name"))),
+        // Bracketing with letters keeps the quote rule (no leading or
+        // trailing apostrophe) satisfied by construction.
+        1 => proptest::string::string_regex("[A-Za-z0-9' ]{0,6}")
+            .expect("valid regex")
+            .prop_map(|s| Some(SheetRef::new(format!("q{s}z")).expect("valid sheet name"))),
+    ]
+}
+
+fn arb_qref() -> impl Strategy<Value = QualifiedRef> {
+    (arb_sheet(), arb_range_ref()).prop_map(|(sheet, rref)| QualifiedRef { sheet, rref })
+}
+
 fn arb_text() -> impl Strategy<Value = String> {
     // Includes quotes to exercise escaping.
     proptest::string::string_regex("[a-zA-Z0-9 \"]{0,8}").expect("valid regex")
@@ -32,7 +52,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             .prop_map(|(a, b)| Expr::Number(f64::from(a) + f64::from(b) / 100.0)),
         arb_text().prop_map(Expr::Text),
         any::<bool>().prop_map(Expr::Bool),
-        arb_range_ref().prop_map(Expr::Ref),
+        arb_qref().prop_map(Expr::Ref),
     ];
     leaf.prop_recursive(4, 24, 4, |inner| {
         let bin = prop_oneof![
@@ -123,6 +143,21 @@ proptest! {
         let printed = r.to_string();
         let parsed = RangeRef::parse(&printed).expect("printed refs re-parse");
         prop_assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn qualified_ref_display_round_trips(q in arb_qref()) {
+        let printed = q.to_string();
+        let parsed = QualifiedRef::parse(&printed).expect("printed refs re-parse");
+        prop_assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn qualified_autofill_pins_sheet(q in arb_qref(), dc in -5i64..5, dr in -5i64..5) {
+        if let Some(filled) = q.autofill(dc, dr) {
+            prop_assert_eq!(filled.sheet_name(), q.sheet_name());
+            prop_assert_eq!(filled.rref, q.rref.autofill(dc, dr).expect("corner fill agrees"));
+        }
     }
 
     #[test]

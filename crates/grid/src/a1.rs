@@ -8,6 +8,7 @@
 
 use crate::{Cell, GridError, Range, MAX_COL, MAX_ROW};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Converts a 1-based column index to letters (`1 → "A"`, `28 → "AB"`).
 pub fn col_to_letters(mut col: u32) -> String {
@@ -200,6 +201,24 @@ impl RangeRef {
     pub fn autofill(&self, dc: i64, dr: i64) -> Option<RangeRef> {
         Some(RangeRef { head: self.head.autofill(dc, dr)?, tail: self.tail.autofill(dc, dr)? })
     }
+
+    /// The same reference resized to `width × height`, anchored at its
+    /// *normalized* top-left corner and clamped to the grid — Excel's
+    /// implicit shaping of `SUMIF`'s sum range to the criteria range's
+    /// dimensions. (Autofill can leave the stored corners de-normalized,
+    /// e.g. `B5:B$2`; evaluation anchors at the geometric head, so the
+    /// read set must too.)
+    pub fn resized(&self, width: u32, height: u32) -> RangeRef {
+        let head = self.range().head();
+        let tail = Cell::new(
+            (head.col + width.max(1) - 1).min(MAX_COL),
+            (head.row + height.max(1) - 1).min(MAX_ROW),
+        );
+        RangeRef {
+            head: CellRef { cell: head, ..self.head },
+            tail: CellRef { cell: tail, ..self.tail },
+        }
+    }
 }
 
 impl fmt::Display for RangeRef {
@@ -208,6 +227,205 @@ impl fmt::Display for RangeRef {
             write!(f, "{}", self.head)
         } else {
             write!(f, "{}:{}", self.head, self.tail)
+        }
+    }
+}
+
+/// Maximum sheet-name length (the xlsx limit).
+pub const MAX_SHEET_NAME: usize = 31;
+
+/// A validated worksheet name, as written before the `!` in a qualified
+/// reference (`Sheet2!A1`, `'My Sheet'!A1:B3`).
+///
+/// Sheet names compare and hash **case-insensitively** (ASCII), matching
+/// spreadsheet semantics, while the original spelling is preserved for
+/// display. Display re-quotes the name when the bare form would not lex as
+/// a plain identifier, escaping embedded apostrophes as `''`.
+#[derive(Debug, Clone)]
+pub struct SheetRef {
+    name: String,
+}
+
+impl SheetRef {
+    /// Validates and wraps a sheet name (the *unquoted* text: pass
+    /// `My Sheet`, not `'My Sheet'`).
+    pub fn new(name: impl Into<String>) -> Result<Self, GridError> {
+        let name = name.into();
+        let ok = !name.is_empty()
+            && name.chars().count() <= MAX_SHEET_NAME
+            && !name.starts_with('\'')
+            && !name.ends_with('\'')
+            && !name.contains(['[', ']', ':', '\\', '/', '?', '*']);
+        if ok {
+            Ok(SheetRef { name })
+        } else {
+            Err(GridError::BadSheetName(name))
+        }
+    }
+
+    /// The name as the user wrote it (no quotes).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `true` iff this sheet has the given name (ASCII case-insensitive).
+    pub fn matches(&self, other: &str) -> bool {
+        self.name.eq_ignore_ascii_case(other)
+    }
+
+    /// Canonical lookup key: the name lower-cased.
+    pub fn key(&self) -> String {
+        self.name.to_ascii_lowercase()
+    }
+
+    /// `true` iff the name must be written in single quotes (`'My
+    /// Sheet'!A1`): anything that would not lex as a bare identifier.
+    pub fn needs_quoting(&self) -> bool {
+        !SheetRef::bare_ok(&self.name)
+    }
+
+    /// `true` iff the bare (unquoted) form would lex as an identifier; when
+    /// false, Display wraps the name in single quotes.
+    fn bare_ok(name: &str) -> bool {
+        let mut chars = name.chars();
+        let head_ok = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+        head_ok && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    }
+}
+
+impl PartialEq for SheetRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name.eq_ignore_ascii_case(&other.name)
+    }
+}
+
+impl Eq for SheetRef {}
+
+impl Hash for SheetRef {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for b in self.name.bytes() {
+            state.write_u8(b.to_ascii_lowercase());
+        }
+    }
+}
+
+impl fmt::Display for SheetRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if SheetRef::bare_ok(&self.name) {
+            f.write_str(&self.name)
+        } else {
+            write!(f, "'{}'", self.name.replace('\'', "''"))
+        }
+    }
+}
+
+/// A possibly sheet-qualified range reference: the unit a parsed formula
+/// stores per reference and the unit the workbook's inter-sheet edge table
+/// routes. `sheet == None` means "the formula's own sheet".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QualifiedRef {
+    /// The qualifying sheet, if any (`Sheet2!…`).
+    pub sheet: Option<SheetRef>,
+    /// The geometric reference with its `$` flags.
+    pub rref: RangeRef,
+}
+
+impl QualifiedRef {
+    /// An unqualified (same-sheet) reference.
+    pub fn local(rref: RangeRef) -> Self {
+        QualifiedRef { sheet: None, rref }
+    }
+
+    /// A reference into `sheet`.
+    pub fn on_sheet(sheet: SheetRef, rref: RangeRef) -> Self {
+        QualifiedRef { sheet: Some(sheet), rref }
+    }
+
+    /// `true` iff the reference has no sheet qualifier.
+    pub fn is_local(&self) -> bool {
+        self.sheet.is_none()
+    }
+
+    /// The qualifying sheet name, if any.
+    pub fn sheet_name(&self) -> Option<&str> {
+        self.sheet.as_ref().map(SheetRef::name)
+    }
+
+    /// The plain geometric range (sheet and flags dropped).
+    pub fn range(&self) -> Range {
+        self.rref.range()
+    }
+
+    /// Parses `"A1"`, `"Sheet2!A1:B3"`, `"'My Sheet'!$A$1"`, ….
+    pub fn parse(s: &str) -> Result<Self, GridError> {
+        if let Some(rest) = s.strip_prefix('\'') {
+            // Quoted sheet name: scan for the closing quote, un-escaping ''.
+            let mut name = String::new();
+            let mut chars = rest.char_indices().peekable();
+            while let Some((i, ch)) = chars.next() {
+                if ch != '\'' {
+                    name.push(ch);
+                    continue;
+                }
+                if chars.peek().map(|&(_, c)| c) == Some('\'') {
+                    name.push('\'');
+                    chars.next();
+                    continue;
+                }
+                // Closing quote: the rest must be `!ref`.
+                let tail = &rest[i + 1..];
+                let Some(rref) = tail.strip_prefix('!') else {
+                    return Err(GridError::BadA1(s.to_string()));
+                };
+                return Ok(QualifiedRef::on_sheet(SheetRef::new(name)?, RangeRef::parse(rref)?));
+            }
+            Err(GridError::BadA1(s.to_string()))
+        } else {
+            match s.split_once('!') {
+                None => Ok(QualifiedRef::local(RangeRef::parse(s)?)),
+                Some((sheet, rref)) => {
+                    let sheet = SheetRef::new(sheet)?;
+                    // Unquoted form must be a bare identifier (`My
+                    // Sheet!A1` is malformed; write `'My Sheet'!A1`).
+                    if sheet.needs_quoting() {
+                        return Err(GridError::BadA1(s.to_string()));
+                    }
+                    Ok(QualifiedRef::on_sheet(sheet, RangeRef::parse(rref)?))
+                }
+            }
+        }
+    }
+
+    /// Applies an autofill translation: the sheet qualifier is always fixed
+    /// (dragging a fill handle never changes which sheet is referenced);
+    /// the range shifts per its `$` flags.
+    pub fn autofill(&self, dc: i64, dr: i64) -> Option<QualifiedRef> {
+        Some(QualifiedRef { sheet: self.sheet.clone(), rref: self.rref.autofill(dc, dr)? })
+    }
+
+    /// Rewrites the geometric part, keeping the qualifier.
+    pub fn with_rref(&self, rref: RangeRef) -> QualifiedRef {
+        QualifiedRef { sheet: self.sheet.clone(), rref }
+    }
+
+    /// The same reference resized to `width × height` (see
+    /// [`RangeRef::resized`]), keeping the qualifier.
+    pub fn resized(&self, width: u32, height: u32) -> QualifiedRef {
+        self.with_rref(self.rref.resized(width, height))
+    }
+}
+
+impl From<RangeRef> for QualifiedRef {
+    fn from(rref: RangeRef) -> Self {
+        QualifiedRef::local(rref)
+    }
+}
+
+impl fmt::Display for QualifiedRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.sheet {
+            Some(s) => write!(f, "{s}!{}", self.rref),
+            None => write!(f, "{}", self.rref),
         }
     }
 }
@@ -307,5 +525,77 @@ mod tests {
         let src = RangeRef::parse("A1:B3").unwrap();
         let filled = src.autofill(0, 1).unwrap();
         assert_eq!(filled.range(), Range::from_coords(1, 2, 2, 4));
+    }
+
+    #[test]
+    fn sheet_ref_validation_and_case() {
+        let s = SheetRef::new("Sheet1").unwrap();
+        assert!(s.matches("sheet1"));
+        assert!(s.matches("SHEET1"));
+        assert_eq!(s.key(), "sheet1");
+        assert_eq!(s, SheetRef::new("sHeEt1").unwrap());
+
+        for bad in ["", "a:b", "a/b", "a\\b", "a?b", "a*b", "a[b", "a]b", "'lead", "trail'"] {
+            assert!(SheetRef::new(bad).is_err(), "{bad:?} should fail");
+        }
+        assert!(SheetRef::new("x".repeat(31)).is_ok());
+        assert!(SheetRef::new("x".repeat(32)).is_err());
+        // An *embedded* apostrophe is legal (escaped as '' when quoted).
+        assert_eq!(SheetRef::new("it's").unwrap().to_string(), "'it''s'");
+    }
+
+    #[test]
+    fn sheet_ref_display_quotes_when_needed() {
+        assert_eq!(SheetRef::new("Sheet1").unwrap().to_string(), "Sheet1");
+        assert_eq!(SheetRef::new("_tmp2").unwrap().to_string(), "_tmp2");
+        assert_eq!(SheetRef::new("My Sheet").unwrap().to_string(), "'My Sheet'");
+        assert_eq!(SheetRef::new("2024").unwrap().to_string(), "'2024'");
+        assert_eq!(SheetRef::new("a-b").unwrap().to_string(), "'a-b'");
+    }
+
+    #[test]
+    fn qualified_ref_parse_and_display() {
+        let q = QualifiedRef::parse("A1:B2").unwrap();
+        assert!(q.is_local());
+        assert_eq!(q.to_string(), "A1:B2");
+
+        let q = QualifiedRef::parse("Sheet2!$A$1:B2").unwrap();
+        assert_eq!(q.sheet_name(), Some("Sheet2"));
+        assert_eq!(q.range(), Range::from_coords(1, 1, 2, 2));
+        assert_eq!(q.to_string(), "Sheet2!$A$1:B2");
+
+        let q = QualifiedRef::parse("'My Sheet'!C3").unwrap();
+        assert_eq!(q.sheet_name(), Some("My Sheet"));
+        assert_eq!(q.to_string(), "'My Sheet'!C3");
+
+        let q = QualifiedRef::parse("'it''s'!A1").unwrap();
+        assert_eq!(q.sheet_name(), Some("it's"));
+        assert_eq!(QualifiedRef::parse(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn qualified_ref_malformed_forms_err() {
+        for bad in [
+            "!A1",
+            "Sheet1!",
+            "Sheet1!!A1",
+            "'Open!A1",
+            "''!A1",
+            "'My Sheet'A1",
+            "'My Sheet'!",
+            "Sheet1!A0",
+        ] {
+            assert!(QualifiedRef::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn qualified_ref_autofill_pins_sheet() {
+        let q = QualifiedRef::parse("'My Sheet'!$A$1:B2").unwrap();
+        let f = q.autofill(1, 3).unwrap();
+        assert_eq!(f.sheet_name(), Some("My Sheet"));
+        assert_eq!(f.to_string(), "'My Sheet'!$A$1:C5");
+        // Falling off the grid still fails.
+        assert!(QualifiedRef::parse("S!A1").unwrap().autofill(0, -1).is_none());
     }
 }

@@ -13,6 +13,9 @@ pub enum GridError {
     },
     /// An A1-notation string could not be parsed.
     BadA1(String),
+    /// A sheet name is empty, too long, or contains a forbidden character
+    /// (`[ ] : \ / ? *`, or a leading/trailing apostrophe).
+    BadSheetName(String),
 }
 
 impl fmt::Display for GridError {
@@ -22,6 +25,7 @@ impl fmt::Display for GridError {
                 write!(f, "cell position ({col}, {row}) is outside the grid")
             }
             GridError::BadA1(s) => write!(f, "invalid A1 reference: {s:?}"),
+            GridError::BadSheetName(s) => write!(f, "invalid sheet name: {s:?}"),
         }
     }
 }

@@ -1,9 +1,9 @@
 //! Deterministic corner-case tests for A1 geometry: grid bounds, `$`
-//! absolute markers, single-cell ranges, and malformed inputs (which must
-//! return `Err`, never panic). Complements the property tests in
-//! `prop_geometry.rs` with exact goldens.
+//! absolute markers, sheet-qualified references, single-cell ranges, and
+//! malformed inputs (which must return `Err`, never panic). Complements
+//! the property tests in `prop_geometry.rs` with exact goldens.
 
-use taco_grid::a1::{col_to_letters, letters_to_col, CellRef, RangeRef};
+use taco_grid::a1::{col_to_letters, letters_to_col, CellRef, QualifiedRef, RangeRef, SheetRef};
 use taco_grid::{Cell, GridError, Range, MAX_COL, MAX_ROW};
 
 #[test]
@@ -131,4 +131,65 @@ fn malformed_inputs_error_cleanly() {
     // Whitespace is not trimmed implicitly.
     assert!(CellRef::parse(" A1").is_err());
     assert!(CellRef::parse("A1 ").is_err());
+}
+
+#[test]
+fn sheet_qualified_golden_forms() {
+    // (input, sheet name, geometric range, canonical display)
+    for (src, sheet, range, display) in [
+        ("Sheet1!A1", "Sheet1", "A1", "Sheet1!A1"),
+        ("Sheet1!$B$2:C9", "Sheet1", "B2:C9", "Sheet1!$B$2:C9"),
+        ("'My Sheet'!A1:B3", "My Sheet", "A1:B3", "'My Sheet'!A1:B3"),
+        ("'Q4 2023 Totals'!$D$4", "Q4 2023 Totals", "D4", "'Q4 2023 Totals'!$D$4"),
+        // Unnecessary quoting is accepted and normalizes away.
+        ("'Sheet1'!A1", "Sheet1", "A1", "Sheet1!A1"),
+        // Escaped apostrophe round-trips.
+        ("'it''s 2024'!A1", "it's 2024", "A1", "'it''s 2024'!A1"),
+        // Reversed corners normalize under a qualifier too.
+        ("data!B5:A1", "data", "A1:B5", "data!A1:B5"),
+    ] {
+        let q = QualifiedRef::parse(src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        assert_eq!(q.sheet_name(), Some(sheet), "{src}");
+        assert_eq!(q.range(), Range::parse_a1(range).unwrap(), "{src}");
+        assert_eq!(q.to_string(), display, "{src}");
+        assert_eq!(QualifiedRef::parse(&q.to_string()).unwrap(), q, "{src} round-trip");
+    }
+}
+
+#[test]
+fn dollar_markers_pin_under_autofill_across_sheets() {
+    // The sheet qualifier is always pinned; `$` rules apply per corner
+    // exactly as on the local sheet (the FR shape here).
+    let q = QualifiedRef::parse("'My Sheet'!$A$1:B1").unwrap();
+    let filled = q.autofill(0, 3).unwrap();
+    assert_eq!(filled.to_string(), "'My Sheet'!$A$1:B4");
+
+    // Fully pinned cross-sheet table (the VLOOKUP idiom) never moves.
+    let table = QualifiedRef::parse("Rates!$F$1:$G$3").unwrap();
+    assert_eq!(table.autofill(11, 900).unwrap(), table);
+
+    // Relative cross-sheet refs still fall off the grid edge.
+    assert!(QualifiedRef::parse("Rates!A1").unwrap().autofill(0, -1).is_none());
+}
+
+#[test]
+fn malformed_sheet_qualified_forms_error_cleanly() {
+    for bad in [
+        "!A1",                                   // empty bare name
+        "''!A1",                                 // empty quoted name
+        "Sheet1!",                               // qualifier without reference
+        "Sheet1!!A1",                            // double separator
+        "'Open!A1",                              // unterminated quote
+        "'My Sheet'A1",                          // missing separator after quote
+        "My Sheet!A1",                           // unquoted space
+        "Sheet1!A0",                             // invalid row under qualifier
+        "Sheet1!A1:B2:C3",                       // malformed range under qualifier
+        "Bad[name]!A1",                          // forbidden characters
+        "a:b!A1",                                // forbidden `:` in bare name
+        "'123456789012345678901234567890xx'!A1", // 32 chars > 31 limit
+    ] {
+        assert!(QualifiedRef::parse(bad).is_err(), "QualifiedRef::parse({bad:?}) should be Err");
+    }
+    // SheetRef validation is reachable directly, too.
+    assert!(matches!(SheetRef::new("a/b"), Err(GridError::BadSheetName(_))));
 }

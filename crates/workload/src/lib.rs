@@ -8,7 +8,9 @@
 //! derived columns, the multi-reference Fig. 2 shape, and noise — with
 //! per-sheet sizes and tail behaviour (max dependents, longest paths)
 //! shaped like Fig. 1. [`corpus`] provides the calibrated `enron_like()`
-//! and `github_like()` presets; [`stats`] measures the Fig. 1 metrics.
+//! and `github_like()` presets; [`stats`] measures the Fig. 1 metrics;
+//! [`workbook`] assembles sheets into multi-sheet workbooks with a
+//! tunable fraction of cross-sheet FF/chain dependencies.
 //!
 //! [`xlsx`] additionally loads *real* `.xlsx` files through `calamine` (the
 //! Rust analogue of the Apache POI parser the paper's prototype uses), so
@@ -21,8 +23,10 @@
 pub mod corpus;
 pub mod generator;
 pub mod stats;
+pub mod workbook;
 pub mod xlsx;
 
 pub use corpus::{enron_like, github_like, CorpusParams};
 pub use generator::{Region, SheetParams, SyntheticSheet};
 pub use stats::{fig1_buckets, SheetStats};
+pub use workbook::{gen_workbook, CrossDep, SyntheticWorkbook, WorkbookParams};

@@ -1,9 +1,12 @@
 //! Loading real `.xlsx` files into dependency lists via `calamine` — the
 //! Rust counterpart of the Apache POI pipeline the paper's prototype uses.
 //!
-//! Cross-sheet references (`Sheet2!A1`), defined names, and functions our
-//! grammar does not know are skipped (counted in [`LoadReport`]), matching
-//! the paper's practice of skipping erroneous files/features.
+//! Defined names and functions our grammar does not know are skipped
+//! (counted in [`LoadReport`]), matching the paper's practice of skipping
+//! erroneous files/features. Cross-sheet references (`Sheet2!A1`) now
+//! *parse*; they are counted separately and excluded from the per-sheet
+//! dependency stream (each sheet's formula graph is per-sheet — routing
+//! qualified references is the workbook layer's job).
 
 use calamine::{open_workbook_auto, Reader};
 use std::path::Path;
@@ -18,8 +21,10 @@ pub struct LoadReport {
     pub deps: Vec<Dependency>,
     /// Formula cells parsed successfully.
     pub formulas_parsed: u64,
-    /// Formula cells skipped (cross-sheet refs, unsupported syntax).
+    /// Formula cells skipped (unsupported syntax).
     pub formulas_skipped: u64,
+    /// Sheet-qualified references seen and excluded from `deps`.
+    pub cross_sheet_refs: u64,
 }
 
 /// Loads every worksheet's formulae from an `.xlsx`/`.xls` file.
@@ -39,8 +44,15 @@ pub fn load_workbook(path: &Path) -> Result<LoadReport, calamine::Error> {
                     match Formula::parse(f) {
                         Ok(parsed) => {
                             report.formulas_parsed += 1;
-                            for rref in &parsed.refs {
-                                report.deps.push(Dependency::from_ref(rref, cell));
+                            for q in &parsed.refs {
+                                // A self-qualified reference (`Sheet1!A1`
+                                // on Sheet1 itself) is local, matching the
+                                // engine's semantics.
+                                if q.sheet.as_ref().is_none_or(|s| s.matches(&name)) {
+                                    report.deps.push(Dependency::from_ref(&q.rref, cell));
+                                } else {
+                                    report.cross_sheet_refs += 1;
+                                }
                             }
                         }
                         Err(_) => report.formulas_skipped += 1,

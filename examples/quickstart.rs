@@ -32,8 +32,8 @@ fn main() {
         let cell = Cell::parse_a1(cell).expect("valid A1");
         let f = Formula::parse(src).expect("valid formula");
         for r in &f.refs {
-            taco.add_dependency(&Dependency::from_ref(r, cell));
-            nocomp.add_dependency(&Dependency::from_ref(r, cell));
+            taco.add_dependency(&Dependency::from_ref(&r.rref, cell));
+            nocomp.add_dependency(&Dependency::from_ref(&r.rref, cell));
         }
     }
 

@@ -1,8 +1,14 @@
-//! Offline stand-in for `crossbeam`, backed by `std::sync::mpsc`.
+//! Offline stand-in for `crossbeam`, backed by the standard library.
 //!
-//! Only the `channel` module's unbounded MPSC surface is provided — the
-//! subset this workspace uses. Unlike the real crate the receiver is not
-//! cloneable, which is fine for the single-consumer worker pattern here.
+//! Two API subsets are provided — exactly what this workspace uses:
+//!
+//! - [`channel`]: the unbounded MPSC surface, over `std::sync::mpsc`.
+//!   Unlike the real crate the receiver is not cloneable, which is fine
+//!   for the single-consumer worker pattern here.
+//! - [`thread`]: scoped threads (`crossbeam::thread::scope`), over
+//!   `std::thread::scope` (stable since 1.63). One deviation: a panic in
+//!   an unjoined scoped thread propagates as a panic at scope exit rather
+//!   than surfacing as the scope's `Err` — callers here always join.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -72,6 +78,77 @@ pub mod channel {
             drop((tx, tx2));
             assert_eq!(rx.recv(), Ok(1));
             assert!(rx.recv().is_err());
+        }
+    }
+}
+
+/// Scoped threads (the `crossbeam::thread` API subset).
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Outcome of a scope or a joined scoped thread.
+    pub type Result<T> = std_thread::Result<T>;
+
+    /// Spawns threads that may borrow from the caller's stack; all are
+    /// joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    /// Handle for spawning threads inside a [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope again so
+        /// it can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let reborrow = Scope { inner: self.inner };
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&reborrow)) }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u32, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> =
+                    data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u32>())).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let n = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 21u32).join().unwrap() * 2).join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 42);
         }
     }
 }

@@ -92,6 +92,18 @@ fn async_recalc_runs_scaled_down() {
 }
 
 #[test]
+fn workbook_report_runs_scaled_down() {
+    let out = run_example("workbook_report", Some("60"), None);
+    let text = stdout_of(&out);
+    assert!(text.contains("grand total:"), "rollup should print a grand total:\n{text}");
+    assert!(
+        text.contains("serial == parallel"),
+        "the two scheduling modes must be compared:\n{text}"
+    );
+    assert!(text.contains("after edit"), "the edit cycle should complete:\n{text}");
+}
+
+#[test]
 fn repl_parses_and_evaluates_a_script() {
     let script = "A1 = 2\n\
                   A2 = 3\n\
