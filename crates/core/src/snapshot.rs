@@ -10,7 +10,9 @@
 use crate::config::Config;
 use crate::edge::Edge;
 use crate::graph::FormulaGraph;
+use crate::pattern::{ChainDir, PatternMeta};
 use serde::{Deserialize, Serialize};
+use taco_grid::{Axis, Cell, Offset};
 
 /// A serializable image of a [`FormulaGraph`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,12 +25,66 @@ pub struct GraphSnapshot {
     pub dependencies_inserted: u64,
 }
 
+/// Flattened pattern metadata: tag plus payload, orderable.
+type MetaKey = (u8, i64, i64, i64, i64);
+
+/// The full content key of an edge: dependent corners, precedent
+/// corners, axis, metadata, count.
+type EdgeKey = (Cell, Cell, Cell, Cell, u8, MetaKey, u32);
+
+/// A total order over edges that depends only on edge *content*, never on
+/// arena slot assignment: `(dep, prec, axis, meta, count)`. Equal graphs
+/// (same edge multiset) therefore snapshot to identical edge sequences.
+fn edge_sort_key(e: &Edge) -> EdgeKey {
+    let axis = match e.axis {
+        Axis::Col => 0u8,
+        Axis::Row => 1,
+    };
+    (e.dep.head(), e.dep.tail(), e.prec.head(), e.prec.tail(), axis, meta_key(&e.meta), e.count)
+}
+
+/// Flattens pattern metadata into an orderable tuple (tag + payload).
+fn meta_key(meta: &PatternMeta) -> MetaKey {
+    let o = |a: Offset, b: Offset| (a.dc, a.dr, b.dc, b.dr);
+    let c =
+        |a: Cell, b: Cell| (i64::from(a.col), i64::from(a.row), i64::from(b.col), i64::from(b.row));
+    match meta {
+        PatternMeta::Single => (0, 0, 0, 0, 0),
+        PatternMeta::RR { h_rel, t_rel } => {
+            let (a, b, x, y) = o(*h_rel, *t_rel);
+            (1, a, b, x, y)
+        }
+        PatternMeta::RF { h_rel, t_fix } => {
+            (2, h_rel.dc, h_rel.dr, i64::from(t_fix.col), i64::from(t_fix.row))
+        }
+        PatternMeta::FR { h_fix, t_rel } => {
+            (3, i64::from(h_fix.col), i64::from(h_fix.row), t_rel.dc, t_rel.dr)
+        }
+        PatternMeta::FF { h_fix, t_fix } => {
+            let (a, b, x, y) = c(*h_fix, *t_fix);
+            (4, a, b, x, y)
+        }
+        PatternMeta::RRChain { dir } => (5, i64::from(matches!(dir, ChainDir::Below)), 0, 0, 0),
+        PatternMeta::RRGapOne { h_rel, t_rel } => {
+            let (a, b, x, y) = o(*h_rel, *t_rel);
+            (6, a, b, x, y)
+        }
+    }
+}
+
 impl FormulaGraph {
-    /// Captures the graph as a snapshot (edge order is unspecified).
+    /// Captures the graph as a snapshot. Edge order is **sorted and
+    /// stable**: it is a pure function of the edge set (dependent range,
+    /// then precedent range, axis, metadata, count), independent of
+    /// insertion history or arena slot reuse — so two equal graphs
+    /// produce byte-identical snapshots, which the on-disk container
+    /// format relies on for checksums and delta encoding.
     pub fn snapshot(&self) -> GraphSnapshot {
+        let mut edges: Vec<Edge> = self.edges().cloned().collect();
+        edges.sort_by_key(edge_sort_key);
         GraphSnapshot {
             config: self.config().clone(),
-            edges: self.edges().cloned().collect(),
+            edges,
             dependencies_inserted: self.dependencies_inserted(),
         }
     }
@@ -116,6 +172,35 @@ mod tests {
         let json = r#"{"head":{"col":3,"row":5},"tail":{"col":1,"row":2}}"#;
         let r: Range = serde_json::from_str(json).unwrap();
         assert_eq!(r, Range::from_coords(1, 2, 3, 5));
+    }
+
+    #[test]
+    fn snapshots_of_equal_graphs_are_byte_identical() {
+        // Same edge set reached through different histories: slot ids and
+        // internal iteration order differ, the snapshot must not.
+        let a = build_sample();
+        let mut b = build_sample();
+        // Churn b's arena: remove and re-add a dependency so slot ids shift.
+        b.clear_cells(Range::parse_a1("K1").unwrap());
+        b.add_dependency(&Dependency::new(
+            Range::parse_a1("J1").unwrap(),
+            Cell::parse_a1("K1").unwrap(),
+        ));
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.edges, sb.edges);
+        assert_eq!(
+            serde_json::to_string(&sa).unwrap(),
+            serde_json::to_string(&GraphSnapshot {
+                dependencies_inserted: sa.dependencies_inserted,
+                ..sb
+            })
+            .unwrap()
+        );
+        // And the order is genuinely sorted by dependent head.
+        let heads: Vec<Cell> = sa.edges.iter().map(|e| e.dep.head()).collect();
+        let mut sorted = heads.clone();
+        sorted.sort_unstable();
+        assert_eq!(heads, sorted);
     }
 
     #[test]

@@ -140,6 +140,12 @@ impl<B: DependencyBackend> Engine<B> {
         self.dirty.len()
     }
 
+    /// Iterates over every non-empty cell and its content, in no
+    /// particular order (persistence and verification walks).
+    pub fn cells(&self) -> impl Iterator<Item = (Cell, &CellContent)> {
+        self.cells.iter().map(|(&c, content)| (c, content))
+    }
+
     // ---- edits ---------------------------------------------------------
 
     /// Sets a pure value, returning the dependents receipt.
@@ -251,6 +257,14 @@ impl<B: DependencyBackend> Engine<B> {
     /// Read access to the whole cell store (workbook import snapshots).
     pub(crate) fn cells_map(&self) -> &HashMap<Cell, CellContent> {
         &self.cells
+    }
+
+    /// The dirty set in sorted order (persistence: snapshots must encode
+    /// a deterministic dirty list).
+    pub(crate) fn dirty_cells_sorted(&self) -> Vec<Cell> {
+        let mut v: Vec<Cell> = self.dirty.iter().copied().collect();
+        v.sort_unstable();
+        v
     }
 
     /// The parsed formula at `cell`, if any (workbook autofill).

@@ -1,0 +1,732 @@
+//! Workbook persistence: snapshots, WAL-backed editing, and autosave.
+//!
+//! The division of labour with [`taco_store`]:
+//!
+//! - `taco_store` owns the bytes — codecs, the sectioned container, the
+//!   WAL framing — and works on plain [`WorkbookImage`] data;
+//! - this module converts live [`Workbook`]s to and from images
+//!   ([`Workbook::save`] / [`Workbook::open`]), applies replayed
+//!   [`EditRecord`]s through the normal edit paths (so dirty routing and
+//!   cross-edge maintenance behave exactly as they did live), and owns
+//!   the autosave policy: [`PersistentWorkbook`] appends every edit to
+//!   the sidecar WAL, fsyncs at configurable points, and folds the log
+//!   back into a fresh snapshot once it crosses the compaction
+//!   threshold.
+//!
+//! What is stored vs derived: cell contents (formula *source* text plus
+//! the cached value), the dirty sets, the compressed graph edges, and
+//! the cross-sheet edge table are stored; formula ASTs are re-parsed and
+//! the graph's R-tree indexes are rebuilt on open — no recompression
+//! ever happens on the open path.
+
+use crate::engine::Engine;
+use crate::sheet::CellContent;
+use crate::workbook::{CrossEdge, SheetId, Workbook};
+use std::path::{Path, PathBuf};
+use taco_core::FormulaGraph;
+use taco_formula::Formula;
+use taco_store::{
+    write_workbook_file, CellRecord, CrossEdgeImage, EditRecord, ReplayMode, SheetImage,
+    StoreError, StoreReader, WalReader, WalWriter, WorkbookImage,
+};
+
+/// The sidecar WAL path for a snapshot at `path`: `<path>.wal`.
+pub fn wal_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".wal");
+    PathBuf::from(os)
+}
+
+/// Captures one engine as a sheet image named `name` — the single
+/// conversion point between live cell contents and persistent records,
+/// shared by [`Workbook::to_image`] and [`save_engine`].
+fn sheet_image(engine: &Engine<FormulaGraph>, name: String) -> SheetImage {
+    let mut cells: Vec<_> = engine
+        .cells()
+        .map(|(cell, content)| {
+            let rec = match content {
+                CellContent::Pure(v) => CellRecord::Pure(v.clone()),
+                CellContent::Formula { formula, value } => {
+                    CellRecord::Formula { src: formula.src.clone(), value: value.clone() }
+                }
+            };
+            (cell, rec)
+        })
+        .collect();
+    cells.sort_by_key(|(c, _)| *c);
+    SheetImage { name, cells, dirty: engine.dirty_cells_sorted(), graph: engine.graph().snapshot() }
+}
+
+impl Workbook<FormulaGraph> {
+    /// Captures the workbook as a plain-data image (see the module docs
+    /// for what is stored vs derived).
+    pub fn to_image(&self) -> WorkbookImage {
+        let sheets = (0..self.sheet_count())
+            .map(|i| {
+                let id = SheetId(i);
+                sheet_image(self.sheet(id), self.sheet_name(id).to_string())
+            })
+            .collect();
+        let cross = self
+            .cross_edges()
+            .map(|e| CrossEdgeImage {
+                src: e.src.0 as u32,
+                prec: e.prec,
+                dst: e.dst.0 as u32,
+                dep: e.dep,
+            })
+            .collect();
+        WorkbookImage { sheets, cross }
+    }
+
+    /// Reconstructs a workbook from an image: graphs are restored without
+    /// recompression, formula sources re-parsed, dirty sets re-marked,
+    /// and the cross-edge table re-inserted verbatim.
+    pub fn from_image(image: WorkbookImage) -> Result<Self, StoreError> {
+        let n = image.sheets.len();
+        let mut wb = Workbook::new();
+        for sheet in image.sheets {
+            let graph = FormulaGraph::restore(sheet.graph);
+            // `add_sheet_unbound`: the image already carries the cross
+            // edges and dirty sets — the live rebind pass would duplicate
+            // both for formulae that forward-referenced a later sheet.
+            let id = wb
+                .add_sheet_unbound(&sheet.name, graph)
+                .map_err(|e| StoreError::InvalidRecord(e.to_string()))?;
+            let engine = wb.engine_mut(id.index());
+            for (cell, rec) in sheet.cells {
+                let content = match rec {
+                    CellRecord::Pure(v) => CellContent::Pure(v),
+                    CellRecord::Formula { src, value } => CellContent::Formula {
+                        formula: Formula::parse(&src)
+                            .map_err(|e| StoreError::InvalidRecord(e.to_string()))?,
+                        value,
+                    },
+                };
+                engine.put_cell(cell, content);
+            }
+            for cell in sheet.dirty {
+                engine.mark_cell_dirty(cell);
+            }
+        }
+        for e in image.cross {
+            let (src, dst) = (e.src as usize, e.dst as usize);
+            if src >= n || dst >= n {
+                return Err(StoreError::Malformed("cross edge names a missing sheet"));
+            }
+            wb.insert_cross_edge_raw(CrossEdge {
+                src: SheetId(src),
+                prec: e.prec,
+                dst: SheetId(dst),
+                dep: e.dep,
+            });
+        }
+        Ok(wb)
+    }
+
+    /// Writes the workbook snapshot to `path` and empties any sidecar WAL
+    /// (its edits are folded into the snapshot from this point on).
+    ///
+    /// Do not call while a [`PersistentWorkbook`] holds the same path —
+    /// use [`PersistentWorkbook::compact`], which keeps its WAL handle
+    /// coherent.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        write_workbook_file(path, &self.to_image())?;
+        let wal = wal_path(path);
+        if wal.exists() {
+            WalWriter::create(&wal)?;
+        }
+        Ok(())
+    }
+
+    /// Opens a snapshot and replays its sidecar WAL, if one exists. A
+    /// torn final WAL record (crash mid-append) is dropped — that edit
+    /// never committed; corruption elsewhere is a typed error.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let mut wb = Self::from_image(StoreReader::open(path)?.read_all()?)?;
+        let wal = wal_path(path);
+        if wal.exists() {
+            for rec in WalReader::load(&wal, ReplayMode::TolerateTear)?.records {
+                wb.replay_edit(&rec)?;
+            }
+        }
+        Ok(wb)
+    }
+
+    /// [`Self::apply_edit`] with replay semantics: an `AddSheet` whose
+    /// name already exists is a no-op. A crash between a snapshot write
+    /// and the WAL truncation ([`Self::save`],
+    /// [`PersistentWorkbook::compact`]) leaves the already-folded edits
+    /// in the log; replaying them over the fresh snapshot must be
+    /// idempotent, and `AddSheet` is the only record the normal edit
+    /// path rejects on a second application.
+    fn replay_edit(&mut self, rec: &EditRecord) -> Result<(), StoreError> {
+        if let EditRecord::AddSheet { name } = rec {
+            if self.sheet_id(name).is_some() {
+                return Ok(());
+            }
+        }
+        self.apply_edit(rec)
+    }
+
+    /// Applies one edit record through the normal edit paths (replay).
+    pub fn apply_edit(&mut self, rec: &EditRecord) -> Result<(), StoreError> {
+        let sheet_of = |s: u32, count: usize| -> Result<SheetId, StoreError> {
+            if (s as usize) < count {
+                Ok(SheetId(s as usize))
+            } else {
+                Err(StoreError::InvalidRecord(format!("no sheet with index {s}")))
+            }
+        };
+        match rec {
+            EditRecord::SetValue { sheet, cell, value } => {
+                let id = sheet_of(*sheet, self.sheet_count())?;
+                self.set_value(id, *cell, value.clone());
+            }
+            EditRecord::SetFormula { sheet, cell, src } => {
+                let id = sheet_of(*sheet, self.sheet_count())?;
+                self.set_formula(id, *cell, src)
+                    .map_err(|e| StoreError::InvalidRecord(e.to_string()))?;
+            }
+            EditRecord::ClearRange { sheet, range } => {
+                let id = sheet_of(*sheet, self.sheet_count())?;
+                self.clear_range(id, *range);
+            }
+            EditRecord::AddSheet { name } => {
+                self.add_sheet(name).map_err(|e| StoreError::InvalidRecord(e.to_string()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies an edit *and* appends it to `wal` — the building block for
+    /// WAL-backed editing when managing the log by hand (the usual entry
+    /// point is [`PersistentWorkbook`], which adds fsync and compaction
+    /// policy on top).
+    pub fn log_edit(&mut self, wal: &mut WalWriter, rec: &EditRecord) -> Result<(), StoreError> {
+        self.apply_edit(rec)?;
+        wal.append(rec)
+    }
+}
+
+/// Autosave policy for a [`PersistentWorkbook`].
+#[derive(Debug, Clone, Copy)]
+pub struct PersistOptions {
+    /// Fold the WAL into a fresh snapshot once it holds this many
+    /// records (`0` disables compaction).
+    pub compact_after_records: u64,
+    /// Fsync the WAL every `n` appended records (`1` = every edit is an
+    /// fsync point; `0` leaves syncing to [`PersistentWorkbook::sync`]
+    /// and compaction).
+    pub sync_every_records: u64,
+}
+
+impl Default for PersistOptions {
+    fn default() -> Self {
+        PersistOptions { compact_after_records: 4096, sync_every_records: 1 }
+    }
+}
+
+/// A workbook with a durable home: every edit goes through the WAL, and
+/// the log periodically folds into a fresh snapshot (compaction). Dropped
+/// handles lose nothing — reopening replays the WAL over the snapshot.
+pub struct PersistentWorkbook {
+    wb: Workbook<FormulaGraph>,
+    path: PathBuf,
+    wal: WalWriter,
+    opts: PersistOptions,
+    appended_since_sync: u64,
+}
+
+impl PersistentWorkbook {
+    /// Writes `wb` as a fresh snapshot at `path` (plus an empty sidecar
+    /// WAL) and takes ownership of it.
+    pub fn create(
+        path: &Path,
+        wb: Workbook<FormulaGraph>,
+        opts: PersistOptions,
+    ) -> Result<Self, StoreError> {
+        write_workbook_file(path, &wb.to_image())?;
+        let wal = WalWriter::create(&wal_path(path))?;
+        Ok(PersistentWorkbook { wb, path: path.to_path_buf(), wal, opts, appended_since_sync: 0 })
+    }
+
+    /// Opens snapshot + WAL at `path`, replaying the log's clean prefix
+    /// (a torn tail from a crash is truncated away, so the next append
+    /// extends a valid log).
+    pub fn open(path: &Path, opts: PersistOptions) -> Result<Self, StoreError> {
+        let mut wb = Workbook::from_image(StoreReader::open(path)?.read_all()?)?;
+        let (wal, replay) = WalWriter::open_append(&wal_path(path))?;
+        for rec in &replay.records {
+            wb.replay_edit(rec)?;
+        }
+        Ok(PersistentWorkbook { wb, path: path.to_path_buf(), wal, opts, appended_since_sync: 0 })
+    }
+
+    /// Read access to the live workbook.
+    pub fn workbook(&self) -> &Workbook<FormulaGraph> {
+        &self.wb
+    }
+
+    /// Applies and durably logs one edit; the autosave hook: may fsync
+    /// (per `sync_every_records`) and may compact (per
+    /// `compact_after_records`).
+    pub fn log_edit(&mut self, rec: &EditRecord) -> Result<(), StoreError> {
+        self.wb.apply_edit(rec)?;
+        self.append(rec)
+    }
+
+    /// Logs without re-applying (used when the edit already ran against
+    /// the workbook, e.g. the autofill expansion below).
+    fn append(&mut self, rec: &EditRecord) -> Result<(), StoreError> {
+        self.wal.append(rec)?;
+        self.appended_since_sync += 1;
+        if self.opts.sync_every_records > 0
+            && self.appended_since_sync >= self.opts.sync_every_records
+        {
+            self.sync()?;
+        }
+        if self.opts.compact_after_records > 0
+            && self.wal.record_count() >= self.opts.compact_after_records
+        {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Convenience: logged [`Workbook::set_value`].
+    pub fn set_value(
+        &mut self,
+        sheet: SheetId,
+        cell: taco_grid::Cell,
+        value: taco_formula::Value,
+    ) -> Result<(), StoreError> {
+        self.log_edit(&EditRecord::SetValue { sheet: sheet.index() as u32, cell, value })
+    }
+
+    /// Convenience: logged [`Workbook::set_formula`].
+    pub fn set_formula(
+        &mut self,
+        sheet: SheetId,
+        cell: taco_grid::Cell,
+        src: &str,
+    ) -> Result<(), StoreError> {
+        self.log_edit(&EditRecord::SetFormula {
+            sheet: sheet.index() as u32,
+            cell,
+            src: src.to_string(),
+        })
+    }
+
+    /// Convenience: logged [`Workbook::clear_range`].
+    pub fn clear_range(
+        &mut self,
+        sheet: SheetId,
+        range: taco_grid::Range,
+    ) -> Result<(), StoreError> {
+        self.log_edit(&EditRecord::ClearRange { sheet: sheet.index() as u32, range })
+    }
+
+    /// Convenience: logged [`Workbook::add_sheet`].
+    pub fn add_sheet(&mut self, name: &str) -> Result<SheetId, StoreError> {
+        self.log_edit(&EditRecord::AddSheet { name: name.to_string() })?;
+        Ok(SheetId(self.wb.sheet_count() - 1))
+    }
+
+    /// Logged [`Workbook::autofill`]: runs the fill, then logs each
+    /// generated formula as its own `SetFormula` record (replay is then
+    /// independent of the autofill algorithm's versioning).
+    pub fn autofill(
+        &mut self,
+        sheet: SheetId,
+        src: taco_grid::Cell,
+        targets: taco_grid::Range,
+    ) -> Result<(), StoreError> {
+        self.wb
+            .autofill(sheet, src, targets)
+            .map_err(|e| StoreError::InvalidRecord(e.to_string()))?;
+        for cell in targets.cells() {
+            if let Some(f) = self.wb.formula_of(sheet, cell) {
+                self.append(&EditRecord::SetFormula { sheet: sheet.index() as u32, cell, src: f })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Recalculates dirty cells (derived state — not logged; a reopened
+    /// workbook re-derives the same values from the replayed edits).
+    pub fn recalculate(&mut self, mode: crate::workbook::RecalcMode) -> usize {
+        self.wb.recalculate(mode)
+    }
+
+    /// An explicit fsync point for the WAL.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()?;
+        self.appended_since_sync = 0;
+        Ok(())
+    }
+
+    /// Folds the WAL into a fresh snapshot: writes the container, then
+    /// truncates the log. Crash-ordering note: the snapshot is fully
+    /// fsynced *before* the WAL resets, so a crash between the two steps
+    /// merely replays edits that are already in the snapshot — replay
+    /// goes through the same idempotent edit paths.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        write_workbook_file(&self.path, &self.wb.to_image())?;
+        self.wal.reset()?;
+        self.appended_since_sync = 0;
+        Ok(())
+    }
+
+    /// Records currently in the WAL (since the last compaction).
+    pub fn wal_record_count(&self) -> u64 {
+        self.wal.record_count()
+    }
+
+    /// The snapshot path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// ---- single-engine persistence (the REPL's `:save` / `:open`) ----------
+
+/// Saves a standalone engine as a one-sheet workbook container.
+pub fn save_engine(engine: &Engine<FormulaGraph>, path: &Path) -> Result<(), StoreError> {
+    let name = engine.sheet_name().unwrap_or("Sheet1").to_string();
+    let image = WorkbookImage { sheets: vec![sheet_image(engine, name)], cross: Vec::new() };
+    write_workbook_file(path, &image)
+}
+
+/// Opens a container saved by [`save_engine`] (or any single-sheet
+/// workbook) back into a standalone engine.
+pub fn open_engine(path: &Path) -> Result<Engine<FormulaGraph>, StoreError> {
+    let reader = StoreReader::open(path)?;
+    if reader.sheet_count() != 1 {
+        return Err(StoreError::InvalidRecord(format!(
+            "expected a single-sheet container, found {} sheets",
+            reader.sheet_count()
+        )));
+    }
+    let sheet = reader.read_sheet(0)?;
+    let mut engine = Engine::new(FormulaGraph::restore(sheet.graph));
+    // Restore the sheet name: self-qualified references (`Data!A1` inside
+    // `Data`) must keep resolving locally after reopen.
+    engine.set_sheet_name(sheet.name);
+    for (cell, rec) in sheet.cells {
+        let content = match rec {
+            CellRecord::Pure(v) => CellContent::Pure(v),
+            CellRecord::Formula { src, value } => CellContent::Formula {
+                formula: Formula::parse(&src)
+                    .map_err(|e| StoreError::InvalidRecord(e.to_string()))?,
+                value,
+            },
+        };
+        engine.put_cell(cell, content);
+    }
+    for cell in sheet.dirty {
+        engine.mark_cell_dirty(cell);
+    }
+    Ok(engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workbook::RecalcMode;
+    use taco_formula::Value;
+    use taco_grid::{Cell, Range};
+
+    fn c(s: &str) -> Cell {
+        Cell::parse_a1(s).unwrap()
+    }
+
+    fn n(v: f64) -> Value {
+        Value::Number(v)
+    }
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("taco_persist_{tag}_{}.taco", std::process::id()))
+    }
+
+    fn two_sheet_book() -> Workbook<FormulaGraph> {
+        let mut wb = Workbook::with_taco();
+        let data = wb.add_sheet("Data").unwrap();
+        let summary = wb.add_sheet("My Summary").unwrap();
+        for row in 1..=6u32 {
+            wb.set_value(data, Cell::new(1, row), n(f64::from(row)));
+        }
+        wb.set_formula(data, c("B1"), "=A1*2").unwrap();
+        wb.autofill(data, c("B1"), Range::parse_a1("B2:B6").unwrap()).unwrap();
+        wb.set_formula(summary, c("A1"), "=SUM(Data!B1:B6)").unwrap();
+        wb.set_formula(summary, c("B1"), "=A1+'My Summary'!A1").unwrap();
+        wb
+    }
+
+    #[test]
+    fn save_open_round_trips_values_and_queries() {
+        let mut wb = two_sheet_book();
+        wb.recalculate(RecalcMode::Serial);
+        let path = temp("roundtrip");
+        wb.save(&path).unwrap();
+        let mut back = Workbook::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let (data, summary) = (SheetId(0), SheetId(1));
+        assert_eq!(back.sheet_name(data), "Data");
+        assert_eq!(back.value(summary, c("A1")), n(42.0));
+        assert_eq!(back.cross_edge_count(), wb.cross_edge_count());
+        assert_eq!(back.sheet(data).graph().stats(), wb.sheet(data).graph().stats());
+        assert_eq!(
+            back.find_dependents(data, Range::parse_a1("A3").unwrap()),
+            wb.find_dependents(data, Range::parse_a1("A3").unwrap())
+        );
+        // Edits keep working and the restored graph keeps compressing.
+        let receipt = back.set_value(data, c("A3"), n(100.0));
+        assert_eq!(receipt.dirty, wb.set_value(data, c("A3"), n(100.0)).dirty);
+        back.recalculate(RecalcMode::Serial);
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(back.value(summary, c("B1")), wb.value(summary, c("B1")));
+    }
+
+    #[test]
+    fn dirty_set_survives_reopen() {
+        let mut wb = two_sheet_book();
+        wb.recalculate(RecalcMode::Serial);
+        wb.set_value(SheetId(0), c("A1"), n(50.0)); // leaves dirtiness behind
+        let path = temp("dirty");
+        wb.save(&path).unwrap();
+        let mut back = Workbook::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.dirty_count(), wb.dirty_count());
+        assert!(back.dirty_count() > 0);
+        back.recalculate(RecalcMode::Serial);
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(back.value(SheetId(1), c("A1")), wb.value(SheetId(1), c("A1")));
+    }
+
+    #[test]
+    fn wal_replay_matches_live_edits() {
+        let path = temp("wal");
+        let wb = two_sheet_book();
+        let mut live = two_sheet_book();
+        let mut pers = PersistentWorkbook::create(
+            &path,
+            wb,
+            PersistOptions { compact_after_records: 0, sync_every_records: 1 },
+        )
+        .unwrap();
+        let edits = [
+            EditRecord::SetValue { sheet: 0, cell: c("A2"), value: n(20.0) },
+            EditRecord::SetFormula { sheet: 1, cell: c("C1"), src: "SUM(Data!A1:A6)".into() },
+            EditRecord::AddSheet { name: "Late".into() },
+            EditRecord::SetValue { sheet: 2, cell: c("A1"), value: n(7.0) },
+            EditRecord::ClearRange { sheet: 0, range: Range::parse_a1("B5:B6").unwrap() },
+        ];
+        for e in &edits {
+            pers.log_edit(e).unwrap();
+            live.apply_edit(e).unwrap();
+        }
+        drop(pers); // no compaction: the snapshot on disk is stale
+        let mut reopened = Workbook::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(wal_path(&path)).ok();
+
+        assert_eq!(reopened.sheet_count(), live.sheet_count());
+        assert_eq!(reopened.dirty_count(), live.dirty_count());
+        reopened.recalculate(RecalcMode::Serial);
+        live.recalculate(RecalcMode::Serial);
+        for i in 0..live.sheet_count() {
+            let id = SheetId(i);
+            assert_eq!(
+                reopened.sheet(id).graph().stats(),
+                live.sheet(id).graph().stats(),
+                "sheet {i} graph stats"
+            );
+            for (cell, content) in live.sheet(id).cells_map() {
+                assert_eq!(reopened.value(id, *cell), *content.value(), "sheet {i} {cell}");
+            }
+        }
+        let probe = Range::parse_a1("A1:A6").unwrap();
+        assert_eq!(
+            reopened.find_dependents(SheetId(0), probe),
+            live.find_dependents(SheetId(0), probe)
+        );
+    }
+
+    #[test]
+    fn compaction_folds_wal_into_snapshot() {
+        let path = temp("compact");
+        let mut pers = PersistentWorkbook::create(
+            &path,
+            two_sheet_book(),
+            PersistOptions { compact_after_records: 3, sync_every_records: 1 },
+        )
+        .unwrap();
+        for i in 0..10u32 {
+            pers.set_value(SheetId(0), Cell::new(4, i + 1), n(f64::from(i))).unwrap();
+        }
+        // 10 edits with threshold 3: the WAL folded at least twice and
+        // never grew past the threshold.
+        assert!(pers.wal_record_count() < 3);
+        drop(pers);
+        let back = Workbook::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(wal_path(&path)).ok();
+        assert_eq!(back.value(SheetId(0), Cell::new(4, 10)), n(9.0));
+    }
+
+    #[test]
+    fn reopen_after_simulated_crash_drops_only_the_torn_edit() {
+        let path = temp("crash");
+        let mut pers = PersistentWorkbook::create(
+            &path,
+            two_sheet_book(),
+            PersistOptions { compact_after_records: 0, sync_every_records: 1 },
+        )
+        .unwrap();
+        for i in 0..5u32 {
+            pers.set_value(SheetId(0), Cell::new(5, i + 1), n(f64::from(i) * 10.0)).unwrap();
+        }
+        drop(pers);
+        // Crash simulation: chop the WAL mid-record.
+        let wal = wal_path(&path);
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+        let back = Workbook::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&wal).ok();
+        assert_eq!(back.value(SheetId(0), Cell::new(5, 4)), n(30.0));
+        // The torn final edit never committed.
+        assert_eq!(back.value(SheetId(0), Cell::new(5, 5)), Value::Empty);
+    }
+
+    #[test]
+    fn engine_save_open_round_trips() {
+        let mut e = Engine::with_taco();
+        e.set_value(c("A1"), n(3.0));
+        e.set_formula(c("B1"), "=A1*A1").unwrap();
+        e.recalculate();
+        let path = temp("engine");
+        save_engine(&e, &path).unwrap();
+        let mut back = open_engine(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.value(c("B1")), n(9.0));
+        assert_eq!(back.graph().num_edges(), e.graph().num_edges());
+        back.set_value(c("A1"), n(4.0));
+        back.recalculate();
+        assert_eq!(back.value(c("B1")), n(16.0));
+    }
+
+    #[test]
+    fn engine_reopen_keeps_self_qualified_references_local() {
+        // A workbook-mounted sheet saved alone and reopened must keep its
+        // name: `Data!A1` inside `Data` reads locally, not `#REF!`.
+        let mut wb = Workbook::with_taco();
+        let data = wb.add_sheet("Data").unwrap();
+        wb.set_value(data, c("A1"), n(5.0));
+        wb.set_formula(data, c("B1"), "=Data!A1*2").unwrap();
+        wb.recalculate(RecalcMode::Serial);
+        let path = temp("selfqual");
+        save_engine(wb.sheet(data), &path).unwrap();
+        let mut back = open_engine(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.sheet_name(), Some("Data"));
+        back.set_value(c("A1"), n(7.0));
+        back.recalculate();
+        assert_eq!(back.value(c("B1")), n(14.0), "self-qualified ref must stay local");
+    }
+
+    #[test]
+    fn forward_referenced_sheet_restores_without_duplicate_edges() {
+        // A!B1 references "Late" before Late exists; adding Late rebinds
+        // (one cross edge, one dirty cell). The restore path must come
+        // back with exactly the same counts — not re-run the rebind on
+        // top of the restored cross table — and re-saving must be a
+        // byte-level fixed point.
+        let mut wb = Workbook::with_taco();
+        let a = wb.add_sheet("A").unwrap();
+        wb.set_value(a, c("C1"), n(2.0));
+        wb.set_formula(a, c("B1"), "=Late!A1+C1").unwrap();
+        wb.recalculate(RecalcMode::Serial);
+        let late = wb.add_sheet("Late").unwrap();
+        wb.set_value(late, c("A1"), n(5.0));
+        assert_eq!(wb.cross_edge_count(), 1);
+
+        let bytes = taco_store::encode_workbook(&wb.to_image()).unwrap();
+        let mut back = Workbook::from_image(
+            taco_store::StoreReader::from_bytes(bytes.clone()).unwrap().read_all().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back.cross_edge_count(), 1, "rebind must not duplicate the cross edge");
+        assert_eq!(back.dirty_count(), wb.dirty_count(), "rebind must not re-dirty cells");
+        assert_eq!(
+            taco_store::encode_workbook(&back.to_image()).unwrap(),
+            bytes,
+            "save → open → save must be a fixed point"
+        );
+        back.recalculate(RecalcMode::Serial);
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(back.value(a, c("B1")), wb.value(a, c("B1")));
+    }
+
+    #[test]
+    fn stale_wal_replays_idempotently_over_a_fresh_snapshot() {
+        // Crash window in save/compact: the snapshot already contains the
+        // WAL's edits, but the log was not yet truncated. Reopen must
+        // tolerate replaying them — including AddSheet, which the normal
+        // edit path rejects on a second application.
+        let path = temp("stalewal");
+        let mut pers = PersistentWorkbook::create(
+            &path,
+            two_sheet_book(),
+            PersistOptions { compact_after_records: 0, sync_every_records: 1 },
+        )
+        .unwrap();
+        pers.log_edit(&EditRecord::AddSheet { name: "Late".into() }).unwrap();
+        pers.log_edit(&EditRecord::SetValue { sheet: 2, cell: c("A1"), value: n(7.0) }).unwrap();
+        // Simulate the crash: snapshot rewritten, WAL left untruncated.
+        taco_store::write_workbook_file(&path, &pers.workbook().to_image()).unwrap();
+        let expected_sheets = pers.workbook().sheet_count();
+        drop(pers);
+        let wb = Workbook::open(&path).expect("stale WAL must replay idempotently");
+        assert_eq!(wb.sheet_count(), expected_sheets);
+        assert_eq!(wb.value(SheetId(2), c("A1")), n(7.0));
+        let pers = PersistentWorkbook::open(&path, PersistOptions::default())
+            .expect("persistent open tolerates the stale WAL too");
+        assert_eq!(pers.workbook().sheet_count(), expected_sheets);
+        drop(pers);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(wal_path(&path)).ok();
+    }
+
+    #[test]
+    fn save_replaces_an_existing_snapshot_atomically() {
+        let path = temp("atomic");
+        let wb = two_sheet_book();
+        wb.save(&path).unwrap();
+        let first = std::fs::read(&path).unwrap();
+        let mut wb2 = two_sheet_book();
+        wb2.set_value(SheetId(0), c("A1"), n(99.0));
+        wb2.save(&path).unwrap();
+        let second = std::fs::read(&path).unwrap();
+        assert_ne!(first, second, "snapshot must be replaced");
+        // The temp sibling never lingers.
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists(), "tmp file must be renamed away");
+        let back = Workbook::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.value(SheetId(0), c("A1")), n(99.0));
+    }
+
+    #[test]
+    fn replay_against_wrong_sheet_is_typed() {
+        let mut wb = Workbook::with_taco();
+        wb.add_sheet("Only").unwrap();
+        let bad = EditRecord::SetValue { sheet: 9, cell: c("A1"), value: n(1.0) };
+        assert!(matches!(wb.apply_edit(&bad), Err(StoreError::InvalidRecord(_))));
+        let bad = EditRecord::SetFormula { sheet: 0, cell: c("A1"), src: "=)!(".into() };
+        assert!(matches!(wb.apply_edit(&bad), Err(StoreError::InvalidRecord(_))));
+    }
+}

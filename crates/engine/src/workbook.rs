@@ -358,6 +358,21 @@ impl<B: DependencyBackend> Workbook<B> {
     /// registered and the cells re-marked dirty, so the next
     /// recalculation sees the new sheet's values.
     pub fn add_sheet_with(&mut self, name: &str, backend: B) -> Result<SheetId, WorkbookError> {
+        let id = self.add_sheet_unbound(name, backend)?;
+        self.rebind_dangling_refs(id.0);
+        Ok(id)
+    }
+
+    /// [`Self::add_sheet_with`] minus the dangling-reference rebind: the
+    /// persistence restore path adds sheets whose cross edges and dirty
+    /// sets are restored verbatim from the image — re-running the rebind
+    /// would duplicate cross edges and spuriously re-dirty formulae that
+    /// forward-referenced a later sheet.
+    pub(crate) fn add_sheet_unbound(
+        &mut self,
+        name: &str,
+        backend: B,
+    ) -> Result<SheetId, WorkbookError> {
         let sref = SheetRef::new(name).map_err(WorkbookError::BadSheetName)?;
         if self.index.contains_key(&sref.key()) {
             return Err(WorkbookError::DuplicateSheet(name.to_string()));
@@ -368,7 +383,6 @@ impl<B: DependencyBackend> Workbook<B> {
         self.index.insert(sref.key(), id);
         self.sheets.push(SheetShard { name: sref, engine });
         self.xedges.add_sheet();
-        self.rebind_dangling_refs(id);
         Ok(SheetId(id))
     }
 
@@ -381,8 +395,14 @@ impl<B: DependencyBackend> Workbook<B> {
         for (sid, shard) in self.sheets.iter().enumerate() {
             for (&cell, content) in shard.engine.cells_map() {
                 let Some(formula) = content.formula() else { continue };
+                // One edge per distinct range the formula reads — the
+                // same dedup `apply_formula` applies on the live path.
+                let mut added: Vec<Range> = Vec::new();
                 for q in &formula.refs {
-                    if q.sheet.as_ref().is_some_and(|s| s.matches(name.name())) {
+                    if q.sheet.as_ref().is_some_and(|s| s.matches(name.name()))
+                        && !added.contains(&q.range())
+                    {
+                        added.push(q.range());
                         edges.push(CrossEdge {
                             src: SheetId(new_id),
                             prec: q.range(),
@@ -436,6 +456,20 @@ impl<B: DependencyBackend> Workbook<B> {
     pub fn sheet(&self, id: SheetId) -> &Engine<B> {
         self.ensure_sheet(id);
         &self.sheets[id.0].engine
+    }
+
+    /// Mutable shard access for the persistence layer (restores cells and
+    /// dirty marks directly, bypassing edit routing).
+    pub(crate) fn engine_mut(&mut self, i: usize) -> &mut Engine<B> {
+        &mut self.sheets[i].engine
+    }
+
+    /// Inserts a cross edge without routing (persistence restore: the
+    /// edge's dirtiness is already captured by the restored dirty sets).
+    /// Endpoints must name existing sheets.
+    pub(crate) fn insert_cross_edge_raw(&mut self, e: CrossEdge) {
+        debug_assert!(e.src.0 < self.sheets.len() && e.dst.0 < self.sheets.len());
+        self.xedges.insert(e);
     }
 
     /// Number of inter-sheet edges currently routed.
@@ -768,7 +802,7 @@ impl<B: DependencyBackend> Workbook<B> {
                             }
                         }
                     }
-                    (t, SheetImports { index, values })
+                    (t, SheetImports::new(index, values))
                 })
                 .collect();
             // Disjoint mutable borrows of exactly the level's shards, in
@@ -816,13 +850,35 @@ impl<B: DependencyBackend> Workbook<B> {
 struct SheetImports<'a> {
     index: &'a HashMap<String, usize>,
     values: HashMap<(usize, Cell), Value>,
+    /// Qualifier → sheet id, memoized: a formula reading a whole foreign
+    /// range resolves its qualifier once, not once per cell (the name
+    /// lookup requires an owned lowercased key, which would otherwise
+    /// allocate on every read of the recalc hot path). Single-threaded
+    /// interior mutability is fine: each import snapshot is owned by
+    /// exactly one worker.
+    resolved: std::cell::RefCell<HashMap<String, Option<usize>>>,
+}
+
+impl<'a> SheetImports<'a> {
+    fn new(index: &'a HashMap<String, usize>, values: HashMap<(usize, Cell), Value>) -> Self {
+        SheetImports { index, values, resolved: std::cell::RefCell::new(HashMap::new()) }
+    }
 }
 
 impl ExternalSheets for SheetImports<'_> {
     fn value(&self, sheet: &str, cell: Cell) -> Value {
-        match self.index.get(&sheet.to_ascii_lowercase()) {
+        let mut resolved = self.resolved.borrow_mut();
+        let sid = match resolved.get(sheet) {
+            Some(&sid) => sid,
+            None => {
+                let sid = self.index.get(&sheet.to_ascii_lowercase()).copied();
+                resolved.insert(sheet.to_string(), sid);
+                sid
+            }
+        };
+        match sid {
             None => Value::Error(CellError::Ref),
-            Some(&sid) => self.values.get(&(sid, cell)).cloned().unwrap_or(Value::Empty),
+            Some(sid) => self.values.get(&(sid, cell)).cloned().unwrap_or(Value::Empty),
         }
     }
 }
@@ -1112,6 +1168,23 @@ mod tests {
         wb.set_value(late, c("A1"), n(8.0));
         wb.recalculate(RecalcMode::Serial);
         assert_eq!(wb.value(a, c("B1")), n(10.0));
+    }
+
+    #[test]
+    fn rebinding_dedups_repeated_references() {
+        // The rebind path must apply the same one-edge-per-distinct-range
+        // dedup as the live apply_formula path.
+        let mut wb = Workbook::with_taco();
+        let a = wb.add_sheet("A").unwrap();
+        wb.set_formula(a, c("B1"), "=Late!A1+Late!A1*2").unwrap();
+        wb.set_formula(a, c("B2"), "=Late!A1+Late!A2:A3").unwrap();
+        assert_eq!(wb.cross_edge_count(), 0);
+        let late = wb.add_sheet("Late").unwrap();
+        // B1: one distinct range; B2: two distinct ranges.
+        assert_eq!(wb.cross_edge_count(), 3);
+        wb.set_value(late, c("A1"), n(4.0));
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(a, c("B1")), n(12.0));
     }
 
     #[test]

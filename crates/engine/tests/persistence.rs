@@ -1,0 +1,189 @@
+//! Round-trip and crash-replay properties for workbook persistence.
+//!
+//! - workbook → bytes → workbook preserves every observable: cell
+//!   values, graph stats counters, dependents/precedents query answers,
+//!   and the receipts of a follow-up recalculation — across both
+//!   persistence-workload presets and recalc thread counts {1, 8};
+//! - a workbook reopened from snapshot + WAL equals the workbook that
+//!   applied the same edits live, including when the WAL is cut at an
+//!   arbitrary byte offset (crash simulation): the reopened state equals
+//!   the live application of exactly the clean-prefix edits.
+
+use proptest::prelude::*;
+use taco_engine::{PersistOptions, PersistentWorkbook, RecalcMode, SheetId, Workbook};
+use taco_grid::Range;
+use taco_store::{encode_workbook, ReplayMode, StoreReader, WalReader};
+use taco_workload::persistence::{
+    gen_persist_workload, persist_enron_like, persist_github_like, PersistParams,
+};
+
+/// Scaled-down presets so debug-mode property runs stay fast.
+fn presets() -> Vec<PersistParams> {
+    vec![
+        PersistParams { sheets: 3, rows: 28, burst_edits: 70, ..persist_enron_like() },
+        PersistParams { sheets: 2, rows: 40, burst_edits: 70, ..persist_github_like() },
+    ]
+}
+
+fn build(params: &PersistParams) -> Workbook {
+    let w = gen_persist_workload(params);
+    let mut wb = Workbook::with_taco();
+    for rec in &w.build {
+        wb.apply_edit(rec).expect("build script applies");
+    }
+    wb
+}
+
+/// Asserts every observable of `b` matches `a`.
+fn assert_equivalent(a: &mut Workbook, b: &mut Workbook, ctx: &str) {
+    assert_eq!(a.sheet_count(), b.sheet_count(), "{ctx}: sheet count");
+    assert_eq!(a.cross_edge_count(), b.cross_edge_count(), "{ctx}: cross edges");
+    assert_eq!(a.dirty_count(), b.dirty_count(), "{ctx}: dirty count");
+    for i in 0..a.sheet_count() {
+        let id = SheetId(i);
+        assert_eq!(a.sheet_name(id), b.sheet_name(id), "{ctx}: sheet {i} name");
+        assert_eq!(
+            a.sheet(id).graph().stats(),
+            b.sheet(id).graph().stats(),
+            "{ctx}: sheet {i} graph stats"
+        );
+        assert_eq!(
+            a.sheet(id).graph().dependencies_inserted(),
+            b.sheet(id).graph().dependencies_inserted(),
+            "{ctx}: sheet {i} lifetime counter"
+        );
+        assert_eq!(a.sheet(id).len(), b.sheet(id).len(), "{ctx}: sheet {i} cell count");
+        for (cell, content) in a.sheet(id).cells() {
+            assert_eq!(b.value(id, cell), *content.value(), "{ctx}: sheet {i} {cell}");
+        }
+    }
+    // Query answers agree on a probe grid. Distinct (but equal) graphs
+    // may decompose an answer into different disjoint-range lists, so
+    // normalize to cell sets, as the differential-backend harness does.
+    for i in 0..a.sheet_count() {
+        let id = SheetId(i);
+        for probe in ["A1", "A3:A9", "B2", "D5", "A1:F40"] {
+            let probe = Range::parse_a1(probe).unwrap();
+            assert_eq!(
+                cells(&a.find_dependents(id, probe)),
+                cells(&b.find_dependents(id, probe)),
+                "{ctx}: dependents({i}, {probe})"
+            );
+            assert_eq!(
+                cells(&a.find_precedents(id, probe)),
+                cells(&b.find_precedents(id, probe)),
+                "{ctx}: precedents({i}, {probe})"
+            );
+        }
+    }
+}
+
+/// Normalizes a per-sheet range list to its covered cell set.
+fn cells(v: &[(SheetId, Range)]) -> std::collections::BTreeSet<(SheetId, taco_grid::Cell)> {
+    v.iter().flat_map(|(s, r)| r.cells().map(move |c| (*s, c))).collect()
+}
+
+#[test]
+fn round_trip_preserves_observables_across_presets_and_threads() {
+    for params in presets() {
+        for threads in [1usize, 8] {
+            let mode = RecalcMode::Parallel { threads };
+            let mut live = build(&params);
+            live.recalculate(mode);
+
+            let bytes = encode_workbook(&live.to_image()).expect("encode");
+            let reader = StoreReader::from_bytes(bytes).expect("validate");
+            let mut back =
+                Workbook::from_image(reader.read_all().expect("decode")).expect("restore");
+            let ctx = format!("{} t{threads}", params.name);
+            assert_equivalent(&mut live, &mut back, &ctx);
+
+            // Receipts of a follow-up edit + recalc are identical: the
+            // restored graph routes dirtiness exactly like the original.
+            let cell = taco_grid::Cell::new(1, 3);
+            let ra = live.set_value(SheetId(0), cell, taco_formula::Value::Number(123.0));
+            let rb = back.set_value(SheetId(0), cell, taco_formula::Value::Number(123.0));
+            assert_eq!(cells(&ra.dirty), cells(&rb.dirty), "{ctx}: edit receipts");
+            let ca = live.recalculate(mode);
+            let cb = back.recalculate(mode);
+            assert_eq!(ca, cb, "{ctx}: recalc receipts (cells evaluated)");
+            assert_equivalent(&mut live, &mut back, &format!("{ctx} after recalc"));
+        }
+    }
+}
+
+#[test]
+fn double_round_trip_is_byte_identical() {
+    // save → open → save must reproduce the same bytes: the image is a
+    // fixed point of the canonical encoding (sorted edges, sorted cells,
+    // sorted cross table).
+    for params in presets() {
+        let mut wb = build(&params);
+        wb.recalculate(RecalcMode::Serial);
+        let bytes1 = encode_workbook(&wb.to_image()).expect("encode");
+        let back = Workbook::from_image(
+            StoreReader::from_bytes(bytes1.clone()).expect("validate").read_all().expect("decode"),
+        )
+        .expect("restore");
+        let bytes2 = encode_workbook(&back.to_image()).expect("re-encode");
+        assert_eq!(bytes1, bytes2, "{}: reopen must be a fixed point", params.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn crash_at_arbitrary_wal_offset_replays_the_clean_prefix(seed in 0u64..u64::MAX) {
+        let params = PersistParams { sheets: 2, rows: 16, burst_edits: 40, ..persist_enron_like() };
+        let w = gen_persist_workload(&params);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("taco_crash_{seed:x}_{}.taco", std::process::id()));
+        let wal = taco_engine::wal_path(&path);
+
+        // Build, snapshot, then log the burst without compaction.
+        let mut wb = Workbook::with_taco();
+        for rec in &w.build {
+            wb.apply_edit(rec).expect("build");
+        }
+        wb.recalculate(RecalcMode::Serial);
+        let mut pers = PersistentWorkbook::create(
+            &path,
+            wb,
+            PersistOptions { compact_after_records: 0, sync_every_records: 0 },
+        ).expect("create");
+        for rec in &w.burst {
+            pers.log_edit(rec).expect("burst");
+        }
+        pers.sync().expect("fsync");
+        drop(pers);
+        let wal_bytes = std::fs::read(&wal).expect("wal bytes");
+
+        // Crash: cut the WAL at an arbitrary byte offset.
+        let cut = (seed % (wal_bytes.len() as u64 + 1)) as usize;
+        std::fs::write(&wal, &wal_bytes[..cut]).expect("simulate crash");
+        let survived =
+            WalReader::parse(&wal_bytes[..cut], ReplayMode::TolerateTear).expect("parse").records;
+        let mut reopened = Workbook::open(&path).expect("reopen after crash");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&wal).ok();
+
+        // The live truth: build + recalc (pre-snapshot state) + exactly
+        // the surviving burst prefix.
+        let mut live = Workbook::with_taco();
+        for rec in &w.build {
+            live.apply_edit(rec).expect("build");
+        }
+        live.recalculate(RecalcMode::Serial);
+        prop_assert_eq!(&survived[..], &w.burst[..survived.len()]);
+        for rec in &survived {
+            live.apply_edit(rec).expect("prefix");
+        }
+
+        assert_equivalent(&mut live, &mut reopened, &format!("cut={cut}"));
+        let (el, er) =
+            (live.recalculate(RecalcMode::Serial), reopened.recalculate(RecalcMode::Serial));
+        prop_assert_eq!(el, er);
+        assert_equivalent(&mut live, &mut reopened, &format!("cut={cut} after recalc"));
+    }
+}

@@ -1,0 +1,511 @@
+//! The write-ahead log: an append-only file of edit records.
+//!
+//! ```text
+//! wal     := magic "TWAL" · version u16 LE · record*
+//! record  := payload_len uvarint · crc32(payload) u32 LE · payload
+//! payload := op u8 · fields
+//! ```
+//!
+//! Each record carries its own CRC-32, so the two failure modes are
+//! distinguishable:
+//!
+//! - a **tear** — the file ends before a record is complete (the classic
+//!   crash-mid-append shape). [`ReplayMode::TolerateTear`] drops the torn
+//!   tail and reports where it began; [`ReplayMode::Strict`] returns
+//!   [`StoreError::WalTorn`];
+//! - **corruption** — a complete record whose checksum fails (bit rot,
+//!   overwritten bytes). Always [`StoreError::WalCorrupt`]: records after
+//!   it cannot be trusted even if they parse.
+//!
+//! [`WalWriter`] appends records and exposes explicit fsync points
+//! ([`WalWriter::sync`]); the engine's autosave policy decides how often
+//! to call it and when to fold the log back into a fresh snapshot
+//! ([`WalWriter::reset`] truncates to an empty log after compaction).
+
+use crate::codec::{crc32, read_string, read_uvarint, write_string, write_uvarint};
+use crate::container::MAX_STRING;
+use crate::image::{read_cell, read_range, read_value, write_cell, write_range, write_value};
+use crate::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use taco_formula::Value;
+use taco_grid::{Cell, Range};
+
+/// Leading WAL magic.
+pub const WAL_MAGIC: [u8; 4] = *b"TWAL";
+/// Current WAL format version.
+pub const WAL_VERSION: u16 = 1;
+const WAL_HEADER_LEN: u64 = 6;
+
+/// One logged edit. Sheet indices are dense [`sheet ids`](usize) in the
+/// workbook the log belongs to; `AddSheet` allocates the next index, so a
+/// log replays against the snapshot it was opened with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditRecord {
+    /// `sheets[sheet]!cell = value`.
+    SetValue {
+        /// Dense sheet index.
+        sheet: u32,
+        /// The edited cell.
+        cell: Cell,
+        /// The new pure value.
+        value: Value,
+    },
+    /// `sheets[sheet]!cell = =src`.
+    SetFormula {
+        /// Dense sheet index.
+        sheet: u32,
+        /// The formula cell.
+        cell: Cell,
+        /// Formula source text (leading `=` optional).
+        src: String,
+    },
+    /// Clears every cell of `sheets[sheet]!range`.
+    ClearRange {
+        /// Dense sheet index.
+        sheet: u32,
+        /// The cleared range.
+        range: Range,
+    },
+    /// Appends a new sheet named `name`.
+    AddSheet {
+        /// The sheet name.
+        name: String,
+    },
+}
+
+const OP_SET_VALUE: u8 = 0;
+const OP_SET_FORMULA: u8 = 1;
+const OP_CLEAR_RANGE: u8 = 2;
+const OP_ADD_SHEET: u8 = 3;
+
+impl EditRecord {
+    /// Encodes the record payload (op byte + fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let infallible: Result<(), StoreError> = (|| {
+            match self {
+                EditRecord::SetValue { sheet, cell, value } => {
+                    out.push(OP_SET_VALUE);
+                    write_uvarint(&mut out, u64::from(*sheet))?;
+                    write_cell(&mut out, *cell)?;
+                    write_value(&mut out, value)?;
+                }
+                EditRecord::SetFormula { sheet, cell, src } => {
+                    out.push(OP_SET_FORMULA);
+                    write_uvarint(&mut out, u64::from(*sheet))?;
+                    write_cell(&mut out, *cell)?;
+                    write_string(&mut out, src)?;
+                }
+                EditRecord::ClearRange { sheet, range } => {
+                    out.push(OP_CLEAR_RANGE);
+                    write_uvarint(&mut out, u64::from(*sheet))?;
+                    write_range(&mut out, *range)?;
+                }
+                EditRecord::AddSheet { name } => {
+                    out.push(OP_ADD_SHEET);
+                    write_string(&mut out, name)?;
+                }
+            }
+            Ok(())
+        })();
+        debug_assert!(infallible.is_ok(), "Vec sinks cannot fail");
+        out
+    }
+
+    /// Decodes a record payload.
+    pub fn decode(mut bytes: &[u8]) -> Result<Self, StoreError> {
+        let r = &mut bytes;
+        let mut op = [0u8; 1];
+        std::io::Read::read_exact(r, &mut op)?;
+        let rec = match op[0] {
+            OP_SET_VALUE => {
+                let sheet = read_sheet_index(r)?;
+                let cell = read_cell(r)?;
+                EditRecord::SetValue { sheet, cell, value: read_value(r)? }
+            }
+            OP_SET_FORMULA => {
+                let sheet = read_sheet_index(r)?;
+                let cell = read_cell(r)?;
+                EditRecord::SetFormula { sheet, cell, src: read_string(r, MAX_STRING)? }
+            }
+            OP_CLEAR_RANGE => {
+                let sheet = read_sheet_index(r)?;
+                EditRecord::ClearRange { sheet, range: read_range(r)? }
+            }
+            OP_ADD_SHEET => EditRecord::AddSheet { name: read_string(r, MAX_STRING)? },
+            _ => return Err(StoreError::Malformed("unknown WAL op")),
+        };
+        if !r.is_empty() {
+            return Err(StoreError::Malformed("trailing bytes in WAL record"));
+        }
+        Ok(rec)
+    }
+}
+
+fn read_sheet_index(r: &mut &[u8]) -> Result<u32, StoreError> {
+    let v = read_uvarint(r)?;
+    u32::try_from(v).map_err(|_| StoreError::Malformed("sheet index out of range"))
+}
+
+// ---- writing ------------------------------------------------------------
+
+/// Appends edit records to a WAL file with explicit fsync points.
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    records: u64,
+}
+
+impl WalWriter {
+    /// Creates (or truncates to) an empty log and fsyncs the header.
+    pub fn create(path: &Path) -> Result<Self, StoreError> {
+        let mut file = OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
+        file.write_all(&WAL_MAGIC)?;
+        file.write_all(&WAL_VERSION.to_le_bytes())?;
+        file.sync_all()?;
+        Ok(WalWriter { file, path: path.to_path_buf(), bytes: WAL_HEADER_LEN, records: 0 })
+    }
+
+    /// Opens an existing log for appending (creates it when missing). The
+    /// existing content is validated by replaying it; `records`/`bytes`
+    /// resume from the replay's clean prefix, and a torn tail is truncated
+    /// away so new appends extend the valid prefix.
+    pub fn open_append(path: &Path) -> Result<(Self, WalReplay), StoreError> {
+        if !path.exists() {
+            return Ok((Self::create(path)?, WalReplay::default()));
+        }
+        let replay = WalReader::load(path, ReplayMode::TolerateTear)?;
+        if replay.clean_len < WAL_HEADER_LEN {
+            // A crash truncated the file inside the header: recreate it so
+            // appended records land behind a valid magic, not at offset 0.
+            return Ok((Self::create(path)?, replay));
+        }
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(replay.clean_len)?;
+        let mut w = WalWriter {
+            file,
+            path: path.to_path_buf(),
+            bytes: replay.clean_len,
+            records: replay.records.len() as u64,
+        };
+        use std::io::Seek;
+        w.file.seek(std::io::SeekFrom::End(0))?;
+        Ok((w, replay))
+    }
+
+    /// Appends one record (buffered by the OS until the next [`sync`]
+    /// point; a single `write_all` keeps torn appends prefix-clean).
+    ///
+    /// [`sync`]: WalWriter::sync
+    pub fn append(&mut self, rec: &EditRecord) -> Result<(), StoreError> {
+        let payload = rec.encode();
+        let mut frame = Vec::with_capacity(payload.len() + 9);
+        write_uvarint(&mut frame, payload.len() as u64)?;
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.bytes += frame.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// An fsync point: durably flushes everything appended so far.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Truncates the log back to an empty header — the fold point after
+    /// compaction has written a fresh snapshot.
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(WAL_HEADER_LEN)?;
+        use std::io::Seek;
+        self.file.seek(std::io::SeekFrom::End(0))?;
+        self.file.sync_all()?;
+        self.bytes = WAL_HEADER_LEN;
+        self.records = 0;
+        Ok(())
+    }
+
+    /// Records appended since the last reset (or open).
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Current log size in bytes (header included).
+    pub fn byte_len(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// ---- reading ------------------------------------------------------------
+
+/// How a replay treats a file that ends mid-record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Drop the torn tail (crash recovery: the edit never fully committed)
+    /// and report it in [`WalReplay::torn`].
+    TolerateTear,
+    /// Fail with [`StoreError::WalTorn`] (integrity checking).
+    Strict,
+}
+
+/// The result of replaying a WAL.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WalReplay {
+    /// The clean-prefix records, in append order.
+    pub records: Vec<EditRecord>,
+    /// Where a torn tail began, if any: `(record index, byte offset)`.
+    pub torn: Option<(u64, u64)>,
+    /// Length in bytes of the clean prefix (header + whole records).
+    pub clean_len: u64,
+}
+
+/// Decodes WAL files / byte buffers.
+pub struct WalReader;
+
+impl WalReader {
+    /// Reads and replays a WAL file.
+    pub fn load(path: &Path, mode: ReplayMode) -> Result<WalReplay, StoreError> {
+        Self::parse(&std::fs::read(path)?, mode)
+    }
+
+    /// Replays WAL bytes.
+    pub fn parse(bytes: &[u8], mode: ReplayMode) -> Result<WalReplay, StoreError> {
+        if bytes.is_empty() {
+            // A crash can leave a zero-length file before the header ever
+            // hits the disk: an empty log.
+            return match mode {
+                ReplayMode::TolerateTear => {
+                    Ok(WalReplay { records: Vec::new(), torn: Some((0, 0)), clean_len: 0 })
+                }
+                ReplayMode::Strict => Err(StoreError::Truncated { what: "WAL header" }),
+            };
+        }
+        if bytes.len() < WAL_HEADER_LEN as usize {
+            return match mode {
+                ReplayMode::TolerateTear
+                    if bytes[..bytes.len().min(4)] == WAL_MAGIC[..bytes.len().min(4)] =>
+                {
+                    Ok(WalReplay { records: Vec::new(), torn: Some((0, 0)), clean_len: 0 })
+                }
+                ReplayMode::TolerateTear => Err(StoreError::BadMagic),
+                ReplayMode::Strict => Err(StoreError::Truncated { what: "WAL header" }),
+            };
+        }
+        if bytes[0..4] != WAL_MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version > WAL_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+
+        let mut records = Vec::new();
+        let mut pos = WAL_HEADER_LEN as usize;
+        loop {
+            if pos == bytes.len() {
+                return Ok(WalReplay { records, torn: None, clean_len: pos as u64 });
+            }
+            let record_index = records.len() as u64;
+            let tear = |records: Vec<EditRecord>| match mode {
+                ReplayMode::TolerateTear => Ok(WalReplay {
+                    records,
+                    torn: Some((record_index, pos as u64)),
+                    clean_len: pos as u64,
+                }),
+                ReplayMode::Strict => {
+                    Err(StoreError::WalTorn { record: record_index, offset: pos as u64 })
+                }
+            };
+            // Record length varint.
+            let mut r = &bytes[pos..];
+            let len = match read_uvarint(&mut r) {
+                Ok(len) => len,
+                Err(_) => return tear(records),
+            };
+            let after_len = bytes.len() - r.len();
+            // CRC + payload.
+            let Some(end) = (after_len as u64).checked_add(4 + len) else {
+                return tear(records);
+            };
+            if end > bytes.len() as u64 {
+                return tear(records);
+            }
+            let crc =
+                u32::from_le_bytes(bytes[after_len..after_len + 4].try_into().expect("4 bytes"));
+            let payload = &bytes[after_len + 4..end as usize];
+            if crc32(payload) != crc {
+                // A complete record failing its checksum is corruption in
+                // the middle of the log, never a tear.
+                return Err(StoreError::WalCorrupt { record: record_index });
+            }
+            records.push(EditRecord::decode(payload)?);
+            pos = end as usize;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<EditRecord> {
+        vec![
+            EditRecord::AddSheet { name: "Data".into() },
+            EditRecord::SetValue { sheet: 0, cell: Cell::new(1, 1), value: Value::Number(4.5) },
+            EditRecord::SetFormula { sheet: 0, cell: Cell::new(2, 1), src: "A1*2".into() },
+            EditRecord::ClearRange { sheet: 0, range: Range::parse_a1("A1:B9").unwrap() },
+            EditRecord::SetValue {
+                sheet: 0,
+                cell: Cell::new(9, 9),
+                value: Value::Text("x".into()),
+            },
+        ]
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("taco_wal_{tag}_{}.twal", std::process::id()))
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = temp_path("roundtrip");
+        let recs = sample_records();
+        {
+            let mut w = WalWriter::create(&path).unwrap();
+            for r in &recs {
+                w.append(r).unwrap();
+            }
+            w.sync().unwrap();
+            assert_eq!(w.record_count(), recs.len() as u64);
+        }
+        let replay = WalReader::load(&path, ReplayMode::Strict).unwrap();
+        assert_eq!(replay.records, recs);
+        assert_eq!(replay.torn, None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_or_strict_errors() {
+        let recs = sample_records();
+        let mut w = WalWriter::create(&temp_path("torn")).unwrap();
+        for r in &recs {
+            w.append(r).unwrap();
+        }
+        let bytes = std::fs::read(w.path()).unwrap();
+        std::fs::remove_file(w.path()).ok();
+        // Cut in the middle of the final record.
+        let cut = bytes.len() - 3;
+        let torn = &bytes[..cut];
+        let replay = WalReader::parse(torn, ReplayMode::TolerateTear).unwrap();
+        assert_eq!(replay.records, recs[..recs.len() - 1]);
+        assert!(replay.torn.is_some());
+        assert!(matches!(
+            WalReader::parse(torn, ReplayMode::Strict),
+            Err(StoreError::WalTorn { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_middle_record_is_always_an_error() {
+        let recs = sample_records();
+        let mut w = WalWriter::create(&temp_path("corrupt")).unwrap();
+        for r in &recs {
+            w.append(r).unwrap();
+        }
+        let mut bytes = std::fs::read(w.path()).unwrap();
+        std::fs::remove_file(w.path()).ok();
+        // Flip a payload byte in the middle of the log.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        for mode in [ReplayMode::TolerateTear, ReplayMode::Strict] {
+            assert!(matches!(
+                WalReader::parse(&bytes, mode),
+                Err(StoreError::WalCorrupt { .. } | StoreError::WalTorn { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn open_append_resumes_after_tear() {
+        let path = temp_path("resume");
+        let recs = sample_records();
+        {
+            let mut w = WalWriter::create(&path).unwrap();
+            for r in &recs {
+                w.append(r).unwrap();
+            }
+        }
+        // Simulate a crash mid-append.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let (mut w, replay) = WalWriter::open_append(&path).unwrap();
+        assert_eq!(replay.records.len(), recs.len() - 1);
+        assert_eq!(w.record_count(), recs.len() as u64 - 1);
+        // New appends extend the clean prefix.
+        w.append(&recs[recs.len() - 1]).unwrap();
+        w.sync().unwrap();
+        let replay = WalReader::load(&path, ReplayMode::Strict).unwrap();
+        assert_eq!(replay.records, recs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_append_recreates_a_header_torn_log() {
+        // A crash during create can leave 0..6 header bytes; appending
+        // must re-establish the magic, not write records at offset 0.
+        for keep in [0usize, 3, 5] {
+            let path = temp_path(&format!("hdr{keep}"));
+            {
+                let w = WalWriter::create(&path).unwrap();
+                drop(w);
+            }
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..keep]).unwrap();
+            let (mut w, replay) = WalWriter::open_append(&path).unwrap();
+            assert!(replay.records.is_empty());
+            w.append(&EditRecord::AddSheet { name: "S".into() }).unwrap();
+            w.sync().unwrap();
+            let replay = WalReader::load(&path, ReplayMode::Strict).unwrap();
+            assert_eq!(replay.records, vec![EditRecord::AddSheet { name: "S".into() }]);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn reset_folds_the_log() {
+        let path = temp_path("reset");
+        let mut w = WalWriter::create(&path).unwrap();
+        for r in &sample_records() {
+            w.append(r).unwrap();
+        }
+        w.reset().unwrap();
+        assert_eq!(w.record_count(), 0);
+        w.append(&EditRecord::AddSheet { name: "Fresh".into() }).unwrap();
+        w.sync().unwrap();
+        let replay = WalReader::load(&path, ReplayMode::Strict).unwrap();
+        assert_eq!(replay.records, vec![EditRecord::AddSheet { name: "Fresh".into() }]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed() {
+        assert!(matches!(
+            WalReader::parse(b"NOPE\x01\x00", ReplayMode::Strict),
+            Err(StoreError::BadMagic)
+        ));
+        assert!(matches!(
+            WalReader::parse(b"TWAL\x63\x00", ReplayMode::Strict),
+            Err(StoreError::UnsupportedVersion(0x63))
+        ));
+    }
+}

@@ -10,7 +10,9 @@
 //! shaped like Fig. 1. [`corpus`] provides the calibrated `enron_like()`
 //! and `github_like()` presets; [`stats`] measures the Fig. 1 metrics;
 //! [`workbook`] assembles sheets into multi-sheet workbooks with a
-//! tunable fraction of cross-sheet FF/chain dependencies.
+//! tunable fraction of cross-sheet FF/chain dependencies; [`persistence`]
+//! emits full edit scripts (values + formula text) for the save → edit
+//! burst → crash-simulated reopen workload.
 //!
 //! [`xlsx`] additionally loads *real* `.xlsx` files through `calamine` (the
 //! Rust analogue of the Apache POI parser the paper's prototype uses), so
@@ -22,11 +24,15 @@
 
 pub mod corpus;
 pub mod generator;
+pub mod persistence;
 pub mod stats;
 pub mod workbook;
 pub mod xlsx;
 
 pub use corpus::{enron_like, github_like, CorpusParams};
 pub use generator::{Region, SheetParams, SyntheticSheet};
+pub use persistence::{
+    gen_persist_workload, persist_enron_like, persist_github_like, PersistParams, PersistWorkload,
+};
 pub use stats::{fig1_buckets, SheetStats};
 pub use workbook::{gen_workbook, CrossDep, SyntheticWorkbook, WorkbookParams};

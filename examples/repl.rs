@@ -17,6 +17,8 @@
 //! insrows 5 2 / delrows 5 2 / inscols 2 1 / delcols 2 1
 //! stats                   graph size + per-pattern compression
 //! edges                   list compressed edges
+//! :save /path/to/file     persist the sheet (compressed graph included)
+//! :open /path/to/file     replace the sheet with a saved one
 //! quit
 //! ```
 
@@ -70,7 +72,20 @@ fn run_command(engine: &mut Engine, input: &str) -> Result<bool, String> {
     if input == "help" {
         println!("A1 = 42 | B1 = =SUM(A1:A3) | fill SRC RANGE | show CELL | trace CELL");
         println!("clear RANGE | insrows AT N | delrows AT N | inscols AT N | delcols AT N");
-        println!("stats | edges | quit");
+        println!("stats | edges | :save PATH | :open PATH | quit");
+        return Ok(false);
+    }
+    if let Some(rest) = input.strip_prefix(":save ") {
+        let path = std::path::Path::new(rest.trim());
+        taco_repro::engine::save_engine(engine, path).map_err(|e| e.to_string())?;
+        println!("saved {} cells to {}", engine.len(), path.display());
+        return Ok(false);
+    }
+    if let Some(rest) = input.strip_prefix(":open ") {
+        let path = std::path::Path::new(rest.trim());
+        *engine = taco_repro::engine::open_engine(path).map_err(|e| e.to_string())?;
+        engine.recalculate();
+        println!("opened {} cells from {}", engine.len(), path.display());
         return Ok(false);
     }
     if input == "stats" {

@@ -38,7 +38,7 @@ impl Default for ProptestConfig {
     }
 }
 
-/// The `Arbitrary`-driven entry point behind [`any`].
+/// The `Arbitrary`-driven entry point behind [`any`](arbitrary::any).
 pub mod arbitrary {
     use crate::strategy::{Strategy, TestRng};
 

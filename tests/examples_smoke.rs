@@ -122,3 +122,45 @@ fn repl_parses_and_evaluates_a_script() {
     assert!(text.contains("edges="), "stats path broken:\n{text}");
     assert!(text.contains("error:"), "bad input must report, not crash:\n{text}");
 }
+
+#[test]
+fn repl_saves_and_reopens_a_sheet() {
+    let path = std::env::temp_dir().join(format!("taco_repl_smoke_{}.taco", std::process::id()));
+    let p = path.display();
+    // Build a sheet, save it, wreck the live state, reopen, and show the
+    // restored value; also confirm a bad open reports instead of crashing.
+    let script = format!(
+        "A1 = 5\n\
+         B1 = =A1*A1\n\
+         show B1\n\
+         :save {p}\n\
+         clear A1:B1\n\
+         show B1\n\
+         :open {p}\n\
+         show B1\n\
+         :open {p}.missing\n\
+         quit\n"
+    );
+    let out = run_example("repl", None, Some(&script));
+    std::fs::remove_file(&path).ok();
+    let text = stdout_of(&out);
+    assert!(text.contains("saved 2 cells"), "save path broken:\n{text}");
+    assert!(text.contains("opened 2 cells"), "open path broken:\n{text}");
+    // B1 prints 25 before save, empty after clear, 25 again after :open.
+    let restored = text.matches("B1 = =A1*A1 → 25").count();
+    assert!(restored >= 2, "reopen must restore the formula and value:\n{text}");
+    assert!(text.contains("error:"), "missing file must report, not crash:\n{text}");
+}
+
+#[test]
+fn persist_reopen_round_trips_and_reports_sizes() {
+    let out = run_example("persist_reopen", Some("48"), None);
+    let text = stdout_of(&out);
+    assert!(text.contains("bit-identical"), "reopen verification missing:\n{text}");
+    assert!(text.contains("bytes binary"), "size report missing:\n{text}");
+    assert!(
+        text.contains("burst edits survived the torn tail"),
+        "crash-simulated reopen missing:\n{text}"
+    );
+    assert!(text.contains("done"), "example did not finish:\n{text}");
+}
