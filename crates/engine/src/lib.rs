@@ -35,7 +35,10 @@ pub use async_engine::AsyncEngine;
 pub use engine::{EditReceipt, Engine};
 pub use persist::{open_engine, save_engine, wal_path, PersistOptions, PersistentWorkbook};
 pub use sheet::CellContent;
-pub use workbook::{CrossEdge, RecalcMode, SheetId, Workbook, WorkbookError, WorkbookReceipt};
+pub use workbook::{
+    BatchError, BatchStage, CrossEdge, RecalcMode, SheetId, Workbook, WorkbookError,
+    WorkbookReceipt,
+};
 
 pub use taco_core::DependencyBackend;
 pub use taco_formula::{CellError, Value};

@@ -268,6 +268,17 @@ impl PersistentWorkbook {
         &self.wb
     }
 
+    /// Mutable access to the live workbook for **non-edit** operations:
+    /// dependents/precedents queries take `&mut` (R-tree lookups), and
+    /// recalculation is already exposed as
+    /// [`PersistentWorkbook::recalculate`]. Edits applied through this
+    /// reference bypass the WAL and will not survive a reopen — route
+    /// them through [`PersistentWorkbook::log_edit`] /
+    /// [`PersistentWorkbook::log_batch`] instead.
+    pub fn workbook_mut(&mut self) -> &mut Workbook<FormulaGraph> {
+        &mut self.wb
+    }
+
     /// Applies and durably logs one edit; the autosave hook: may fsync
     /// (per `sync_every_records`) and may compact (per
     /// `compact_after_records`).
@@ -292,6 +303,55 @@ impl PersistentWorkbook {
             self.compact()?;
         }
         Ok(())
+    }
+
+    /// Applies a run of edits with one dirty-propagation pass
+    /// ([`Workbook::apply_batch`]) and appends every applied record to the
+    /// WAL, observing the fsync and compaction policy **once per batch**
+    /// instead of once per record — the durability analogue of write
+    /// coalescing.
+    ///
+    /// Failures carry a [`BatchStage`]: `Apply` means the prefix before
+    /// [`BatchError::index`] applied and logged and nothing else
+    /// happened; `Log` means the live workbook is **ahead of the log** —
+    /// every record that applied is live in memory, but the WAL holds
+    /// only the records before `index` (an append or fsync/compaction
+    /// I/O failure). On `Log` the caller must not re-apply or keep
+    /// appending, only stop logging or compact (which rewrites the
+    /// snapshot from the live state and resets the log).
+    ///
+    /// [`BatchError::index`]: crate::workbook::BatchError
+    /// [`BatchStage`]: crate::workbook::BatchStage
+    pub fn log_batch(
+        &mut self,
+        records: &[EditRecord],
+    ) -> Result<crate::workbook::WorkbookReceipt, crate::workbook::BatchError> {
+        use crate::workbook::{BatchError, BatchStage};
+        let result = self.wb.apply_batch(records);
+        let applied = match &result {
+            Ok(_) => records.len(),
+            Err(e) => e.index,
+        };
+        for (index, rec) in records[..applied].iter().enumerate() {
+            self.wal.append(rec).map_err(|error| BatchError {
+                index,
+                stage: BatchStage::Log,
+                error,
+            })?;
+            self.appended_since_sync += 1;
+        }
+        let policy_err = |error| BatchError { index: applied, stage: BatchStage::Log, error };
+        if self.opts.sync_every_records > 0
+            && self.appended_since_sync >= self.opts.sync_every_records
+        {
+            self.sync().map_err(policy_err)?;
+        }
+        if self.opts.compact_after_records > 0
+            && self.wal.record_count() >= self.opts.compact_after_records
+        {
+            self.compact().map_err(policy_err)?;
+        }
+        result
     }
 
     /// Convenience: logged [`Workbook::set_value`].
@@ -335,14 +395,16 @@ impl PersistentWorkbook {
 
     /// Logged [`Workbook::autofill`]: runs the fill, then logs each
     /// generated formula as its own `SetFormula` record (replay is then
-    /// independent of the autofill algorithm's versioning).
+    /// independent of the autofill algorithm's versioning). Returns the
+    /// fill's routing receipt.
     pub fn autofill(
         &mut self,
         sheet: SheetId,
         src: taco_grid::Cell,
         targets: taco_grid::Range,
-    ) -> Result<(), StoreError> {
-        self.wb
+    ) -> Result<crate::workbook::WorkbookReceipt, StoreError> {
+        let receipt = self
+            .wb
             .autofill(sheet, src, targets)
             .map_err(|e| StoreError::InvalidRecord(e.to_string()))?;
         for cell in targets.cells() {
@@ -350,7 +412,7 @@ impl PersistentWorkbook {
                 self.append(&EditRecord::SetFormula { sheet: sheet.index() as u32, cell, src: f })?;
             }
         }
-        Ok(())
+        Ok(receipt)
     }
 
     /// Recalculates dirty cells (derived state — not logged; a reopened

@@ -249,6 +249,49 @@ impl From<FormulaError> for WorkbookError {
     }
 }
 
+/// Which stage of a batch failed — the two have opposite recovery rules,
+/// so callers must not conflate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStage {
+    /// The record at `index` failed to **apply**: records before it were
+    /// applied (and routed), it and everything after were not.
+    Apply,
+    /// Every record **applied** to the live workbook, but durably
+    /// logging the record at `index` failed: the WAL holds exactly the
+    /// records before `index`. Re-applying anything would double-apply;
+    /// appending later records would punch a hole in the log. The only
+    /// safe continuations are rejecting further logged edits or
+    /// rewriting the log wholesale (a compaction).
+    Log,
+}
+
+/// One failed record inside [`Workbook::apply_batch`] /
+/// [`PersistentWorkbook::log_batch`]; see [`BatchStage`] for what
+/// `index` means in each case.
+///
+/// [`PersistentWorkbook::log_batch`]: crate::PersistentWorkbook::log_batch
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchError {
+    /// Index of the failing record.
+    pub index: usize,
+    /// Which stage failed.
+    pub stage: BatchStage,
+    /// Why it failed.
+    pub error: taco_store::StoreError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.stage {
+            BatchStage::Apply => "apply",
+            BatchStage::Log => "log",
+        };
+        write!(f, "batch record {} failed to {stage}: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {}
+
 /// One shard: a named sheet with its own engine (cells + formula graph).
 struct SheetShard<B: DependencyBackend> {
     name: SheetRef,
@@ -341,6 +384,92 @@ impl Workbook<FormulaGraph> {
             wb.xedges.insert(*e);
         }
         Ok(wb)
+    }
+
+    /// Applies a run of [`EditRecord`]s with **one** dirty-propagation
+    /// pass: every record's local mutation is staged first (cell stores,
+    /// formula graphs, and the cross-edge table mutate in record order,
+    /// exactly as they would serially), then a single routing pass
+    /// (`expand`) marks the union of their dirtiness. N queued edits cost
+    /// one cross-sheet routing pass — and, at the caller's discretion, one
+    /// recalculation — instead of N.
+    ///
+    /// Batched application is *result-identical* to applying the same
+    /// records one at a time (same cell values after recalculation, same
+    /// dirty sets, same graph): dirty-marking is monotone and the staged
+    /// graph mutations are order-preserving, which
+    /// `crates/engine/tests/batch.rs` property-tests across the
+    /// persistence workload presets.
+    ///
+    /// On the first failing record the already-staged prefix is still
+    /// routed — the workbook is left exactly as if the prefix had been
+    /// applied serially — and the error names the failing index; later
+    /// records are untouched.
+    ///
+    /// [`EditRecord`]: taco_store::EditRecord
+    pub fn apply_batch(
+        &mut self,
+        records: &[taco_store::EditRecord],
+    ) -> Result<WorkbookReceipt, BatchError> {
+        let start = Instant::now();
+        let mut jobs = Vec::new();
+        let mut failed = None;
+        for (index, rec) in records.iter().enumerate() {
+            if let Err(error) = self.stage_edit(rec, &mut jobs) {
+                failed = Some(BatchError { index, stage: BatchStage::Apply, error });
+                break;
+            }
+        }
+        let dirty = self.expand(jobs, true);
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(WorkbookReceipt { dirty, control_latency: start.elapsed() }),
+        }
+    }
+
+    /// Stages one record's local mutation, accumulating its routing jobs
+    /// (the batched half of [`Workbook::set_value`] and friends —
+    /// everything except the trailing `expand`). `AddSheet` routes its
+    /// dangling-reference rebind immediately, like the live path.
+    fn stage_edit(
+        &mut self,
+        rec: &taco_store::EditRecord,
+        jobs: &mut Vec<Job>,
+    ) -> Result<(), taco_store::StoreError> {
+        use taco_store::{EditRecord, StoreError};
+        let sheet_of = |s: u32, count: usize| -> Result<SheetId, StoreError> {
+            if (s as usize) < count {
+                Ok(SheetId(s as usize))
+            } else {
+                Err(StoreError::InvalidRecord(format!("no sheet with index {s}")))
+            }
+        };
+        match rec {
+            EditRecord::SetValue { sheet, cell, value } => {
+                let id = sheet_of(*sheet, self.sheets.len())?;
+                if self.sheets[id.0].engine.formula_at(*cell).is_some() {
+                    self.xedges.remove_dep(id, *cell);
+                }
+                let receipt = self.sheets[id.0].engine.set_value(*cell, value.clone());
+                jobs.extend(Job::from_receipt(id.0, Range::cell(*cell), receipt));
+            }
+            EditRecord::SetFormula { sheet, cell, src } => {
+                let id = sheet_of(*sheet, self.sheets.len())?;
+                let formula =
+                    Formula::parse(src).map_err(|e| StoreError::InvalidRecord(e.to_string()))?;
+                jobs.extend(self.apply_formula(id.0, *cell, formula));
+            }
+            EditRecord::ClearRange { sheet, range } => {
+                let id = sheet_of(*sheet, self.sheets.len())?;
+                self.xedges.remove_deps_in(id, *range);
+                let receipt = self.sheets[id.0].engine.clear_range(*range);
+                jobs.extend(Job::from_receipt(id.0, *range, receipt));
+            }
+            EditRecord::AddSheet { name } => {
+                self.add_sheet(name).map_err(|e| StoreError::InvalidRecord(e.to_string()))?;
+            }
+        }
+        Ok(())
     }
 }
 

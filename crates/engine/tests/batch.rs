@@ -1,0 +1,160 @@
+//! Property tests for [`Workbook::apply_batch`]: batched application is
+//! observationally identical to serial application — same per-sheet cell
+//! values (before and after recalculation), same dirty sets, same graph
+//! stats, same cross-edge count — across the persistence workload presets
+//! and random script prefixes. Also pins the failure contract: a bad
+//! record mid-batch applies and routes the prefix, then reports the index.
+
+use proptest::prelude::*;
+use taco_engine::{RecalcMode, SheetId, Workbook};
+use taco_store::EditRecord;
+use taco_workload::{gen_persist_workload, persist_enron_like, persist_github_like, PersistParams};
+
+/// Asserts the two workbooks are observationally identical.
+fn assert_same(a: &Workbook, b: &Workbook, what: &str) {
+    assert_eq!(a.sheet_count(), b.sheet_count(), "{what}: sheet count");
+    assert_eq!(a.dirty_count(), b.dirty_count(), "{what}: dirty count");
+    assert_eq!(a.cross_edge_count(), b.cross_edge_count(), "{what}: cross edges");
+    for i in 0..a.sheet_count() {
+        let id = SheetId(i);
+        assert_eq!(
+            a.sheet(id).graph().stats(),
+            b.sheet(id).graph().stats(),
+            "{what}: sheet {i} graph stats"
+        );
+        assert_eq!(
+            a.sheet(id).dirty_count(),
+            b.sheet(id).dirty_count(),
+            "{what}: sheet {i} dirty count"
+        );
+        let cells_a: Vec<_> = {
+            let mut v: Vec<_> = a.sheet(id).cells().map(|(c, k)| (c, k.clone())).collect();
+            v.sort_by_key(|(c, _)| *c);
+            v
+        };
+        let cells_b: Vec<_> = {
+            let mut v: Vec<_> = b.sheet(id).cells().map(|(c, k)| (c, k.clone())).collect();
+            v.sort_by_key(|(c, _)| *c);
+            v
+        };
+        assert_eq!(cells_a.len(), cells_b.len(), "{what}: sheet {i} cell count");
+        for ((ca, ka), (cb, kb)) in cells_a.iter().zip(&cells_b) {
+            assert_eq!(ca, cb, "{what}: sheet {i} cell addresses");
+            assert_eq!(ka.value(), kb.value(), "{what}: sheet {i} {ca} value");
+        }
+    }
+}
+
+/// Serial reference: one record at a time through the live edit paths.
+fn apply_serial(wb: &mut Workbook, records: &[EditRecord]) {
+    for rec in records {
+        wb.apply_edit(rec).expect("serial record applies");
+    }
+}
+
+fn check_script(records: &[EditRecord], what: &str) {
+    let mut serial = Workbook::with_taco();
+    apply_serial(&mut serial, records);
+    let mut batched = Workbook::with_taco();
+    batched.apply_batch(records).expect("batch applies");
+    // Identical before recalculation (dirty sets, graphs, staged values)…
+    assert_same(&serial, &batched, &format!("{what} pre-recalc"));
+    // …and after (evaluated values).
+    serial.recalculate(RecalcMode::Serial);
+    batched.recalculate(RecalcMode::Serial);
+    assert_same(&serial, &batched, &format!("{what} post-recalc"));
+    assert_eq!(batched.dirty_count(), 0, "{what}: recalc must settle the batch");
+}
+
+#[test]
+fn presets_build_identically_batched_and_serial() {
+    for p in [persist_enron_like(), persist_github_like()] {
+        let w = gen_persist_workload(&p);
+        check_script(&w.build, w.name);
+    }
+}
+
+#[test]
+fn burst_over_built_workbook_is_identical() {
+    for p in [persist_enron_like(), persist_github_like()] {
+        let w = gen_persist_workload(&p);
+        let build = || {
+            let mut wb = Workbook::with_taco();
+            apply_serial(&mut wb, &w.build);
+            wb.recalculate(RecalcMode::Serial);
+            wb
+        };
+        let mut serial = build();
+        apply_serial(&mut serial, &w.burst);
+        let mut batched = build();
+        batched.apply_batch(&w.burst).expect("burst batch applies");
+        assert_same(&serial, &batched, &format!("{} burst pre-recalc", w.name));
+        serial.recalculate(RecalcMode::Serial);
+        batched.recalculate(RecalcMode::Serial);
+        assert_same(&serial, &batched, &format!("{} burst post-recalc", w.name));
+    }
+}
+
+#[test]
+fn failing_record_applies_prefix_and_reports_index() {
+    let records = vec![
+        EditRecord::AddSheet { name: "S".into() },
+        EditRecord::SetValue {
+            sheet: 0,
+            cell: taco_grid::Cell::new(1, 1),
+            value: taco_formula::Value::Number(5.0),
+        },
+        EditRecord::SetFormula { sheet: 0, cell: taco_grid::Cell::new(2, 1), src: "A1*2".into() },
+        // Bad: sheet 9 does not exist.
+        EditRecord::SetValue {
+            sheet: 9,
+            cell: taco_grid::Cell::new(1, 1),
+            value: taco_formula::Value::Number(1.0),
+        },
+        EditRecord::SetValue {
+            sheet: 0,
+            cell: taco_grid::Cell::new(1, 2),
+            value: taco_formula::Value::Number(7.0),
+        },
+    ];
+    let mut wb = Workbook::with_taco();
+    let err = wb.apply_batch(&records).expect_err("bad sheet must fail");
+    assert_eq!(err.index, 3);
+    assert_eq!(err.stage, taco_engine::BatchStage::Apply);
+    // The prefix was applied and routed exactly as a serial prefix would be.
+    let mut serial = Workbook::with_taco();
+    apply_serial(&mut serial, &records[..3]);
+    assert_same(&serial, &wb, "failed-batch prefix");
+    // The suffix was not applied.
+    wb.recalculate(RecalcMode::Serial);
+    assert_eq!(wb.value(SheetId(0), taco_grid::Cell::new(1, 2)), taco_formula::Value::Empty);
+}
+
+proptest! {
+    /// Random contiguous windows of the preset scripts — batches that
+    /// start and stop at arbitrary points, including mid-sheet-creation —
+    /// stay identical to serial application. The window's prefix is
+    /// applied serially to both workbooks first so every window is valid.
+    #[test]
+    fn random_script_windows_are_identical(seed in 0u64..24) {
+        let p = if seed % 2 == 0 { persist_enron_like() } else { persist_github_like() };
+        let p = PersistParams { seed: 0x5EED ^ seed, ..p };
+        let w = gen_persist_workload(&p);
+        let all: Vec<EditRecord> = w.build.iter().chain(&w.burst).cloned().collect();
+        let cut = (seed as usize * 97) % all.len();
+        let (prefix, suffix) = all.split_at(cut);
+        let window = &suffix[..suffix.len().min(64 + (seed as usize % 64))];
+
+        let mut serial = Workbook::with_taco();
+        apply_serial(&mut serial, prefix);
+        let mut batched = Workbook::with_taco();
+        apply_serial(&mut batched, prefix);
+
+        apply_serial(&mut serial, window);
+        batched.apply_batch(window).expect("window batch applies");
+        assert_same(&serial, &batched, "window pre-recalc");
+        serial.recalculate(RecalcMode::Serial);
+        batched.recalculate(RecalcMode::Serial);
+        assert_same(&serial, &batched, "window post-recalc");
+    }
+}

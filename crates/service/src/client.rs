@@ -1,0 +1,286 @@
+//! Typed clients: one [`Client`] surface over two transports — direct
+//! in-process calls against a shared [`Registry`], or the framed TCP
+//! wire. The load generator and the benches drive both through the same
+//! [`Transport`] trait, so in-process vs TCP comparisons exercise
+//! identical request streams.
+
+use crate::protocol::{Request, Response, ServiceStats};
+use crate::registry::Registry;
+use crate::server::{read_handshake, write_handshake};
+use crate::ServiceError;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use taco_formula::Value;
+use taco_grid::{Cell, Range};
+use taco_store::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+
+/// A way to deliver a [`Request`] and receive its [`Response`].
+pub trait Transport {
+    /// One request/response exchange.
+    fn call(&mut self, req: Request) -> Result<Response, ServiceError>;
+}
+
+/// The in-process transport: requests execute on the calling thread
+/// against a shared registry (reads hit the epoch snapshot directly;
+/// writes enqueue on the workbook's writer and block for the reply).
+pub struct InProc {
+    registry: Arc<Registry>,
+}
+
+impl InProc {
+    /// A transport over `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        InProc { registry }
+    }
+}
+
+impl Transport for InProc {
+    fn call(&mut self, req: Request) -> Result<Response, ServiceError> {
+        Ok(self.registry.execute(req))
+    }
+}
+
+/// The TCP transport: one connection, one frame per request and reply.
+pub struct Tcp {
+    stream: TcpStream,
+    max_frame: u64,
+}
+
+impl Tcp {
+    /// Connects and handshakes.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServiceError> {
+        let mut stream = TcpStream::connect(addr)?;
+        write_handshake(&mut stream)?;
+        read_handshake(&mut stream)?;
+        Ok(Tcp { stream, max_frame: DEFAULT_MAX_FRAME })
+    }
+}
+
+impl Transport for Tcp {
+    fn call(&mut self, req: Request) -> Result<Response, ServiceError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream, self.max_frame)?;
+        Ok(Response::decode(&payload)?)
+    }
+}
+
+/// A typed session client over any transport. Open a workbook first;
+/// every other method carries the session token automatically.
+pub struct Client<T: Transport> {
+    transport: T,
+    token: Option<u64>,
+    sheets: Vec<String>,
+}
+
+/// [`Client`] over the in-process transport.
+pub type InProcClient = Client<InProc>;
+/// [`Client`] over the TCP transport.
+pub type TcpClient = Client<Tcp>;
+
+impl InProcClient {
+    /// An in-process client against a shared registry.
+    pub fn in_process(registry: Arc<Registry>) -> Self {
+        Client::over(InProc::new(registry))
+    }
+}
+
+impl TcpClient {
+    /// Connects a TCP client.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServiceError> {
+        Ok(Client::over(Tcp::connect(addr)?))
+    }
+}
+
+impl<T: Transport> Client<T> {
+    /// Wraps a transport.
+    pub fn over(transport: T) -> Self {
+        Client { transport, token: None, sheets: Vec::new() }
+    }
+
+    /// The session's visible sheets (filled by [`Client::open`]).
+    pub fn sheets(&self) -> &[String] {
+        &self.sheets
+    }
+
+    /// The raw session token, once open.
+    pub fn token(&self) -> Option<u64> {
+        self.token
+    }
+
+    fn need_token(&self) -> Result<u64, ServiceError> {
+        self.token.ok_or(ServiceError::NoSession)
+    }
+
+    fn call(&mut self, req: Request) -> Result<Response, ServiceError> {
+        match self.transport.call(req)? {
+            Response::Err(e) => Err(e),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Opens a session; returns the visible sheet names.
+    pub fn open(
+        &mut self,
+        workbook: &str,
+        auth: Option<&str>,
+        scope: Option<&[&str]>,
+    ) -> Result<Vec<String>, ServiceError> {
+        let resp = self.call(Request::Open {
+            workbook: workbook.to_string(),
+            auth: auth.map(str::to_string),
+            scope: scope.map(|s| s.iter().map(|n| n.to_string()).collect()),
+        })?;
+        match resp {
+            Response::Opened { token, sheets, .. } => {
+                self.token = Some(token);
+                self.sheets = sheets.clone();
+                Ok(sheets)
+            }
+            _ => Err(ServiceError::Protocol("expected Opened")),
+        }
+    }
+
+    /// Closes the session (idempotent).
+    pub fn close(&mut self) -> Result<(), ServiceError> {
+        let Some(token) = self.token.take() else { return Ok(()) };
+        self.sheets.clear();
+        match self.call(Request::Close { token })? {
+            Response::Closed => Ok(()),
+            _ => Err(ServiceError::Protocol("expected Closed")),
+        }
+    }
+
+    fn applied(&mut self, req: Request) -> Result<u64, ServiceError> {
+        match self.call(req)? {
+            Response::Applied { dirty, .. } => Ok(dirty),
+            _ => Err(ServiceError::Protocol("expected Applied")),
+        }
+    }
+
+    /// Sets a pure value; returns the dirty ranges its batch routed.
+    pub fn set_value(
+        &mut self,
+        sheet: &str,
+        cell: Cell,
+        value: Value,
+    ) -> Result<u64, ServiceError> {
+        let token = self.need_token()?;
+        self.applied(Request::SetValue { token, sheet: sheet.to_string(), cell, value })
+    }
+
+    /// Sets a formula (leading `=` optional).
+    pub fn set_formula(&mut self, sheet: &str, cell: Cell, src: &str) -> Result<u64, ServiceError> {
+        let token = self.need_token()?;
+        self.applied(Request::SetFormula {
+            token,
+            sheet: sheet.to_string(),
+            cell,
+            src: src.to_string(),
+        })
+    }
+
+    /// Autofills the formula at `src` over `targets`.
+    pub fn autofill(
+        &mut self,
+        sheet: &str,
+        src: Cell,
+        targets: Range,
+    ) -> Result<u64, ServiceError> {
+        let token = self.need_token()?;
+        self.applied(Request::Autofill { token, sheet: sheet.to_string(), src, targets })
+    }
+
+    /// Clears every cell in `range`.
+    pub fn clear_range(&mut self, sheet: &str, range: Range) -> Result<u64, ServiceError> {
+        let token = self.need_token()?;
+        self.applied(Request::ClearRange { token, sheet: sheet.to_string(), range })
+    }
+
+    /// Reads one cell (snapshot read — never blocks on writers).
+    pub fn get(&mut self, sheet: &str, cell: Cell) -> Result<Value, ServiceError> {
+        let token = self.need_token()?;
+        match self.call(Request::Get { token, sheet: sheet.to_string(), cell })? {
+            Response::Value(v) => Ok(v),
+            _ => Err(ServiceError::Protocol("expected Value")),
+        }
+    }
+
+    /// Reads every non-empty cell in `range` (snapshot read).
+    pub fn get_range(
+        &mut self,
+        sheet: &str,
+        range: Range,
+    ) -> Result<Vec<(Cell, Value)>, ServiceError> {
+        let token = self.need_token()?;
+        match self.call(Request::GetRange { token, sheet: sheet.to_string(), range })? {
+            Response::Cells(cells) => Ok(cells),
+            _ => Err(ServiceError::Protocol("expected Cells")),
+        }
+    }
+
+    fn ranges(&mut self, req: Request) -> Result<Vec<(String, Range)>, ServiceError> {
+        match self.call(req)? {
+            Response::Ranges(r) => Ok(r),
+            _ => Err(ServiceError::Protocol("expected Ranges")),
+        }
+    }
+
+    /// All transitive dependents of `sheet!range`, across sheets.
+    pub fn dependents(
+        &mut self,
+        sheet: &str,
+        range: Range,
+    ) -> Result<Vec<(String, Range)>, ServiceError> {
+        let token = self.need_token()?;
+        self.ranges(Request::Dependents { token, sheet: sheet.to_string(), range })
+    }
+
+    /// All transitive precedents of `sheet!range`, across sheets.
+    pub fn precedents(
+        &mut self,
+        sheet: &str,
+        range: Range,
+    ) -> Result<Vec<(String, Range)>, ServiceError> {
+        let token = self.need_token()?;
+        self.ranges(Request::Precedents { token, sheet: sheet.to_string(), range })
+    }
+
+    /// Cells awaiting recalculation (snapshot read).
+    pub fn dirty_count(&mut self) -> Result<u64, ServiceError> {
+        let token = self.need_token()?;
+        match self.call(Request::DirtyCount { token })? {
+            Response::Count(n) => Ok(n),
+            _ => Err(ServiceError::Protocol("expected Count")),
+        }
+    }
+
+    /// Forces a recalculation; doubles as the write-queue barrier (it
+    /// runs after every write queued before it). Returns the number of
+    /// cells evaluated.
+    pub fn recalc(&mut self) -> Result<u64, ServiceError> {
+        let token = self.need_token()?;
+        match self.call(Request::Recalc { token })? {
+            Response::Recalced { evaluated, .. } => Ok(evaluated),
+            _ => Err(ServiceError::Protocol("expected Recalced")),
+        }
+    }
+
+    /// Folds the workbook's WAL into its snapshot file (persistent
+    /// workbooks only). Returns the WAL records remaining.
+    pub fn save(&mut self) -> Result<u64, ServiceError> {
+        let token = self.need_token()?;
+        match self.call(Request::Save { token })? {
+            Response::Saved { wal_records } => Ok(wal_records),
+            _ => Err(ServiceError::Protocol("expected Saved")),
+        }
+    }
+
+    /// Service counters and workbook totals.
+    pub fn stats(&mut self) -> Result<ServiceStats, ServiceError> {
+        let token = self.need_token()?;
+        match self.call(Request::Stats { token })? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(ServiceError::Protocol("expected Stats")),
+        }
+    }
+}

@@ -1,0 +1,826 @@
+//! The command protocol: plain-data [`Request`]/[`Response`] enums with a
+//! compact binary encoding.
+//!
+//! The encoding reuses `taco_store`'s codec layer — LEB128 varints for
+//! integers, length-prefixed UTF-8 for strings, the store's tagged value
+//! and cell/range encodings — so the wire format inherits the on-disk
+//! format's properties: compact, front-to-back decodable, and hardened
+//! (string/list lengths are bounded before allocation, trailing bytes are
+//! an error, unknown tags are typed failures, decoding never panics).
+//!
+//! One request or response is one frame payload ([`taco_store::frame`]);
+//! framing (length prefix + CRC) is the transport's job, so the payload
+//! codec here assumes an intact byte slice.
+
+use crate::ServiceError;
+use std::io::{Read, Write};
+use taco_formula::Value;
+use taco_grid::{Cell, Range};
+use taco_store::codec::{read_string, read_uvarint, write_string, write_uvarint};
+use taco_store::image::{read_cell, read_range, read_value, write_cell, write_range, write_value};
+use taco_store::StoreError;
+
+/// Upper bound for any string on the wire (sheet names, formula sources,
+/// error messages).
+pub const MAX_WIRE_STRING: u64 = 1 << 20;
+
+/// One client command. Every variant after [`Request::Open`] carries the
+/// session token `Open` returned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Starts a session against a named workbook.
+    Open {
+        /// The workbook's registry name (case-insensitive).
+        workbook: String,
+        /// The workbook's auth token, when it requires one.
+        auth: Option<String>,
+        /// Restrict the session to these sheets (names); `None` = all.
+        scope: Option<Vec<String>>,
+    },
+    /// Ends a session.
+    Close {
+        /// The session token.
+        token: u64,
+    },
+    /// Sets a pure value.
+    SetValue {
+        /// The session token.
+        token: u64,
+        /// Target sheet name.
+        sheet: String,
+        /// Target cell.
+        cell: Cell,
+        /// The new value.
+        value: Value,
+    },
+    /// Sets a formula (leading `=` optional).
+    SetFormula {
+        /// The session token.
+        token: u64,
+        /// Target sheet name.
+        sheet: String,
+        /// Target cell.
+        cell: Cell,
+        /// Formula source text.
+        src: String,
+    },
+    /// Autofills the formula at `src` over `targets`.
+    Autofill {
+        /// The session token.
+        token: u64,
+        /// Target sheet name.
+        sheet: String,
+        /// The source formula cell.
+        src: Cell,
+        /// The fill targets.
+        targets: Range,
+    },
+    /// Clears every cell in `range`.
+    ClearRange {
+        /// The session token.
+        token: u64,
+        /// Target sheet name.
+        sheet: String,
+        /// The cleared range.
+        range: Range,
+    },
+    /// Reads one cell's value (snapshot read).
+    Get {
+        /// The session token.
+        token: u64,
+        /// Target sheet name.
+        sheet: String,
+        /// The cell to read.
+        cell: Cell,
+    },
+    /// Reads every non-empty cell in `range` (snapshot read).
+    GetRange {
+        /// The session token.
+        token: u64,
+        /// Target sheet name.
+        sheet: String,
+        /// The range to read.
+        range: Range,
+    },
+    /// All transitive dependents of `sheet!range`, across sheets.
+    Dependents {
+        /// The session token.
+        token: u64,
+        /// Probe sheet name.
+        sheet: String,
+        /// Probe range.
+        range: Range,
+    },
+    /// All transitive precedents of `sheet!range`, across sheets.
+    Precedents {
+        /// The session token.
+        token: u64,
+        /// Probe sheet name.
+        sheet: String,
+        /// Probe range.
+        range: Range,
+    },
+    /// Number of cells awaiting recalculation (snapshot read).
+    DirtyCount {
+        /// The session token.
+        token: u64,
+    },
+    /// Forces a recalculation (also the write-queue barrier: it runs
+    /// after every previously queued write).
+    Recalc {
+        /// The session token.
+        token: u64,
+    },
+    /// Folds the workbook's WAL into a fresh snapshot (persistent
+    /// workbooks only).
+    Save {
+        /// The session token.
+        token: u64,
+    },
+    /// Service counters and workbook totals.
+    Stats {
+        /// The session token.
+        token: u64,
+    },
+}
+
+/// One server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Session started.
+    Opened {
+        /// The session token to carry in subsequent requests.
+        token: u64,
+        /// The sheets visible to the session (scope applied).
+        sheets: Vec<String>,
+        /// Snapshot epoch at open time.
+        epoch: u64,
+    },
+    /// Session ended.
+    Closed,
+    /// A write was applied (and recalculated) by the workbook's writer.
+    Applied {
+        /// Snapshot epoch after the write's batch was published.
+        epoch: u64,
+        /// Dirty ranges routed for the batch this write rode in.
+        dirty: u64,
+    },
+    /// A cell value.
+    Value(
+        /// The value (Empty for never-written cells).
+        Value,
+    ),
+    /// The non-empty cells of a range, sorted by (row, col).
+    Cells(
+        /// `(cell, value)` pairs.
+        Vec<(Cell, Value)>,
+    ),
+    /// Query results as `(sheet name, range)` pairs.
+    Ranges(
+        /// The ranges, sorted by sheet then position.
+        Vec<(String, Range)>,
+    ),
+    /// A counter (dirty count).
+    Count(
+        /// The count.
+        u64,
+    ),
+    /// A recalculation ran.
+    Recalced {
+        /// Formula cells evaluated.
+        evaluated: u64,
+        /// Snapshot epoch after publication.
+        epoch: u64,
+    },
+    /// The workbook was folded to its snapshot file.
+    Saved {
+        /// WAL records remaining after the fold (0 unless compaction is
+        /// disabled).
+        wal_records: u64,
+    },
+    /// Service counters.
+    Stats(
+        /// The counters.
+        ServiceStats,
+    ),
+    /// The request failed.
+    Err(
+        /// The typed failure.
+        ServiceError,
+    ),
+}
+
+/// Counters returned by [`Request::Stats`]: a snapshot-consistent view of
+/// one workbook plus the monotone service counters its writer maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Snapshot epoch (bumps once per published batch/recalc).
+    pub epoch: u64,
+    /// Sheets in the workbook.
+    pub sheets: u64,
+    /// Non-empty cells across all sheets (as of the snapshot).
+    pub cells: u64,
+    /// Cells awaiting recalculation (as of the snapshot).
+    pub dirty: u64,
+    /// Compressed formula-graph edges across all sheets.
+    pub graph_edges: u64,
+    /// Inter-sheet edges.
+    pub cross_edges: u64,
+    /// Edits applied since the workbook was registered.
+    pub edits: u64,
+    /// Write batches applied (= dirty-propagation passes for edits).
+    pub batches: u64,
+    /// Recalculations run.
+    pub recalcs: u64,
+    /// Edits that rode in a batch with at least one other edit.
+    pub coalesced: u64,
+    /// Sessions currently open across the whole registry.
+    pub sessions: u64,
+}
+
+// ---- encoding -----------------------------------------------------------
+
+const REQ_OPEN: u8 = 0;
+const REQ_CLOSE: u8 = 1;
+const REQ_SET_VALUE: u8 = 2;
+const REQ_SET_FORMULA: u8 = 3;
+const REQ_AUTOFILL: u8 = 4;
+const REQ_CLEAR_RANGE: u8 = 5;
+const REQ_GET: u8 = 6;
+const REQ_GET_RANGE: u8 = 7;
+const REQ_DEPENDENTS: u8 = 8;
+const REQ_PRECEDENTS: u8 = 9;
+const REQ_DIRTY_COUNT: u8 = 10;
+const REQ_RECALC: u8 = 11;
+const REQ_SAVE: u8 = 12;
+const REQ_STATS: u8 = 13;
+
+const RESP_OPENED: u8 = 0;
+const RESP_CLOSED: u8 = 1;
+const RESP_APPLIED: u8 = 2;
+const RESP_VALUE: u8 = 3;
+const RESP_CELLS: u8 = 4;
+const RESP_RANGES: u8 = 5;
+const RESP_COUNT: u8 = 6;
+const RESP_RECALCED: u8 = 7;
+const RESP_SAVED: u8 = 8;
+const RESP_STATS: u8 = 9;
+const RESP_ERR: u8 = 10;
+
+fn write_opt_string<W: Write>(w: &mut W, s: &Option<String>) -> Result<(), StoreError> {
+    match s {
+        None => {
+            w.write_all(&[0])?;
+            Ok(())
+        }
+        Some(s) => {
+            w.write_all(&[1])?;
+            write_string(w, s)
+        }
+    }
+}
+
+fn read_opt_string<R: Read>(r: &mut R) -> Result<Option<String>, StoreError> {
+    match read_flag(r)? {
+        false => Ok(None),
+        true => Ok(Some(read_string(r, MAX_WIRE_STRING)?)),
+    }
+}
+
+fn read_flag<R: Read>(r: &mut R) -> Result<bool, StoreError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    match b[0] {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(StoreError::Malformed("flag byte out of range")),
+    }
+}
+
+fn read_wire_string<R: Read>(r: &mut R) -> Result<String, StoreError> {
+    read_string(r, MAX_WIRE_STRING)
+}
+
+impl Request {
+    /// Encodes the request as one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let infallible: Result<(), StoreError> = (|| {
+            let w = &mut out;
+            match self {
+                Request::Open { workbook, auth, scope } => {
+                    w.push(REQ_OPEN);
+                    write_string(w, workbook)?;
+                    write_opt_string(w, auth)?;
+                    match scope {
+                        None => w.push(0),
+                        Some(sheets) => {
+                            w.push(1);
+                            write_uvarint(w, sheets.len() as u64)?;
+                            for s in sheets {
+                                write_string(w, s)?;
+                            }
+                        }
+                    }
+                }
+                Request::Close { token } => {
+                    w.push(REQ_CLOSE);
+                    write_uvarint(w, *token)?;
+                }
+                Request::SetValue { token, sheet, cell, value } => {
+                    w.push(REQ_SET_VALUE);
+                    write_uvarint(w, *token)?;
+                    write_string(w, sheet)?;
+                    write_cell(w, *cell)?;
+                    write_value(w, value)?;
+                }
+                Request::SetFormula { token, sheet, cell, src } => {
+                    w.push(REQ_SET_FORMULA);
+                    write_uvarint(w, *token)?;
+                    write_string(w, sheet)?;
+                    write_cell(w, *cell)?;
+                    write_string(w, src)?;
+                }
+                Request::Autofill { token, sheet, src, targets } => {
+                    w.push(REQ_AUTOFILL);
+                    write_uvarint(w, *token)?;
+                    write_string(w, sheet)?;
+                    write_cell(w, *src)?;
+                    write_range(w, *targets)?;
+                }
+                Request::ClearRange { token, sheet, range } => {
+                    w.push(REQ_CLEAR_RANGE);
+                    write_uvarint(w, *token)?;
+                    write_string(w, sheet)?;
+                    write_range(w, *range)?;
+                }
+                Request::Get { token, sheet, cell } => {
+                    w.push(REQ_GET);
+                    write_uvarint(w, *token)?;
+                    write_string(w, sheet)?;
+                    write_cell(w, *cell)?;
+                }
+                Request::GetRange { token, sheet, range } => {
+                    w.push(REQ_GET_RANGE);
+                    write_uvarint(w, *token)?;
+                    write_string(w, sheet)?;
+                    write_range(w, *range)?;
+                }
+                Request::Dependents { token, sheet, range } => {
+                    w.push(REQ_DEPENDENTS);
+                    write_uvarint(w, *token)?;
+                    write_string(w, sheet)?;
+                    write_range(w, *range)?;
+                }
+                Request::Precedents { token, sheet, range } => {
+                    w.push(REQ_PRECEDENTS);
+                    write_uvarint(w, *token)?;
+                    write_string(w, sheet)?;
+                    write_range(w, *range)?;
+                }
+                Request::DirtyCount { token } => {
+                    w.push(REQ_DIRTY_COUNT);
+                    write_uvarint(w, *token)?;
+                }
+                Request::Recalc { token } => {
+                    w.push(REQ_RECALC);
+                    write_uvarint(w, *token)?;
+                }
+                Request::Save { token } => {
+                    w.push(REQ_SAVE);
+                    write_uvarint(w, *token)?;
+                }
+                Request::Stats { token } => {
+                    w.push(REQ_STATS);
+                    write_uvarint(w, *token)?;
+                }
+            }
+            Ok(())
+        })();
+        debug_assert!(infallible.is_ok(), "Vec sinks cannot fail");
+        out
+    }
+
+    /// Decodes one frame payload; trailing bytes are an error.
+    pub fn decode(mut bytes: &[u8]) -> Result<Self, StoreError> {
+        let r = &mut bytes;
+        let mut op = [0u8; 1];
+        r.read_exact(&mut op)?;
+        let req = match op[0] {
+            REQ_OPEN => {
+                let workbook = read_wire_string(r)?;
+                let auth = read_opt_string(r)?;
+                let scope = match read_flag(r)? {
+                    false => None,
+                    true => {
+                        let n = read_uvarint(r)?;
+                        let mut sheets = Vec::new();
+                        for _ in 0..n {
+                            sheets.push(read_wire_string(r)?);
+                        }
+                        Some(sheets)
+                    }
+                };
+                Request::Open { workbook, auth, scope }
+            }
+            REQ_CLOSE => Request::Close { token: read_uvarint(r)? },
+            REQ_SET_VALUE => Request::SetValue {
+                token: read_uvarint(r)?,
+                sheet: read_wire_string(r)?,
+                cell: read_cell(r)?,
+                value: read_value(r)?,
+            },
+            REQ_SET_FORMULA => Request::SetFormula {
+                token: read_uvarint(r)?,
+                sheet: read_wire_string(r)?,
+                cell: read_cell(r)?,
+                src: read_wire_string(r)?,
+            },
+            REQ_AUTOFILL => Request::Autofill {
+                token: read_uvarint(r)?,
+                sheet: read_wire_string(r)?,
+                src: read_cell(r)?,
+                targets: read_range(r)?,
+            },
+            REQ_CLEAR_RANGE => Request::ClearRange {
+                token: read_uvarint(r)?,
+                sheet: read_wire_string(r)?,
+                range: read_range(r)?,
+            },
+            REQ_GET => Request::Get {
+                token: read_uvarint(r)?,
+                sheet: read_wire_string(r)?,
+                cell: read_cell(r)?,
+            },
+            REQ_GET_RANGE => Request::GetRange {
+                token: read_uvarint(r)?,
+                sheet: read_wire_string(r)?,
+                range: read_range(r)?,
+            },
+            REQ_DEPENDENTS => Request::Dependents {
+                token: read_uvarint(r)?,
+                sheet: read_wire_string(r)?,
+                range: read_range(r)?,
+            },
+            REQ_PRECEDENTS => Request::Precedents {
+                token: read_uvarint(r)?,
+                sheet: read_wire_string(r)?,
+                range: read_range(r)?,
+            },
+            REQ_DIRTY_COUNT => Request::DirtyCount { token: read_uvarint(r)? },
+            REQ_RECALC => Request::Recalc { token: read_uvarint(r)? },
+            REQ_SAVE => Request::Save { token: read_uvarint(r)? },
+            REQ_STATS => Request::Stats { token: read_uvarint(r)? },
+            _ => return Err(StoreError::Malformed("unknown request op")),
+        };
+        if !r.is_empty() {
+            return Err(StoreError::Malformed("trailing bytes in request"));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let infallible: Result<(), StoreError> = (|| {
+            let w = &mut out;
+            match self {
+                Response::Opened { token, sheets, epoch } => {
+                    w.push(RESP_OPENED);
+                    write_uvarint(w, *token)?;
+                    write_uvarint(w, *epoch)?;
+                    write_uvarint(w, sheets.len() as u64)?;
+                    for s in sheets {
+                        write_string(w, s)?;
+                    }
+                }
+                Response::Closed => w.push(RESP_CLOSED),
+                Response::Applied { epoch, dirty } => {
+                    w.push(RESP_APPLIED);
+                    write_uvarint(w, *epoch)?;
+                    write_uvarint(w, *dirty)?;
+                }
+                Response::Value(v) => {
+                    w.push(RESP_VALUE);
+                    write_value(w, v)?;
+                }
+                Response::Cells(cells) => {
+                    w.push(RESP_CELLS);
+                    write_uvarint(w, cells.len() as u64)?;
+                    for (c, v) in cells {
+                        write_cell(w, *c)?;
+                        write_value(w, v)?;
+                    }
+                }
+                Response::Ranges(ranges) => {
+                    w.push(RESP_RANGES);
+                    write_uvarint(w, ranges.len() as u64)?;
+                    for (sheet, range) in ranges {
+                        write_string(w, sheet)?;
+                        write_range(w, *range)?;
+                    }
+                }
+                Response::Count(n) => {
+                    w.push(RESP_COUNT);
+                    write_uvarint(w, *n)?;
+                }
+                Response::Recalced { evaluated, epoch } => {
+                    w.push(RESP_RECALCED);
+                    write_uvarint(w, *evaluated)?;
+                    write_uvarint(w, *epoch)?;
+                }
+                Response::Saved { wal_records } => {
+                    w.push(RESP_SAVED);
+                    write_uvarint(w, *wal_records)?;
+                }
+                Response::Stats(s) => {
+                    w.push(RESP_STATS);
+                    for field in [
+                        s.epoch,
+                        s.sheets,
+                        s.cells,
+                        s.dirty,
+                        s.graph_edges,
+                        s.cross_edges,
+                        s.edits,
+                        s.batches,
+                        s.recalcs,
+                        s.coalesced,
+                        s.sessions,
+                    ] {
+                        write_uvarint(w, field)?;
+                    }
+                }
+                Response::Err(e) => {
+                    w.push(RESP_ERR);
+                    encode_error(w, e)?;
+                }
+            }
+            Ok(())
+        })();
+        debug_assert!(infallible.is_ok(), "Vec sinks cannot fail");
+        out
+    }
+
+    /// Decodes one frame payload; trailing bytes are an error.
+    pub fn decode(mut bytes: &[u8]) -> Result<Self, StoreError> {
+        let r = &mut bytes;
+        let mut op = [0u8; 1];
+        r.read_exact(&mut op)?;
+        let resp = match op[0] {
+            RESP_OPENED => {
+                let token = read_uvarint(r)?;
+                let epoch = read_uvarint(r)?;
+                let n = read_uvarint(r)?;
+                let mut sheets = Vec::new();
+                for _ in 0..n {
+                    sheets.push(read_wire_string(r)?);
+                }
+                Response::Opened { token, sheets, epoch }
+            }
+            RESP_CLOSED => Response::Closed,
+            RESP_APPLIED => Response::Applied { epoch: read_uvarint(r)?, dirty: read_uvarint(r)? },
+            RESP_VALUE => Response::Value(read_value(r)?),
+            RESP_CELLS => {
+                let n = read_uvarint(r)?;
+                let mut cells = Vec::new();
+                for _ in 0..n {
+                    let c = read_cell(r)?;
+                    cells.push((c, read_value(r)?));
+                }
+                Response::Cells(cells)
+            }
+            RESP_RANGES => {
+                let n = read_uvarint(r)?;
+                let mut ranges = Vec::new();
+                for _ in 0..n {
+                    let sheet = read_wire_string(r)?;
+                    ranges.push((sheet, read_range(r)?));
+                }
+                Response::Ranges(ranges)
+            }
+            RESP_COUNT => Response::Count(read_uvarint(r)?),
+            RESP_RECALCED => {
+                Response::Recalced { evaluated: read_uvarint(r)?, epoch: read_uvarint(r)? }
+            }
+            RESP_SAVED => Response::Saved { wal_records: read_uvarint(r)? },
+            RESP_STATS => {
+                let mut fields = [0u64; 11];
+                for f in &mut fields {
+                    *f = read_uvarint(r)?;
+                }
+                Response::Stats(ServiceStats {
+                    epoch: fields[0],
+                    sheets: fields[1],
+                    cells: fields[2],
+                    dirty: fields[3],
+                    graph_edges: fields[4],
+                    cross_edges: fields[5],
+                    edits: fields[6],
+                    batches: fields[7],
+                    recalcs: fields[8],
+                    coalesced: fields[9],
+                    sessions: fields[10],
+                })
+            }
+            RESP_ERR => Response::Err(decode_error(r)?),
+            _ => return Err(StoreError::Malformed("unknown response op")),
+        };
+        if !r.is_empty() {
+            return Err(StoreError::Malformed("trailing bytes in response"));
+        }
+        Ok(resp)
+    }
+}
+
+const ERR_NO_WORKBOOK: u8 = 0;
+const ERR_AUTH: u8 = 1;
+const ERR_NO_SESSION: u8 = 2;
+const ERR_NO_SHEET: u8 = 3;
+const ERR_SCOPE: u8 = 4;
+const ERR_BAD_REQUEST: u8 = 5;
+const ERR_NOT_PERSISTENT: u8 = 6;
+const ERR_BUSY: u8 = 7;
+const ERR_SHUTDOWN: u8 = 8;
+const ERR_WIRE: u8 = 9;
+const ERR_IO: u8 = 10;
+const ERR_PROTOCOL: u8 = 11;
+
+fn encode_error<W: Write>(w: &mut W, e: &ServiceError) -> Result<(), StoreError> {
+    let (code, msg): (u8, String) = match e {
+        ServiceError::NoSuchWorkbook(n) => (ERR_NO_WORKBOOK, n.clone()),
+        ServiceError::AuthFailed => (ERR_AUTH, String::new()),
+        ServiceError::NoSession => (ERR_NO_SESSION, String::new()),
+        ServiceError::NoSuchSheet(n) => (ERR_NO_SHEET, n.clone()),
+        ServiceError::OutOfScope(n) => (ERR_SCOPE, n.clone()),
+        ServiceError::BadRequest(why) => (ERR_BAD_REQUEST, why.clone()),
+        ServiceError::NotPersistent => (ERR_NOT_PERSISTENT, String::new()),
+        ServiceError::Busy => (ERR_BUSY, String::new()),
+        ServiceError::ShuttingDown => (ERR_SHUTDOWN, String::new()),
+        ServiceError::Wire(e) => (ERR_WIRE, e.to_string()),
+        ServiceError::Io(why) => (ERR_IO, why.clone()),
+        ServiceError::Protocol(what) => (ERR_PROTOCOL, (*what).to_string()),
+    };
+    w.write_all(&[code])?;
+    write_string(w, &msg)
+}
+
+fn decode_error<R: Read>(r: &mut R) -> Result<ServiceError, StoreError> {
+    let mut code = [0u8; 1];
+    r.read_exact(&mut code)?;
+    let msg = read_wire_string(r)?;
+    Ok(match code[0] {
+        ERR_NO_WORKBOOK => ServiceError::NoSuchWorkbook(msg),
+        ERR_AUTH => ServiceError::AuthFailed,
+        ERR_NO_SESSION => ServiceError::NoSession,
+        ERR_NO_SHEET => ServiceError::NoSuchSheet(msg),
+        ERR_SCOPE => ServiceError::OutOfScope(msg),
+        ERR_BAD_REQUEST => ServiceError::BadRequest(msg),
+        ERR_NOT_PERSISTENT => ServiceError::NotPersistent,
+        ERR_BUSY => ServiceError::Busy,
+        ERR_SHUTDOWN => ServiceError::ShuttingDown,
+        ERR_WIRE => ServiceError::BadRequest(format!("peer wire error: {msg}")),
+        ERR_IO => ServiceError::Io(msg),
+        ERR_PROTOCOL => ServiceError::BadRequest(format!("peer protocol error: {msg}")),
+        _ => return Err(StoreError::Malformed("unknown error code")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_formula::CellError;
+
+    fn sample_requests() -> Vec<Request> {
+        let c = Cell::new(3, 7);
+        let r = Range::from_coords(1, 1, 4, 9);
+        vec![
+            Request::Open { workbook: "Sales".into(), auth: None, scope: None },
+            Request::Open {
+                workbook: "Sales".into(),
+                auth: Some("sekrit".into()),
+                scope: Some(vec!["Data".into(), "My Summary".into()]),
+            },
+            Request::Close { token: 99 },
+            Request::SetValue {
+                token: 1,
+                sheet: "Data".into(),
+                cell: c,
+                value: Value::Number(2.5),
+            },
+            Request::SetFormula {
+                token: 1,
+                sheet: "Data".into(),
+                cell: c,
+                src: "SUM(A1:A9)".into(),
+            },
+            Request::Autofill { token: 2, sheet: "Data".into(), src: c, targets: r },
+            Request::ClearRange { token: 2, sheet: "Data".into(), range: r },
+            Request::Get { token: 3, sheet: "Data".into(), cell: c },
+            Request::GetRange { token: 3, sheet: "Data".into(), range: r },
+            Request::Dependents { token: 4, sheet: "Data".into(), range: r },
+            Request::Precedents { token: 4, sheet: "Data".into(), range: r },
+            Request::DirtyCount { token: 5 },
+            Request::Recalc { token: 5 },
+            Request::Save { token: 6 },
+            Request::Stats { token: u64::MAX },
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        let c = Cell::new(3, 7);
+        let r = Range::from_coords(1, 1, 4, 9);
+        vec![
+            Response::Opened { token: 42, sheets: vec!["Data".into(), "Out".into()], epoch: 7 },
+            Response::Closed,
+            Response::Applied { epoch: 8, dirty: 12 },
+            Response::Value(Value::Text("héllo".into())),
+            Response::Value(Value::Error(CellError::Ref)),
+            Response::Cells(vec![(c, Value::Number(1.0)), (Cell::new(4, 7), Value::Bool(true))]),
+            Response::Ranges(vec![("Data".into(), r), ("Out".into(), Range::cell(c))]),
+            Response::Count(77),
+            Response::Recalced { evaluated: 123, epoch: 9 },
+            Response::Saved { wal_records: 0 },
+            Response::Stats(ServiceStats {
+                epoch: 1,
+                sheets: 2,
+                cells: 3,
+                dirty: 4,
+                graph_edges: 5,
+                cross_edges: 6,
+                edits: 7,
+                batches: 8,
+                recalcs: 9,
+                coalesced: 10,
+                sessions: 11,
+            }),
+            Response::Err(ServiceError::NoSuchWorkbook("nope".into())),
+            Response::Err(ServiceError::AuthFailed),
+            Response::Err(ServiceError::OutOfScope("Secret".into())),
+            Response::Err(ServiceError::BadRequest("unparsable".into())),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in sample_responses() {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                assert!(Request::decode(&bytes[..cut]).is_err(), "{req:?} cut at {cut}");
+            }
+        }
+        for resp in sample_responses() {
+            let bytes = resp.encode();
+            for cut in 0..bytes.len() {
+                assert!(Response::decode(&bytes[..cut]).is_err(), "{resp:?} cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_typed() {
+        let mut bytes = Request::Recalc { token: 1 }.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(StoreError::Malformed("trailing bytes in request"))
+        ));
+        let mut bytes = Response::Closed.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Response::decode(&bytes),
+            Err(StoreError::Malformed("trailing bytes in response"))
+        ));
+    }
+
+    #[test]
+    fn unknown_ops_are_typed() {
+        assert!(matches!(
+            Request::decode(&[200]),
+            Err(StoreError::Malformed("unknown request op"))
+        ));
+        assert!(matches!(
+            Response::decode(&[200]),
+            Err(StoreError::Malformed("unknown response op"))
+        ));
+        assert!(Request::decode(&[]).is_err());
+    }
+}

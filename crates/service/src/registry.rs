@@ -1,0 +1,1047 @@
+//! The server core: a registry of named workbooks, each owned by a
+//! single writer thread, with lock-free epoch snapshots for reads.
+//!
+//! # Concurrency model
+//!
+//! Every registered workbook is owned by **one worker thread**; nothing
+//! else ever holds `&mut` to it. The two access paths:
+//!
+//! - **Reads** (`Get`, `GetRange`, `DirtyCount`, `Stats`) execute on the
+//!   *caller's* thread against the workbook's current [`Snapshot`] — an
+//!   immutable, `Arc`-shared copy of the cell values. The snapshot
+//!   pointer lives in an `RwLock<Arc<Snapshot>>` whose write lock is held
+//!   only for the pointer swap (and the read lock only for a pointer
+//!   clone), so a reader never waits for an edit to apply, a batch to
+//!   route, or a recalculation to finish — it just sees the previous
+//!   epoch until the next one is published.
+//! - **Writes** (`SetValue`, `SetFormula`, `Autofill`, `ClearRange`) and
+//!   operations that need the graph or the file (`Dependents`,
+//!   `Precedents`, `Recalc`, `Save`) are messages to the worker. The
+//!   worker **coalesces** its queue: when it dequeues an edit it drains
+//!   every immediately-available edit behind it (up to
+//!   [`ServiceOptions::max_batch`]) and applies them as one
+//!   [`Workbook::apply_batch`] — one dirty-propagation pass and **one**
+//!   recalculation for the whole batch instead of one per edit. Batched
+//!   and unbatched application are result-identical (property-tested in
+//!   `crates/engine/tests/batch.rs` and end-to-end in
+//!   `crates/service/tests/concurrent.rs`).
+//!
+//! After every batch the worker publishes a new snapshot with
+//! copy-on-write sheet granularity: untouched sheets share their cell map
+//! `Arc` with the previous epoch, so publication cost scales with what
+//! the batch touched, not with workbook size.
+//!
+//! A workbook may be backed by a [`PersistentWorkbook`] (WAL + snapshot
+//! file): edits then go through [`PersistentWorkbook::log_batch`], which
+//! appends the whole batch to the WAL with one fsync decision, so a crash
+//! reopens to a clean *prefix* of the applied edit order (the WAL tear
+//! rules of `taco_store::wal`).
+//!
+//! [`Workbook::apply_batch`]: taco_engine::Workbook::apply_batch
+
+use crate::protocol::{Request, Response, ServiceStats};
+use crate::session::{Session, SessionToken};
+use crate::ServiceError;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use taco_engine::{PersistentWorkbook, RecalcMode, SheetId, Workbook, WorkbookReceipt};
+use taco_formula::{Formula, Value};
+use taco_grid::{Cell, Range};
+use taco_store::EditRecord;
+
+/// Tuning for a [`Registry`] and the workers it spawns.
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Coalesce queued edits into one batch + one recalculation
+    /// (`false` = apply, route, and recalculate every edit individually —
+    /// the comparison baseline for the throughput bench).
+    pub coalesce: bool,
+    /// Largest number of edits one batch may absorb.
+    pub max_batch: usize,
+    /// How workers recalculate (serial, or sheet-parallel).
+    pub recalc_mode: RecalcMode,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions { coalesce: true, max_batch: 256, recalc_mode: RecalcMode::Serial }
+    }
+}
+
+// ---- snapshots ----------------------------------------------------------
+
+/// One sheet's slice of a snapshot.
+struct SheetSnap {
+    name: String,
+    cells: Arc<HashMap<Cell, Value>>,
+}
+
+/// An immutable view of a workbook's cell values at one publication
+/// epoch. Cheap to share (`Arc` per sheet) and cheap to republish
+/// (copy-on-write: only sheets a batch touched are rebuilt).
+pub struct Snapshot {
+    /// Publication counter; bumps once per published batch/recalc.
+    pub epoch: u64,
+    sheets: Vec<SheetSnap>,
+    /// Lower-cased sheet name → dense index.
+    index: HashMap<String, usize>,
+    /// Cells awaiting recalculation when this epoch was published.
+    pub dirty: u64,
+    /// Non-empty cells across all sheets.
+    pub cells_total: u64,
+    /// Compressed formula-graph edges across all sheets.
+    pub graph_edges: u64,
+    /// Inter-sheet edges.
+    pub cross_edges: u64,
+}
+
+impl Snapshot {
+    /// Builds epoch 0 from a live workbook.
+    fn build(wb: &Workbook) -> Snapshot {
+        Snapshot::rebuild_from(None, wb, &BTreeSet::new())
+    }
+
+    /// Builds `prev`'s successor, rebuilding only `touched` sheets (and
+    /// any sheet `prev` does not know yet).
+    fn rebuild_from(prev: Option<&Snapshot>, wb: &Workbook, touched: &BTreeSet<usize>) -> Snapshot {
+        let mut sheets = Vec::with_capacity(wb.sheet_count());
+        let mut index = HashMap::new();
+        for i in 0..wb.sheet_count() {
+            let id = SheetId(i);
+            let name = wb.sheet_name(id).to_string();
+            let reusable = prev
+                .and_then(|p| p.sheets.get(i))
+                .filter(|s| !touched.contains(&i) && s.name == name);
+            let cells = match reusable {
+                Some(s) => Arc::clone(&s.cells),
+                None => {
+                    Arc::new(wb.sheet(id).cells().map(|(c, k)| (c, k.value().clone())).collect())
+                }
+            };
+            index.insert(name.to_ascii_lowercase(), i);
+            sheets.push(SheetSnap { name, cells });
+        }
+        Snapshot {
+            epoch: prev.map_or(0, |p| p.epoch + 1),
+            dirty: wb.dirty_count() as u64,
+            cells_total: sheets.iter().map(|s| s.cells.len() as u64).sum(),
+            graph_edges: (0..wb.sheet_count())
+                .map(|i| wb.sheet(SheetId(i)).graph().num_edges() as u64)
+                .sum(),
+            cross_edges: wb.cross_edge_count() as u64,
+            sheets,
+            index,
+        }
+    }
+
+    /// Resolves a sheet name (case-insensitive) to its dense index.
+    pub fn sheet_index(&self, name: &str) -> Option<usize> {
+        self.index.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// The sheet names, in dense order.
+    pub fn sheet_names(&self) -> Vec<String> {
+        self.sheets.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// One cell's value (`Empty` for never-written cells).
+    pub fn value(&self, sheet: usize, cell: Cell) -> Value {
+        self.sheets.get(sheet).and_then(|s| s.cells.get(&cell).cloned()).unwrap_or(Value::Empty)
+    }
+
+    /// Every non-empty cell of `range`, sorted by (row, col).
+    pub fn cells_in(&self, sheet: usize, range: Range) -> Vec<(Cell, Value)> {
+        let Some(s) = self.sheets.get(sheet) else { return Vec::new() };
+        let mut out: Vec<(Cell, Value)> = s
+            .cells
+            .iter()
+            .filter(|(c, _)| range.contains_cell(**c))
+            .map(|(c, v)| (*c, v.clone()))
+            .collect();
+        out.sort_unstable_by_key(|(c, _)| (c.row, c.col));
+        out
+    }
+}
+
+// ---- worker plumbing ----------------------------------------------------
+
+/// Monotone per-workbook counters (relaxed: they are diagnostics, not
+/// synchronization).
+#[derive(Default)]
+struct Counters {
+    edits: AtomicU64,
+    batches: AtomicU64,
+    recalcs: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// State shared between the worker thread and the registry. Deliberately
+/// does **not** contain the worker's `Sender`: when the registry drops,
+/// the sender drops with it and the worker's `recv` unblocks.
+struct BookShared {
+    snapshot: RwLock<Arc<Snapshot>>,
+    stats: Counters,
+}
+
+impl BookShared {
+    fn publish(&self, wb: &Workbook, touched: &BTreeSet<usize>) -> u64 {
+        let prev = Arc::clone(&self.snapshot.read());
+        let next = Arc::new(Snapshot::rebuild_from(Some(&prev), wb, touched));
+        let epoch = next.epoch;
+        *self.snapshot.write() = next;
+        epoch
+    }
+}
+
+/// One queued write.
+enum WriteOp {
+    Edit(EditRecord),
+    Autofill { sheet: u32, src: Cell, targets: Range },
+}
+
+/// One message to a workbook's worker.
+enum WorkerMsg {
+    Write { op: WriteOp, reply: Sender<Response> },
+    Graph { dependents: bool, sheet: u32, range: Range, reply: Sender<Response> },
+    Recalc { reply: Sender<Response> },
+    Save { reply: Sender<Response> },
+    Shutdown,
+}
+
+/// A registered workbook: its shared read state plus the writer queue.
+struct BookHandle {
+    name: String,
+    auth: Option<String>,
+    shared: Arc<BookShared>,
+    tx: Mutex<Sender<WorkerMsg>>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl BookHandle {
+    fn send(&self, msg: WorkerMsg) -> Result<(), ServiceError> {
+        self.tx.lock().send(msg).map_err(|_| ServiceError::ShuttingDown)
+    }
+
+    /// Sends `msg` and waits for the worker's reply.
+    fn ask(&self, make: impl FnOnce(Sender<Response>) -> WorkerMsg) -> Response {
+        let (reply, rx) = channel::unbounded();
+        if self.send(make(reply)).is_err() {
+            return Response::Err(ServiceError::ShuttingDown);
+        }
+        match rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => Response::Err(ServiceError::ShuttingDown),
+        }
+    }
+}
+
+/// What a worker owns: a bare workbook, or one with a WAL+snapshot home.
+enum Backing {
+    Plain(Workbook),
+    Persistent(PersistentWorkbook),
+}
+
+impl Backing {
+    fn workbook(&self) -> &Workbook {
+        match self {
+            Backing::Plain(wb) => wb,
+            Backing::Persistent(p) => p.workbook(),
+        }
+    }
+
+    fn workbook_mut(&mut self) -> &mut Workbook {
+        match self {
+            Backing::Plain(wb) => wb,
+            Backing::Persistent(p) => p.workbook_mut(),
+        }
+    }
+
+    /// One batch, logged when persistent.
+    fn apply_batch(
+        &mut self,
+        records: &[EditRecord],
+    ) -> Result<WorkbookReceipt, taco_engine::BatchError> {
+        match self {
+            Backing::Plain(wb) => wb.apply_batch(records),
+            Backing::Persistent(p) => p.log_batch(records),
+        }
+    }
+
+    fn autofill(
+        &mut self,
+        sheet: SheetId,
+        src: Cell,
+        targets: Range,
+    ) -> Result<WorkbookReceipt, taco_store::StoreError> {
+        match self {
+            Backing::Plain(wb) => wb
+                .autofill(sheet, src, targets)
+                .map_err(|e| taco_store::StoreError::InvalidRecord(e.to_string())),
+            Backing::Persistent(p) => p.autofill(sheet, src, targets),
+        }
+    }
+
+    fn is_persistent(&self) -> bool {
+        matches!(self, Backing::Persistent(_))
+    }
+
+    fn recalculate(&mut self, mode: RecalcMode) -> usize {
+        match self {
+            Backing::Plain(wb) => wb.recalculate(mode),
+            Backing::Persistent(p) => p.recalculate(mode),
+        }
+    }
+}
+
+// ---- the registry -------------------------------------------------------
+
+/// A registry of named workbooks plus the session table; the shared core
+/// both transports execute against.
+pub struct Registry {
+    opts: ServiceOptions,
+    books: RwLock<HashMap<String, Arc<BookHandle>>>,
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_seq: AtomicU64,
+    token_seed: u64,
+    down: AtomicBool,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new(ServiceOptions::default())
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new(opts: ServiceOptions) -> Registry {
+        let token_seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED)
+            | 1;
+        Registry {
+            opts,
+            books: RwLock::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            next_seq: AtomicU64::new(1),
+            token_seed,
+            down: AtomicBool::new(false),
+        }
+    }
+
+    /// Registers a workbook under `name` (case-insensitive, must be
+    /// unused); `auth` = the token clients must present to open it.
+    /// Spawns the workbook's writer thread.
+    pub fn add_workbook(
+        &self,
+        name: &str,
+        wb: Workbook,
+        auth: Option<&str>,
+    ) -> Result<(), ServiceError> {
+        self.register(name, auth, Backing::Plain(wb))
+    }
+
+    /// Registers a WAL-backed workbook: edits are batch-appended to its
+    /// log, `Save` folds the log into the snapshot file.
+    pub fn add_persistent(
+        &self,
+        name: &str,
+        pw: PersistentWorkbook,
+        auth: Option<&str>,
+    ) -> Result<(), ServiceError> {
+        self.register(name, auth, Backing::Persistent(pw))
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        auth: Option<&str>,
+        backing: Backing,
+    ) -> Result<(), ServiceError> {
+        if name.is_empty() {
+            return Err(ServiceError::BadRequest("empty workbook name".into()));
+        }
+        let key = name.to_ascii_lowercase();
+        let shared = Arc::new(BookShared {
+            snapshot: RwLock::new(Arc::new(Snapshot::build(backing.workbook()))),
+            stats: Counters::default(),
+        });
+        let (tx, rx) = channel::unbounded();
+        let mut books = self.books.write();
+        if books.contains_key(&key) {
+            return Err(ServiceError::BadRequest(format!("workbook {name:?} already registered")));
+        }
+        let worker_shared = Arc::clone(&shared);
+        let worker_opts = self.opts.clone();
+        let worker = std::thread::Builder::new()
+            .name(format!("taco-writer-{key}"))
+            .spawn(move || worker_loop(rx, backing, worker_shared, worker_opts))
+            .map_err(|e| ServiceError::Io(e.to_string()))?;
+        books.insert(
+            key,
+            Arc::new(BookHandle {
+                name: name.to_string(),
+                auth: auth.map(str::to_string),
+                shared,
+                tx: Mutex::new(tx),
+                worker: Mutex::new(Some(worker)),
+            }),
+        );
+        Ok(())
+    }
+
+    /// The registered workbook names (registration case preserved).
+    pub fn workbook_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.books.read().values().map(|b| b.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    /// The current snapshot of a workbook (diagnostics, tests).
+    pub fn snapshot(&self, workbook: &str) -> Option<Arc<Snapshot>> {
+        let handle = self.handle(&workbook.to_ascii_lowercase())?;
+        let snap = Arc::clone(&handle.shared.snapshot.read());
+        Some(snap)
+    }
+
+    /// Write-queue barrier: waits until every write queued before this
+    /// call has been applied (and recalculated). Returns `false` when the
+    /// workbook is unknown or its worker is gone.
+    pub fn quiesce(&self, workbook: &str) -> bool {
+        let Some(handle) = self.handle(&workbook.to_ascii_lowercase()) else { return false };
+        matches!(handle.ask(|reply| WorkerMsg::Recalc { reply }), Response::Recalced { .. })
+    }
+
+    /// Closes a session (idempotent — closing an unknown token is a
+    /// no-op, so transports can clean up unconditionally).
+    pub fn close_session(&self, token: u64) {
+        self.sessions.lock().remove(&token);
+    }
+
+    /// Open sessions across all workbooks.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Stops accepting requests, drains every worker, and joins the
+    /// writer threads (persistent workbooks get a final WAL fsync).
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.down.store(true, Ordering::SeqCst);
+        let handles: Vec<Arc<BookHandle>> = self.books.read().values().cloned().collect();
+        for handle in handles {
+            let _ = handle.send(WorkerMsg::Shutdown);
+            if let Some(worker) = handle.worker.lock().take() {
+                let _ = worker.join();
+            }
+        }
+        self.sessions.lock().clear();
+    }
+
+    fn handle(&self, key: &str) -> Option<Arc<BookHandle>> {
+        self.books.read().get(key).cloned()
+    }
+
+    /// Resolves a token to its session and workbook handle.
+    fn resolve(&self, token: u64) -> Result<(Session, Arc<BookHandle>), ServiceError> {
+        let session = self.sessions.lock().get(&token).cloned().ok_or(ServiceError::NoSession)?;
+        let handle = self.handle(&session.workbook).ok_or(ServiceError::NoSession)?;
+        Ok((session, handle))
+    }
+
+    /// Resolves token + sheet name to the handle and the sheet's dense
+    /// index, enforcing the session scope.
+    fn resolve_sheet(
+        &self,
+        token: u64,
+        sheet: &str,
+    ) -> Result<(Session, Arc<BookHandle>, u32), ServiceError> {
+        let (session, handle) = self.resolve(token)?;
+        session.check(sheet)?;
+        let snap = Arc::clone(&handle.shared.snapshot.read());
+        let idx =
+            snap.sheet_index(sheet).ok_or_else(|| ServiceError::NoSuchSheet(sheet.to_string()))?;
+        Ok((session, handle, idx as u32))
+    }
+
+    /// Executes one request — the single entry point both transports
+    /// share. Never panics; every failure is a [`Response::Err`].
+    pub fn execute(&self, req: Request) -> Response {
+        if self.down.load(Ordering::SeqCst) {
+            return Response::Err(ServiceError::ShuttingDown);
+        }
+        match self.try_execute(req) {
+            Ok(resp) => resp,
+            Err(e) => Response::Err(e),
+        }
+    }
+
+    fn try_execute(&self, req: Request) -> Result<Response, ServiceError> {
+        match req {
+            Request::Open { workbook, auth, scope } => self.open(&workbook, auth, scope),
+            Request::Close { token } => {
+                self.close_session(token);
+                Ok(Response::Closed)
+            }
+            Request::SetValue { token, sheet, cell, value } => {
+                let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
+                let op = WriteOp::Edit(EditRecord::SetValue { sheet: sid, cell, value });
+                Ok(handle.ask(|reply| WorkerMsg::Write { op, reply }))
+            }
+            Request::SetFormula { token, sheet, cell, src } => {
+                let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
+                // Pre-validate so coalesced batches stay failure-free and
+                // the client gets the parse error, not a batch index.
+                Formula::parse(&src)
+                    .map_err(|e| ServiceError::BadRequest(format!("formula: {e}")))?;
+                let op = WriteOp::Edit(EditRecord::SetFormula { sheet: sid, cell, src });
+                Ok(handle.ask(|reply| WorkerMsg::Write { op, reply }))
+            }
+            Request::Autofill { token, sheet, src, targets } => {
+                let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
+                let op = WriteOp::Autofill { sheet: sid, src, targets };
+                Ok(handle.ask(|reply| WorkerMsg::Write { op, reply }))
+            }
+            Request::ClearRange { token, sheet, range } => {
+                let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
+                let op = WriteOp::Edit(EditRecord::ClearRange { sheet: sid, range });
+                Ok(handle.ask(|reply| WorkerMsg::Write { op, reply }))
+            }
+            Request::Get { token, sheet, cell } => {
+                let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
+                let snap = Arc::clone(&handle.shared.snapshot.read());
+                Ok(Response::Value(snap.value(sid as usize, cell)))
+            }
+            Request::GetRange { token, sheet, range } => {
+                let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
+                let snap = Arc::clone(&handle.shared.snapshot.read());
+                Ok(Response::Cells(snap.cells_in(sid as usize, range)))
+            }
+            Request::Dependents { token, sheet, range } => {
+                let (session, handle, sid) = self.resolve_sheet(token, &sheet)?;
+                let resp = handle.ask(|reply| WorkerMsg::Graph {
+                    dependents: true,
+                    sheet: sid,
+                    range,
+                    reply,
+                });
+                Ok(filter_scoped(resp, &session))
+            }
+            Request::Precedents { token, sheet, range } => {
+                let (session, handle, sid) = self.resolve_sheet(token, &sheet)?;
+                let resp = handle.ask(|reply| WorkerMsg::Graph {
+                    dependents: false,
+                    sheet: sid,
+                    range,
+                    reply,
+                });
+                Ok(filter_scoped(resp, &session))
+            }
+            Request::DirtyCount { token } => {
+                let (_, handle) = self.resolve(token)?;
+                let snap = Arc::clone(&handle.shared.snapshot.read());
+                Ok(Response::Count(snap.dirty))
+            }
+            Request::Recalc { token } => {
+                let (_, handle) = self.resolve(token)?;
+                Ok(handle.ask(|reply| WorkerMsg::Recalc { reply }))
+            }
+            Request::Save { token } => {
+                let (_, handle) = self.resolve(token)?;
+                Ok(handle.ask(|reply| WorkerMsg::Save { reply }))
+            }
+            Request::Stats { token } => {
+                let (_, handle) = self.resolve(token)?;
+                let snap = Arc::clone(&handle.shared.snapshot.read());
+                let stats = &handle.shared.stats;
+                Ok(Response::Stats(ServiceStats {
+                    epoch: snap.epoch,
+                    sheets: snap.sheet_names().len() as u64,
+                    cells: snap.cells_total,
+                    dirty: snap.dirty,
+                    graph_edges: snap.graph_edges,
+                    cross_edges: snap.cross_edges,
+                    edits: stats.edits.load(Ordering::Relaxed),
+                    batches: stats.batches.load(Ordering::Relaxed),
+                    recalcs: stats.recalcs.load(Ordering::Relaxed),
+                    coalesced: stats.coalesced.load(Ordering::Relaxed),
+                    sessions: self.session_count() as u64,
+                }))
+            }
+        }
+    }
+
+    fn open(
+        &self,
+        workbook: &str,
+        auth: Option<String>,
+        scope: Option<Vec<String>>,
+    ) -> Result<Response, ServiceError> {
+        let key = workbook.to_ascii_lowercase();
+        let handle =
+            self.handle(&key).ok_or_else(|| ServiceError::NoSuchWorkbook(workbook.to_string()))?;
+        if handle.auth.as_deref() != auth.as_deref() {
+            return Err(ServiceError::AuthFailed);
+        }
+        let snap = Arc::clone(&handle.shared.snapshot.read());
+        let scope_set: Option<HashSet<String>> = match scope {
+            None => None,
+            Some(names) => {
+                let mut set = HashSet::new();
+                for name in names {
+                    if snap.sheet_index(&name).is_none() {
+                        return Err(ServiceError::NoSuchSheet(name));
+                    }
+                    set.insert(name.to_ascii_lowercase());
+                }
+                Some(set)
+            }
+        };
+        let session = Session::new(key, scope_set);
+        let visible: Vec<String> =
+            snap.sheet_names().into_iter().filter(|s| session.allows(s)).collect();
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let token = SessionToken::mint(seq, self.token_seed).0;
+        self.sessions.lock().insert(token, session);
+        Ok(Response::Opened { token, sheets: visible, epoch: snap.epoch })
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Applies the session's sheet scope to a `Ranges` response.
+fn filter_scoped(resp: Response, session: &Session) -> Response {
+    match resp {
+        Response::Ranges(ranges) => Response::Ranges(session.filter_ranges(ranges)),
+        other => other,
+    }
+}
+
+// ---- the worker ---------------------------------------------------------
+
+/// The dense sheet index a record targets, if any.
+fn record_sheet(rec: &EditRecord) -> Option<usize> {
+    match rec {
+        EditRecord::SetValue { sheet, .. }
+        | EditRecord::SetFormula { sheet, .. }
+        | EditRecord::ClearRange { sheet, .. } => Some(*sheet as usize),
+        EditRecord::AddSheet { .. } => None,
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<WorkerMsg>,
+    mut backing: Backing,
+    shared: Arc<BookShared>,
+    opts: ServiceOptions,
+) {
+    // Set when the WAL refused an append/fsync while the corresponding
+    // edits are live in memory: the log is now *behind* the workbook, so
+    // appending anything further would punch a hole in it. Writes are
+    // rejected until a successful `Save` (compaction rewrites the
+    // snapshot from the live state and resets the log, restoring
+    // memory/disk agreement).
+    let mut wal_down = false;
+    'outer: loop {
+        let Ok(msg) = rx.recv() else { break };
+        let mut pending = Some(msg);
+        while let Some(msg) = pending.take() {
+            match msg {
+                WorkerMsg::Shutdown => break 'outer,
+                WorkerMsg::Write { op, reply } => {
+                    let mut writes = vec![(op, reply)];
+                    if opts.coalesce {
+                        while writes.len() < opts.max_batch.max(1) {
+                            match rx.try_recv() {
+                                Ok(WorkerMsg::Write { op, reply }) => writes.push((op, reply)),
+                                Ok(other) => {
+                                    pending = Some(other);
+                                    break;
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    apply_writes(&mut backing, &shared, &opts, writes, &mut wal_down);
+                }
+                WorkerMsg::Graph { dependents, sheet, range, reply } => {
+                    let wb = backing.workbook_mut();
+                    let resp = if (sheet as usize) >= wb.sheet_count() {
+                        Response::Err(ServiceError::NoSuchSheet(format!("#{sheet}")))
+                    } else {
+                        let sid = SheetId(sheet as usize);
+                        let found = if dependents {
+                            wb.find_dependents(sid, range)
+                        } else {
+                            wb.find_precedents(sid, range)
+                        };
+                        Response::Ranges(
+                            found
+                                .into_iter()
+                                .map(|(s, r)| (wb.sheet_name(s).to_string(), r))
+                                .collect(),
+                        )
+                    };
+                    let _ = reply.send(resp);
+                }
+                WorkerMsg::Recalc { reply } => {
+                    let touched = dirty_sheets(backing.workbook());
+                    let evaluated = backing.recalculate(opts.recalc_mode) as u64;
+                    shared.stats.recalcs.fetch_add(1, Ordering::Relaxed);
+                    let epoch = shared.publish(backing.workbook(), &touched);
+                    let _ = reply.send(Response::Recalced { evaluated, epoch });
+                }
+                WorkerMsg::Save { reply } => {
+                    let resp = match &mut backing {
+                        Backing::Plain(_) => Response::Err(ServiceError::NotPersistent),
+                        Backing::Persistent(p) => match p.compact() {
+                            Ok(()) => {
+                                // The snapshot now reflects the full live
+                                // state and the log is empty: a prior WAL
+                                // failure is healed.
+                                wal_down = false;
+                                Response::Saved { wal_records: p.wal_record_count() }
+                            }
+                            Err(e) => Response::Err(ServiceError::BadRequest(format!("save: {e}"))),
+                        },
+                    };
+                    let _ = reply.send(resp);
+                }
+            }
+        }
+    }
+    // Clean exit: make queued durability real before the thread dies.
+    if let Backing::Persistent(p) = &mut backing {
+        let _ = p.sync();
+    }
+}
+
+/// Sheets with work pending — they (and only they) change during the
+/// recalculation that follows.
+fn dirty_sheets(wb: &Workbook) -> BTreeSet<usize> {
+    (0..wb.sheet_count()).filter(|&i| wb.sheet(SheetId(i)).dirty_count() > 0).collect()
+}
+
+/// The reply clients get while the WAL is behind the live workbook.
+fn wal_down_error() -> ServiceError {
+    ServiceError::BadRequest(
+        "write-ahead log unavailable; workbook is read-only until a successful Save".into(),
+    )
+}
+
+/// Applies one drained run of writes: consecutive edits in one batch
+/// (one `apply_batch`, one recalculation), autofills individually. All
+/// replies carry the epoch of the snapshot published at the end.
+///
+/// Failure discipline (cold paths — requests are pre-validated):
+///
+/// - an **apply**-stage batch failure applied and routed only the prefix;
+///   the suffix re-applies individually so every edit gets a true result;
+/// - a **log**-stage failure means the edits are live in memory but the
+///   WAL is short: nothing may be re-applied (double-apply) or appended
+///   (a hole in the log), so the affected edits are answered with an
+///   error and `wal_down` rejects further writes until `Save` heals the
+///   log by rewriting the snapshot from the live state.
+fn apply_writes(
+    backing: &mut Backing,
+    shared: &Arc<BookShared>,
+    opts: &ServiceOptions,
+    writes: Vec<(WriteOp, Sender<Response>)>,
+    wal_down: &mut bool,
+) {
+    use taco_engine::BatchStage;
+    // (reply, result) pairs deferred until the new epoch is known.
+    let mut deferred: Vec<(Sender<Response>, Result<u64, ServiceError>)> = Vec::new();
+    let mut touched: BTreeSet<usize> = BTreeSet::new();
+    let mut i = 0;
+    while i < writes.len() {
+        if *wal_down {
+            deferred.push((writes[i].1.clone(), Err(wal_down_error())));
+            i += 1;
+            continue;
+        }
+        match &writes[i].0 {
+            WriteOp::Edit(_) => {
+                let start = i;
+                while i < writes.len() && matches!(writes[i].0, WriteOp::Edit(_)) {
+                    i += 1;
+                }
+                let run = &writes[start..i];
+                let records: Vec<EditRecord> = run
+                    .iter()
+                    .map(|(op, _)| match op {
+                        WriteOp::Edit(rec) => rec.clone(),
+                        WriteOp::Autofill { .. } => unreachable!("run holds only edits"),
+                    })
+                    .collect();
+                for rec in &records {
+                    if let Some(s) = record_sheet(rec) {
+                        touched.insert(s);
+                    }
+                }
+                shared.stats.edits.fetch_add(run.len() as u64, Ordering::Relaxed);
+                shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+                if run.len() > 1 {
+                    shared.stats.coalesced.fetch_add(run.len() as u64, Ordering::Relaxed);
+                }
+                match backing.apply_batch(&records) {
+                    Ok(receipt) => {
+                        for (s, _) in &receipt.dirty {
+                            touched.insert(s.index());
+                        }
+                        let dirty = receipt.dirty.len() as u64;
+                        deferred.extend(run.iter().map(|(_, tx)| (tx.clone(), Ok(dirty))));
+                    }
+                    Err(be) if be.stage == BatchStage::Log => {
+                        // Live workbook ahead of the log: acknowledge the
+                        // durably-logged prefix, fail the rest, and stop
+                        // logging anything further.
+                        *wal_down = true;
+                        for (k, (_, tx)) in run.iter().enumerate() {
+                            if k < be.index {
+                                deferred.push((tx.clone(), Ok(0)));
+                            } else {
+                                deferred.push((tx.clone(), Err(wal_down_error())));
+                            }
+                        }
+                    }
+                    Err(be) => {
+                        // Apply-stage: the prefix applied and routed; the
+                        // failing record reports its error; the suffix
+                        // re-applies individually so each edit gets a
+                        // true result.
+                        for (k, (_, tx)) in run.iter().enumerate() {
+                            if k < be.index {
+                                deferred.push((tx.clone(), Ok(0)));
+                            } else if k == be.index {
+                                deferred.push((
+                                    tx.clone(),
+                                    Err(ServiceError::BadRequest(be.error.to_string())),
+                                ));
+                            } else if *wal_down {
+                                deferred.push((tx.clone(), Err(wal_down_error())));
+                            } else {
+                                let result = match backing.apply_batch(&records[k..=k]) {
+                                    Ok(receipt) => {
+                                        for (s, _) in &receipt.dirty {
+                                            touched.insert(s.index());
+                                        }
+                                        Ok(receipt.dirty.len() as u64)
+                                    }
+                                    Err(e) if e.stage == BatchStage::Log => {
+                                        *wal_down = true;
+                                        Err(wal_down_error())
+                                    }
+                                    Err(e) => Err(ServiceError::BadRequest(e.error.to_string())),
+                                };
+                                deferred.push((tx.clone(), result));
+                            }
+                        }
+                    }
+                }
+            }
+            WriteOp::Autofill { sheet, src, targets } => {
+                let (sheet, src, targets) = (*sheet, *src, *targets);
+                i += 1;
+                shared.stats.edits.fetch_add(1, Ordering::Relaxed);
+                shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+                touched.insert(sheet as usize);
+                let wb_sheets = backing.workbook().sheet_count();
+                let result = if (sheet as usize) >= wb_sheets {
+                    Err(ServiceError::NoSuchSheet(format!("#{sheet}")))
+                } else {
+                    match backing.autofill(SheetId(sheet as usize), src, targets) {
+                        Ok(receipt) => {
+                            for (s, _) in &receipt.dirty {
+                                touched.insert(s.index());
+                            }
+                            Ok(receipt.dirty.len() as u64)
+                        }
+                        // An I/O failure from a persistent autofill is a
+                        // WAL append that died after the fill applied —
+                        // same discipline as a log-stage batch failure.
+                        Err(e @ taco_store::StoreError::Io { .. }) if backing.is_persistent() => {
+                            *wal_down = true;
+                            let _ = e;
+                            Err(wal_down_error())
+                        }
+                        Err(e) => Err(ServiceError::BadRequest(format!("autofill: {e}"))),
+                    }
+                };
+                deferred.push((writes[i - 1].1.clone(), result));
+            }
+        }
+    }
+    // One recalculation for everything the run dirtied, then one
+    // publication, then the replies (which carry the new epoch).
+    touched.extend(dirty_sheets(backing.workbook()));
+    backing.recalculate(opts.recalc_mode);
+    shared.stats.recalcs.fetch_add(1, Ordering::Relaxed);
+    let epoch = shared.publish(backing.workbook(), &touched);
+    for (tx, result) in deferred {
+        let resp = match result {
+            Ok(dirty) => Response::Applied { epoch, dirty },
+            Err(e) => Response::Err(e),
+        };
+        let _ = tx.send(resp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Cell {
+        Cell::parse_a1(s).unwrap()
+    }
+
+    fn demo_registry(coalesce: bool) -> Registry {
+        let mut wb = Workbook::with_taco();
+        let data = wb.add_sheet("Data").unwrap();
+        wb.add_sheet("Secret").unwrap();
+        for row in 1..=4u32 {
+            wb.set_value(data, Cell::new(1, row), Value::Number(f64::from(row)));
+        }
+        wb.set_formula(data, c("B1"), "=SUM(A1:A4)").unwrap();
+        wb.recalculate(RecalcMode::Serial);
+        let reg = Registry::new(ServiceOptions { coalesce, ..ServiceOptions::default() });
+        reg.add_workbook("Demo", wb, Some("pw")).unwrap();
+        reg
+    }
+
+    fn open(reg: &Registry, auth: Option<&str>, scope: Option<Vec<String>>) -> Response {
+        reg.execute(Request::Open {
+            workbook: "demo".into(),
+            auth: auth.map(str::to_string),
+            scope,
+        })
+    }
+
+    #[test]
+    fn open_requires_matching_auth() {
+        let reg = demo_registry(true);
+        assert!(matches!(open(&reg, None, None), Response::Err(ServiceError::AuthFailed)));
+        assert!(matches!(open(&reg, Some("wrong"), None), Response::Err(ServiceError::AuthFailed)));
+        let Response::Opened { sheets, .. } = open(&reg, Some("pw"), None) else {
+            panic!("open must succeed with the right auth");
+        };
+        assert_eq!(sheets, vec!["Data".to_string(), "Secret".to_string()]);
+    }
+
+    #[test]
+    fn writes_apply_and_reads_see_published_epochs() {
+        for coalesce in [true, false] {
+            let reg = demo_registry(coalesce);
+            let Response::Opened { token, epoch, .. } = open(&reg, Some("pw"), None) else {
+                panic!("open");
+            };
+            let resp = reg.execute(Request::SetValue {
+                token,
+                sheet: "Data".into(),
+                cell: c("A1"),
+                value: Value::Number(100.0),
+            });
+            let Response::Applied { epoch: e2, .. } = resp else { panic!("applied: {resp:?}") };
+            assert!(e2 > epoch);
+            // The write's batch recalculated before publishing: the read
+            // sees the new SUM immediately.
+            let resp = reg.execute(Request::Get { token, sheet: "Data".into(), cell: c("B1") });
+            assert_eq!(resp, Response::Value(Value::Number(109.0)), "coalesce={coalesce}");
+        }
+    }
+
+    #[test]
+    fn scope_restricts_sheets_and_results() {
+        let reg = demo_registry(true);
+        let Response::Opened { token, sheets, .. } =
+            open(&reg, Some("pw"), Some(vec!["Data".into()]))
+        else {
+            panic!("open");
+        };
+        assert_eq!(sheets, vec!["Data".to_string()]);
+        let resp = reg.execute(Request::Get { token, sheet: "Secret".into(), cell: c("A1") });
+        assert!(matches!(resp, Response::Err(ServiceError::OutOfScope(_))), "{resp:?}");
+        // Unknown scope sheet fails at open.
+        assert!(matches!(
+            open(&reg, Some("pw"), Some(vec!["Nope".into()])),
+            Response::Err(ServiceError::NoSuchSheet(_))
+        ));
+    }
+
+    #[test]
+    fn queries_route_through_the_worker() {
+        let reg = demo_registry(true);
+        let Response::Opened { token, .. } = open(&reg, Some("pw"), None) else { panic!() };
+        let resp = reg.execute(Request::Dependents {
+            token,
+            sheet: "Data".into(),
+            range: Range::cell(c("A2")),
+        });
+        let Response::Ranges(ranges) = resp else { panic!("{resp:?}") };
+        assert!(ranges.iter().any(|(s, r)| s == "Data" && r.contains_cell(c("B1"))));
+        let resp = reg.execute(Request::Precedents {
+            token,
+            sheet: "Data".into(),
+            range: Range::cell(c("B1")),
+        });
+        let Response::Ranges(ranges) = resp else { panic!("{resp:?}") };
+        assert!(!ranges.is_empty());
+    }
+
+    #[test]
+    fn stale_token_and_closed_sessions_are_typed() {
+        let reg = demo_registry(true);
+        let resp = reg.execute(Request::DirtyCount { token: 12345 });
+        assert!(matches!(resp, Response::Err(ServiceError::NoSession)));
+        let Response::Opened { token, .. } = open(&reg, Some("pw"), None) else { panic!() };
+        assert_eq!(reg.execute(Request::Close { token }), Response::Closed);
+        let resp = reg.execute(Request::DirtyCount { token });
+        assert!(matches!(resp, Response::Err(ServiceError::NoSession)));
+    }
+
+    #[test]
+    fn save_on_plain_workbook_is_not_persistent() {
+        let reg = demo_registry(true);
+        let Response::Opened { token, .. } = open(&reg, Some("pw"), None) else { panic!() };
+        let resp = reg.execute(Request::Save { token });
+        assert!(matches!(resp, Response::Err(ServiceError::NotPersistent)));
+    }
+
+    #[test]
+    fn shutdown_refuses_new_requests_and_joins_workers() {
+        let reg = demo_registry(true);
+        let Response::Opened { token, .. } = open(&reg, Some("pw"), None) else { panic!() };
+        reg.shutdown();
+        let resp = reg.execute(Request::DirtyCount { token });
+        assert!(matches!(resp, Response::Err(ServiceError::ShuttingDown)));
+        reg.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn snapshot_reuses_untouched_sheet_maps() {
+        let reg = demo_registry(true);
+        let Response::Opened { token, .. } = open(&reg, Some("pw"), None) else { panic!() };
+        let before = reg.snapshot("demo").unwrap();
+        reg.execute(Request::SetValue {
+            token,
+            sheet: "Data".into(),
+            cell: c("A9"),
+            value: Value::Number(1.0),
+        });
+        let after = reg.snapshot("demo").unwrap();
+        assert!(after.epoch > before.epoch);
+        // "Secret" was untouched: its cell map Arc is shared.
+        let b = &before.sheets[1].cells;
+        let a = &after.sheets[1].cells;
+        assert!(Arc::ptr_eq(a, b), "untouched sheet must be copy-on-write shared");
+        assert!(!Arc::ptr_eq(&after.sheets[0].cells, &before.sheets[0].cells));
+    }
+}

@@ -1,0 +1,265 @@
+//! Wire-protocol robustness (mirrors `crates/store/tests/corruption.rs`
+//! for the service's framed transport): exhaustive frame truncations,
+//! exhaustive per-byte bit flips, oversized declared lengths bounded
+//! before allocation, bogus handshakes, and a mid-stream disconnect. The
+//! server must answer with typed errors where the stream is still in
+//! sync, close the connection where it is not, and in **every** case
+//! keep serving subsequent well-behaved clients — no panics, no wedged
+//! threads, no leaked sessions.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use taco_engine::{RecalcMode, Workbook};
+use taco_formula::Value;
+use taco_grid::Cell;
+use taco_service::{
+    Registry, Request, Response, Server, ServerOptions, ServiceError, ServiceOptions, TcpClient,
+};
+use taco_store::codec::write_uvarint;
+use taco_store::{read_frame, write_frame};
+
+fn demo_registry() -> Arc<Registry> {
+    let mut wb = Workbook::with_taco();
+    let data = wb.add_sheet("Data").unwrap();
+    for row in 1..=8u32 {
+        wb.set_value(data, Cell::new(1, row), Value::Number(f64::from(row)));
+    }
+    wb.set_formula(data, Cell::new(2, 1), "=SUM(A1:A8)").unwrap();
+    wb.recalculate(RecalcMode::Serial);
+    let reg = Arc::new(Registry::new(ServiceOptions::default()));
+    reg.add_workbook("book", wb, None).unwrap();
+    reg
+}
+
+fn start_server(registry: &Arc<Registry>, opts: ServerOptions) -> Server {
+    Server::start(Arc::clone(registry), "127.0.0.1:0", opts).unwrap()
+}
+
+/// A raw handshaken socket with a read timeout (so a misbehaving server
+/// could never hang the test suite).
+fn raw_conn(server: &Server) -> TcpStream {
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut hello = [0u8; 6];
+    hello[..4].copy_from_slice(b"TSRV");
+    hello[4..].copy_from_slice(&1u16.to_le_bytes());
+    s.write_all(&hello).unwrap();
+    let mut echo = [0u8; 6];
+    s.read_exact(&mut echo).unwrap();
+    assert_eq!(echo, hello);
+    s
+}
+
+/// Proves the server still serves: a fresh full client session succeeds.
+fn assert_still_serving(server: &Server) {
+    let mut client = TcpClient::connect(server.local_addr()).expect("connect after abuse");
+    client.open("book", None, None).expect("open after abuse");
+    let v = client.get("Data", Cell::new(2, 1)).expect("read after abuse");
+    assert_eq!(v, Value::Number(36.0));
+    client.close().expect("close after abuse");
+}
+
+fn open_frame() -> Vec<u8> {
+    let mut frame = Vec::new();
+    write_frame(
+        &mut frame,
+        &Request::Open { workbook: "book".into(), auth: None, scope: None }.encode(),
+    )
+    .unwrap();
+    frame
+}
+
+#[test]
+fn every_frame_truncation_leaves_the_server_serving() {
+    let registry = demo_registry();
+    let server = start_server(&registry, ServerOptions::default());
+    let frame = open_frame();
+    for cut in 0..frame.len() {
+        let mut s = raw_conn(&server);
+        s.write_all(&frame[..cut]).unwrap();
+        drop(s); // mid-stream disconnect at every possible byte boundary
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn every_bit_flip_is_answered_or_dropped_never_wedged() {
+    let registry = demo_registry();
+    let server = start_server(&registry, ServerOptions::default());
+    let frame = open_frame();
+    for i in 0..frame.len() {
+        for bit in 0..8 {
+            let mut bad = frame.clone();
+            bad[i] ^= 1 << bit;
+            let mut s = raw_conn(&server);
+            // The flip may corrupt the length varint (server waits for
+            // more bytes), the CRC, or the payload. Close our write side
+            // so a waiting server sees EOF instead of hanging.
+            let _ = s.write_all(&bad);
+            let _ = s.shutdown(std::net::Shutdown::Write);
+            // The server either answers (an error frame or, when the
+            // flip left the frame valid, an Opened) or closes. Drain
+            // whatever comes; the only failure mode is a hang, which the
+            // read timeout converts into an error we tolerate.
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        }
+    }
+    assert_still_serving(&server);
+    // Sessions from flips that *happened* to parse as a valid Open are
+    // closed with their connections: nothing leaks once all are gone.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while registry.session_count() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(registry.session_count(), 0, "disconnects must close their sessions");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_declared_length_is_rejected_before_allocation() {
+    let registry = demo_registry();
+    let server = start_server(&registry, ServerOptions::default());
+    let mut s = raw_conn(&server);
+    // Declare a 2^40-byte payload; send nothing else.
+    let mut frame = Vec::new();
+    write_uvarint(&mut frame, 1u64 << 40).unwrap();
+    frame.extend_from_slice(&[0u8; 16]);
+    s.write_all(&frame).unwrap();
+    // The server answers with a typed wire error frame, then closes.
+    let payload = read_frame(&mut s, 1 << 20).expect("error frame");
+    let resp = Response::decode(&payload).expect("decodable response");
+    assert!(
+        matches!(resp, Response::Err(ServiceError::BadRequest(_) | ServiceError::Wire(_))),
+        "oversized length must be a typed error, got {resp:?}"
+    );
+    let mut rest = Vec::new();
+    let _ = s.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "connection must be closed after a framing violation");
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn valid_frame_with_malformed_request_keeps_the_stream_alive() {
+    let registry = demo_registry();
+    let server = start_server(&registry, ServerOptions::default());
+    let mut s = raw_conn(&server);
+    // A well-framed payload that is not a request (unknown op 200): the
+    // stream is still in sync, so the server answers and keeps serving
+    // *this* connection.
+    write_frame(&mut s, &[200u8, 1, 2, 3]).unwrap();
+    let resp = Response::decode(&read_frame(&mut s, 1 << 20).unwrap()).unwrap();
+    assert!(matches!(resp, Response::Err(ServiceError::BadRequest(_) | ServiceError::Wire(_))));
+    // Same connection, now a real request.
+    write_frame(
+        &mut s,
+        &Request::Open { workbook: "book".into(), auth: None, scope: None }.encode(),
+    )
+    .unwrap();
+    let resp = Response::decode(&read_frame(&mut s, 1 << 20).unwrap()).unwrap();
+    assert!(matches!(resp, Response::Opened { .. }), "{resp:?}");
+    server.shutdown();
+}
+
+#[test]
+fn bogus_handshake_is_dropped() {
+    let registry = demo_registry();
+    let server = start_server(&registry, ServerOptions::default());
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let mut sink = Vec::new();
+    let _ = s.read_to_end(&mut sink);
+    assert!(sink.is_empty(), "a non-protocol peer gets nothing back");
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn mid_stream_disconnect_releases_the_session() {
+    let registry = demo_registry();
+    let server = start_server(&registry, ServerOptions::default());
+    {
+        let mut client = TcpClient::connect(server.local_addr()).unwrap();
+        client.open("book", None, None).unwrap();
+        assert_eq!(registry.session_count(), 1);
+        // Send half a frame, then vanish.
+        let mut s = raw_conn(&server);
+        let frame = open_frame();
+        s.write_all(&frame[..frame.len() / 2]).unwrap();
+        drop(s);
+        drop(client); // vanish without Close
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while registry.session_count() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(registry.session_count(), 0, "dropped connection must close its session");
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn connection_limit_reports_busy_and_recovers() {
+    let registry = demo_registry();
+    let server =
+        start_server(&registry, ServerOptions { max_connections: 1, ..ServerOptions::default() });
+    let mut first = TcpClient::connect(server.local_addr()).unwrap();
+    first.open("book", None, None).unwrap();
+    // Second connection: handshake succeeds, then a typed Busy frame.
+    let err = match TcpClient::connect(server.local_addr()) {
+        Ok(mut second) => second.open("book", None, None).expect_err("over the limit"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, ServiceError::Busy | ServiceError::Io(_) | ServiceError::Wire(_)),
+        "expected Busy (or a closed connection), got {err:?}"
+    );
+    // Releasing the first connection frees the slot.
+    first.close().unwrap();
+    drop(first);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpClient::connect(server.local_addr()).and_then(|mut c| c.open("book", None, None)) {
+            Ok(_) => break,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("slot never freed: {e}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_interrupts_blocked_readers() {
+    let registry = demo_registry();
+    let server = start_server(&registry, ServerOptions::default());
+    let addr = server.local_addr();
+    // A client parked in a blocking read (no request in flight).
+    let parked = TcpStream::connect(addr).unwrap();
+    let reader = std::thread::spawn(move || {
+        let mut s = parked;
+        let mut hello = [0u8; 6];
+        hello[..4].copy_from_slice(b"TSRV");
+        hello[4..].copy_from_slice(&1u16.to_le_bytes());
+        s.write_all(&hello).unwrap();
+        let mut echo = [0u8; 6];
+        s.read_exact(&mut echo).unwrap();
+        // Now just wait for the server to hang up.
+        let mut sink = Vec::new();
+        let _ = s.read_to_end(&mut sink);
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    server.shutdown(); // must not hang on the parked connection
+    reader.join().expect("parked client unblocked");
+    // The port no longer accepts the protocol.
+    assert!(
+        TcpClient::connect(addr).and_then(|mut c| c.open("book", None, None)).is_err(),
+        "server must be gone after shutdown"
+    );
+}

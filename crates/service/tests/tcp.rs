@@ -1,0 +1,166 @@
+//! End-to-end TCP integration: sessions, auth, and scoping over the
+//! wire; cross-connection visibility of writes; `Save` against a
+//! persistent backing store; and the full command set exercised through
+//! the framed transport.
+
+use std::sync::Arc;
+use taco_engine::{PersistOptions, PersistentWorkbook, RecalcMode, SheetId, Workbook};
+use taco_formula::Value;
+use taco_grid::{Cell, Range};
+use taco_service::{Registry, Server, ServerOptions, ServiceError, ServiceOptions, TcpClient};
+
+fn n(v: f64) -> Value {
+    Value::Number(v)
+}
+
+fn c(s: &str) -> Cell {
+    Cell::parse_a1(s).unwrap()
+}
+
+fn demo_workbook() -> Workbook {
+    let mut wb = Workbook::with_taco();
+    let data = wb.add_sheet("Data").unwrap();
+    let summary = wb.add_sheet("Summary").unwrap();
+    for row in 1..=6u32 {
+        wb.set_value(data, Cell::new(1, row), n(f64::from(row)));
+    }
+    wb.set_formula(data, c("B1"), "=SUM(A1:A6)").unwrap();
+    wb.set_formula(summary, c("A1"), "=Data!B1*2").unwrap();
+    wb.recalculate(RecalcMode::Serial);
+    wb
+}
+
+fn serve(registry: Arc<Registry>) -> Server {
+    Server::start(registry, "127.0.0.1:0", ServerOptions::default()).unwrap()
+}
+
+#[test]
+fn full_command_set_over_the_wire() {
+    let registry = Arc::new(Registry::new(ServiceOptions::default()));
+    registry.add_workbook("sales", demo_workbook(), Some("hunter2")).unwrap();
+    let server = serve(Arc::clone(&registry));
+
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    // Wrong auth fails; right auth opens.
+    assert!(matches!(client.open("sales", Some("wrong"), None), Err(ServiceError::AuthFailed)));
+    let sheets = client.open("sales", Some("hunter2"), None).unwrap();
+    assert_eq!(sheets, vec!["Data".to_string(), "Summary".to_string()]);
+
+    // Reads.
+    assert_eq!(client.get("Data", c("B1")).unwrap(), n(21.0));
+    assert_eq!(client.get("Summary", c("A1")).unwrap(), n(42.0));
+    let cells = client.get_range("Data", Range::parse_a1("A1:A3").unwrap()).unwrap();
+    assert_eq!(cells, vec![(c("A1"), n(1.0)), (c("A2"), n(2.0)), (c("A3"), n(3.0))]);
+
+    // Writes recalc before publishing: immediately visible.
+    client.set_value("Data", c("A1"), n(100.0)).unwrap();
+    assert_eq!(client.get("Data", c("B1")).unwrap(), n(120.0));
+    assert_eq!(client.get("Summary", c("A1")).unwrap(), n(240.0));
+
+    // Formula + autofill + clear.
+    client.set_formula("Data", c("C1"), "=A1*10").unwrap();
+    client.autofill("Data", c("C1"), Range::parse_a1("C2:C6").unwrap()).unwrap();
+    assert_eq!(client.get("Data", c("C4")).unwrap(), n(40.0));
+    client.clear_range("Data", Range::parse_a1("C1:C6").unwrap()).unwrap();
+    assert_eq!(client.get("Data", c("C4")).unwrap(), Value::Empty);
+
+    // Queries hop sheets.
+    let deps = client.dependents("Data", Range::parse_a1("A2").unwrap()).unwrap();
+    assert!(deps.iter().any(|(s, r)| s == "Summary" && r.contains_cell(c("A1"))), "{deps:?}");
+    let precs = client.precedents("Summary", Range::parse_a1("A1").unwrap()).unwrap();
+    assert!(precs.iter().any(|(s, _)| s == "Data"), "{precs:?}");
+
+    // Counters.
+    assert_eq!(client.dirty_count().unwrap(), 0);
+    let evaluated = client.recalc().unwrap();
+    assert_eq!(evaluated, 0, "nothing left dirty after published writes");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.sheets, 2);
+    // set_value + set_formula + autofill + clear_range.
+    assert_eq!(stats.edits, 4, "{stats:?}");
+    assert_eq!(stats.sessions, 1);
+
+    // Bad requests are typed, not fatal: the connection keeps working.
+    assert!(matches!(client.get("Nope", c("A1")), Err(ServiceError::NoSuchSheet(_))));
+    assert!(matches!(client.set_formula("Data", c("D1"), "=)("), Err(ServiceError::BadRequest(_))));
+    assert_eq!(client.get("Data", c("B1")).unwrap(), n(120.0));
+
+    client.close().unwrap();
+    server.shutdown();
+    registry.shutdown();
+}
+
+#[test]
+fn writes_on_one_connection_are_visible_on_another() {
+    let registry = Arc::new(Registry::new(ServiceOptions::default()));
+    registry.add_workbook("shared", demo_workbook(), None).unwrap();
+    let server = serve(Arc::clone(&registry));
+
+    let mut writer = TcpClient::connect(server.local_addr()).unwrap();
+    writer.open("shared", None, None).unwrap();
+    let mut reader = TcpClient::connect(server.local_addr()).unwrap();
+    reader.open("shared", None, None).unwrap();
+
+    writer.set_value("Data", c("A6"), n(60.0)).unwrap();
+    // The write's reply means its batch was published: the other
+    // connection's next snapshot read sees it.
+    assert_eq!(reader.get("Data", c("A6")).unwrap(), n(60.0));
+    assert_eq!(reader.get("Data", c("B1")).unwrap(), n(75.0));
+    server.shutdown();
+    registry.shutdown();
+}
+
+#[test]
+fn scoped_sessions_cannot_reach_or_observe_foreign_sheets() {
+    let registry = Arc::new(Registry::new(ServiceOptions::default()));
+    registry.add_workbook("sales", demo_workbook(), None).unwrap();
+    let server = serve(Arc::clone(&registry));
+
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    let sheets = client.open("sales", None, Some(&["Data"])).unwrap();
+    assert_eq!(sheets, vec!["Data".to_string()]);
+    assert!(matches!(client.get("Summary", c("A1")), Err(ServiceError::OutOfScope(_))));
+    assert!(matches!(
+        client.set_value("Summary", c("A9"), n(1.0)),
+        Err(ServiceError::OutOfScope(_))
+    ));
+    // Dependents of Data!A1 include Summary!A1 — filtered out of a scoped
+    // session's view.
+    let deps = client.dependents("Data", Range::parse_a1("A1").unwrap()).unwrap();
+    assert!(deps.iter().all(|(s, _)| s == "Data"), "scope must filter results: {deps:?}");
+    server.shutdown();
+    registry.shutdown();
+}
+
+#[test]
+fn save_folds_the_wal_over_the_wire() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("taco_service_tcp_save_{}.taco", std::process::id()));
+    let wal = taco_engine::wal_path(&path);
+    {
+        let pw = PersistentWorkbook::create(
+            &path,
+            demo_workbook(),
+            PersistOptions { compact_after_records: 0, sync_every_records: 1 },
+        )
+        .unwrap();
+        let registry = Arc::new(Registry::new(ServiceOptions::default()));
+        registry.add_persistent("durable", pw, None).unwrap();
+        let server = serve(Arc::clone(&registry));
+
+        let mut client = TcpClient::connect(server.local_addr()).unwrap();
+        client.open("durable", None, None).unwrap();
+        for i in 0..5u32 {
+            client.set_value("Data", Cell::new(4, i + 1), n(f64::from(i))).unwrap();
+        }
+        let remaining = client.save().unwrap();
+        assert_eq!(remaining, 0, "save must fold the WAL into the snapshot");
+        server.shutdown();
+        registry.shutdown();
+    }
+    // The snapshot alone (WAL folded) carries the edits.
+    let reopened = Workbook::open(&path).unwrap();
+    assert_eq!(reopened.value(SheetId(0), Cell::new(4, 5)), n(4.0));
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&wal).ok();
+}

@@ -152,26 +152,26 @@ pub(crate) fn read_value_payload<R: Read>(r: &mut R, tag: u8) -> Result<Value, S
 }
 
 /// Writes a standalone tagged value (WAL records).
-pub(crate) fn write_value<W: Write>(w: &mut W, v: &Value) -> Result<(), StoreError> {
+pub fn write_value<W: Write>(w: &mut W, v: &Value) -> Result<(), StoreError> {
     w.write_all(&[value_tag(v)])?;
     write_value_payload(w, v)
 }
 
 /// Reads a standalone tagged value (WAL records).
-pub(crate) fn read_value<R: Read>(r: &mut R) -> Result<Value, StoreError> {
+pub fn read_value<R: Read>(r: &mut R) -> Result<Value, StoreError> {
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
     read_value_payload(r, tag[0])
 }
 
 /// Writes a cell as two varints (1-based coordinates).
-pub(crate) fn write_cell<W: Write>(w: &mut W, c: Cell) -> Result<(), StoreError> {
+pub fn write_cell<W: Write>(w: &mut W, c: Cell) -> Result<(), StoreError> {
     write_uvarint(w, u64::from(c.col))?;
     write_uvarint(w, u64::from(c.row))
 }
 
 /// Reads a cell written by [`write_cell`], validating bounds.
-pub(crate) fn read_cell<R: Read>(r: &mut R) -> Result<Cell, StoreError> {
+pub fn read_cell<R: Read>(r: &mut R) -> Result<Cell, StoreError> {
     let col = small_i64(read_uvarint(r)?)?;
     let row = small_i64(read_uvarint(r)?)?;
     cell_from(col, row)
@@ -200,14 +200,14 @@ pub(crate) fn checked_coord(base: i64, delta: i64) -> Result<i64, StoreError> {
 }
 
 /// Writes a range as head + size (4 varints).
-pub(crate) fn write_range<W: Write>(w: &mut W, r: Range) -> Result<(), StoreError> {
+pub fn write_range<W: Write>(w: &mut W, r: Range) -> Result<(), StoreError> {
     write_cell(w, r.head())?;
     write_uvarint(w, u64::from(r.width() - 1))?;
     write_uvarint(w, u64::from(r.height() - 1))
 }
 
 /// Reads a range written by [`write_range`].
-pub(crate) fn read_range<R: Read>(r: &mut R) -> Result<Range, StoreError> {
+pub fn read_range<R: Read>(r: &mut R) -> Result<Range, StoreError> {
     let head = read_cell(r)?;
     let w = small_i64(read_uvarint(r)?)?;
     let h = small_i64(read_uvarint(r)?)?;

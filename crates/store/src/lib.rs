@@ -28,12 +28,14 @@
 
 pub mod codec;
 pub mod container;
+pub mod frame;
 pub mod image;
 pub mod wal;
 
 pub use container::{
     decode_graph, encode_graph, encode_workbook, write_workbook_file, StoreReader, FORMAT_VERSION,
 };
+pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 pub use image::{CellRecord, CrossEdgeImage, SheetImage, WorkbookImage};
 pub use wal::{EditRecord, ReplayMode, WalReader, WalReplay, WalWriter};
 

@@ -12,7 +12,10 @@
 //! [`workbook`] assembles sheets into multi-sheet workbooks with a
 //! tunable fraction of cross-sheet FF/chain dependencies; [`persistence`]
 //! emits full edit scripts (values + formula text) for the save → edit
-//! burst → crash-simulated reopen workload.
+//! burst → crash-simulated reopen workload; [`service`] emits
+//! deterministic multi-client read/write scripts (reader-heavy,
+//! writer-heavy, and mixed presets with zipf-skewed cell targets) for the
+//! `taco_service` serving layer, replayable in-process and over TCP.
 //!
 //! [`xlsx`] additionally loads *real* `.xlsx` files through `calamine` (the
 //! Rust analogue of the Apache POI parser the paper's prototype uses), so
@@ -25,6 +28,7 @@
 pub mod corpus;
 pub mod generator;
 pub mod persistence;
+pub mod service;
 pub mod stats;
 pub mod workbook;
 pub mod xlsx;
@@ -33,6 +37,10 @@ pub use corpus::{enron_like, github_like, CorpusParams};
 pub use generator::{Region, SheetParams, SyntheticSheet};
 pub use persistence::{
     gen_persist_workload, persist_enron_like, persist_github_like, PersistParams, PersistWorkload,
+};
+pub use service::{
+    gen_service_script, mixed, reader_heavy, writer_heavy, ClientOp, ServiceScript,
+    ServiceScriptParams,
 };
 pub use stats::{fig1_buckets, SheetStats};
 pub use workbook::{gen_workbook, CrossDep, SyntheticWorkbook, WorkbookParams};

@@ -19,17 +19,31 @@
 //! edges                   list compressed edges
 //! :save /path/to/file     persist the sheet (compressed graph included)
 //! :open /path/to/file     replace the sheet with a saved one
+//! :connect ADDR BOOK [AUTH]  attach to a taco_service server over TCP
+//! :disconnect             detach and return to the local sheet
 //! quit
 //! ```
+//!
+//! While connected, edits, `show`, `trace`, `clear`, `fill`, and `stats`
+//! run against the remote workbook's first visible sheet instead of the
+//! local engine.
 
 use std::io::{self, BufRead, Write};
 use taco_repro::core::PatternType;
 use taco_repro::engine::Engine;
 use taco_repro::formula::Value;
 use taco_repro::grid::{Cell, Range};
+use taco_repro::service::TcpClient;
+
+/// A live `:connect` session: the client plus the sheet it operates on.
+struct Remote {
+    client: TcpClient,
+    sheet: String,
+}
 
 fn main() {
     let mut engine = Engine::with_taco();
+    let mut remote: Option<Remote> = None;
     let stdin = io::stdin();
     let interactive = atty();
     if interactive {
@@ -51,12 +65,139 @@ fn main() {
         if input.is_empty() || input.starts_with('#') {
             continue;
         }
-        match run_command(&mut engine, input) {
+        let result = match connection_command(&mut remote, input) {
+            Some(r) => r,
+            None => match &mut remote {
+                Some(r) => run_remote(r, input),
+                None => run_command(&mut engine, input),
+            },
+        };
+        match result {
             Ok(true) => break,
             Ok(false) => {}
             Err(msg) => println!("error: {msg}"),
         }
     }
+}
+
+/// Handles `:connect` / `:disconnect` regardless of mode. `None` = the
+/// input is not a connection command.
+fn connection_command(remote: &mut Option<Remote>, input: &str) -> Option<Result<bool, String>> {
+    if let Some(rest) = input.strip_prefix(":connect ") {
+        let mut parts = rest.split_whitespace();
+        let (Some(addr), Some(book)) = (parts.next(), parts.next()) else {
+            return Some(Err(":connect ADDR BOOK [AUTH]".to_string()));
+        };
+        let auth = parts.next();
+        let attach = || -> Result<Remote, String> {
+            let mut client = TcpClient::connect(addr).map_err(|e| e.to_string())?;
+            let sheets = client.open(book, auth, None).map_err(|e| e.to_string())?;
+            let sheet = sheets.first().cloned().ok_or("workbook has no visible sheets")?;
+            println!("connected to {addr}, workbook {book}, sheet {sheet}");
+            Ok(Remote { client, sheet })
+        };
+        return Some(attach().map(|r| {
+            *remote = Some(r);
+            false
+        }));
+    }
+    if input == ":disconnect" {
+        match remote.take() {
+            Some(mut r) => {
+                let _ = r.client.close();
+                println!("disconnected");
+            }
+            None => println!("not connected"),
+        }
+        return Some(Ok(false));
+    }
+    None
+}
+
+/// The remote command subset: edits, reads, traces, and stats against
+/// the connected workbook (the service recalculates after every edit,
+/// mirroring the local repl's behaviour).
+fn run_remote(r: &mut Remote, input: &str) -> Result<bool, String> {
+    if input == "quit" || input == "exit" {
+        let _ = r.client.close();
+        return Ok(true);
+    }
+    if input == "help" {
+        println!("remote ({}): A1 = 42 | B1 = =SUM(A1:A3) | fill SRC RANGE | show CELL", r.sheet);
+        println!("trace CELL | clear RANGE | stats | :disconnect | quit");
+        return Ok(false);
+    }
+    let sheet = r.sheet.clone();
+    if input == "stats" {
+        let s = r.client.stats().map_err(|e| e.to_string())?;
+        println!(
+            "remote stats: epoch={} sheets={} cells={} dirty={} edits={} batches={} \
+             recalcs={} coalesced={} sessions={}",
+            s.epoch,
+            s.sheets,
+            s.cells,
+            s.dirty,
+            s.edits,
+            s.batches,
+            s.recalcs,
+            s.coalesced,
+            s.sessions
+        );
+        return Ok(false);
+    }
+    if let Some(rest) = input.strip_prefix("show ") {
+        let cell = Cell::parse_a1(rest.trim()).map_err(|e| e.to_string())?;
+        let value = r.client.get(&sheet, cell).map_err(|e| e.to_string())?;
+        println!("{cell} = {value}");
+        return Ok(false);
+    }
+    if let Some(rest) = input.strip_prefix("trace ") {
+        let cell = Cell::parse_a1(rest.trim()).map_err(|e| e.to_string())?;
+        let deps = r.client.dependents(&sheet, Range::cell(cell)).map_err(|e| e.to_string())?;
+        let precs = r.client.precedents(&sheet, Range::cell(cell)).map_err(|e| e.to_string())?;
+        println!("dependents: {}", join_qualified(&deps));
+        println!("precedents: {}", join_qualified(&precs));
+        return Ok(false);
+    }
+    if let Some(rest) = input.strip_prefix("clear ") {
+        let range = Range::parse_a1(rest.trim()).map_err(|e| e.to_string())?;
+        r.client.clear_range(&sheet, range).map_err(|e| e.to_string())?;
+        return Ok(false);
+    }
+    if let Some(rest) = input.strip_prefix("fill ") {
+        let mut parts = rest.split_whitespace();
+        let src = parts.next().ok_or("fill SRC RANGE")?;
+        let targets = parts.next().ok_or("fill SRC RANGE")?;
+        let src = Cell::parse_a1(src).map_err(|e| e.to_string())?;
+        let targets = Range::parse_a1(targets).map_err(|e| e.to_string())?;
+        r.client.autofill(&sheet, src, targets).map_err(|e| e.to_string())?;
+        return Ok(false);
+    }
+    if let Some((lhs, rhs)) = input.split_once('=') {
+        let cell = Cell::parse_a1(lhs.trim()).map_err(|e| e.to_string())?;
+        let rhs = rhs.trim();
+        if let Some(formula) = rhs.strip_prefix('=') {
+            r.client.set_formula(&sheet, cell, formula).map_err(|e| e.to_string())?;
+        } else if let Ok(n) = rhs.parse::<f64>() {
+            r.client.set_value(&sheet, cell, Value::Number(n)).map_err(|e| e.to_string())?;
+        } else {
+            r.client
+                .set_value(&sheet, cell, Value::Text(rhs.to_string()))
+                .map_err(|e| e.to_string())?;
+        }
+        return Ok(false);
+    }
+    Err(format!("unknown remote command {input:?} (try `help` or `:disconnect`)"))
+}
+
+fn join_qualified(ranges: &[(String, Range)]) -> String {
+    if ranges.is_empty() {
+        return "(none)".to_string();
+    }
+    let mut parts: Vec<String> =
+        ranges.iter().map(|(sheet, r)| format!("{sheet}!{}", r.to_a1())).collect();
+    parts.sort();
+    parts.join(", ")
 }
 
 fn atty() -> bool {
@@ -72,7 +213,7 @@ fn run_command(engine: &mut Engine, input: &str) -> Result<bool, String> {
     if input == "help" {
         println!("A1 = 42 | B1 = =SUM(A1:A3) | fill SRC RANGE | show CELL | trace CELL");
         println!("clear RANGE | insrows AT N | delrows AT N | inscols AT N | delcols AT N");
-        println!("stats | edges | :save PATH | :open PATH | quit");
+        println!("stats | edges | :save PATH | :open PATH | :connect ADDR BOOK [AUTH] | quit");
         return Ok(false);
     }
     if let Some(rest) = input.strip_prefix(":save ") {

@@ -1,0 +1,89 @@
+//! Spawns a `taco_service` server on an ephemeral port, drives a
+//! scripted client session over TCP, and prints a summary.
+//!
+//! ```sh
+//! cargo run --release --example serve_workbook
+//! ```
+//!
+//! Serves a workbook named `demo` (no auth). With `TACO_SERVE_HOLD` set,
+//! the example instead stays up after printing its `listening on` line
+//! and serves until stdin closes (or a `quit` line arrives) — that is
+//! how the repl smoke test gets a live server to `:connect` to.
+
+use std::sync::Arc;
+use taco_repro::engine::{RecalcMode, Workbook};
+use taco_repro::formula::Value;
+use taco_repro::grid::{Cell, Range};
+use taco_repro::service::{Registry, Server, ServerOptions, ServiceOptions, TcpClient};
+
+fn n(v: f64) -> Value {
+    Value::Number(v)
+}
+
+fn demo_workbook(rows: u32) -> Workbook {
+    let mut wb = Workbook::with_taco();
+    let data = wb.add_sheet("Data").expect("fresh name");
+    let summary = wb.add_sheet("Summary").expect("fresh name");
+    for row in 1..=rows {
+        wb.set_value(data, Cell::new(1, row), n(f64::from(row)));
+    }
+    wb.set_formula(data, Cell::new(2, 1), "=SUM($A$1:A1)").expect("valid");
+    wb.autofill(data, Cell::new(2, 1), Range::from_coords(2, 2, 2, rows)).expect("fill");
+    wb.set_formula(summary, Cell::new(1, 1), &format!("=Data!B{rows}")).expect("valid");
+    wb.recalculate(RecalcMode::Serial);
+    wb
+}
+
+fn main() {
+    let rows: u32 =
+        std::env::var("TACO_EXAMPLE_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(128).max(4);
+
+    let registry = Arc::new(Registry::new(ServiceOptions::default()));
+    registry.add_workbook("demo", demo_workbook(rows), None).expect("register");
+    let server = Server::start(Arc::clone(&registry), "127.0.0.1:0", ServerOptions::default())
+        .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    println!("listening on {addr}");
+
+    if std::env::var("TACO_SERVE_HOLD").is_ok() {
+        // Serve until stdin closes — an external client drives us.
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) if line.trim() == "quit" => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    } else {
+        // The scripted session: a TCP client edits, reads, and queries.
+        let mut client = TcpClient::connect(addr).expect("connect");
+        let sheets = client.open("demo", None, None).expect("open");
+        println!("opened demo: sheets {sheets:?}");
+
+        let before = client.get("Summary", Cell::new(1, 1)).expect("read");
+        client.set_value("Data", Cell::new(1, 1), n(1000.0)).expect("write");
+        let after = client.get("Summary", Cell::new(1, 1)).expect("read");
+        println!("rollup before {before} → after {after}");
+
+        client.set_formula("Data", Cell::new(3, 1), "=A1*2").expect("formula");
+        client
+            .autofill("Data", Cell::new(3, 1), Range::from_coords(3, 2, 3, rows))
+            .expect("autofill");
+        let deps = client.dependents("Data", Range::cell(Cell::new(1, 1))).expect("query");
+        println!("dependents of Data!A1: {} ranges (cross-sheet included)", deps.len());
+
+        let stats = client.stats().expect("stats");
+        println!(
+            "stats: epoch={} cells={} edits={} batches={} recalcs={} sessions={}",
+            stats.epoch, stats.cells, stats.edits, stats.batches, stats.recalcs, stats.sessions
+        );
+        client.close().expect("close");
+    }
+
+    server.shutdown();
+    registry.shutdown();
+    println!("done");
+}

@@ -6,5 +6,6 @@ pub use taco_engine as engine;
 pub use taco_formula as formula;
 pub use taco_grid as grid;
 pub use taco_rtree as rtree;
+pub use taco_service as service;
 pub use taco_store as store;
 pub use taco_workload as workload;

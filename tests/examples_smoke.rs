@@ -153,6 +153,73 @@ fn repl_saves_and_reopens_a_sheet() {
 }
 
 #[test]
+fn serve_workbook_runs_a_scripted_tcp_session() {
+    let out = run_example("serve_workbook", Some("32"), None);
+    let text = stdout_of(&out);
+    assert!(text.contains("listening on 127.0.0.1:"), "server must bind:\n{text}");
+    assert!(text.contains("rollup before"), "scripted edit cycle missing:\n{text}");
+    assert!(text.contains("stats: epoch="), "stats line missing:\n{text}");
+    assert!(text.contains("done"), "graceful shutdown missing:\n{text}");
+}
+
+#[test]
+fn repl_connects_to_a_live_server() {
+    use std::io::{BufRead, BufReader};
+    // A held-open server the repl can dial.
+    let mut server = Command::new(example_path("serve_workbook"))
+        .env("TACO_EXAMPLE_ROWS", "16")
+        .env("TACO_SERVE_HOLD", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve_workbook");
+    // Keep the reader (and the pipe's read end) alive until the server
+    // exits — dropping it would EPIPE the server's final prints.
+    let mut server_stdout = BufReader::new(server.stdout.take().expect("piped stdout"));
+    let mut first_line = String::new();
+    server_stdout.read_line(&mut first_line).expect("read listening line");
+    let addr = first_line.trim().strip_prefix("listening on ").expect("listening line").to_string();
+
+    // Drive the repl through a remote session against it.
+    let script = format!(
+        ":connect {addr} demo\n\
+         show B16\n\
+         A1 = 100\n\
+         show B16\n\
+         trace A1\n\
+         fill C1 C2:C4\n\
+         stats\n\
+         bogus remote command\n\
+         :disconnect\n\
+         A1 = 7\n\
+         show A1\n\
+         quit\n"
+    );
+    let out = run_example("repl", None, Some(&script));
+    // Release the server and drain it to exit.
+    server.stdin.take().expect("piped stdin").write_all(b"quit\n").expect("signal server");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut server_stdout, &mut rest).expect("drain server stdout");
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "held server must exit cleanly:\n{rest}");
+    assert!(rest.contains("done"), "held server must shut down gracefully:\n{rest}");
+
+    let text = stdout_of(&out);
+    assert!(text.contains("connected to"), "connect path broken:\n{text}");
+    // B16 = SUM(A1:A16) = 136 before, 235 after A1 = 100.
+    assert!(text.contains("B16 = 136"), "remote read broken:\n{text}");
+    assert!(text.contains("B16 = 235"), "remote write must recalc the rollup:\n{text}");
+    assert!(text.contains("dependents: "), "remote trace broken:\n{text}");
+    assert!(text.contains("remote stats: epoch="), "remote stats broken:\n{text}");
+    // Autofill of an empty source cell must report, not crash.
+    assert!(text.contains("error:"), "remote errors must be reported:\n{text}");
+    assert!(text.contains("disconnected"), "disconnect path broken:\n{text}");
+    // Back on the local engine after :disconnect.
+    assert!(text.contains("A1 = 7"), "local mode must resume:\n{text}");
+}
+
+#[test]
 fn persist_reopen_round_trips_and_reports_sizes() {
     let out = run_example("persist_reopen", Some("48"), None);
     let text = stdout_of(&out);
