@@ -44,11 +44,11 @@ impl DependencyBackend for crate::FormulaGraph {
     }
 
     fn find_dependents(&mut self, r: Range) -> Vec<Range> {
-        crate::FormulaGraph::find_dependents(self, r)
+        crate::FormulaGraph::find_dependents_reusing(self, r)
     }
 
     fn find_precedents(&mut self, r: Range) -> Vec<Range> {
-        crate::FormulaGraph::find_precedents(self, r)
+        crate::FormulaGraph::find_precedents_reusing(self, r)
     }
 
     fn clear_cells(&mut self, s: Range) {

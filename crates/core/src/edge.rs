@@ -93,52 +93,82 @@ impl Edge {
     /// `findDep`: dependents of `r` within this edge; `r` must be contained
     /// in `self.prec` (callers intersect first).
     pub fn find_dep(&self, r: Range) -> Vec<Range> {
+        let mut out = Vec::new();
+        self.find_dep_into(r, &mut out);
+        out
+    }
+
+    /// [`Self::find_dep`] appending to a caller-owned buffer — the BFS
+    /// hot path allocates nothing per edge access.
+    pub fn find_dep_into(&self, r: Range, out: &mut Vec<Range>) {
         if self.is_single() {
-            return vec![self.dep];
+            out.push(self.dep);
+            return;
         }
-        let canon = pattern::find_dep(
+        let start = out.len();
+        pattern::find_dep_into(
             &self.meta,
             self.axis.canon(self.prec),
             self.axis.canon(self.dep),
             self.axis.canon(r),
+            out,
         );
-        canon.into_iter().map(|x| self.axis.uncanon(x)).collect()
+        for x in &mut out[start..] {
+            *x = self.axis.uncanon(*x);
+        }
     }
 
     /// `findPrec`: precedents of `s` within this edge; `s` must be
     /// contained in `self.dep`.
     pub fn find_prec(&self, s: Range) -> Vec<Range> {
+        let mut out = Vec::new();
+        self.find_prec_into(s, &mut out);
+        out
+    }
+
+    /// [`Self::find_prec`] appending to a caller-owned buffer.
+    pub fn find_prec_into(&self, s: Range, out: &mut Vec<Range>) {
         if self.is_single() {
-            return vec![self.prec];
+            out.push(self.prec);
+            return;
         }
-        let canon = pattern::find_prec(
+        let start = out.len();
+        pattern::find_prec_into(
             &self.meta,
             self.axis.canon(self.prec),
             self.axis.canon(self.dep),
             self.axis.canon(s),
+            out,
         );
-        canon.into_iter().map(|x| self.axis.uncanon(x)).collect()
+        for x in &mut out[start..] {
+            *x = self.axis.uncanon(*x);
+        }
     }
 
     /// `removeDep`: removes the dependencies for formula cells `s`,
     /// returning the replacement edges (empty when the edge disappears).
     pub fn remove_dep(&self, s: Range) -> Vec<Edge> {
+        let mut out = Vec::new();
+        self.remove_dep_into(s, &mut out);
+        out
+    }
+
+    /// [`Self::remove_dep`] appending the replacement edges to a
+    /// caller-owned buffer (`clear_cells` reuses one across edges).
+    pub fn remove_dep_into(&self, s: Range, out: &mut Vec<Edge>) {
         let parts = pattern::remove_dep(
             &self.meta,
             self.axis.canon(self.prec),
             self.axis.canon(self.dep),
             self.axis.canon(s),
         );
-        parts
-            .into_iter()
-            .map(|p| Edge {
-                prec: self.axis.uncanon(p.prec),
-                dep: self.axis.uncanon(p.dep),
-                axis: self.axis,
-                meta: p.meta,
-                count: p.count,
-            })
-            .collect()
+        out.extend(parts.into_iter().map(|p| Edge {
+            prec: self.axis.uncanon(p.prec),
+            dep: self.axis.uncanon(p.dep),
+            axis: self.axis,
+            meta: p.meta,
+            count: p.count,
+        }));
     }
 
     /// Expands this edge into its underlying dependencies (the inverse of

@@ -10,7 +10,7 @@ use crate::slab::Slab;
 use crate::stats::{count_vertices, GraphStats, PatternCounts};
 use std::collections::VecDeque;
 use taco_grid::{Axis, Cell, Offset, Range};
-use taco_rtree::RTree;
+use taco_rtree::{RTree, SearchScratch};
 
 /// Instrumentation for one query (used by the complexity analysis benches
 /// and the §IV-D edge-access discussion).
@@ -22,6 +22,55 @@ pub struct QueryStats {
     pub enqueued: u64,
     /// Number of R-tree window searches issued.
     pub rtree_searches: u64,
+    /// Number of vertex-index R-tree nodes visited across those searches
+    /// (the cache-locality metric the perf baseline asserts on; the
+    /// visited-set index is not counted).
+    pub nodes_visited: u64,
+}
+
+/// Caller-owned scratch for the modified BFS (Alg. 3). Reusing one across
+/// queries makes [`FormulaGraph::find_dependents_with_scratch`] and
+/// friends allocation-free once the buffers are warm: the queue, hit
+/// list, per-edge result buffer, visited-subtraction buffers, the
+/// visited-set R-tree (cleared, capacity retained), and the index
+/// traversal stack all persist between calls.
+///
+/// Queries take `&self` on the graph plus `&mut` scratch — the graph
+/// itself is never mutated by a read, so concurrent readers can each own
+/// a scratch and share the graph.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    queue: VecDeque<Range>,
+    hits: Vec<(Range, EdgeId)>,
+    found: Vec<Range>,
+    covers: Vec<Range>,
+    parts: Vec<Range>,
+    sub_tmp: Vec<Range>,
+    visited: RTree<()>,
+    search: SearchScratch,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers grow to the workload's high-water mark
+    /// on first use and then stop allocating.
+    #[must_use]
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+}
+
+/// Internal scratch for the `&mut self` compression / maintenance paths
+/// (candidate discovery, `clear_cells` splitting). Lives on the graph so
+/// `update_cell` bursts stop allocating once warm.
+#[derive(Debug, Clone, Default)]
+struct MaintScratch {
+    candidates: Vec<EdgeId>,
+    valid: Vec<(Edge, EdgeId)>,
+    ids: Vec<EdgeId>,
+    parts: Vec<Edge>,
+    /// Query scratch for the `&mut self` entry points (the
+    /// [`crate::DependencyBackend`] trait and the engine edit path).
+    query: QueryScratch,
 }
 
 /// A formula dependency graph, compressed according to a [`Config`].
@@ -61,6 +110,8 @@ pub struct FormulaGraph {
     /// Total dependencies ever inserted (the paper's `|E'|` when the graph
     /// is built once from a parsed file).
     deps_inserted: u64,
+    /// Reusable buffers for the `&mut self` maintenance paths.
+    scratch: MaintScratch,
 }
 
 impl FormulaGraph {
@@ -72,6 +123,7 @@ impl FormulaGraph {
             prec_index: RTree::new(),
             dep_index: RTree::new(),
             deps_inserted: 0,
+            scratch: MaintScratch::default(),
         }
     }
 
@@ -105,13 +157,39 @@ impl FormulaGraph {
         self.edges.iter().map(|(_, e)| e)
     }
 
-    /// Builds a graph by inserting every dependency in order.
+    /// Builds a graph by inserting every dependency in order, then
+    /// repacking the vertex indexes with an STR bulk load (compression
+    /// needs the indexes live while inserting; the final repack gives
+    /// queries the tight bulk-loaded tree).
     pub fn build<I: IntoIterator<Item = Dependency>>(config: Config, deps: I) -> Self {
         let mut g = FormulaGraph::new(config);
         for d in deps {
             g.add_dependency(&d);
         }
+        g.optimize();
         g
+    }
+
+    /// Rebuilds both vertex R-trees from the current edge set with an STR
+    /// bulk load: minimal node count, near-minimal overlap, measurably
+    /// fewer nodes visited per window query than the insertion-built
+    /// shape. Call after a bulk construction phase (corpus build, file
+    /// import, snapshot restore); incremental edits afterwards keep
+    /// working on the packed tree.
+    pub fn optimize(&mut self) {
+        let prec: Vec<(Range, EdgeId)> = self.edges.iter().map(|(i, e)| (e.prec, i)).collect();
+        let dep: Vec<(Range, EdgeId)> = self.edges.iter().map(|(i, e)| (e.dep, i)).collect();
+        self.prec_index = RTree::bulk_load(prec);
+        self.dep_index = RTree::bulk_load(dep);
+    }
+
+    /// Inserts fully-formed edges without compression, then bulk-loads
+    /// the indexes (snapshot restore: no recompression, one STR pack).
+    pub(crate) fn insert_edges_bulk<I: IntoIterator<Item = Edge>>(&mut self, edges: I) {
+        for e in edges {
+            self.edges.insert(e);
+        }
+        self.optimize();
     }
 
     // ---- compression (Alg. 2) ---------------------------------------------
@@ -133,8 +211,9 @@ impl FormulaGraph {
         // Step 1: find candidate edges — those whose dependent vertex is
         // adjacent to e'.dep along the column or row axis (shift the cell by
         // one in all four directions and consult the R-tree; gap patterns
-        // extend the search radius to two).
-        let mut candidates: Vec<EdgeId> = Vec::new();
+        // extend the search radius to two). Buffers persist on the graph.
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        candidates.clear();
         let radius = if self.config.has_gap_pattern() { 2 } else { 1 };
         for step in 1..=radius {
             for (dc, dr) in [(0, -step), (0, step), (-step, 0), (step, 0)] {
@@ -148,7 +227,8 @@ impl FormulaGraph {
         candidates.dedup();
 
         // Step 2: find valid compressed edges (genCompEdges).
-        let mut valid: Vec<(Edge, EdgeId)> = Vec::new();
+        let mut valid = std::mem::take(&mut self.scratch.valid);
+        valid.clear();
         for &cand_id in &candidates {
             let cand = self.edges.get(cand_id);
             if cand.is_single() {
@@ -171,13 +251,19 @@ impl FormulaGraph {
         // Step 3: select the final edge by the §IV-A heuristics:
         // column-wise first, then special patterns (RR-Chain ≺ RR), then
         // `$`-cue agreement, then pattern declaration order.
-        let Some(best_idx) = self.select_best(&valid, d) else {
-            self.insert_edge(Edge::single(d));
-            return;
-        };
-        let (new_edge, old_id) = valid.swap_remove(best_idx);
-        self.remove_edge(old_id);
-        self.insert_edge(new_edge);
+        match self.select_best(&valid, d) {
+            None => {
+                self.insert_edge(Edge::single(d));
+            }
+            Some(best_idx) => {
+                let (new_edge, old_id) = valid.swap_remove(best_idx);
+                self.remove_edge(old_id);
+                self.insert_edge(new_edge);
+            }
+        }
+        self.scratch.candidates = candidates;
+        valid.clear();
+        self.scratch.valid = valid;
     }
 
     fn select_best(&self, valid: &[(Edge, EdgeId)], d: &Dependency) -> Option<usize> {
@@ -254,7 +340,22 @@ impl FormulaGraph {
 
     /// [`Self::find_dependents`] with query instrumentation.
     pub fn find_dependents_with_stats(&self, r: Range) -> (Vec<Range>, QueryStats) {
-        self.bfs(r, Direction::Dependents)
+        let mut out = Vec::new();
+        let stats = self.find_dependents_with_scratch(r, &mut QueryScratch::new(), &mut out);
+        (out, stats)
+    }
+
+    /// [`Self::find_dependents`] on caller-owned buffers: `out` is
+    /// overwritten with the disjoint result ranges. With a warm
+    /// [`QueryScratch`] the whole query performs zero heap allocations —
+    /// the steady-state contract the perf baseline asserts.
+    pub fn find_dependents_with_scratch(
+        &self,
+        r: Range,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Range>,
+    ) -> QueryStats {
+        self.bfs(r, Direction::Dependents, scratch, out)
     }
 
     /// Finds all (direct and transitive) precedents of `r`.
@@ -264,30 +365,71 @@ impl FormulaGraph {
 
     /// [`Self::find_precedents`] with query instrumentation.
     pub fn find_precedents_with_stats(&self, r: Range) -> (Vec<Range>, QueryStats) {
-        self.bfs(r, Direction::Precedents)
+        let mut out = Vec::new();
+        let stats = self.find_precedents_with_scratch(r, &mut QueryScratch::new(), &mut out);
+        (out, stats)
     }
 
-    fn bfs(&self, r: Range, dir: Direction) -> (Vec<Range>, QueryStats) {
-        let mut stats = QueryStats::default();
-        let mut result: Vec<Range> = Vec::new();
-        // R-tree over the visited ranges for the not-yet-contained check.
-        let mut visited: RTree<()> = RTree::new();
-        let mut queue: VecDeque<Range> = VecDeque::new();
-        queue.push_back(r);
+    /// [`Self::find_precedents`] on caller-owned buffers (see
+    /// [`Self::find_dependents_with_scratch`] for the contract).
+    pub fn find_precedents_with_scratch(
+        &self,
+        r: Range,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Range>,
+    ) -> QueryStats {
+        self.bfs(r, Direction::Precedents, scratch, out)
+    }
 
-        // Reused scratch buffers (hot loop: avoid re-allocating per step).
-        let mut hits: Vec<(Range, EdgeId)> = Vec::new();
-        let mut covers: Vec<Range> = Vec::new();
+    /// [`Self::find_dependents`] reusing the graph's internal query
+    /// scratch (`&mut self` callers — the engine edit path and the
+    /// backend trait — get warm buffers without owning a
+    /// [`QueryScratch`]; only the returned result vector allocates).
+    pub fn find_dependents_reusing(&mut self, r: Range) -> Vec<Range> {
+        let mut scratch = std::mem::take(&mut self.scratch.query);
+        let mut out = Vec::new();
+        self.find_dependents_with_scratch(r, &mut scratch, &mut out);
+        self.scratch.query = scratch;
+        out
+    }
+
+    /// [`Self::find_precedents`] reusing the graph's internal query
+    /// scratch.
+    pub fn find_precedents_reusing(&mut self, r: Range) -> Vec<Range> {
+        let mut scratch = std::mem::take(&mut self.scratch.query);
+        let mut out = Vec::new();
+        self.find_precedents_with_scratch(r, &mut scratch, &mut out);
+        self.scratch.query = scratch;
+        out
+    }
+
+    fn bfs(
+        &self,
+        r: Range,
+        dir: Direction,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Range>,
+    ) -> QueryStats {
+        let QueryScratch { queue, hits, found, covers, parts, sub_tmp, visited, search } = scratch;
+        out.clear();
+        queue.clear();
+        // R-tree over the visited ranges for the not-yet-contained check;
+        // clearing retains its arena capacity.
+        visited.clear();
+        let mut stats = QueryStats::default();
+        queue.push_back(r);
+        let index = match dir {
+            Direction::Dependents => &self.prec_index,
+            Direction::Precedents => &self.dep_index,
+        };
 
         while let Some(to_visit) = queue.pop_front() {
-            let index = match dir {
-                Direction::Dependents => &self.prec_index,
-                Direction::Precedents => &self.dep_index,
-            };
             stats.rtree_searches += 1;
             hits.clear();
-            index.for_each_overlapping(to_visit, |vr, &id| hits.push((vr, id)));
-            for &(vertex_range, id) in &hits {
+            stats.nodes_visited += index.search_with(to_visit, search, |vr, &id| {
+                hits.push((vr, id));
+            });
+            for &(vertex_range, id) in hits.iter() {
                 stats.edges_accessed += 1;
                 let e = self.edges.get(id);
                 // findDep/findPrec require the probe to be contained in the
@@ -295,25 +437,27 @@ impl FormulaGraph {
                 let probe = to_visit
                     .intersect(&vertex_range)
                     .expect("R-tree returned an overlapping vertex");
-                let found = match dir {
-                    Direction::Dependents => e.find_dep(probe),
-                    Direction::Precedents => e.find_prec(probe),
-                };
-                for f in found {
+                found.clear();
+                match dir {
+                    Direction::Dependents => e.find_dep_into(probe, found),
+                    Direction::Precedents => e.find_prec_into(probe, found),
+                }
+                for &f in found.iter() {
                     // Subtract the already-visited subset (via the R-tree on
                     // the result set), keep the new parts.
                     covers.clear();
-                    visited.for_each_overlapping(f, |c, _| covers.push(c));
-                    for new_range in f.subtract_all(covers.iter()) {
+                    visited.search_with(f, search, |c, _| covers.push(c));
+                    f.subtract_all_into(covers.iter(), parts, sub_tmp);
+                    for &new_range in parts.iter() {
                         visited.insert(new_range, ());
-                        result.push(new_range);
+                        out.push(new_range);
                         queue.push_back(new_range);
                         stats.enqueued += 1;
                     }
                 }
             }
         }
-        (result, stats)
+        stats
     }
 
     // ---- maintenance (§IV-C) -------------------------------------------------
@@ -323,16 +467,48 @@ impl FormulaGraph {
     /// (`removeDep`). Pure-value cells in `s` are unaffected (they carry no
     /// outgoing-formula edges).
     pub fn clear_cells(&mut self, s: Range) {
-        let mut ids: Vec<EdgeId> = Vec::new();
+        let mut ids = std::mem::take(&mut self.scratch.ids);
+        ids.clear();
         self.dep_index.for_each_overlapping(s, |_, &id| ids.push(id));
         ids.sort_unstable();
         ids.dedup();
-        for id in ids {
-            let e = self.remove_edge(id);
-            for part in e.remove_dep(s) {
+        let mut parts = std::mem::take(&mut self.scratch.parts);
+        for &id in &ids {
+            parts.clear();
+            self.edges.get(id).remove_dep_into(s, &mut parts);
+            if parts.is_empty() {
+                self.remove_edge(id);
+                continue;
+            }
+            // The first replacement part reuses the arena slot in place;
+            // an index entry moves only when its range actually changed
+            // (a split that keeps the precedent vertex — the common case
+            // for RR/RF/FR runs — costs zero prec-index churn).
+            let first = parts[0].clone();
+            let old = self.edges.get_mut(id);
+            let (old_prec, old_dep) = (old.prec, old.dep);
+            *old = first;
+            let (new_prec, new_dep) = {
+                let e = self.edges.get(id);
+                (e.prec, e.dep)
+            };
+            if old_prec != new_prec {
+                let moved = self.prec_index.remove(old_prec, &id);
+                debug_assert!(moved, "edge {id} must be prec-indexed");
+                self.prec_index.insert(new_prec, id);
+            }
+            if old_dep != new_dep {
+                let moved = self.dep_index.remove(old_dep, &id);
+                debug_assert!(moved, "edge {id} must be dep-indexed");
+                self.dep_index.insert(new_dep, id);
+            }
+            for part in parts.drain(1..) {
                 self.insert_edge(part);
             }
         }
+        self.scratch.ids = ids;
+        parts.clear();
+        self.scratch.parts = parts;
     }
 
     /// Replaces the dependencies of the formula cell `cell`: clears its old
@@ -797,5 +973,101 @@ mod tests {
 
     fn cells_of(ranges: &[Range]) -> std::collections::BTreeSet<Cell> {
         ranges.iter().flat_map(|r| r.cells()).collect()
+    }
+
+    /// Regression: the scratch entry points are the same query — results
+    /// *and* instrumentation identical to the allocating API, with the
+    /// scratch reused (dirty) across queries and directions.
+    #[test]
+    fn scratch_and_plain_queries_are_identical() {
+        let mut g = FormulaGraph::taco();
+        // A messy mix: sliding windows, a chain, FF fan-out, singles.
+        for (p, c) in [("A1:B3", "C1"), ("A2:B4", "C2"), ("A3:B5", "C3"), ("A4:B6", "C4")] {
+            g.add_dependency(&d(p, c));
+        }
+        for c in ["E1", "E2", "E3"] {
+            g.add_dependency(&d("C1:C4", c));
+        }
+        g.add_dependency(&d("E1", "E2")); // overlap with the FF dependents
+        for row in 2..=40u32 {
+            g.add_dependency(&Dependency::new(
+                Range::cell(Cell::new(7, row - 1)),
+                Cell::new(7, row),
+            ));
+        }
+        g.add_dependency(&d("G40", "H1"));
+
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        for probe in ["A1", "A3:B3", "C2", "E1", "G1", "G5:G9", "Z99", "A1:H40"] {
+            let probe = r(probe);
+            let (plain, plain_stats) = g.find_dependents_with_stats(probe);
+            let stats = g.find_dependents_with_scratch(probe, &mut scratch, &mut out);
+            assert_eq!(out, plain, "dependents({probe}) results diverge");
+            assert_eq!(stats, plain_stats, "dependents({probe}) stats diverge");
+
+            let (plain, plain_stats) = g.find_precedents_with_stats(probe);
+            let stats = g.find_precedents_with_scratch(probe, &mut scratch, &mut out);
+            assert_eq!(out, plain, "precedents({probe}) results diverge");
+            assert_eq!(stats, plain_stats, "precedents({probe}) stats diverge");
+        }
+        // And the &mut-self reusing variants agree as well.
+        let probe = r("A2");
+        assert_eq!(g.find_dependents_reusing(probe), g.find_dependents(probe));
+        assert_eq!(g.find_precedents_reusing(probe), g.find_precedents(probe));
+    }
+
+    /// Bulk-loaded (build / restore) and incrementally-grown graphs give
+    /// identical query answers, and the build-time repack only tightens
+    /// the index (never changes results).
+    #[test]
+    fn bulk_packed_and_incremental_graphs_agree() {
+        let deps: Vec<Dependency> = (2..=60u32)
+            .flat_map(|row| {
+                [
+                    Dependency::new(Range::from_coords(1, row - 1, 2, row + 1), Cell::new(3, row)),
+                    Dependency::new(Range::cell(Cell::new(3, row)), Cell::new(4, row)),
+                ]
+            })
+            .collect();
+        // `build` repacks; the manual loop leaves the insertion-built tree.
+        let packed = FormulaGraph::build(Config::taco_full(), deps.iter().copied());
+        let mut grown = FormulaGraph::taco();
+        for d in &deps {
+            grown.add_dependency(d);
+        }
+        assert_eq!(packed.num_edges(), grown.num_edges());
+        // A restored graph is bulk-loaded too.
+        let restored = FormulaGraph::restore(grown.snapshot());
+        for probe in ["A1", "B30", "C10", "D59", "A1:B60"] {
+            let probe = r(probe);
+            assert_eq!(
+                cells_of(&packed.find_dependents(probe)),
+                cells_of(&grown.find_dependents(probe)),
+                "dependents({probe})"
+            );
+            assert_eq!(
+                cells_of(&restored.find_dependents(probe)),
+                cells_of(&grown.find_dependents(probe)),
+                "restored dependents({probe})"
+            );
+            assert_eq!(
+                cells_of(&packed.find_precedents(probe)),
+                cells_of(&grown.find_precedents(probe)),
+                "precedents({probe})"
+            );
+        }
+        // The packed index never visits more nodes than the grown one.
+        for probe in ["A1", "C10", "A1:B60"] {
+            let probe = r(probe);
+            let (_, p) = packed.find_dependents_with_stats(probe);
+            let (_, g) = grown.find_dependents_with_stats(probe);
+            assert!(
+                p.nodes_visited <= g.nodes_visited,
+                "packed visited {} > grown {} on {probe}",
+                p.nodes_visited,
+                g.nodes_visited
+            );
+        }
     }
 }

@@ -53,7 +53,7 @@ pub use backend::DependencyBackend;
 pub use config::Config;
 pub use dep::{Cue, Dependency};
 pub use edge::{Edge, EdgeId};
-pub use graph::{FormulaGraph, QueryStats};
+pub use graph::{FormulaGraph, QueryScratch, QueryStats};
 pub use pattern::{ChainDir, PatternMeta, PatternType};
 pub use snapshot::GraphSnapshot;
 pub use stats::{GraphStats, PatternCounts};

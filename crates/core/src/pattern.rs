@@ -283,10 +283,25 @@ fn clamp_rows(col: u32, lo: i64, hi: i64, within: Range) -> Option<Range> {
 ///
 /// Returns zero or more disjoint ranges; every pattern except RR-GapOne
 /// yields at most one.
+#[cfg(test)]
 pub(crate) fn find_dep(meta: &PatternMeta, prec: Range, dep: Range, r: Range) -> Vec<Range> {
+    let mut out = Vec::new();
+    find_dep_into(meta, prec, dep, r, &mut out);
+    out
+}
+
+/// [`find_dep`] appending to a caller-owned buffer (the BFS hot path —
+/// no per-call allocation).
+pub(crate) fn find_dep_into(
+    meta: &PatternMeta,
+    prec: Range,
+    dep: Range,
+    r: Range,
+    out: &mut Vec<Range>,
+) {
     debug_assert!(prec.contains(&r), "findDep requires r ⊆ e.prec");
     let col = dep.head().col;
-    let out = match meta {
+    let found = match meta {
         PatternMeta::Single => Some(dep),
         PatternMeta::RR { h_rel, t_rel } => {
             // Back-calculate (Fig. 6): the head dependent's precedent tail
@@ -325,19 +340,33 @@ pub(crate) fn find_dep(meta: &PatternMeta, prec: Range, dep: Range, r: Range) ->
             let dh_row = i64::from(r.head().row) - t_rel.dr;
             let dt_row = i64::from(r.tail().row) - h_rel.dr;
             let Some(bounds) = clamp_rows(col, dh_row, dt_row, dep) else {
-                return Vec::new();
+                return;
             };
-            return parity_rows(dep, bounds).map(|row| Range::cell(Cell::new(col, row))).collect();
+            out.extend(parity_rows(dep, bounds).map(|row| Range::cell(Cell::new(col, row))));
+            return;
         }
     };
-    out.into_iter().collect()
+    out.extend(found);
 }
 
 /// `findPrec(e, s)`: the precedents of `s` within the edge, where `s` is
 /// contained in `e.dep`.
 pub(crate) fn find_prec(meta: &PatternMeta, prec: Range, dep: Range, s: Range) -> Vec<Range> {
+    let mut out = Vec::new();
+    find_prec_into(meta, prec, dep, s, &mut out);
+    out
+}
+
+/// [`find_prec`] appending to a caller-owned buffer.
+pub(crate) fn find_prec_into(
+    meta: &PatternMeta,
+    prec: Range,
+    dep: Range,
+    s: Range,
+    out: &mut Vec<Range>,
+) {
     debug_assert!(dep.contains(&s), "findPrec requires s ⊆ e.dep");
-    let out = match meta {
+    let found = match meta {
         PatternMeta::Single => Some(prec),
         PatternMeta::RR { h_rel, t_rel } => {
             // Union of sliding windows: head of s.head's precedent through
@@ -366,15 +395,14 @@ pub(crate) fn find_prec(meta: &PatternMeta, prec: Range, dep: Range, s: Range) -
             }
         }
         PatternMeta::RRGapOne { h_rel, t_rel } => {
-            return parity_rows(dep, s)
-                .map(|row| {
-                    let d = Cell::new(dep.head().col, row);
-                    Range::new(d.offset_saturating(*h_rel), d.offset_saturating(*t_rel))
-                })
-                .collect();
+            out.extend(parity_rows(dep, s).map(|row| {
+                let d = Cell::new(dep.head().col, row);
+                Range::new(d.offset_saturating(*h_rel), d.offset_saturating(*t_rel))
+            }));
+            return;
         }
     };
-    out.into_iter().collect()
+    out.extend(found);
 }
 
 /// Rows of `within` that carry dependents of a gap-one edge whose

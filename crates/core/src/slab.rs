@@ -44,6 +44,12 @@ impl<T> Slab<T> {
         self.slots[id].as_ref().expect("accessing a live slot")
     }
 
+    /// Mutable access to a live slot (in-place edge rewrites during
+    /// `clear_cells` keep the slot id stable instead of remove+reinsert).
+    pub fn get_mut(&mut self, id: usize) -> &mut T {
+        self.slots[id].as_mut().expect("accessing a live slot")
+    }
+
     pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
         self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
     }

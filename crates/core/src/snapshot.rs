@@ -89,13 +89,12 @@ impl FormulaGraph {
         }
     }
 
-    /// Restores a graph from a snapshot, rebuilding the spatial indexes.
-    /// No recompression is attempted: edges come back exactly as saved.
+    /// Restores a graph from a snapshot, rebuilding the spatial indexes
+    /// with one STR bulk load per tree. No recompression is attempted:
+    /// edges come back exactly as saved.
     pub fn restore(snapshot: GraphSnapshot) -> FormulaGraph {
         let mut g = FormulaGraph::new(snapshot.config);
-        for e in snapshot.edges {
-            g.put_edge(e);
-        }
+        g.insert_edges_bulk(snapshot.edges);
         g.set_dependencies_inserted(snapshot.dependencies_inserted);
         g
     }

@@ -36,6 +36,43 @@ pub struct EditReceipt {
     pub control_latency: Duration,
 }
 
+/// Reusable recalculation state: the sorted dirty view, DFS coloring,
+/// a shared neighbor arena, and the explicit DFS stack. All buffers
+/// persist on the engine, so steady-state recalculation performs no
+/// per-recalc (let alone per-cell) allocations — replacing the old
+/// `HashMap<Cell, Color>` plus fresh `Vec` per visited cell.
+#[derive(Debug, Default)]
+struct RecalcScratch {
+    /// The dirty set, sorted by `(col, row)`: the membership structure
+    /// `dirty_precedents_of` binary-searches instead of hashing.
+    dirty_sorted: Vec<Cell>,
+    /// DFS colors parallel to `dirty_sorted` (white/gray/black).
+    color: Vec<u8>,
+    /// Shared neighbor arena: each DFS frame owns a `[start, end)` slice,
+    /// truncated back on pop.
+    nbrs: Vec<u32>,
+    /// Explicit DFS stack.
+    stack: Vec<Frame>,
+    /// The resulting evaluation order.
+    order: Vec<Cell>,
+    /// Cells reached by a back edge (cycle members).
+    cycles: Vec<Cell>,
+}
+
+/// One DFS frame: a node (index into `dirty_sorted`) plus its neighbor
+/// slice in the shared arena.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    node: u32,
+    start: u32,
+    cursor: u32,
+    end: u32,
+}
+
+const WHITE: u8 = 0;
+const GRAY: u8 = 1;
+const BLACK: u8 = 2;
+
 /// A headless spreadsheet backed by a pluggable formula graph.
 pub struct Engine<B: DependencyBackend = FormulaGraph> {
     cells: HashMap<Cell, CellContent>,
@@ -45,6 +82,8 @@ pub struct Engine<B: DependencyBackend = FormulaGraph> {
     /// qualified with this name (`Sheet1!A1` inside `Sheet1`) are treated
     /// as local. `None` for a standalone engine.
     sheet_name: Option<String>,
+    /// Reusable recalculation buffers (see [`RecalcScratch`]).
+    recalc: RecalcScratch,
 }
 
 impl Engine<FormulaGraph> {
@@ -62,7 +101,13 @@ impl Engine<FormulaGraph> {
 impl<B: DependencyBackend> Engine<B> {
     /// Wraps a backend into an empty sheet.
     pub fn new(graph: B) -> Self {
-        Engine { cells: HashMap::new(), graph, dirty: HashSet::new(), sheet_name: None }
+        Engine {
+            cells: HashMap::new(),
+            graph,
+            dirty: HashSet::new(),
+            sheet_name: None,
+            recalc: RecalcScratch::default(),
+        }
     }
 
     /// Names the sheet (workbook mounting).
@@ -260,7 +305,9 @@ impl<B: DependencyBackend> Engine<B> {
     }
 
     /// The dirty set in sorted order (persistence: snapshots must encode
-    /// a deterministic dirty list).
+    /// a deterministic dirty list; the image owns the vector). The hot
+    /// per-recalc sorted view reuses [`RecalcScratch::dirty_sorted`]
+    /// instead of this allocating accessor.
     pub(crate) fn dirty_cells_sorted(&self) -> Vec<Cell> {
         let mut v: Vec<Cell> = self.dirty.iter().copied().collect();
         v.sort_unstable();
@@ -284,9 +331,12 @@ impl<B: DependencyBackend> Engine<B> {
     /// per-level import snapshot). Fully deterministic: the evaluation
     /// order depends only on the dirty set and the local graph.
     pub(crate) fn recalculate_with<E: ExternalSheets>(&mut self, ext: &E) -> usize {
-        let order = self.topo_order_of_dirty();
+        self.topo_order_of_dirty();
+        // Take the order buffer out so the loop can borrow `cells`
+        // mutably; it goes back (capacity intact) afterwards.
+        let order = std::mem::take(&mut self.recalc.order);
         let evaluated = order.len();
-        for cell in order {
+        for &cell in &order {
             let value = match self.cells.get(&cell) {
                 Some(CellContent::Formula { formula, .. }) => {
                     let view =
@@ -299,104 +349,131 @@ impl<B: DependencyBackend> Engine<B> {
                 *slot = value;
             }
         }
+        self.recalc.order = order;
         self.dirty.clear();
         evaluated
     }
 
-    /// Topologically orders the dirty formula cells so precedents evaluate
-    /// before dependents (iterative DFS; members of cycles get `#CYCLE!`
-    /// immediately and are excluded from the order).
-    fn topo_order_of_dirty(&mut self) -> Vec<Cell> {
-        #[derive(Clone, Copy, PartialEq)]
-        enum Color {
-            White,
-            Gray,
-            Black,
-        }
-        // Deterministic order: identical scripts must produce identical
-        // results regardless of hash seeds (and across backends).
-        let mut dirty: Vec<Cell> = self.dirty.iter().copied().collect();
-        dirty.sort_unstable();
-        let mut color: HashMap<Cell, Color> = dirty.iter().map(|&c| (c, Color::White)).collect();
-        let mut order = Vec::with_capacity(dirty.len());
-        let mut cycle_members: Vec<Cell> = Vec::new();
+    /// Topologically orders the dirty formula cells (into
+    /// `self.recalc.order`) so precedents evaluate before dependents
+    /// (iterative DFS; members of cycles get `#CYCLE!` immediately).
+    ///
+    /// Runs entirely on the reusable [`RecalcScratch`] buffers: the dirty
+    /// set becomes a sorted vec (deterministic regardless of hash seeds,
+    /// and binary-searchable by `dirty_precedents_into`), colors live in
+    /// a parallel `Vec<u8>`, and per-cell neighbor lists share one arena
+    /// sliced per DFS frame — zero steady-state allocations.
+    fn topo_order_of_dirty(&mut self) {
+        let mut s = std::mem::take(&mut self.recalc);
+        s.dirty_sorted.clear();
+        s.dirty_sorted.extend(self.dirty.iter().copied());
+        s.dirty_sorted.sort_unstable();
+        let n = s.dirty_sorted.len();
+        s.color.clear();
+        s.color.resize(n, WHITE);
+        s.order.clear();
+        s.cycles.clear();
+        s.nbrs.clear();
+        s.stack.clear();
 
-        for &root in &dirty {
-            if color[&root] != Color::White {
+        for root in 0..n {
+            if s.color[root] != WHITE {
                 continue;
             }
-            // Iterative DFS: (cell, next-neighbour-index).
-            let mut stack: Vec<(Cell, usize, Vec<Cell>)> = Vec::new();
-            let nbrs = self.dirty_precedents_of(root, &color);
-            color.insert(root, Color::Gray);
-            stack.push((root, 0, nbrs));
-            while let Some((cell, idx, nbrs)) = stack.last_mut() {
-                if *idx < nbrs.len() {
-                    let next = nbrs[*idx];
-                    *idx += 1;
-                    match color.get(&next).copied() {
-                        Some(Color::White) => {
-                            color.insert(next, Color::Gray);
-                            let nn = self.dirty_precedents_of(next, &color);
-                            stack.push((next, 0, nn));
+            s.color[root] = GRAY;
+            let start = s.nbrs.len() as u32;
+            self.dirty_precedents_into(s.dirty_sorted[root], &s.dirty_sorted, &mut s.nbrs);
+            let end = s.nbrs.len() as u32;
+            s.stack.push(Frame { node: root as u32, start, cursor: start, end });
+            while let Some(&Frame { node, start, cursor, end }) = s.stack.last() {
+                if cursor < end {
+                    s.stack.last_mut().expect("frame just read").cursor += 1;
+                    let next = s.nbrs[cursor as usize] as usize;
+                    match s.color[next] {
+                        WHITE => {
+                            s.color[next] = GRAY;
+                            let cstart = s.nbrs.len() as u32;
+                            self.dirty_precedents_into(
+                                s.dirty_sorted[next],
+                                &s.dirty_sorted,
+                                &mut s.nbrs,
+                            );
+                            let cend = s.nbrs.len() as u32;
+                            s.stack.push(Frame {
+                                node: next as u32,
+                                start: cstart,
+                                cursor: cstart,
+                                end: cend,
+                            });
                         }
-                        Some(Color::Gray) => {
-                            // Back edge: cycle.
-                            cycle_members.push(next);
-                        }
+                        // Back edge: cycle.
+                        GRAY => s.cycles.push(s.dirty_sorted[next]),
                         _ => {}
                     }
                 } else {
-                    let cell = *cell;
-                    color.insert(cell, Color::Black);
-                    order.push(cell);
-                    stack.pop();
+                    s.color[node as usize] = BLACK;
+                    s.order.push(s.dirty_sorted[node as usize]);
+                    s.nbrs.truncate(start as usize);
+                    s.stack.pop();
                 }
             }
         }
 
-        if !cycle_members.is_empty() {
-            let members: HashSet<Cell> = cycle_members.into_iter().collect();
-            for c in &members {
-                if let Some(CellContent::Formula { value, .. }) = self.cells.get_mut(c) {
-                    *value = Value::Error(CellError::Cycle);
-                }
+        for i in 0..s.cycles.len() {
+            let c = s.cycles[i];
+            if let Some(CellContent::Formula { value, .. }) = self.cells.get_mut(&c) {
+                *value = Value::Error(CellError::Cycle);
             }
         }
-        order
+        self.recalc = s;
     }
 
-    /// Dirty formula cells referenced by `cell`'s formula. Only same-sheet
-    /// references matter here: cross-sheet ordering is the workbook
-    /// scheduler's job (sheets evaluate level by level).
-    fn dirty_precedents_of(&self, cell: Cell, _color: &HashMap<Cell, impl Sized>) -> Vec<Cell> {
+    /// Pushes the `dirty_sorted` indices of the dirty formula cells that
+    /// `cell`'s formula references. Only same-sheet references matter
+    /// here: cross-sheet ordering is the workbook scheduler's job (sheets
+    /// evaluate level by level).
+    ///
+    /// `dirty` is sorted by `(col, row)`, so every referenced column is
+    /// one contiguous run located by binary search — a tall range costs
+    /// `O(width · log n)` instead of the old per-cell scan over the whole
+    /// range (or the whole dirty set). When the range is wider than the
+    /// dirty set, one scan over the column-bounded slice wins instead.
+    fn dirty_precedents_into(&self, cell: Cell, dirty: &[Cell], out: &mut Vec<u32>) {
         let Some(CellContent::Formula { formula, .. }) = self.cells.get(&cell) else {
-            return Vec::new();
+            return;
         };
-        let mut out = Vec::new();
         for q in &formula.refs {
             if !self.is_local_ref(q) {
                 continue;
             }
             let range = q.range();
-            if range.area() as usize <= self.dirty.len() {
-                for c in range.cells() {
-                    if self.dirty.contains(&c) && c != cell {
-                        out.push(c);
+            let (c1, c2) = (range.head().col, range.tail().col);
+            let (r1, r2) = (range.head().row, range.tail().row);
+            let width = u64::from(c2 - c1) + 1;
+            if width <= dirty.len() as u64 {
+                for col in c1..=c2 {
+                    let lo = dirty.partition_point(|c| (c.col, c.row) < (col, r1));
+                    for (i, c) in dirty[lo..].iter().enumerate() {
+                        if c.col != col || c.row > r2 {
+                            break;
+                        }
+                        if *c != cell {
+                            out.push((lo + i) as u32);
+                        }
                     }
                 }
             } else {
-                let mut hits: Vec<Cell> = self
-                    .dirty
-                    .iter()
-                    .copied()
-                    .filter(|c| range.contains_cell(*c) && *c != cell)
-                    .collect();
-                hits.sort_unstable();
-                out.extend(hits);
+                let lo = dirty.partition_point(|c| c.col < c1);
+                for (i, c) in dirty[lo..].iter().enumerate() {
+                    if c.col > c2 {
+                        break;
+                    }
+                    if c.row >= r1 && c.row <= r2 && *c != cell {
+                        out.push((lo + i) as u32);
+                    }
+                }
             }
         }
-        out
     }
 
     // ---- passthrough graph queries ----------------------------------------

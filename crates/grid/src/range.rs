@@ -160,10 +160,19 @@ impl Range {
     /// segment from a compressed edge's dependent) and the visited-set
     /// subtraction in the modified BFS.
     pub fn subtract(&self, other: &Range) -> Vec<Range> {
-        let Some(ov) = self.intersect(other) else {
-            return vec![*self];
-        };
         let mut out = Vec::with_capacity(4);
+        self.subtract_into(other, &mut out);
+        out
+    }
+
+    /// [`Self::subtract`] appending to a caller-owned buffer instead of
+    /// allocating (the modified-BFS hot path calls this per visited
+    /// overlap).
+    pub fn subtract_into(&self, other: &Range, out: &mut Vec<Range>) {
+        let Some(ov) = self.intersect(other) else {
+            out.push(*self);
+            return;
+        };
         // Top slab: rows above the overlap, full width.
         if self.head.row < ov.head.row {
             out.push(Range::from_coords(
@@ -190,7 +199,6 @@ impl Range {
         if ov.tail.col < self.tail.col {
             out.push(Range::from_coords(ov.tail.col + 1, ov.head.row, self.tail.col, ov.tail.row));
         }
-        out
     }
 
     /// Subtracts every range in `covers` from `self`, returning the
@@ -199,18 +207,33 @@ impl Range {
     where
         I: IntoIterator<Item = &'a Range>,
     {
-        let mut pieces = vec![*self];
+        let mut pieces = Vec::new();
+        let mut tmp = Vec::new();
+        self.subtract_all_into(covers, &mut pieces, &mut tmp);
+        pieces
+    }
+
+    /// [`Self::subtract_all`] into caller-owned buffers: `pieces` ends up
+    /// holding the remainder, `tmp` is double-buffer scratch. Both are
+    /// cleared first; with warmed capacities the refinement allocates
+    /// nothing.
+    pub fn subtract_all_into<'a, I>(&self, covers: I, pieces: &mut Vec<Range>, tmp: &mut Vec<Range>)
+    where
+        I: IntoIterator<Item = &'a Range>,
+    {
+        pieces.clear();
+        tmp.clear();
+        pieces.push(*self);
         for c in covers {
             if pieces.is_empty() {
                 break;
             }
-            let mut next = Vec::with_capacity(pieces.len());
-            for p in &pieces {
-                next.extend(p.subtract(c));
+            tmp.clear();
+            for p in pieces.iter() {
+                p.subtract_into(c, tmp);
             }
-            pieces = next;
+            std::mem::swap(pieces, tmp);
         }
-        pieces
     }
 
     /// Translates the whole range by an offset.

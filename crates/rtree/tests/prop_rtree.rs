@@ -1,9 +1,11 @@
 //! Property tests: the R-tree must agree with a brute-force scan on every
-//! query, through arbitrary interleavings of inserts and removes.
+//! query, through arbitrary interleavings of bulk loading, inserts, and
+//! removes — and the structural invariants (len, height, packing) must
+//! hold at every step.
 
 use proptest::prelude::*;
 use taco_grid::{Cell, Range};
-use taco_rtree::RTree;
+use taco_rtree::{min_fill, FanoutRTree, RTree, SearchScratch, DEFAULT_FANOUT};
 
 fn arb_range() -> impl Strategy<Value = Range> {
     ((1u32..60, 1u32..60), (0u32..5, 0u32..8))
@@ -25,6 +27,79 @@ fn arb_op() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// `ceil(log_m(n)) + 1` style sanity bound on the height of a tree with
+/// minimum fill `m` — every level except the root holds at least `m`
+/// entries per node, so the height cannot exceed this.
+fn height_bound(len: usize, m: usize) -> usize {
+    if len <= 1 {
+        return 1;
+    }
+    let mut h = 1;
+    let mut cap = m;
+    while cap < len {
+        cap *= m;
+        h += 1;
+    }
+    h + 1
+}
+
+/// Drives `tree` against `shadow` through `ops`, checking every query
+/// three ways (recursive, scratch-driven, any_overlapping) and the
+/// len/height invariants after every step.
+fn drive<const F: usize>(
+    tree: &mut FanoutRTree<u64, F>,
+    shadow: &mut Vec<(Range, u64)>,
+    next_id: &mut u64,
+    ops: Vec<Op>,
+) {
+    let mut scratch = SearchScratch::new();
+    for op in ops {
+        match op {
+            Op::Insert(r) => {
+                tree.insert(r, *next_id);
+                shadow.push((r, *next_id));
+                *next_id += 1;
+            }
+            Op::RemoveNth(n) => {
+                if !shadow.is_empty() {
+                    let (r, id) = shadow.remove(n % shadow.len());
+                    prop_assert!(tree.remove(r, &id));
+                    // Double-remove must fail.
+                    prop_assert!(!tree.remove(r, &id));
+                }
+            }
+            Op::Query(q) => {
+                let mut got: Vec<u64> = tree.overlapping(q).iter().map(|(_, v)| **v).collect();
+                got.sort_unstable();
+                let mut via_scratch: Vec<u64> = Vec::new();
+                let visited = tree.search_with(q, &mut scratch, |_, v| via_scratch.push(*v));
+                via_scratch.sort_unstable();
+                let mut want: Vec<u64> =
+                    shadow.iter().filter(|(r, _)| r.overlaps(&q)).map(|(_, id)| *id).collect();
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want);
+                prop_assert_eq!(&via_scratch, &want, "scratch search must agree");
+                prop_assert_eq!(tree.any_overlapping(q), !want.is_empty());
+                prop_assert!(visited >= 1);
+            }
+        }
+        prop_assert_eq!(tree.len(), shadow.len());
+        prop_assert!(
+            tree.height() <= height_bound(tree.len().max(1), min_fill(F)),
+            "height {} too tall for {} entries at fanout {}",
+            tree.height(),
+            tree.len(),
+            F
+        );
+    }
+
+    let mut all: Vec<u64> = tree.iter().map(|(_, v)| *v).collect();
+    all.sort_unstable();
+    let mut want: Vec<u64> = shadow.iter().map(|(_, id)| *id).collect();
+    want.sort_unstable();
+    prop_assert_eq!(all, want);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
     #[test]
@@ -32,40 +107,64 @@ proptest! {
         let mut tree: RTree<u64> = RTree::new();
         let mut shadow: Vec<(Range, u64)> = Vec::new();
         let mut next_id = 0u64;
+        drive(&mut tree, &mut shadow, &mut next_id, ops);
+    }
 
-        for op in ops {
-            match op {
-                Op::Insert(r) => {
-                    tree.insert(r, next_id);
-                    shadow.push((r, next_id));
-                    next_id += 1;
-                }
-                Op::RemoveNth(n) => {
-                    if !shadow.is_empty() {
-                        let (r, id) = shadow.remove(n % shadow.len());
-                        prop_assert!(tree.remove(r, &id));
-                    }
-                }
-                Op::Query(q) => {
-                    let mut got: Vec<u64> = tree.overlapping(q).iter().map(|(_, v)| **v).collect();
-                    got.sort_unstable();
-                    let mut want: Vec<u64> = shadow
-                        .iter()
-                        .filter(|(r, _)| r.overlaps(&q))
-                        .map(|(_, id)| *id)
-                        .collect();
-                    want.sort_unstable();
-                    prop_assert_eq!(&got, &want);
-                    prop_assert_eq!(tree.any_overlapping(q), !want.is_empty());
-                }
-            }
-            prop_assert_eq!(tree.len(), shadow.len());
+    /// Start from a bulk-loaded corpus, then mutate: STR construction
+    /// must be indistinguishable from incremental construction under
+    /// every later operation.
+    #[test]
+    fn bulk_load_matches_brute_force_through_mutation(
+        init in prop::collection::vec(arb_range(), 0..300),
+        ops in prop::collection::vec(arb_op(), 1..150),
+    ) {
+        let mut shadow: Vec<(Range, u64)> =
+            init.iter().enumerate().map(|(i, r)| (*r, i as u64)).collect();
+        let mut next_id = shadow.len() as u64;
+        let mut tree: RTree<u64> = RTree::bulk_load(shadow.clone());
+        prop_assert_eq!(tree.len(), shadow.len());
+        prop_assert!(tree.height() <= height_bound(tree.len().max(1), min_fill(DEFAULT_FANOUT)));
+        drive(&mut tree, &mut shadow, &mut next_id, ops);
+
+        // A fresh bulk load of the surviving set answers every window
+        // query identically to the mutated tree (sorted result sets).
+        let rebuilt: RTree<u64> = RTree::bulk_load(shadow.clone());
+        prop_assert_eq!(rebuilt.len(), tree.len());
+        for q in [
+            Range::from_coords(1, 1, 70, 70),
+            Range::from_coords(10, 10, 20, 20),
+            Range::from_coords(1, 30, 70, 31),
+            Range::from_coords(33, 1, 34, 70),
+        ] {
+            let mut a: Vec<u64> = tree.overlapping(q).iter().map(|(_, v)| **v).collect();
+            let mut b: Vec<u64> = rebuilt.overlapping(q).iter().map(|(_, v)| **v).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
         }
+    }
 
-        let mut all: Vec<u64> = tree.iter().map(|(_, v)| *v).collect();
-        all.sort_unstable();
-        let mut want: Vec<u64> = shadow.iter().map(|(_, id)| *id).collect();
-        want.sort_unstable();
-        prop_assert_eq!(all, want);
+    /// The fanout sweep instantiations behave identically (they share an
+    /// implementation, but the packing/split paths branch on `F`).
+    #[test]
+    fn alternate_fanouts_match_brute_force(
+        init in prop::collection::vec(arb_range(), 0..120),
+        ops in prop::collection::vec(arb_op(), 1..80),
+    ) {
+        fn run<const F: usize>(init: &[Range], ops: &[Op]) -> Vec<u64> {
+            let mut shadow: Vec<(Range, u64)> =
+                init.iter().enumerate().map(|(i, r)| (*r, i as u64)).collect();
+            let mut next_id = shadow.len() as u64;
+            let mut tree: FanoutRTree<u64, F> = FanoutRTree::bulk_load(shadow.clone());
+            drive(&mut tree, &mut shadow, &mut next_id, ops.to_vec());
+            let mut left: Vec<u64> = tree.iter().map(|(_, v)| *v).collect();
+            left.sort_unstable();
+            left
+        }
+        let a = run::<8>(&init, &ops);
+        let b = run::<16>(&init, &ops);
+        let c = run::<32>(&init, &ops);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
     }
 }

@@ -75,19 +75,23 @@ impl Default for ServiceOptions {
 
 /// One sheet's slice of a snapshot.
 struct SheetSnap {
-    name: String,
+    /// Shared with the previous epoch when the sheet kept its name.
+    name: Arc<str>,
     cells: Arc<HashMap<Cell, Value>>,
 }
 
 /// An immutable view of a workbook's cell values at one publication
 /// epoch. Cheap to share (`Arc` per sheet) and cheap to republish
-/// (copy-on-write: only sheets a batch touched are rebuilt).
+/// (copy-on-write: only sheets a batch touched are rebuilt; the name
+/// index and sheet names are `Arc`-shared with the previous epoch
+/// whenever the sheet set is unchanged, so steady-state publication
+/// cost is exactly the touched sheets).
 pub struct Snapshot {
     /// Publication counter; bumps once per published batch/recalc.
     pub epoch: u64,
     sheets: Vec<SheetSnap>,
     /// Lower-cased sheet name → dense index.
-    index: HashMap<String, usize>,
+    index: Arc<HashMap<String, usize>>,
     /// Cells awaiting recalculation when this epoch was published.
     pub dirty: u64,
     /// Non-empty cells across all sheets.
@@ -108,22 +112,35 @@ impl Snapshot {
     /// any sheet `prev` does not know yet).
     fn rebuild_from(prev: Option<&Snapshot>, wb: &Workbook, touched: &BTreeSet<usize>) -> Snapshot {
         let mut sheets = Vec::with_capacity(wb.sheet_count());
-        let mut index = HashMap::new();
+        // The name index is reused wholesale unless a sheet was added,
+        // removed, or renamed since the previous epoch.
+        let mut same_names = prev.is_some_and(|p| p.sheets.len() == wb.sheet_count());
         for i in 0..wb.sheet_count() {
             let id = SheetId(i);
-            let name = wb.sheet_name(id).to_string();
-            let reusable = prev
-                .and_then(|p| p.sheets.get(i))
-                .filter(|s| !touched.contains(&i) && s.name == name);
+            let name = wb.sheet_name(id);
+            let prev_sheet = prev.and_then(|p| p.sheets.get(i));
+            let name: Arc<str> = match prev_sheet {
+                Some(s) if &*s.name == name => Arc::clone(&s.name),
+                _ => {
+                    same_names = false;
+                    Arc::from(name)
+                }
+            };
+            let reusable = prev_sheet.filter(|s| !touched.contains(&i) && s.name == name);
             let cells = match reusable {
                 Some(s) => Arc::clone(&s.cells),
                 None => {
                     Arc::new(wb.sheet(id).cells().map(|(c, k)| (c, k.value().clone())).collect())
                 }
             };
-            index.insert(name.to_ascii_lowercase(), i);
             sheets.push(SheetSnap { name, cells });
         }
+        let index = match prev {
+            Some(p) if same_names => Arc::clone(&p.index),
+            _ => Arc::new(
+                sheets.iter().enumerate().map(|(i, s)| (s.name.to_ascii_lowercase(), i)).collect(),
+            ),
+        };
         Snapshot {
             epoch: prev.map_or(0, |p| p.epoch + 1),
             dirty: wb.dirty_count() as u64,
@@ -144,7 +161,7 @@ impl Snapshot {
 
     /// The sheet names, in dense order.
     pub fn sheet_names(&self) -> Vec<String> {
-        self.sheets.iter().map(|s| s.name.clone()).collect()
+        self.sheets.iter().map(|s| s.name.to_string()).collect()
     }
 
     /// One cell's value (`Empty` for never-written cells).
@@ -1043,5 +1060,11 @@ mod tests {
         let a = &after.sheets[1].cells;
         assert!(Arc::ptr_eq(a, b), "untouched sheet must be copy-on-write shared");
         assert!(!Arc::ptr_eq(&after.sheets[0].cells, &before.sheets[0].cells));
+        // The sheet set did not change: the name index and every sheet
+        // name Arc are shared with the previous epoch, not re-cloned.
+        assert!(Arc::ptr_eq(&after.index, &before.index), "unchanged sheet set shares the index");
+        for (sa, sb) in after.sheets.iter().zip(before.sheets.iter()) {
+            assert!(Arc::ptr_eq(&sa.name, &sb.name), "sheet names are epoch-shared");
+        }
     }
 }
