@@ -1,0 +1,338 @@
+//! Level scheduling over the compressed graph.
+//!
+//! The paper's pitch is that compressed-graph probes are cheap enough to
+//! run *inside* hot loops. Recalculation is the loop that matters: to
+//! evaluate a dirty set in parallel, the scheduler must group cells into
+//! levels such that every cell's dirty precedents land in strictly
+//! earlier levels — then each level is embarrassingly parallel and the
+//! whole schedule is value-equivalent to any serial topological order.
+//!
+//! [`Leveler`] is the reusable Kahn machinery: it consumes a
+//! predecessor relation over `0..n` (delivered by a caller-supplied
+//! probe, so the engine can feed it formula references and graph callers
+//! can feed it compressed-edge hops) and produces longest-path levels
+//! plus the *leftover* set — cells on or downstream of a cycle, which
+//! can never be leveled and must be evaluated by the serial fallback.
+//! All buffers live in the `Leveler` and are reused across runs, so
+//! steady-state leveling performs no heap allocations.
+//!
+//! [`level_dirty`] wires the leveler to a [`FormulaGraph`]: each dirty
+//! cell's predecessors come from a one-hop
+//! [`FormulaGraph::direct_precedents_with_scratch`] probe over the
+//! compressed edges (reusing one [`QueryScratch`]), intersected with the
+//! dirty set.
+
+use crate::graph::{FormulaGraph, QueryScratch, QueryStats};
+use taco_grid::{Cell, Range};
+
+/// Reusable Kahn-leveling scratch and its outputs. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Leveler {
+    // Predecessor CSR (built from the caller's probe).
+    pred_off: Vec<u32>,
+    preds: Vec<u32>,
+    // Successor CSR (transposed from the predecessors).
+    succ_off: Vec<u32>,
+    succ_fill: Vec<u32>,
+    succs: Vec<u32>,
+    // Kahn state.
+    indeg: Vec<u32>,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+    probe_buf: Vec<u32>,
+    // Outputs.
+    level_of: Vec<u32>,
+    offsets: Vec<u32>,
+    order: Vec<u32>,
+    leftover: Vec<u32>,
+}
+
+const UNLEVELED: u32 = u32::MAX;
+
+impl Leveler {
+    /// An empty leveler; buffers grow to the workload's high-water mark
+    /// on first use and then stop allocating.
+    #[must_use]
+    pub fn new() -> Self {
+        Leveler::default()
+    }
+
+    /// Levels the nodes `0..n` by longest path over the predecessor
+    /// relation: `preds(i, out)` must push `i`'s predecessor indices into
+    /// `out` (duplicates are tolerated; indices `>= n` are ignored).
+    ///
+    /// Afterwards [`Self::levels`] yields the schedule — every node in
+    /// level `k` has all its predecessors in levels `< k`, each level
+    /// sorted ascending — and [`Self::leftover`] holds the nodes on or
+    /// downstream of a cycle (never leveled), sorted ascending.
+    pub fn run<F: FnMut(u32, &mut Vec<u32>)>(&mut self, n: usize, mut preds: F) {
+        let n32 = u32::try_from(n).expect("level set fits in u32");
+        self.pred_off.clear();
+        self.preds.clear();
+        self.pred_off.push(0);
+        for i in 0..n32 {
+            self.probe_buf.clear();
+            preds(i, &mut self.probe_buf);
+            self.preds.extend(self.probe_buf.iter().copied().filter(|&p| p < n32));
+            self.pred_off.push(self.preds.len() as u32);
+        }
+
+        // Transpose into the successor CSR with counting sort.
+        self.succ_off.clear();
+        self.succ_off.resize(n + 1, 0);
+        for &p in &self.preds {
+            self.succ_off[p as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.succ_off[i + 1] += self.succ_off[i];
+        }
+        self.succs.clear();
+        self.succs.resize(self.preds.len(), 0);
+        self.succ_fill.clear();
+        self.succ_fill.extend_from_slice(&self.succ_off[..n]);
+        for i in 0..n32 {
+            let (s, e) = (self.pred_off[i as usize], self.pred_off[i as usize + 1]);
+            for k in s..e {
+                let p = self.preds[k as usize] as usize;
+                self.succs[self.succ_fill[p] as usize] = i;
+                self.succ_fill[p] += 1;
+            }
+        }
+
+        // Kahn by level: the frontier is every node whose (remaining)
+        // in-degree is zero; peeling one frontier per round yields
+        // longest-path levels.
+        self.indeg.clear();
+        self.level_of.clear();
+        self.level_of.resize(n, UNLEVELED);
+        self.frontier.clear();
+        for i in 0..n32 {
+            let d = self.pred_off[i as usize + 1] - self.pred_off[i as usize];
+            self.indeg.push(d);
+            if d == 0 {
+                self.frontier.push(i);
+            }
+        }
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.order.clear();
+        let mut level = 0u32;
+        while !self.frontier.is_empty() {
+            // Ascending order within a level keeps the schedule
+            // deterministic regardless of discovery order.
+            self.frontier.sort_unstable();
+            self.next.clear();
+            for &v in &self.frontier {
+                self.level_of[v as usize] = level;
+                self.order.push(v);
+                let (s, e) = (self.succ_off[v as usize], self.succ_off[v as usize + 1]);
+                for k in s..e {
+                    let d = self.succs[k as usize];
+                    self.indeg[d as usize] -= 1;
+                    if self.indeg[d as usize] == 0 {
+                        self.next.push(d);
+                    }
+                }
+            }
+            self.offsets.push(self.order.len() as u32);
+            std::mem::swap(&mut self.frontier, &mut self.next);
+            level += 1;
+        }
+
+        self.leftover.clear();
+        self.leftover.extend((0..n32).filter(|&i| self.level_of[i as usize] == UNLEVELED));
+    }
+
+    /// Number of levels the last [`Self::run`] produced.
+    pub fn num_levels(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The nodes of level `k`, ascending.
+    pub fn level(&self, k: usize) -> &[u32] {
+        &self.order[self.offsets[k] as usize..self.offsets[k + 1] as usize]
+    }
+
+    /// All levels in order.
+    pub fn levels(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.num_levels()).map(|k| self.level(k))
+    }
+
+    /// Nodes on or downstream of a cycle (never leveled), ascending.
+    pub fn leftover(&self) -> &[u32] {
+        &self.leftover
+    }
+
+    /// The level assigned to node `i`, or `None` if it is leftover.
+    pub fn level_of(&self, i: u32) -> Option<u32> {
+        match self.level_of[i as usize] {
+            UNLEVELED => None,
+            l => Some(l),
+        }
+    }
+}
+
+/// Levels a dirty set against the compressed graph: each cell's
+/// predecessor set is `direct precedents ∩ dirty`, discovered with
+/// one-hop probes over the compressed edges. `dirty` must be sorted
+/// ascending (`Cell`'s column-major order). Returns the accumulated
+/// probe statistics; the schedule is read from `leveler`.
+pub fn level_dirty(
+    graph: &FormulaGraph,
+    dirty: &[Cell],
+    scratch: &mut QueryScratch,
+    leveler: &mut Leveler,
+) -> QueryStats {
+    let mut stats = QueryStats::default();
+    let mut ranges = Vec::new();
+    leveler.run(dirty.len(), |i, out| {
+        let s = graph.direct_precedents_with_scratch(
+            Range::cell(dirty[i as usize]),
+            scratch,
+            &mut ranges,
+        );
+        stats.edges_accessed += s.edges_accessed;
+        stats.enqueued += s.enqueued;
+        stats.rtree_searches += s.rtree_searches;
+        stats.nodes_visited += s.nodes_visited;
+        for r in &ranges {
+            dirty_cells_in(dirty, *r, out);
+        }
+    });
+    stats
+}
+
+/// Pushes the indices of every dirty cell inside `r`, using per-column
+/// binary searches when the range is narrow relative to the dirty set
+/// and a linear scan otherwise.
+fn dirty_cells_in(dirty: &[Cell], r: Range, out: &mut Vec<u32>) {
+    let (head, tail) = (r.head(), r.tail());
+    if (r.width() as usize) <= dirty.len() {
+        for col in head.col..=tail.col {
+            let lo = dirty.partition_point(|c| (c.col, c.row) < (col, head.row));
+            let hi = dirty.partition_point(|c| (c.col, c.row) <= (col, tail.row));
+            out.extend((lo..hi).map(|j| j as u32));
+        }
+    } else {
+        for (j, c) in dirty.iter().enumerate() {
+            if r.contains_cell(*c) {
+                out.push(j as u32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dependency;
+
+    fn dep(prec: &str, cell: &str) -> Dependency {
+        Dependency::new(Range::parse_a1(prec).unwrap(), Cell::parse_a1(cell).unwrap())
+    }
+
+    fn cells(names: &[&str]) -> Vec<Cell> {
+        let mut v: Vec<Cell> = names.iter().map(|n| Cell::parse_a1(n).unwrap()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn chain_levels_one_cell_per_level() {
+        // B1 -> B2 -> B3 -> B4 (an RR-Chain after compression).
+        let mut g = FormulaGraph::taco();
+        for r in 2..=4 {
+            g.add_dependency(&dep(&format!("B{}", r - 1), &format!("B{r}")));
+        }
+        let dirty = cells(&["B1", "B2", "B3", "B4"]);
+        let mut leveler = Leveler::new();
+        level_dirty(&g, &dirty, &mut QueryScratch::new(), &mut leveler);
+        assert_eq!(leveler.num_levels(), 4);
+        for (k, lvl) in leveler.levels().enumerate() {
+            assert_eq!(lvl, &[k as u32]);
+        }
+        assert!(leveler.leftover().is_empty());
+    }
+
+    #[test]
+    fn sliding_window_levels_by_longest_path() {
+        // C_r = SUM(A_r:A_{r+2}): every C is level 1 over the dirty A's.
+        let mut g = FormulaGraph::taco();
+        for r in 1..=8u32 {
+            g.add_dependency(&dep(&format!("A{r}:A{}", r + 2), &format!("C{r}")));
+        }
+        let dirty = cells(&["A1", "A2", "A3", "C1", "C2", "C3"]);
+        let mut leveler = Leveler::new();
+        level_dirty(&g, &dirty, &mut QueryScratch::new(), &mut leveler);
+        assert_eq!(leveler.num_levels(), 2);
+        // Level 0 = the A's, level 1 = the C's (dirty is sorted by
+        // column, so A's are indices 0..3).
+        assert_eq!(leveler.level(0), &[0, 1, 2]);
+        assert_eq!(leveler.level(1), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn cycles_and_their_downstream_are_leftover() {
+        // D1 <-> D2 cycle, D3 reads D2, E1 independent.
+        let mut g = FormulaGraph::taco();
+        g.add_dependency(&dep("D2", "D1"));
+        g.add_dependency(&dep("D1", "D2"));
+        g.add_dependency(&dep("D2", "D3"));
+        g.add_dependency(&dep("A1", "E1"));
+        let dirty = cells(&["D1", "D2", "D3", "E1"]);
+        let mut leveler = Leveler::new();
+        level_dirty(&g, &dirty, &mut QueryScratch::new(), &mut leveler);
+        // E1 levels; the cycle and its downstream never do.
+        let e1 = dirty.iter().position(|c| *c == Cell::parse_a1("E1").unwrap()).unwrap() as u32;
+        assert_eq!(leveler.level_of(e1), Some(0));
+        let mut leftover: Vec<Cell> =
+            leveler.leftover().iter().map(|&i| dirty[i as usize]).collect();
+        leftover.sort_unstable();
+        assert_eq!(leftover, cells(&["D1", "D2", "D3"]));
+    }
+
+    #[test]
+    fn levels_respect_every_edge_on_random_graphs() {
+        // Structural invariant: for every dirty cell, every dirty direct
+        // precedent sits in a strictly lower level.
+        let mut g = FormulaGraph::taco();
+        let mut deps = Vec::new();
+        // A deterministic pseudo-random DAG: F_{c,r} reads earlier rows.
+        let mut state = 0x9E37u64;
+        for c in 1..=4u32 {
+            for r in 2..=30u32 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let back = 1 + (state >> 33) as u32 % (r - 1);
+                let src_col = 1 + (state >> 17) as u32 % 4;
+                let d = dep(
+                    &format!("{}{}", crate::test_col(src_col), r - back),
+                    &format!("{}{}", crate::test_col(c), r),
+                );
+                g.add_dependency(&d);
+                deps.push(d);
+            }
+        }
+        let mut dirty: Vec<Cell> =
+            (1..=4u32).flat_map(|c| (1..=30u32).map(move |r| Cell::new(c, r))).collect();
+        dirty.sort_unstable();
+        let mut leveler = Leveler::new();
+        level_dirty(&g, &dirty, &mut QueryScratch::new(), &mut leveler);
+        assert!(leveler.leftover().is_empty());
+        for d in &deps {
+            let prec = dirty.binary_search(&d.prec.head()).unwrap() as u32;
+            let dep_cell = dirty.binary_search(&d.dep).unwrap() as u32;
+            assert!(
+                leveler.level_of(prec).unwrap() < leveler.level_of(dep_cell).unwrap(),
+                "{:?} must precede {:?}",
+                d.prec,
+                d.dep
+            );
+        }
+        // Leveling is allocation-free once warm: a second run on the same
+        // buffers must produce the identical schedule.
+        let before: Vec<Vec<u32>> = leveler.levels().map(<[u32]>::to_vec).collect();
+        level_dirty(&g, &dirty, &mut QueryScratch::new(), &mut leveler);
+        let after: Vec<Vec<u32>> = leveler.levels().map(<[u32]>::to_vec).collect();
+        assert_eq!(before, after);
+    }
+}

@@ -35,6 +35,7 @@ pub mod cem;
 pub mod config;
 pub mod edge;
 pub mod graph;
+pub mod leveling;
 pub mod pattern;
 pub mod snapshot;
 pub mod stats;
@@ -54,6 +55,7 @@ pub use config::Config;
 pub use dep::{Cue, Dependency};
 pub use edge::{Edge, EdgeId};
 pub use graph::{FormulaGraph, QueryScratch, QueryStats};
+pub use leveling::{level_dirty, Leveler};
 pub use pattern::{ChainDir, PatternMeta, PatternType};
 pub use snapshot::GraphSnapshot;
 pub use stats::{GraphStats, PatternCounts};

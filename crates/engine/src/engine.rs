@@ -1,8 +1,8 @@
 use crate::sheet::CellContent;
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
-use taco_core::{Dependency, DependencyBackend, FormulaGraph};
-use taco_formula::eval::{eval, CellProvider};
+use taco_core::{Dependency, DependencyBackend, FormulaGraph, Leveler};
+use taco_formula::eval::{eval, CellProvider, EvalClock, VolatileCtx};
 use taco_formula::{autofill, CellError, Formula, FormulaError, Value};
 use taco_grid::a1::QualifiedRef;
 use taco_grid::{Cell, Range};
@@ -11,7 +11,10 @@ use taco_grid::{Cell, Range};
 /// workbook supplies an implementation during multi-sheet recalculation; a
 /// standalone engine uses [`NoExternal`], which turns every foreign
 /// reference into `#REF!`.
-pub(crate) trait ExternalSheets {
+///
+/// `Sync` because cell-level parallel recalculation shares one external
+/// view across the scoped worker threads of a level.
+pub(crate) trait ExternalSheets: Sync {
     /// Value of `cell` on the sheet named `sheet` (`#REF!` if unknown).
     fn value(&self, sheet: &str, cell: Cell) -> Value;
 }
@@ -57,6 +60,14 @@ struct RecalcScratch {
     order: Vec<Cell>,
     /// Cells reached by a back edge (cycle members).
     cycles: Vec<Cell>,
+    /// Kahn leveling state for cell-level parallel recalculation
+    /// (shared machinery with the graph-probe leveling in `taco_core`).
+    leveler: Leveler,
+    /// Per-level staging buffer: worker threads evaluate a level against
+    /// the immutable pre-level cell store into `(cell, value)` slots,
+    /// applied after the level barrier — the writes that make parallel
+    /// evaluation bit-identical to serial.
+    staged: Vec<(Cell, Value)>,
 }
 
 /// One DFS frame: a node (index into `dirty_sorted`) plus its neighbor
@@ -84,6 +95,16 @@ pub struct Engine<B: DependencyBackend = FormulaGraph> {
     sheet_name: Option<String>,
     /// Reusable recalculation buffers (see [`RecalcScratch`]).
     recalc: RecalcScratch,
+    /// Injected volatile-function clock (NOW/TODAY/RAND read it).
+    clock: EvalClock,
+    /// Total formula evaluations performed over the engine's lifetime
+    /// (the recalc counter demand-driven tests assert on).
+    evaluated_total: u64,
+    /// When `true`, every recalculation records its evaluation batches
+    /// (see [`Engine::take_eval_trace`]).
+    trace_enabled: bool,
+    /// Evaluation batches of the most recent recalculation, if tracing.
+    trace: Vec<Vec<Cell>>,
 }
 
 impl Engine<FormulaGraph> {
@@ -107,7 +128,75 @@ impl<B: DependencyBackend> Engine<B> {
             dirty: HashSet::new(),
             sheet_name: None,
             recalc: RecalcScratch::default(),
+            clock: EvalClock::default(),
+            evaluated_total: 0,
+            trace_enabled: false,
+            trace: Vec::new(),
         }
+    }
+
+    /// The injected volatile-function clock.
+    pub fn clock(&self) -> EvalClock {
+        self.clock
+    }
+
+    /// Injects a new volatile-function clock and re-dirties every
+    /// volatile formula (its dependents follow through the graph, exactly
+    /// as if the formula had been edited). Returns the number of volatile
+    /// formula cells found.
+    pub fn set_clock(&mut self, clock: EvalClock) -> usize {
+        self.clock = clock;
+        let volatile = self.volatile_cells();
+        for &c in &volatile {
+            self.dirty.insert(c);
+            self.mark_dependents_dirty(Range::cell(c));
+        }
+        volatile.len()
+    }
+
+    /// Stores the clock without any dirty marking (the workbook routes
+    /// volatile dirtiness itself, across sheets).
+    pub(crate) fn set_clock_value(&mut self, clock: EvalClock) {
+        self.clock = clock;
+    }
+
+    /// Every formula cell calling a volatile function, sorted.
+    pub(crate) fn volatile_cells(&self) -> Vec<Cell> {
+        let mut v: Vec<Cell> = self
+            .cells
+            .iter()
+            .filter(|(_, content)| content.formula().is_some_and(Formula::is_volatile))
+            .map(|(&c, _)| c)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total formula evaluations performed since the engine was created —
+    /// the counter demand-driven recalculation is asserted against.
+    pub fn evaluated_total(&self) -> u64 {
+        self.evaluated_total
+    }
+
+    /// Enables or disables evaluation-order tracing (see
+    /// [`Engine::take_eval_trace`]).
+    pub fn set_trace_enabled(&mut self, on: bool) {
+        self.trace_enabled = on;
+        if !on {
+            self.trace = Vec::new();
+        }
+    }
+
+    /// Takes the evaluation batches of the most recent recalculation
+    /// (tracing must be enabled first). Cells within one batch were
+    /// evaluated against the same pre-batch state — serial recalculation
+    /// yields singleton batches in evaluation order, leveled
+    /// recalculation one batch per level followed by singleton batches
+    /// for the serial cycle fallback. The scheduler's level invariant is
+    /// that every cell's dirty precedents sit in strictly earlier
+    /// batches (cycle members excepted).
+    pub fn take_eval_trace(&mut self) -> Vec<Vec<Cell>> {
+        std::mem::take(&mut self.trace)
     }
 
     /// Names the sheet (workbook mounting).
@@ -327,6 +416,14 @@ impl<B: DependencyBackend> Engine<B> {
         self.recalculate_with(&NoExternal)
     }
 
+    /// Cell-level parallel variant of [`Engine::recalculate`]: the dirty
+    /// set is leveled and each level evaluated on `threads` scoped worker
+    /// threads, with values bit-identical to the serial path. Returns
+    /// the number of cells evaluated.
+    pub fn recalculate_leveled(&mut self, threads: usize) -> usize {
+        self.recalculate_leveled_with(&NoExternal, threads)
+    }
+
     /// Recalculation with a view of other sheets' values (the workbook's
     /// per-level import snapshot). Fully deterministic: the evaluation
     /// order depends only on the dirty set and the local graph.
@@ -336,11 +433,17 @@ impl<B: DependencyBackend> Engine<B> {
         // mutably; it goes back (capacity intact) afterwards.
         let order = std::mem::take(&mut self.recalc.order);
         let evaluated = order.len();
+        self.trace.clear();
         for &cell in &order {
             let value = match self.cells.get(&cell) {
                 Some(CellContent::Formula { formula, .. }) => {
-                    let view =
-                        SheetView { cells: &self.cells, own: self.sheet_name.as_deref(), ext };
+                    let vol = VolatileCtx::for_cell(self.clock, cell);
+                    let view = SheetView {
+                        cells: &self.cells,
+                        own: self.sheet_name.as_deref(),
+                        ext,
+                        vol: Some(&vol),
+                    };
                     eval(&formula.ast, &view)
                 }
                 _ => continue,
@@ -348,10 +451,151 @@ impl<B: DependencyBackend> Engine<B> {
             if let Some(CellContent::Formula { value: slot, .. }) = self.cells.get_mut(&cell) {
                 *slot = value;
             }
+            if self.trace_enabled {
+                self.trace.push(vec![cell]);
+            }
         }
         self.recalc.order = order;
         self.dirty.clear();
+        self.evaluated_total += evaluated as u64;
         evaluated
+    }
+
+    /// Cell-level parallel recalculation: levels the dirty set over the
+    /// dirty-precedent relation (Kahn, on the reusable
+    /// [`taco_core::Leveler`]), evaluates each level on `threads` scoped
+    /// worker threads against the immutable pre-level state, and applies
+    /// the staged values at the level barrier. Cells on or downstream of
+    /// a cycle never level; they fall back to the serial DFS order after
+    /// all levels, preserving the serial engine's cycle semantics.
+    ///
+    /// Values are bit-identical to [`Engine::recalculate`]: a level-`k`
+    /// cell cannot read a same-level dirty cell (that read would force it
+    /// into level `k+1`), leveled cells never read leftover cells (such a
+    /// read would make them leftover too), and cycle members are flagged
+    /// `#CYCLE!` before anything evaluates, exactly as in the serial
+    /// path.
+    pub(crate) fn recalculate_leveled_with<E: ExternalSheets>(
+        &mut self,
+        ext: &E,
+        threads: usize,
+    ) -> usize {
+        // The DFS pass flags cycle members `#CYCLE!` and records the
+        // serial order the leftover fallback replays.
+        self.topo_order_of_dirty();
+        let mut s = std::mem::take(&mut self.recalc);
+        let mut leveler = std::mem::take(&mut s.leveler);
+        leveler.run(s.dirty_sorted.len(), |i, out| {
+            self.dirty_precedents_into(s.dirty_sorted[i as usize], &s.dirty_sorted, out);
+        });
+
+        self.trace.clear();
+        let workers = threads.max(1);
+        for k in 0..leveler.num_levels() {
+            let level = leveler.level(k);
+            s.staged.clear();
+            s.staged.extend(level.iter().map(|&i| (s.dirty_sorted[i as usize], Value::Empty)));
+            if workers == 1 || level.len() == 1 {
+                for (cell, slot) in &mut s.staged {
+                    *slot = self.eval_cell(*cell, ext);
+                }
+            } else {
+                let per = s.staged.len().div_ceil(workers);
+                let cells = &self.cells;
+                let own = self.sheet_name.as_deref();
+                let clock = self.clock;
+                crossbeam::thread::scope(|scope| {
+                    for chunk in s.staged.chunks_mut(per) {
+                        scope.spawn(move |_| {
+                            for (cell, slot) in chunk {
+                                if let Some(CellContent::Formula { formula, .. }) = cells.get(cell)
+                                {
+                                    let vol = VolatileCtx::for_cell(clock, *cell);
+                                    let view = SheetView { cells, own, ext, vol: Some(&vol) };
+                                    *slot = eval(&formula.ast, &view);
+                                }
+                            }
+                        });
+                    }
+                })
+                .expect("level workers panicked");
+            }
+            // The barrier: publish the level's values all at once.
+            if self.trace_enabled {
+                self.trace.push(s.staged.iter().map(|(c, _)| *c).collect());
+            }
+            for (cell, value) in s.staged.drain(..) {
+                if let Some(CellContent::Formula { value: slot, .. }) = self.cells.get_mut(&cell) {
+                    *slot = value;
+                }
+            }
+        }
+
+        // Serial fallback for cycle-tainted cells, in the DFS order the
+        // serial path would have used.
+        if !leveler.leftover().is_empty() {
+            let order = std::mem::take(&mut s.order);
+            for &cell in &order {
+                let i = s.dirty_sorted.binary_search(&cell).expect("order ⊆ dirty") as u32;
+                if leveler.level_of(i).is_some() {
+                    continue;
+                }
+                let value = self.eval_cell(cell, ext);
+                if let Some(CellContent::Formula { value: slot, .. }) = self.cells.get_mut(&cell) {
+                    *slot = value;
+                }
+                if self.trace_enabled {
+                    self.trace.push(vec![cell]);
+                }
+            }
+            s.order = order;
+        }
+
+        let evaluated = s.dirty_sorted.len();
+        s.leveler = leveler;
+        self.recalc = s;
+        self.dirty.clear();
+        self.evaluated_total += evaluated as u64;
+        evaluated
+    }
+
+    /// Evaluates one formula cell against the current store (no write).
+    fn eval_cell<E: ExternalSheets>(&self, cell: Cell, ext: &E) -> Value {
+        match self.cells.get(&cell) {
+            Some(CellContent::Formula { formula, .. }) => {
+                let vol = VolatileCtx::for_cell(self.clock, cell);
+                let view = SheetView {
+                    cells: &self.cells,
+                    own: self.sheet_name.as_deref(),
+                    ext,
+                    vol: Some(&vol),
+                };
+                eval(&formula.ast, &view)
+            }
+            _ => Value::Empty,
+        }
+    }
+
+    /// Number of levels the most recent leveled recalculation built
+    /// (bench instrumentation).
+    pub fn levels_built(&self) -> usize {
+        self.recalc.leveler.num_levels()
+    }
+
+    /// Restricts the dirty set to `keep ∩ dirty`, returning the removed
+    /// cells so a demand-driven recalculation can restore them afterwards.
+    pub(crate) fn restrict_dirty(&mut self, keep: &HashSet<Cell>) -> Vec<Cell> {
+        let removed: Vec<Cell> = self.dirty.iter().copied().filter(|c| !keep.contains(c)).collect();
+        for c in &removed {
+            self.dirty.remove(c);
+        }
+        removed
+    }
+
+    /// Re-inserts cells into the dirty set (the deferred remainder of a
+    /// demand-driven recalculation).
+    pub(crate) fn restore_dirty(&mut self, cells: &[Cell]) {
+        self.dirty.extend(cells.iter().copied());
     }
 
     /// Topologically orders the dirty formula cells (into
@@ -438,7 +682,7 @@ impl<B: DependencyBackend> Engine<B> {
     /// `O(width · log n)` instead of the old per-cell scan over the whole
     /// range (or the whole dirty set). When the range is wider than the
     /// dirty set, one scan over the column-bounded slice wins instead.
-    fn dirty_precedents_into(&self, cell: Cell, dirty: &[Cell], out: &mut Vec<u32>) {
+    pub(crate) fn dirty_precedents_into(&self, cell: Cell, dirty: &[Cell], out: &mut Vec<u32>) {
         let Some(CellContent::Formula { formula, .. }) = self.cells.get(&cell) else {
             return;
         };
@@ -490,11 +734,13 @@ impl<B: DependencyBackend> Engine<B> {
 }
 
 /// Read-only evaluator view over the cell store, plus the external-sheet
-/// window used for `Sheet2!A1`-style reads.
+/// window used for `Sheet2!A1`-style reads and the volatile-function
+/// context of the cell being evaluated.
 struct SheetView<'a, E: ExternalSheets> {
     cells: &'a HashMap<Cell, CellContent>,
     own: Option<&'a str>,
     ext: &'a E,
+    vol: Option<&'a VolatileCtx>,
 }
 
 impl<E: ExternalSheets> CellProvider for SheetView<'_, E> {
@@ -510,6 +756,10 @@ impl<E: ExternalSheets> CellProvider for SheetView<'_, E> {
         } else {
             self.ext.value(sheet, cell)
         }
+    }
+
+    fn volatile(&self) -> Option<&VolatileCtx> {
+        self.vol
     }
 }
 

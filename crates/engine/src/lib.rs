@@ -41,5 +41,5 @@ pub use workbook::{
 };
 
 pub use taco_core::DependencyBackend;
-pub use taco_formula::{CellError, Value};
+pub use taco_formula::{CellError, EvalClock, Value};
 pub use taco_store::{EditRecord, StoreError, WalWriter};

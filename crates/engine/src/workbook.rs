@@ -38,11 +38,12 @@
 //! iterative calculation off.
 
 use crate::engine::{Engine, ExternalSheets};
+use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::time::{Duration, Instant};
 use taco_core::{Config, Dependency, DependencyBackend, FormulaGraph};
-use taco_formula::{autofill, CellError, Formula, FormulaError, Value};
+use taco_formula::{autofill, CellError, EvalClock, Formula, FormulaError, Value};
 use taco_grid::a1::SheetRef;
 use taco_grid::{Cell, GridError, Range};
 
@@ -195,6 +196,16 @@ pub enum RecalcMode {
     /// crossbeam scoped threads. Values are bit-identical to serial.
     Parallel {
         /// Worker-thread cap (clamped to ≥ 1 and to the level width).
+        threads: usize,
+    },
+    /// Level by level, sheets in ascending id order — but *within* each
+    /// sheet the dirty set is leveled over the dependency relation and
+    /// each cell level evaluates on up to `threads` scoped worker
+    /// threads. This is the mode that parallelizes a single giant sheet,
+    /// which sheet-level scheduling cannot. Values are bit-identical to
+    /// serial.
+    CellParallel {
+        /// Worker-thread cap per cell level (clamped to ≥ 1).
         threads: usize,
     },
 }
@@ -947,6 +958,14 @@ impl<B: DependencyBackend> Workbook<B> {
                         total += shard.engine.recalculate_with(&*imp);
                     }
                 }
+                RecalcMode::CellParallel { threads } => {
+                    // Sheets stay in ascending serial order; the
+                    // parallelism lives inside each sheet's level
+                    // schedule, so one giant sheet still fans out.
+                    for (shard, imp) in jobs.iter_mut() {
+                        total += shard.engine.recalculate_leveled_with(&*imp, threads);
+                    }
+                }
                 RecalcMode::Parallel { threads } => {
                     let t = threads.clamp(1, jobs.len());
                     let per = jobs.len().div_ceil(t);
@@ -971,6 +990,111 @@ impl<B: DependencyBackend> Workbook<B> {
         }
         total
     }
+
+    /// Demand-driven recalculation: evaluates **only** the transitive
+    /// dirty precedents of `viewport` on sheet `id` (including the
+    /// viewport's own dirty cells), leaving every other dirty cell lazily
+    /// dirty for a later full pass. The needed set is expanded with a
+    /// priority queue over `(sheet, cell)` — local hops via each dirty
+    /// formula's reference set, cross-sheet hops via the cross-edge
+    /// table — then the engines' dirty sets are restricted to it, the
+    /// normal level-scheduled recalculation runs, and the deferred
+    /// remainder is restored.
+    ///
+    /// Every viewport cell ends up with exactly the value a full
+    /// recalculation would give it: clean cells are already final (the
+    /// dirty invariant), and needed cells see precedents that are either
+    /// needed (evaluated first by the schedule) or clean. A follow-up
+    /// full recalculation converges to the same state as if demand mode
+    /// had never been used, because the deferred cells re-evaluate
+    /// against their precedents' final values. Returns the number of
+    /// cells evaluated.
+    pub fn recalc_demand(
+        &mut self,
+        id: SheetId,
+        viewport: Range,
+        mode: RecalcMode,
+    ) -> Result<usize, WorkbookError>
+    where
+        B: Send,
+    {
+        if id.0 >= self.sheets.len() {
+            return Err(WorkbookError::NoSuchSheet(id.0));
+        }
+        // Sorted per-sheet dirty views for the precedent walk.
+        let dirty_sorted: Vec<Vec<Cell>> =
+            self.sheets.iter().map(|s| s.engine.dirty_cells_sorted()).collect();
+
+        let mut needed: Vec<HashSet<Cell>> = vec![HashSet::new(); self.sheets.len()];
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, Cell)>> =
+            std::collections::BinaryHeap::new();
+        for &c in dirty_sorted[id.0].iter().filter(|c| viewport.contains_cell(**c)) {
+            heap.push(std::cmp::Reverse((id.0, c)));
+        }
+        let mut idxs: Vec<u32> = Vec::new();
+        while let Some(std::cmp::Reverse((sid, cell))) = heap.pop() {
+            if !needed[sid].insert(cell) {
+                continue;
+            }
+            // Local dirty precedents, from the formula's reference set.
+            idxs.clear();
+            self.sheets[sid].engine.dirty_precedents_into(cell, &dirty_sorted[sid], &mut idxs);
+            for &i in &idxs {
+                let p = dirty_sorted[sid][i as usize];
+                if !needed[sid].contains(&p) {
+                    heap.push(std::cmp::Reverse((sid, p)));
+                }
+            }
+            // Cross-sheet dirty precedents, from the edge table.
+            for e in self.xedges.incoming(sid).iter().filter(|e| e.dep == cell) {
+                let src = e.src.0;
+                for &p in dirty_sorted[src].iter().filter(|p| e.prec.contains_cell(**p)) {
+                    if !needed[src].contains(&p) {
+                        heap.push(std::cmp::Reverse((src, p)));
+                    }
+                }
+            }
+        }
+
+        // Restrict, recalculate with the normal schedule, restore.
+        let mut deferred: Vec<(usize, Vec<Cell>)> = Vec::new();
+        for (sid, keep) in needed.iter().enumerate() {
+            let removed = self.sheets[sid].engine.restrict_dirty(keep);
+            if !removed.is_empty() {
+                deferred.push((sid, removed));
+            }
+        }
+        let evaluated = self.recalculate(mode);
+        for (sid, cells) in deferred {
+            self.sheets[sid].engine.restore_dirty(&cells);
+        }
+        Ok(evaluated)
+    }
+
+    /// Injects a volatile-function clock into every sheet and re-dirties
+    /// volatile formulae workbook-wide, routing their dependents across
+    /// sheets. Returns the number of volatile formula cells found.
+    pub fn set_clock(&mut self, clock: EvalClock) -> usize {
+        let mut jobs = Vec::new();
+        let mut total = 0usize;
+        for sid in 0..self.sheets.len() {
+            let vols = self.sheets[sid].engine.volatile_cells();
+            self.sheets[sid].engine.set_clock_value(clock);
+            total += vols.len();
+            for c in vols {
+                self.sheets[sid].engine.mark_cell_dirty(c);
+                jobs.push(Job::probe(sid, Range::cell(c)));
+            }
+        }
+        self.expand(jobs, true);
+        total
+    }
+
+    /// Total formula evaluations across all sheets since the workbook was
+    /// created (the counter demand-driven tests assert on).
+    pub fn evaluated_total(&self) -> u64 {
+        self.sheets.iter().map(|s| s.engine.evaluated_total()).sum()
+    }
 }
 
 /// Per-sheet import snapshot: foreign values visible during one level's
@@ -982,21 +1106,22 @@ struct SheetImports<'a> {
     /// Qualifier → sheet id, memoized: a formula reading a whole foreign
     /// range resolves its qualifier once, not once per cell (the name
     /// lookup requires an owned lowercased key, which would otherwise
-    /// allocate on every read of the recalc hot path). Single-threaded
-    /// interior mutability is fine: each import snapshot is owned by
-    /// exactly one worker.
-    resolved: std::cell::RefCell<HashMap<String, Option<usize>>>,
+    /// allocate on every read of the recalc hot path). A mutex rather
+    /// than a `RefCell` because cell-level parallel recalculation shares
+    /// one import snapshot across a level's worker threads; the lock is
+    /// uncontended after the first read of each qualifier warms the map.
+    resolved: Mutex<HashMap<String, Option<usize>>>,
 }
 
 impl<'a> SheetImports<'a> {
     fn new(index: &'a HashMap<String, usize>, values: HashMap<(usize, Cell), Value>) -> Self {
-        SheetImports { index, values, resolved: std::cell::RefCell::new(HashMap::new()) }
+        SheetImports { index, values, resolved: Mutex::new(HashMap::new()) }
     }
 }
 
 impl ExternalSheets for SheetImports<'_> {
     fn value(&self, sheet: &str, cell: Cell) -> Value {
-        let mut resolved = self.resolved.borrow_mut();
+        let mut resolved = self.resolved.lock();
         let sid = match resolved.get(sheet) {
             Some(&sid) => sid,
             None => {
@@ -1379,5 +1504,130 @@ mod tests {
         p.recalculate(RecalcMode::Parallel { threads: 8 });
         assert_eq!(s.value(a, c("B1")), n(3.0));
         assert_eq!(p.value(a, c("B1")), n(3.0));
+    }
+
+    #[test]
+    fn cell_parallel_matches_serial_on_a_chain_sheet() {
+        let build = || {
+            let mut wb = Workbook::with_taco();
+            let s = wb.add_sheet("Only").unwrap();
+            wb.set_value(s, c("A1"), n(1.0));
+            for row in 2..=40u32 {
+                wb.set_formula(s, Cell::new(1, row), &format!("=A{}+1", row - 1)).unwrap();
+            }
+            wb.set_formula(s, c("B1"), "=SUM(A1:A40)").unwrap();
+            wb
+        };
+        let mut serial = build();
+        let mut par = build();
+        serial.recalculate(RecalcMode::Serial);
+        par.recalculate(RecalcMode::CellParallel { threads: 4 });
+        let s = SheetId(0);
+        for row in 1..=40u32 {
+            assert_eq!(serial.value(s, Cell::new(1, row)), par.value(s, Cell::new(1, row)));
+        }
+        assert_eq!(par.value(s, c("B1")), n((1..=40).map(f64::from).sum::<f64>()));
+    }
+
+    #[test]
+    fn demand_recalc_evaluates_only_viewport_precedents() {
+        let mut wb = Workbook::with_taco();
+        let s = wb.add_sheet("Only").unwrap();
+        wb.set_value(s, c("A1"), n(2.0));
+        wb.set_formula(s, c("B1"), "=A1*10").unwrap(); // in viewport
+        wb.set_formula(s, c("B2"), "=B1+1").unwrap(); // in viewport, needs B1
+        wb.set_formula(s, c("D9"), "=A1*100").unwrap(); // far outside
+        let before = wb.evaluated_total();
+        let evaluated = wb.recalc_demand(s, r("A1:B4"), RecalcMode::Serial).unwrap();
+        assert_eq!(evaluated, 2, "only B1 and B2 are needed");
+        assert_eq!(wb.evaluated_total() - before, 2);
+        assert_eq!(wb.value(s, c("B1")), n(20.0));
+        assert_eq!(wb.value(s, c("B2")), n(21.0));
+        // D9 is still lazily dirty; a full pass converges.
+        assert_eq!(wb.dirty_count(), 1);
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(s, c("D9")), n(200.0));
+        assert_eq!(wb.dirty_count(), 0);
+    }
+
+    #[test]
+    fn demand_recalc_follows_cross_sheet_precedents() {
+        let (mut wb, data, summary) = two_sheet_book();
+        wb.set_formula(data, c("E1"), "=A1*1000").unwrap(); // unrelated to viewport
+                                                            // Summary!B1 = A1*2 and A1 = SUM(Data!A1:A4): the viewport needs
+                                                            // both Summary cells, but not Data!E1.
+        let evaluated = wb.recalc_demand(summary, r("B1:B1"), RecalcMode::Serial).unwrap();
+        assert_eq!(evaluated, 2);
+        assert_eq!(wb.value(summary, c("B1")), n(20.0));
+        assert_eq!(wb.dirty_count(), 1, "Data!E1 deferred");
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(data, c("E1")), n(1000.0));
+    }
+
+    #[test]
+    fn demand_recalc_of_a_clean_viewport_evaluates_nothing() {
+        let (mut wb, _data, summary) = two_sheet_book();
+        wb.recalculate(RecalcMode::Serial);
+        let evaluated = wb.recalc_demand(summary, r("A1:B4"), RecalcMode::Serial).unwrap();
+        assert_eq!(evaluated, 0);
+        assert_eq!(wb.value(summary, c("B1")), n(20.0));
+    }
+
+    #[test]
+    fn demand_recalc_rejects_unknown_sheets() {
+        let mut wb = Workbook::with_taco();
+        wb.add_sheet("Only").unwrap();
+        let err = wb.recalc_demand(SheetId(3), r("A1:B2"), RecalcMode::Serial);
+        assert!(matches!(err, Err(WorkbookError::NoSuchSheet(3))));
+    }
+
+    #[test]
+    fn clock_injection_is_bit_identical_across_recalcs() {
+        let mut wb = Workbook::with_taco();
+        let s = wb.add_sheet("Only").unwrap();
+        wb.set_formula(s, c("A1"), "=NOW()").unwrap();
+        wb.set_formula(s, c("A2"), "=RAND()").unwrap();
+        wb.set_formula(s, c("A3"), "=RAND()+RAND()").unwrap();
+        wb.set_formula(s, c("B1"), "=A1+A2").unwrap();
+        let clock = EvalClock { now: 45_000.5, today: 45_000.0, rand_seed: 7 };
+        assert_eq!(wb.set_clock(clock), 3);
+        wb.recalculate(RecalcMode::Serial);
+        let first: Vec<Value> =
+            ["A1", "A2", "A3", "B1"].iter().map(|a| wb.value(s, c(a))).collect();
+        assert_eq!(first[0], n(45_000.5));
+        // Same clock, same dirty set → bit-identical values on a second
+        // pass, in every mode.
+        for mode in [
+            RecalcMode::Serial,
+            RecalcMode::Parallel { threads: 4 },
+            RecalcMode::CellParallel { threads: 4 },
+        ] {
+            assert_eq!(wb.set_clock(clock), 3);
+            wb.recalculate(mode);
+            let again: Vec<Value> =
+                ["A1", "A2", "A3", "B1"].iter().map(|a| wb.value(s, c(a))).collect();
+            assert_eq!(again, first, "{mode:?}");
+        }
+        // A different seed perturbs RAND but not NOW.
+        assert_eq!(wb.set_clock(EvalClock { rand_seed: 8, ..clock }), 3);
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(s, c("A1")), first[0]);
+        assert_ne!(wb.value(s, c("A2")), first[1]);
+    }
+
+    #[test]
+    fn set_clock_redirties_dependents_across_sheets() {
+        let mut wb = Workbook::with_taco();
+        let a = wb.add_sheet("A").unwrap();
+        let b = wb.add_sheet("B").unwrap();
+        wb.set_formula(a, c("A1"), "=TODAY()").unwrap();
+        wb.set_formula(b, c("A1"), "=A!A1+1").unwrap();
+        wb.set_clock(EvalClock { now: 10.5, today: 10.0, rand_seed: 1 });
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(b, c("A1")), n(11.0));
+        wb.set_clock(EvalClock { now: 20.5, today: 20.0, rand_seed: 1 });
+        assert!(wb.dirty_count() >= 2, "volatile cell and its cross-sheet dependent re-dirtied");
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(b, c("A1")), n(21.0));
     }
 }

@@ -1,0 +1,114 @@
+//! Property test for cell-level parallel recalculation:
+//! [`RecalcMode::CellParallel`] is observationally identical to serial —
+//! same receipts, same dirty counts, same evaluated-cell counts,
+//! bit-identical values — across thread counts {1, 2, 4, 8}, both
+//! persistence presets, and the single-giant-sheet preset (where
+//! sheet-level parallelism degenerates and only cell-level scheduling
+//! can spread the work), including mid-life edit bursts.
+
+use proptest::prelude::*;
+use taco_engine::{RecalcMode, SheetId, Workbook};
+use taco_formula::Value;
+use taco_grid::Cell;
+use taco_workload::{
+    gen_persist_workload, persist_enron_like, persist_giant_sheet, persist_github_like,
+    PersistParams, PersistWorkload,
+};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The presets under test, scaled down so one proptest case builds
+/// 15 workbooks (3 presets × (serial + 4 thread counts)) in well under a
+/// second while still exercising every pattern kind.
+fn presets(seed: u64) -> Vec<PersistParams> {
+    vec![
+        PersistParams { rows: 24, burst_edits: 30, seed, ..persist_enron_like() },
+        PersistParams { rows: 32, burst_edits: 30, seed: seed ^ 0x9E37, ..persist_github_like() },
+        PersistParams { rows: 64, burst_edits: 40, seed: seed ^ 0x61A7, ..persist_giant_sheet() },
+    ]
+}
+
+fn build(w: &PersistWorkload) -> Workbook {
+    let mut wb = Workbook::with_taco();
+    wb.apply_batch(&w.build).expect("build script applies");
+    wb
+}
+
+/// Every non-empty cell's value, across all sheets, in a fixed order.
+fn snapshot(wb: &Workbook) -> Vec<(usize, Cell, Value)> {
+    let mut out = Vec::new();
+    for s in 0..wb.sheet_count() {
+        let mut cells: Vec<(Cell, Value)> =
+            wb.sheet(SheetId(s)).cells().map(|(c, k)| (c, k.value().clone())).collect();
+        cells.sort_by_key(|(c, _)| *c);
+        out.extend(cells.into_iter().map(|(c, v)| (s, c, v)));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn cell_parallel_recalc_equals_serial(seed in 0u64..10_000, cut in 1usize..30) {
+        for p in presets(seed) {
+            let w = gen_persist_workload(&p);
+            let mut serial = build(&w);
+            let mut books: Vec<Workbook> = THREADS.iter().map(|_| build(&w)).collect();
+
+            // Same pre-recalc dirty state everywhere.
+            for wb in &books {
+                prop_assert_eq!(wb.dirty_count(), serial.dirty_count(), "{}", p.name);
+            }
+
+            // First full recalculation: serial reference vs cell-parallel.
+            let eval0 = serial.recalculate(RecalcMode::Serial);
+            let reference = snapshot(&serial);
+            for (wb, &t) in books.iter_mut().zip(&THREADS) {
+                let evaluated = wb.recalculate(RecalcMode::CellParallel { threads: t });
+                prop_assert_eq!(evaluated, eval0, "{} threads={}", p.name, t);
+                prop_assert_eq!(wb.dirty_count(), 0, "{} threads={}", p.name, t);
+                prop_assert_eq!(&snapshot(wb), &reference, "{} threads={}", p.name, t);
+            }
+
+            // Mid-life edits: a burst prefix, applied identically to every
+            // instance — receipts (routing) must be mode-independent.
+            let cut = cut.min(w.burst.len());
+            let receipts0 = serial.apply_batch(&w.burst[..cut]).expect("burst applies");
+            let dirty0 = serial.dirty_count();
+            for (wb, &t) in books.iter_mut().zip(&THREADS) {
+                let receipts = wb.apply_batch(&w.burst[..cut]).expect("burst applies");
+                prop_assert_eq!(&receipts.dirty, &receipts0.dirty, "{} threads={}", p.name, t);
+                prop_assert_eq!(wb.dirty_count(), dirty0, "{} threads={}", p.name, t);
+            }
+
+            // Post-edit recalculation: still bit-identical.
+            let eval0 = serial.recalculate(RecalcMode::Serial);
+            let reference = snapshot(&serial);
+            for (wb, &t) in books.iter_mut().zip(&THREADS) {
+                let evaluated = wb.recalculate(RecalcMode::CellParallel { threads: t });
+                prop_assert_eq!(evaluated, eval0, "{} threads={} post-edit", p.name, t);
+                prop_assert_eq!(&snapshot(wb), &reference, "{} threads={} post-edit", p.name, t);
+                prop_assert_eq!(wb.dirty_count(), 0, "{} threads={}", p.name, t);
+            }
+        }
+    }
+}
+
+/// The giant single-sheet preset really leans on the intra-sheet
+/// leveler: a full build must produce a multi-level schedule (the chain
+/// column alone is hundreds of levels deep), not one serial leftover
+/// blob.
+#[test]
+fn giant_sheet_builds_a_deep_level_schedule() {
+    let w = gen_persist_workload(&persist_giant_sheet());
+    let mut wb = build(&w);
+    wb.recalculate(RecalcMode::CellParallel { threads: 4 });
+    let levels = wb.sheet(SheetId(0)).levels_built();
+    assert!(levels > 100, "expected a deep schedule, got {levels} levels");
+
+    // And it matches serial bit-identically.
+    let mut serial = build(&w);
+    serial.recalculate(RecalcMode::Serial);
+    assert_eq!(snapshot(&wb), snapshot(&serial));
+}

@@ -9,6 +9,72 @@ use crate::ast::{BinOp, Expr, UnOp};
 use crate::value::{CellError, Value};
 use taco_grid::{Cell, Range};
 
+/// An injected time/randomness source for the volatile functions
+/// (`NOW`, `TODAY`, `RAND`).
+///
+/// Real wall-clock time and OS entropy would break the engine's core
+/// determinism contract — serial, cell-parallel, and demand-driven
+/// recalculation must produce bit-identical values, and a replayed WAL
+/// must reproduce the workbook exactly. Hosts therefore *inject* the
+/// clock: two evaluations under the same `EvalClock` are bit-identical,
+/// and advancing the clock is an explicit edit-like event (the engine
+/// re-dirties volatile formulae when its clock changes).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvalClock {
+    /// Value `NOW()` returns (an Excel-style serial date-time number).
+    pub now: f64,
+    /// Value `TODAY()` returns (an Excel-style serial date number).
+    pub today: f64,
+    /// Seed for `RAND()`. Draws are a pure function of
+    /// `(rand_seed, cell, draw index within the cell)`, so they do not
+    /// depend on evaluation order across cells — the property that keeps
+    /// parallel and demand-driven schedules bit-identical to serial.
+    pub rand_seed: u64,
+}
+
+/// Per-evaluation volatile context: the injected [`EvalClock`] plus the
+/// identity of the cell being evaluated, which salts `RAND()` so distinct
+/// cells draw distinct (but reproducible) values.
+#[derive(Debug)]
+pub struct VolatileCtx {
+    clock: EvalClock,
+    salt: u64,
+    draws: std::cell::Cell<u32>,
+}
+
+impl VolatileCtx {
+    /// A context for evaluating the formula at `cell` under `clock`.
+    pub fn for_cell(clock: EvalClock, cell: Cell) -> Self {
+        let salt = (u64::from(cell.col) << 32) | u64::from(cell.row);
+        VolatileCtx { clock, salt, draws: std::cell::Cell::new(0) }
+    }
+
+    /// The injected `NOW()` value.
+    pub fn now(&self) -> f64 {
+        self.clock.now
+    }
+
+    /// The injected `TODAY()` value.
+    pub fn today(&self) -> f64 {
+        self.clock.today
+    }
+
+    /// The next `RAND()` draw in `[0, 1)`: a splitmix64 hash of
+    /// `(seed, cell, draw index)`, independent of the order cells are
+    /// evaluated in.
+    pub fn next_rand(&self) -> f64 {
+        let i = self.draws.get();
+        self.draws.set(i + 1);
+        let mut z = self.clock.rand_seed ^ self.salt.rotate_left(17) ^ (u64::from(i) << 1);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Map the top 53 bits onto [0, 1).
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
 /// Provides cell values to the evaluator. Implemented by the sheet model
 /// in `taco-engine` and by test fixtures here.
 pub trait CellProvider {
@@ -22,6 +88,13 @@ pub trait CellProvider {
     fn sheet_value(&self, sheet: &str, cell: Cell) -> Value {
         let _ = (sheet, cell);
         Value::Error(CellError::Ref)
+    }
+
+    /// The volatile-function context for the evaluation in progress.
+    /// Providers that don't inject a clock keep the default (`None`),
+    /// under which `NOW()`/`TODAY()`/`RAND()` all evaluate to `0`.
+    fn volatile(&self) -> Option<&VolatileCtx> {
+        None
     }
 }
 
@@ -312,9 +385,16 @@ fn eval_func<P: CellProvider>(name: &str, args: &[Expr], cells: &P) -> Value {
         "SUMIF" | "COUNTIF" | "AVERAGEIF" => cond_aggregate(name, args, cells),
         "INDEX" => index(args, cells),
         "MATCH" => match_fn(args, cells),
-        "NOW" | "TODAY" => {
-            // Deterministic stand-in: real time would break reproducibility.
-            Ok(Value::Number(0.0))
+        // Volatile functions read the injected clock (see [`EvalClock`]);
+        // without one they fall back to deterministic zeros.
+        "NOW" => Ok(Value::Number(cells.volatile().map_or(0.0, VolatileCtx::now))),
+        "TODAY" => Ok(Value::Number(cells.volatile().map_or(0.0, VolatileCtx::today))),
+        "RAND" => {
+            if args.is_empty() {
+                Ok(Value::Number(cells.volatile().map_or(0.0, VolatileCtx::next_rand)))
+            } else {
+                Err(CellError::Value)
+            }
         }
         _ => Err(CellError::Name),
     };
@@ -595,6 +675,61 @@ mod tests {
 
     fn run(src: &str, fix: &Fixture) -> Value {
         eval(&parse(src).unwrap(), fix)
+    }
+
+    /// A fixture carrying a [`VolatileCtx`], the way the engine's sheet
+    /// view does.
+    struct ClockFixture(Fixture, VolatileCtx);
+
+    impl CellProvider for ClockFixture {
+        fn value(&self, cell: Cell) -> Value {
+            self.0.value(cell)
+        }
+
+        fn volatile(&self) -> Option<&VolatileCtx> {
+            Some(&self.1)
+        }
+    }
+
+    #[test]
+    fn volatile_functions_default_to_zero_without_a_clock() {
+        let fx = fixture(&[]);
+        assert_eq!(run("NOW()", &fx), Value::Number(0.0));
+        assert_eq!(run("TODAY()", &fx), Value::Number(0.0));
+        assert_eq!(run("RAND()", &fx), Value::Number(0.0));
+        assert_eq!(run("RAND(1)", &fx), Value::Error(CellError::Value));
+    }
+
+    #[test]
+    fn volatile_functions_read_the_injected_clock() {
+        let clock = EvalClock { now: 45000.5, today: 45000.0, rand_seed: 7 };
+        let cell = Cell::parse_a1("C3").unwrap();
+        let fx = ClockFixture(fixture(&[]), VolatileCtx::for_cell(clock, cell));
+        assert_eq!(eval(&parse("NOW()").unwrap(), &fx), Value::Number(45000.5));
+        assert_eq!(eval(&parse("TODAY()+1").unwrap(), &fx), Value::Number(45001.0));
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_cell_and_draw() {
+        let clock = EvalClock { rand_seed: 0xDEAD_BEEF, ..EvalClock::default() };
+        let cell = Cell::parse_a1("B2").unwrap();
+        let draw = |cell| {
+            let fx = ClockFixture(fixture(&[]), VolatileCtx::for_cell(clock, cell));
+            eval(&parse("RAND()+RAND()").unwrap(), &fx)
+        };
+        // Same cell, fresh context → bit-identical; values stay in [0, 2).
+        assert_eq!(draw(cell), draw(cell));
+        match draw(cell) {
+            Value::Number(n) => assert!((0.0..2.0).contains(&n), "{n}"),
+            other => panic!("expected number, got {other:?}"),
+        }
+        // A different cell draws a different stream.
+        assert_ne!(draw(cell), draw(Cell::parse_a1("B3").unwrap()));
+        // Successive draws within one evaluation differ (index salt).
+        let fx = ClockFixture(fixture(&[]), VolatileCtx::for_cell(clock, cell));
+        let a = eval(&parse("RAND()").unwrap(), &fx);
+        let b = eval(&parse("RAND()").unwrap(), &fx);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -28,6 +28,7 @@ mod error;
 
 pub use ast::{BinOp, Expr, UnOp};
 pub use error::FormulaError;
+pub use eval::{EvalClock, VolatileCtx};
 pub use value::{CellError, Value};
 
 use taco_grid::a1::QualifiedRef;
@@ -61,6 +62,26 @@ impl Formula {
     pub fn to_string_with_eq(&self) -> String {
         format!("={}", self.ast)
     }
+
+    /// Whether the formula calls a volatile function (`NOW`, `TODAY`,
+    /// `RAND`) anywhere in its tree. Volatile formulae re-dirty when the
+    /// engine's injected [`EvalClock`] changes, not only when a referenced
+    /// cell does.
+    pub fn is_volatile(&self) -> bool {
+        fn walk(e: &Expr) -> bool {
+            match e {
+                Expr::Func { name, args } => {
+                    matches!(name.as_str(), "NOW" | "TODAY" | "RAND") || args.iter().any(walk)
+                }
+                Expr::Binary { lhs, rhs, .. } => walk(lhs) || walk(rhs),
+                Expr::Unary { expr, .. } | Expr::Percent(expr) => walk(expr),
+                Expr::Number(_) | Expr::Text(_) | Expr::Bool(_) | Expr::Ref(_) | Expr::RefError => {
+                    false
+                }
+            }
+        }
+        walk(&self.ast)
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +113,16 @@ mod tests {
         let a = Formula::parse("=SUM(A1:A3)").unwrap();
         let b = Formula::parse("SUM(A1:A3)").unwrap();
         assert_eq!(a.ast, b.ast);
+    }
+
+    #[test]
+    fn volatility_is_detected_anywhere_in_the_tree() {
+        assert!(Formula::parse("=NOW()").unwrap().is_volatile());
+        assert!(Formula::parse("=SUM(A1:A3)+IF(A1>0,RAND(),2)").unwrap().is_volatile());
+        assert!(Formula::parse("=-TODAY()%").unwrap().is_volatile());
+        assert!(!Formula::parse("=SUM(A1:A3)*2").unwrap().is_volatile());
+        // The function set is exact: other names are not volatile.
+        assert!(!Formula::parse("=ROUND(A1,2)").unwrap().is_volatile());
     }
 
     #[test]

@@ -265,6 +265,34 @@ impl<T: Transport> Client<T> {
         }
     }
 
+    /// Demand-driven recalculation: evaluates only the transitive dirty
+    /// precedents of `sheet!range`, leaving every other dirty cell lazily
+    /// dirty. A write-queue barrier like [`Client::recalc`]. Returns the
+    /// number of cells evaluated.
+    pub fn recalc_range(&mut self, sheet: &str, range: Range) -> Result<u64, ServiceError> {
+        let token = self.need_token()?;
+        match self.call(Request::RecalcRange { token, sheet: sheet.to_string(), range })? {
+            Response::Recalced { evaluated, .. } => Ok(evaluated),
+            _ => Err(ServiceError::Protocol("expected Recalced")),
+        }
+    }
+
+    /// Reads every non-empty cell of `range` *after* a demand-driven
+    /// recalculation of that viewport — unlike [`Client::get_range`],
+    /// which reads the current snapshot as-is, the values returned here
+    /// are guaranteed recalculation-fresh for the viewport.
+    pub fn get_range_fresh(
+        &mut self,
+        sheet: &str,
+        range: Range,
+    ) -> Result<Vec<(Cell, Value)>, ServiceError> {
+        let token = self.need_token()?;
+        match self.call(Request::GetRangeFresh { token, sheet: sheet.to_string(), range })? {
+            Response::Cells(cells) => Ok(cells),
+            _ => Err(ServiceError::Protocol("expected Cells")),
+        }
+    }
+
     /// Folds the workbook's WAL into its snapshot file (persistent
     /// workbooks only). Returns the WAL records remaining.
     pub fn save(&mut self) -> Result<u64, ServiceError> {

@@ -142,6 +142,28 @@ pub enum Request {
         /// The session token.
         token: u64,
     },
+    /// Demand-driven recalculation: evaluates only the transitive dirty
+    /// precedents of `sheet!range`, leaving the rest lazily dirty. A
+    /// write-queue barrier like [`Request::Recalc`].
+    RecalcRange {
+        /// The session token.
+        token: u64,
+        /// Viewport sheet name.
+        sheet: String,
+        /// The viewport.
+        range: Range,
+    },
+    /// Reads every non-empty cell in `range` after a demand-driven
+    /// recalculation of that viewport — a "fresh" read, unlike the
+    /// snapshot read [`Request::GetRange`].
+    GetRangeFresh {
+        /// The session token.
+        token: u64,
+        /// Viewport sheet name.
+        sheet: String,
+        /// The viewport.
+        range: Range,
+    },
 }
 
 /// One server reply.
@@ -254,6 +276,8 @@ const REQ_DIRTY_COUNT: u8 = 10;
 const REQ_RECALC: u8 = 11;
 const REQ_SAVE: u8 = 12;
 const REQ_STATS: u8 = 13;
+const REQ_RECALC_RANGE: u8 = 14;
+const REQ_GET_RANGE_FRESH: u8 = 15;
 
 const RESP_OPENED: u8 = 0;
 const RESP_CLOSED: u8 = 1;
@@ -394,6 +418,18 @@ impl Request {
                     w.push(REQ_STATS);
                     write_uvarint(w, *token)?;
                 }
+                Request::RecalcRange { token, sheet, range } => {
+                    w.push(REQ_RECALC_RANGE);
+                    write_uvarint(w, *token)?;
+                    write_string(w, sheet)?;
+                    write_range(w, *range)?;
+                }
+                Request::GetRangeFresh { token, sheet, range } => {
+                    w.push(REQ_GET_RANGE_FRESH);
+                    write_uvarint(w, *token)?;
+                    write_string(w, sheet)?;
+                    write_range(w, *range)?;
+                }
             }
             Ok(())
         })();
@@ -471,6 +507,16 @@ impl Request {
             REQ_RECALC => Request::Recalc { token: read_uvarint(r)? },
             REQ_SAVE => Request::Save { token: read_uvarint(r)? },
             REQ_STATS => Request::Stats { token: read_uvarint(r)? },
+            REQ_RECALC_RANGE => Request::RecalcRange {
+                token: read_uvarint(r)?,
+                sheet: read_wire_string(r)?,
+                range: read_range(r)?,
+            },
+            REQ_GET_RANGE_FRESH => Request::GetRangeFresh {
+                token: read_uvarint(r)?,
+                sheet: read_wire_string(r)?,
+                range: read_range(r)?,
+            },
             _ => return Err(StoreError::Malformed("unknown request op")),
         };
         if !r.is_empty() {
@@ -726,6 +772,8 @@ mod tests {
             Request::Recalc { token: 5 },
             Request::Save { token: 6 },
             Request::Stats { token: u64::MAX },
+            Request::RecalcRange { token: 7, sheet: "Data".into(), range: r },
+            Request::GetRangeFresh { token: 7, sheet: "Data".into(), range: r },
         ]
     }
 

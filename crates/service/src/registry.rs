@@ -221,10 +221,30 @@ enum WriteOp {
 
 /// One message to a workbook's worker.
 enum WorkerMsg {
-    Write { op: WriteOp, reply: Sender<Response> },
-    Graph { dependents: bool, sheet: u32, range: Range, reply: Sender<Response> },
-    Recalc { reply: Sender<Response> },
-    Save { reply: Sender<Response> },
+    Write {
+        op: WriteOp,
+        reply: Sender<Response>,
+    },
+    Graph {
+        dependents: bool,
+        sheet: u32,
+        range: Range,
+        reply: Sender<Response>,
+    },
+    Recalc {
+        reply: Sender<Response>,
+    },
+    /// Demand-driven recalc of one viewport; `fetch` additionally reads
+    /// the viewport's cells from the freshly published snapshot.
+    Demand {
+        sheet: u32,
+        range: Range,
+        fetch: bool,
+        reply: Sender<Response>,
+    },
+    Save {
+        reply: Sender<Response>,
+    },
     Shutdown,
 }
 
@@ -310,6 +330,17 @@ impl Backing {
             Backing::Plain(wb) => wb.recalculate(mode),
             Backing::Persistent(p) => p.recalculate(mode),
         }
+    }
+
+    /// Demand-driven recalc needs no logging (values are derivable), so
+    /// both backings go straight to the workbook.
+    fn recalc_demand(
+        &mut self,
+        id: SheetId,
+        viewport: Range,
+        mode: RecalcMode,
+    ) -> Result<usize, taco_engine::WorkbookError> {
+        self.workbook_mut().recalc_demand(id, viewport, mode)
     }
 }
 
@@ -567,6 +598,14 @@ impl Registry {
                 let (_, handle) = self.resolve(token)?;
                 Ok(handle.ask(|reply| WorkerMsg::Recalc { reply }))
             }
+            Request::RecalcRange { token, sheet, range } => {
+                let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
+                Ok(handle.ask(|reply| WorkerMsg::Demand { sheet: sid, range, fetch: false, reply }))
+            }
+            Request::GetRangeFresh { token, sheet, range } => {
+                let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
+                Ok(handle.ask(|reply| WorkerMsg::Demand { sheet: sid, range, fetch: true, reply }))
+            }
             Request::Save { token } => {
                 let (_, handle) = self.resolve(token)?;
                 Ok(handle.ask(|reply| WorkerMsg::Save { reply }))
@@ -715,6 +754,33 @@ fn worker_loop(
                     shared.stats.recalcs.fetch_add(1, Ordering::Relaxed);
                     let epoch = shared.publish(backing.workbook(), &touched);
                     let _ = reply.send(Response::Recalced { evaluated, epoch });
+                }
+                WorkerMsg::Demand { sheet, range, fetch, reply } => {
+                    let resp = if (sheet as usize) >= backing.workbook().sheet_count() {
+                        Response::Err(ServiceError::NoSuchSheet(format!("#{sheet}")))
+                    } else {
+                        // Any sheet with dirty cells may contribute
+                        // needed precedents, so rebuild them all in the
+                        // published snapshot.
+                        let touched = dirty_sheets(backing.workbook());
+                        let sid = SheetId(sheet as usize);
+                        match backing.recalc_demand(sid, range, opts.recalc_mode) {
+                            Ok(evaluated) => {
+                                shared.stats.recalcs.fetch_add(1, Ordering::Relaxed);
+                                let epoch = shared.publish(backing.workbook(), &touched);
+                                if fetch {
+                                    let snap = Arc::clone(&shared.snapshot.read());
+                                    Response::Cells(snap.cells_in(sheet as usize, range))
+                                } else {
+                                    Response::Recalced { evaluated: evaluated as u64, epoch }
+                                }
+                            }
+                            Err(e) => {
+                                Response::Err(ServiceError::BadRequest(format!("recalc: {e}")))
+                            }
+                        }
+                    };
+                    let _ = reply.send(resp);
                 }
                 WorkerMsg::Save { reply } => {
                     let resp = match &mut backing {

@@ -91,6 +91,61 @@ fn full_command_set_over_the_wire() {
 }
 
 #[test]
+fn demand_driven_reads_over_the_wire() {
+    // Register the workbook *dirty*: three formulae await recalculation,
+    // only two of which feed the viewport.
+    let mut wb = Workbook::with_taco();
+    let data = wb.add_sheet("Data").unwrap();
+    for row in 1..=6u32 {
+        wb.set_value(data, Cell::new(1, row), n(f64::from(row)));
+    }
+    wb.set_formula(data, c("B1"), "=SUM(A1:A6)").unwrap();
+    wb.set_formula(data, c("B2"), "=B1+1").unwrap();
+    wb.set_formula(data, c("D9"), "=A1*100").unwrap();
+
+    // The full-recalc reference for the same build.
+    let mut reference = Workbook::with_taco();
+    let rd = reference.add_sheet("Data").unwrap();
+    for row in 1..=6u32 {
+        reference.set_value(rd, Cell::new(1, row), n(f64::from(row)));
+    }
+    reference.set_formula(rd, c("B1"), "=SUM(A1:A6)").unwrap();
+    reference.set_formula(rd, c("B2"), "=B1+1").unwrap();
+    reference.set_formula(rd, c("D9"), "=A1*100").unwrap();
+    reference.recalculate(RecalcMode::Serial);
+
+    let registry = Arc::new(Registry::new(ServiceOptions::default()));
+    registry.add_workbook("lazy", wb, None).unwrap();
+    let server = serve(Arc::clone(&registry));
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    client.open("lazy", None, None).unwrap();
+    assert_eq!(client.dirty_count().unwrap(), 3);
+
+    // A fresh viewport read demand-recalcs B1 and B2 but defers D9,
+    // and the values match the full-recalc reference bit for bit.
+    let viewport = Range::parse_a1("A1:B4").unwrap();
+    let cells = client.get_range_fresh("Data", viewport).unwrap();
+    for (cell, value) in &cells {
+        assert_eq!(*value, reference.value(rd, *cell), "viewport cell {cell:?}");
+    }
+    assert!(cells.iter().any(|(cl, v)| *cl == c("B1") && *v == n(21.0)), "{cells:?}");
+    assert!(cells.iter().any(|(cl, v)| *cl == c("B2") && *v == n(22.0)), "{cells:?}");
+    assert_eq!(client.dirty_count().unwrap(), 1, "D9 stays lazily dirty");
+    assert_eq!(client.get("Data", c("D9")).unwrap(), Value::Empty, "snapshot still stale");
+
+    // RecalcRange against D9's corner evaluates exactly the deferred cell.
+    let evaluated = client.recalc_range("Data", Range::parse_a1("D1:D9").unwrap()).unwrap();
+    assert_eq!(evaluated, 1);
+    assert_eq!(client.get("Data", c("D9")).unwrap(), n(100.0));
+    assert_eq!(client.dirty_count().unwrap(), 0);
+
+    // Convergence: a follow-up full recalc has nothing left to do.
+    assert_eq!(client.recalc().unwrap(), 0);
+    server.shutdown();
+    registry.shutdown();
+}
+
+#[test]
 fn writes_on_one_connection_are_visible_on_another() {
     let registry = Arc::new(Registry::new(ServiceOptions::default()));
     registry.add_workbook("shared", demo_workbook(), None).unwrap();

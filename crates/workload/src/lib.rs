@@ -36,7 +36,8 @@ pub mod xlsx;
 pub use corpus::{enron_like, github_like, CorpusParams};
 pub use generator::{Region, SheetParams, SyntheticSheet};
 pub use persistence::{
-    gen_persist_workload, persist_enron_like, persist_github_like, PersistParams, PersistWorkload,
+    gen_persist_workload, persist_enron_like, persist_giant_sheet, persist_github_like,
+    PersistParams, PersistWorkload,
 };
 pub use service::{
     gen_service_script, mixed, reader_heavy, writer_heavy, ClientOp, ServiceScript,

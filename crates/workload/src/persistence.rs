@@ -69,6 +69,24 @@ pub fn persist_github_like() -> PersistParams {
     }
 }
 
+/// One giant sheet, no cross-sheet edges: the adversarial case for
+/// sheet-level parallel recalculation (the whole dirty set lives on a
+/// single sheet, so only cell-level scheduling can spread the work) and
+/// the natural case for demand-driven viewport recalc. Wide mix so the
+/// leveler sees windows, cumulative totals, a long chain, and lookups
+/// at once.
+pub fn persist_giant_sheet() -> PersistParams {
+    PersistParams {
+        name: "giant",
+        sheets: 1,
+        rows: 512,
+        mix: [4, 3, 2, 3],
+        cross: false,
+        burst_edits: 240,
+        seed: 0x61A7,
+    }
+}
+
 /// A generated workload: the build script, then the burst applied after
 /// the first save.
 #[derive(Debug, Clone)]
@@ -207,10 +225,25 @@ mod tests {
     }
 
     #[test]
+    fn giant_sheet_preset_is_single_sheet_and_cross_free() {
+        let p = persist_giant_sheet();
+        assert_eq!(p.sheets, 1);
+        let w = gen_persist_workload(&p);
+        // No cross-sheet references anywhere in the build: the whole
+        // graph lives on one sheet, which is the case that defeats
+        // sheet-level parallelism.
+        assert!(!w
+            .build
+            .iter()
+            .any(|r| matches!(r, EditRecord::SetFormula { src, .. } if src.contains("'!"))));
+        assert!(w.build.len() > 1000, "giant preset must be meaningfully large");
+    }
+
+    #[test]
     fn sheet_indices_stay_dense() {
         // Every record must target a sheet that exists at its point in
         // the script (AddSheet allocates the next dense index).
-        for p in [persist_enron_like(), persist_github_like()] {
+        for p in [persist_enron_like(), persist_github_like(), persist_giant_sheet()] {
             let w = gen_persist_workload(&p);
             let mut sheets = 0u32;
             for r in w.build.iter().chain(&w.burst) {
