@@ -238,9 +238,9 @@ impl<B: DependencyBackend> Engine<B> {
         self.cells.insert(cell, content);
     }
 
-    /// Marks every formula cell dirty (conservative post-structural-edit
-    /// state; the next recalculation settles all values).
-    pub(crate) fn mark_all_formulas_dirty(&mut self) {
+    /// Marks every formula cell dirty (a conservative full-recalc request,
+    /// e.g. after restoring from an untrusted image).
+    pub fn mark_all_formulas_dirty(&mut self) {
         self.dirty = self
             .cells
             .iter()

@@ -1,73 +1,112 @@
 //! Engine-level structural edits: moving cell contents, rewriting formula
 //! references, and updating the formula graph together.
 
-use crate::engine::Engine;
+use crate::engine::{EditReceipt, Engine};
 use crate::sheet::CellContent;
+use std::collections::HashSet;
+use std::time::Instant;
 use taco_core::{FormulaGraph, StructuralOp};
 use taco_formula::Formula;
 use taco_grid::a1::{CellRef, QualifiedRef, RangeRef};
+use taco_grid::Range;
 
-/// Rewrites one formula reference under a structural edit, preserving its
-/// `$` flags; `None` becomes `#REF!` in the formula. Sheet-qualified
-/// references point at *other* sheets, whose geometry this edit does not
-/// touch, so they pass through unchanged.
-fn map_ref(op: StructuralOp, q: &QualifiedRef) -> Option<QualifiedRef> {
-    if q.sheet.is_some() {
-        return Some(q.clone());
+/// Rewrites one formula reference under a structural edit of the sheet
+/// named `own`, preserving its `$` flags; `None` becomes `#REF!` in the
+/// formula. Local and *self-qualified* references (`Data!A1` inside
+/// `Data`) share this sheet's geometry and remap; qualified references to
+/// other sheets pass through unchanged.
+fn map_ref(op: StructuralOp, own: Option<&str>, q: &QualifiedRef) -> Option<QualifiedRef> {
+    if let Some(sheet) = &q.sheet {
+        if !own.is_some_and(|n| sheet.matches(n)) {
+            return Some(q.clone());
+        }
     }
     let r = &q.rref;
     let nr = op.map_range(r.range())?;
-    Some(QualifiedRef::local(RangeRef {
-        head: CellRef { cell: nr.head(), ..r.head },
-        tail: CellRef { cell: nr.tail(), ..r.tail },
-    }))
+    Some(QualifiedRef {
+        sheet: q.sheet.clone(),
+        rref: RangeRef {
+            head: CellRef { cell: nr.head(), ..r.head },
+            tail: CellRef { cell: nr.tail(), ..r.tail },
+        },
+    })
 }
 
 impl Engine<FormulaGraph> {
     /// Inserts `n` rows before row `at`: contents shift, formula references
     /// stretch/shift per Excel semantics, the graph updates incrementally.
-    pub fn insert_rows(&mut self, at: u32, n: u32) {
-        self.apply_structural(StructuralOp::InsertRows { at, n });
+    pub fn insert_rows(&mut self, at: u32, n: u32) -> EditReceipt {
+        self.apply_structural(StructuralOp::InsertRows { at, n })
     }
 
     /// Deletes the rows `[at, at + n)`; formulae referencing only deleted
     /// cells become `#REF!` errors.
-    pub fn delete_rows(&mut self, at: u32, n: u32) {
-        self.apply_structural(StructuralOp::DeleteRows { at, n });
+    pub fn delete_rows(&mut self, at: u32, n: u32) -> EditReceipt {
+        self.apply_structural(StructuralOp::DeleteRows { at, n })
     }
 
     /// Inserts `n` columns before column `at`.
-    pub fn insert_cols(&mut self, at: u32, n: u32) {
-        self.apply_structural(StructuralOp::InsertCols { at, n });
+    pub fn insert_cols(&mut self, at: u32, n: u32) -> EditReceipt {
+        self.apply_structural(StructuralOp::InsertCols { at, n })
     }
 
     /// Deletes the columns `[at, at + n)`.
-    pub fn delete_cols(&mut self, at: u32, n: u32) {
-        self.apply_structural(StructuralOp::DeleteCols { at, n });
+    pub fn delete_cols(&mut self, at: u32, n: u32) -> EditReceipt {
+        self.apply_structural(StructuralOp::DeleteCols { at, n })
     }
 
-    /// Applies any structural edit to sheet + graph, then marks every
-    /// formula cell dirty (cheap and conservative; the next
-    /// [`Engine::recalculate`] settles values).
-    pub fn apply_structural(&mut self, op: StructuralOp) {
+    /// Applies a structural edit to sheet + graph and dirties only what
+    /// the edit can actually change.
+    ///
+    /// A formula whose rewritten AST equals the old one has every
+    /// reference entirely on the untouched side of the edited band, so the
+    /// cells it reads neither moved nor changed — its cached value stays
+    /// valid even if the formula itself shifted. Only formulas whose AST
+    /// was rewritten (plus their transitive dependents, via the normal
+    /// dirty routing) recalculate; previously-dirty cells stay dirty at
+    /// their mapped positions. Identity rewrites also keep the user's
+    /// original source text.
+    pub fn apply_structural(&mut self, op: StructuralOp) -> EditReceipt {
+        let start = Instant::now();
+        let own = self.sheet_name().map(str::to_string);
         self.graph_mut().apply_structural(op);
         let old = self.take_cells();
+        let old_dirty = self.restrict_dirty(&HashSet::new());
+        let mut changed = Vec::new();
         for (cell, content) in old {
             let Some(nc) = op.map_cell(cell) else { continue };
             let content = match content {
                 CellContent::Pure(v) => CellContent::Pure(v),
                 CellContent::Formula { formula, value } => {
-                    let ast = formula.ast.map_refs(&mut |r| map_ref(op, r));
-                    let refs = ast.collect_refs();
-                    CellContent::Formula {
-                        formula: Formula { src: ast.to_string(), ast, refs },
-                        value,
+                    let ast = formula.ast.map_refs(&mut |r| map_ref(op, own.as_deref(), r));
+                    if ast == formula.ast {
+                        CellContent::Formula { formula, value }
+                    } else {
+                        changed.push(nc);
+                        let refs = ast.collect_refs();
+                        CellContent::Formula {
+                            formula: Formula { src: ast.to_string(), ast, refs },
+                            value,
+                        }
                     }
                 }
             };
             self.put_cell(nc, content);
         }
-        self.mark_all_formulas_dirty();
+        for cell in old_dirty {
+            if let Some(nc) = op.map_cell(cell) {
+                self.mark_cell_dirty(nc);
+            }
+        }
+        let mut dirty = Vec::with_capacity(changed.len());
+        for nc in changed {
+            self.mark_cell_dirty(nc);
+            let dependents = self.graph_mut().find_dependents(Range::cell(nc));
+            self.mark_ranges_dirty(&dependents);
+            dirty.push(Range::cell(nc));
+            dirty.extend(dependents);
+        }
+        EditReceipt { dirty, control_latency: start.elapsed() }
     }
 }
 
@@ -183,6 +222,80 @@ mod tests {
             let cell = Cell::new(2, row);
             assert_eq!(edited.value(cell), fresh.value(cell), "row {row}");
         }
+    }
+
+    #[test]
+    fn structural_edit_dirties_only_affected_formulas() {
+        // 10 cumulative formulas, all clean. Inserting rows *below* every
+        // reference and every formula is a rigid no-op: zero cells dirty
+        // (the old behavior re-dirtied all 10).
+        let mut e = cumulative_sheet(10);
+        assert_eq!(e.dirty_count(), 0);
+        let receipt = e.insert_rows(20, 5);
+        assert_eq!(e.dirty_count(), 0, "rigid shift below all content dirties nothing");
+        assert!(receipt.dirty.is_empty());
+
+        // Inserting in the middle: B1..B5 reference only $A$1:A{row} above
+        // the band and keep their cached values; B6..B10 (now B11..B15)
+        // stretch and must recalculate.
+        let receipt = e.insert_rows(6, 5);
+        assert_eq!(e.dirty_count(), 5, "only the formulas whose references changed recalc");
+        assert!(!receipt.dirty.is_empty());
+        assert_eq!(e.value(c("B5")), n(5.0), "unchanged formulas keep their cached value");
+        e.recalculate();
+        assert_eq!(e.value(c("B15")), n(10.0));
+    }
+
+    #[test]
+    fn dirty_cells_survive_at_mapped_positions() {
+        let mut e = Engine::with_taco();
+        for row in 1..=3u32 {
+            e.set_value(Cell::new(1, row), n(f64::from(row)));
+            e.set_formula(Cell::new(3, row + 9), &format!("=A{row}*2")).unwrap();
+        }
+        e.recalculate();
+        e.set_value(c("A2"), n(9.0)); // dirties C11 only
+        assert_eq!(e.dirty_count(), 1);
+        // Insert between the referenced block and the formulas: every
+        // reference stays above the band (identity rewrite), but the
+        // pending recalculation must move with its cell (C11 → C14).
+        e.insert_rows(5, 3);
+        assert_eq!(e.dirty_count(), 1);
+        e.recalculate();
+        assert_eq!(e.value(c("C14")), n(18.0));
+    }
+
+    #[test]
+    fn identity_rewrite_keeps_original_source_text() {
+        let mut e = Engine::with_taco();
+        e.set_value(c("A1"), n(2.0));
+        // Unidiomatic but user-written spelling that `ast.to_string()`
+        // would normalize away.
+        e.set_formula(c("B2"), "=(A1 + 1)").unwrap();
+        e.recalculate();
+        e.insert_rows(5, 2); // below everything: identity rewrite
+        assert_eq!(e.formula_of(c("B2")).unwrap(), "(A1 + 1)");
+        e.delete_rows(1, 1); // the referenced row dies: source is rewritten
+        assert_eq!(e.formula_of(c("B1")).unwrap(), "#REF!+1");
+    }
+
+    #[test]
+    fn self_qualified_references_remap_with_the_sheet() {
+        let mut e = Engine::with_taco();
+        e.set_sheet_name("Data".to_string());
+        e.set_value(c("A5"), n(7.0));
+        e.set_formula(c("C1"), "=Data!A5*2").unwrap();
+        e.recalculate();
+        assert_eq!(e.value(c("C1")), n(14.0));
+        e.insert_rows(3, 2);
+        assert_eq!(e.formula_of(c("C1")).unwrap(), "Data!A7*2");
+        e.recalculate();
+        assert_eq!(e.value(c("C1")), n(14.0));
+        // Deleting the qualified target yields #REF! like a local ref.
+        e.delete_rows(7, 1);
+        e.recalculate();
+        assert_eq!(e.formula_of(c("C1")).unwrap(), "#REF!*2");
+        assert_eq!(e.value(c("C1")), Value::Error(CellError::Ref));
     }
 
     #[test]

@@ -42,9 +42,9 @@ use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::time::{Duration, Instant};
-use taco_core::{Config, Dependency, DependencyBackend, FormulaGraph};
+use taco_core::{Config, Dependency, DependencyBackend, FormulaGraph, StructuralOp};
 use taco_formula::{autofill, CellError, EvalClock, Formula, FormulaError, Value};
-use taco_grid::a1::SheetRef;
+use taco_grid::a1::{CellRef, QualifiedRef, RangeRef, SheetRef};
 use taco_grid::{Cell, GridError, Range};
 
 /// Index of a sheet within its workbook (dense, allocation order).
@@ -141,6 +141,40 @@ impl EdgeTable {
             self.by_src[src].retain(|e| !(e.dst == dst && pred(e)));
         }
         self.len -= removed.len();
+    }
+
+    /// Remaps the formula-cell end of every edge owned by sheet `sid`
+    /// under a structural edit of that sheet (the sheet's own formulas
+    /// moved); edges whose formula cell was deleted are dropped along
+    /// with the formula. The referenced-range ends on *other* sheets are
+    /// untouched — foreign geometry does not change.
+    fn remap_deps_on(&mut self, sid: usize, op: StructuralOp) {
+        let mut removed = 0usize;
+        self.by_dst[sid].retain_mut(|e| match op.map_cell(e.dep) {
+            Some(nc) => {
+                e.dep = nc;
+                true
+            }
+            None => {
+                removed += 1;
+                false
+            }
+        });
+        for bucket in &mut self.by_src {
+            bucket.retain_mut(|e| {
+                if e.dst.0 != sid {
+                    return true;
+                }
+                match op.map_cell(e.dep) {
+                    Some(nc) => {
+                        e.dep = nc;
+                        true
+                    }
+                    None => false,
+                }
+            });
+        }
+        self.len -= removed;
     }
 }
 
@@ -479,8 +513,110 @@ impl Workbook<FormulaGraph> {
             EditRecord::AddSheet { name } => {
                 self.add_sheet(name).map_err(|e| StoreError::InvalidRecord(e.to_string()))?;
             }
+            EditRecord::Structural { sheet, op } => {
+                let id = sheet_of(*sheet, self.sheets.len())?;
+                self.stage_structural(id.0, *op, jobs);
+            }
         }
         Ok(())
+    }
+
+    /// Inserts `n` rows before row `at` on `sheet`, workbook-wide: the
+    /// sheet's own grid shifts, and every *other* sheet's formulas whose
+    /// qualified references target the edited sheet are rewritten under
+    /// the same transform (`Sheet1!A5` survives an insert above row 5 as
+    /// `Sheet1!A8`; a reference whose whole range is deleted becomes
+    /// `#REF!`). Rewrites are routed through the cross-edge index, so
+    /// only actual referrers are touched.
+    pub fn insert_rows(&mut self, sheet: SheetId, at: u32, n: u32) -> WorkbookReceipt {
+        self.apply_structural(sheet, StructuralOp::InsertRows { at, n })
+    }
+
+    /// Deletes the rows `[at, at + n)` on `sheet`; see
+    /// [`Self::insert_rows`] for the workbook-wide contract.
+    pub fn delete_rows(&mut self, sheet: SheetId, at: u32, n: u32) -> WorkbookReceipt {
+        self.apply_structural(sheet, StructuralOp::DeleteRows { at, n })
+    }
+
+    /// Inserts `n` columns before column `at` on `sheet`; see
+    /// [`Self::insert_rows`] for the workbook-wide contract.
+    pub fn insert_cols(&mut self, sheet: SheetId, at: u32, n: u32) -> WorkbookReceipt {
+        self.apply_structural(sheet, StructuralOp::InsertCols { at, n })
+    }
+
+    /// Deletes the columns `[at, at + n)` on `sheet`; see
+    /// [`Self::insert_rows`] for the workbook-wide contract.
+    pub fn delete_cols(&mut self, sheet: SheetId, at: u32, n: u32) -> WorkbookReceipt {
+        self.apply_structural(sheet, StructuralOp::DeleteCols { at, n })
+    }
+
+    /// Applies one structural edit to `sheet` and routes the fallout
+    /// across the workbook (the general form behind
+    /// [`Self::insert_rows`] and friends).
+    pub fn apply_structural(&mut self, sheet: SheetId, op: StructuralOp) -> WorkbookReceipt {
+        self.ensure_sheet(sheet);
+        let start = Instant::now();
+        let mut jobs = Vec::new();
+        self.stage_structural(sheet.0, op, &mut jobs);
+        let dirty = self.expand(jobs, true);
+        WorkbookReceipt { dirty, control_latency: start.elapsed() }
+    }
+
+    /// The staged half of a structural edit: local transform, cross-edge
+    /// remap, and referrer rewrites, with routing jobs accumulated for
+    /// one trailing `expand`.
+    fn stage_structural(&mut self, sid: usize, op: StructuralOp, jobs: &mut Vec<Job>) {
+        // Snapshot the distinct foreign formula cells that read this
+        // sheet *before* mutating anything: these are exactly the
+        // formulas whose qualified references may need rewriting.
+        let mut referrers: Vec<(usize, Cell)> = Vec::new();
+        for e in self.xedges.outgoing(sid) {
+            if !referrers.contains(&(e.dst.0, e.dep)) {
+                referrers.push((e.dst.0, e.dep));
+            }
+        }
+
+        // Local transform. The receipt's dirty ranges are the formulas
+        // whose value may change, so they double as hop origins: any
+        // cross edge overlapping them routes dirtiness to other sheets.
+        let receipt = self.sheets[sid].engine.apply_structural(op);
+        jobs.extend(receipt.dirty.into_iter().map(|r| Job::expanded(sid, r)));
+
+        // The edited sheet's own formulas moved; the edges they own
+        // follow them. (Their referenced ranges live on other sheets and
+        // are untouched by this edit.)
+        self.xedges.remap_deps_on(sid, op);
+
+        // Rewrite each referrer whose references into the edited sheet
+        // actually move; identity rewrites are skipped so untouched
+        // formulas keep their original source text.
+        let own = self.sheets[sid].name.name().to_string();
+        for (dsid, dep) in referrers {
+            let Some(formula) = self.sheets[dsid].engine.formula_at(dep).cloned() else {
+                continue;
+            };
+            let ast = formula.ast.map_refs(&mut |q| match &q.sheet {
+                Some(s) if s.matches(&own) => {
+                    let r = &q.rref;
+                    op.map_range(r.range()).map(|nr| QualifiedRef {
+                        sheet: q.sheet.clone(),
+                        rref: RangeRef {
+                            head: CellRef { cell: nr.head(), ..r.head },
+                            tail: CellRef { cell: nr.tail(), ..r.tail },
+                        },
+                    })
+                }
+                _ => Some(q.clone()),
+            });
+            if ast == formula.ast {
+                continue;
+            }
+            let refs = ast.collect_refs();
+            jobs.extend(self.apply_formula(dsid, dep, Formula { src: ast.to_string(), ast, refs }));
+            // The rewrite dirtied the referrer itself; the formula-edit
+            // receipt only reports its dependents.
+            jobs.push(Job::expanded(dsid, Range::cell(dep)));
+        }
     }
 }
 
@@ -1629,5 +1765,151 @@ mod tests {
         assert!(wb.dirty_count() >= 2, "volatile cell and its cross-sheet dependent re-dirtied");
         wb.recalculate(RecalcMode::Serial);
         assert_eq!(wb.value(b, c("A1")), n(21.0));
+    }
+
+    /// The ISSUE scenario: `Sheet2!B5 = Sheet1!A2+1` must track `Sheet1`
+    /// through a row insert, and die to `#REF!` when its target rows are
+    /// deleted outright.
+    #[test]
+    fn structural_edit_rewrites_cross_sheet_references() {
+        let mut wb = Workbook::with_taco();
+        let s1 = wb.add_sheet("Sheet1").unwrap();
+        let s2 = wb.add_sheet("Sheet2").unwrap();
+        for row in 1..=4u32 {
+            wb.set_value(s1, Cell::new(1, row), n(f64::from(row) * 10.0));
+        }
+        wb.set_formula(s2, c("B5"), "=Sheet1!A2+1").unwrap();
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(s2, c("B5")), n(21.0));
+
+        let receipt = wb.insert_rows(s1, 1, 3);
+        assert_eq!(wb.formula_of(s2, c("B5")).as_deref(), Some("Sheet1!A5+1"));
+        assert!(
+            receipt.dirty.iter().any(|&(s, range)| s == s2 && range.contains_cell(c("B5"))),
+            "the rewritten referrer must be reported dirty: {:?}",
+            receipt.dirty
+        );
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(s2, c("B5")), n(21.0), "value survives the shift");
+        assert_eq!(wb.value(s1, c("A5")), n(20.0));
+
+        // Deleting every row the reference points at kills it.
+        wb.delete_rows(s1, 5, 1);
+        assert_eq!(wb.formula_of(s2, c("B5")).as_deref(), Some("#REF!+1"));
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(s2, c("B5")), Value::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn structural_edit_rewrites_cross_sheet_ranges() {
+        let (mut wb, data, summary) = two_sheet_book();
+        wb.recalculate(RecalcMode::Serial);
+        // Insert into the middle of the referenced range: it stretches.
+        wb.insert_rows(data, 2, 3);
+        assert_eq!(wb.formula_of(summary, c("A1")).as_deref(), Some("SUM(Data!A1:A7)"));
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(summary, c("A1")), n(10.0));
+        assert_eq!(wb.value(summary, c("B1")), n(20.0), "transitive dependent follows");
+        // Delete the whole stretched range: #REF!.
+        wb.delete_rows(data, 1, 7);
+        assert_eq!(wb.formula_of(summary, c("A1")).as_deref(), Some("SUM(#REF!)"));
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(summary, c("A1")), Value::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn identity_structural_edit_keeps_source_and_cached_values() {
+        let (mut wb, data, summary) = two_sheet_book();
+        wb.recalculate(RecalcMode::Serial);
+        // Rows inserted below everything the summary reads: no rewrite,
+        // no dirt, and the referrer keeps its original source text.
+        wb.insert_rows(data, 10, 5);
+        assert_eq!(wb.formula_of(summary, c("A1")).as_deref(), Some("SUM(Data!A1:A4)"));
+        assert_eq!(wb.dirty_count(), 0, "nothing moved that anyone reads");
+        assert_eq!(wb.value(summary, c("A1")), n(10.0));
+    }
+
+    #[test]
+    fn structural_edit_remaps_edges_owned_by_the_edited_sheet() {
+        let (mut wb, data, summary) = two_sheet_book();
+        wb.set_value(summary, c("Z1"), n(5.0));
+        wb.set_formula(data, c("C1"), "='My Summary'!Z1*2").unwrap();
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(data, c("C1")), n(10.0));
+        let edges = wb.cross_edge_count();
+
+        // The formula cell moves; its outbound reference (to the *other*
+        // sheet) must not be rewritten, but the edge must follow the cell.
+        wb.insert_rows(data, 1, 2);
+        assert_eq!(wb.formula_of(data, c("C3")).as_deref(), Some("'My Summary'!Z1*2"));
+        assert_eq!(wb.cross_edge_count(), edges, "edges remap, not drop");
+        let receipt = wb.set_value(summary, c("Z1"), n(7.0));
+        assert!(
+            receipt.dirty.iter().any(|&(s, range)| s == data && range.contains_cell(c("C3"))),
+            "remapped edge must route to the moved formula: {:?}",
+            receipt.dirty
+        );
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(data, c("C3")), n(14.0));
+
+        // Deleting the formula's own rows drops the cell and its edge.
+        wb.delete_rows(data, 3, 1);
+        assert_eq!(wb.cross_edge_count(), edges - 1);
+        let receipt = wb.set_value(summary, c("Z1"), n(9.0));
+        assert!(
+            !receipt.dirty.iter().any(|&(s, _)| s == data),
+            "a deleted formula must no longer be routed to: {:?}",
+            receipt.dirty
+        );
+    }
+
+    #[test]
+    fn column_edits_rewrite_cross_sheet_references() {
+        let (mut wb, data, summary) = two_sheet_book();
+        wb.recalculate(RecalcMode::Serial);
+        wb.insert_cols(data, 1, 2);
+        assert_eq!(wb.formula_of(summary, c("A1")).as_deref(), Some("SUM(Data!C1:C4)"));
+        wb.recalculate(RecalcMode::Serial);
+        assert_eq!(wb.value(summary, c("A1")), n(10.0));
+        wb.delete_cols(data, 3, 1);
+        assert_eq!(wb.formula_of(summary, c("A1")).as_deref(), Some("SUM(#REF!)"));
+    }
+
+    #[test]
+    fn batched_structural_record_matches_live_edit() {
+        use taco_store::EditRecord;
+        let build = || {
+            let (mut wb, _, _) = two_sheet_book();
+            wb.recalculate(RecalcMode::Serial);
+            wb
+        };
+        let mut live = build();
+        live.insert_rows(SheetId(0), 2, 3);
+        live.set_value(SheetId(0), c("A9"), n(99.0));
+        live.recalculate(RecalcMode::Serial);
+
+        let mut batched = build();
+        batched
+            .apply_batch(&[
+                EditRecord::Structural { sheet: 0, op: StructuralOp::InsertRows { at: 2, n: 3 } },
+                EditRecord::SetValue { sheet: 0, cell: c("A9"), value: n(99.0) },
+            ])
+            .unwrap();
+        batched.recalculate(RecalcMode::Serial);
+
+        let summary = SheetId(1);
+        assert_eq!(live.formula_of(summary, c("A1")), batched.formula_of(summary, c("A1")));
+        assert_eq!(live.value(summary, c("A1")), batched.value(summary, c("A1")));
+        assert_eq!(live.value(summary, c("B1")), batched.value(summary, c("B1")));
+        assert_eq!(live.cross_edge_count(), batched.cross_edge_count());
+
+        // A structural record naming a missing sheet is a typed error.
+        let err = batched
+            .apply_batch(&[EditRecord::Structural {
+                sheet: 9,
+                op: StructuralOp::DeleteRows { at: 1, n: 1 },
+            }])
+            .unwrap_err();
+        assert_eq!(err.index, 0);
     }
 }

@@ -26,6 +26,8 @@ pub enum TokenKind {
     /// A single-quoted sheet name (`'My Sheet'`, quotes stripped, `''`
     /// unescaped). Only valid immediately before a `!`.
     Sheet(String),
+    /// The broken-reference literal `#REF!`.
+    RefErr,
     /// `!` (sheet-qualifier separator)
     Bang,
     /// `(`
@@ -123,6 +125,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FormulaError> {
             b'!' => {
                 out.push(Token { pos, kind: TokenKind::Bang });
                 i += 1;
+            }
+            b'#' => {
+                // `#REF!` is the only error literal a formula can contain
+                // (structural deletes rewrite dead references to it); any
+                // other `#...` is still a bad character.
+                if bytes[i..].starts_with(b"#REF!") {
+                    out.push(Token { pos, kind: TokenKind::RefErr });
+                    i += 5;
+                } else {
+                    return Err(FormulaError::BadChar { pos, ch: '#' });
+                }
             }
             b'=' => {
                 out.push(Token { pos, kind: TokenKind::Eq });
@@ -332,6 +345,16 @@ mod tests {
         );
         assert_eq!(kinds("'it''s'!C3")[0], Sheet("it's".into()));
         assert!(lex("'open sheet!A1").is_err());
+    }
+
+    #[test]
+    fn ref_error_literal() {
+        use TokenKind::*;
+        assert_eq!(kinds("#REF!*2"), vec![RefErr, Star, Number(2.0)]);
+        assert_eq!(kinds("#REF!+#REF!"), vec![RefErr, Plus, RefErr]);
+        // Only the exact literal lexes; `#REF` without the bang does not.
+        assert!(matches!(lex("#REF"), Err(FormulaError::BadChar { pos: 0, ch: '#' })));
+        assert!(matches!(lex("#NAME?"), Err(FormulaError::BadChar { pos: 0, ch: '#' })));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! power      := unary ('^' unary)*
 //! unary      := ('-' | '+')* postfix
 //! postfix    := primary '%'*
-//! primary    := NUMBER | STRING | TRUE | FALSE
+//! primary    := NUMBER | STRING | TRUE | FALSE | '#REF!'
 //!             | NAME '(' args ')'          -- function call
 //!             | sheet? REF (':' REF)?      -- cell or range reference
 //!             | '(' expr ')'
@@ -180,6 +180,10 @@ impl Parser {
             TokenKind::Str(s) => {
                 self.i += 1;
                 Ok(Expr::Text(s))
+            }
+            TokenKind::RefErr => {
+                self.i += 1;
+                Ok(Expr::RefError)
             }
             TokenKind::LParen => {
                 self.i += 1;
@@ -363,6 +367,19 @@ mod tests {
         }
         // The qualifier does not turn function names into references.
         assert!(matches!(parse("SUM(Sheet1!A1)").unwrap(), Expr::Func { .. }));
+    }
+
+    #[test]
+    fn ref_error_parses_prints_and_round_trips() {
+        assert_eq!(parse("#REF!").unwrap(), Expr::RefError);
+        // Structural deletes store sources like `#REF!*2`: they must
+        // survive a parse → print → parse cycle for persistence replay.
+        for src in ["#REF!", "#REF!*2", "SUM(#REF!)+1", "#REF!+#REF!", "IF(A1>0,#REF!,B2)"] {
+            let ast = parse(src).unwrap();
+            let printed = ast.to_string();
+            assert_eq!(parse(&printed).unwrap(), ast, "src={src} printed={printed}");
+        }
+        assert!(parse("#REF!").unwrap().collect_refs().is_empty());
     }
 
     #[test]

@@ -207,6 +207,29 @@ mod tests {
     }
 
     #[test]
+    fn excel_partial_vs_full_delete_semantics() {
+        // Excel's rule, pinned: a delete band that *partially* overlaps a
+        // referenced range shrinks it; only a band that covers the range
+        // end to end kills the reference (#REF!, i.e. `None`).
+        // Band == range exactly.
+        assert_eq!(r("A3:A5").delete_rows(3, 3), None);
+        // Band strictly larger than the range on both sides.
+        assert_eq!(r("A3:A5").delete_rows(2, 5), None);
+        // Partial top overlap: surviving rows shift up to the band start.
+        assert_eq!(r("A4:A10").delete_rows(2, 4), Some(r("A2:A6")));
+        // Partial bottom overlap: range is clipped at the band start.
+        assert_eq!(r("A3:A5").delete_rows(4, 10), Some(r("A3:A3")));
+        // Band covers the head but the tail survives and shifts up.
+        assert_eq!(r("A3:A5").delete_rows(1, 4), Some(r("A1:A1")));
+        // A single-cell range inside the band is fully contained.
+        assert_eq!(r("B4").delete_rows(3, 3), None);
+        // The same rules, transposed onto columns.
+        assert_eq!(r("C2:E9").delete_cols(3, 3), None);
+        assert_eq!(r("C2:E9").delete_cols(4, 9), Some(r("C2:C9")));
+        assert_eq!(r("C2:E9").delete_cols(1, 4), Some(r("A2:A9")));
+    }
+
+    #[test]
     fn col_ops_via_transpose() {
         assert_eq!(r("B2:D5").insert_cols(3, 2), Some(r("B2:F5")));
         assert_eq!(r("B2:D5").delete_cols(3, 1), Some(r("B2:C5")));

@@ -196,6 +196,34 @@ impl<T: Transport> Client<T> {
         self.applied(Request::ClearRange { token, sheet: sheet.to_string(), range })
     }
 
+    /// Inserts `n` rows before row `at` — a workbook-wide structural
+    /// edit: formulas on *other* sheets that reference this one are
+    /// rewritten too.
+    pub fn insert_rows(&mut self, sheet: &str, at: u32, n: u32) -> Result<u64, ServiceError> {
+        let token = self.need_token()?;
+        self.applied(Request::InsertRows { token, sheet: sheet.to_string(), at, n })
+    }
+
+    /// Deletes the rows `[at, at + n)`; references wholly inside the
+    /// deleted band become `#REF!`, everywhere in the workbook.
+    pub fn delete_rows(&mut self, sheet: &str, at: u32, n: u32) -> Result<u64, ServiceError> {
+        let token = self.need_token()?;
+        self.applied(Request::DeleteRows { token, sheet: sheet.to_string(), at, n })
+    }
+
+    /// Inserts `n` columns before column `at`; see
+    /// [`Client::insert_rows`].
+    pub fn insert_cols(&mut self, sheet: &str, at: u32, n: u32) -> Result<u64, ServiceError> {
+        let token = self.need_token()?;
+        self.applied(Request::InsertCols { token, sheet: sheet.to_string(), at, n })
+    }
+
+    /// Deletes the columns `[at, at + n)`; see [`Client::delete_rows`].
+    pub fn delete_cols(&mut self, sheet: &str, at: u32, n: u32) -> Result<u64, ServiceError> {
+        let token = self.need_token()?;
+        self.applied(Request::DeleteCols { token, sheet: sheet.to_string(), at, n })
+    }
+
     /// Reads one cell (snapshot read — never blocks on writers).
     pub fn get(&mut self, sheet: &str, cell: Cell) -> Result<Value, ServiceError> {
         let token = self.need_token()?;

@@ -164,6 +164,53 @@ pub enum Request {
         /// The viewport.
         range: Range,
     },
+    /// Inserts `n` rows before row `at` — a workbook-wide structural
+    /// edit: references to the sheet from *other* sheets are rewritten
+    /// too (full-range deletions become `#REF!`).
+    InsertRows {
+        /// The session token.
+        token: u64,
+        /// The edited sheet's name.
+        sheet: String,
+        /// First shifted row.
+        at: u32,
+        /// Rows inserted.
+        n: u32,
+    },
+    /// Deletes the rows `[at, at + n)`; see [`Request::InsertRows`].
+    DeleteRows {
+        /// The session token.
+        token: u64,
+        /// The edited sheet's name.
+        sheet: String,
+        /// First deleted row.
+        at: u32,
+        /// Rows deleted.
+        n: u32,
+    },
+    /// Inserts `n` columns before column `at`; see
+    /// [`Request::InsertRows`].
+    InsertCols {
+        /// The session token.
+        token: u64,
+        /// The edited sheet's name.
+        sheet: String,
+        /// First shifted column.
+        at: u32,
+        /// Columns inserted.
+        n: u32,
+    },
+    /// Deletes the columns `[at, at + n)`; see [`Request::InsertRows`].
+    DeleteCols {
+        /// The session token.
+        token: u64,
+        /// The edited sheet's name.
+        sheet: String,
+        /// First deleted column.
+        at: u32,
+        /// Columns deleted.
+        n: u32,
+    },
 }
 
 /// One server reply.
@@ -278,6 +325,10 @@ const REQ_SAVE: u8 = 12;
 const REQ_STATS: u8 = 13;
 const REQ_RECALC_RANGE: u8 = 14;
 const REQ_GET_RANGE_FRESH: u8 = 15;
+const REQ_INSERT_ROWS: u8 = 16;
+const REQ_DELETE_ROWS: u8 = 17;
+const REQ_INSERT_COLS: u8 = 18;
+const REQ_DELETE_COLS: u8 = 19;
 
 const RESP_OPENED: u8 = 0;
 const RESP_CLOSED: u8 = 1;
@@ -323,6 +374,11 @@ fn read_flag<R: Read>(r: &mut R) -> Result<bool, StoreError> {
 
 fn read_wire_string<R: Read>(r: &mut R) -> Result<String, StoreError> {
     read_string(r, MAX_WIRE_STRING)
+}
+
+fn read_grid_index<R: Read>(r: &mut R) -> Result<u32, StoreError> {
+    let v = read_uvarint(r)?;
+    u32::try_from(v).map_err(|_| StoreError::Malformed("grid index out of range"))
 }
 
 impl Request {
@@ -430,6 +486,21 @@ impl Request {
                     write_string(w, sheet)?;
                     write_range(w, *range)?;
                 }
+                Request::InsertRows { token, sheet, at, n }
+                | Request::DeleteRows { token, sheet, at, n }
+                | Request::InsertCols { token, sheet, at, n }
+                | Request::DeleteCols { token, sheet, at, n } => {
+                    w.push(match self {
+                        Request::InsertRows { .. } => REQ_INSERT_ROWS,
+                        Request::DeleteRows { .. } => REQ_DELETE_ROWS,
+                        Request::InsertCols { .. } => REQ_INSERT_COLS,
+                        _ => REQ_DELETE_COLS,
+                    });
+                    write_uvarint(w, *token)?;
+                    write_string(w, sheet)?;
+                    write_uvarint(w, u64::from(*at))?;
+                    write_uvarint(w, u64::from(*n))?;
+                }
             }
             Ok(())
         })();
@@ -517,6 +588,18 @@ impl Request {
                 sheet: read_wire_string(r)?,
                 range: read_range(r)?,
             },
+            op @ (REQ_INSERT_ROWS | REQ_DELETE_ROWS | REQ_INSERT_COLS | REQ_DELETE_COLS) => {
+                let token = read_uvarint(r)?;
+                let sheet = read_wire_string(r)?;
+                let at = read_grid_index(r)?;
+                let n = read_grid_index(r)?;
+                match op {
+                    REQ_INSERT_ROWS => Request::InsertRows { token, sheet, at, n },
+                    REQ_DELETE_ROWS => Request::DeleteRows { token, sheet, at, n },
+                    REQ_INSERT_COLS => Request::InsertCols { token, sheet, at, n },
+                    _ => Request::DeleteCols { token, sheet, at, n },
+                }
+            }
             _ => return Err(StoreError::Malformed("unknown request op")),
         };
         if !r.is_empty() {
@@ -774,6 +857,10 @@ mod tests {
             Request::Stats { token: u64::MAX },
             Request::RecalcRange { token: 7, sheet: "Data".into(), range: r },
             Request::GetRangeFresh { token: 7, sheet: "Data".into(), range: r },
+            Request::InsertRows { token: 8, sheet: "Data".into(), at: 5, n: 3 },
+            Request::DeleteRows { token: 8, sheet: "Data".into(), at: 1, n: 200 },
+            Request::InsertCols { token: 8, sheet: "Data".into(), at: 2, n: 1 },
+            Request::DeleteCols { token: 8, sheet: "Data".into(), at: 7, n: u32::MAX },
         ]
     }
 

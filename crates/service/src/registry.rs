@@ -47,6 +47,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use taco_core::StructuralOp;
 use taco_engine::{PersistentWorkbook, RecalcMode, SheetId, Workbook, WorkbookReceipt};
 use taco_formula::{Formula, Value};
 use taco_grid::{Cell, Range};
@@ -559,6 +560,18 @@ impl Registry {
                 let op = WriteOp::Edit(EditRecord::ClearRange { sheet: sid, range });
                 Ok(handle.ask(|reply| WorkerMsg::Write { op, reply }))
             }
+            Request::InsertRows { token, sheet, at, n } => {
+                self.structural(token, &sheet, StructuralOp::InsertRows { at, n })
+            }
+            Request::DeleteRows { token, sheet, at, n } => {
+                self.structural(token, &sheet, StructuralOp::DeleteRows { at, n })
+            }
+            Request::InsertCols { token, sheet, at, n } => {
+                self.structural(token, &sheet, StructuralOp::InsertCols { at, n })
+            }
+            Request::DeleteCols { token, sheet, at, n } => {
+                self.structural(token, &sheet, StructuralOp::DeleteCols { at, n })
+            }
             Request::Get { token, sheet, cell } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
                 let snap = Arc::clone(&handle.shared.snapshot.read());
@@ -631,6 +644,21 @@ impl Registry {
         }
     }
 
+    /// Queues a structural edit (row/column insert or delete) to the
+    /// workbook's writer. Scope is enforced against the *edited* sheet;
+    /// the workbook-wide reference rewrite it triggers is part of the
+    /// edit's semantics, not a separate access.
+    fn structural(
+        &self,
+        token: u64,
+        sheet: &str,
+        op: StructuralOp,
+    ) -> Result<Response, ServiceError> {
+        let (_, handle, sid) = self.resolve_sheet(token, sheet)?;
+        let op = WriteOp::Edit(EditRecord::Structural { sheet: sid, op });
+        Ok(handle.ask(|reply| WorkerMsg::Write { op, reply }))
+    }
+
     fn open(
         &self,
         workbook: &str,
@@ -688,7 +716,8 @@ fn record_sheet(rec: &EditRecord) -> Option<usize> {
     match rec {
         EditRecord::SetValue { sheet, .. }
         | EditRecord::SetFormula { sheet, .. }
-        | EditRecord::ClearRange { sheet, .. } => Some(*sheet as usize),
+        | EditRecord::ClearRange { sheet, .. }
+        | EditRecord::Structural { sheet, .. } => Some(*sheet as usize),
         EditRecord::AddSheet { .. } => None,
     }
 }

@@ -269,7 +269,7 @@ fn persistent_server_killed_mid_script_reopens_to_a_clean_prefix() {
                 cell.col == vcol || cell.col == vcol + 1
             }
             EditRecord::ClearRange { range, .. } => range.head().col == vcol,
-            EditRecord::AddSheet { .. } => false,
+            EditRecord::AddSheet { .. } | EditRecord::Structural { .. } => false,
         };
         let recorded: Vec<&EditRecord> = replay.records.iter().filter(mine).collect();
         let issued: Vec<EditRecord> = ops

@@ -4,8 +4,9 @@
 //! the framed transport.
 
 use std::sync::Arc;
-use taco_engine::{PersistOptions, PersistentWorkbook, RecalcMode, SheetId, Workbook};
-use taco_formula::Value;
+use taco_core::StructuralOp;
+use taco_engine::{EditRecord, PersistOptions, PersistentWorkbook, RecalcMode, SheetId, Workbook};
+use taco_formula::{CellError, Value};
 use taco_grid::{Cell, Range};
 use taco_service::{Registry, Server, ServerOptions, ServiceError, ServiceOptions, TcpClient};
 
@@ -183,6 +184,211 @@ fn scoped_sessions_cannot_reach_or_observe_foreign_sheets() {
     // session's view.
     let deps = client.dependents("Data", Range::parse_a1("A1").unwrap()).unwrap();
     assert!(deps.iter().all(|(s, _)| s == "Data"), "scope must filter results: {deps:?}");
+    server.shutdown();
+    registry.shutdown();
+}
+
+#[test]
+fn structural_rewrites_and_ref_errors_over_the_wire() {
+    let registry = Arc::new(Registry::new(ServiceOptions::default()));
+    registry.add_workbook("sales", demo_workbook(), None).unwrap();
+    let server = serve(Arc::clone(&registry));
+
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    client.open("sales", None, None).unwrap();
+
+    // Inserting rows on Data shifts its rollup from B1 to B4; the
+    // cross-sheet reference in Summary follows, so the value is stable.
+    client.insert_rows("Data", 1, 3).unwrap();
+    assert_eq!(client.get("Data", c("B4")).unwrap(), n(21.0));
+    assert_eq!(client.get("Summary", c("A1")).unwrap(), n(42.0));
+    let precs = client.precedents("Summary", Range::parse_a1("A1").unwrap()).unwrap();
+    assert!(
+        precs.iter().any(|(s, r)| s == "Data" && r.contains_cell(c("B4"))),
+        "rewritten reference must point at the shifted cell: {precs:?}"
+    );
+
+    // Deleting the row that holds the referenced cell leaves `#REF!`
+    // behind: the referrer evaluates to the reference error.
+    client.delete_rows("Data", 4, 1).unwrap();
+    assert_eq!(client.get("Summary", c("A1")).unwrap(), Value::Error(CellError::Ref));
+
+    // Column edits work symmetrically and the connection stays healthy.
+    // (Row 4 now holds the first surviving data value, 2.0.)
+    client.insert_cols("Data", 1, 2).unwrap();
+    assert_eq!(client.get("Data", c("C4")).unwrap(), n(2.0));
+    client.delete_cols("Data", 1, 2).unwrap();
+    assert_eq!(client.get("Data", c("A4")).unwrap(), n(2.0));
+
+    server.shutdown();
+    registry.shutdown();
+}
+
+/// The acceptance script: values, formulas, and all four structural
+/// kinds, hitting both sheets (indices: 0 = Data, 1 = Summary).
+fn structural_acceptance_script() -> Vec<EditRecord> {
+    vec![
+        EditRecord::SetValue { sheet: 0, cell: c("A1"), value: n(10.0) },
+        EditRecord::Structural { sheet: 0, op: StructuralOp::InsertRows { at: 2, n: 3 } },
+        EditRecord::SetFormula { sheet: 1, cell: c("B2"), src: "=Data!A5*4".into() },
+        EditRecord::Structural { sheet: 0, op: StructuralOp::InsertCols { at: 1, n: 1 } },
+        EditRecord::SetValue { sheet: 0, cell: c("B2"), value: n(-3.0) },
+        EditRecord::Structural { sheet: 1, op: StructuralOp::InsertRows { at: 1, n: 2 } },
+        EditRecord::Structural { sheet: 0, op: StructuralOp::DeleteRows { at: 5, n: 1 } },
+        EditRecord::Structural { sheet: 0, op: StructuralOp::DeleteCols { at: 1, n: 1 } },
+        EditRecord::SetValue { sheet: 0, cell: c("A2"), value: n(8.0) },
+    ]
+}
+
+/// Runs one record through a TCP client (sheet index → name).
+fn run_record(client: &mut TcpClient, names: &[&str], rec: &EditRecord) {
+    match rec {
+        EditRecord::SetValue { sheet, cell, value } => {
+            client.set_value(names[*sheet as usize], *cell, value.clone()).unwrap();
+        }
+        EditRecord::SetFormula { sheet, cell, src } => {
+            client.set_formula(names[*sheet as usize], *cell, src).unwrap();
+        }
+        EditRecord::ClearRange { sheet, range } => {
+            client.clear_range(names[*sheet as usize], *range).unwrap();
+        }
+        EditRecord::Structural { sheet, op } => {
+            let s = names[*sheet as usize];
+            match *op {
+                StructuralOp::InsertRows { at, n } => client.insert_rows(s, at, n).unwrap(),
+                StructuralOp::DeleteRows { at, n } => client.delete_rows(s, at, n).unwrap(),
+                StructuralOp::InsertCols { at, n } => client.insert_cols(s, at, n).unwrap(),
+                StructuralOp::DeleteCols { at, n } => client.delete_cols(s, at, n).unwrap(),
+            };
+        }
+        EditRecord::AddSheet { .. } => unreachable!("script has no AddSheet"),
+    }
+}
+
+/// Sorted `(cell, value)` pairs of one sheet read over the wire.
+fn wire_cells(client: &mut TcpClient, sheet: &str) -> Vec<(Cell, Value)> {
+    client.get_range(sheet, Range::from_coords(1, 1, 24, 48)).unwrap()
+}
+
+/// Sorted `(cell, value)` pairs of one bare sheet.
+fn bare_cells(wb: &Workbook, sheet: usize) -> Vec<(Cell, Value)> {
+    let mut cells: Vec<(Cell, Value)> =
+        wb.sheet(SheetId(sheet)).cells().map(|(cl, k)| (cl, k.value().clone())).collect();
+    cells.sort_unstable_by_key(|(cl, _)| (cl.row, cl.col));
+    cells
+}
+
+#[test]
+fn structural_script_over_tcp_and_through_crash_reopen_matches_serial() {
+    let names = ["Data", "Summary"];
+    let script = structural_acceptance_script();
+
+    // The in-process serial reference.
+    let mut reference = demo_workbook();
+    for rec in &script {
+        reference.apply_edit(rec).expect("reference edit applies");
+    }
+    reference.recalculate(RecalcMode::Serial);
+
+    // Run 1: the whole script over TCP against a plain workbook.
+    {
+        let registry = Arc::new(Registry::new(ServiceOptions::default()));
+        registry.add_workbook("live", demo_workbook(), None).unwrap();
+        let server = serve(Arc::clone(&registry));
+        let mut client = TcpClient::connect(server.local_addr()).unwrap();
+        client.open("live", None, None).unwrap();
+        for rec in &script {
+            run_record(&mut client, &names, rec);
+        }
+        client.recalc().unwrap();
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(
+                wire_cells(&mut client, name),
+                bare_cells(&reference, i),
+                "TCP run must be bit-identical to the serial run ({name})"
+            );
+        }
+        server.shutdown();
+        registry.shutdown();
+    }
+
+    // Run 2: the same script with a crash in the middle — the first half
+    // goes over TCP into a persistent backing, the server dies without
+    // folding the WAL, and a reopened server takes the second half.
+    let path =
+        std::env::temp_dir().join(format!("taco_tcp_structural_crash_{}.taco", std::process::id()));
+    let wal = taco_engine::wal_path(&path);
+    let split = script.len() / 2;
+    {
+        let pw = PersistentWorkbook::create(
+            &path,
+            demo_workbook(),
+            PersistOptions { compact_after_records: 0, sync_every_records: 1 },
+        )
+        .unwrap();
+        let registry = Arc::new(Registry::new(ServiceOptions::default()));
+        registry.add_persistent("durable", pw, None).unwrap();
+        let server = serve(Arc::clone(&registry));
+        let mut client = TcpClient::connect(server.local_addr()).unwrap();
+        client.open("durable", None, None).unwrap();
+        for rec in &script[..split] {
+            run_record(&mut client, &names, rec);
+        }
+        // Crash: no Save request, so nothing is folded into the snapshot
+        // — recovery must come from WAL replay alone.
+        server.shutdown();
+        registry.shutdown();
+    }
+    {
+        let pw = PersistentWorkbook::open(
+            &path,
+            PersistOptions { compact_after_records: 0, sync_every_records: 1 },
+        )
+        .expect("reopen after crash");
+        let registry = Arc::new(Registry::new(ServiceOptions::default()));
+        registry.add_persistent("durable", pw, None).unwrap();
+        let server = serve(Arc::clone(&registry));
+        let mut client = TcpClient::connect(server.local_addr()).unwrap();
+        client.open("durable", None, None).unwrap();
+        for rec in &script[split..] {
+            run_record(&mut client, &names, rec);
+        }
+        client.recalc().unwrap();
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(
+                wire_cells(&mut client, name),
+                bare_cells(&reference, i),
+                "crash + WAL reopen must converge to the serial run ({name})"
+            );
+        }
+        server.shutdown();
+        registry.shutdown();
+    }
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn structural_requests_respect_session_scope() {
+    let registry = Arc::new(Registry::new(ServiceOptions::default()));
+    registry.add_workbook("sales", demo_workbook(), None).unwrap();
+    let server = serve(Arc::clone(&registry));
+
+    let mut scoped = TcpClient::connect(server.local_addr()).unwrap();
+    scoped.open("sales", None, Some(&["Data"])).unwrap();
+    // Out-of-scope sheets cannot be structurally edited…
+    assert!(matches!(scoped.insert_rows("Summary", 1, 1), Err(ServiceError::OutOfScope(_))));
+    assert!(matches!(scoped.delete_cols("Summary", 1, 1), Err(ServiceError::OutOfScope(_))));
+    // …but an in-scope edit goes through, and its workbook-wide rewrite
+    // keeps the (out-of-scope) referrer consistent.
+    scoped.insert_rows("Data", 1, 3).unwrap();
+    assert_eq!(scoped.get("Data", c("B4")).unwrap(), n(21.0));
+    assert!(matches!(scoped.get("Summary", c("A1")), Err(ServiceError::OutOfScope(_))));
+
+    let mut unscoped = TcpClient::connect(server.local_addr()).unwrap();
+    unscoped.open("sales", None, None).unwrap();
+    assert_eq!(unscoped.get("Summary", c("A1")).unwrap(), n(42.0));
+
     server.shutdown();
     registry.shutdown();
 }

@@ -29,6 +29,7 @@ use crate::StoreError;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use taco_core::StructuralOp;
 use taco_formula::Value;
 use taco_grid::{Cell, Range};
 
@@ -73,12 +74,29 @@ pub enum EditRecord {
         /// The sheet name.
         name: String,
     },
+    /// A structural edit (row/column insert or delete) of
+    /// `sheets[sheet]`, including its workbook-wide fallout: replay
+    /// re-runs the same cross-sheet reference rewrites the live edit
+    /// performed.
+    Structural {
+        /// Dense sheet index.
+        sheet: u32,
+        /// The geometric transform.
+        op: StructuralOp,
+    },
 }
 
 const OP_SET_VALUE: u8 = 0;
 const OP_SET_FORMULA: u8 = 1;
 const OP_CLEAR_RANGE: u8 = 2;
 const OP_ADD_SHEET: u8 = 3;
+const OP_STRUCTURAL: u8 = 4;
+
+// `Structural` sub-kind bytes.
+const STRUCT_INSERT_ROWS: u8 = 0;
+const STRUCT_DELETE_ROWS: u8 = 1;
+const STRUCT_INSERT_COLS: u8 = 2;
+const STRUCT_DELETE_COLS: u8 = 3;
 
 impl EditRecord {
     /// Encodes the record payload (op byte + fields).
@@ -106,6 +124,19 @@ impl EditRecord {
                 EditRecord::AddSheet { name } => {
                     out.push(OP_ADD_SHEET);
                     write_string(&mut out, name)?;
+                }
+                EditRecord::Structural { sheet, op } => {
+                    out.push(OP_STRUCTURAL);
+                    write_uvarint(&mut out, u64::from(*sheet))?;
+                    let (kind, at, n) = match *op {
+                        StructuralOp::InsertRows { at, n } => (STRUCT_INSERT_ROWS, at, n),
+                        StructuralOp::DeleteRows { at, n } => (STRUCT_DELETE_ROWS, at, n),
+                        StructuralOp::InsertCols { at, n } => (STRUCT_INSERT_COLS, at, n),
+                        StructuralOp::DeleteCols { at, n } => (STRUCT_DELETE_COLS, at, n),
+                    };
+                    out.push(kind);
+                    write_uvarint(&mut out, u64::from(at))?;
+                    write_uvarint(&mut out, u64::from(n))?;
                 }
             }
             Ok(())
@@ -135,6 +166,21 @@ impl EditRecord {
                 EditRecord::ClearRange { sheet, range: read_range(r)? }
             }
             OP_ADD_SHEET => EditRecord::AddSheet { name: read_string(r, MAX_STRING)? },
+            OP_STRUCTURAL => {
+                let sheet = read_sheet_index(r)?;
+                let mut kind = [0u8; 1];
+                std::io::Read::read_exact(r, &mut kind)?;
+                let at = read_grid_index(r)?;
+                let n = read_grid_index(r)?;
+                let op = match kind[0] {
+                    STRUCT_INSERT_ROWS => StructuralOp::InsertRows { at, n },
+                    STRUCT_DELETE_ROWS => StructuralOp::DeleteRows { at, n },
+                    STRUCT_INSERT_COLS => StructuralOp::InsertCols { at, n },
+                    STRUCT_DELETE_COLS => StructuralOp::DeleteCols { at, n },
+                    _ => return Err(StoreError::Malformed("unknown structural kind")),
+                };
+                EditRecord::Structural { sheet, op }
+            }
             _ => return Err(StoreError::Malformed("unknown WAL op")),
         };
         if !r.is_empty() {
@@ -147,6 +193,11 @@ impl EditRecord {
 fn read_sheet_index(r: &mut &[u8]) -> Result<u32, StoreError> {
     let v = read_uvarint(r)?;
     u32::try_from(v).map_err(|_| StoreError::Malformed("sheet index out of range"))
+}
+
+fn read_grid_index(r: &mut &[u8]) -> Result<u32, StoreError> {
+    let v = read_uvarint(r)?;
+    u32::try_from(v).map_err(|_| StoreError::Malformed("grid index out of range"))
 }
 
 // ---- writing ------------------------------------------------------------
@@ -369,7 +420,28 @@ mod tests {
                 cell: Cell::new(9, 9),
                 value: Value::Text("x".into()),
             },
+            EditRecord::Structural { sheet: 0, op: StructuralOp::InsertRows { at: 3, n: 2 } },
+            EditRecord::Structural { sheet: 1, op: StructuralOp::DeleteCols { at: 7, n: 130 } },
         ]
+    }
+
+    #[test]
+    fn structural_kinds_round_trip_and_bad_kind_is_typed() {
+        for op in [
+            StructuralOp::InsertRows { at: 1, n: 1 },
+            StructuralOp::DeleteRows { at: 200, n: 999 },
+            StructuralOp::InsertCols { at: 0, n: 4 },
+            StructuralOp::DeleteCols { at: u32::MAX, n: u32::MAX },
+        ] {
+            let rec = EditRecord::Structural { sheet: 5, op };
+            assert_eq!(EditRecord::decode(&rec.encode()).unwrap(), rec);
+        }
+        // A structural record with an unknown sub-kind byte is malformed.
+        let mut bytes =
+            EditRecord::Structural { sheet: 0, op: StructuralOp::InsertRows { at: 1, n: 1 } }
+                .encode();
+        bytes[2] = 9;
+        assert!(matches!(EditRecord::decode(&bytes), Err(StoreError::Malformed(_))));
     }
 
     fn temp_path(tag: &str) -> PathBuf {

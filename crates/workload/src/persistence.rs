@@ -17,6 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use taco_core::StructuralOp;
 use taco_formula::Value;
 use taco_grid::{Cell, Range};
 use taco_store::EditRecord;
@@ -95,8 +96,8 @@ pub struct PersistWorkload {
     pub name: &'static str,
     /// Edits that construct the workbook.
     pub build: Vec<EditRecord>,
-    /// Post-save edit burst (value updates, formula rewrites, clears, a
-    /// late sheet).
+    /// Post-save edit burst (value updates, formula rewrites, clears,
+    /// structural row/column edits, a late sheet).
     pub burst: Vec<EditRecord>,
 }
 
@@ -171,8 +172,22 @@ pub fn gen_persist_workload(p: &PersistParams) -> PersistWorkload {
                     range: Range::from_coords(2, row, 5, row + 1),
                 });
             }
+            // Structural row/column edits: shifts in the data region,
+            // the occasional column delete that lands on a formula
+            // column and leaves `#REF!`s behind — both must survive
+            // WAL replay bit-identically.
+            90..=93 if in_original => {
+                let n = rng.gen_range(1..=2u32);
+                let op = match rng.gen_range(0..4u32) {
+                    0 => StructuralOp::InsertRows { at: rng.gen_range(2..=p.rows), n },
+                    1 => StructuralOp::DeleteRows { at: rng.gen_range(2..=p.rows), n },
+                    2 => StructuralOp::InsertCols { at: rng.gen_range(2..=6), n },
+                    _ => StructuralOp::DeleteCols { at: rng.gen_range(5..=6), n: 1 },
+                };
+                burst.push(EditRecord::Structural { sheet, op });
+            }
             // A late sheet plus an edit targeting it.
-            90..=92 => {
+            94..=96 => {
                 burst.push(EditRecord::AddSheet { name: format!("{}-late-{k}", p.name) });
                 burst.push(set_num(sheet_count, 1, 1, k as f64));
                 sheet_count += 1;
@@ -217,11 +232,23 @@ mod tests {
             assert!(all.iter().any(|r| matches!(r, EditRecord::SetValue { .. })));
             assert!(all.iter().any(|r| matches!(r, EditRecord::SetFormula { .. })));
             assert!(all.iter().any(|r| matches!(r, EditRecord::ClearRange { .. })));
+            assert!(all.iter().any(|r| matches!(r, EditRecord::Structural { .. })));
             // Cross-sheet formulae are present (quoted qualifier).
             assert!(all
                 .iter()
                 .any(|r| matches!(r, EditRecord::SetFormula { src, .. } if src.contains("'!"))));
         }
+        // All four structural kinds appear across the presets' bursts
+        // taken together (per-preset would make this hostage to seeds).
+        let mut kinds = std::collections::HashSet::new();
+        for p in [persist_enron_like(), persist_github_like(), persist_giant_sheet()] {
+            for r in gen_persist_workload(&p).burst {
+                if let EditRecord::Structural { op, .. } = r {
+                    kinds.insert(std::mem::discriminant(&op));
+                }
+            }
+        }
+        assert_eq!(kinds.len(), 4, "every structural kind appears across the presets");
     }
 
     #[test]
@@ -251,7 +278,8 @@ mod tests {
                     EditRecord::AddSheet { .. } => sheets += 1,
                     EditRecord::SetValue { sheet, .. }
                     | EditRecord::SetFormula { sheet, .. }
-                    | EditRecord::ClearRange { sheet, .. } => {
+                    | EditRecord::ClearRange { sheet, .. }
+                    | EditRecord::Structural { sheet, .. } => {
                         assert!(*sheet < sheets, "record targets unborn sheet {sheet}");
                     }
                 }

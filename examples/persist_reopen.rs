@@ -129,6 +129,9 @@ fn count_applied(wb: &Workbook, burst: &[EditRecord]) -> usize {
                     && range.cells().all(|c| wb.value(SheetId(*sheet as usize), c).is_empty())
             }
             EditRecord::AddSheet { name } => wb.sheet_id(name).is_some(),
+            // A structural edit's effect can't be probed cell-by-cell from
+            // the outside; skip it and let a neighbouring record decide.
+            EditRecord::Structural { .. } => continue,
         };
         if visible {
             return i + 1;

@@ -290,8 +290,9 @@ fn run_command(engine: &mut Engine, input: &str) -> Result<bool, String> {
         engine.recalculate();
         return Ok(false);
     }
+    type StructuralFn = fn(&mut Engine, u32, u32) -> taco_repro::engine::EditReceipt;
     for (cmd, f) in [
-        ("insrows", Engine::insert_rows as fn(&mut Engine, u32, u32)),
+        ("insrows", Engine::insert_rows as StructuralFn),
         ("delrows", Engine::delete_rows),
         ("inscols", Engine::insert_cols),
         ("delcols", Engine::delete_cols),
@@ -304,7 +305,10 @@ fn run_command(engine: &mut Engine, input: &str) -> Result<bool, String> {
             if nums.len() != 2 {
                 return Err(format!("{cmd} AT N"));
             }
-            f(engine, nums[0], nums[1]);
+            let receipt = f(engine, nums[0], nums[1]);
+            if !receipt.dirty.is_empty() {
+                println!("  {} dirty range(s) routed", receipt.dirty.len());
+            }
             engine.recalculate();
             return Ok(false);
         }
