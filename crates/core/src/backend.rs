@@ -26,6 +26,15 @@ pub trait DependencyBackend {
 
     /// Number of stored edges (whatever the backend's edge unit is).
     fn num_edges(&self) -> usize;
+
+    /// Compression statistics, for backends that track them (the
+    /// observability gauges poll this after each recalculation). The
+    /// default is `None`: baseline backends without per-pattern
+    /// accounting simply expose no compression gauges.
+    fn graph_stats(&self, scratch: &mut crate::StatsScratch) -> Option<crate::GraphStats> {
+        let _ = scratch;
+        None
+    }
 }
 
 impl DependencyBackend for crate::FormulaGraph {
@@ -57,6 +66,10 @@ impl DependencyBackend for crate::FormulaGraph {
 
     fn num_edges(&self) -> usize {
         self.num_edges()
+    }
+
+    fn graph_stats(&self, scratch: &mut crate::StatsScratch) -> Option<crate::GraphStats> {
+        Some(self.stats_with(scratch))
     }
 }
 

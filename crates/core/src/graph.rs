@@ -7,7 +7,7 @@ use crate::dep::Dependency;
 use crate::edge::{Edge, EdgeId};
 use crate::pattern::PatternType;
 use crate::slab::Slab;
-use crate::stats::{count_vertices, GraphStats, PatternCounts};
+use crate::stats::{count_vertices_with, GraphStats, PatternCounts, StatsScratch};
 use std::collections::VecDeque;
 use taco_grid::{Axis, Cell, Offset, Range};
 use taco_rtree::{RTree, SearchScratch};
@@ -582,6 +582,14 @@ impl FormulaGraph {
 
     /// Snapshot of graph size and per-pattern compression effectiveness.
     pub fn stats(&self) -> GraphStats {
+        self.stats_with(&mut StatsScratch::new())
+    }
+
+    /// [`Self::stats`] against a caller-owned [`StatsScratch`]: reuses
+    /// the scratch's vertex set instead of allocating one per call, so
+    /// repeated polling (the post-recalc metrics gauges) stays
+    /// allocation-free once the scratch has warmed up.
+    pub fn stats_with(&self, scratch: &mut StatsScratch) -> GraphStats {
         let mut reduced = PatternCounts::default();
         let mut dependencies = 0u64;
         for (_, e) in self.edges.iter() {
@@ -590,7 +598,7 @@ impl FormulaGraph {
         }
         GraphStats {
             edges: self.edges.len(),
-            vertices: count_vertices(self.edges.iter().map(|(_, e)| e)),
+            vertices: count_vertices_with(scratch, self.edges.iter().map(|(_, e)| e)),
             dependencies,
             reduced,
         }

@@ -58,5 +58,5 @@ pub use graph::{FormulaGraph, QueryScratch, QueryStats};
 pub use leveling::{level_dirty, Leveler};
 pub use pattern::{ChainDir, PatternMeta, PatternType};
 pub use snapshot::GraphSnapshot;
-pub use stats::{GraphStats, PatternCounts};
+pub use stats::{GraphStats, PatternCounts, StatsScratch};
 pub use structural::StructuralOp;

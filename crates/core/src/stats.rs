@@ -105,12 +105,33 @@ impl GraphStats {
     }
 }
 
-/// Computes `|V|` (distinct vertex ranges) from an edge iterator.
-pub(crate) fn count_vertices<'a, I>(edges: I) -> usize
+/// Caller-owned scratch for [`GraphStats`] computation: the vertex
+/// de-duplication set that [`count_vertices`] would otherwise allocate
+/// fresh on every call. Stats paths polled repeatedly (the metrics
+/// gauges after each recalculation) reuse one of these, so steady-state
+/// polling performs no heap allocations — the same discipline as the
+/// query paths' `QueryScratch`.
+#[derive(Debug, Default)]
+pub struct StatsScratch {
+    vertices: HashSet<taco_grid::Range>,
+}
+
+impl StatsScratch {
+    /// An empty scratch (capacity grows on first use and persists).
+    pub fn new() -> Self {
+        StatsScratch::default()
+    }
+}
+
+/// Computes `|V|` (distinct vertex ranges) from an edge iterator,
+/// against a caller-owned scratch set: clears and reuses `scratch`'s
+/// capacity instead of allocating a fresh set.
+pub(crate) fn count_vertices_with<'a, I>(scratch: &mut StatsScratch, edges: I) -> usize
 where
     I: Iterator<Item = &'a crate::Edge>,
 {
-    let mut set = HashSet::new();
+    let set = &mut scratch.vertices;
+    set.clear();
     for e in edges {
         set.insert(e.prec);
         set.insert(e.dep);
@@ -142,6 +163,22 @@ mod tests {
         let mut m = PatternCounts::default();
         m.max_with(&c);
         assert_eq!(m, c);
+    }
+
+    #[test]
+    fn vertex_counting_scratch_matches_fresh() {
+        use crate::{Dependency, Edge};
+        use taco_grid::{Cell, Range};
+        let edges = [
+            Edge::single(&Dependency::new(Range::cell(Cell::new(1, 1)), Cell::new(1, 2))),
+            Edge::single(&Dependency::new(Range::cell(Cell::new(1, 1)), Cell::new(1, 3))),
+        ];
+        let fresh = count_vertices_with(&mut StatsScratch::new(), edges.iter());
+        let mut scratch = StatsScratch::new();
+        assert_eq!(count_vertices_with(&mut scratch, edges.iter()), fresh);
+        // Reuse: a second pass over the same edges sees a cleared set.
+        assert_eq!(count_vertices_with(&mut scratch, edges.iter()), fresh);
+        assert_eq!(fresh, 3);
     }
 
     #[test]

@@ -105,6 +105,10 @@ pub struct Engine<B: DependencyBackend = FormulaGraph> {
     trace_enabled: bool,
     /// Evaluation batches of the most recent recalculation, if tracing.
     trace: Vec<Vec<Cell>>,
+    /// Span tracer for cell-level recalc phases, when the owning
+    /// workbook is attached to an obs hub. Recording pushes a fixed-size
+    /// record into a pre-allocated ring — no allocation on the hot path.
+    tracer: Option<taco_obs::Tracer>,
 }
 
 impl Engine<FormulaGraph> {
@@ -132,7 +136,14 @@ impl<B: DependencyBackend> Engine<B> {
             evaluated_total: 0,
             trace_enabled: false,
             trace: Vec::new(),
+            tracer: None,
         }
+    }
+
+    /// Installs (or clears) the span tracer cell-level recalculation
+    /// phases are recorded against.
+    pub(crate) fn set_tracer(&mut self, tracer: Option<taco_obs::Tracer>) {
+        self.tracer = tracer;
     }
 
     /// The injected volatile-function clock.
@@ -493,6 +504,8 @@ impl<B: DependencyBackend> Engine<B> {
         let workers = threads.max(1);
         for k in 0..leveler.num_levels() {
             let level = leveler.level(k);
+            let timing =
+                self.tracer.as_ref().map(|t| (std::time::Instant::now(), t.now_ns(), level.len()));
             s.staged.clear();
             s.staged.extend(level.iter().map(|&i| (s.dirty_sorted[i as usize], Value::Empty)));
             if workers == 1 || level.len() == 1 {
@@ -528,6 +541,17 @@ impl<B: DependencyBackend> Engine<B> {
                 if let Some(CellContent::Formula { value: slot, .. }) = self.cells.get_mut(&cell) {
                     *slot = value;
                 }
+            }
+            if let (Some(t), Some((start, start_ns, width))) = (self.tracer.as_ref(), timing) {
+                let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                t.record(
+                    "engine.level",
+                    taco_obs::SpanCat::CellLevel,
+                    start_ns,
+                    dur,
+                    k as u64,
+                    width as u64,
+                );
             }
         }
 

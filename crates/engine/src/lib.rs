@@ -26,6 +26,7 @@
 
 mod async_engine;
 mod engine;
+mod obs;
 mod persist;
 mod sheet;
 mod structural;
@@ -33,6 +34,7 @@ mod workbook;
 
 pub use async_engine::AsyncEngine;
 pub use engine::{EditReceipt, Engine};
+pub use obs::EngineObs;
 pub use persist::{open_engine, save_engine, wal_path, PersistOptions, PersistentWorkbook};
 pub use sheet::CellContent;
 pub use workbook::{

@@ -1,0 +1,200 @@
+//! Engine observability: pre-registered handle bundles the workbook and
+//! persistence layers record through. All registration (name lookups,
+//! label formatting, handle allocation) happens on the cold attach path;
+//! the recalculation and WAL hot paths then record through plain field
+//! access — atomic counter bumps, histogram bucket bumps, and fixed-size
+//! span pushes, none of which allocate.
+
+use crate::workbook::RecalcMode;
+use std::time::Instant;
+use taco_core::StatsScratch;
+use taco_obs::{Counter, Gauge, Histogram, Obs, SpanCat, Tracer};
+
+/// Metric and tracer handles for one workbook's recalculation engine.
+pub struct EngineObs {
+    /// `taco_recalc_ns{mode="serial"}` — full-recalc wall time.
+    recalc_serial_ns: Histogram,
+    /// `taco_recalc_ns{mode="parallel"}`.
+    recalc_parallel_ns: Histogram,
+    /// `taco_recalc_ns{mode="cell_parallel"}`.
+    recalc_cell_parallel_ns: Histogram,
+    /// `taco_recalc_cells` — cells evaluated per recalculation.
+    recalc_cells: Histogram,
+    /// `taco_recalc_levels` — sheet SCC levels walked per recalculation.
+    recalc_levels: Histogram,
+    /// `taco_dirty_depth` — dirty-set size at recalc entry.
+    dirty_depth: Histogram,
+    /// `taco_demand_closure_cells` — needed-set size per demand recalc.
+    demand_closure_cells: Histogram,
+    /// `taco_recalcs_total` / `taco_recalc_cells_total` — lifetime counts.
+    recalcs_total: Counter,
+    recalc_cells_total: Counter,
+    /// Graph-shape gauges, labeled `book="<name>"`, refreshed after each
+    /// recalculation (the graph only changes on edits, so any recalc is a
+    /// current poll point).
+    graph_edges: Gauge,
+    graph_vertices: Gauge,
+    graph_dependencies: Gauge,
+    graph_edges_reduced: Gauge,
+    cross_edges: Gauge,
+    /// Reused vertex-dedup scratch for the gauge refresh (PR 5 scratch
+    /// discipline: steady-state polling allocates nothing).
+    scratch: StatsScratch,
+    pub(crate) tracer: Tracer,
+}
+
+impl EngineObs {
+    /// Registers the engine metric set against `obs`. `book` labels the
+    /// graph gauges so multiple workbooks on one hub stay distinct.
+    pub fn new(obs: &Obs, book: &str) -> EngineObs {
+        let m = &obs.metrics;
+        let book_label = format!("book=\"{book}\"");
+        EngineObs {
+            recalc_serial_ns: m.histogram_with("taco_recalc_ns", "mode=\"serial\""),
+            recalc_parallel_ns: m.histogram_with("taco_recalc_ns", "mode=\"parallel\""),
+            recalc_cell_parallel_ns: m.histogram_with("taco_recalc_ns", "mode=\"cell_parallel\""),
+            recalc_cells: m.histogram("taco_recalc_cells"),
+            recalc_levels: m.histogram("taco_recalc_levels"),
+            dirty_depth: m.histogram("taco_dirty_depth"),
+            demand_closure_cells: m.histogram("taco_demand_closure_cells"),
+            recalcs_total: m.counter("taco_recalcs_total"),
+            recalc_cells_total: m.counter("taco_recalc_cells_total"),
+            graph_edges: m.gauge_with("taco_graph_edges", &book_label),
+            graph_vertices: m.gauge_with("taco_graph_vertices", &book_label),
+            graph_dependencies: m.gauge_with("taco_graph_dependencies", &book_label),
+            graph_edges_reduced: m.gauge_with("taco_graph_edges_reduced", &book_label),
+            cross_edges: m.gauge_with("taco_cross_edges", &book_label),
+            scratch: StatsScratch::new(),
+            tracer: obs.tracer.clone(),
+        }
+    }
+
+    /// The latency histogram for `mode`.
+    fn recalc_hist(&self, mode: RecalcMode) -> &Histogram {
+        match mode {
+            RecalcMode::Serial => &self.recalc_serial_ns,
+            RecalcMode::Parallel { .. } => &self.recalc_parallel_ns,
+            RecalcMode::CellParallel { .. } => &self.recalc_cell_parallel_ns,
+        }
+    }
+
+    /// Records one completed full recalculation.
+    pub(crate) fn on_recalc(
+        &self,
+        mode: RecalcMode,
+        start: Instant,
+        start_ns: u64,
+        cells: usize,
+        levels: usize,
+        dirty_before: usize,
+    ) {
+        let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.recalc_hist(mode).record(dur);
+        self.recalc_cells.record(cells as u64);
+        self.recalc_levels.record(levels as u64);
+        self.dirty_depth.record(dirty_before as u64);
+        self.recalcs_total.inc();
+        self.recalc_cells_total.add(cells as u64);
+        self.tracer.record(
+            "workbook.recalc",
+            SpanCat::Recalc,
+            start_ns,
+            dur,
+            cells as u64,
+            levels as u64,
+        );
+    }
+
+    /// Records one sheet SCC level of a recalculation.
+    pub(crate) fn on_sheet_level(
+        &self,
+        start: Instant,
+        start_ns: u64,
+        level: usize,
+        sheets: usize,
+    ) {
+        let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.tracer.record(
+            "workbook.level",
+            SpanCat::SheetLevel,
+            start_ns,
+            dur,
+            level as u64,
+            sheets as u64,
+        );
+    }
+
+    /// Records one demand-driven recalculation and its needed-set size.
+    pub(crate) fn on_demand(&self, start: Instant, start_ns: u64, closure: usize) {
+        let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.demand_closure_cells.record(closure as u64);
+        self.tracer.record("workbook.demand", SpanCat::Demand, start_ns, dur, closure as u64, 0);
+    }
+
+    /// Refreshes the graph-shape gauges from summed per-sheet stats.
+    /// `stats` yields each sheet's backend stats (None for backends
+    /// without compression accounting — those refresh edges only).
+    pub(crate) fn refresh_graph_gauges<F>(&mut self, cross_edges: usize, mut per_sheet: F)
+    where
+        F: FnMut(&mut StatsScratch) -> Option<(usize, Option<taco_core::GraphStats>)>,
+    {
+        let (mut edges, mut vertices, mut deps, mut reduced) = (0i64, 0i64, 0i64, 0i64);
+        let mut have_stats = false;
+        while let Some((num_edges, stats)) = per_sheet(&mut self.scratch) {
+            edges += num_edges as i64;
+            if let Some(s) = stats {
+                have_stats = true;
+                vertices += s.vertices as i64;
+                deps += i64::try_from(s.dependencies).unwrap_or(i64::MAX);
+                reduced += i64::try_from(s.reduced.total()).unwrap_or(i64::MAX);
+            }
+        }
+        self.graph_edges.set(edges);
+        self.cross_edges.set(cross_edges as i64);
+        if have_stats {
+            self.graph_vertices.set(vertices);
+            self.graph_dependencies.set(deps);
+            self.graph_edges_reduced.set(reduced);
+        }
+    }
+
+    /// The hub clock, for span start stamps.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.tracer.now_ns()
+    }
+}
+
+/// Metric handles for one [`crate::PersistentWorkbook`]'s durability
+/// layer: compaction accounting here, per-append/fsync accounting in the
+/// WAL's own [`taco_store::WalObs`] bundle.
+pub struct PersistObs {
+    /// `taco_wal_compactions_total` — WAL folds into fresh snapshots.
+    compactions: Counter,
+    /// `taco_compaction_ns` — snapshot-write + log-reset latency.
+    compaction_ns: Histogram,
+    tracer: Tracer,
+}
+
+impl PersistObs {
+    /// Registers the persistence metric set against `obs`.
+    pub(crate) fn new(obs: &Obs) -> PersistObs {
+        PersistObs {
+            compactions: obs.metrics.counter("taco_wal_compactions_total"),
+            compaction_ns: obs.metrics.histogram("taco_compaction_ns"),
+            tracer: obs.tracer.clone(),
+        }
+    }
+
+    /// Records one completed compaction of `folded` WAL records.
+    pub(crate) fn on_compaction(&self, start: Instant, start_ns: u64, folded: u64) {
+        let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.compactions.inc();
+        self.compaction_ns.record(dur);
+        self.tracer.record("wal.compact", SpanCat::Compaction, start_ns, dur, folded, 0);
+    }
+
+    /// The hub clock, for span start stamps.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.tracer.now_ns()
+    }
+}

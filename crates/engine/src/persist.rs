@@ -23,6 +23,7 @@ use crate::engine::Engine;
 use crate::sheet::CellContent;
 use crate::workbook::{CrossEdge, SheetId, Workbook};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 use taco_core::FormulaGraph;
 use taco_formula::Formula;
 use taco_store::{
@@ -242,6 +243,11 @@ pub struct PersistentWorkbook {
     wal: WalWriter,
     opts: PersistOptions,
     appended_since_sync: u64,
+    /// Whether the open-time replay truncated a torn WAL tail; folded
+    /// into `taco_wal_torn_recoveries_total` when obs is attached.
+    replay_torn: bool,
+    /// Compaction metric handles, when attached to an obs hub.
+    obs: Option<crate::obs::PersistObs>,
 }
 
 impl PersistentWorkbook {
@@ -254,7 +260,15 @@ impl PersistentWorkbook {
     ) -> Result<Self, StoreError> {
         write_workbook_file(path, &wb.to_image())?;
         let wal = WalWriter::create(&wal_path(path))?;
-        Ok(PersistentWorkbook { wb, path: path.to_path_buf(), wal, opts, appended_since_sync: 0 })
+        Ok(PersistentWorkbook {
+            wb,
+            path: path.to_path_buf(),
+            wal,
+            opts,
+            appended_since_sync: 0,
+            replay_torn: false,
+            obs: None,
+        })
     }
 
     /// Opens snapshot + WAL at `path`, replaying the log's clean prefix
@@ -266,7 +280,32 @@ impl PersistentWorkbook {
         for rec in &replay.records {
             wb.replay_edit(rec)?;
         }
-        Ok(PersistentWorkbook { wb, path: path.to_path_buf(), wal, opts, appended_since_sync: 0 })
+        Ok(PersistentWorkbook {
+            wb,
+            path: path.to_path_buf(),
+            wal,
+            opts,
+            appended_since_sync: 0,
+            replay_torn: replay.torn.is_some(),
+            obs: None,
+        })
+    }
+
+    /// Attaches workbook, WAL, and compaction metrics to an obs hub: the
+    /// engine records recalculation metrics (labeled `book="<label>"`),
+    /// the WAL records append/fsync latency and volume, and compactions
+    /// are counted and timed. If the opening replay truncated a torn WAL
+    /// tail, that recovery is folded into
+    /// `taco_wal_torn_recoveries_total` here.
+    pub fn attach_obs(&mut self, obs: &taco_obs::Obs, label: &str) {
+        self.wb.attach_obs(obs, label);
+        let walobs = taco_store::WalObs::new(obs);
+        if self.replay_torn {
+            walobs.torn_recoveries.inc();
+            self.replay_torn = false;
+        }
+        self.wal.set_obs(walobs);
+        self.obs = Some(crate::obs::PersistObs::new(obs));
     }
 
     /// Read access to the live workbook.
@@ -456,9 +495,14 @@ impl PersistentWorkbook {
     /// structural edit; closing it needs a replay epoch in both files
     /// and is tracked in DESIGN.md ("Structural edits").
     pub fn compact(&mut self) -> Result<(), StoreError> {
+        let timing = self.obs.as_ref().map(|o| (Instant::now(), o.now_ns()));
+        let folded = self.wal.record_count();
         write_workbook_file(&self.path, &self.wb.to_image())?;
         self.wal.reset()?;
         self.appended_since_sync = 0;
+        if let (Some(o), Some((start, start_ns))) = (self.obs.as_ref(), timing) {
+            o.on_compaction(start, start_ns, folded);
+        }
         Ok(())
     }
 

@@ -358,6 +358,10 @@ pub struct Workbook<B: DependencyBackend = FormulaGraph> {
     index: HashMap<String, usize>,
     /// The inter-sheet edge table.
     xedges: EdgeTable,
+    /// Pre-registered metric handles, when attached to an obs hub
+    /// ([`Workbook::attach_obs`]). Boxed so the common unattached case
+    /// costs one pointer.
+    obs: Option<Box<crate::obs::EngineObs>>,
 }
 
 impl<B: DependencyBackend> Default for Workbook<B> {
@@ -623,7 +627,31 @@ impl Workbook<FormulaGraph> {
 impl<B: DependencyBackend> Workbook<B> {
     /// An empty workbook.
     pub fn new() -> Self {
-        Workbook { sheets: Vec::new(), index: HashMap::new(), xedges: EdgeTable::default() }
+        Workbook {
+            sheets: Vec::new(),
+            index: HashMap::new(),
+            xedges: EdgeTable::default(),
+            obs: None,
+        }
+    }
+
+    /// Attaches this workbook to an observability hub: registers the
+    /// engine metric set (labeled `book="<label>"`), hands every sheet
+    /// engine a tracer for cell-level spans, and starts recording
+    /// recalculation metrics. Registration allocates; everything the
+    /// recalc hot paths do afterwards is allocation-free. Attaching a
+    /// second time replaces the previous hub.
+    pub fn attach_obs(&mut self, obs: &taco_obs::Obs, label: &str) {
+        let eo = crate::obs::EngineObs::new(obs, label);
+        for shard in &mut self.sheets {
+            shard.engine.set_tracer(Some(eo.tracer.clone()));
+        }
+        self.obs = Some(Box::new(eo));
+    }
+
+    /// Whether [`Workbook::attach_obs`] has been called.
+    pub fn obs_attached(&self) -> bool {
+        self.obs.is_some()
     }
 
     /// Adds a sheet around the given backend. Names are validated like
@@ -656,6 +684,9 @@ impl<B: DependencyBackend> Workbook<B> {
         let id = self.sheets.len();
         let mut engine = Engine::new(backend);
         engine.set_sheet_name(sref.name().to_string());
+        if let Some(o) = self.obs.as_deref() {
+            engine.set_tracer(Some(o.tracer.clone()));
+        }
         self.index.insert(sref.key(), id);
         self.sheets.push(SheetShard { name: sref, engine });
         self.xedges.add_sheet();
@@ -1039,15 +1070,21 @@ impl<B: DependencyBackend> Workbook<B> {
     where
         B: Send,
     {
+        let timing = self.obs.as_deref().map(|o| {
+            (Instant::now(), o.now_ns(), self.sheets.iter().map(|s| s.engine.dirty_count()).sum())
+        });
         let levels = self.levels();
-        let Workbook { sheets, index, xedges } = self;
+        let Workbook { sheets, index, xedges, obs } = self;
         let mut total = 0usize;
-        for level in levels {
+        let mut levels_walked = 0usize;
+        for (level_idx, level) in levels.into_iter().enumerate() {
             let work: Vec<usize> =
                 level.into_iter().filter(|&i| sheets[i].engine.dirty_count() > 0).collect();
             if work.is_empty() {
                 continue;
             }
+            levels_walked += 1;
+            let level_timing = obs.as_deref().map(|o| (Instant::now(), o.now_ns(), work.len()));
             // Import snapshots: the foreign values each dirty sheet's
             // cross references cover, read while no shard is borrowed
             // mutably. Precedent sheets live in earlier levels, so their
@@ -1123,6 +1160,17 @@ impl<B: DependencyBackend> Workbook<B> {
                     .expect("recalc scope");
                 }
             }
+            if let (Some(o), Some((start, start_ns, width))) = (obs.as_deref(), level_timing) {
+                o.on_sheet_level(start, start_ns, level_idx, width);
+            }
+        }
+        if let (Some(o), Some((start, start_ns, dirty_before))) = (obs.as_deref_mut(), timing) {
+            o.on_recalc(mode, start, start_ns, total, levels_walked, dirty_before);
+            let mut it = sheets.iter();
+            o.refresh_graph_gauges(xedges.len(), |scratch| {
+                it.next()
+                    .map(|s| (s.engine.graph().num_edges(), s.engine.graph().graph_stats(scratch)))
+            });
         }
         total
     }
@@ -1157,6 +1205,7 @@ impl<B: DependencyBackend> Workbook<B> {
         if id.0 >= self.sheets.len() {
             return Err(WorkbookError::NoSuchSheet(id.0));
         }
+        let timing = self.obs.as_deref().map(|o| (Instant::now(), o.now_ns()));
         // Sorted per-sheet dirty views for the precedent walk.
         let dirty_sorted: Vec<Vec<Cell>> =
             self.sheets.iter().map(|s| s.engine.dirty_cells_sorted()).collect();
@@ -1203,6 +1252,9 @@ impl<B: DependencyBackend> Workbook<B> {
         let evaluated = self.recalculate(mode);
         for (sid, cells) in deferred {
             self.sheets[sid].engine.restore_dirty(&cells);
+        }
+        if let (Some(o), Some((start, start_ns))) = (self.obs.as_deref(), timing) {
+            o.on_demand(start, start_ns, needed.iter().map(HashSet::len).sum());
         }
         Ok(evaluated)
     }

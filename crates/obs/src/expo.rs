@@ -1,0 +1,212 @@
+//! Exposition: rendering a [`MetricsSnapshot`] as Prometheus text format
+//! or as a structured JSON document. Both renderers are cold paths —
+//! they run when a snapshot is requested, never while recording.
+
+use crate::metrics::{bucket_upper, MetricsSnapshot};
+use std::fmt::Write as _;
+
+fn write_name(out: &mut String, name: &str, labels: &str) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        let _ = write!(out, "{{{labels}}}");
+    }
+}
+
+/// `labels` plus one more `key="value"` pair, comma-joined.
+fn labels_plus(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        extra.to_string()
+    } else {
+        format!("{labels},{extra}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in Prometheus text exposition format:
+    /// counters and gauges as single samples, histograms as cumulative
+    /// `_bucket{le="…"}` series plus `_sum` / `_count`, and the derived
+    /// quantiles as `_p50` / `_p90` / `_p99` gauges.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let _ = writeln!(out, "# TYPE {} counter", c.name);
+            write_name(&mut out, &c.name, &c.labels);
+            let _ = writeln!(out, " {}", c.value);
+        }
+        for g in &self.gauges {
+            let _ = writeln!(out, "# TYPE {} gauge", g.name);
+            write_name(&mut out, &g.name, &g.labels);
+            let _ = writeln!(out, " {}", g.value);
+        }
+        for h in &self.histograms {
+            let _ = writeln!(out, "# TYPE {} histogram", h.name);
+            let mut cumulative = 0u64;
+            for &(b, n) in &h.buckets {
+                cumulative += n;
+                let le = labels_plus(&h.labels, &format!("le=\"{}\"", bucket_upper(b)));
+                let _ = writeln!(out, "{}_bucket{{{le}}} {cumulative}", h.name);
+            }
+            let le = labels_plus(&h.labels, "le=\"+Inf\"");
+            let _ = writeln!(out, "{}_bucket{{{le}}} {}", h.name, h.count);
+            write_name(&mut out, &format!("{}_sum", h.name), &h.labels);
+            let _ = writeln!(out, " {}", h.sum);
+            write_name(&mut out, &format!("{}_count", h.name), &h.labels);
+            let _ = writeln!(out, " {}", h.count);
+            for (q, v) in [("p50", h.p50), ("p90", h.p90), ("p99", h.p99)] {
+                write_name(&mut out, &format!("{}_{q}", h.name), &h.labels);
+                let _ = writeln!(out, " {v}");
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a structured JSON document with
+    /// `counters`, `gauges`, `histograms`, and `slow_spans` sections.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"labels\":\"{}\",\"value\":{}}}",
+                json_escape(&c.name),
+                json_escape(&c.labels),
+                c.value
+            );
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"labels\":\"{}\",\"value\":{}}}",
+                json_escape(&g.name),
+                json_escape(&g.labels),
+                g.value
+            );
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"labels\":\"{}\",\"count\":{},\"sum\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                json_escape(&h.name),
+                json_escape(&h.labels),
+                h.count,
+                h.sum,
+                h.p50,
+                h.p90,
+                h.p99
+            );
+            for (j, &(b, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{},{}]", bucket_upper(b), n);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"slow_spans\":[");
+        for (i, s) in self.slow_spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"a\":{},\"b\":{}}}",
+                json_escape(&s.name),
+                s.cat.label(),
+                s.start_ns,
+                s.dur_ns,
+                s.a,
+                s.b
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::Registry;
+    use crate::trace::{SlowSpan, SpanCat};
+
+    #[test]
+    fn prometheus_text_has_types_buckets_and_quantiles() {
+        let r = Registry::new();
+        r.counter("taco_ops_total").add(12);
+        r.gauge_with("taco_graph_edges", "book=\"demo\"").set(34);
+        let h = r.histogram("taco_recalc_ns");
+        h.record(5);
+        h.record(900);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE taco_ops_total counter"));
+        assert!(text.contains("taco_ops_total 12"));
+        assert!(text.contains("taco_graph_edges{book=\"demo\"} 34"));
+        assert!(text.contains("taco_recalc_ns_bucket{le=\"7\"} 1"));
+        assert!(text.contains("taco_recalc_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("taco_recalc_ns_count 2"));
+        assert!(text.contains("taco_recalc_ns_sum 905"));
+        assert!(text.contains("taco_recalc_ns_p99 1023"));
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.histogram("h").record(3);
+        let mut snap = r.snapshot();
+        snap.slow_spans.push(SlowSpan {
+            name: "recalc".into(),
+            cat: SpanCat::Recalc,
+            start_ns: 1,
+            dur_ns: 2,
+            a: 3,
+            b: 4,
+        });
+        let json = snap.to_json();
+        // Balanced braces/brackets and the expected sections.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in ["\"counters\":", "\"gauges\":", "\"histograms\":", "\"slow_spans\":"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"cat\":\"recalc\""));
+        assert!(json.contains("\"buckets\":[[3,1]]"));
+    }
+
+    #[test]
+    fn json_escapes_label_text() {
+        let r = Registry::new();
+        r.counter_with("c", "book=\"a\\b\"").inc();
+        let json = r.snapshot().to_json();
+        assert!(json.contains("book=\\\"a\\\\b\\\""), "got {json}");
+    }
+}

@@ -1,0 +1,370 @@
+//! The span tracer: a bounded, pre-allocated ring of fixed-size span
+//! records plus a separate slow-op ring for spans over a configurable
+//! threshold.
+//!
+//! Spans are hierarchical by category, not by parent pointers: a workbook
+//! recalculation records one [`SpanCat::Recalc`] span, each sheet level
+//! inside it a [`SpanCat::SheetLevel`] span, and each intra-sheet
+//! cell-parallel level a [`SpanCat::CellLevel`] span. Start timestamps
+//! come from one shared clock, so containment reconstructs the tree; the
+//! two payload words carry the level index / size so no strings are built
+//! on the record path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// What a span measures — the hierarchy level / subsystem tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SpanCat {
+    /// A whole workbook recalculation.
+    Recalc = 0,
+    /// One sheet SCC level within a recalculation.
+    SheetLevel = 1,
+    /// One intra-sheet cell-parallel level.
+    CellLevel = 2,
+    /// A demand-driven (viewport) recalculation.
+    Demand = 3,
+    /// One WAL record append.
+    WalAppend = 4,
+    /// One WAL fsync.
+    WalFsync = 5,
+    /// One WAL → snapshot compaction.
+    Compaction = 6,
+    /// One service request (decode → dispatch → response ready).
+    Request = 7,
+}
+
+impl SpanCat {
+    /// The category for wire byte `b`, if valid.
+    pub fn from_u8(b: u8) -> Option<SpanCat> {
+        Some(match b {
+            0 => SpanCat::Recalc,
+            1 => SpanCat::SheetLevel,
+            2 => SpanCat::CellLevel,
+            3 => SpanCat::Demand,
+            4 => SpanCat::WalAppend,
+            5 => SpanCat::WalFsync,
+            6 => SpanCat::Compaction,
+            7 => SpanCat::Request,
+            _ => return None,
+        })
+    }
+
+    /// A stable lower-case label (exposition).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanCat::Recalc => "recalc",
+            SpanCat::SheetLevel => "sheet_level",
+            SpanCat::CellLevel => "cell_level",
+            SpanCat::Demand => "demand",
+            SpanCat::WalAppend => "wal_append",
+            SpanCat::WalFsync => "wal_fsync",
+            SpanCat::Compaction => "compaction",
+            SpanCat::Request => "request",
+        }
+    }
+}
+
+/// One completed span: fixed-size, copyable, allocation-free to record.
+/// (`name` becomes an owned `String` only when a snapshot crosses the
+/// wire — see the service protocol.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static operation name (`"recalc"`, `"wal.append"`, …).
+    pub name: &'static str,
+    /// Hierarchy / subsystem tag.
+    pub cat: SpanCat,
+    /// Start, in nanoseconds on the tracer's clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// First payload word (level index, request tag, record count…).
+    pub a: u64,
+    /// Second payload word (level size, byte count…).
+    pub b: u64,
+}
+
+/// An owned, wire-friendly copy of a [`SpanRecord`]: snapshots and the
+/// protocol layer carry these (ring records keep `&'static str` names,
+/// which cannot round-trip a decode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowSpan {
+    /// Static span name, owned.
+    pub name: String,
+    /// What phase the span covers.
+    pub cat: SpanCat,
+    /// Start stamp on the tracer clock (ns).
+    pub start_ns: u64,
+    /// Duration (ns).
+    pub dur_ns: u64,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+impl From<SpanRecord> for SlowSpan {
+    fn from(r: SpanRecord) -> SlowSpan {
+        SlowSpan {
+            name: r.name.to_string(),
+            cat: r.cat,
+            start_ns: r.start_ns,
+            dur_ns: r.dur_ns,
+            a: r.a,
+            b: r.b,
+        }
+    }
+}
+
+/// The injected time source (à la the engine's `EvalClock`).
+#[derive(Debug, Clone)]
+pub enum ObsClock {
+    /// Real monotonic time, anchored at tracer construction.
+    Monotonic,
+    /// A shared nanosecond counter the caller advances (deterministic
+    /// tests).
+    Manual(Arc<AtomicU64>),
+}
+
+/// Tracer sizing and clock options.
+#[derive(Debug, Clone)]
+pub struct TracerOptions {
+    /// Capacity of the main span ring (0 disables span recording).
+    pub span_capacity: usize,
+    /// Capacity of the slow-op ring.
+    pub slow_capacity: usize,
+    /// Spans with `dur_ns >= slow_threshold_ns` are copied into the
+    /// slow-op ring.
+    pub slow_threshold_ns: u64,
+    /// The time source.
+    pub clock: ObsClock,
+}
+
+impl Default for TracerOptions {
+    fn default() -> Self {
+        TracerOptions {
+            span_capacity: 1024,
+            slow_capacity: 64,
+            slow_threshold_ns: 10_000_000, // 10 ms
+            clock: ObsClock::Monotonic,
+        }
+    }
+}
+
+/// A fixed-capacity overwrite-oldest ring. The buffer is reserved up
+/// front; pushes never allocate.
+struct Ring {
+    buf: Vec<SpanRecord>,
+    cap: usize,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring { buf: Vec::with_capacity(cap), cap, head: 0 }
+    }
+
+    fn push(&mut self, rec: SpanRecord) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(rec); // within reserved capacity: no allocation
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Records oldest-first (allocates; cold path).
+    fn to_vec(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+enum ClockSource {
+    Monotonic(Instant),
+    Manual(Arc<AtomicU64>),
+}
+
+struct TracerInner {
+    clock: ClockSource,
+    threshold_ns: u64,
+    ring: Mutex<Ring>,
+    slow: Mutex<Ring>,
+}
+
+/// The span tracer. Cloning shares the rings; recording is a mutex-guarded
+/// copy into pre-allocated storage.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// A tracer with the given options.
+    pub fn new(opts: TracerOptions) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                clock: match opts.clock {
+                    ObsClock::Monotonic => ClockSource::Monotonic(Instant::now()),
+                    ObsClock::Manual(c) => ClockSource::Manual(c),
+                },
+                threshold_ns: opts.slow_threshold_ns,
+                ring: Mutex::new(Ring::new(opts.span_capacity)),
+                slow: Mutex::new(Ring::new(opts.slow_capacity)),
+            }),
+        }
+    }
+
+    /// Nanoseconds on the tracer's clock.
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner.clock {
+            ClockSource::Monotonic(origin) => {
+                u64::try_from(origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }
+            ClockSource::Manual(c) => c.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records a completed span. Allocation-free: both rings are
+    /// pre-allocated and overwrite their oldest entry when full.
+    pub fn record(
+        &self,
+        name: &'static str,
+        cat: SpanCat,
+        start_ns: u64,
+        dur_ns: u64,
+        a: u64,
+        b: u64,
+    ) {
+        let rec = SpanRecord { name, cat, start_ns, dur_ns, a, b };
+        self.inner.ring.lock().unwrap_or_else(PoisonError::into_inner).push(rec);
+        if dur_ns >= self.inner.threshold_ns {
+            self.inner.slow.lock().unwrap_or_else(PoisonError::into_inner).push(rec);
+        }
+    }
+
+    /// Starts a guard span that records itself (with the payload words set
+    /// at drop time) when it goes out of scope.
+    pub fn span(&self, name: &'static str, cat: SpanCat) -> Span<'_> {
+        Span { tracer: self, name, cat, start_ns: self.now_ns(), a: 0, b: 0 }
+    }
+
+    /// The main ring, oldest-first (cold; allocates the output).
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        self.inner.ring.lock().unwrap_or_else(PoisonError::into_inner).to_vec()
+    }
+
+    /// The slow-op log, oldest-first (cold; allocates the output).
+    pub fn slow(&self) -> Vec<SpanRecord> {
+        self.inner.slow.lock().unwrap_or_else(PoisonError::into_inner).to_vec()
+    }
+}
+
+/// An in-flight span; records on drop. Set [`Span::a`] / [`Span::b`]
+/// before it goes out of scope to attach payload words.
+pub struct Span<'t> {
+    tracer: &'t Tracer,
+    name: &'static str,
+    cat: SpanCat,
+    start_ns: u64,
+    /// First payload word, recorded at drop.
+    pub a: u64,
+    /// Second payload word, recorded at drop.
+    pub b: u64,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let end = self.tracer.now_ns();
+        let dur = end.saturating_sub(self.start_ns);
+        self.tracer.record(self.name, self.cat, self.start_ns, dur, self.a, self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual() -> (Tracer, Arc<AtomicU64>) {
+        let clock = Arc::new(AtomicU64::new(0));
+        let t = Tracer::new(TracerOptions {
+            span_capacity: 4,
+            slow_capacity: 2,
+            slow_threshold_ns: 100,
+            clock: ObsClock::Manual(clock.clone()),
+        });
+        (t, clock)
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let (t, _) = manual();
+        for i in 0..6u64 {
+            t.record("op", SpanCat::Request, i, 1, i, 0);
+        }
+        let recent = t.recent();
+        assert_eq!(recent.len(), 4);
+        assert_eq!(recent.iter().map(|r| r.a).collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn slow_log_catches_threshold_crossers() {
+        let (t, _) = manual();
+        t.record("fast", SpanCat::WalAppend, 0, 99, 0, 0);
+        t.record("slow1", SpanCat::WalFsync, 0, 100, 0, 0);
+        t.record("slow2", SpanCat::Compaction, 0, 5000, 0, 0);
+        t.record("slow3", SpanCat::Recalc, 0, 200, 0, 0);
+        let slow = t.slow();
+        assert_eq!(slow.len(), 2, "slow ring capacity bounds the log");
+        assert_eq!(slow[0].name, "slow2");
+        assert_eq!(slow[1].name, "slow3");
+    }
+
+    #[test]
+    fn guard_span_measures_manual_clock() {
+        let (t, clock) = manual();
+        {
+            let mut span = t.span("work", SpanCat::Recalc);
+            clock.store(250, Ordering::Relaxed);
+            span.a = 42;
+        }
+        let recent = t.recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].dur_ns, 250);
+        assert_eq!(recent[0].a, 42);
+        // 250 ≥ threshold 100: the slow log has it too.
+        assert_eq!(t.slow().len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let clock = Arc::new(AtomicU64::new(0));
+        let t = Tracer::new(TracerOptions {
+            span_capacity: 0,
+            slow_capacity: 0,
+            slow_threshold_ns: 0,
+            clock: ObsClock::Manual(clock),
+        });
+        t.record("op", SpanCat::Request, 0, u64::MAX, 0, 0);
+        assert!(t.recent().is_empty());
+        assert!(t.slow().is_empty());
+    }
+
+    #[test]
+    fn categories_round_trip() {
+        for b in 0..=8u8 {
+            match SpanCat::from_u8(b) {
+                Some(cat) => assert_eq!(cat as u8, b),
+                None => assert_eq!(b, 8),
+            }
+        }
+    }
+}

@@ -12,6 +12,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use taco_formula::Value;
 use taco_grid::{Cell, Range};
+use taco_obs::MetricsSnapshot;
 use taco_store::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 
 /// A way to deliver a [`Request`] and receive its [`Response`].
@@ -337,6 +338,22 @@ impl<T: Transport> Client<T> {
         match self.call(Request::Stats { token })? {
             Response::Stats(s) => Ok(s),
             _ => Err(ServiceError::Protocol("expected Stats")),
+        }
+    }
+
+    /// A full observability snapshot — every counter, gauge, histogram
+    /// (with derived p50/p90/p99), and the slow-op log. Render it with
+    /// [`MetricsSnapshot::to_prometheus`] or [`MetricsSnapshot::to_json`].
+    /// Fails with `BadRequest` when the server runs with observability
+    /// disabled ([`crate::ServiceOptions::obs`]).
+    ///
+    /// [`MetricsSnapshot::to_prometheus`]: taco_obs::MetricsSnapshot::to_prometheus
+    /// [`MetricsSnapshot::to_json`]: taco_obs::MetricsSnapshot::to_json
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ServiceError> {
+        let token = self.need_token()?;
+        match self.call(Request::Metrics { token })? {
+            Response::Metrics(m) => Ok(*m),
+            _ => Err(ServiceError::Protocol("expected Metrics")),
         }
     }
 }

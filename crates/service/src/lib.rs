@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod obs;
 pub mod protocol;
 pub mod registry;
 pub mod server;

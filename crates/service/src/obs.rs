@@ -1,0 +1,70 @@
+//! Service observability: the request-layer handle bundle a [`Registry`]
+//! holds when its hub is enabled. Registration (per-operation latency
+//! histograms, refusal counters, load gauges) happens once at registry
+//! construction; request dispatch then records through plain field access
+//! and never formats a label or allocates.
+//!
+//! [`Registry`]: crate::registry::Registry
+
+use crate::protocol::{OP_LABELS, OP_NAMES};
+use std::sync::Arc;
+use std::time::Instant;
+use taco_obs::{Counter, Gauge, Histogram, Obs, SpanCat, Tracer};
+
+/// Pre-registered handles for the service layer, indexed by request tag.
+pub(crate) struct ServiceObs {
+    /// The hub itself — workbooks registered later attach to it, and the
+    /// `Metrics` request snapshots it.
+    pub(crate) hub: Arc<Obs>,
+    /// `taco_request_ns{op="..."}` — one latency histogram per operation.
+    req_ns: Vec<Histogram>,
+    /// `taco_coalesce_batch` — writes absorbed per worker batch.
+    pub(crate) coalesce_batch: Histogram,
+    /// `taco_sessions` / `taco_connections` — current load gauges.
+    pub(crate) sessions: Gauge,
+    pub(crate) connections: Gauge,
+    /// Refusal counters (mirrored into the always-on [`ServiceStats`]
+    /// atomics by the registry).
+    ///
+    /// [`ServiceStats`]: crate::protocol::ServiceStats
+    pub(crate) busy_rejected: Counter,
+    pub(crate) auth_failures: Counter,
+    pub(crate) scope_denials: Counter,
+    tracer: Tracer,
+}
+
+impl ServiceObs {
+    /// Registers the service metric set against `hub`.
+    pub(crate) fn new(hub: Arc<Obs>) -> ServiceObs {
+        let m = &hub.metrics;
+        let req_ns =
+            OP_LABELS.iter().map(|labels| m.histogram_with("taco_request_ns", labels)).collect();
+        ServiceObs {
+            req_ns,
+            coalesce_batch: m.histogram("taco_coalesce_batch"),
+            sessions: m.gauge("taco_sessions"),
+            connections: m.gauge("taco_connections"),
+            busy_rejected: m.counter("taco_busy_rejected_total"),
+            auth_failures: m.counter("taco_auth_failures_total"),
+            scope_denials: m.counter("taco_scope_denials_total"),
+            tracer: hub.tracer.clone(),
+            hub,
+        }
+    }
+
+    /// A request's start stamps (wall anchor + hub-clock nanoseconds).
+    pub(crate) fn start(&self) -> (Instant, u64) {
+        (Instant::now(), self.tracer.now_ns())
+    }
+
+    /// Records one completed request: its per-operation latency histogram
+    /// plus a `Request` span named after the operation.
+    pub(crate) fn on_request(&self, tag: u8, start: Instant, start_ns: u64) {
+        let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(h) = self.req_ns.get(tag as usize) {
+            h.record(dur);
+        }
+        let name = OP_NAMES.get(tag as usize).copied().unwrap_or("unknown");
+        self.tracer.record(name, SpanCat::Request, start_ns, dur, u64::from(tag), 0);
+    }
+}

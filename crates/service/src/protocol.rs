@@ -16,6 +16,8 @@ use crate::ServiceError;
 use std::io::{Read, Write};
 use taco_formula::Value;
 use taco_grid::{Cell, Range};
+use taco_obs::{GaugeValue, HistogramSnapshot, MetricValue, MetricsSnapshot, SlowSpan, SpanCat};
+use taco_store::codec::{read_ivarint, write_ivarint};
 use taco_store::codec::{read_string, read_uvarint, write_string, write_uvarint};
 use taco_store::image::{read_cell, read_range, read_value, write_cell, write_range, write_value};
 use taco_store::StoreError;
@@ -23,6 +25,11 @@ use taco_store::StoreError;
 /// Upper bound for any string on the wire (sheet names, formula sources,
 /// error messages).
 pub const MAX_WIRE_STRING: u64 = 1 << 20;
+
+/// Upper bound for any metric/span list in a [`Response::Metrics`]
+/// payload. Checked before any allocation: an oversized declared length
+/// is a typed error, not an attempted `Vec` reservation.
+pub const MAX_METRICS_ENTRIES: u64 = 1 << 16;
 
 /// One client command. Every variant after [`Request::Open`] carries the
 /// session token `Open` returned.
@@ -211,6 +218,13 @@ pub enum Request {
         /// Columns deleted.
         n: u32,
     },
+    /// A full metrics snapshot from the service's observability hub
+    /// (counters, gauges, histogram quantiles, slow spans). A typed
+    /// `BadRequest` when the service runs with observability disabled.
+    Metrics {
+        /// The session token.
+        token: u64,
+    },
 }
 
 /// One server reply.
@@ -272,6 +286,12 @@ pub enum Response {
         /// The counters.
         ServiceStats,
     ),
+    /// A metrics snapshot ([`Request::Metrics`]).
+    Metrics(
+        /// The hub snapshot: counters, gauges, frozen histograms, and
+        /// the slow-span log.
+        Box<MetricsSnapshot>,
+    ),
     /// The request failed.
     Err(
         /// The typed failure.
@@ -305,6 +325,12 @@ pub struct ServiceStats {
     pub coalesced: u64,
     /// Sessions currently open across the whole registry.
     pub sessions: u64,
+    /// Connections rejected with [`ServiceError::Busy`] at accept time.
+    pub busy_rejected: u64,
+    /// Opens rejected with [`ServiceError::AuthFailed`].
+    pub auth_failures: u64,
+    /// Requests rejected with [`ServiceError::OutOfScope`].
+    pub scope_denials: u64,
 }
 
 // ---- encoding -----------------------------------------------------------
@@ -329,6 +355,59 @@ const REQ_INSERT_ROWS: u8 = 16;
 const REQ_DELETE_ROWS: u8 = 17;
 const REQ_INSERT_COLS: u8 = 18;
 const REQ_DELETE_COLS: u8 = 19;
+const REQ_METRICS: u8 = 20;
+
+/// Operation names, indexed by request tag (span labels).
+pub const OP_NAMES: [&str; 21] = [
+    "open",
+    "close",
+    "set_value",
+    "set_formula",
+    "autofill",
+    "clear_range",
+    "get",
+    "get_range",
+    "dependents",
+    "precedents",
+    "dirty_count",
+    "recalc",
+    "save",
+    "stats",
+    "recalc_range",
+    "get_range_fresh",
+    "insert_rows",
+    "delete_rows",
+    "insert_cols",
+    "delete_cols",
+    "metrics",
+];
+
+/// Pre-rendered `op="..."` label strings, indexed by request tag
+/// (per-operation latency histogram labels — rendered once so request
+/// timing never formats).
+pub const OP_LABELS: [&str; 21] = [
+    "op=\"open\"",
+    "op=\"close\"",
+    "op=\"set_value\"",
+    "op=\"set_formula\"",
+    "op=\"autofill\"",
+    "op=\"clear_range\"",
+    "op=\"get\"",
+    "op=\"get_range\"",
+    "op=\"dependents\"",
+    "op=\"precedents\"",
+    "op=\"dirty_count\"",
+    "op=\"recalc\"",
+    "op=\"save\"",
+    "op=\"stats\"",
+    "op=\"recalc_range\"",
+    "op=\"get_range_fresh\"",
+    "op=\"insert_rows\"",
+    "op=\"delete_rows\"",
+    "op=\"insert_cols\"",
+    "op=\"delete_cols\"",
+    "op=\"metrics\"",
+];
 
 const RESP_OPENED: u8 = 0;
 const RESP_CLOSED: u8 = 1;
@@ -341,6 +420,7 @@ const RESP_RECALCED: u8 = 7;
 const RESP_SAVED: u8 = 8;
 const RESP_STATS: u8 = 9;
 const RESP_ERR: u8 = 10;
+const RESP_METRICS: u8 = 11;
 
 fn write_opt_string<W: Write>(w: &mut W, s: &Option<String>) -> Result<(), StoreError> {
     match s {
@@ -381,7 +461,160 @@ fn read_grid_index<R: Read>(r: &mut R) -> Result<u32, StoreError> {
     u32::try_from(v).map_err(|_| StoreError::Malformed("grid index out of range"))
 }
 
+/// Checks a declared list length against `MAX_METRICS_ENTRIES` *before*
+/// any allocation happens on its behalf.
+fn checked_len(n: u64) -> Result<usize, StoreError> {
+    if n > MAX_METRICS_ENTRIES {
+        return Err(StoreError::Malformed("metrics list length out of range"));
+    }
+    Ok(n as usize)
+}
+
+fn write_metrics<W: Write>(w: &mut W, snap: &MetricsSnapshot) -> Result<(), StoreError> {
+    write_uvarint(w, snap.counters.len() as u64)?;
+    for c in &snap.counters {
+        write_string(w, &c.name)?;
+        write_string(w, &c.labels)?;
+        write_uvarint(w, c.value)?;
+    }
+    write_uvarint(w, snap.gauges.len() as u64)?;
+    for g in &snap.gauges {
+        write_string(w, &g.name)?;
+        write_string(w, &g.labels)?;
+        write_ivarint(w, g.value)?;
+    }
+    write_uvarint(w, snap.histograms.len() as u64)?;
+    for h in &snap.histograms {
+        write_string(w, &h.name)?;
+        write_string(w, &h.labels)?;
+        write_uvarint(w, h.count)?;
+        write_uvarint(w, h.sum)?;
+        write_uvarint(w, h.buckets.len() as u64)?;
+        for &(b, n) in &h.buckets {
+            w.write_all(&[b])?;
+            write_uvarint(w, n)?;
+        }
+        write_uvarint(w, h.p50)?;
+        write_uvarint(w, h.p90)?;
+        write_uvarint(w, h.p99)?;
+    }
+    write_uvarint(w, snap.slow_spans.len() as u64)?;
+    for sp in &snap.slow_spans {
+        write_string(w, &sp.name)?;
+        w.write_all(&[sp.cat as u8])?;
+        write_uvarint(w, sp.start_ns)?;
+        write_uvarint(w, sp.dur_ns)?;
+        write_uvarint(w, sp.a)?;
+        write_uvarint(w, sp.b)?;
+    }
+    Ok(())
+}
+
+fn read_metrics<R: Read>(r: &mut R) -> Result<MetricsSnapshot, StoreError> {
+    let mut snap = MetricsSnapshot::default();
+    let n = checked_len(read_uvarint(r)?)?;
+    snap.counters.reserve_exact(n);
+    for _ in 0..n {
+        snap.counters.push(MetricValue {
+            name: read_wire_string(r)?,
+            labels: read_wire_string(r)?,
+            value: read_uvarint(r)?,
+        });
+    }
+    let n = checked_len(read_uvarint(r)?)?;
+    snap.gauges.reserve_exact(n);
+    for _ in 0..n {
+        snap.gauges.push(GaugeValue {
+            name: read_wire_string(r)?,
+            labels: read_wire_string(r)?,
+            value: read_ivarint(r)?,
+        });
+    }
+    let n = checked_len(read_uvarint(r)?)?;
+    snap.histograms.reserve_exact(n);
+    for _ in 0..n {
+        let name = read_wire_string(r)?;
+        let labels = read_wire_string(r)?;
+        let count = read_uvarint(r)?;
+        let sum = read_uvarint(r)?;
+        let nb = read_uvarint(r)?;
+        // A log₂ histogram has at most 64 buckets; anything larger is
+        // malformed (and rejected before the Vec reserves).
+        if nb > taco_obs::HIST_BUCKETS as u64 {
+            return Err(StoreError::Malformed("histogram bucket count out of range"));
+        }
+        let mut buckets = Vec::with_capacity(nb as usize);
+        for _ in 0..nb {
+            let mut b = [0u8; 1];
+            r.read_exact(&mut b)?;
+            buckets.push((b[0], read_uvarint(r)?));
+        }
+        let (p50, p90, p99) = (read_uvarint(r)?, read_uvarint(r)?, read_uvarint(r)?);
+        snap.histograms.push(HistogramSnapshot {
+            name,
+            labels,
+            count,
+            sum,
+            buckets,
+            p50,
+            p90,
+            p99,
+        });
+    }
+    let n = checked_len(read_uvarint(r)?)?;
+    snap.slow_spans.reserve_exact(n);
+    for _ in 0..n {
+        let name = read_wire_string(r)?;
+        let mut cat = [0u8; 1];
+        r.read_exact(&mut cat)?;
+        let cat =
+            SpanCat::from_u8(cat[0]).ok_or(StoreError::Malformed("span category out of range"))?;
+        snap.slow_spans.push(SlowSpan {
+            name,
+            cat,
+            start_ns: read_uvarint(r)?,
+            dur_ns: read_uvarint(r)?,
+            a: read_uvarint(r)?,
+            b: read_uvarint(r)?,
+        });
+    }
+    Ok(snap)
+}
+
 impl Request {
+    /// The request's wire tag (also the index into
+    /// [`OP_LABELS`](crate::protocol::OP_LABELS)).
+    pub fn tag(&self) -> u8 {
+        match self {
+            Request::Open { .. } => REQ_OPEN,
+            Request::Close { .. } => REQ_CLOSE,
+            Request::SetValue { .. } => REQ_SET_VALUE,
+            Request::SetFormula { .. } => REQ_SET_FORMULA,
+            Request::Autofill { .. } => REQ_AUTOFILL,
+            Request::ClearRange { .. } => REQ_CLEAR_RANGE,
+            Request::Get { .. } => REQ_GET,
+            Request::GetRange { .. } => REQ_GET_RANGE,
+            Request::Dependents { .. } => REQ_DEPENDENTS,
+            Request::Precedents { .. } => REQ_PRECEDENTS,
+            Request::DirtyCount { .. } => REQ_DIRTY_COUNT,
+            Request::Recalc { .. } => REQ_RECALC,
+            Request::Save { .. } => REQ_SAVE,
+            Request::Stats { .. } => REQ_STATS,
+            Request::RecalcRange { .. } => REQ_RECALC_RANGE,
+            Request::GetRangeFresh { .. } => REQ_GET_RANGE_FRESH,
+            Request::InsertRows { .. } => REQ_INSERT_ROWS,
+            Request::DeleteRows { .. } => REQ_DELETE_ROWS,
+            Request::InsertCols { .. } => REQ_INSERT_COLS,
+            Request::DeleteCols { .. } => REQ_DELETE_COLS,
+            Request::Metrics { .. } => REQ_METRICS,
+        }
+    }
+
+    /// The request's operation name, for span labels.
+    pub fn op_name(&self) -> &'static str {
+        OP_NAMES[self.tag() as usize]
+    }
+
     /// Encodes the request as one frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -501,6 +734,10 @@ impl Request {
                     write_uvarint(w, u64::from(*at))?;
                     write_uvarint(w, u64::from(*n))?;
                 }
+                Request::Metrics { token } => {
+                    w.push(REQ_METRICS);
+                    write_uvarint(w, *token)?;
+                }
             }
             Ok(())
         })();
@@ -600,6 +837,7 @@ impl Request {
                     _ => Request::DeleteCols { token, sheet, at, n },
                 }
             }
+            REQ_METRICS => Request::Metrics { token: read_uvarint(r)? },
             _ => return Err(StoreError::Malformed("unknown request op")),
         };
         if !r.is_empty() {
@@ -678,9 +916,16 @@ impl Response {
                         s.recalcs,
                         s.coalesced,
                         s.sessions,
+                        s.busy_rejected,
+                        s.auth_failures,
+                        s.scope_denials,
                     ] {
                         write_uvarint(w, field)?;
                     }
+                }
+                Response::Metrics(snap) => {
+                    w.push(RESP_METRICS);
+                    write_metrics(w, snap)?;
                 }
                 Response::Err(e) => {
                     w.push(RESP_ERR);
@@ -736,7 +981,7 @@ impl Response {
             }
             RESP_SAVED => Response::Saved { wal_records: read_uvarint(r)? },
             RESP_STATS => {
-                let mut fields = [0u64; 11];
+                let mut fields = [0u64; 14];
                 for f in &mut fields {
                     *f = read_uvarint(r)?;
                 }
@@ -752,8 +997,12 @@ impl Response {
                     recalcs: fields[8],
                     coalesced: fields[9],
                     sessions: fields[10],
+                    busy_rejected: fields[11],
+                    auth_failures: fields[12],
+                    scope_denials: fields[13],
                 })
             }
+            RESP_METRICS => Response::Metrics(Box::new(read_metrics(r)?)),
             RESP_ERR => Response::Err(decode_error(r)?),
             _ => return Err(StoreError::Malformed("unknown response op")),
         };
@@ -861,6 +1110,7 @@ mod tests {
             Request::DeleteRows { token: 8, sheet: "Data".into(), at: 1, n: 200 },
             Request::InsertCols { token: 8, sheet: "Data".into(), at: 2, n: 1 },
             Request::DeleteCols { token: 8, sheet: "Data".into(), at: 7, n: u32::MAX },
+            Request::Metrics { token: 9 },
         ]
     }
 
@@ -890,12 +1140,50 @@ mod tests {
                 recalcs: 9,
                 coalesced: 10,
                 sessions: 11,
+                busy_rejected: 12,
+                auth_failures: 13,
+                scope_denials: 14,
             }),
+            Response::Metrics(Box::new(sample_snapshot())),
+            Response::Metrics(Box::default()),
             Response::Err(ServiceError::NoSuchWorkbook("nope".into())),
             Response::Err(ServiceError::AuthFailed),
             Response::Err(ServiceError::OutOfScope("Secret".into())),
             Response::Err(ServiceError::BadRequest("unparsable".into())),
         ]
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![MetricValue {
+                name: "taco_wal_records_total".into(),
+                labels: String::new(),
+                value: 41,
+            }],
+            gauges: vec![GaugeValue {
+                name: "taco_graph_edges".into(),
+                labels: "book=\"demo\"".into(),
+                value: -3,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "taco_recalc_ns".into(),
+                labels: "mode=\"serial\"".into(),
+                count: 3,
+                sum: 905,
+                buckets: vec![(3, 2), (10, 1)],
+                p50: 7,
+                p90: 1023,
+                p99: 1023,
+            }],
+            slow_spans: vec![SlowSpan {
+                name: "workbook.recalc".into(),
+                cat: SpanCat::Recalc,
+                start_ns: 5,
+                dur_ns: 20_000_000,
+                a: 100,
+                b: 2,
+            }],
+        }
     }
 
     #[test]
@@ -944,6 +1232,74 @@ mod tests {
             Response::decode(&bytes),
             Err(StoreError::Malformed("trailing bytes in response"))
         ));
+    }
+
+    #[test]
+    fn every_bit_flip_is_handled() {
+        // A flipped byte may still decode (e.g. inside string content) —
+        // the property is that decoding never panics and never
+        // over-allocates, for every single-bit corruption of every
+        // sample message.
+        for req in sample_requests() {
+            let bytes = req.encode();
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut corrupt = bytes.clone();
+                    corrupt[i] ^= 1 << bit;
+                    let _ = Request::decode(&corrupt);
+                }
+            }
+        }
+        for resp in sample_responses() {
+            let bytes = resp.encode();
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut corrupt = bytes.clone();
+                    corrupt[i] ^= 1 << bit;
+                    let _ = Response::decode(&corrupt);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_metrics_lengths_are_rejected_before_allocation() {
+        use taco_store::codec::write_uvarint;
+        // Each of the four list headers in turn declares u64::MAX
+        // entries; the decoder must fail on the length check, not
+        // attempt a reservation.
+        for lists_before in 0..4usize {
+            let mut bytes = vec![super::RESP_METRICS];
+            for _ in 0..lists_before {
+                write_uvarint(&mut bytes, 0).unwrap();
+            }
+            write_uvarint(&mut bytes, u64::MAX).unwrap();
+            assert!(matches!(
+                Response::decode(&bytes),
+                Err(StoreError::Malformed("metrics list length out of range"))
+            ));
+        }
+        // Same for a histogram's bucket list.
+        let mut bytes = vec![super::RESP_METRICS];
+        write_uvarint(&mut bytes, 0).unwrap(); // counters
+        write_uvarint(&mut bytes, 0).unwrap(); // gauges
+        write_uvarint(&mut bytes, 1).unwrap(); // one histogram
+        write_string(&mut bytes, "h").unwrap();
+        write_string(&mut bytes, "").unwrap();
+        write_uvarint(&mut bytes, 1).unwrap(); // count
+        write_uvarint(&mut bytes, 1).unwrap(); // sum
+        write_uvarint(&mut bytes, u64::MAX).unwrap(); // buckets
+        assert!(matches!(
+            Response::decode(&bytes),
+            Err(StoreError::Malformed("histogram bucket count out of range"))
+        ));
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips_losslessly() {
+        let resp = Response::Metrics(Box::new(sample_snapshot()));
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //!
 //! [`Workbook::apply_batch`]: taco_engine::Workbook::apply_batch
 
+use crate::obs::ServiceObs;
 use crate::protocol::{Request, Response, ServiceStats};
 use crate::session::{Session, SessionToken};
 use crate::ServiceError;
@@ -64,11 +65,22 @@ pub struct ServiceOptions {
     pub max_batch: usize,
     /// How workers recalculate (serial, or sheet-parallel).
     pub recalc_mode: RecalcMode,
+    /// Whether to run an observability hub: per-operation latency
+    /// histograms, engine/WAL instrumentation on every registered
+    /// workbook, and the `Metrics` request. When `false` the registry
+    /// holds no hub at all — recording sites compile to a `None` check —
+    /// and `Metrics` answers `BadRequest`.
+    pub obs: bool,
 }
 
 impl Default for ServiceOptions {
     fn default() -> Self {
-        ServiceOptions { coalesce: true, max_batch: 256, recalc_mode: RecalcMode::Serial }
+        ServiceOptions {
+            coalesce: true,
+            max_batch: 256,
+            recalc_mode: RecalcMode::Serial,
+            obs: true,
+        }
     }
 }
 
@@ -326,6 +338,14 @@ impl Backing {
         matches!(self, Backing::Persistent(_))
     }
 
+    /// Attaches engine (and, when persistent, WAL) instrumentation.
+    fn attach_obs(&mut self, obs: &taco_obs::Obs, label: &str) {
+        match self {
+            Backing::Plain(wb) => wb.attach_obs(obs, label),
+            Backing::Persistent(p) => p.attach_obs(obs, label),
+        }
+    }
+
     fn recalculate(&mut self, mode: RecalcMode) -> usize {
         match self {
             Backing::Plain(wb) => wb.recalculate(mode),
@@ -347,6 +367,16 @@ impl Backing {
 
 // ---- the registry -------------------------------------------------------
 
+/// Refusal tallies for [`ServiceStats`] — always counted (obs on or off)
+/// so the `Stats` request reports them unconditionally. Relaxed: they are
+/// diagnostics, not synchronization.
+#[derive(Default)]
+struct Refusals {
+    busy: AtomicU64,
+    auth: AtomicU64,
+    scope: AtomicU64,
+}
+
 /// A registry of named workbooks plus the session table; the shared core
 /// both transports execute against.
 pub struct Registry {
@@ -356,6 +386,8 @@ pub struct Registry {
     next_seq: AtomicU64,
     token_seed: u64,
     down: AtomicBool,
+    refusals: Refusals,
+    svc_obs: Option<ServiceObs>,
 }
 
 impl Default for Registry {
@@ -372,6 +404,7 @@ impl Registry {
             .map(|d| d.as_nanos() as u64)
             .unwrap_or(0x5EED)
             | 1;
+        let svc_obs = opts.obs.then(|| ServiceObs::new(taco_obs::Obs::new_default()));
         Registry {
             opts,
             books: RwLock::new(HashMap::new()),
@@ -379,7 +412,16 @@ impl Registry {
             next_seq: AtomicU64::new(1),
             token_seed,
             down: AtomicBool::new(false),
+            refusals: Refusals::default(),
+            svc_obs,
         }
+    }
+
+    /// The registry's observability hub, when enabled
+    /// ([`ServiceOptions::obs`]) — for local exposition (the repl's
+    /// `:metrics`, dashboards) without a wire round-trip.
+    pub fn obs(&self) -> Option<&Arc<taco_obs::Obs>> {
+        self.svc_obs.as_ref().map(|o| &o.hub)
     }
 
     /// Registers a workbook under `name` (case-insensitive, must be
@@ -409,10 +451,13 @@ impl Registry {
         &self,
         name: &str,
         auth: Option<&str>,
-        backing: Backing,
+        mut backing: Backing,
     ) -> Result<(), ServiceError> {
         if name.is_empty() {
             return Err(ServiceError::BadRequest("empty workbook name".into()));
+        }
+        if let Some(o) = &self.svc_obs {
+            backing.attach_obs(&o.hub, name);
         }
         let key = name.to_ascii_lowercase();
         let shared = Arc::new(BookShared {
@@ -426,9 +471,10 @@ impl Registry {
         }
         let worker_shared = Arc::clone(&shared);
         let worker_opts = self.opts.clone();
+        let worker_hist = self.svc_obs.as_ref().map(|o| o.coalesce_batch.clone());
         let worker = std::thread::Builder::new()
             .name(format!("taco-writer-{key}"))
-            .spawn(move || worker_loop(rx, backing, worker_shared, worker_opts))
+            .spawn(move || worker_loop(rx, backing, worker_shared, worker_opts, worker_hist))
             .map_err(|e| ServiceError::Io(e.to_string()))?;
         books.insert(
             key,
@@ -468,7 +514,14 @@ impl Registry {
     /// Closes a session (idempotent — closing an unknown token is a
     /// no-op, so transports can clean up unconditionally).
     pub fn close_session(&self, token: u64) {
-        self.sessions.lock().remove(&token);
+        let count = {
+            let mut sessions = self.sessions.lock();
+            sessions.remove(&token);
+            sessions.len()
+        };
+        if let Some(o) = &self.svc_obs {
+            o.sessions.set(count as i64);
+        }
     }
 
     /// Open sessions across all workbooks.
@@ -489,6 +542,9 @@ impl Registry {
             }
         }
         self.sessions.lock().clear();
+        if let Some(o) = &self.svc_obs {
+            o.sessions.set(0);
+        }
     }
 
     fn handle(&self, key: &str) -> Option<Arc<BookHandle>> {
@@ -523,9 +579,52 @@ impl Registry {
         if self.down.load(Ordering::SeqCst) {
             return Response::Err(ServiceError::ShuttingDown);
         }
-        match self.try_execute(req) {
+        let tag = req.tag();
+        let timing = self.svc_obs.as_ref().map(ServiceObs::start);
+        let result = self.try_execute(req);
+        if let Err(e) = &result {
+            self.note_refusal(e);
+        }
+        if let (Some(o), Some((start, start_ns))) = (self.svc_obs.as_ref(), timing) {
+            o.on_request(tag, start, start_ns);
+        }
+        match result {
             Ok(resp) => resp,
             Err(e) => Response::Err(e),
+        }
+    }
+
+    /// Tallies refusals the `Stats` request reports (and mirrors them
+    /// into the hub's counters when obs is on).
+    fn note_refusal(&self, e: &ServiceError) {
+        let (tally, counter) = match e {
+            ServiceError::AuthFailed => {
+                (&self.refusals.auth, self.svc_obs.as_ref().map(|o| &o.auth_failures))
+            }
+            ServiceError::OutOfScope(_) => {
+                (&self.refusals.scope, self.svc_obs.as_ref().map(|o| &o.scope_denials))
+            }
+            ServiceError::Busy => {
+                (&self.refusals.busy, self.svc_obs.as_ref().map(|o| &o.busy_rejected))
+            }
+            _ => return,
+        };
+        tally.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = counter {
+            c.inc();
+        }
+    }
+
+    /// Counts a connection refused at the acceptor's limit (the server's
+    /// Busy path never reaches [`Registry::execute`]).
+    pub(crate) fn note_busy_rejection(&self) {
+        self.note_refusal(&ServiceError::Busy);
+    }
+
+    /// Publishes the server's live connection count to the hub gauge.
+    pub(crate) fn note_connections(&self, n: i64) {
+        if let Some(o) = &self.svc_obs {
+            o.connections.set(n);
         }
     }
 
@@ -639,7 +738,17 @@ impl Registry {
                     recalcs: stats.recalcs.load(Ordering::Relaxed),
                     coalesced: stats.coalesced.load(Ordering::Relaxed),
                     sessions: self.session_count() as u64,
+                    busy_rejected: self.refusals.busy.load(Ordering::Relaxed),
+                    auth_failures: self.refusals.auth.load(Ordering::Relaxed),
+                    scope_denials: self.refusals.scope.load(Ordering::Relaxed),
                 }))
+            }
+            Request::Metrics { token } => {
+                let _ = self.resolve(token)?;
+                match &self.svc_obs {
+                    Some(o) => Ok(Response::Metrics(Box::new(o.hub.snapshot()))),
+                    None => Err(ServiceError::BadRequest("observability disabled".into())),
+                }
             }
         }
     }
@@ -690,7 +799,14 @@ impl Registry {
             snap.sheet_names().into_iter().filter(|s| session.allows(s)).collect();
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let token = SessionToken::mint(seq, self.token_seed).0;
-        self.sessions.lock().insert(token, session);
+        let count = {
+            let mut sessions = self.sessions.lock();
+            sessions.insert(token, session);
+            sessions.len()
+        };
+        if let Some(o) = &self.svc_obs {
+            o.sessions.set(count as i64);
+        }
         Ok(Response::Opened { token, sheets: visible, epoch: snap.epoch })
     }
 }
@@ -727,6 +843,7 @@ fn worker_loop(
     mut backing: Backing,
     shared: Arc<BookShared>,
     opts: ServiceOptions,
+    coalesce_hist: Option<taco_obs::Histogram>,
 ) {
     // Set when the WAL refused an append/fsync while the corresponding
     // edits are live in memory: the log is now *behind* the workbook, so
@@ -754,6 +871,9 @@ fn worker_loop(
                                 Err(_) => break,
                             }
                         }
+                    }
+                    if let Some(h) = &coalesce_hist {
+                        h.record(writes.len() as u64);
                     }
                     apply_writes(&mut backing, &shared, &opts, writes, &mut wal_down);
                 }

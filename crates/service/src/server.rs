@@ -215,10 +215,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
 /// the sessions this connection opened and its registration; malformed
 /// input is answered or dropped, never propagated as a panic.
 fn serve_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
-    let over_limit = {
+    let (over_limit, active_now) = {
         let active = shared.active.fetch_add(1, Ordering::SeqCst);
-        active >= shared.opts.max_connections
+        (active >= shared.opts.max_connections, active + 1)
     };
+    shared.registry.note_connections(active_now as i64);
     let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
     let registered = match stream.try_clone() {
         Ok(clone) => {
@@ -243,6 +244,7 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
         && write_handshake(&mut stream).is_ok();
     if handshaken {
         if over_limit {
+            shared.registry.note_busy_rejection();
             let _ = write_frame(&mut stream, &Response::Err(ServiceError::Busy).encode());
         } else {
             frame_loop(&mut stream, &shared, &mut opened_tokens);
@@ -253,7 +255,8 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
         shared.registry.close_session(token);
     }
     shared.conns.lock().remove(&conn_id);
-    shared.active.fetch_sub(1, Ordering::SeqCst);
+    let remaining = shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
+    shared.registry.note_connections(remaining as i64);
     let _ = stream.shutdown(Shutdown::Both);
 }
 

@@ -1,0 +1,210 @@
+//! Observability end to end over TCP: a live client drives a persistent
+//! workbook through a mixed workload, fetches a [`MetricsSnapshot`] with
+//! the `Metrics` request, and finds all three instrumented layers in it —
+//! engine recalc histograms, WAL counters, and per-operation request
+//! percentiles — in both Prometheus text and JSON renderings. Plus the
+//! refusal paths: `Busy`, `AuthFailed`, and `OutOfScope` each provoked
+//! over the wire and visible in `Stats` and the hub counters.
+//!
+//! [`MetricsSnapshot`]: taco_obs::MetricsSnapshot
+
+use std::sync::Arc;
+use taco_engine::{PersistOptions, PersistentWorkbook, RecalcMode, Workbook};
+use taco_formula::Value;
+use taco_grid::{Cell, Range};
+use taco_obs::MetricsSnapshot;
+use taco_service::{Registry, Server, ServerOptions, ServiceError, ServiceOptions, TcpClient};
+
+fn n(v: f64) -> Value {
+    Value::Number(v)
+}
+
+fn c(s: &str) -> Cell {
+    Cell::parse_a1(s).unwrap()
+}
+
+fn demo_workbook() -> Workbook {
+    let mut wb = Workbook::with_taco();
+    let data = wb.add_sheet("Data").unwrap();
+    let summary = wb.add_sheet("Summary").unwrap();
+    for row in 1..=8u32 {
+        wb.set_value(data, Cell::new(1, row), n(f64::from(row)));
+    }
+    wb.set_formula(data, c("B1"), "=SUM(A1:A8)").unwrap();
+    wb.set_formula(summary, c("A1"), "=Data!B1*2").unwrap();
+    wb.recalculate(RecalcMode::Serial);
+    wb
+}
+
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counters.iter().filter(|m| m.name == name).map(|m| m.value).sum()
+}
+
+fn hist_count(snap: &MetricsSnapshot, name: &str, labels: &str) -> u64 {
+    snap.histograms.iter().filter(|h| h.name == name && h.labels == labels).map(|h| h.count).sum()
+}
+
+#[test]
+fn metrics_over_the_wire_capture_all_three_layers() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("taco_obs_wire_{}.taco", std::process::id()));
+    let wal = taco_engine::wal_path(&path);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&wal).ok();
+
+    let pw = PersistentWorkbook::create(
+        &path,
+        demo_workbook(),
+        PersistOptions { compact_after_records: 0, sync_every_records: 1 },
+    )
+    .unwrap();
+    let registry = Arc::new(Registry::new(ServiceOptions::default()));
+    registry.add_persistent("books", pw, None).unwrap();
+    let server =
+        Server::start(Arc::clone(&registry), "127.0.0.1:0", ServerOptions::default()).unwrap();
+
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    client.open("books", None, None).unwrap();
+
+    // A mixed workload: logged edits (WAL appends + fsyncs), full and
+    // demand recalcs (engine histograms), snapshot reads and one
+    // compaction.
+    for i in 0..6u32 {
+        client.set_value("Data", Cell::new(2, i + 1), n(f64::from(i) * 1.5)).unwrap();
+    }
+    client.set_formula("Data", c("C1"), "=SUM(B1:B6)").unwrap();
+    client.recalc().unwrap();
+    client.get_range_fresh("Data", Range::parse_a1("A1:C4").unwrap()).unwrap();
+    client.get("Summary", c("A1")).unwrap();
+    client.save().unwrap();
+
+    let snap = client.metrics().unwrap();
+
+    // Engine layer: recalcs ran and were timed under the service's mode.
+    assert!(counter(&snap, "taco_recalcs_total") > 0, "{snap:?}");
+    let recalc_serial = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "taco_recalc_ns" && h.labels == "mode=\"serial\"")
+        .expect("serial recalc histogram");
+    assert!(recalc_serial.count > 0);
+    assert!(recalc_serial.p99 >= recalc_serial.p50);
+    assert!(hist_count(&snap, "taco_demand_closure_cells", "") > 0, "demand recalc recorded");
+    // Graph-shape gauges carry the workbook label and a live edge count.
+    let edges = snap
+        .gauges
+        .iter()
+        .find(|g| g.name == "taco_graph_edges" && g.labels == "book=\"books\"")
+        .expect("graph edge gauge");
+    assert!(edges.value > 0, "{edges:?}");
+
+    // Store layer: every logged edit appended and fsynced; the explicit
+    // Save compacted.
+    assert!(counter(&snap, "taco_wal_records_total") >= 7, "{snap:?}");
+    assert!(counter(&snap, "taco_wal_fsyncs_total") > 0);
+    assert!(counter(&snap, "taco_wal_bytes_total") > 0);
+    assert_eq!(counter(&snap, "taco_wal_compactions_total"), 1);
+
+    // Service layer: per-operation latency percentiles for the tags the
+    // workload hit, and the session gauge.
+    for op in ["op=\"set_value\"", "op=\"recalc\"", "op=\"get\"", "op=\"save\""] {
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "taco_request_ns" && h.labels == op)
+            .unwrap_or_else(|| panic!("request histogram {op}"));
+        assert!(h.count > 0, "{op}: {h:?}");
+        assert!(h.p50 > 0 && h.p90 >= h.p50 && h.p99 >= h.p90, "{op}: {h:?}");
+    }
+    let sessions = snap.gauges.iter().find(|g| g.name == "taco_sessions").expect("session gauge");
+    assert_eq!(sessions.value, 1);
+
+    // Both renderings carry the same series.
+    let text = snap.to_prometheus();
+    assert!(text.contains("taco_recalc_ns_bucket{mode=\"serial\""), "{text}");
+    assert!(text.contains("taco_wal_records_total"), "{text}");
+    assert!(text.contains("taco_request_ns"), "{text}");
+    let json = snap.to_json();
+    assert!(json.contains("\"taco_recalcs_total\"") || json.contains("taco_recalcs_total"));
+    assert!(json.contains("taco_wal_fsyncs_total"));
+
+    server.shutdown();
+    registry.shutdown();
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn refusals_are_counted_busy_auth_and_scope() {
+    let registry = Arc::new(Registry::new(ServiceOptions::default()));
+    registry.add_workbook("sales", demo_workbook(), Some("hunter2")).unwrap();
+    let server = Server::start(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerOptions { max_connections: 2, ..ServerOptions::default() },
+    )
+    .unwrap();
+
+    let mut main = TcpClient::connect(server.local_addr()).unwrap();
+    main.open("sales", Some("hunter2"), Some(&["Data"])).unwrap();
+
+    // AuthFailed: a second connection presents the wrong token.
+    let mut second = TcpClient::connect(server.local_addr()).unwrap();
+    assert!(matches!(second.open("sales", Some("wrong"), None), Err(ServiceError::AuthFailed)));
+
+    // Busy: both connection slots are held; a third handshakes, is told
+    // Busy in a well-formed frame, and is closed.
+    let mut third = TcpClient::connect(server.local_addr()).unwrap();
+    let err = third.open("sales", Some("hunter2"), None).unwrap_err();
+    assert!(
+        matches!(err, ServiceError::Busy | ServiceError::Io(_) | ServiceError::Wire(_)),
+        "{err:?}"
+    );
+
+    // OutOfScope: the scoped session reaches for a foreign sheet.
+    drop(second);
+    let mut opened = main;
+    assert!(matches!(opened.get("Summary", c("A1")), Err(ServiceError::OutOfScope(_))));
+
+    // All three land in Stats (the Busy count is written by the acceptor
+    // thread; poll briefly for it).
+    let stats = {
+        let mut tries = 0;
+        loop {
+            let s = opened.stats().unwrap();
+            if s.busy_rejected >= 1 || tries > 100 {
+                break s;
+            }
+            tries += 1;
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    };
+    assert_eq!(stats.auth_failures, 1, "{stats:?}");
+    assert_eq!(stats.busy_rejected, 1, "{stats:?}");
+    assert!(stats.scope_denials >= 1, "{stats:?}");
+
+    // And in the hub's counters, over the same wire.
+    let snap = opened.metrics().unwrap();
+    assert_eq!(counter(&snap, "taco_auth_failures_total"), 1);
+    assert_eq!(counter(&snap, "taco_busy_rejected_total"), 1);
+    assert!(counter(&snap, "taco_scope_denials_total") >= 1);
+
+    server.shutdown();
+    registry.shutdown();
+}
+
+#[test]
+fn metrics_disabled_registry_answers_bad_request() {
+    let registry = Arc::new(Registry::new(ServiceOptions { obs: false, ..Default::default() }));
+    registry.add_workbook("plain", demo_workbook(), None).unwrap();
+    let server =
+        Server::start(Arc::clone(&registry), "127.0.0.1:0", ServerOptions::default()).unwrap();
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    client.open("plain", None, None).unwrap();
+    // Everything else works; Metrics is a typed refusal, not a hang.
+    assert_eq!(client.get("Data", c("B1")).unwrap(), n(36.0));
+    assert!(matches!(client.metrics(), Err(ServiceError::BadRequest(_))));
+    assert!(registry.obs().is_none());
+    server.shutdown();
+    registry.shutdown();
+}

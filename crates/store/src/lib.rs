@@ -30,6 +30,7 @@ pub mod codec;
 pub mod container;
 pub mod frame;
 pub mod image;
+pub mod obs;
 pub mod wal;
 
 pub use container::{
@@ -37,6 +38,7 @@ pub use container::{
 };
 pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 pub use image::{CellRecord, CrossEdgeImage, SheetImage, WorkbookImage};
+pub use obs::WalObs;
 pub use wal::{EditRecord, ReplayMode, WalReader, WalReplay, WalWriter};
 
 use std::fmt;

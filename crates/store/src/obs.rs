@@ -1,0 +1,70 @@
+//! WAL observability: the pre-registered handle bundle a [`WalWriter`]
+//! records through once attached. Registration (name lookups, handle
+//! allocation) happens here, on the cold attach path; the WAL hot paths
+//! then record through plain field access — counter bumps, histogram
+//! bumps, and fixed-size span pushes, all allocation-free.
+//!
+//! [`WalWriter`]: crate::WalWriter
+
+use std::time::Instant;
+use taco_obs::{Counter, Histogram, Obs, SpanCat};
+
+/// Metric and tracer handles for one write-ahead log.
+pub struct WalObs {
+    /// `taco_wal_records_total` — records appended.
+    pub records: Counter,
+    /// `taco_wal_bytes_total` — frame bytes appended (header excluded).
+    pub bytes: Counter,
+    /// `taco_wal_fsyncs_total` — explicit fsync points hit.
+    pub fsyncs: Counter,
+    /// `taco_wal_resets_total` — compaction fold points (log truncations).
+    pub resets: Counter,
+    /// `taco_wal_append_ns` — per-append latency.
+    pub append_ns: Histogram,
+    /// `taco_wal_fsync_ns` — per-fsync latency.
+    pub fsync_ns: Histogram,
+    /// `taco_wal_torn_recoveries_total` — reopens that truncated a torn
+    /// tail (bumped by the owner that observed the replay).
+    pub torn_recoveries: Counter,
+    tracer: taco_obs::Tracer,
+}
+
+impl WalObs {
+    /// Registers the WAL metric set against `obs` (idempotent: a second
+    /// bundle from the same hub shares the same underlying metrics).
+    pub fn new(obs: &Obs) -> WalObs {
+        let m = &obs.metrics;
+        WalObs {
+            records: m.counter("taco_wal_records_total"),
+            bytes: m.counter("taco_wal_bytes_total"),
+            fsyncs: m.counter("taco_wal_fsyncs_total"),
+            resets: m.counter("taco_wal_resets_total"),
+            append_ns: m.histogram("taco_wal_append_ns"),
+            fsync_ns: m.histogram("taco_wal_fsync_ns"),
+            torn_recoveries: m.counter("taco_wal_torn_recoveries_total"),
+            tracer: obs.tracer.clone(),
+        }
+    }
+
+    /// Records one append of `frame_bytes` that took since `start`.
+    pub(crate) fn on_append(&self, start: Instant, start_ns: u64, frame_bytes: u64) {
+        let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.records.inc();
+        self.bytes.add(frame_bytes);
+        self.append_ns.record(dur);
+        self.tracer.record("wal.append", SpanCat::WalAppend, start_ns, dur, frame_bytes, 0);
+    }
+
+    /// Records one fsync that took since `start`.
+    pub(crate) fn on_fsync(&self, start: Instant, start_ns: u64) {
+        let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.fsyncs.inc();
+        self.fsync_ns.record(dur);
+        self.tracer.record("wal.fsync", SpanCat::WalFsync, start_ns, dur, 0, 0);
+    }
+
+    /// The hub clock, for span start stamps.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.tracer.now_ns()
+    }
+}

@@ -208,6 +208,9 @@ pub struct WalWriter {
     path: PathBuf,
     bytes: u64,
     records: u64,
+    /// Attached observability handles ([`WalWriter::set_obs`]); `None`
+    /// costs one branch per append/fsync.
+    obs: Option<Box<crate::obs::WalObs>>,
 }
 
 impl WalWriter {
@@ -217,7 +220,13 @@ impl WalWriter {
         file.write_all(&WAL_MAGIC)?;
         file.write_all(&WAL_VERSION.to_le_bytes())?;
         file.sync_all()?;
-        Ok(WalWriter { file, path: path.to_path_buf(), bytes: WAL_HEADER_LEN, records: 0 })
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            bytes: WAL_HEADER_LEN,
+            records: 0,
+            obs: None,
+        })
     }
 
     /// Opens an existing log for appending (creates it when missing). The
@@ -241,6 +250,7 @@ impl WalWriter {
             path: path.to_path_buf(),
             bytes: replay.clean_len,
             records: replay.records.len() as u64,
+            obs: None,
         };
         use std::io::Seek;
         w.file.seek(std::io::SeekFrom::End(0))?;
@@ -252,6 +262,7 @@ impl WalWriter {
     ///
     /// [`sync`]: WalWriter::sync
     pub fn append(&mut self, rec: &EditRecord) -> Result<(), StoreError> {
+        let timing = self.obs.as_deref().map(|o| (std::time::Instant::now(), o.now_ns()));
         let payload = rec.encode();
         let mut frame = Vec::with_capacity(payload.len() + 9);
         write_uvarint(&mut frame, payload.len() as u64)?;
@@ -260,12 +271,19 @@ impl WalWriter {
         self.file.write_all(&frame)?;
         self.bytes += frame.len() as u64;
         self.records += 1;
+        if let (Some(obs), Some((start, start_ns))) = (self.obs.as_deref(), timing) {
+            obs.on_append(start, start_ns, frame.len() as u64);
+        }
         Ok(())
     }
 
     /// An fsync point: durably flushes everything appended so far.
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        let timing = self.obs.as_deref().map(|o| (std::time::Instant::now(), o.now_ns()));
         self.file.sync_data()?;
+        if let (Some(obs), Some((start, start_ns))) = (self.obs.as_deref(), timing) {
+            obs.on_fsync(start, start_ns);
+        }
         Ok(())
     }
 
@@ -278,6 +296,9 @@ impl WalWriter {
         self.file.sync_all()?;
         self.bytes = WAL_HEADER_LEN;
         self.records = 0;
+        if let Some(obs) = self.obs.as_deref() {
+            obs.resets.inc();
+        }
         Ok(())
     }
 
@@ -294,6 +315,13 @@ impl WalWriter {
     /// The log's path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Attaches observability handles: subsequent appends, fsyncs, and
+    /// resets record WAL counters, latency histograms, and spans through
+    /// them. Detached (the default) the cost is one branch per call.
+    pub fn set_obs(&mut self, obs: crate::obs::WalObs) {
+        self.obs = Some(Box::new(obs));
     }
 }
 

@@ -20,13 +20,15 @@
 //! :save /path/to/file     persist the sheet (compressed graph included)
 //! :open /path/to/file     replace the sheet with a saved one
 //! :connect ADDR BOOK [AUTH]  attach to a taco_service server over TCP
+//! :metrics                (remote) print the server's Prometheus metrics
 //! :disconnect             detach and return to the local sheet
 //! quit
 //! ```
 //!
 //! While connected, edits, `show`, `trace`, `clear`, `fill`, and `stats`
 //! run against the remote workbook's first visible sheet instead of the
-//! local engine.
+//! local engine, and `:metrics` fetches the server's observability
+//! snapshot over the wire.
 
 use std::io::{self, BufRead, Write};
 use taco_repro::core::PatternType;
@@ -124,7 +126,12 @@ fn run_remote(r: &mut Remote, input: &str) -> Result<bool, String> {
     }
     if input == "help" {
         println!("remote ({}): A1 = 42 | B1 = =SUM(A1:A3) | fill SRC RANGE | show CELL", r.sheet);
-        println!("trace CELL | clear RANGE | stats | :disconnect | quit");
+        println!("trace CELL | clear RANGE | stats | :metrics | :disconnect | quit");
+        return Ok(false);
+    }
+    if input == ":metrics" {
+        let snap = r.client.metrics().map_err(|e| e.to_string())?;
+        print!("{}", snap.to_prometheus());
         return Ok(false);
     }
     let sheet = r.sheet.clone();

@@ -190,6 +190,7 @@ fn repl_connects_to_a_live_server() {
          trace A1\n\
          fill C1 C2:C4\n\
          stats\n\
+         :metrics\n\
          bogus remote command\n\
          :disconnect\n\
          A1 = 7\n\
@@ -212,11 +213,27 @@ fn repl_connects_to_a_live_server() {
     assert!(text.contains("B16 = 235"), "remote write must recalc the rollup:\n{text}");
     assert!(text.contains("dependents: "), "remote trace broken:\n{text}");
     assert!(text.contains("remote stats: epoch="), "remote stats broken:\n{text}");
+    // `:metrics` renders the server's hub as Prometheus text over the wire.
+    assert!(text.contains("taco_request_ns"), "remote :metrics broken:\n{text}");
+    assert!(text.contains("taco_recalcs_total"), "remote :metrics broken:\n{text}");
     // Autofill of an empty source cell must report, not crash.
     assert!(text.contains("error:"), "remote errors must be reported:\n{text}");
     assert!(text.contains("disconnected"), "disconnect path broken:\n{text}");
     // Back on the local engine after :disconnect.
     assert!(text.contains("A1 = 7"), "local mode must resume:\n{text}");
+}
+
+#[test]
+fn metrics_dashboard_renders_a_snapshot() {
+    let out = run_example("metrics_dashboard", Some("24"), None);
+    let text = stdout_of(&out);
+    assert!(text.contains("listening on 127.0.0.1:"), "server must bind:\n{text}");
+    assert!(text.contains("poll 1/"), "polling loop missing:\n{text}");
+    assert!(text.contains("p99"), "latency table missing:\n{text}");
+    assert!(text.contains("taco_recalc_ns"), "engine histograms missing:\n{text}");
+    assert!(text.contains("taco_wal_records_total"), "WAL counters missing:\n{text}");
+    assert!(text.contains("prometheus exposition:"), "exposition line missing:\n{text}");
+    assert!(text.contains("done"), "graceful shutdown missing:\n{text}");
 }
 
 #[test]

@@ -1,0 +1,118 @@
+//! Observability must be a pure observer: attaching a hub to a workbook
+//! changes no recalculation bit, in any mode. Each preset workload is run
+//! six ways — {Serial, Parallel, CellParallel} × {obs off, obs on} — and
+//! every non-empty cell value must be identical across all six, through a
+//! build, a full recalc, an edit burst, and a demand-driven viewport
+//! recalc. The instrumented runs must also actually have recorded (the
+//! "obs on" leg is not accidentally a no-op).
+
+use taco_repro::engine::{RecalcMode, SheetId, Workbook};
+use taco_repro::formula::Value;
+use taco_repro::grid::{Cell, Range};
+use taco_repro::obs::{Obs, ObsOptions};
+use taco_repro::workload::{
+    gen_persist_workload, persist_enron_like, persist_giant_sheet, persist_github_like,
+    PersistParams, PersistWorkload,
+};
+
+fn presets() -> Vec<PersistParams> {
+    vec![
+        PersistParams { rows: 32, burst_edits: 40, seed: 7, ..persist_enron_like() },
+        PersistParams { rows: 40, burst_edits: 40, seed: 11, ..persist_github_like() },
+        PersistParams { rows: 96, burst_edits: 50, seed: 13, ..persist_giant_sheet() },
+    ]
+}
+
+fn build(w: &PersistWorkload, obs: Option<&Obs>) -> Workbook {
+    let mut wb = Workbook::with_taco();
+    if let Some(o) = obs {
+        wb.attach_obs(o, "det");
+    }
+    wb.apply_batch(&w.build).expect("build script applies");
+    wb
+}
+
+/// Every non-empty cell's value, across all sheets, in a fixed order.
+fn snapshot(wb: &Workbook) -> Vec<(usize, Cell, Value)> {
+    let mut out = Vec::new();
+    for s in 0..wb.sheet_count() {
+        let mut cells: Vec<(Cell, Value)> =
+            wb.sheet(SheetId(s)).cells().map(|(c, k)| (c, k.value().clone())).collect();
+        cells.sort_by_key(|(c, _)| *c);
+        out.extend(cells.into_iter().map(|(c, v)| (s, c, v)));
+    }
+    out
+}
+
+#[test]
+fn observed_recalc_is_bit_identical_in_every_mode() {
+    let modes = [
+        RecalcMode::Serial,
+        RecalcMode::Parallel { threads: 4 },
+        RecalcMode::CellParallel { threads: 4 },
+    ];
+    for p in presets() {
+        let w = gen_persist_workload(&p);
+
+        // The unobserved serial run is the reference for everything.
+        let mut reference = build(&w, None);
+        let eval0 = reference.recalculate(RecalcMode::Serial);
+        let after_build = snapshot(&reference);
+        reference.apply_batch(&w.burst).expect("burst applies");
+        reference.recalculate(RecalcMode::Serial);
+        let after_burst = snapshot(&reference);
+
+        for mode in modes {
+            for observed in [false, true] {
+                let hub = Obs::new(ObsOptions::default());
+                let obs = observed.then_some(&*hub);
+                let mut wb = build(&w, obs);
+                assert!(wb.obs_attached() == observed, "{} {mode:?}", p.name);
+
+                let evaluated = wb.recalculate(mode);
+                assert_eq!(evaluated, eval0, "{} {mode:?} obs={observed}", p.name);
+                assert_eq!(snapshot(&wb), after_build, "{} {mode:?} obs={observed}", p.name);
+
+                wb.apply_batch(&w.burst).expect("burst applies");
+                wb.recalculate(mode);
+                assert_eq!(snapshot(&wb), after_burst, "{} {mode:?} obs={observed}", p.name);
+
+                if observed {
+                    let snap = hub.snapshot();
+                    let recalcs = snap
+                        .counters
+                        .iter()
+                        .filter(|c| c.name == "taco_recalcs_total")
+                        .map(|c| c.value)
+                        .sum::<u64>();
+                    assert!(recalcs >= 2, "instrumented run must have recorded: {snap:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn observed_demand_recalc_is_bit_identical() {
+    let p = PersistParams { rows: 48, burst_edits: 0, seed: 3, ..persist_github_like() };
+    let w = gen_persist_workload(&p);
+    let viewport = Range::from_coords(1, 1, 8, 16);
+
+    let mut reference = build(&w, None);
+    reference.recalc_demand(SheetId(0), viewport, RecalcMode::Serial).unwrap();
+    let want = snapshot(&reference);
+    let dirty_left = reference.dirty_count();
+
+    for mode in [RecalcMode::Serial, RecalcMode::CellParallel { threads: 4 }] {
+        let hub = Obs::new(ObsOptions::default());
+        let mut wb = build(&w, Some(&hub));
+        wb.recalc_demand(SheetId(0), viewport, mode).unwrap();
+        assert_eq!(snapshot(&wb), want, "{mode:?}");
+        assert_eq!(wb.dirty_count(), dirty_left, "laziness must match: {mode:?}");
+        let snap = hub.snapshot();
+        assert!(
+            snap.histograms.iter().any(|h| h.name == "taco_demand_closure_cells" && h.count > 0),
+            "demand closure histogram must have recorded"
+        );
+    }
+}
