@@ -14,8 +14,12 @@
 //! - instrumented and bare runs evaluate the same cells to the same
 //!   values (the hub is a pure observer);
 //! - a steady-state batch of record operations — counter add, gauge set,
-//!   histogram record, tracer span — performs **zero** heap allocations,
-//!   counted by a `#[global_allocator]` wrapper.
+//!   histogram record, tracer span, trace-context enter/propagate, and
+//!   span-guard open/close — performs **zero** heap allocations, counted
+//!   by a `#[global_allocator]` wrapper;
+//! - the HTTP sidecar answers `GET /metrics` with Prometheus text and
+//!   `GET /trace` with Chrome JSON over a plain `std::net::TcpStream`
+//!   (the curl-equivalent smoke CI runs in quick mode).
 //!
 //! With `TACO_BENCH_JSON=path` the run also writes the collected numbers
 //! as JSON — commit the artifact to track the perf trajectory over PRs.
@@ -27,7 +31,7 @@ use taco_bench::{fmt_ms, header, ms};
 use taco_engine::{RecalcMode, SheetId, Workbook};
 use taco_formula::Value;
 use taco_grid::Cell;
-use taco_obs::{Obs, SpanCat};
+use taco_obs::{Obs, SpanCat, TraceContext};
 use taco_workload::{
     gen_persist_workload, persist_enron_like, persist_giant_sheet, persist_github_like,
     PersistParams, PersistWorkload,
@@ -139,6 +143,9 @@ fn assert_record_path_allocation_free() -> u64 {
     let gauge = obs.metrics.gauge("taco_bench_depth");
     let hist = obs.metrics.histogram_with("taco_bench_ns", "mode=\"bench\"");
 
+    // A pinned request context, as the server propagates per connection.
+    let root = obs.tracer.new_root();
+
     // Warm-up: first records pick the TLS shard and cycle the span ring
     // past its initial state.
     for i in 0..64u64 {
@@ -148,6 +155,9 @@ fn assert_record_path_allocation_free() -> u64 {
         hist.record(i);
         let now = obs.tracer.now_ns();
         obs.tracer.record("warm", SpanCat::Request, now, i, i, 0);
+        let _g = root.enter();
+        let mut guard = obs.tracer.span_guard("warm.guard", SpanCat::Recalc);
+        guard.a = i;
     }
 
     const BATCH: u64 = 10_000;
@@ -159,6 +169,21 @@ fn assert_record_path_allocation_free() -> u64 {
         hist.record(i);
         let now = obs.tracer.now_ns();
         obs.tracer.record("steady", SpanCat::Recalc, now, i, i, i);
+        // The propagation hot path the server runs per request: enter the
+        // wire context, open a child guard (ambient-parented), read the
+        // current context back, record an explicit-context span, close.
+        let _g = root.enter();
+        let ctx = TraceContext::current();
+        assert_eq!(ctx.span_id, root.span_id, "enter must install the context");
+        let mut guard = obs.tracer.span_guard("steady.guard", SpanCat::WalAppend);
+        guard.a = i;
+        // Explicit-coordinate record, the registry's batch-link hot path.
+        let link = TraceContext {
+            span_id: i.wrapping_add(1 << 32),
+            parent_id: guard.context().span_id,
+            ..ctx
+        };
+        obs.tracer.record_at("steady.child", SpanCat::WalFsync, link, now, i, i, 0);
     }
     let delta = allocations() - before;
     assert_eq!(
@@ -172,6 +197,45 @@ fn assert_record_path_allocation_free() -> u64 {
     assert_eq!(snap.counter("taco_bench_ops_total"), Some(64 + BATCH));
     assert!(snap.histogram("taco_bench_ns", "mode=\"bench\"").is_some_and(|h| h.count > 0));
     BATCH
+}
+
+/// One raw HTTP/1.0 round-trip over a plain socket (the curl-equivalent).
+fn http_get(addr: std::net::SocketAddr, request: &str) -> String {
+    use std::io::{Read, Write};
+    let mut sock = std::net::TcpStream::connect(addr).expect("sidecar connect");
+    sock.write_all(request.as_bytes()).expect("sidecar write");
+    let mut body = String::new();
+    sock.read_to_string(&mut body).expect("sidecar read");
+    body
+}
+
+/// The sidecar smoke: a hub with live data, scraped over `std::net` the
+/// way Prometheus or `curl` would — no TACO protocol involved.
+fn assert_http_sidecar_serves() {
+    let obs = Obs::new_default();
+    obs.metrics.counter("taco_bench_scrape_total").add(9);
+    let now = obs.tracer.now_ns();
+    obs.tracer.record("scrape.span", SpanCat::Request, now, 1, 0, 0);
+
+    let sidecar =
+        taco_service::HttpSidecar::start("127.0.0.1:0", std::sync::Arc::clone(&obs)).expect("bind");
+    let addr = sidecar.addr();
+
+    let metrics = http_get(addr, "GET /metrics HTTP/1.0\r\n\r\n");
+    assert!(metrics.starts_with("HTTP/1.0 200 OK"), "metrics status: {metrics}");
+    assert!(metrics.contains("taco_bench_scrape_total 9"), "metrics body: {metrics}");
+
+    let trace = http_get(addr, "GET /trace HTTP/1.0\r\n\r\n");
+    assert!(trace.starts_with("HTTP/1.0 200 OK"), "trace status: {trace}");
+    assert!(trace.contains("\"traceEvents\":["), "trace body: {trace}");
+
+    let missing = http_get(addr, "GET /nope HTTP/1.0\r\n\r\n");
+    assert!(missing.starts_with("HTTP/1.0 404"), "unknown path: {missing}");
+    let bad = http_get(addr, "BOGUS\r\n\r\n");
+    assert!(bad.starts_with("HTTP/1.0 400"), "malformed request: {bad}");
+
+    sidecar.shutdown();
+    println!("http sidecar: /metrics and /trace served, 404/400 on junk");
 }
 
 fn main() {
@@ -228,6 +292,7 @@ fn main() {
     let batch = assert_record_path_allocation_free();
     println!("\nrecord hot path: {batch} samples, 0 heap allocations (counted)");
     out.num("zero_alloc_batch", batch as f64);
+    assert_http_sidecar_serves();
     out.arr("presets", presets_json);
 
     if let Ok(path) = std::env::var("TACO_BENCH_JSON") {

@@ -11,10 +11,13 @@
 //! 2. with coalescing on, the writer runs **at most** as many
 //!    recalculations as with it off (batching is the point: N queued
 //!    edits, one dirty-propagation, one recalc).
+//!
+//! With `TACO_BENCH_JSON=path` the run also writes the collected numbers
+//! as JSON — commit the artifact to track the perf trajectory over PRs.
 
 use std::sync::Arc;
 use std::time::Instant;
-use taco_bench::{cdf_line, header, ms};
+use taco_bench::{cdf_line, header, ms, percentile};
 use taco_engine::{RecalcMode, SheetId, Workbook};
 use taco_formula::Value;
 use taco_grid::{Cell, Range};
@@ -104,6 +107,8 @@ struct Outcome {
     ops_per_sec: f64,
     recalcs: u64,
     coalesced: u64,
+    p50_ms: f64,
+    p99_ms: f64,
 }
 
 fn check_final_state(registry: &Arc<Registry>, want: &[(Cell, Value)], label: &str) {
@@ -153,6 +158,8 @@ fn main() {
                 ops_per_sec: total_ops as f64 / wall.as_secs_f64(),
                 recalcs: stats.recalcs,
                 coalesced: stats.coalesced,
+                p50_ms: percentile(&samples, 0.50),
+                p99_ms: percentile(&samples, 0.99),
             });
             registry.shutdown();
 
@@ -182,6 +189,8 @@ fn main() {
                 ops_per_sec: total_ops as f64 / wall.as_secs_f64(),
                 recalcs: stats.recalcs,
                 coalesced: stats.coalesced,
+                p50_ms: percentile(&samples, 0.50),
+                p99_ms: percentile(&samples, 0.99),
             });
             server.shutdown();
             registry.shutdown();
@@ -218,5 +227,56 @@ fn main() {
         multi_thread_coalesced > 0,
         "multi-threaded batched runs must coalesce at least one batch"
     );
+
+    if let Ok(path) = std::env::var("TACO_BENCH_JSON") {
+        let mut out = JsonObj::new();
+        out.num("scale", taco_bench::scale());
+        out.num("clients", script.clients.len() as f64);
+        out.num("total_ops", total_ops as f64);
+        out.num("coalesced_t4_total", multi_thread_coalesced as f64);
+        let mut configs = Vec::new();
+        for o in &outcomes {
+            let mut cj = JsonObj::new();
+            cj.str("config", o.label.trim());
+            cj.num("ops_per_sec", o.ops_per_sec);
+            cj.num("p50_ms", o.p50_ms);
+            cj.num("p99_ms", o.p99_ms);
+            cj.num("recalcs", o.recalcs as f64);
+            cj.num("coalesced", o.coalesced as f64);
+            configs.push(cj);
+        }
+        out.arr("configs", configs);
+        std::fs::write(&path, out.finish()).expect("write TACO_BENCH_JSON");
+        println!("\nwrote baseline JSON to {path}");
+    }
     println!("done");
+}
+
+// ---- a tiny JSON writer (keys are plain ASCII identifiers) --------------
+
+struct JsonObj {
+    fields: Vec<String>,
+}
+
+impl JsonObj {
+    fn new() -> Self {
+        JsonObj { fields: Vec::new() }
+    }
+
+    fn num(&mut self, key: &str, v: f64) {
+        self.fields.push(format!("\"{key}\":{v:.3}"));
+    }
+
+    fn str(&mut self, key: &str, v: &str) {
+        self.fields.push(format!("\"{key}\":\"{v}\""));
+    }
+
+    fn arr(&mut self, key: &str, items: Vec<JsonObj>) {
+        let body: Vec<String> = items.into_iter().map(JsonObj::finish).collect();
+        self.fields.push(format!("\"{key}\":[{}]", body.join(",")));
+    }
+
+    fn finish(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
 }

@@ -28,6 +28,51 @@ impl ExternalSheets for NoExternal {
     }
 }
 
+/// Opt-in recalculation profiler granularity (see
+/// [`Engine::set_profile`]). Profiling is sampling-free wall-time
+/// attribution: per-level totals, and (in `Hotspots` mode) a
+/// fixed-capacity top-K of the most expensive individual cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileMode {
+    /// No attribution (the default; zero overhead on the eval loop).
+    #[default]
+    Off,
+    /// Wall time per evaluation level only.
+    Levels,
+    /// Per-level wall time plus the top-K hottest cells by individual
+    /// evaluation time (one extra clock read per cell).
+    Hotspots,
+}
+
+/// How many hottest cells the profiler retains per recalculation.
+pub const PROFILE_TOP_K: usize = 16;
+
+/// One recalculation's profile (see [`Engine::profile_report`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// `(level index, cells in level, wall nanoseconds)` per evaluation
+    /// level. The serial path reports the whole pass as level 0.
+    pub levels: Vec<(u32, u32, u64)>,
+    /// The hottest cells by evaluation wall time, hottest first (at most
+    /// [`PROFILE_TOP_K`]; empty unless [`ProfileMode::Hotspots`]).
+    pub hotspots: Vec<(Cell, u64)>,
+}
+
+/// Fixed-capacity hotspot insert: push while below K, then displace the
+/// current minimum — never grows past [`PROFILE_TOP_K`], so steady-state
+/// profiling performs no allocation.
+fn push_hot(top: &mut Vec<(Cell, u64)>, cell: Cell, ns: u64) {
+    if top.len() < PROFILE_TOP_K {
+        top.push((cell, ns));
+        return;
+    }
+    if let Some(i) = (0..top.len()).min_by_key(|&i| top[i].1) {
+        if ns > top[i].1 {
+            top[i] = (cell, ns);
+        }
+    }
+}
+
 /// What an edit reported back before recalculation: the information the
 /// asynchronous model needs to "return control to the user".
 #[derive(Debug, Clone)]
@@ -66,8 +111,15 @@ struct RecalcScratch {
     /// Per-level staging buffer: worker threads evaluate a level against
     /// the immutable pre-level cell store into `(cell, value)` slots,
     /// applied after the level barrier — the writes that make parallel
-    /// evaluation bit-identical to serial.
-    staged: Vec<(Cell, Value)>,
+    /// evaluation bit-identical to serial. The third slot is the cell's
+    /// evaluation wall time, stamped only in `Hotspots` profiling.
+    staged: Vec<(Cell, Value, u64)>,
+    /// Profiler output: `(level, width, ns)` per level of the most
+    /// recent recalculation (empty when profiling is off).
+    prof_levels: Vec<(u32, u32, u64)>,
+    /// Profiler output: the top-K hottest cells (capacity-bounded by
+    /// [`PROFILE_TOP_K`]; empty unless `Hotspots`).
+    prof_top: Vec<(Cell, u64)>,
 }
 
 /// One DFS frame: a node (index into `dirty_sorted`) plus its neighbor
@@ -109,6 +161,8 @@ pub struct Engine<B: DependencyBackend = FormulaGraph> {
     /// workbook is attached to an obs hub. Recording pushes a fixed-size
     /// record into a pre-allocated ring — no allocation on the hot path.
     tracer: Option<taco_obs::Tracer>,
+    /// Recalculation profiler mode (default off).
+    profile: ProfileMode,
 }
 
 impl Engine<FormulaGraph> {
@@ -137,6 +191,7 @@ impl<B: DependencyBackend> Engine<B> {
             trace_enabled: false,
             trace: Vec::new(),
             tracer: None,
+            profile: ProfileMode::default(),
         }
     }
 
@@ -144,6 +199,39 @@ impl<B: DependencyBackend> Engine<B> {
     /// phases are recorded against.
     pub(crate) fn set_tracer(&mut self, tracer: Option<taco_obs::Tracer>) {
         self.tracer = tracer;
+    }
+
+    /// Sets the recalculation profiler mode. Takes effect on the next
+    /// recalculation; `Off` costs nothing on the eval loop.
+    pub fn set_profile(&mut self, mode: ProfileMode) {
+        self.profile = mode;
+    }
+
+    /// The current profiler mode.
+    pub fn profile(&self) -> ProfileMode {
+        self.profile
+    }
+
+    /// The most recent recalculation's profile (empty when profiling was
+    /// off for that pass). Hotspots come back hottest-first.
+    pub fn profile_report(&self) -> ProfileReport {
+        let mut hotspots = self.recalc.prof_top.clone();
+        hotspots.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ProfileReport { levels: self.recalc.prof_levels.clone(), hotspots }
+    }
+
+    /// Raw profiler buffers (workbook metric export): per-level
+    /// `(level, cells, ns)` rows and per-cell `(cell, ns)` hotspots.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn profile_slices(&self) -> (&[(u32, u32, u64)], &[(Cell, u64)]) {
+        (&self.recalc.prof_levels, &self.recalc.prof_top)
+    }
+
+    /// Clears the profiler buffers (the workbook clears every sheet at
+    /// recalc entry so skipped-clean sheets don't report stale data).
+    pub(crate) fn profile_clear(&mut self) {
+        self.recalc.prof_levels.clear();
+        self.recalc.prof_top.clear();
     }
 
     /// The injected volatile-function clock.
@@ -440,12 +528,17 @@ impl<B: DependencyBackend> Engine<B> {
     /// order depends only on the dirty set and the local graph.
     pub(crate) fn recalculate_with<E: ExternalSheets>(&mut self, ext: &E) -> usize {
         self.topo_order_of_dirty();
+        self.recalc.prof_levels.clear();
+        self.recalc.prof_top.clear();
+        let prof = self.profile;
+        let pass_start = (prof != ProfileMode::Off).then(Instant::now);
         // Take the order buffer out so the loop can borrow `cells`
         // mutably; it goes back (capacity intact) afterwards.
         let order = std::mem::take(&mut self.recalc.order);
         let evaluated = order.len();
         self.trace.clear();
         for &cell in &order {
+            let cell_start = (prof == ProfileMode::Hotspots).then(Instant::now);
             let value = match self.cells.get(&cell) {
                 Some(CellContent::Formula { formula, .. }) => {
                     let vol = VolatileCtx::for_cell(self.clock, cell);
@@ -459,12 +552,21 @@ impl<B: DependencyBackend> Engine<B> {
                 }
                 _ => continue,
             };
+            if let Some(start) = cell_start {
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                push_hot(&mut self.recalc.prof_top, cell, ns);
+            }
             if let Some(CellContent::Formula { value: slot, .. }) = self.cells.get_mut(&cell) {
                 *slot = value;
             }
             if self.trace_enabled {
                 self.trace.push(vec![cell]);
             }
+        }
+        if let Some(start) = pass_start {
+            // The serial path has no levels; attribute the pass to one.
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.recalc.prof_levels.push((0, evaluated as u32, ns));
         }
         self.recalc.order = order;
         self.dirty.clear();
@@ -495,6 +597,9 @@ impl<B: DependencyBackend> Engine<B> {
         // serial order the leftover fallback replays.
         self.topo_order_of_dirty();
         let mut s = std::mem::take(&mut self.recalc);
+        s.prof_levels.clear();
+        s.prof_top.clear();
+        let prof = self.profile;
         let mut leveler = std::mem::take(&mut s.leveler);
         leveler.run(s.dirty_sorted.len(), |i, out| {
             self.dirty_precedents_into(s.dirty_sorted[i as usize], &s.dirty_sorted, out);
@@ -504,13 +609,23 @@ impl<B: DependencyBackend> Engine<B> {
         let workers = threads.max(1);
         for k in 0..leveler.num_levels() {
             let level = leveler.level(k);
-            let timing =
-                self.tracer.as_ref().map(|t| (std::time::Instant::now(), t.now_ns(), level.len()));
+            let timing = (self.tracer.is_some() || prof != ProfileMode::Off).then(|| {
+                (
+                    Instant::now(),
+                    self.tracer.as_ref().map_or(0, taco_obs::Tracer::now_ns),
+                    level.len(),
+                )
+            });
             s.staged.clear();
-            s.staged.extend(level.iter().map(|&i| (s.dirty_sorted[i as usize], Value::Empty)));
+            s.staged
+                .extend(level.iter().map(|&i| (s.dirty_sorted[i as usize], Value::Empty, 0u64)));
             if workers == 1 || level.len() == 1 {
-                for (cell, slot) in &mut s.staged {
+                for (cell, slot, ns) in &mut s.staged {
+                    let cell_start = (prof == ProfileMode::Hotspots).then(Instant::now);
                     *slot = self.eval_cell(*cell, ext);
+                    if let Some(start) = cell_start {
+                        *ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    }
                 }
             } else {
                 let per = s.staged.len().div_ceil(workers);
@@ -520,12 +635,17 @@ impl<B: DependencyBackend> Engine<B> {
                 crossbeam::thread::scope(|scope| {
                     for chunk in s.staged.chunks_mut(per) {
                         scope.spawn(move |_| {
-                            for (cell, slot) in chunk {
+                            for (cell, slot, ns) in chunk {
+                                let cell_start = (prof == ProfileMode::Hotspots).then(Instant::now);
                                 if let Some(CellContent::Formula { formula, .. }) = cells.get(cell)
                                 {
                                     let vol = VolatileCtx::for_cell(clock, *cell);
                                     let view = SheetView { cells, own, ext, vol: Some(&vol) };
                                     *slot = eval(&formula.ast, &view);
+                                }
+                                if let Some(start) = cell_start {
+                                    *ns = u64::try_from(start.elapsed().as_nanos())
+                                        .unwrap_or(u64::MAX);
                                 }
                             }
                         });
@@ -535,23 +655,31 @@ impl<B: DependencyBackend> Engine<B> {
             }
             // The barrier: publish the level's values all at once.
             if self.trace_enabled {
-                self.trace.push(s.staged.iter().map(|(c, _)| *c).collect());
+                self.trace.push(s.staged.iter().map(|(c, _, _)| *c).collect());
             }
-            for (cell, value) in s.staged.drain(..) {
+            for (cell, value, ns) in s.staged.drain(..) {
                 if let Some(CellContent::Formula { value: slot, .. }) = self.cells.get_mut(&cell) {
                     *slot = value;
                 }
+                if prof == ProfileMode::Hotspots {
+                    push_hot(&mut s.prof_top, cell, ns);
+                }
             }
-            if let (Some(t), Some((start, start_ns, width))) = (self.tracer.as_ref(), timing) {
+            if let Some((start, start_ns, width)) = timing {
                 let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                t.record(
-                    "engine.level",
-                    taco_obs::SpanCat::CellLevel,
-                    start_ns,
-                    dur,
-                    k as u64,
-                    width as u64,
-                );
+                if prof != ProfileMode::Off {
+                    s.prof_levels.push((k as u32, width as u32, dur));
+                }
+                if let Some(t) = self.tracer.as_ref() {
+                    t.record(
+                        "engine.level",
+                        taco_obs::SpanCat::CellLevel,
+                        start_ns,
+                        dur,
+                        k as u64,
+                        width as u64,
+                    );
+                }
             }
         }
 
@@ -564,9 +692,14 @@ impl<B: DependencyBackend> Engine<B> {
                 if leveler.level_of(i).is_some() {
                     continue;
                 }
+                let cell_start = (prof == ProfileMode::Hotspots).then(Instant::now);
                 let value = self.eval_cell(cell, ext);
                 if let Some(CellContent::Formula { value: slot, .. }) = self.cells.get_mut(&cell) {
                     *slot = value;
+                }
+                if let Some(start) = cell_start {
+                    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    push_hot(&mut s.prof_top, cell, ns);
                 }
                 if self.trace_enabled {
                     self.trace.push(vec![cell]);

@@ -33,7 +33,7 @@ mod structural;
 mod workbook;
 
 pub use async_engine::AsyncEngine;
-pub use engine::{EditReceipt, Engine};
+pub use engine::{EditReceipt, Engine, ProfileMode, ProfileReport, PROFILE_TOP_K};
 pub use obs::EngineObs;
 pub use persist::{open_engine, save_engine, wal_path, PersistOptions, PersistentWorkbook};
 pub use sheet::CellContent;

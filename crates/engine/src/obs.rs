@@ -8,7 +8,7 @@
 use crate::workbook::RecalcMode;
 use std::time::Instant;
 use taco_core::StatsScratch;
-use taco_obs::{Counter, Gauge, Histogram, Obs, SpanCat, Tracer};
+use taco_obs::{Counter, Gauge, Histogram, Obs, SpanCat, SpanGuard, Tracer};
 
 /// Metric and tracer handles for one workbook's recalculation engine.
 pub struct EngineObs {
@@ -26,6 +26,13 @@ pub struct EngineObs {
     dirty_depth: Histogram,
     /// `taco_demand_closure_cells` — needed-set size per demand recalc.
     demand_closure_cells: Histogram,
+    /// `taco_profile_level_ns` / `taco_profile_cell_ns` — profiler
+    /// attribution distributions (populated only while [`ProfileMode`]
+    /// is on for the workbook).
+    ///
+    /// [`ProfileMode`]: crate::ProfileMode
+    profile_level_ns: Histogram,
+    profile_cell_ns: Histogram,
     /// `taco_recalcs_total` / `taco_recalc_cells_total` — lifetime counts.
     recalcs_total: Counter,
     recalc_cells_total: Counter,
@@ -57,6 +64,8 @@ impl EngineObs {
             recalc_levels: m.histogram("taco_recalc_levels"),
             dirty_depth: m.histogram("taco_dirty_depth"),
             demand_closure_cells: m.histogram("taco_demand_closure_cells"),
+            profile_level_ns: m.histogram("taco_profile_level_ns"),
+            profile_cell_ns: m.histogram("taco_profile_cell_ns"),
             recalcs_total: m.counter("taco_recalcs_total"),
             recalc_cells_total: m.counter("taco_recalc_cells_total"),
             graph_edges: m.gauge_with("taco_graph_edges", &book_label),
@@ -78,12 +87,20 @@ impl EngineObs {
         }
     }
 
-    /// Records one completed full recalculation.
+    /// Starts the `workbook.recalc` span as a tree-building guard: the
+    /// per-level spans recorded while it is live nest under it, and it
+    /// nests under whatever request context the calling thread carries.
+    /// Set `a` (cells) and `b` (levels) before it drops.
+    pub(crate) fn recalc_guard(&self) -> SpanGuard {
+        self.tracer.span_guard("workbook.recalc", SpanCat::Recalc)
+    }
+
+    /// Records one completed full recalculation's metrics (the span
+    /// itself is the [`EngineObs::recalc_guard`]).
     pub(crate) fn on_recalc(
         &self,
         mode: RecalcMode,
         start: Instant,
-        start_ns: u64,
         cells: usize,
         levels: usize,
         dirty_before: usize,
@@ -95,40 +112,40 @@ impl EngineObs {
         self.dirty_depth.record(dirty_before as u64);
         self.recalcs_total.inc();
         self.recalc_cells_total.add(cells as u64);
-        self.tracer.record(
-            "workbook.recalc",
-            SpanCat::Recalc,
-            start_ns,
-            dur,
-            cells as u64,
-            levels as u64,
-        );
     }
 
-    /// Records one sheet SCC level of a recalculation.
-    pub(crate) fn on_sheet_level(
-        &self,
-        start: Instant,
-        start_ns: u64,
-        level: usize,
-        sheets: usize,
-    ) {
-        let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.tracer.record(
-            "workbook.level",
-            SpanCat::SheetLevel,
-            start_ns,
-            dur,
-            level as u64,
-            sheets as u64,
-        );
+    /// Starts the guard for one sheet SCC level of a recalculation: the
+    /// engine's cell-level spans recorded inside the level nest under it
+    /// (rather than double-counting as siblings). Set `a` (level index)
+    /// and `b` (sheets in the level) before it drops.
+    pub(crate) fn sheet_level_guard(&self) -> SpanGuard {
+        self.tracer.span_guard("workbook.level", SpanCat::SheetLevel)
     }
 
-    /// Records one demand-driven recalculation and its needed-set size.
-    pub(crate) fn on_demand(&self, start: Instant, start_ns: u64, closure: usize) {
+    /// Starts the `workbook.demand` span guard wrapping one demand-driven
+    /// recalculation (closure expansion + restricted recalc). Set `a`
+    /// (closure size) before it drops.
+    pub(crate) fn demand_guard(&self) -> SpanGuard {
+        self.tracer.span_guard("workbook.demand", SpanCat::Demand)
+    }
+
+    /// Records the needed-set size of one demand-driven recalculation,
+    /// plus the `demand.expand` span covering the closure walk itself.
+    pub(crate) fn on_demand_expand(&self, start: Instant, start_ns: u64, closure: usize) {
         let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.demand_closure_cells.record(closure as u64);
-        self.tracer.record("workbook.demand", SpanCat::Demand, start_ns, dur, closure as u64, 0);
+        self.tracer.record("demand.expand", SpanCat::Demand, start_ns, dur, closure as u64, 0);
+    }
+
+    /// Feeds one sheet's profiler buffers into the `taco_profile_*`
+    /// histograms (no-op when profiling is off — the slices are empty).
+    pub(crate) fn on_profile(&self, levels: &[(u32, u32, u64)], cells: &[(taco_grid::Cell, u64)]) {
+        for &(_, _, ns) in levels {
+            self.profile_level_ns.record(ns);
+        }
+        for &(_, ns) in cells {
+            self.profile_cell_ns.record(ns);
+        }
     }
 
     /// Refreshes the graph-shape gauges from summed per-sheet stats.

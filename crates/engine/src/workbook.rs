@@ -1062,6 +1062,30 @@ impl<B: DependencyBackend> Workbook<B> {
         levels
     }
 
+    /// Sets the recalculation profiler mode on every sheet (see
+    /// [`crate::ProfileMode`]). `Off` (the default) costs nothing.
+    pub fn set_profile(&mut self, mode: crate::ProfileMode) {
+        for s in &mut self.sheets {
+            s.engine.set_profile(mode);
+        }
+    }
+
+    /// The merged profile of the most recent recalculation: every
+    /// sheet's per-level wall times concatenated in sheet order, plus
+    /// the top-K hottest cells across all sheets (hottest first). Empty
+    /// when profiling is off.
+    pub fn profile_report(&self) -> crate::ProfileReport {
+        let mut out = crate::ProfileReport::default();
+        for s in &self.sheets {
+            let r = s.engine.profile_report();
+            out.levels.extend(r.levels);
+            out.hotspots.extend(r.hotspots);
+        }
+        out.hotspots.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.hotspots.truncate(crate::PROFILE_TOP_K);
+        out
+    }
+
     /// Recalculates every dirty formula cell in the workbook. Both modes
     /// walk the same sheet levels and produce bit-identical values; see
     /// the module docs for the scheduling model. Returns the number of
@@ -1070,9 +1094,19 @@ impl<B: DependencyBackend> Workbook<B> {
     where
         B: Send,
     {
-        let timing = self.obs.as_deref().map(|o| {
-            (Instant::now(), o.now_ns(), self.sheets.iter().map(|s| s.engine.dirty_count()).sum())
-        });
+        let timing = self
+            .obs
+            .as_deref()
+            .map(|_| (Instant::now(), self.sheets.iter().map(|s| s.engine.dirty_count()).sum()));
+        // Tree-building span: per-level spans recorded below nest under
+        // it, and it nests under the calling thread's ambient context
+        // (the request span when a service worker drives this).
+        let mut recalc_span = self.obs.as_deref().map(|o| o.recalc_guard());
+        // Fresh profiler buffers: a clean sheet skipped below must not
+        // report the previous pass's data.
+        for s in &mut self.sheets {
+            s.engine.profile_clear();
+        }
         let levels = self.levels();
         let Workbook { sheets, index, xedges, obs } = self;
         let mut total = 0usize;
@@ -1084,7 +1118,12 @@ impl<B: DependencyBackend> Workbook<B> {
                 continue;
             }
             levels_walked += 1;
-            let level_timing = obs.as_deref().map(|o| (Instant::now(), o.now_ns(), work.len()));
+            let mut level_span = obs.as_deref().map(|o| {
+                let mut g = o.sheet_level_guard();
+                g.a = level_idx as u64;
+                g.b = work.len() as u64;
+                g
+            });
             // Import snapshots: the foreign values each dirty sheet's
             // cross references cover, read while no shard is borrowed
             // mutably. Precedent sheets live in earlier levels, so their
@@ -1160,12 +1199,19 @@ impl<B: DependencyBackend> Workbook<B> {
                     .expect("recalc scope");
                 }
             }
-            if let (Some(o), Some((start, start_ns, width))) = (obs.as_deref(), level_timing) {
-                o.on_sheet_level(start, start_ns, level_idx, width);
-            }
+            level_span.take();
         }
-        if let (Some(o), Some((start, start_ns, dirty_before))) = (obs.as_deref_mut(), timing) {
-            o.on_recalc(mode, start, start_ns, total, levels_walked, dirty_before);
+        if let Some(g) = recalc_span.as_mut() {
+            g.a = total as u64;
+            g.b = levels_walked as u64;
+        }
+        drop(recalc_span);
+        if let (Some(o), Some((start, dirty_before))) = (obs.as_deref_mut(), timing) {
+            o.on_recalc(mode, start, total, levels_walked, dirty_before);
+            for s in sheets.iter() {
+                let (levels, cells) = s.engine.profile_slices();
+                o.on_profile(levels, cells);
+            }
             let mut it = sheets.iter();
             o.refresh_graph_gauges(xedges.len(), |scratch| {
                 it.next()
@@ -1205,7 +1251,10 @@ impl<B: DependencyBackend> Workbook<B> {
         if id.0 >= self.sheets.len() {
             return Err(WorkbookError::NoSuchSheet(id.0));
         }
-        let timing = self.obs.as_deref().map(|o| (Instant::now(), o.now_ns()));
+        // Guard wrapping the whole demand pass: the expansion span and
+        // the inner `workbook.recalc` tree both nest under it.
+        let mut demand_span = self.obs.as_deref().map(|o| o.demand_guard());
+        let expand_timing = self.obs.as_deref().map(|o| (Instant::now(), o.now_ns()));
         // Sorted per-sheet dirty views for the precedent walk.
         let dirty_sorted: Vec<Vec<Cell>> =
             self.sheets.iter().map(|s| s.engine.dirty_cells_sorted()).collect();
@@ -1241,6 +1290,14 @@ impl<B: DependencyBackend> Workbook<B> {
             }
         }
 
+        let closure: usize = needed.iter().map(HashSet::len).sum();
+        if let (Some(o), Some((start, start_ns))) = (self.obs.as_deref(), expand_timing) {
+            o.on_demand_expand(start, start_ns, closure);
+        }
+        if let Some(g) = demand_span.as_mut() {
+            g.a = closure as u64;
+        }
+
         // Restrict, recalculate with the normal schedule, restore.
         let mut deferred: Vec<(usize, Vec<Cell>)> = Vec::new();
         for (sid, keep) in needed.iter().enumerate() {
@@ -1253,9 +1310,7 @@ impl<B: DependencyBackend> Workbook<B> {
         for (sid, cells) in deferred {
             self.sheets[sid].engine.restore_dirty(&cells);
         }
-        if let (Some(o), Some((start, start_ns))) = (self.obs.as_deref(), timing) {
-            o.on_demand(start, start_ns, needed.iter().map(HashSet::len).sum());
-        }
+        drop(demand_span);
         Ok(evaluated)
     }
 

@@ -1,8 +1,11 @@
 //! Exposition: rendering a [`MetricsSnapshot`] as Prometheus text format
-//! or as a structured JSON document. Both renderers are cold paths —
-//! they run when a snapshot is requested, never while recording.
+//! or as a structured JSON document, and a [`TraceDump`] as Chrome
+//! `trace_event` JSON (loadable in `chrome://tracing` / Perfetto). All
+//! renderers are cold paths — they run when a snapshot is requested,
+//! never while recording.
 
 use crate::metrics::{bucket_upper, MetricsSnapshot};
+use crate::trace::{SlowSpan, TraceDump};
 use std::fmt::Write as _;
 
 fn write_name(out: &mut String, name: &str, labels: &str) {
@@ -139,9 +142,15 @@ impl MetricsSnapshot {
             }
             let _ = write!(
                 out,
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"a\":{},\"b\":{}}}",
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"trace\":\"{:016x}{:016x}\",\
+                 \"span_id\":{},\"parent_id\":{},\
+                 \"start_ns\":{},\"dur_ns\":{},\"a\":{},\"b\":{}}}",
                 json_escape(&s.name),
                 s.cat.label(),
+                s.trace_hi,
+                s.trace_lo,
+                s.span_id,
+                s.parent_id,
                 s.start_ns,
                 s.dur_ns,
                 s.a,
@@ -149,6 +158,46 @@ impl MetricsSnapshot {
             );
         }
         out.push_str("]}");
+        out
+    }
+}
+
+/// One span as a Chrome `trace_event` complete event (`"ph":"X"`).
+/// Timestamps are microseconds (the format's unit); sub-µs durations
+/// render fractionally so nothing rounds to invisible.
+fn write_chrome_event(out: &mut String, s: &SlowSpan) {
+    let ts = s.start_ns as f64 / 1000.0;
+    let dur = s.dur_ns as f64 / 1000.0;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+         \"pid\":1,\"tid\":1,\"id\":\"{:016x}{:016x}\",\
+         \"args\":{{\"span_id\":{},\"parent_id\":{},\"a\":{},\"b\":{}}}}}",
+        json_escape(&s.name),
+        s.cat.label(),
+        s.trace_hi,
+        s.trace_lo,
+        s.span_id,
+        s.parent_id,
+        s.a,
+        s.b
+    );
+}
+
+impl TraceDump {
+    /// Renders the dump in Chrome `trace_event` JSON (object form, one
+    /// complete event per span; the 128-bit trace id travels as the
+    /// event `id`, the span/parent ids in `args`). The output loads in
+    /// `chrome://tracing` and Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, s) in self.recent.iter().chain(self.slow.iter()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_chrome_event(&mut out, s);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
         out
     }
 }
@@ -186,6 +235,10 @@ mod tests {
         snap.slow_spans.push(SlowSpan {
             name: "recalc".into(),
             cat: SpanCat::Recalc,
+            trace_hi: 0xDEAD,
+            trace_lo: 0xBEEF,
+            span_id: 5,
+            parent_id: 0,
             start_ns: 1,
             dur_ns: 2,
             a: 3,
@@ -200,6 +253,32 @@ mod tests {
         }
         assert!(json.contains("\"cat\":\"recalc\""));
         assert!(json.contains("\"buckets\":[[3,1]]"));
+    }
+
+    #[test]
+    fn chrome_trace_export_is_balanced_and_complete() {
+        use crate::trace::{ObsClock, Tracer, TracerOptions};
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let t = Tracer::new(TracerOptions {
+            clock: ObsClock::Manual(Arc::new(AtomicU64::new(0))),
+            slow_threshold_ns: 1_000,
+            id_seed: 9,
+            ..TracerOptions::default()
+        });
+        t.record("fast", SpanCat::Recalc, 0, 10, 1, 2);
+        t.record("slow\"quoted\"", SpanCat::WalFsync, 10, 5_000, 3, 4);
+        let dump = t.dump();
+        let json = dump.to_chrome_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(
+            json.matches("\"ph\":\"X\"").count(),
+            dump.span_count(),
+            "one complete event per span: {json}"
+        );
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("slow\\\"quoted\\\""), "names are escaped: {json}");
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub use metrics::{
     Counter, Gauge, GaugeValue, Histogram, HistogramSnapshot, MetricValue, MetricsSnapshot,
     Registry, HIST_BUCKETS,
 };
-pub use trace::{ObsClock, SlowSpan, Span, SpanCat, SpanRecord, Tracer, TracerOptions};
+pub use trace::{
+    ContextGuard, ObsClock, SlowSpan, Span, SpanCat, SpanGuard, SpanRecord, TraceContext,
+    TraceDump, Tracer, TracerOptions,
+};
 
 use std::sync::Arc;
 

@@ -492,6 +492,67 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_reports_zero_everywhere() {
+        // An empty histogram must freeze to all-zero percentiles — not
+        // the floor of some bucket, not a fall-through artifact.
+        let r = Registry::new();
+        let _ = r.histogram_with("empty", "k=\"v\"");
+        let snap = r.snapshot().histogram("empty", "k=\"v\"").cloned().unwrap();
+        assert_eq!((snap.count, snap.sum), (0, 0));
+        assert_eq!((snap.p50, snap.p90, snap.p99), (0, 0, 0));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(snap.mean(), 0.0);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn top_bucket_saturates_and_clamps() {
+        // Values with bit length 64 (top bit set) saturate into bucket 63
+        // and report `u64::MAX` as their bound — never a wrapped shift.
+        let r = Registry::new();
+        let h = r.histogram("sat");
+        for v in [1u64 << 63, (1u64 << 63) + 1, u64::MAX - 1, u64::MAX] {
+            h.record(v);
+        }
+        let snap = r.snapshot().histogram("sat", "").cloned().unwrap();
+        assert_eq!(snap.buckets, vec![(63, 4)]);
+        assert_eq!((snap.p50, snap.p90, snap.p99), (u64::MAX, u64::MAX, u64::MAX));
+        assert_eq!(snap.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn u64_max_does_not_overflow_the_bucketing() {
+        // `64 − leading_zeros(u64::MAX)` is 64 — one past the last bucket
+        // index. The clamp must land it in bucket 63, not index out of
+        // bounds or wrap.
+        let r = Registry::new();
+        let h = r.histogram("max");
+        h.record(u64::MAX);
+        let snap = r.snapshot().histogram("max", "").cloned().unwrap();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.buckets, vec![(63, 1)]);
+        assert_eq!(snap.p50, u64::MAX);
+        // And the bound helper agrees out past the end.
+        assert_eq!(bucket_upper(63), u64::MAX);
+        assert_eq!(bucket_upper(u8::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_rank_clamps_at_both_ends() {
+        let r = Registry::new();
+        let h = r.histogram("clamp");
+        h.record(1);
+        h.record(1000);
+        let snap = r.snapshot().histogram("clamp", "").cloned().unwrap();
+        // q=0 still picks the first sample (rank clamps up to 1)…
+        assert_eq!(snap.quantile(0.0), bucket_upper(1));
+        // …and q=1 the last (rank clamps down to count).
+        assert_eq!(snap.quantile(1.0), bucket_upper(10));
+    }
+
+    #[test]
     fn labels_separate_metrics() {
         let r = Registry::new();
         let a = r.gauge_with("taco_graph_edges", "book=\"a\"");

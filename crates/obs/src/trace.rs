@@ -2,14 +2,23 @@
 //! records plus a separate slow-op ring for spans over a configurable
 //! threshold.
 //!
-//! Spans are hierarchical by category, not by parent pointers: a workbook
-//! recalculation records one [`SpanCat::Recalc`] span, each sheet level
-//! inside it a [`SpanCat::SheetLevel`] span, and each intra-sheet
-//! cell-parallel level a [`SpanCat::CellLevel`] span. Start timestamps
-//! come from one shared clock, so containment reconstructs the tree; the
-//! two payload words carry the level index / size so no strings are built
-//! on the record path.
+//! Spans are causal: every record carries a 128-bit trace id plus its own
+//! span id and its parent's span id, so a flat ring reconstructs into a
+//! span *tree* per trace. Context propagates two ways:
+//!
+//! - **explicitly** — a [`TraceContext`] travels by value (it is four
+//!   `u64`s) through message queues and the wire protocol;
+//! - **ambiently** — [`TraceContext::enter`] installs a context in a
+//!   thread-local slot, and every [`Tracer::record`] call on that thread
+//!   parents itself under it until the guard drops. Layers that predate
+//!   tracing (engine levels, WAL appends) need no signature changes.
+//!
+//! Ids come from a splitmix64 stream seeded by
+//! [`TracerOptions::id_seed`], so a fixed seed plus a [`ObsClock::Manual`]
+//! clock makes whole span trees reproducible in tests. Recording stays
+//! allocation-free: ids are copied by value into fixed-size records.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
@@ -34,6 +43,8 @@ pub enum SpanCat {
     Compaction = 6,
     /// One service request (decode → dispatch → response ready).
     Request = 7,
+    /// One snapshot publication (copy-on-write epoch swap).
+    Publish = 8,
 }
 
 impl SpanCat {
@@ -48,6 +59,7 @@ impl SpanCat {
             5 => SpanCat::WalFsync,
             6 => SpanCat::Compaction,
             7 => SpanCat::Request,
+            8 => SpanCat::Publish,
             _ => return None,
         })
     }
@@ -63,7 +75,63 @@ impl SpanCat {
             SpanCat::WalFsync => "wal_fsync",
             SpanCat::Compaction => "compaction",
             SpanCat::Request => "request",
+            SpanCat::Publish => "publish",
         }
+    }
+}
+
+/// A causal coordinate: which trace a span belongs to, the span's own id,
+/// and the id of the span it nests under. Four words, `Copy`, and cheap
+/// enough to thread through queues and wire frames by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// High half of the 128-bit trace id.
+    pub trace_hi: u64,
+    /// Low half of the 128-bit trace id.
+    pub trace_lo: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// The enclosing span's id (0 at a trace root).
+    pub parent_id: u64,
+}
+
+thread_local! {
+    /// The ambient context of the current thread; [`Tracer::record`]
+    /// parents every span under it.
+    static CURRENT: Cell<TraceContext> = const { Cell::new(TraceContext::NONE) };
+}
+
+impl TraceContext {
+    /// The absent context (all zeros).
+    pub const NONE: TraceContext =
+        TraceContext { trace_hi: 0, trace_lo: 0, span_id: 0, parent_id: 0 };
+
+    /// Whether this is the absent context.
+    pub fn is_none(self) -> bool {
+        self.trace_hi == 0 && self.trace_lo == 0
+    }
+
+    /// The thread's current ambient context.
+    pub fn current() -> TraceContext {
+        CURRENT.with(Cell::get)
+    }
+
+    /// Installs `self` as the thread's ambient context until the guard
+    /// drops (the previous context is restored, so guards nest).
+    pub fn enter(self) -> ContextGuard {
+        let prev = CURRENT.with(|c| c.replace(self));
+        ContextGuard { prev }
+    }
+}
+
+/// Restores the previous ambient [`TraceContext`] on drop.
+pub struct ContextGuard {
+    prev: TraceContext,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
     }
 }
 
@@ -76,6 +144,14 @@ pub struct SpanRecord {
     pub name: &'static str,
     /// Hierarchy / subsystem tag.
     pub cat: SpanCat,
+    /// High half of the owning trace id.
+    pub trace_hi: u64,
+    /// Low half of the owning trace id.
+    pub trace_lo: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// The parent span's id (0 at a trace root).
+    pub parent_id: u64,
     /// Start, in nanoseconds on the tracer's clock.
     pub start_ns: u64,
     /// Duration in nanoseconds.
@@ -95,6 +171,14 @@ pub struct SlowSpan {
     pub name: String,
     /// What phase the span covers.
     pub cat: SpanCat,
+    /// High half of the owning trace id.
+    pub trace_hi: u64,
+    /// Low half of the owning trace id.
+    pub trace_lo: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// The parent span's id (0 at a trace root).
+    pub parent_id: u64,
     /// Start stamp on the tracer clock (ns).
     pub start_ns: u64,
     /// Duration (ns).
@@ -110,11 +194,50 @@ impl From<SpanRecord> for SlowSpan {
         SlowSpan {
             name: r.name.to_string(),
             cat: r.cat,
+            trace_hi: r.trace_hi,
+            trace_lo: r.trace_lo,
+            span_id: r.span_id,
+            parent_id: r.parent_id,
             start_ns: r.start_ns,
             dur_ns: r.dur_ns,
             a: r.a,
             b: r.b,
         }
+    }
+}
+
+/// A bounded snapshot of the tracer's two rings, ready for exposition
+/// ([`crate::MetricsSnapshot`]-style owned copies). Sizes are bounded by
+/// the ring capacities, so a dump can never exceed
+/// `span_capacity + slow_capacity` spans.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceDump {
+    /// The main ring, oldest-first.
+    pub recent: Vec<SlowSpan>,
+    /// The slow-op log, oldest-first. Slow *requests* retain their full
+    /// subtree here (every same-trace span still in the main ring is
+    /// copied alongside the root), so a slow request stays explainable
+    /// after the main ring has moved on.
+    pub slow: Vec<SlowSpan>,
+}
+
+impl TraceDump {
+    /// Total spans across both rings.
+    pub fn span_count(&self) -> usize {
+        self.recent.len() + self.slow.len()
+    }
+
+    /// The direct children of `parent` among `spans` (tree reconstruction
+    /// helper: match on trace id + parent pointer).
+    pub fn children_of<'a>(spans: &'a [SlowSpan], parent: &SlowSpan) -> Vec<&'a SlowSpan> {
+        spans
+            .iter()
+            .filter(|s| {
+                s.trace_hi == parent.trace_hi
+                    && s.trace_lo == parent.trace_lo
+                    && s.parent_id == parent.span_id
+            })
+            .collect()
     }
 }
 
@@ -140,6 +263,9 @@ pub struct TracerOptions {
     pub slow_threshold_ns: u64,
     /// The time source.
     pub clock: ObsClock,
+    /// Seed for the splitmix64 trace/span id stream. A fixed seed (plus a
+    /// [`ObsClock::Manual`] clock) makes span trees bit-reproducible.
+    pub id_seed: u64,
 }
 
 impl Default for TracerOptions {
@@ -149,6 +275,7 @@ impl Default for TracerOptions {
             slow_capacity: 64,
             slow_threshold_ns: 10_000_000, // 10 ms
             clock: ObsClock::Monotonic,
+            id_seed: 0,
         }
     }
 }
@@ -196,8 +323,21 @@ enum ClockSource {
 struct TracerInner {
     clock: ClockSource,
     threshold_ns: u64,
+    /// splitmix64 state for trace/span ids (advanced by the golden gamma
+    /// per draw; one atomic add + a few shifts, allocation-free).
+    ids: AtomicU64,
     ring: Mutex<Ring>,
     slow: Mutex<Ring>,
+}
+
+/// splitmix64's increment.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// splitmix64 output mix.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The span tracer. Cloning shares the rings; recording is a mutex-guarded
@@ -217,6 +357,7 @@ impl Tracer {
                     ObsClock::Manual(c) => ClockSource::Manual(c),
                 },
                 threshold_ns: opts.slow_threshold_ns,
+                ids: AtomicU64::new(opts.id_seed),
                 ring: Mutex::new(Ring::new(opts.span_capacity)),
                 slow: Mutex::new(Ring::new(opts.slow_capacity)),
             }),
@@ -233,8 +374,44 @@ impl Tracer {
         }
     }
 
-    /// Records a completed span. Allocation-free: both rings are
-    /// pre-allocated and overwrite their oldest entry when full.
+    /// Draws one non-zero id from the splitmix64 stream.
+    fn next_id(&self) -> u64 {
+        let z = mix(self.inner.ids.fetch_add(GAMMA, Ordering::Relaxed).wrapping_add(GAMMA));
+        if z == 0 {
+            GAMMA // 0 means "absent" everywhere; remap the one bad draw
+        } else {
+            z
+        }
+    }
+
+    /// A fresh root context: new 128-bit trace id, new span id, no parent.
+    pub fn new_root(&self) -> TraceContext {
+        TraceContext {
+            trace_hi: self.next_id(),
+            trace_lo: self.next_id(),
+            span_id: self.next_id(),
+            parent_id: 0,
+        }
+    }
+
+    /// A child of `parent`: same trace, fresh span id, parented under
+    /// `parent`'s span. A `NONE` parent starts a fresh root instead, so
+    /// every span belongs to *some* trace.
+    pub fn child_of(&self, parent: TraceContext) -> TraceContext {
+        if parent.is_none() {
+            return self.new_root();
+        }
+        TraceContext {
+            trace_hi: parent.trace_hi,
+            trace_lo: parent.trace_lo,
+            span_id: self.next_id(),
+            parent_id: parent.span_id,
+        }
+    }
+
+    /// Records a completed span under the thread's ambient context (a
+    /// fresh root when no context is installed). Allocation-free: both
+    /// rings are pre-allocated and overwrite their oldest entry when full.
     pub fn record(
         &self,
         name: &'static str,
@@ -244,17 +421,94 @@ impl Tracer {
         a: u64,
         b: u64,
     ) {
-        let rec = SpanRecord { name, cat, start_ns, dur_ns, a, b };
+        let ctx = self.child_of(TraceContext::current());
+        self.record_at(name, cat, ctx, start_ns, dur_ns, a, b);
+    }
+
+    /// Records a completed span at an explicit causal coordinate (the
+    /// span takes `ctx.span_id`; its parent is `ctx.parent_id`).
+    /// Allocation-free like [`Tracer::record`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_at(
+        &self,
+        name: &'static str,
+        cat: SpanCat,
+        ctx: TraceContext,
+        start_ns: u64,
+        dur_ns: u64,
+        a: u64,
+        b: u64,
+    ) {
+        let rec = SpanRecord {
+            name,
+            cat,
+            trace_hi: ctx.trace_hi,
+            trace_lo: ctx.trace_lo,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
+            start_ns,
+            dur_ns,
+            a,
+            b,
+        };
         self.inner.ring.lock().unwrap_or_else(PoisonError::into_inner).push(rec);
         if dur_ns >= self.inner.threshold_ns {
-            self.inner.slow.lock().unwrap_or_else(PoisonError::into_inner).push(rec);
+            let mut slow = self.inner.slow.lock().unwrap_or_else(PoisonError::into_inner);
+            if rec.cat == SpanCat::Request && !ctx.is_none() {
+                // A slow request keeps its full subtree: copy every
+                // same-trace span still in the main ring (they were
+                // recorded before their root, so they are already there).
+                // Bounded by the main ring's capacity; allocation-free
+                // (the slow ring is pre-allocated too).
+                let ring = self.inner.ring.lock().unwrap_or_else(PoisonError::into_inner);
+                for r in &ring.buf {
+                    if r.trace_hi == rec.trace_hi
+                        && r.trace_lo == rec.trace_lo
+                        && r.span_id != rec.span_id
+                    {
+                        slow.push(*r);
+                    }
+                }
+            }
+            slow.push(rec);
         }
     }
 
     /// Starts a guard span that records itself (with the payload words set
-    /// at drop time) when it goes out of scope.
+    /// at drop time) when it goes out of scope. Purely measurement: the
+    /// span parents under whatever is ambient *at drop time* but does not
+    /// install itself; use [`Tracer::span_guard`] for tree-building spans.
     pub fn span(&self, name: &'static str, cat: SpanCat) -> Span<'_> {
         Span { tracer: self, name, cat, start_ns: self.now_ns(), a: 0, b: 0 }
+    }
+
+    /// Starts a tree-building RAII span: allocates a child context of the
+    /// thread's ambient context, installs it ambiently (so spans recorded
+    /// on this thread nest under it), and records itself on drop.
+    pub fn span_guard(&self, name: &'static str, cat: SpanCat) -> SpanGuard {
+        self.span_guard_under(name, cat, TraceContext::current())
+    }
+
+    /// [`Tracer::span_guard`] with an explicit parent context (wire
+    /// propagation: the parent arrived by value, not ambiently).
+    pub fn span_guard_under(
+        &self,
+        name: &'static str,
+        cat: SpanCat,
+        parent: TraceContext,
+    ) -> SpanGuard {
+        let ctx = self.child_of(parent);
+        let prev = CURRENT.with(|c| c.replace(ctx));
+        SpanGuard {
+            tracer: self.clone(),
+            name,
+            cat,
+            ctx,
+            prev,
+            start_ns: self.now_ns(),
+            a: 0,
+            b: 0,
+        }
     }
 
     /// The main ring, oldest-first (cold; allocates the output).
@@ -265,6 +519,14 @@ impl Tracer {
     /// The slow-op log, oldest-first (cold; allocates the output).
     pub fn slow(&self) -> Vec<SpanRecord> {
         self.inner.slow.lock().unwrap_or_else(PoisonError::into_inner).to_vec()
+    }
+
+    /// An owned snapshot of both rings (cold; allocates the output).
+    pub fn dump(&self) -> TraceDump {
+        TraceDump {
+            recent: self.recent().into_iter().map(SlowSpan::from).collect(),
+            slow: self.slow().into_iter().map(SlowSpan::from).collect(),
+        }
     }
 }
 
@@ -289,6 +551,40 @@ impl Drop for Span<'_> {
     }
 }
 
+/// A tree-building RAII span (see [`Tracer::span_guard`]): owns a
+/// [`TraceContext`], keeps it ambient on the creating thread for its
+/// lifetime, and records itself on drop. Owns a tracer clone (one Arc
+/// bump) so it can outlive the borrow it was created from.
+pub struct SpanGuard {
+    tracer: Tracer,
+    name: &'static str,
+    cat: SpanCat,
+    ctx: TraceContext,
+    prev: TraceContext,
+    start_ns: u64,
+    /// First payload word, recorded at drop.
+    pub a: u64,
+    /// Second payload word, recorded at drop.
+    pub b: u64,
+}
+
+impl SpanGuard {
+    /// The guard's causal coordinate (thread it through a queue to parent
+    /// work happening on another thread under this span).
+    pub fn context(&self) -> TraceContext {
+        self.ctx
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+        let end = self.tracer.now_ns();
+        let dur = end.saturating_sub(self.start_ns);
+        self.tracer.record_at(self.name, self.cat, self.ctx, self.start_ns, dur, self.a, self.b);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +596,7 @@ mod tests {
             slow_capacity: 2,
             slow_threshold_ns: 100,
             clock: ObsClock::Manual(clock.clone()),
+            id_seed: 42,
         });
         (t, clock)
     }
@@ -308,7 +605,7 @@ mod tests {
     fn ring_overwrites_oldest() {
         let (t, _) = manual();
         for i in 0..6u64 {
-            t.record("op", SpanCat::Request, i, 1, i, 0);
+            t.record("op", SpanCat::WalAppend, i, 1, i, 0);
         }
         let recent = t.recent();
         assert_eq!(recent.len(), 4);
@@ -352,6 +649,7 @@ mod tests {
             slow_capacity: 0,
             slow_threshold_ns: 0,
             clock: ObsClock::Manual(clock),
+            id_seed: 0,
         });
         t.record("op", SpanCat::Request, 0, u64::MAX, 0, 0);
         assert!(t.recent().is_empty());
@@ -366,5 +664,88 @@ mod tests {
                 None => assert_eq!(b, 8),
             }
         }
+    }
+
+    #[test]
+    fn span_guards_build_a_tree() {
+        let (t, _) = manual();
+        {
+            let root = t.span_guard("root", SpanCat::Request);
+            assert_eq!(TraceContext::current(), root.context());
+            {
+                let child = t.span_guard("child", SpanCat::Recalc);
+                assert_eq!(child.context().parent_id, root.context().span_id);
+                assert_eq!(child.context().trace_hi, root.context().trace_hi);
+                // A plain record on this thread parents under the child.
+                t.record("leaf", SpanCat::CellLevel, 0, 1, 0, 0);
+            }
+            // The child restored the root's ambient context.
+            assert_eq!(TraceContext::current(), root.context());
+        }
+        assert_eq!(TraceContext::current(), TraceContext::NONE);
+        let recent = t.recent();
+        assert_eq!(recent.len(), 3);
+        // Recorded leaf-first (drop order): leaf, child, root.
+        let (leaf, child, root) = (&recent[0], &recent[1], &recent[2]);
+        assert_eq!(root.parent_id, 0);
+        assert_eq!(child.parent_id, root.span_id);
+        assert_eq!(leaf.parent_id, child.span_id);
+        assert!(recent.iter().all(|r| r.trace_hi == root.trace_hi && r.trace_lo == root.trace_lo));
+    }
+
+    #[test]
+    fn fixed_seed_reproduces_span_ids() {
+        let run = || {
+            let (t, _) = manual();
+            let root = t.new_root();
+            let _g = root.enter();
+            t.record("a", SpanCat::Recalc, 0, 1, 0, 0);
+            t.record("b", SpanCat::Demand, 0, 1, 0, 0);
+            t.recent()
+        };
+        assert_eq!(run(), run(), "same seed + same script must yield identical records");
+    }
+
+    #[test]
+    fn explicit_context_round_trips_by_value() {
+        let (t, _) = manual();
+        let parent = t.new_root();
+        // Simulate a queue hop: the context crosses by value, then work
+        // on the "other thread" enters it.
+        let carried = parent;
+        {
+            let _g = carried.enter();
+            t.record("remote", SpanCat::WalAppend, 0, 1, 0, 0);
+        }
+        let recent = t.recent();
+        assert_eq!(recent[0].parent_id, parent.span_id);
+        assert_eq!(recent[0].trace_lo, parent.trace_lo);
+    }
+
+    #[test]
+    fn slow_request_retains_its_subtree() {
+        let clock = Arc::new(AtomicU64::new(0));
+        let t = Tracer::new(TracerOptions {
+            span_capacity: 16,
+            slow_capacity: 16,
+            slow_threshold_ns: 100,
+            clock: ObsClock::Manual(clock),
+            id_seed: 7,
+        });
+        let root = t.new_root();
+        {
+            let _g = root.enter();
+            // Fast children: below the threshold on their own.
+            t.record("child1", SpanCat::Recalc, 0, 10, 0, 0);
+            t.record("child2", SpanCat::WalAppend, 10, 10, 0, 0);
+        }
+        // The root crosses the threshold: its whole subtree lands in the
+        // slow log, children included.
+        t.record_at("request", SpanCat::Request, root, 0, 500, 0, 0);
+        let slow = t.slow();
+        assert_eq!(slow.len(), 3, "{slow:?}");
+        assert!(slow.iter().any(|s| s.name == "child1"));
+        assert!(slow.iter().any(|s| s.name == "child2"));
+        assert_eq!(slow.last().unwrap().name, "request");
     }
 }

@@ -12,13 +12,26 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use taco_formula::Value;
 use taco_grid::{Cell, Range};
-use taco_obs::MetricsSnapshot;
+use taco_obs::{MetricsSnapshot, TraceContext, TraceDump};
 use taco_store::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 
 /// A way to deliver a [`Request`] and receive its [`Response`].
 pub trait Transport {
     /// One request/response exchange.
-    fn call(&mut self, req: Request) -> Result<Response, ServiceError>;
+    fn call(&mut self, req: Request) -> Result<Response, ServiceError> {
+        self.call_traced(req, None)
+    }
+
+    /// One exchange carrying an optional client trace context — the
+    /// server parents the request's root span under it, so every request
+    /// a client sends with the same context lands in one trace. The
+    /// in-process transport passes it straight through; the TCP
+    /// transport wraps the request in the traced wire extension.
+    fn call_traced(
+        &mut self,
+        req: Request,
+        ctx: Option<TraceContext>,
+    ) -> Result<Response, ServiceError>;
 }
 
 /// The in-process transport: requests execute on the calling thread
@@ -36,8 +49,12 @@ impl InProc {
 }
 
 impl Transport for InProc {
-    fn call(&mut self, req: Request) -> Result<Response, ServiceError> {
-        Ok(self.registry.execute(req))
+    fn call_traced(
+        &mut self,
+        req: Request,
+        ctx: Option<TraceContext>,
+    ) -> Result<Response, ServiceError> {
+        Ok(self.registry.execute_traced(req, ctx, 0))
     }
 }
 
@@ -58,8 +75,16 @@ impl Tcp {
 }
 
 impl Transport for Tcp {
-    fn call(&mut self, req: Request) -> Result<Response, ServiceError> {
-        write_frame(&mut self.stream, &req.encode())?;
+    fn call_traced(
+        &mut self,
+        req: Request,
+        ctx: Option<TraceContext>,
+    ) -> Result<Response, ServiceError> {
+        let bytes = match ctx {
+            Some(ctx) => req.encode_traced(ctx),
+            None => req.encode(),
+        };
+        write_frame(&mut self.stream, &bytes)?;
         let payload = read_frame(&mut self.stream, self.max_frame)?;
         Ok(Response::decode(&payload)?)
     }
@@ -71,6 +96,7 @@ pub struct Client<T: Transport> {
     transport: T,
     token: Option<u64>,
     sheets: Vec<String>,
+    trace: Option<TraceContext>,
 }
 
 /// [`Client`] over the in-process transport.
@@ -95,7 +121,21 @@ impl TcpClient {
 impl<T: Transport> Client<T> {
     /// Wraps a transport.
     pub fn over(transport: T) -> Self {
-        Client { transport, token: None, sheets: Vec::new() }
+        Client { transport, token: None, sheets: Vec::new(), trace: None }
+    }
+
+    /// Attaches a sticky trace context: every subsequent request travels
+    /// with it, so the server parents each request's span tree under one
+    /// client-chosen trace id (fetch the assembled tree later with
+    /// [`Client::trace_dump`]). Pass any tracer's `new_root()` result,
+    /// or build ids by hand. Cleared by [`Client::clear_trace`].
+    pub fn set_trace(&mut self, ctx: TraceContext) {
+        self.trace = Some(ctx);
+    }
+
+    /// Stops attaching a trace context to outgoing requests.
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
     }
 
     /// The session's visible sheets (filled by [`Client::open`]).
@@ -113,7 +153,7 @@ impl<T: Transport> Client<T> {
     }
 
     fn call(&mut self, req: Request) -> Result<Response, ServiceError> {
-        match self.transport.call(req)? {
+        match self.transport.call_traced(req, self.trace)? {
             Response::Err(e) => Err(e),
             resp => Ok(resp),
         }
@@ -354,6 +394,22 @@ impl<T: Transport> Client<T> {
         match self.call(Request::Metrics { token })? {
             Response::Metrics(m) => Ok(*m),
             _ => Err(ServiceError::Protocol("expected Metrics")),
+        }
+    }
+
+    /// A snapshot of the server's span rings: the recent-span ring plus
+    /// the slow-request log, with full trace/span/parent ids. Walk it
+    /// with [`TraceDump::children_of`] or render it with
+    /// [`TraceDump::to_chrome_json`]. Fails with `BadRequest` when the
+    /// server runs with observability disabled.
+    ///
+    /// [`TraceDump::children_of`]: taco_obs::TraceDump::children_of
+    /// [`TraceDump::to_chrome_json`]: taco_obs::TraceDump::to_chrome_json
+    pub fn trace_dump(&mut self) -> Result<TraceDump, ServiceError> {
+        let token = self.need_token()?;
+        match self.call(Request::TraceDump { token })? {
+            Response::Traces(t) => Ok(*t),
+            _ => Err(ServiceError::Protocol("expected Traces")),
         }
     }
 }

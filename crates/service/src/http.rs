@@ -1,0 +1,139 @@
+//! Minimal scrape sidecar: a `std::net` HTTP/1.0 listener serving the
+//! hub's exposition formats so Prometheus (or a browser) can pull them
+//! without speaking the TACO wire protocol.
+//!
+//! Two routes, both read-only:
+//!
+//! * `GET /metrics` — Prometheus text format (`text/plain; version=0.0.4`)
+//! * `GET /trace`   — Chrome `trace_event` JSON of the current span rings
+//!
+//! Anything else is a `404`; a request line we cannot parse is a `400`.
+//! The handler never panics on malformed input — it answers (or drops the
+//! connection) and moves on, so a fuzzer poking the scrape port cannot
+//! take the serving process down. One request per connection (HTTP/1.0
+//! semantics, `Connection: close`), which keeps the loop allocation-light
+//! and means a stalled scraper holds a socket, not the sidecar.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use taco_obs::Obs;
+
+/// Upper bound on the request head (request line + headers) we will read
+/// before answering `400` — keeps a hostile client from streaming an
+/// unbounded header block at the sidecar.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// The running scrape listener: a bound socket plus its accept thread.
+pub struct HttpSidecar {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpSidecar {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts the accept loop.
+    /// Errors surface only as the bind failing — after this returns `Ok`,
+    /// the sidecar answers until [`shutdown`](HttpSidecar::shutdown).
+    pub fn start(addr: &str, hub: Arc<Obs>) -> std::io::Result<HttpSidecar> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("taco-http".into())
+            .spawn(move || accept_loop(listener, hub, stop2))?;
+        Ok(HttpSidecar { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (useful when started on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread. Idempotent.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, hub: Arc<Obs>, stop: Arc<AtomicBool>) {
+    loop {
+        let conn = listener.accept();
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _)) = conn else { continue };
+        // Bound both directions so a stalled peer cannot wedge the loop.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        serve_one(stream, &hub);
+    }
+}
+
+/// Answers exactly one request on `stream`; all errors end the connection.
+fn serve_one(stream: TcpStream, hub: &Arc<Obs>) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.by_ref().take(MAX_HEAD_BYTES as u64).read_line(&mut line).is_err() {
+        return; // unreadable / non-UTF-8 request line: just drop it
+    }
+    let mut stream = reader.into_inner();
+    // A head that never reached its line terminator was truncated — by
+    // EOF or by the head cap — and is refused, not served.
+    let target = if line.ends_with('\n') { parse_request_line(&line) } else { None };
+    let (status, content_type, body) = match target.as_deref() {
+        Some("/metrics") => {
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", hub.snapshot().to_prometheus())
+        }
+        Some("/trace") => ("200 OK", "application/json", hub.tracer.dump().to_chrome_json()),
+        Some(_) => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".into()),
+        None => ("400 Bad Request", "text/plain; charset=utf-8", "bad request\n".into()),
+    };
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes()).and_then(|()| stream.write_all(body.as_bytes()));
+}
+
+/// Extracts the path from `GET <path> HTTP/1.x`; `None` on anything else
+/// (which the caller turns into a `400`). The query string is dropped so
+/// `GET /metrics?x=1` still scrapes.
+fn parse_request_line(line: &str) -> Option<String> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    let version = parts.next()?;
+    if method != "GET" || !version.starts_with("HTTP/") || parts.next().is_some() {
+        return None;
+    }
+    let path = path.split('?').next().unwrap_or(path);
+    if !path.starts_with('/') {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parsing() {
+        assert_eq!(parse_request_line("GET /metrics HTTP/1.1\r\n").as_deref(), Some("/metrics"));
+        assert_eq!(parse_request_line("GET /trace?x=1 HTTP/1.0\r\n").as_deref(), Some("/trace"));
+        assert_eq!(parse_request_line("POST /metrics HTTP/1.1\r\n"), None);
+        assert_eq!(parse_request_line("GET metrics HTTP/1.1\r\n"), None);
+        assert_eq!(parse_request_line("GARBAGE\r\n"), None);
+        assert_eq!(parse_request_line("\r\n"), None);
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod http;
 mod obs;
 pub mod protocol;
 pub mod registry;
@@ -48,6 +49,7 @@ pub mod server;
 pub mod session;
 
 pub use client::{Client, InProcClient, TcpClient, Transport};
+pub use http::HttpSidecar;
 pub use protocol::{Request, Response, ServiceStats};
 pub use registry::{Registry, ServiceOptions, Snapshot};
 pub use server::{Server, ServerOptions};

@@ -9,7 +9,7 @@
 use crate::protocol::{OP_LABELS, OP_NAMES};
 use std::sync::Arc;
 use std::time::Instant;
-use taco_obs::{Counter, Gauge, Histogram, Obs, SpanCat, Tracer};
+use taco_obs::{Counter, Gauge, Histogram, Obs, SpanCat, TraceContext, Tracer};
 
 /// Pre-registered handles for the service layer, indexed by request tag.
 pub(crate) struct ServiceObs {
@@ -30,7 +30,7 @@ pub(crate) struct ServiceObs {
     pub(crate) busy_rejected: Counter,
     pub(crate) auth_failures: Counter,
     pub(crate) scope_denials: Counter,
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
 }
 
 impl ServiceObs {
@@ -57,14 +57,41 @@ impl ServiceObs {
         (Instant::now(), self.tracer.now_ns())
     }
 
+    /// The root span context for one request: a child of the wire-carried
+    /// context when the client sent a traced wrapper, else a fresh root.
+    pub(crate) fn request_ctx(&self, wire: Option<TraceContext>) -> TraceContext {
+        match wire {
+            Some(w) => self.tracer.child_of(w),
+            None => self.tracer.new_root(),
+        }
+    }
+
     /// Records one completed request: its per-operation latency histogram
-    /// plus a `Request` span named after the operation.
-    pub(crate) fn on_request(&self, tag: u8, start: Instant, start_ns: u64) {
+    /// plus a `Request` span at `ctx` — the root every span the request
+    /// caused (engine levels, WAL appends, publication) nests under.
+    /// Payload words: `a` = request tag, `b` = wire payload size in bytes
+    /// (0 for in-process execution).
+    pub(crate) fn on_request(
+        &self,
+        tag: u8,
+        start: Instant,
+        start_ns: u64,
+        ctx: TraceContext,
+        payload_len: u64,
+    ) {
         let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if let Some(h) = self.req_ns.get(tag as usize) {
             h.record(dur);
         }
         let name = OP_NAMES.get(tag as usize).copied().unwrap_or("unknown");
-        self.tracer.record(name, SpanCat::Request, start_ns, dur, u64::from(tag), 0);
+        self.tracer.record_at(
+            name,
+            SpanCat::Request,
+            ctx,
+            start_ns,
+            dur,
+            u64::from(tag),
+            payload_len,
+        );
     }
 }

@@ -16,7 +16,10 @@ use crate::ServiceError;
 use std::io::{Read, Write};
 use taco_formula::Value;
 use taco_grid::{Cell, Range};
-use taco_obs::{GaugeValue, HistogramSnapshot, MetricValue, MetricsSnapshot, SlowSpan, SpanCat};
+use taco_obs::{
+    GaugeValue, HistogramSnapshot, MetricValue, MetricsSnapshot, SlowSpan, SpanCat, TraceContext,
+    TraceDump,
+};
 use taco_store::codec::{read_ivarint, write_ivarint};
 use taco_store::codec::{read_string, read_uvarint, write_string, write_uvarint};
 use taco_store::image::{read_cell, read_range, read_value, write_cell, write_range, write_value};
@@ -225,6 +228,14 @@ pub enum Request {
         /// The session token.
         token: u64,
     },
+    /// A bounded span-tree snapshot from the service's tracer: the
+    /// recent-span ring plus the slow-request log (requests over the
+    /// slow threshold keep their full subtree). A typed `BadRequest`
+    /// when the service runs with observability disabled.
+    TraceDump {
+        /// The session token.
+        token: u64,
+    },
 }
 
 /// One server reply.
@@ -292,6 +303,11 @@ pub enum Response {
         /// the slow-span log.
         Box<MetricsSnapshot>,
     ),
+    /// A span-tree snapshot ([`Request::TraceDump`]).
+    Traces(
+        /// The recent-span ring plus the slow-request log, oldest first.
+        Box<TraceDump>,
+    ),
     /// The request failed.
     Err(
         /// The typed failure.
@@ -356,9 +372,15 @@ const REQ_DELETE_ROWS: u8 = 17;
 const REQ_INSERT_COLS: u8 = 18;
 const REQ_DELETE_COLS: u8 = 19;
 const REQ_METRICS: u8 = 20;
+const REQ_TRACE_DUMP: u8 = 21;
+/// The traced-request wrapper tag: `22 · trace_hi · trace_lo · parent
+/// span id (u64 LE each) · inner request bytes`. Not a request of its
+/// own — a frame extension that propagates the client's trace context
+/// so server-side spans parent under the caller's span tree.
+const REQ_TRACED: u8 = 22;
 
 /// Operation names, indexed by request tag (span labels).
-pub const OP_NAMES: [&str; 21] = [
+pub const OP_NAMES: [&str; 22] = [
     "open",
     "close",
     "set_value",
@@ -380,12 +402,13 @@ pub const OP_NAMES: [&str; 21] = [
     "insert_cols",
     "delete_cols",
     "metrics",
+    "trace_dump",
 ];
 
 /// Pre-rendered `op="..."` label strings, indexed by request tag
 /// (per-operation latency histogram labels — rendered once so request
 /// timing never formats).
-pub const OP_LABELS: [&str; 21] = [
+pub const OP_LABELS: [&str; 22] = [
     "op=\"open\"",
     "op=\"close\"",
     "op=\"set_value\"",
@@ -407,6 +430,7 @@ pub const OP_LABELS: [&str; 21] = [
     "op=\"insert_cols\"",
     "op=\"delete_cols\"",
     "op=\"metrics\"",
+    "op=\"trace_dump\"",
 ];
 
 const RESP_OPENED: u8 = 0;
@@ -421,6 +445,7 @@ const RESP_SAVED: u8 = 8;
 const RESP_STATS: u8 = 9;
 const RESP_ERR: u8 = 10;
 const RESP_METRICS: u8 = 11;
+const RESP_TRACES: u8 = 12;
 
 fn write_opt_string<W: Write>(w: &mut W, s: &Option<String>) -> Result<(), StoreError> {
     match s {
@@ -470,6 +495,80 @@ fn checked_len(n: u64) -> Result<usize, StoreError> {
     Ok(n as usize)
 }
 
+/// Trace/span ids are full-entropy 64-bit values, so they travel as
+/// fixed 8-byte little-endian words instead of varints (which would
+/// cost 10 bytes for a random id).
+fn write_u64_le<W: Write>(w: &mut W, v: u64) -> Result<(), StoreError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u64_le<R: Read>(r: &mut R) -> Result<u64, StoreError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_span<W: Write>(w: &mut W, sp: &SlowSpan) -> Result<(), StoreError> {
+    write_string(w, &sp.name)?;
+    w.write_all(&[sp.cat as u8])?;
+    write_u64_le(w, sp.trace_hi)?;
+    write_u64_le(w, sp.trace_lo)?;
+    write_u64_le(w, sp.span_id)?;
+    write_u64_le(w, sp.parent_id)?;
+    write_uvarint(w, sp.start_ns)?;
+    write_uvarint(w, sp.dur_ns)?;
+    write_uvarint(w, sp.a)?;
+    write_uvarint(w, sp.b)?;
+    Ok(())
+}
+
+fn read_span<R: Read>(r: &mut R) -> Result<SlowSpan, StoreError> {
+    let name = read_wire_string(r)?;
+    let mut cat = [0u8; 1];
+    r.read_exact(&mut cat)?;
+    let cat =
+        SpanCat::from_u8(cat[0]).ok_or(StoreError::Malformed("span category out of range"))?;
+    Ok(SlowSpan {
+        name,
+        cat,
+        trace_hi: read_u64_le(r)?,
+        trace_lo: read_u64_le(r)?,
+        span_id: read_u64_le(r)?,
+        parent_id: read_u64_le(r)?,
+        start_ns: read_uvarint(r)?,
+        dur_ns: read_uvarint(r)?,
+        a: read_uvarint(r)?,
+        b: read_uvarint(r)?,
+    })
+}
+
+fn write_spans<W: Write>(w: &mut W, spans: &[SlowSpan]) -> Result<(), StoreError> {
+    write_uvarint(w, spans.len() as u64)?;
+    for sp in spans {
+        write_span(w, sp)?;
+    }
+    Ok(())
+}
+
+fn read_spans<R: Read>(r: &mut R) -> Result<Vec<SlowSpan>, StoreError> {
+    let n = checked_len(read_uvarint(r)?)?;
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        spans.push(read_span(r)?);
+    }
+    Ok(spans)
+}
+
+fn write_trace_dump<W: Write>(w: &mut W, dump: &TraceDump) -> Result<(), StoreError> {
+    write_spans(w, &dump.recent)?;
+    write_spans(w, &dump.slow)
+}
+
+fn read_trace_dump<R: Read>(r: &mut R) -> Result<TraceDump, StoreError> {
+    Ok(TraceDump { recent: read_spans(r)?, slow: read_spans(r)? })
+}
+
 fn write_metrics<W: Write>(w: &mut W, snap: &MetricsSnapshot) -> Result<(), StoreError> {
     write_uvarint(w, snap.counters.len() as u64)?;
     for c in &snap.counters {
@@ -498,15 +597,7 @@ fn write_metrics<W: Write>(w: &mut W, snap: &MetricsSnapshot) -> Result<(), Stor
         write_uvarint(w, h.p90)?;
         write_uvarint(w, h.p99)?;
     }
-    write_uvarint(w, snap.slow_spans.len() as u64)?;
-    for sp in &snap.slow_spans {
-        write_string(w, &sp.name)?;
-        w.write_all(&[sp.cat as u8])?;
-        write_uvarint(w, sp.start_ns)?;
-        write_uvarint(w, sp.dur_ns)?;
-        write_uvarint(w, sp.a)?;
-        write_uvarint(w, sp.b)?;
-    }
+    write_spans(w, &snap.slow_spans)?;
     Ok(())
 }
 
@@ -561,23 +652,7 @@ fn read_metrics<R: Read>(r: &mut R) -> Result<MetricsSnapshot, StoreError> {
             p99,
         });
     }
-    let n = checked_len(read_uvarint(r)?)?;
-    snap.slow_spans.reserve_exact(n);
-    for _ in 0..n {
-        let name = read_wire_string(r)?;
-        let mut cat = [0u8; 1];
-        r.read_exact(&mut cat)?;
-        let cat =
-            SpanCat::from_u8(cat[0]).ok_or(StoreError::Malformed("span category out of range"))?;
-        snap.slow_spans.push(SlowSpan {
-            name,
-            cat,
-            start_ns: read_uvarint(r)?,
-            dur_ns: read_uvarint(r)?,
-            a: read_uvarint(r)?,
-            b: read_uvarint(r)?,
-        });
-    }
+    snap.slow_spans = read_spans(r)?;
     Ok(snap)
 }
 
@@ -607,6 +682,7 @@ impl Request {
             Request::InsertCols { .. } => REQ_INSERT_COLS,
             Request::DeleteCols { .. } => REQ_DELETE_COLS,
             Request::Metrics { .. } => REQ_METRICS,
+            Request::TraceDump { .. } => REQ_TRACE_DUMP,
         }
     }
 
@@ -738,6 +814,10 @@ impl Request {
                     w.push(REQ_METRICS);
                     write_uvarint(w, *token)?;
                 }
+                Request::TraceDump { token } => {
+                    w.push(REQ_TRACE_DUMP);
+                    write_uvarint(w, *token)?;
+                }
             }
             Ok(())
         })();
@@ -745,11 +825,48 @@ impl Request {
         out
     }
 
-    /// Decodes one frame payload; trailing bytes are an error.
-    pub fn decode(mut bytes: &[u8]) -> Result<Self, StoreError> {
+    /// Encodes the request wrapped in a traced-request extension
+    /// carrying the caller's trace context: the server parents its
+    /// request span (and everything beneath it) under `ctx`.
+    pub fn encode_traced(&self, ctx: TraceContext) -> Vec<u8> {
+        let inner = self.encode();
+        let mut out = Vec::with_capacity(inner.len() + 25);
+        out.push(REQ_TRACED);
+        out.extend_from_slice(&ctx.trace_hi.to_le_bytes());
+        out.extend_from_slice(&ctx.trace_lo.to_le_bytes());
+        out.extend_from_slice(&ctx.span_id.to_le_bytes());
+        out.extend_from_slice(&inner);
+        out
+    }
+
+    /// Decodes one frame payload; trailing bytes are an error. A traced
+    /// wrapper is accepted and its context discarded — use
+    /// [`Request::decode_traced`] to observe it.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        Self::decode_traced(bytes).map(|(_, req)| req)
+    }
+
+    /// Decodes one frame payload, surfacing the trace context when the
+    /// request arrived in a traced wrapper. The carried `span_id` is the
+    /// *parent* under which server-side spans should hang.
+    pub fn decode_traced(mut bytes: &[u8]) -> Result<(Option<TraceContext>, Self), StoreError> {
         let r = &mut bytes;
         let mut op = [0u8; 1];
         r.read_exact(&mut op)?;
+        let ctx = if op[0] == REQ_TRACED {
+            let (trace_hi, trace_lo) = (read_u64_le(r)?, read_u64_le(r)?);
+            let parent = read_u64_le(r)?;
+            if trace_hi == 0 && trace_lo == 0 {
+                return Err(StoreError::Malformed("traced wrapper with zero trace id"));
+            }
+            r.read_exact(&mut op)?;
+            if op[0] == REQ_TRACED {
+                return Err(StoreError::Malformed("nested traced wrapper"));
+            }
+            Some(TraceContext { trace_hi, trace_lo, span_id: parent, parent_id: 0 })
+        } else {
+            None
+        };
         let req = match op[0] {
             REQ_OPEN => {
                 let workbook = read_wire_string(r)?;
@@ -838,12 +955,13 @@ impl Request {
                 }
             }
             REQ_METRICS => Request::Metrics { token: read_uvarint(r)? },
+            REQ_TRACE_DUMP => Request::TraceDump { token: read_uvarint(r)? },
             _ => return Err(StoreError::Malformed("unknown request op")),
         };
         if !r.is_empty() {
             return Err(StoreError::Malformed("trailing bytes in request"));
         }
-        Ok(req)
+        Ok((ctx, req))
     }
 }
 
@@ -927,6 +1045,10 @@ impl Response {
                     w.push(RESP_METRICS);
                     write_metrics(w, snap)?;
                 }
+                Response::Traces(dump) => {
+                    w.push(RESP_TRACES);
+                    write_trace_dump(w, dump)?;
+                }
                 Response::Err(e) => {
                     w.push(RESP_ERR);
                     encode_error(w, e)?;
@@ -1003,6 +1125,7 @@ impl Response {
                 })
             }
             RESP_METRICS => Response::Metrics(Box::new(read_metrics(r)?)),
+            RESP_TRACES => Response::Traces(Box::new(read_trace_dump(r)?)),
             RESP_ERR => Response::Err(decode_error(r)?),
             _ => return Err(StoreError::Malformed("unknown response op")),
         };
@@ -1111,6 +1234,7 @@ mod tests {
             Request::InsertCols { token: 8, sheet: "Data".into(), at: 2, n: 1 },
             Request::DeleteCols { token: 8, sheet: "Data".into(), at: 7, n: u32::MAX },
             Request::Metrics { token: 9 },
+            Request::TraceDump { token: 10 },
         ]
     }
 
@@ -1146,6 +1270,8 @@ mod tests {
             }),
             Response::Metrics(Box::new(sample_snapshot())),
             Response::Metrics(Box::default()),
+            Response::Traces(Box::new(sample_trace_dump())),
+            Response::Traces(Box::default()),
             Response::Err(ServiceError::NoSuchWorkbook("nope".into())),
             Response::Err(ServiceError::AuthFailed),
             Response::Err(ServiceError::OutOfScope("Secret".into())),
@@ -1178,11 +1304,38 @@ mod tests {
             slow_spans: vec![SlowSpan {
                 name: "workbook.recalc".into(),
                 cat: SpanCat::Recalc,
+                trace_hi: 0x0123_4567_89AB_CDEF,
+                trace_lo: u64::MAX,
+                span_id: 11,
+                parent_id: 7,
                 start_ns: 5,
                 dur_ns: 20_000_000,
                 a: 100,
                 b: 2,
             }],
+        }
+    }
+
+    fn sample_trace_dump() -> TraceDump {
+        let span = |name: &str, cat, span_id, parent_id| SlowSpan {
+            name: name.into(),
+            cat,
+            trace_hi: 0xFEED_FACE_CAFE_BEEF,
+            trace_lo: 0x0102_0304_0506_0708,
+            span_id,
+            parent_id,
+            start_ns: 10,
+            dur_ns: 50,
+            a: 1,
+            b: 2,
+        };
+        TraceDump {
+            recent: vec![
+                span("request.recalc", SpanCat::Request, 1, 0),
+                span("workbook.recalc", SpanCat::Recalc, 2, 1),
+                span("wal.append", SpanCat::WalAppend, 3, 1),
+            ],
+            slow: vec![span("request.recalc", SpanCat::Request, 1, 0)],
         }
     }
 
@@ -1202,12 +1355,75 @@ mod tests {
         }
     }
 
+    fn sample_ctx() -> TraceContext {
+        TraceContext {
+            trace_hi: 0xAAAA_BBBB_CCCC_DDDD,
+            trace_lo: 0x1111_2222_3333_4444,
+            span_id: 42,
+            parent_id: 0,
+        }
+    }
+
+    #[test]
+    fn traced_wrapper_round_trips_context_and_request() {
+        for req in sample_requests() {
+            let bytes = req.encode_traced(sample_ctx());
+            let (ctx, decoded) = Request::decode_traced(&bytes).unwrap();
+            assert_eq!(decoded, req, "{req:?}");
+            let ctx = ctx.expect("wrapper carries a context");
+            assert_eq!(ctx.trace_hi, sample_ctx().trace_hi);
+            assert_eq!(ctx.trace_lo, sample_ctx().trace_lo);
+            assert_eq!(ctx.span_id, sample_ctx().span_id, "carried span id is the parent");
+            // The plain decoder accepts the wrapper and drops the context.
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn untraced_requests_decode_with_no_context() {
+        for req in sample_requests() {
+            let (ctx, decoded) = Request::decode_traced(&req.encode()).unwrap();
+            assert!(ctx.is_none(), "{req:?}");
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn malformed_traced_wrappers_are_typed() {
+        // A zero trace id cannot name a trace.
+        let mut zeroed = Request::Recalc { token: 1 }.encode_traced(sample_ctx());
+        zeroed[1..17].fill(0);
+        assert!(matches!(
+            Request::decode_traced(&zeroed),
+            Err(StoreError::Malformed("traced wrapper with zero trace id"))
+        ));
+        // A wrapper inside a wrapper is rejected, not recursed into.
+        let inner = Request::Recalc { token: 1 }.encode_traced(sample_ctx());
+        let mut nested = vec![super::REQ_TRACED];
+        nested.extend_from_slice(&[1u8; 24]);
+        nested.extend_from_slice(&inner);
+        assert!(matches!(
+            Request::decode_traced(&nested),
+            Err(StoreError::Malformed("nested traced wrapper"))
+        ));
+        // A bare wrapper with no inner request is truncation, not panic.
+        let bare = &inner[..25];
+        assert!(Request::decode_traced(bare).is_err());
+    }
+
     #[test]
     fn every_truncation_is_typed() {
         for req in sample_requests() {
             let bytes = req.encode();
             for cut in 0..bytes.len() {
                 assert!(Request::decode(&bytes[..cut]).is_err(), "{req:?} cut at {cut}");
+            }
+            let traced = req.encode_traced(sample_ctx());
+            for cut in 0..traced.len() {
+                assert!(
+                    Request::decode_traced(&traced[..cut]).is_err(),
+                    "traced {req:?} cut at {cut}"
+                );
             }
         }
         for resp in sample_responses() {
@@ -1241,12 +1457,13 @@ mod tests {
         // over-allocates, for every single-bit corruption of every
         // sample message.
         for req in sample_requests() {
-            let bytes = req.encode();
-            for i in 0..bytes.len() {
-                for bit in 0..8 {
-                    let mut corrupt = bytes.clone();
-                    corrupt[i] ^= 1 << bit;
-                    let _ = Request::decode(&corrupt);
+            for bytes in [req.encode(), req.encode_traced(sample_ctx())] {
+                for i in 0..bytes.len() {
+                    for bit in 0..8 {
+                        let mut corrupt = bytes.clone();
+                        corrupt[i] ^= 1 << bit;
+                        let _ = Request::decode_traced(&corrupt);
+                    }
                 }
             }
         }
@@ -1300,6 +1517,29 @@ mod tests {
         let resp = Response::Metrics(Box::new(sample_snapshot()));
         let bytes = resp.encode();
         assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn trace_dump_round_trips_losslessly() {
+        let resp = Response::Traces(Box::new(sample_trace_dump()));
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn oversized_trace_lists_are_rejected_before_allocation() {
+        use taco_store::codec::write_uvarint;
+        for lists_before in 0..2usize {
+            let mut bytes = vec![super::RESP_TRACES];
+            for _ in 0..lists_before {
+                write_uvarint(&mut bytes, 0).unwrap();
+            }
+            write_uvarint(&mut bytes, u64::MAX).unwrap();
+            assert!(matches!(
+                Response::decode(&bytes),
+                Err(StoreError::Malformed("metrics list length out of range"))
+            ));
+        }
     }
 
     #[test]

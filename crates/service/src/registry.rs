@@ -52,6 +52,7 @@ use taco_core::StructuralOp;
 use taco_engine::{PersistentWorkbook, RecalcMode, SheetId, Workbook, WorkbookReceipt};
 use taco_formula::{Formula, Value};
 use taco_grid::{Cell, Range};
+use taco_obs::{SpanCat, TraceContext, Tracer};
 use taco_store::EditRecord;
 
 /// Tuning for a [`Registry`] and the workers it spawns.
@@ -71,6 +72,19 @@ pub struct ServiceOptions {
     /// holds no hub at all — recording sites compile to a `None` check —
     /// and `Metrics` answers `BadRequest`.
     pub obs: bool,
+    /// Bind address for the scrape sidecar (e.g. `"127.0.0.1:0"`): a
+    /// minimal HTTP/1.1 listener serving `GET /metrics` (Prometheus
+    /// text) and `GET /trace` (Chrome `trace_event` JSON). Requires
+    /// [`ServiceOptions::obs`]; `None` (the default) runs no listener.
+    pub http_metrics: Option<String>,
+    /// Recalculation profiler mode applied to every registered workbook
+    /// (per-level wall times, optionally top-K hottest cells, exported
+    /// as `taco_profile_*` histograms). Default off.
+    pub profile: taco_engine::ProfileMode,
+    /// Hub construction options when [`ServiceOptions::obs`] is on:
+    /// tracer ring sizes, slow threshold, clock, and id seed (a manual
+    /// clock plus a fixed seed makes span trees reproducible in tests).
+    pub obs_options: taco_obs::ObsOptions,
 }
 
 impl Default for ServiceOptions {
@@ -80,6 +94,9 @@ impl Default for ServiceOptions {
             max_batch: 256,
             recalc_mode: RecalcMode::Serial,
             obs: true,
+            http_metrics: None,
+            profile: taco_engine::ProfileMode::Off,
+            obs_options: taco_obs::ObsOptions::default(),
         }
     }
 }
@@ -232,19 +249,26 @@ enum WriteOp {
     Autofill { sheet: u32, src: Cell, targets: Range },
 }
 
-/// One message to a workbook's worker.
+/// One message to a workbook's worker. Every work-carrying variant
+/// carries the requesting span's [`TraceContext`] so the worker can
+/// parent what it records (engine levels, WAL appends, publication)
+/// under the request that caused it — `NONE` when tracing is off or the
+/// caller had no span.
 enum WorkerMsg {
     Write {
         op: WriteOp,
+        ctx: TraceContext,
         reply: Sender<Response>,
     },
     Graph {
         dependents: bool,
         sheet: u32,
         range: Range,
+        ctx: TraceContext,
         reply: Sender<Response>,
     },
     Recalc {
+        ctx: TraceContext,
         reply: Sender<Response>,
     },
     /// Demand-driven recalc of one viewport; `fetch` additionally reads
@@ -253,9 +277,11 @@ enum WorkerMsg {
         sheet: u32,
         range: Range,
         fetch: bool,
+        ctx: TraceContext,
         reply: Sender<Response>,
     },
     Save {
+        ctx: TraceContext,
         reply: Sender<Response>,
     },
     Shutdown,
@@ -388,6 +414,7 @@ pub struct Registry {
     down: AtomicBool,
     refusals: Refusals,
     svc_obs: Option<ServiceObs>,
+    http: Mutex<Option<crate::http::HttpSidecar>>,
 }
 
 impl Default for Registry {
@@ -404,7 +431,15 @@ impl Registry {
             .map(|d| d.as_nanos() as u64)
             .unwrap_or(0x5EED)
             | 1;
-        let svc_obs = opts.obs.then(|| ServiceObs::new(taco_obs::Obs::new_default()));
+        let svc_obs =
+            opts.obs.then(|| ServiceObs::new(taco_obs::Obs::new(opts.obs_options.clone())));
+        // The scrape sidecar is best-effort: a bind failure (port taken,
+        // no permission) leaves `http_addr()` as `None` rather than
+        // failing registry construction.
+        let http = match (&svc_obs, opts.http_metrics.as_deref()) {
+            (Some(o), Some(addr)) => crate::http::HttpSidecar::start(addr, Arc::clone(&o.hub)).ok(),
+            _ => None,
+        };
         Registry {
             opts,
             books: RwLock::new(HashMap::new()),
@@ -414,7 +449,15 @@ impl Registry {
             down: AtomicBool::new(false),
             refusals: Refusals::default(),
             svc_obs,
+            http: Mutex::new(http),
         }
+    }
+
+    /// The scrape sidecar's bound address, when [`ServiceOptions::obs`]
+    /// and [`ServiceOptions::http_metrics`] are both set and the bind
+    /// succeeded (resolves an ephemeral port).
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.lock().as_ref().map(crate::http::HttpSidecar::addr)
     }
 
     /// The registry's observability hub, when enabled
@@ -459,6 +502,7 @@ impl Registry {
         if let Some(o) = &self.svc_obs {
             backing.attach_obs(&o.hub, name);
         }
+        backing.workbook_mut().set_profile(self.opts.profile);
         let key = name.to_ascii_lowercase();
         let shared = Arc::new(BookShared {
             snapshot: RwLock::new(Arc::new(Snapshot::build(backing.workbook()))),
@@ -471,10 +515,13 @@ impl Registry {
         }
         let worker_shared = Arc::clone(&shared);
         let worker_opts = self.opts.clone();
-        let worker_hist = self.svc_obs.as_ref().map(|o| o.coalesce_batch.clone());
+        let worker_obs = self.svc_obs.as_ref().map(|o| WorkerObs {
+            coalesce_batch: o.coalesce_batch.clone(),
+            tracer: o.tracer.clone(),
+        });
         let worker = std::thread::Builder::new()
             .name(format!("taco-writer-{key}"))
-            .spawn(move || worker_loop(rx, backing, worker_shared, worker_opts, worker_hist))
+            .spawn(move || worker_loop(rx, backing, worker_shared, worker_opts, worker_obs))
             .map_err(|e| ServiceError::Io(e.to_string()))?;
         books.insert(
             key,
@@ -508,7 +555,10 @@ impl Registry {
     /// workbook is unknown or its worker is gone.
     pub fn quiesce(&self, workbook: &str) -> bool {
         let Some(handle) = self.handle(&workbook.to_ascii_lowercase()) else { return false };
-        matches!(handle.ask(|reply| WorkerMsg::Recalc { reply }), Response::Recalced { .. })
+        matches!(
+            handle.ask(|reply| WorkerMsg::Recalc { ctx: TraceContext::NONE, reply }),
+            Response::Recalced { .. }
+        )
     }
 
     /// Closes a session (idempotent — closing an unknown token is a
@@ -534,6 +584,9 @@ impl Registry {
     /// Idempotent.
     pub fn shutdown(&self) {
         self.down.store(true, Ordering::SeqCst);
+        if let Some(http) = self.http.lock().take() {
+            http.shutdown();
+        }
         let handles: Vec<Arc<BookHandle>> = self.books.read().values().cloned().collect();
         for handle in handles {
             let _ = handle.send(WorkerMsg::Shutdown);
@@ -576,17 +629,36 @@ impl Registry {
     /// Executes one request — the single entry point both transports
     /// share. Never panics; every failure is a [`Response::Err`].
     pub fn execute(&self, req: Request) -> Response {
+        self.execute_traced(req, None, 0)
+    }
+
+    /// [`Registry::execute`] with wire context: `wire_ctx` is the trace
+    /// context a traced request wrapper carried (the request span becomes
+    /// its child, so server-side spans hang off the caller's tree) and
+    /// `payload_len` the wire payload size recorded on the request span.
+    pub fn execute_traced(
+        &self,
+        req: Request,
+        wire_ctx: Option<TraceContext>,
+        payload_len: u64,
+    ) -> Response {
         if self.down.load(Ordering::SeqCst) {
             return Response::Err(ServiceError::ShuttingDown);
         }
         let tag = req.tag();
         let timing = self.svc_obs.as_ref().map(ServiceObs::start);
+        let ctx = self.svc_obs.as_ref().map(|o| o.request_ctx(wire_ctx));
+        // The request context stays ambient for the dispatch below:
+        // spans recorded on this thread nest under it, and worker
+        // messages capture it explicitly for cross-thread work.
+        let _guard = ctx.map(TraceContext::enter);
         let result = self.try_execute(req);
         if let Err(e) = &result {
             self.note_refusal(e);
         }
-        if let (Some(o), Some((start, start_ns))) = (self.svc_obs.as_ref(), timing) {
-            o.on_request(tag, start, start_ns);
+        if let (Some(o), Some((start, start_ns)), Some(ctx)) = (self.svc_obs.as_ref(), timing, ctx)
+        {
+            o.on_request(tag, start, start_ns, ctx, payload_len);
         }
         match result {
             Ok(resp) => resp,
@@ -638,7 +710,7 @@ impl Registry {
             Request::SetValue { token, sheet, cell, value } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
                 let op = WriteOp::Edit(EditRecord::SetValue { sheet: sid, cell, value });
-                Ok(handle.ask(|reply| WorkerMsg::Write { op, reply }))
+                Ok(handle.ask(|reply| WorkerMsg::Write { op, ctx: TraceContext::current(), reply }))
             }
             Request::SetFormula { token, sheet, cell, src } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
@@ -647,17 +719,17 @@ impl Registry {
                 Formula::parse(&src)
                     .map_err(|e| ServiceError::BadRequest(format!("formula: {e}")))?;
                 let op = WriteOp::Edit(EditRecord::SetFormula { sheet: sid, cell, src });
-                Ok(handle.ask(|reply| WorkerMsg::Write { op, reply }))
+                Ok(handle.ask(|reply| WorkerMsg::Write { op, ctx: TraceContext::current(), reply }))
             }
             Request::Autofill { token, sheet, src, targets } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
                 let op = WriteOp::Autofill { sheet: sid, src, targets };
-                Ok(handle.ask(|reply| WorkerMsg::Write { op, reply }))
+                Ok(handle.ask(|reply| WorkerMsg::Write { op, ctx: TraceContext::current(), reply }))
             }
             Request::ClearRange { token, sheet, range } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
                 let op = WriteOp::Edit(EditRecord::ClearRange { sheet: sid, range });
-                Ok(handle.ask(|reply| WorkerMsg::Write { op, reply }))
+                Ok(handle.ask(|reply| WorkerMsg::Write { op, ctx: TraceContext::current(), reply }))
             }
             Request::InsertRows { token, sheet, at, n } => {
                 self.structural(token, &sheet, StructuralOp::InsertRows { at, n })
@@ -687,6 +759,7 @@ impl Registry {
                     dependents: true,
                     sheet: sid,
                     range,
+                    ctx: TraceContext::current(),
                     reply,
                 });
                 Ok(filter_scoped(resp, &session))
@@ -697,6 +770,7 @@ impl Registry {
                     dependents: false,
                     sheet: sid,
                     range,
+                    ctx: TraceContext::current(),
                     reply,
                 });
                 Ok(filter_scoped(resp, &session))
@@ -708,19 +782,31 @@ impl Registry {
             }
             Request::Recalc { token } => {
                 let (_, handle) = self.resolve(token)?;
-                Ok(handle.ask(|reply| WorkerMsg::Recalc { reply }))
+                Ok(handle.ask(|reply| WorkerMsg::Recalc { ctx: TraceContext::current(), reply }))
             }
             Request::RecalcRange { token, sheet, range } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
-                Ok(handle.ask(|reply| WorkerMsg::Demand { sheet: sid, range, fetch: false, reply }))
+                Ok(handle.ask(|reply| WorkerMsg::Demand {
+                    sheet: sid,
+                    range,
+                    fetch: false,
+                    ctx: TraceContext::current(),
+                    reply,
+                }))
             }
             Request::GetRangeFresh { token, sheet, range } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
-                Ok(handle.ask(|reply| WorkerMsg::Demand { sheet: sid, range, fetch: true, reply }))
+                Ok(handle.ask(|reply| WorkerMsg::Demand {
+                    sheet: sid,
+                    range,
+                    fetch: true,
+                    ctx: TraceContext::current(),
+                    reply,
+                }))
             }
             Request::Save { token } => {
                 let (_, handle) = self.resolve(token)?;
-                Ok(handle.ask(|reply| WorkerMsg::Save { reply }))
+                Ok(handle.ask(|reply| WorkerMsg::Save { ctx: TraceContext::current(), reply }))
             }
             Request::Stats { token } => {
                 let (_, handle) = self.resolve(token)?;
@@ -750,6 +836,13 @@ impl Registry {
                     None => Err(ServiceError::BadRequest("observability disabled".into())),
                 }
             }
+            Request::TraceDump { token } => {
+                let _ = self.resolve(token)?;
+                match &self.svc_obs {
+                    Some(o) => Ok(Response::Traces(Box::new(o.tracer.dump()))),
+                    None => Err(ServiceError::BadRequest("observability disabled".into())),
+                }
+            }
         }
     }
 
@@ -765,7 +858,7 @@ impl Registry {
     ) -> Result<Response, ServiceError> {
         let (_, handle, sid) = self.resolve_sheet(token, sheet)?;
         let op = WriteOp::Edit(EditRecord::Structural { sheet: sid, op });
-        Ok(handle.ask(|reply| WorkerMsg::Write { op, reply }))
+        Ok(handle.ask(|reply| WorkerMsg::Write { op, ctx: TraceContext::current(), reply }))
     }
 
     fn open(
@@ -838,12 +931,46 @@ fn record_sheet(rec: &EditRecord) -> Option<usize> {
     }
 }
 
+/// The worker's slice of the hub: the coalesce histogram plus a tracer
+/// clone for batch/publication spans (engine and WAL spans record
+/// through their own attached instrumentation, parented by the ambient
+/// context this worker installs per message).
+struct WorkerObs {
+    coalesce_batch: taco_obs::Histogram,
+    tracer: Tracer,
+}
+
+/// Publishes a snapshot under a `snapshot.publish` span (ambient parent:
+/// the request or batch being served). Payload words: the new epoch and
+/// the number of rebuilt sheets.
+fn publish_spanned(
+    shared: &BookShared,
+    wobs: &Option<WorkerObs>,
+    wb: &Workbook,
+    touched: &BTreeSet<usize>,
+) -> u64 {
+    let timing = wobs.as_ref().map(|o| (std::time::Instant::now(), o.tracer.now_ns()));
+    let epoch = shared.publish(wb, touched);
+    if let (Some(o), Some((start, start_ns))) = (wobs, timing) {
+        let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        o.tracer.record(
+            "snapshot.publish",
+            SpanCat::Publish,
+            start_ns,
+            dur,
+            epoch,
+            touched.len() as u64,
+        );
+    }
+    epoch
+}
+
 fn worker_loop(
     rx: Receiver<WorkerMsg>,
     mut backing: Backing,
     shared: Arc<BookShared>,
     opts: ServiceOptions,
-    coalesce_hist: Option<taco_obs::Histogram>,
+    wobs: Option<WorkerObs>,
 ) {
     // Set when the WAL refused an append/fsync while the corresponding
     // edits are live in memory: the log is now *behind* the workbook, so
@@ -858,12 +985,14 @@ fn worker_loop(
         while let Some(msg) = pending.take() {
             match msg {
                 WorkerMsg::Shutdown => break 'outer,
-                WorkerMsg::Write { op, reply } => {
-                    let mut writes = vec![(op, reply)];
+                WorkerMsg::Write { op, ctx, reply } => {
+                    let mut writes = vec![(op, ctx, reply)];
                     if opts.coalesce {
                         while writes.len() < opts.max_batch.max(1) {
                             match rx.try_recv() {
-                                Ok(WorkerMsg::Write { op, reply }) => writes.push((op, reply)),
+                                Ok(WorkerMsg::Write { op, ctx, reply }) => {
+                                    writes.push((op, ctx, reply));
+                                }
                                 Ok(other) => {
                                     pending = Some(other);
                                     break;
@@ -872,12 +1001,48 @@ fn worker_loop(
                             }
                         }
                     }
-                    if let Some(h) = &coalesce_hist {
-                        h.record(writes.len() as u64);
+                    if let Some(o) = &wobs {
+                        o.coalesce_batch.record(writes.len() as u64);
                     }
-                    apply_writes(&mut backing, &shared, &opts, writes, &mut wal_down);
+                    // The batch span parents under the first member's
+                    // request; every other member gets a link span in
+                    // its own trace carrying the batch's span id, so
+                    // each request's tree reaches the batch it rode in.
+                    let mut batch_guard = wobs.as_ref().map(|o| {
+                        o.tracer.span_guard_under("worker.batch", SpanCat::Request, writes[0].1)
+                    });
+                    if let (Some(o), Some(g)) = (&wobs, &batch_guard) {
+                        let now = o.tracer.now_ns();
+                        for (_, mctx, _) in writes.iter().skip(1) {
+                            o.tracer.record_at(
+                                "worker.coalesced",
+                                SpanCat::Request,
+                                o.tracer.child_of(*mctx),
+                                now,
+                                0,
+                                g.context().span_id,
+                                0,
+                            );
+                        }
+                    }
+                    if let Some(g) = batch_guard.as_mut() {
+                        // Recorded at drop (inside `apply_writes`,
+                        // before replies go out — the batch span must
+                        // close before any member request span can).
+                        g.a = writes.len() as u64;
+                    }
+                    apply_writes(
+                        &mut backing,
+                        &shared,
+                        &opts,
+                        &wobs,
+                        batch_guard,
+                        writes,
+                        &mut wal_down,
+                    );
                 }
-                WorkerMsg::Graph { dependents, sheet, range, reply } => {
+                WorkerMsg::Graph { dependents, sheet, range, ctx, reply } => {
+                    let _span = ctx.enter();
                     let wb = backing.workbook_mut();
                     let resp = if (sheet as usize) >= wb.sheet_count() {
                         Response::Err(ServiceError::NoSuchSheet(format!("#{sheet}")))
@@ -897,14 +1062,16 @@ fn worker_loop(
                     };
                     let _ = reply.send(resp);
                 }
-                WorkerMsg::Recalc { reply } => {
+                WorkerMsg::Recalc { ctx, reply } => {
+                    let _span = ctx.enter();
                     let touched = dirty_sheets(backing.workbook());
                     let evaluated = backing.recalculate(opts.recalc_mode) as u64;
                     shared.stats.recalcs.fetch_add(1, Ordering::Relaxed);
-                    let epoch = shared.publish(backing.workbook(), &touched);
+                    let epoch = publish_spanned(&shared, &wobs, backing.workbook(), &touched);
                     let _ = reply.send(Response::Recalced { evaluated, epoch });
                 }
-                WorkerMsg::Demand { sheet, range, fetch, reply } => {
+                WorkerMsg::Demand { sheet, range, fetch, ctx, reply } => {
+                    let _span = ctx.enter();
                     let resp = if (sheet as usize) >= backing.workbook().sheet_count() {
                         Response::Err(ServiceError::NoSuchSheet(format!("#{sheet}")))
                     } else {
@@ -916,7 +1083,8 @@ fn worker_loop(
                         match backing.recalc_demand(sid, range, opts.recalc_mode) {
                             Ok(evaluated) => {
                                 shared.stats.recalcs.fetch_add(1, Ordering::Relaxed);
-                                let epoch = shared.publish(backing.workbook(), &touched);
+                                let epoch =
+                                    publish_spanned(&shared, &wobs, backing.workbook(), &touched);
                                 if fetch {
                                     let snap = Arc::clone(&shared.snapshot.read());
                                     Response::Cells(snap.cells_in(sheet as usize, range))
@@ -931,7 +1099,8 @@ fn worker_loop(
                     };
                     let _ = reply.send(resp);
                 }
-                WorkerMsg::Save { reply } => {
+                WorkerMsg::Save { ctx, reply } => {
+                    let _span = ctx.enter();
                     let resp = match &mut backing {
                         Backing::Plain(_) => Response::Err(ServiceError::NotPersistent),
                         Backing::Persistent(p) => match p.compact() {
@@ -986,7 +1155,9 @@ fn apply_writes(
     backing: &mut Backing,
     shared: &Arc<BookShared>,
     opts: &ServiceOptions,
-    writes: Vec<(WriteOp, Sender<Response>)>,
+    wobs: &Option<WorkerObs>,
+    batch_guard: Option<taco_obs::SpanGuard>,
+    writes: Vec<(WriteOp, TraceContext, Sender<Response>)>,
     wal_down: &mut bool,
 ) {
     use taco_engine::BatchStage;
@@ -996,7 +1167,7 @@ fn apply_writes(
     let mut i = 0;
     while i < writes.len() {
         if *wal_down {
-            deferred.push((writes[i].1.clone(), Err(wal_down_error())));
+            deferred.push((writes[i].2.clone(), Err(wal_down_error())));
             i += 1;
             continue;
         }
@@ -1009,7 +1180,7 @@ fn apply_writes(
                 let run = &writes[start..i];
                 let records: Vec<EditRecord> = run
                     .iter()
-                    .map(|(op, _)| match op {
+                    .map(|(op, _, _)| match op {
                         WriteOp::Edit(rec) => rec.clone(),
                         WriteOp::Autofill { .. } => unreachable!("run holds only edits"),
                     })
@@ -1030,14 +1201,14 @@ fn apply_writes(
                             touched.insert(s.index());
                         }
                         let dirty = receipt.dirty.len() as u64;
-                        deferred.extend(run.iter().map(|(_, tx)| (tx.clone(), Ok(dirty))));
+                        deferred.extend(run.iter().map(|(_, _, tx)| (tx.clone(), Ok(dirty))));
                     }
                     Err(be) if be.stage == BatchStage::Log => {
                         // Live workbook ahead of the log: acknowledge the
                         // durably-logged prefix, fail the rest, and stop
                         // logging anything further.
                         *wal_down = true;
-                        for (k, (_, tx)) in run.iter().enumerate() {
+                        for (k, (_, _, tx)) in run.iter().enumerate() {
                             if k < be.index {
                                 deferred.push((tx.clone(), Ok(0)));
                             } else {
@@ -1050,7 +1221,7 @@ fn apply_writes(
                         // failing record reports its error; the suffix
                         // re-applies individually so each edit gets a
                         // true result.
-                        for (k, (_, tx)) in run.iter().enumerate() {
+                        for (k, (_, _, tx)) in run.iter().enumerate() {
                             if k < be.index {
                                 deferred.push((tx.clone(), Ok(0)));
                             } else if k == be.index {
@@ -1108,7 +1279,7 @@ fn apply_writes(
                         Err(e) => Err(ServiceError::BadRequest(format!("autofill: {e}"))),
                     }
                 };
-                deferred.push((writes[i - 1].1.clone(), result));
+                deferred.push((writes[i - 1].2.clone(), result));
             }
         }
     }
@@ -1117,7 +1288,11 @@ fn apply_writes(
     touched.extend(dirty_sheets(backing.workbook()));
     backing.recalculate(opts.recalc_mode);
     shared.stats.recalcs.fetch_add(1, Ordering::Relaxed);
-    let epoch = shared.publish(backing.workbook(), &touched);
+    let epoch = publish_spanned(shared, wobs, backing.workbook(), &touched);
+    // Close the batch span before any reply: a member request's root
+    // span (recorded when its client sees the reply) must fully contain
+    // the batch it rode in.
+    drop(batch_guard);
     for (tx, result) in deferred {
         let resp = match result {
             Ok(dirty) => Response::Applied { epoch, dirty },

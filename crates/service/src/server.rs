@@ -276,8 +276,8 @@ fn frame_loop(stream: &mut TcpStream, shared: &ServerShared, opened: &mut Vec<u6
             // EOF / reset / mid-frame disconnect: the peer is gone.
             Err(_) => return,
         };
-        let req = match Request::decode(&payload) {
-            Ok(req) => req,
+        let (wire_ctx, req) = match Request::decode_traced(&payload) {
+            Ok(pair) => pair,
             Err(e) => {
                 // The frame was intact (CRC passed) but its content is not
                 // a request: the stream is still in sync — answer and
@@ -292,7 +292,7 @@ fn frame_loop(stream: &mut TcpStream, shared: &ServerShared, opened: &mut Vec<u6
             Request::Close { token } => Some(*token),
             _ => None,
         };
-        let resp = shared.registry.execute(req);
+        let resp = shared.registry.execute_traced(req, wire_ctx, payload.len() as u64);
         if let Response::Opened { token, .. } = &resp {
             opened.push(*token);
         }

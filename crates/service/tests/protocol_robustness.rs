@@ -14,6 +14,7 @@ use std::time::Duration;
 use taco_engine::{RecalcMode, Workbook};
 use taco_formula::Value;
 use taco_grid::Cell;
+use taco_obs::TraceContext;
 use taco_service::{
     Registry, Request, Response, Server, ServerOptions, ServiceError, ServiceOptions, TcpClient,
 };
@@ -68,6 +69,26 @@ fn open_frame() -> Vec<u8> {
         &Request::Open { workbook: "book".into(), auth: None, scope: None }.encode(),
     )
     .unwrap();
+    frame
+}
+
+/// The Open request inside a trace-context wrapper (tag 22): the frame
+/// shape every traced client emits.
+fn traced_open_frame() -> Vec<u8> {
+    let ctx = TraceContext { trace_hi: 0xFEED, trace_lo: 0xBEEF, span_id: 7, parent_id: 0 };
+    let mut frame = Vec::new();
+    write_frame(
+        &mut frame,
+        &Request::Open { workbook: "book".into(), auth: None, scope: None }.encode_traced(ctx),
+    )
+    .unwrap();
+    frame
+}
+
+/// A TraceDump request frame (tag 21) with a plausible-looking token.
+fn trace_dump_frame() -> Vec<u8> {
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &Request::TraceDump { token: 0x1234_5678 }.encode()).unwrap();
     frame
 }
 
@@ -141,6 +162,134 @@ fn oversized_declared_length_is_rejected_before_allocation() {
     assert!(rest.is_empty(), "connection must be closed after a framing violation");
     assert_still_serving(&server);
     server.shutdown();
+}
+
+#[test]
+fn traced_wrapper_and_trace_dump_survive_truncation_and_bit_flips() {
+    // The new wire surfaces get the same exhaustive abuse as the base
+    // protocol: every truncation point and every single-bit flip of a
+    // trace-context-wrapped Open and of a TraceDump request, and the
+    // server must still serve a clean client afterwards.
+    let registry = demo_registry();
+    let server = start_server(&registry, ServerOptions::default());
+    for frame in [traced_open_frame(), trace_dump_frame()] {
+        for cut in 0..frame.len() {
+            let mut s = raw_conn(&server);
+            s.write_all(&frame[..cut]).unwrap();
+            drop(s);
+        }
+        for i in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[i] ^= 1 << bit;
+                let mut s = raw_conn(&server);
+                let _ = s.write_all(&bad);
+                let _ = s.shutdown(std::net::Shutdown::Write);
+                let mut sink = Vec::new();
+                let _ = s.read_to_end(&mut sink);
+            }
+        }
+    }
+    assert_still_serving(&server);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while registry.session_count() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(registry.session_count(), 0, "abuse must not leak sessions");
+    server.shutdown();
+}
+
+#[test]
+fn degenerate_trace_wrappers_are_typed_errors_on_a_live_stream() {
+    // A zero trace id and a nested wrapper are both in-sync framing
+    // violations: the server answers a typed error and the same
+    // connection keeps working.
+    let registry = demo_registry();
+    let server = start_server(&registry, ServerOptions::default());
+    let mut s = raw_conn(&server);
+
+    let inner = Request::Open { workbook: "book".into(), auth: None, scope: None }.encode();
+    // Tag 22 with an all-zero trace id.
+    let mut zero_id = vec![22u8];
+    zero_id.extend_from_slice(&[0u8; 24]);
+    zero_id.extend_from_slice(&inner);
+    // Tag 22 wrapping another tag 22.
+    let ctx = TraceContext { trace_hi: 1, trace_lo: 2, span_id: 3, parent_id: 0 };
+    let once =
+        Request::Open { workbook: "book".into(), auth: None, scope: None }.encode_traced(ctx);
+    let mut nested = vec![22u8];
+    nested.extend_from_slice(&ctx.trace_hi.to_le_bytes());
+    nested.extend_from_slice(&ctx.trace_lo.to_le_bytes());
+    nested.extend_from_slice(&ctx.span_id.to_le_bytes());
+    nested.extend_from_slice(&once);
+
+    for bad in [zero_id, nested] {
+        write_frame(&mut s, &bad).unwrap();
+        let resp = Response::decode(&read_frame(&mut s, 1 << 20).unwrap()).unwrap();
+        assert!(
+            matches!(resp, Response::Err(ServiceError::BadRequest(_) | ServiceError::Wire(_))),
+            "degenerate wrapper must be a typed error, got {resp:?}"
+        );
+    }
+    // Same connection, now a real traced request.
+    write_frame(
+        &mut s,
+        &Request::Open { workbook: "book".into(), auth: None, scope: None }.encode_traced(ctx),
+    )
+    .unwrap();
+    let resp = Response::decode(&read_frame(&mut s, 1 << 20).unwrap()).unwrap();
+    assert!(matches!(resp, Response::Opened { .. }), "{resp:?}");
+    server.shutdown();
+}
+
+#[test]
+fn http_sidecar_answers_abuse_and_keeps_serving() {
+    // The sidecar is plain HTTP: junk requests get 400/404 (or a clean
+    // close for non-HTTP bytes), oversized heads are cut off, and the
+    // scrape endpoints keep answering afterwards — no panics, ever.
+    let obs = taco_obs::Obs::new_default();
+    obs.metrics.counter("taco_robust_total").add(3);
+    let sidecar = taco_service::HttpSidecar::start("127.0.0.1:0", Arc::clone(&obs)).unwrap();
+    let addr = sidecar.addr();
+
+    let roundtrip = |bytes: &[u8]| -> Vec<u8> {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let _ = s.write_all(bytes);
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        out
+    };
+
+    let abuses: Vec<Vec<u8>> = vec![
+        b"".to_vec(),
+        b"\r\n".to_vec(),
+        b"GET\r\n\r\n".to_vec(),
+        b"POST /metrics HTTP/1.0\r\n\r\n".to_vec(),
+        b"GET /metrics SMTP/1.0\r\n\r\n".to_vec(),
+        b"GET /../../etc/passwd HTTP/1.0\r\n\r\n".to_vec(),
+        vec![0xFFu8; 64],
+        vec![b'A'; 64 * 1024], // far past the 8 KB head cap, no newline
+        b"GET /metrics HTTP/1.0".to_vec(), // cut off mid-request-line
+    ];
+    for abuse in &abuses {
+        let reply = roundtrip(abuse);
+        if !reply.is_empty() {
+            let head = String::from_utf8_lossy(&reply);
+            assert!(
+                head.starts_with("HTTP/1.0 400") || head.starts_with("HTTP/1.0 404"),
+                "abuse must be refused with 400/404: {head:.60}"
+            );
+        }
+    }
+
+    // Still scraping after every abuse.
+    let ok = roundtrip(b"GET /metrics HTTP/1.0\r\n\r\n");
+    let body = String::from_utf8_lossy(&ok);
+    assert!(body.starts_with("HTTP/1.0 200 OK"), "sidecar must still serve: {body:.60}");
+    assert!(body.contains("taco_robust_total 3"), "metrics body intact: {body}");
+    sidecar.shutdown();
 }
 
 #[test]

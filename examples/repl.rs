@@ -21,14 +21,15 @@
 //! :open /path/to/file     replace the sheet with a saved one
 //! :connect ADDR BOOK [AUTH]  attach to a taco_service server over TCP
 //! :metrics                (remote) print the server's Prometheus metrics
+//! :trace                  (remote) print the server's span rings as trees
 //! :disconnect             detach and return to the local sheet
 //! quit
 //! ```
 //!
 //! While connected, edits, `show`, `trace`, `clear`, `fill`, and `stats`
 //! run against the remote workbook's first visible sheet instead of the
-//! local engine, and `:metrics` fetches the server's observability
-//! snapshot over the wire.
+//! local engine, and `:metrics`/`:trace` fetch the server's
+//! observability snapshot and span trees over the wire.
 
 use std::io::{self, BufRead, Write};
 use taco_repro::core::PatternType;
@@ -126,12 +127,17 @@ fn run_remote(r: &mut Remote, input: &str) -> Result<bool, String> {
     }
     if input == "help" {
         println!("remote ({}): A1 = 42 | B1 = =SUM(A1:A3) | fill SRC RANGE | show CELL", r.sheet);
-        println!("trace CELL | clear RANGE | stats | :metrics | :disconnect | quit");
+        println!("trace CELL | clear RANGE | stats | :metrics | :trace | :disconnect | quit");
         return Ok(false);
     }
     if input == ":metrics" {
         let snap = r.client.metrics().map_err(|e| e.to_string())?;
         print!("{}", snap.to_prometheus());
+        return Ok(false);
+    }
+    if input == ":trace" {
+        let dump = r.client.trace_dump().map_err(|e| e.to_string())?;
+        print_trace(&dump);
         return Ok(false);
     }
     let sheet = r.sheet.clone();
@@ -195,6 +201,51 @@ fn run_remote(r: &mut Remote, input: &str) -> Result<bool, String> {
         return Ok(false);
     }
     Err(format!("unknown remote command {input:?} (try `help` or `:disconnect`)"))
+}
+
+/// Reassembles the dump's flat span rings into trees and prints them
+/// indented, one root per traced request (spans whose parent is outside
+/// the rings — e.g. the client's own span id — count as roots too).
+fn print_trace(dump: &taco_repro::obs::TraceDump) {
+    let mut spans: Vec<&taco_repro::obs::SlowSpan> = dump.recent.iter().collect();
+    for s in &dump.slow {
+        if !spans.iter().any(|r| r.span_id == s.span_id) {
+            spans.push(s);
+        }
+    }
+    if spans.is_empty() {
+        println!("(no spans recorded)");
+        return;
+    }
+    fn print_subtree(spans: &[&taco_repro::obs::SlowSpan], parent: u64, depth: usize) {
+        for s in spans.iter().filter(|s| s.parent_id == parent) {
+            println!(
+                "{:indent$}{} [{:?}] {:.1} µs  a={} b={}",
+                "",
+                s.name,
+                s.cat,
+                s.dur_ns as f64 / 1_000.0,
+                s.a,
+                s.b,
+                indent = depth * 2
+            );
+            print_subtree(spans, s.span_id, depth + 1);
+        }
+    }
+    let known: std::collections::HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    let mut seen_roots: Vec<u64> = Vec::new();
+    for s in &spans {
+        if !known.contains(&s.parent_id) && !seen_roots.contains(&s.parent_id) {
+            seen_roots.push(s.parent_id);
+        }
+    }
+    println!("{} spans, {} tree(s):", spans.len(), seen_roots.len());
+    for root in seen_roots {
+        print_subtree(&spans, root, 0);
+    }
+    if !dump.slow.is_empty() {
+        println!("({} span(s) retained in the slow log)", dump.slow.len());
+    }
 }
 
 fn join_qualified(ranges: &[(String, Range)]) -> String {

@@ -191,6 +191,7 @@ fn repl_connects_to_a_live_server() {
          fill C1 C2:C4\n\
          stats\n\
          :metrics\n\
+         :trace\n\
          bogus remote command\n\
          :disconnect\n\
          A1 = 7\n\
@@ -216,6 +217,9 @@ fn repl_connects_to_a_live_server() {
     // `:metrics` renders the server's hub as Prometheus text over the wire.
     assert!(text.contains("taco_request_ns"), "remote :metrics broken:\n{text}");
     assert!(text.contains("taco_recalcs_total"), "remote :metrics broken:\n{text}");
+    // `:trace` reassembles the server's span rings into indented trees.
+    assert!(text.contains("tree(s):"), "remote :trace broken:\n{text}");
+    assert!(text.contains("workbook.recalc"), "remote :trace must show engine spans:\n{text}");
     // Autofill of an empty source cell must report, not crash.
     assert!(text.contains("error:"), "remote errors must be reported:\n{text}");
     assert!(text.contains("disconnected"), "disconnect path broken:\n{text}");

@@ -6,10 +6,12 @@
 //! recalc. The instrumented runs must also actually have recorded (the
 //! "obs on" leg is not accidentally a no-op).
 
-use taco_repro::engine::{RecalcMode, SheetId, Workbook};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use taco_repro::engine::{ProfileMode, RecalcMode, SheetId, Workbook};
 use taco_repro::formula::Value;
 use taco_repro::grid::{Cell, Range};
-use taco_repro::obs::{Obs, ObsOptions};
+use taco_repro::obs::{Obs, ObsClock, ObsOptions, TraceDump, TracerOptions};
 use taco_repro::workload::{
     gen_persist_workload, persist_enron_like, persist_giant_sheet, persist_github_like,
     PersistParams, PersistWorkload,
@@ -115,4 +117,105 @@ fn observed_demand_recalc_is_bit_identical() {
             "demand closure histogram must have recorded"
         );
     }
+}
+
+#[test]
+fn profiled_recalc_is_bit_identical() {
+    // The recalc profiler is an observer too: attributing wall time per
+    // level and per hottest cell must change no value in any mode.
+    let p = PersistParams { rows: 40, burst_edits: 30, seed: 17, ..persist_enron_like() };
+    let w = gen_persist_workload(&p);
+
+    let mut reference = build(&w, None);
+    reference.recalculate(RecalcMode::Serial);
+    let want = snapshot(&reference);
+
+    for mode in [RecalcMode::Serial, RecalcMode::CellParallel { threads: 4 }] {
+        for profile in [ProfileMode::Levels, ProfileMode::Hotspots] {
+            let hub = Obs::new(ObsOptions::default());
+            let mut wb = build(&w, Some(&hub));
+            wb.set_profile(profile);
+            wb.recalculate(mode);
+            assert_eq!(snapshot(&wb), want, "{mode:?} {profile:?}");
+
+            let report = wb.profile_report();
+            assert!(!report.levels.is_empty(), "{mode:?} {profile:?} must attribute levels");
+            if profile == ProfileMode::Hotspots {
+                assert!(!report.hotspots.is_empty(), "{mode:?} must attribute hot cells");
+            }
+            let snap = hub.snapshot();
+            assert!(
+                snap.histograms.iter().any(|h| h.name == "taco_profile_level_ns" && h.count > 0),
+                "profiler histograms must have recorded: {mode:?} {profile:?}"
+            );
+        }
+    }
+}
+
+/// The span-tree shape of a dump: every record's identity, linkage, and
+/// payload — everything except wall time, which a manual clock pins too.
+fn tree_shape(dump: &TraceDump) -> Vec<(String, u64, u64, u64, u64, u64, u64)> {
+    dump.recent
+        .iter()
+        .chain(dump.slow.iter())
+        .map(|s| (s.name.clone(), s.trace_hi, s.trace_lo, s.span_id, s.parent_id, s.a, s.b))
+        .collect()
+}
+
+#[test]
+fn manual_clock_and_fixed_seed_reproduce_span_trees() {
+    // With the clock pinned and the span-id generator seeded, the same
+    // script must emit the same span tree — same names, same parent/child
+    // edges, same ids, same payloads — run after run.
+    let p = PersistParams { rows: 40, burst_edits: 30, seed: 5, ..persist_enron_like() };
+    let w = gen_persist_workload(&p);
+
+    let run = || {
+        let clock = Arc::new(AtomicU64::new(1_000));
+        let hub = Obs::new(ObsOptions {
+            tracer: TracerOptions {
+                clock: ObsClock::Manual(clock),
+                id_seed: 99,
+                span_capacity: 4096,
+                ..TracerOptions::default()
+            },
+        });
+        let mut wb = build(&w, Some(&hub));
+        wb.recalculate(RecalcMode::Serial);
+        wb.apply_batch(&w.burst).expect("burst applies");
+        wb.recalculate(RecalcMode::Serial);
+        wb.recalc_demand(SheetId(0), Range::from_coords(1, 1, 8, 8), RecalcMode::Serial).unwrap();
+        hub.tracer.dump()
+    };
+
+    let first = run();
+    let second = run();
+    assert!(first.span_count() > 0, "the script must trace");
+    assert_eq!(tree_shape(&first), tree_shape(&second), "span trees must be reproducible");
+
+    // A different seed keeps the shape (names, counts, edges-by-position)
+    // but relabels every id — no accidental dependence on the seed value.
+    let other = {
+        let clock = Arc::new(AtomicU64::new(1_000));
+        let hub = Obs::new(ObsOptions {
+            tracer: TracerOptions {
+                clock: ObsClock::Manual(clock),
+                id_seed: 1234,
+                span_capacity: 4096,
+                ..TracerOptions::default()
+            },
+        });
+        let mut wb = build(&w, Some(&hub));
+        wb.recalculate(RecalcMode::Serial);
+        wb.apply_batch(&w.burst).expect("burst applies");
+        wb.recalculate(RecalcMode::Serial);
+        wb.recalc_demand(SheetId(0), Range::from_coords(1, 1, 8, 8), RecalcMode::Serial).unwrap();
+        hub.tracer.dump()
+    };
+    assert_eq!(other.span_count(), first.span_count());
+    let names = |d: &TraceDump| -> Vec<String> {
+        d.recent.iter().chain(d.slow.iter()).map(|s| s.name.clone()).collect()
+    };
+    assert_eq!(names(&first), names(&other), "seed must not change which spans exist");
+    assert_ne!(tree_shape(&first), tree_shape(&other), "a different seed must relabel span ids");
 }
