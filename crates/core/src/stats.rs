@@ -106,7 +106,7 @@ impl GraphStats {
 }
 
 /// Caller-owned scratch for [`GraphStats`] computation: the vertex
-/// de-duplication set that [`count_vertices`] would otherwise allocate
+/// de-duplication set that `count_vertices_with` would otherwise allocate
 /// fresh on every call. Stats paths polled repeatedly (the metrics
 /// gauges after each recalculation) reuse one of these, so steady-state
 /// polling performs no heap allocations — the same discipline as the

@@ -153,6 +153,14 @@ impl FormulaGraph {
                 }
             }
         }
+        // Re-insertion order decides how the compressor groups the
+        // rebuilt dependencies into patterns, and the edge enumeration
+        // above follows arena order — which depends on the graph's
+        // history (a freshly restored graph and a long-lived one
+        // enumerate differently). Sort so the outcome is a pure function
+        // of the edge *set*: structural edits then replay bit-identically
+        // over a reopened snapshot (see the crash-sweep harness).
+        reinsert.sort_unstable_by_key(|d| (d.dep, d.prec.head(), d.prec.tail()));
         for d in reinsert {
             self.compress_dependency(&d);
         }

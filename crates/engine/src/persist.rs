@@ -23,12 +23,13 @@ use crate::engine::Engine;
 use crate::sheet::CellContent;
 use crate::workbook::{CrossEdge, SheetId, Workbook};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 use taco_core::FormulaGraph;
 use taco_formula::Formula;
 use taco_store::{
-    write_workbook_file, CellRecord, CrossEdgeImage, EditRecord, ReplayMode, SheetImage,
-    StoreError, StoreReader, WalReader, WalWriter, WorkbookImage,
+    std_vfs, write_workbook_file, write_workbook_file_with, CellRecord, CrossEdgeImage, EditRecord,
+    ReplayMode, SheetImage, StoreError, StoreReader, Vfs, WalReader, WalWriter, WorkbookImage,
 };
 
 /// The sidecar WAL path for a snapshot at `path`: `<path>.wal`.
@@ -68,7 +69,7 @@ impl Workbook<FormulaGraph> {
                 sheet_image(self.sheet(id), self.sheet_name(id).to_string())
             })
             .collect();
-        let cross = self
+        let mut cross: Vec<CrossEdgeImage> = self
             .cross_edges()
             .map(|e| CrossEdgeImage {
                 src: e.src.0 as u32,
@@ -77,7 +78,13 @@ impl Workbook<FormulaGraph> {
                 dep: e.dep,
             })
             .collect();
-        WorkbookImage { sheets, cross }
+        // Canonical cross-table order: the live table's row order
+        // reflects edit history, which must not leak into the image —
+        // equal workbooks encode to equal bytes.
+        cross.sort_unstable_by_key(|e| (e.src, e.dst, e.dep, e.prec.head(), e.prec.tail()));
+        // Image epoch 0: the persistence owner (`save`, compaction)
+        // stamps the real replay epoch before the image hits the disk.
+        WorkbookImage { sheets, cross, epoch: 0 }
     }
 
     /// Reconstructs a workbook from an image: graphs are restored without
@@ -126,43 +133,73 @@ impl Workbook<FormulaGraph> {
     }
 
     /// Writes the workbook snapshot to `path` and empties any sidecar WAL
-    /// (its edits are folded into the snapshot from this point on).
+    /// (its edits are folded into the snapshot from this point on). The
+    /// snapshot's replay epoch is bumped past any snapshot it replaces,
+    /// so stale WAL records a crash leaves behind are skipped on open.
     ///
     /// Do not call while a [`PersistentWorkbook`] holds the same path —
     /// use [`PersistentWorkbook::compact`], which keeps its WAL handle
     /// coherent.
     pub fn save(&self, path: &Path) -> Result<(), StoreError> {
-        write_workbook_file(path, &self.to_image())?;
+        self.save_with(std_vfs(), path)
+    }
+
+    /// [`Workbook::save`] through an explicit [`Vfs`].
+    pub fn save_with(&self, vfs: Arc<dyn Vfs>, path: &Path) -> Result<(), StoreError> {
+        // Epoch bump: every record in the sidecar WAL was stamped with
+        // the *previous* snapshot's epoch. Writing the new snapshot one
+        // epoch higher makes those records skippable even if the crash
+        // window between the snapshot rename and the WAL truncation
+        // below is hit.
+        let epoch = match StoreReader::open_with(vfs.as_ref(), path) {
+            Ok(reader) => reader.epoch() + 1,
+            Err(_) => 1,
+        };
+        let mut image = self.to_image();
+        image.epoch = epoch;
+        write_workbook_file_with(vfs.as_ref(), path, &image)?;
         let wal = wal_path(path);
-        if wal.exists() {
-            WalWriter::create(&wal)?;
+        if vfs.exists(&wal) {
+            WalWriter::create_with(vfs, &wal)?;
         }
         Ok(())
     }
 
     /// Opens a snapshot and replays its sidecar WAL, if one exists. A
     /// torn final WAL record (crash mid-append) is dropped — that edit
-    /// never committed; corruption elsewhere is a typed error.
+    /// never committed; records stamped with an epoch older than the
+    /// snapshot's were already folded in by a compaction and are
+    /// skipped; corruption elsewhere is a typed error.
     pub fn open(path: &Path) -> Result<Self, StoreError> {
-        let mut wb = Self::from_image(StoreReader::open(path)?.read_all()?)?;
+        Self::open_with(std_vfs(), path)
+    }
+
+    /// [`Workbook::open`] through an explicit [`Vfs`].
+    pub fn open_with(vfs: Arc<dyn Vfs>, path: &Path) -> Result<Self, StoreError> {
+        let reader = StoreReader::open_with(vfs.as_ref(), path)?;
+        let snapshot_epoch = reader.epoch();
+        let mut wb = Self::from_image(reader.read_all()?)?;
         let wal = wal_path(path);
-        if wal.exists() {
-            for rec in WalReader::load(&wal, ReplayMode::TolerateTear)?.records {
-                wb.replay_edit(&rec)?;
+        if vfs.exists(&wal) {
+            let replay = WalReader::load_with(vfs.as_ref(), &wal, ReplayMode::TolerateTear)?;
+            for (rec, epoch) in replay.stamped() {
+                if epoch < snapshot_epoch {
+                    continue; // already folded into the snapshot
+                }
+                wb.replay_edit(rec)?;
             }
         }
         Ok(wb)
     }
 
     /// [`Self::apply_edit`] with replay semantics: an `AddSheet` whose
-    /// name already exists is a no-op. A crash between a snapshot write
-    /// and the WAL truncation ([`Self::save`],
-    /// [`PersistentWorkbook::compact`]) leaves the already-folded edits
-    /// in the log; replaying them over the fresh snapshot must be
-    /// idempotent. `AddSheet` is the only record the normal edit path
-    /// rejects on a second application; `Structural` is the one record
-    /// that is *not* idempotent (a double replay shifts twice) — see the
-    /// caveat on [`PersistentWorkbook::compact`].
+    /// name already exists is a no-op. Replay epochs make every other
+    /// record safe too — a crash between a snapshot write and the WAL
+    /// truncation ([`Self::save`], [`PersistentWorkbook::compact`])
+    /// leaves already-folded edits in the log, but they carry an older
+    /// epoch than the fresh snapshot and never reach this function. The
+    /// `AddSheet` check remains for version-1 logs, which predate epochs
+    /// and replay every record.
     fn replay_edit(&mut self, rec: &EditRecord) -> Result<(), StoreError> {
         if let EditRecord::AddSheet { name } = rec {
             if self.sheet_id(name).is_some() {
@@ -239,8 +276,12 @@ impl Default for PersistOptions {
 /// handles lose nothing — reopening replays the WAL over the snapshot.
 pub struct PersistentWorkbook {
     wb: Workbook<FormulaGraph>,
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
     wal: WalWriter,
+    /// The replay epoch of the snapshot on disk; WAL records are stamped
+    /// with it, and compaction bumps it (see [`PersistentWorkbook::compact`]).
+    epoch: u64,
     opts: PersistOptions,
     appended_since_sync: u64,
     /// Whether the open-time replay truncated a torn WAL tail; folded
@@ -258,12 +299,28 @@ impl PersistentWorkbook {
         wb: Workbook<FormulaGraph>,
         opts: PersistOptions,
     ) -> Result<Self, StoreError> {
-        write_workbook_file(path, &wb.to_image())?;
-        let wal = WalWriter::create(&wal_path(path))?;
+        Self::create_with(std_vfs(), path, wb, opts)
+    }
+
+    /// [`PersistentWorkbook::create`] through an explicit [`Vfs`] —
+    /// the fault-injection entry point ([`taco_store::FaultVfs`]).
+    pub fn create_with(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        wb: Workbook<FormulaGraph>,
+        opts: PersistOptions,
+    ) -> Result<Self, StoreError> {
+        let mut image = wb.to_image();
+        image.epoch = 1;
+        write_workbook_file_with(vfs.as_ref(), path, &image)?;
+        let mut wal = WalWriter::create_with(Arc::clone(&vfs), &wal_path(path))?;
+        wal.set_epoch(1);
         Ok(PersistentWorkbook {
             wb,
+            vfs,
             path: path.to_path_buf(),
             wal,
+            epoch: 1,
             opts,
             appended_since_sync: 0,
             replay_torn: false,
@@ -273,17 +330,36 @@ impl PersistentWorkbook {
 
     /// Opens snapshot + WAL at `path`, replaying the log's clean prefix
     /// (a torn tail from a crash is truncated away, so the next append
-    /// extends a valid log).
+    /// extends a valid log). Records stamped with an epoch older than
+    /// the snapshot's were already folded in by a compaction whose WAL
+    /// truncation never hit the disk; they are skipped.
     pub fn open(path: &Path, opts: PersistOptions) -> Result<Self, StoreError> {
-        let mut wb = Workbook::from_image(StoreReader::open(path)?.read_all()?)?;
-        let (wal, replay) = WalWriter::open_append(&wal_path(path))?;
-        for rec in &replay.records {
+        Self::open_with(std_vfs(), path, opts)
+    }
+
+    /// [`PersistentWorkbook::open`] through an explicit [`Vfs`].
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        opts: PersistOptions,
+    ) -> Result<Self, StoreError> {
+        let reader = StoreReader::open_with(vfs.as_ref(), path)?;
+        let epoch = reader.epoch();
+        let mut wb = Workbook::from_image(reader.read_all()?)?;
+        let (mut wal, replay) = WalWriter::open_append_with(Arc::clone(&vfs), &wal_path(path))?;
+        for (rec, rec_epoch) in replay.stamped() {
+            if rec_epoch < epoch {
+                continue; // already folded into the snapshot
+            }
             wb.replay_edit(rec)?;
         }
+        wal.set_epoch(epoch);
         Ok(PersistentWorkbook {
             wb,
+            vfs,
             path: path.to_path_buf(),
             wal,
+            epoch,
             opts,
             appended_since_sync: 0,
             replay_torn: replay.torn.is_some(),
@@ -484,20 +560,21 @@ impl PersistentWorkbook {
         Ok(())
     }
 
-    /// Folds the WAL into a fresh snapshot: writes the container, then
-    /// truncates the log. Crash-ordering note: the snapshot is fully
-    /// fsynced *before* the WAL resets, so a crash between the two steps
-    /// merely replays edits that are already in the snapshot — replay
-    /// goes through the same idempotent edit paths. Known caveat:
-    /// `Structural` records are not idempotent (replaying one over a
-    /// snapshot that already folded it shifts rows/columns a second
-    /// time), so a crash inside this narrow window can double-apply a
-    /// structural edit; closing it needs a replay epoch in both files
-    /// and is tracked in DESIGN.md ("Structural edits").
+    /// Folds the WAL into a fresh snapshot: writes the container one
+    /// replay epoch higher, then truncates the log. Crash-ordering note:
+    /// the snapshot is fully durable (file + directory fsync) *before*
+    /// the WAL resets, so a crash between the two steps leaves records
+    /// stamped with the old epoch behind a snapshot at the new epoch —
+    /// reopen skips every one of them, including structural edits,
+    /// which a naive double replay would shift twice.
     pub fn compact(&mut self) -> Result<(), StoreError> {
         let timing = self.obs.as_ref().map(|o| (Instant::now(), o.now_ns()));
         let folded = self.wal.record_count();
-        write_workbook_file(&self.path, &self.wb.to_image())?;
+        let mut image = self.wb.to_image();
+        image.epoch = self.epoch + 1;
+        write_workbook_file_with(self.vfs.as_ref(), &self.path, &image)?;
+        self.epoch += 1;
+        self.wal.set_epoch(self.epoch);
         self.wal.reset()?;
         self.appended_since_sync = 0;
         if let (Some(o), Some((start, start_ns))) = (self.obs.as_ref(), timing) {
@@ -511,6 +588,12 @@ impl PersistentWorkbook {
         self.wal.record_count()
     }
 
+    /// The replay epoch of the snapshot on disk (bumped by each
+    /// compaction).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// The snapshot path.
     pub fn path(&self) -> &Path {
         &self.path
@@ -522,7 +605,8 @@ impl PersistentWorkbook {
 /// Saves a standalone engine as a one-sheet workbook container.
 pub fn save_engine(engine: &Engine<FormulaGraph>, path: &Path) -> Result<(), StoreError> {
     let name = engine.sheet_name().unwrap_or("Sheet1").to_string();
-    let image = WorkbookImage { sheets: vec![sheet_image(engine, name)], cross: Vec::new() };
+    let image =
+        WorkbookImage { sheets: vec![sheet_image(engine, name)], cross: Vec::new(), epoch: 0 };
     write_workbook_file(path, &image)
 }
 
@@ -826,6 +910,49 @@ mod tests {
         drop(pers);
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(wal_path(&path)).ok();
+    }
+
+    #[test]
+    fn compact_crash_window_cannot_double_apply_structural_edits() {
+        use taco_core::StructuralOp;
+        use taco_store::FaultVfs;
+        // The epoch protocol's whole reason to exist: a crash after the
+        // compaction snapshot is durable but before the WAL truncates
+        // leaves structural records in the log. Without epochs, reopen
+        // would shift rows a second time.
+        let fv = FaultVfs::pristine(11);
+        let vfs: Arc<dyn Vfs> = Arc::new(fv.clone());
+        let path = PathBuf::from("book.taco");
+        let mut pers = PersistentWorkbook::create_with(
+            Arc::clone(&vfs),
+            &path,
+            two_sheet_book(),
+            PersistOptions { compact_after_records: 0, sync_every_records: 1 },
+        )
+        .unwrap();
+        pers.set_value(SheetId(0), c("A1"), n(100.0)).unwrap();
+        pers.apply_structural(SheetId(0), StructuralOp::InsertRows { at: 2, n: 3 }).unwrap();
+        // First half of `compact`: the snapshot lands on disk one epoch
+        // up; the WAL "crashes" before its reset and keeps the records.
+        let mut image = pers.workbook().to_image();
+        image.epoch = pers.epoch() + 1;
+        write_workbook_file_with(vfs.as_ref(), &path, &image).unwrap();
+        let mut live = Workbook::from_image(pers.workbook().to_image()).unwrap();
+        drop(pers);
+
+        let back =
+            PersistentWorkbook::open_with(Arc::clone(&vfs), &path, PersistOptions::default())
+                .unwrap();
+        assert_eq!(back.epoch(), 2);
+        assert_eq!(back.wal_record_count(), 2, "stale records stay in the log, skipped");
+        let mut reopened = Workbook::from_image(back.workbook().to_image()).unwrap();
+        reopened.recalculate(RecalcMode::Serial);
+        live.recalculate(RecalcMode::Serial);
+        // A double-applied InsertRows would move A1's 100 down again.
+        assert_eq!(reopened.value(SheetId(0), c("A1")), n(100.0));
+        for (cell, content) in live.sheet(SheetId(0)).cells_map() {
+            assert_eq!(reopened.value(SheetId(0), *cell), *content.value(), "{cell}");
+        }
     }
 
     #[test]

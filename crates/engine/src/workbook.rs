@@ -579,6 +579,11 @@ impl Workbook<FormulaGraph> {
                 referrers.push((e.dst.0, e.dep));
             }
         }
+        // The cross table's row order reflects edit history, which a
+        // snapshot round trip does not preserve. Rewrite order feeds the
+        // destination graphs' compressors, so sort it: a replayed
+        // structural edit must reproduce the live one bit for bit.
+        referrers.sort_unstable();
 
         // Local transform. The receipt's dirty ranges are the formulas
         // whose value may change, so they double as hop origins: any

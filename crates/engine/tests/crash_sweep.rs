@@ -1,0 +1,195 @@
+//! Exhaustive crash-point sweep: for **every** I/O operation in a
+//! save → edit burst → compaction → structural burst cycle, crash the
+//! simulated disk exactly there, reopen from the durable image, and
+//! assert the recovered workbook is bit-identical to some clean prefix
+//! of the per-client edit order — with zero double-applied structural
+//! edits (a double InsertRows shifts the data region twice and matches
+//! no prefix).
+//!
+//! The sweep runs the cycle once fault-free to count I/O operations,
+//! then replays it `op_count` times with the crash point advanced one
+//! op at a time. Set `TACO_CRASH_SWEEP=full` to add a second sweep
+//! over a larger Github-mix workload (the quick sweep is already
+//! exhaustive over every op of its cycle).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use taco_engine::{PersistOptions, PersistentWorkbook, Workbook};
+use taco_store::{encode_workbook, EditRecord, FaultPlan, FaultVfs, StoreError, Vfs};
+use taco_workload::persistence::{
+    gen_persist_workload, persist_enron_like, persist_github_like, PersistParams, PersistWorkload,
+};
+
+/// How far a cycle got before an injected fault stopped it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Progress {
+    /// Crashed inside `create`: nothing was ever promised durable.
+    BeforeCreate,
+    /// The initial snapshot + WAL are durable.
+    Created,
+    /// The cycle ran to completion.
+    Done,
+}
+
+/// The full per-client edit order after the initial save: the preset's
+/// burst, then a deterministic structural tail sharp enough that any
+/// double application is visible (row inserts move the data column,
+/// a column delete leaves `#REF!`s at a known spot).
+fn post_edits(wl: &PersistWorkload, sheets: usize) -> Vec<EditRecord> {
+    use taco_core::StructuralOp;
+    let mut edits = wl.burst.clone();
+    edits.push(EditRecord::Structural { sheet: 0, op: StructuralOp::InsertRows { at: 2, n: 2 } });
+    edits.push(EditRecord::SetValue {
+        sheet: 0,
+        cell: taco_grid::Cell::new(1, 2),
+        value: taco_formula::Value::Number(123.5),
+    });
+    edits.push(EditRecord::Structural { sheet: 0, op: StructuralOp::DeleteCols { at: 2, n: 1 } });
+    if sheets > 1 {
+        edits.push(EditRecord::Structural {
+            sheet: 1,
+            op: StructuralOp::InsertCols { at: 1, n: 1 },
+        });
+    }
+    edits
+}
+
+/// The canonical fingerprint of a workbook's observable state.
+fn fingerprint(wb: &Workbook) -> Vec<u8> {
+    encode_workbook(&wb.to_image()).expect("encode")
+}
+
+fn build_workbook(wl: &PersistWorkload) -> Workbook {
+    let mut wb = Workbook::with_taco();
+    for rec in &wl.build {
+        wb.apply_edit(rec).expect("build script applies");
+    }
+    wb
+}
+
+/// Fingerprints of every clean prefix: `fps[i]` is the state after the
+/// build plus the first `i` post-save edits.
+fn clean_prefix_fingerprints(wl: &PersistWorkload, post: &[EditRecord]) -> Vec<Vec<u8>> {
+    let mut wb = build_workbook(wl);
+    let mut fps = Vec::with_capacity(post.len() + 1);
+    fps.push(fingerprint(&wb));
+    for rec in post {
+        wb.apply_edit(rec).expect("prefix edit applies");
+        fps.push(fingerprint(&wb));
+    }
+    fps
+}
+
+/// One save → burst → compact → structural-burst cycle over `vfs`.
+/// Stops at the first storage error (the `BatchStage::Log` discipline:
+/// once the log cannot be extended, nothing further may be logged).
+fn run_cycle(
+    vfs: Arc<dyn Vfs>,
+    path: &Path,
+    wl: &PersistWorkload,
+    post: &[EditRecord],
+) -> (Progress, Result<(), StoreError>) {
+    let opts = PersistOptions { compact_after_records: 0, sync_every_records: 1 };
+    let wb = build_workbook(wl);
+    let mut pers = match PersistentWorkbook::create_with(vfs, path, wb, opts) {
+        Ok(p) => p,
+        Err(e) => return (Progress::BeforeCreate, Err(e)),
+    };
+    // The structural tail runs after a mid-cycle compaction, so its
+    // records land in a fresh epoch-bumped log.
+    let (burst, tail) = post.split_at(wl.burst.len());
+    for rec in burst {
+        if let Err(e) = pers.log_edit(rec) {
+            return (Progress::Created, Err(e));
+        }
+    }
+    if let Err(e) = pers.compact() {
+        return (Progress::Created, Err(e));
+    }
+    for rec in tail {
+        if let Err(e) = pers.log_edit(rec) {
+            return (Progress::Created, Err(e));
+        }
+    }
+    if let Err(e) = pers.sync() {
+        return (Progress::Created, Err(e));
+    }
+    (Progress::Done, Ok(()))
+}
+
+fn sweep(params: &PersistParams, seed: u64) {
+    let wl = gen_persist_workload(params);
+    let post = post_edits(&wl, params.sheets);
+    let fps = clean_prefix_fingerprints(&wl, &post);
+    let path = PathBuf::from("book.taco");
+
+    // Fault-free dry run: counts the cycle's I/O operations.
+    let dry = FaultVfs::pristine(seed);
+    let (progress, outcome) = run_cycle(Arc::new(dry.clone()), &path, &wl, &post);
+    assert_eq!(progress, Progress::Done, "fault-free cycle must complete: {outcome:?}");
+    let clean_fp = fingerprint(
+        &Workbook::open_with(Arc::new(dry.reopen_from_crash()), &path).expect("clean reopen"),
+    );
+    assert_eq!(&clean_fp, fps.last().unwrap(), "fault-free cycle recovers the full edit order");
+    let total_ops = dry.op_count();
+    assert!(total_ops > 50, "the cycle must exercise a real number of I/O ops, got {total_ops}");
+
+    let mut recovered_prefixes = std::collections::BTreeSet::new();
+    for k in 0..total_ops {
+        let fv = FaultVfs::new(FaultPlan { crash_at_op: Some(k), ..FaultPlan::none(seed) });
+        let (progress, outcome) = run_cycle(Arc::new(fv.clone()), &path, &wl, &post);
+        assert!(outcome.is_err(), "crash at op {k}/{total_ops} must surface");
+        assert!(fv.crashed(), "crash point {k} must have fired");
+
+        // Reopen from the frozen durable image.
+        let disk: Arc<dyn Vfs> = Arc::new(fv.reopen_from_crash());
+        match Workbook::open_with(disk, &path) {
+            Ok(recovered) => {
+                let fp = fingerprint(&recovered);
+                let prefix = fps.iter().position(|p| p == &fp);
+                assert!(
+                    prefix.is_some(),
+                    "crash at op {k}/{total_ops} ({}): recovered state matches no clean \
+                     prefix — a lost, reordered, or double-applied edit",
+                    params.name,
+                );
+                recovered_prefixes.insert(prefix.unwrap());
+            }
+            Err(e) => {
+                // Only legal before `create` returned: nothing durable
+                // was ever promised. Afterwards the snapshot must open.
+                assert_eq!(
+                    progress,
+                    Progress::BeforeCreate,
+                    "crash at op {k}/{total_ops}: reopen failed with {e} after create succeeded"
+                );
+            }
+        }
+    }
+    // The sweep must actually observe recovery at many distinct points
+    // of the edit order, not collapse to one prefix.
+    assert!(
+        recovered_prefixes.len() > 10,
+        "sweep recovered only {} distinct prefixes",
+        recovered_prefixes.len()
+    );
+}
+
+#[test]
+fn every_crash_point_recovers_a_clean_prefix() {
+    // Small enough that sweeping every I/O op stays fast; the cycle
+    // still covers every record kind, cross-sheet formulas, compaction,
+    // and the structural tail.
+    let params = PersistParams { sheets: 2, rows: 24, burst_edits: 40, ..persist_enron_like() };
+    sweep(&params, 0xC0FFEE);
+}
+
+#[test]
+fn full_crash_sweep_over_the_github_mix() {
+    if std::env::var("TACO_CRASH_SWEEP").as_deref() != Ok("full") {
+        eprintln!("skipping full sweep (set TACO_CRASH_SWEEP=full to run)");
+        return;
+    }
+    let params = PersistParams { sheets: 3, rows: 48, burst_edits: 80, ..persist_github_like() };
+    sweep(&params, 0xFACADE);
+}

@@ -8,8 +8,9 @@ use crate::protocol::{Request, Response, ServiceStats};
 use crate::registry::Registry;
 use crate::server::{read_handshake, write_handshake};
 use crate::ServiceError;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 use taco_formula::Value;
 use taco_grid::{Cell, Range};
 use taco_obs::{MetricsSnapshot, TraceContext, TraceDump};
@@ -32,6 +33,14 @@ pub trait Transport {
         req: Request,
         ctx: Option<TraceContext>,
     ) -> Result<Response, ServiceError>;
+
+    /// Re-establishes the underlying channel after a failure: the TCP
+    /// transport re-dials and re-handshakes its remembered address.
+    /// Transports with nothing to re-establish (in-process) succeed as a
+    /// no-op.
+    fn reconnect(&mut self) -> Result<(), ServiceError> {
+        Ok(())
+    }
 }
 
 /// The in-process transport: requests execute on the calling thread
@@ -61,6 +70,7 @@ impl Transport for InProc {
 /// The TCP transport: one connection, one frame per request and reply.
 pub struct Tcp {
     stream: TcpStream,
+    addr: SocketAddr,
     max_frame: u64,
 }
 
@@ -70,7 +80,8 @@ impl Tcp {
         let mut stream = TcpStream::connect(addr)?;
         write_handshake(&mut stream)?;
         read_handshake(&mut stream)?;
-        Ok(Tcp { stream, max_frame: DEFAULT_MAX_FRAME })
+        let addr = stream.peer_addr()?;
+        Ok(Tcp { stream, addr, max_frame: DEFAULT_MAX_FRAME })
     }
 }
 
@@ -88,6 +99,109 @@ impl Transport for Tcp {
         let payload = read_frame(&mut self.stream, self.max_frame)?;
         Ok(Response::decode(&payload)?)
     }
+
+    fn reconnect(&mut self) -> Result<(), ServiceError> {
+        let fresh = Tcp::connect(self.addr)?;
+        self.stream = fresh.stream;
+        Ok(())
+    }
+}
+
+/// Jittered exponential backoff for transient service failures
+/// (connection drops, `Busy` refusals, expired deadlines). Attached to a
+/// [`Client`] with [`Client::set_retry`]; retries apply **only to
+/// idempotent requests** — a write whose fate is unknown (the connection
+/// died mid-exchange, or its deadline expired) is never re-sent, because
+/// the first copy may have applied.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` tries).
+    pub max_retries: u32,
+    /// First backoff; doubles per retry up to [`RetryPolicy::max_delay`].
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream (each delay is drawn
+    /// uniformly from `[delay/2, delay]` so synchronized clients spread
+    /// out).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 6,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(500),
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based), jittered by
+    /// `state` (advanced by the caller between draws).
+    fn delay(&self, attempt: u32, state: u64) -> Duration {
+        let exp = self.base_delay.saturating_mul(2u32.saturating_pow(attempt));
+        let capped = exp.min(self.max_delay).as_nanos() as u64;
+        let jittered = capped / 2 + splitmix64(state) % (capped / 2 + 1);
+        Duration::from_nanos(jittered)
+    }
+}
+
+/// SplitMix64 — the same tiny deterministic generator the workload crate
+/// uses; good enough to decorrelate retry timing.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Requests safe to send twice: reads, recalculations, saves, session
+/// management. Every mutation (`SetValue`… structural edits) is excluded
+/// — re-sending one after an unknown outcome could apply it twice.
+fn idempotent(req: &Request) -> bool {
+    !matches!(
+        req,
+        Request::SetValue { .. }
+            | Request::SetFormula { .. }
+            | Request::Autofill { .. }
+            | Request::ClearRange { .. }
+            | Request::InsertRows { .. }
+            | Request::DeleteRows { .. }
+            | Request::InsertCols { .. }
+            | Request::DeleteCols { .. }
+    )
+}
+
+/// Patches the session token into a request — after an automatic
+/// re-`Open`, the retried request must carry the *new* session.
+fn set_token(req: &mut Request, new: u64) {
+    match req {
+        Request::Open { .. } => {}
+        Request::Close { token }
+        | Request::SetValue { token, .. }
+        | Request::SetFormula { token, .. }
+        | Request::Autofill { token, .. }
+        | Request::ClearRange { token, .. }
+        | Request::Get { token, .. }
+        | Request::GetRange { token, .. }
+        | Request::Dependents { token, .. }
+        | Request::Precedents { token, .. }
+        | Request::DirtyCount { token }
+        | Request::Recalc { token }
+        | Request::Save { token }
+        | Request::Stats { token }
+        | Request::RecalcRange { token, .. }
+        | Request::GetRangeFresh { token, .. }
+        | Request::InsertRows { token, .. }
+        | Request::DeleteRows { token, .. }
+        | Request::InsertCols { token, .. }
+        | Request::DeleteCols { token, .. }
+        | Request::Metrics { token }
+        | Request::TraceDump { token } => *token = new,
+    }
 }
 
 /// A typed session client over any transport. Open a workbook first;
@@ -97,6 +211,16 @@ pub struct Client<T: Transport> {
     token: Option<u64>,
     sheets: Vec<String>,
     trace: Option<TraceContext>,
+    retry: Option<RetryPolicy>,
+    /// Jitter stream state; advanced per backoff draw.
+    jitter: u64,
+    /// Retries attempted over the client's lifetime (reconnects and
+    /// re-sends, not first attempts).
+    retries: u64,
+    /// The last successful `open`'s arguments, remembered so the retry
+    /// path can re-open after the server closed our sessions (it does so
+    /// whenever a connection dies).
+    open_params: Option<(String, Option<String>, Option<Vec<String>>)>,
 }
 
 /// [`Client`] over the in-process transport.
@@ -121,7 +245,37 @@ impl TcpClient {
 impl<T: Transport> Client<T> {
     /// Wraps a transport.
     pub fn over(transport: T) -> Self {
-        Client { transport, token: None, sheets: Vec::new(), trace: None }
+        Client {
+            transport,
+            token: None,
+            sheets: Vec::new(),
+            trace: None,
+            retry: None,
+            jitter: 0,
+            retries: 0,
+            open_params: None,
+        }
+    }
+
+    /// Turns on automatic retry: transient failures (`Busy`, a dropped
+    /// connection, an expired deadline) on **idempotent** requests are
+    /// retried with jittered exponential backoff, transparently
+    /// reconnecting and re-opening the session as needed. Mutations are
+    /// never retried — their first attempt may have applied.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.jitter = policy.seed;
+        self.retry = Some(policy);
+    }
+
+    /// Turns automatic retry back off.
+    pub fn clear_retry(&mut self) {
+        self.retry = None;
+    }
+
+    /// Retries this client has attempted (0 while every call succeeds on
+    /// its first try).
+    pub fn retries_attempted(&self) -> u64 {
+        self.retries
     }
 
     /// Attaches a sticky trace context: every subsequent request travels
@@ -153,9 +307,86 @@ impl<T: Transport> Client<T> {
     }
 
     fn call(&mut self, req: Request) -> Result<Response, ServiceError> {
-        match self.transport.call_traced(req, self.trace)? {
+        let Some(policy) = self.retry else {
+            return match self.transport.call_traced(req, self.trace)? {
+                Response::Err(e) => Err(e),
+                resp => Ok(resp),
+            };
+        };
+        let retryable = idempotent(&req);
+        let mut req = req;
+        let mut attempt: u32 = 0;
+        loop {
+            // `dead` distinguishes a transport failure (the connection
+            // cannot be trusted any more) from a well-formed error reply
+            // (the stream is still in sync).
+            let (err, dead) = match self.transport.call_traced(req.clone(), self.trace) {
+                Ok(Response::Err(e)) => (e, false),
+                Ok(resp) => return Ok(resp),
+                Err(e) => (e, true),
+            };
+            if !retryable || attempt >= policy.max_retries {
+                return Err(err);
+            }
+            // Which failures are worth another try — and what repair
+            // each needs first:
+            //  - a dead transport (I/O error, torn frame): reconnect,
+            //    and re-open because the server closed our sessions
+            //    when the connection died;
+            //  - `Busy`: the server answered and will close the socket
+            //    next, so same treatment after a backoff;
+            //  - `NoSession` with remembered open parameters: the
+            //    session evaporated server-side — re-open on the live
+            //    connection;
+            //  - `DeadlineExceeded`: the workbook's writer is slow, not
+            //    gone — just back off and re-ask.
+            // Everything else (auth, scope, bad requests, degraded
+            // workbooks) is deterministic: retrying cannot help.
+            let reconnect = match &err {
+                _ if dead => true,
+                ServiceError::Busy => true,
+                ServiceError::DeadlineExceeded => false,
+                ServiceError::NoSession if self.open_params.is_some() => false,
+                _ => return Err(err),
+            };
+            self.retries += 1;
+            self.jitter = splitmix64(self.jitter);
+            std::thread::sleep(policy.delay(attempt, self.jitter));
+            attempt += 1;
+            if reconnect && self.transport.reconnect().is_err() {
+                // Still unreachable: burn this attempt and loop — the
+                // next call_traced fails fast and backs off again.
+                continue;
+            }
+            // A fresh connection (or an evaporated session) needs a new
+            // session before the retried request can carry its token.
+            let needs_reopen = (reconnect || matches!(err, ServiceError::NoSession))
+                && !matches!(req, Request::Open { .. });
+            if needs_reopen {
+                match self.reopen() {
+                    Ok(()) => {
+                        if let Some(token) = self.token {
+                            set_token(&mut req, token);
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }
+    }
+
+    /// Re-opens the remembered session after a reconnect (single
+    /// attempt; the retry loop provides the repetition).
+    fn reopen(&mut self) -> Result<(), ServiceError> {
+        let (workbook, auth, scope) = self.open_params.clone().ok_or(ServiceError::NoSession)?;
+        match self.transport.call_traced(Request::Open { workbook, auth, scope }, self.trace)? {
+            Response::Opened { token, sheets, .. } => {
+                self.token = Some(token);
+                self.sheets = sheets;
+                Ok(())
+            }
             Response::Err(e) => Err(e),
-            resp => Ok(resp),
+            _ => Err(ServiceError::Protocol("expected Opened")),
         }
     }
 
@@ -166,15 +397,21 @@ impl<T: Transport> Client<T> {
         auth: Option<&str>,
         scope: Option<&[&str]>,
     ) -> Result<Vec<String>, ServiceError> {
+        let params = (
+            workbook.to_string(),
+            auth.map(str::to_string),
+            scope.map(|s| s.iter().map(|n| n.to_string()).collect::<Vec<String>>()),
+        );
         let resp = self.call(Request::Open {
-            workbook: workbook.to_string(),
-            auth: auth.map(str::to_string),
-            scope: scope.map(|s| s.iter().map(|n| n.to_string()).collect()),
+            workbook: params.0.clone(),
+            auth: params.1.clone(),
+            scope: params.2.clone(),
         })?;
         match resp {
             Response::Opened { token, sheets, .. } => {
                 self.token = Some(token);
                 self.sheets = sheets.clone();
+                self.open_params = Some(params);
                 Ok(sheets)
             }
             _ => Err(ServiceError::Protocol("expected Opened")),
@@ -185,6 +422,7 @@ impl<T: Transport> Client<T> {
     pub fn close(&mut self) -> Result<(), ServiceError> {
         let Some(token) = self.token.take() else { return Ok(()) };
         self.sheets.clear();
+        self.open_params = None;
         match self.call(Request::Close { token })? {
             Response::Closed => Ok(()),
             _ => Err(ServiceError::Protocol("expected Closed")),

@@ -48,7 +48,7 @@ pub mod registry;
 pub mod server;
 pub mod session;
 
-pub use client::{Client, InProcClient, TcpClient, Transport};
+pub use client::{Client, InProcClient, RetryPolicy, TcpClient, Transport};
 pub use http::HttpSidecar;
 pub use protocol::{Request, Response, ServiceStats};
 pub use registry::{Registry, ServiceOptions, Snapshot};
@@ -78,6 +78,17 @@ pub enum ServiceError {
     BadRequest(String),
     /// `Save` against a workbook with no persistent backing store.
     NotPersistent,
+    /// The workbook is degraded: a storage fault left its write-ahead
+    /// log (or snapshot file) behind the live state, so writes are
+    /// refused until a successful `Save` rewrites the snapshot from the
+    /// live workbook and heals the log. Reads keep working throughout.
+    /// The payload says which fault started it.
+    Degraded(String),
+    /// The per-request deadline ([`ServiceOptions::deadline`]) elapsed
+    /// before the workbook's writer replied. The operation may still
+    /// complete after the fact — for writes, "deadline exceeded" means
+    /// *unknown*, not *not applied*.
+    DeadlineExceeded,
     /// The server is at its connection limit.
     Busy,
     /// The server (or this workbook's writer) is shutting down.
@@ -101,6 +112,10 @@ impl fmt::Display for ServiceError {
             ServiceError::OutOfScope(n) => write!(f, "sheet {n:?} is outside the session scope"),
             ServiceError::BadRequest(why) => write!(f, "bad request: {why}"),
             ServiceError::NotPersistent => write!(f, "workbook has no persistent backing store"),
+            ServiceError::Degraded(why) => {
+                write!(f, "workbook degraded (read-only until a successful Save): {why}")
+            }
+            ServiceError::DeadlineExceeded => write!(f, "request deadline exceeded"),
             ServiceError::Busy => write!(f, "server is at its connection limit"),
             ServiceError::ShuttingDown => write!(f, "server is shutting down"),
             ServiceError::Wire(e) => write!(f, "wire error: {e}"),

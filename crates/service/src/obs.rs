@@ -30,6 +30,15 @@ pub(crate) struct ServiceObs {
     pub(crate) busy_rejected: Counter,
     pub(crate) auth_failures: Counter,
     pub(crate) scope_denials: Counter,
+    /// `taco_degraded_workbooks` — workbooks currently read-only after a
+    /// storage fault (a WAL append or snapshot save that failed); falls
+    /// back to 0 as `Save` heals them.
+    pub(crate) degraded_books: Gauge,
+    /// `taco_deadline_expired_total` — requests answered with
+    /// [`ServiceError::DeadlineExceeded`].
+    ///
+    /// [`ServiceError::DeadlineExceeded`]: crate::ServiceError::DeadlineExceeded
+    pub(crate) deadline_expired: Counter,
     pub(crate) tracer: Tracer,
 }
 
@@ -47,6 +56,8 @@ impl ServiceObs {
             busy_rejected: m.counter("taco_busy_rejected_total"),
             auth_failures: m.counter("taco_auth_failures_total"),
             scope_denials: m.counter("taco_scope_denials_total"),
+            degraded_books: m.gauge("taco_degraded_workbooks"),
+            deadline_expired: m.counter("taco_deadline_expired_total"),
             tracer: hub.tracer.clone(),
             hub,
         }

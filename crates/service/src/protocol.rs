@@ -347,6 +347,12 @@ pub struct ServiceStats {
     pub auth_failures: u64,
     /// Requests rejected with [`ServiceError::OutOfScope`].
     pub scope_denials: u64,
+    /// 1 when this workbook is currently degraded (read-only after a
+    /// storage fault; heals on a successful `Save`), else 0.
+    pub degraded: u64,
+    /// Requests answered with [`ServiceError::DeadlineExceeded`]
+    /// (registry-wide).
+    pub deadline_expired: u64,
 }
 
 // ---- encoding -----------------------------------------------------------
@@ -658,7 +664,7 @@ fn read_metrics<R: Read>(r: &mut R) -> Result<MetricsSnapshot, StoreError> {
 
 impl Request {
     /// The request's wire tag (also the index into
-    /// [`OP_LABELS`](crate::protocol::OP_LABELS)).
+    /// [`OP_LABELS`]).
     pub fn tag(&self) -> u8 {
         match self {
             Request::Open { .. } => REQ_OPEN,
@@ -1037,6 +1043,8 @@ impl Response {
                         s.busy_rejected,
                         s.auth_failures,
                         s.scope_denials,
+                        s.degraded,
+                        s.deadline_expired,
                     ] {
                         write_uvarint(w, field)?;
                     }
@@ -1103,7 +1111,7 @@ impl Response {
             }
             RESP_SAVED => Response::Saved { wal_records: read_uvarint(r)? },
             RESP_STATS => {
-                let mut fields = [0u64; 14];
+                let mut fields = [0u64; 16];
                 for f in &mut fields {
                     *f = read_uvarint(r)?;
                 }
@@ -1122,6 +1130,8 @@ impl Response {
                     busy_rejected: fields[11],
                     auth_failures: fields[12],
                     scope_denials: fields[13],
+                    degraded: fields[14],
+                    deadline_expired: fields[15],
                 })
             }
             RESP_METRICS => Response::Metrics(Box::new(read_metrics(r)?)),
@@ -1148,6 +1158,8 @@ const ERR_SHUTDOWN: u8 = 8;
 const ERR_WIRE: u8 = 9;
 const ERR_IO: u8 = 10;
 const ERR_PROTOCOL: u8 = 11;
+const ERR_DEGRADED: u8 = 12;
+const ERR_DEADLINE: u8 = 13;
 
 fn encode_error<W: Write>(w: &mut W, e: &ServiceError) -> Result<(), StoreError> {
     let (code, msg): (u8, String) = match e {
@@ -1158,6 +1170,8 @@ fn encode_error<W: Write>(w: &mut W, e: &ServiceError) -> Result<(), StoreError>
         ServiceError::OutOfScope(n) => (ERR_SCOPE, n.clone()),
         ServiceError::BadRequest(why) => (ERR_BAD_REQUEST, why.clone()),
         ServiceError::NotPersistent => (ERR_NOT_PERSISTENT, String::new()),
+        ServiceError::Degraded(why) => (ERR_DEGRADED, why.clone()),
+        ServiceError::DeadlineExceeded => (ERR_DEADLINE, String::new()),
         ServiceError::Busy => (ERR_BUSY, String::new()),
         ServiceError::ShuttingDown => (ERR_SHUTDOWN, String::new()),
         ServiceError::Wire(e) => (ERR_WIRE, e.to_string()),
@@ -1180,6 +1194,8 @@ fn decode_error<R: Read>(r: &mut R) -> Result<ServiceError, StoreError> {
         ERR_SCOPE => ServiceError::OutOfScope(msg),
         ERR_BAD_REQUEST => ServiceError::BadRequest(msg),
         ERR_NOT_PERSISTENT => ServiceError::NotPersistent,
+        ERR_DEGRADED => ServiceError::Degraded(msg),
+        ERR_DEADLINE => ServiceError::DeadlineExceeded,
         ERR_BUSY => ServiceError::Busy,
         ERR_SHUTDOWN => ServiceError::ShuttingDown,
         ERR_WIRE => ServiceError::BadRequest(format!("peer wire error: {msg}")),
@@ -1267,6 +1283,8 @@ mod tests {
                 busy_rejected: 12,
                 auth_failures: 13,
                 scope_denials: 14,
+                degraded: 1,
+                deadline_expired: 15,
             }),
             Response::Metrics(Box::new(sample_snapshot())),
             Response::Metrics(Box::default()),
@@ -1276,6 +1294,8 @@ mod tests {
             Response::Err(ServiceError::AuthFailed),
             Response::Err(ServiceError::OutOfScope("Secret".into())),
             Response::Err(ServiceError::BadRequest("unparsable".into())),
+            Response::Err(ServiceError::Degraded("wal append: disk full".into())),
+            Response::Err(ServiceError::DeadlineExceeded),
         ]
     }
 

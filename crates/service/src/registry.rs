@@ -85,6 +85,15 @@ pub struct ServiceOptions {
     /// tracer ring sizes, slow threshold, clock, and id seed (a manual
     /// clock plus a fixed seed makes span trees reproducible in tests).
     pub obs_options: taco_obs::ObsOptions,
+    /// Per-request deadline for operations that round-trip through a
+    /// workbook's writer thread (writes, recalcs, graph queries, saves).
+    /// When the worker does not reply in time the caller gets a typed
+    /// [`ServiceError::DeadlineExceeded`] — note the operation may still
+    /// complete afterwards (the worker keeps going; only the reply is
+    /// abandoned), so for writes a deadline means *unknown*, not *not
+    /// applied*. Snapshot reads never queue and are not subject to it.
+    /// `None` (the default) waits indefinitely.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for ServiceOptions {
@@ -97,6 +106,7 @@ impl Default for ServiceOptions {
             http_metrics: None,
             profile: taco_engine::ProfileMode::Off,
             obs_options: taco_obs::ObsOptions::default(),
+            deadline: None,
         }
     }
 }
@@ -231,6 +241,14 @@ struct Counters {
 struct BookShared {
     snapshot: RwLock<Arc<Snapshot>>,
     stats: Counters,
+    /// Set when a storage fault left the WAL (or snapshot file) behind
+    /// the live workbook: writes are refused with a typed
+    /// [`ServiceError::Degraded`] until a successful `Save` rewrites the
+    /// snapshot from the live state and heals the log. Reads keep
+    /// serving the published snapshots throughout.
+    degraded: AtomicBool,
+    /// Which fault started the degradation (for the error payload).
+    degraded_reason: Mutex<String>,
 }
 
 impl BookShared {
@@ -240,6 +258,27 @@ impl BookShared {
         let epoch = next.epoch;
         *self.snapshot.write() = next;
         epoch
+    }
+
+    /// Enters the degraded state; returns `true` on the transition (so
+    /// the caller can bump the fleet gauge exactly once).
+    fn degrade(&self, reason: String) -> bool {
+        *self.degraded_reason.lock() = reason;
+        !self.degraded.swap(true, Ordering::SeqCst)
+    }
+
+    /// Leaves the degraded state; returns `true` on the transition.
+    fn heal(&self) -> bool {
+        self.degraded.swap(false, Ordering::SeqCst)
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// The reply writes get while the workbook is degraded.
+    fn degraded_error(&self) -> ServiceError {
+        ServiceError::Degraded(self.degraded_reason.lock().clone())
     }
 }
 
@@ -301,15 +340,33 @@ impl BookHandle {
         self.tx.lock().send(msg).map_err(|_| ServiceError::ShuttingDown)
     }
 
-    /// Sends `msg` and waits for the worker's reply.
-    fn ask(&self, make: impl FnOnce(Sender<Response>) -> WorkerMsg) -> Response {
+    /// Sends `msg` and waits for the worker's reply, up to `deadline`
+    /// when one is configured. On timeout the reply channel is dropped
+    /// and the worker's eventual answer goes nowhere — the operation
+    /// itself is not cancelled.
+    fn ask(
+        &self,
+        deadline: Option<std::time::Duration>,
+        make: impl FnOnce(Sender<Response>) -> WorkerMsg,
+    ) -> Response {
         let (reply, rx) = channel::unbounded();
         if self.send(make(reply)).is_err() {
             return Response::Err(ServiceError::ShuttingDown);
         }
-        match rx.recv() {
-            Ok(resp) => resp,
-            Err(_) => Response::Err(ServiceError::ShuttingDown),
+        match deadline {
+            None => match rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => Response::Err(ServiceError::ShuttingDown),
+            },
+            Some(d) => match rx.recv_timeout(d) {
+                Ok(resp) => resp,
+                Err(channel::RecvTimeoutError::Timeout) => {
+                    Response::Err(ServiceError::DeadlineExceeded)
+                }
+                Err(channel::RecvTimeoutError::Disconnected) => {
+                    Response::Err(ServiceError::ShuttingDown)
+                }
+            },
         }
     }
 }
@@ -401,6 +458,7 @@ struct Refusals {
     busy: AtomicU64,
     auth: AtomicU64,
     scope: AtomicU64,
+    deadline: AtomicU64,
 }
 
 /// A registry of named workbooks plus the session table; the shared core
@@ -507,6 +565,8 @@ impl Registry {
         let shared = Arc::new(BookShared {
             snapshot: RwLock::new(Arc::new(Snapshot::build(backing.workbook()))),
             stats: Counters::default(),
+            degraded: AtomicBool::new(false),
+            degraded_reason: Mutex::new(String::new()),
         });
         let (tx, rx) = channel::unbounded();
         let mut books = self.books.write();
@@ -517,6 +577,7 @@ impl Registry {
         let worker_opts = self.opts.clone();
         let worker_obs = self.svc_obs.as_ref().map(|o| WorkerObs {
             coalesce_batch: o.coalesce_batch.clone(),
+            degraded_books: o.degraded_books.clone(),
             tracer: o.tracer.clone(),
         });
         let worker = std::thread::Builder::new()
@@ -555,8 +616,9 @@ impl Registry {
     /// workbook is unknown or its worker is gone.
     pub fn quiesce(&self, workbook: &str) -> bool {
         let Some(handle) = self.handle(&workbook.to_ascii_lowercase()) else { return false };
+        // A barrier waits as long as it takes — no deadline here.
         matches!(
-            handle.ask(|reply| WorkerMsg::Recalc { ctx: TraceContext::NONE, reply }),
+            handle.ask(None, |reply| WorkerMsg::Recalc { ctx: TraceContext::NONE, reply }),
             Response::Recalced { .. }
         )
     }
@@ -652,18 +714,18 @@ impl Registry {
         // spans recorded on this thread nest under it, and worker
         // messages capture it explicitly for cross-thread work.
         let _guard = ctx.map(TraceContext::enter);
-        let result = self.try_execute(req);
-        if let Err(e) = &result {
+        let resp = match self.try_execute(req) {
+            Ok(resp) => resp,
+            Err(e) => Response::Err(e),
+        };
+        if let Response::Err(e) = &resp {
             self.note_refusal(e);
         }
         if let (Some(o), Some((start, start_ns)), Some(ctx)) = (self.svc_obs.as_ref(), timing, ctx)
         {
             o.on_request(tag, start, start_ns, ctx, payload_len);
         }
-        match result {
-            Ok(resp) => resp,
-            Err(e) => Response::Err(e),
-        }
+        resp
     }
 
     /// Tallies refusals the `Stats` request reports (and mirrors them
@@ -678,6 +740,9 @@ impl Registry {
             }
             ServiceError::Busy => {
                 (&self.refusals.busy, self.svc_obs.as_ref().map(|o| &o.busy_rejected))
+            }
+            ServiceError::DeadlineExceeded => {
+                (&self.refusals.deadline, self.svc_obs.as_ref().map(|o| &o.deadline_expired))
             }
             _ => return,
         };
@@ -710,7 +775,11 @@ impl Registry {
             Request::SetValue { token, sheet, cell, value } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
                 let op = WriteOp::Edit(EditRecord::SetValue { sheet: sid, cell, value });
-                Ok(handle.ask(|reply| WorkerMsg::Write { op, ctx: TraceContext::current(), reply }))
+                Ok(handle.ask(self.opts.deadline, |reply| WorkerMsg::Write {
+                    op,
+                    ctx: TraceContext::current(),
+                    reply,
+                }))
             }
             Request::SetFormula { token, sheet, cell, src } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
@@ -719,17 +788,29 @@ impl Registry {
                 Formula::parse(&src)
                     .map_err(|e| ServiceError::BadRequest(format!("formula: {e}")))?;
                 let op = WriteOp::Edit(EditRecord::SetFormula { sheet: sid, cell, src });
-                Ok(handle.ask(|reply| WorkerMsg::Write { op, ctx: TraceContext::current(), reply }))
+                Ok(handle.ask(self.opts.deadline, |reply| WorkerMsg::Write {
+                    op,
+                    ctx: TraceContext::current(),
+                    reply,
+                }))
             }
             Request::Autofill { token, sheet, src, targets } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
                 let op = WriteOp::Autofill { sheet: sid, src, targets };
-                Ok(handle.ask(|reply| WorkerMsg::Write { op, ctx: TraceContext::current(), reply }))
+                Ok(handle.ask(self.opts.deadline, |reply| WorkerMsg::Write {
+                    op,
+                    ctx: TraceContext::current(),
+                    reply,
+                }))
             }
             Request::ClearRange { token, sheet, range } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
                 let op = WriteOp::Edit(EditRecord::ClearRange { sheet: sid, range });
-                Ok(handle.ask(|reply| WorkerMsg::Write { op, ctx: TraceContext::current(), reply }))
+                Ok(handle.ask(self.opts.deadline, |reply| WorkerMsg::Write {
+                    op,
+                    ctx: TraceContext::current(),
+                    reply,
+                }))
             }
             Request::InsertRows { token, sheet, at, n } => {
                 self.structural(token, &sheet, StructuralOp::InsertRows { at, n })
@@ -755,7 +836,7 @@ impl Registry {
             }
             Request::Dependents { token, sheet, range } => {
                 let (session, handle, sid) = self.resolve_sheet(token, &sheet)?;
-                let resp = handle.ask(|reply| WorkerMsg::Graph {
+                let resp = handle.ask(self.opts.deadline, |reply| WorkerMsg::Graph {
                     dependents: true,
                     sheet: sid,
                     range,
@@ -766,7 +847,7 @@ impl Registry {
             }
             Request::Precedents { token, sheet, range } => {
                 let (session, handle, sid) = self.resolve_sheet(token, &sheet)?;
-                let resp = handle.ask(|reply| WorkerMsg::Graph {
+                let resp = handle.ask(self.opts.deadline, |reply| WorkerMsg::Graph {
                     dependents: false,
                     sheet: sid,
                     range,
@@ -782,11 +863,14 @@ impl Registry {
             }
             Request::Recalc { token } => {
                 let (_, handle) = self.resolve(token)?;
-                Ok(handle.ask(|reply| WorkerMsg::Recalc { ctx: TraceContext::current(), reply }))
+                Ok(handle.ask(self.opts.deadline, |reply| WorkerMsg::Recalc {
+                    ctx: TraceContext::current(),
+                    reply,
+                }))
             }
             Request::RecalcRange { token, sheet, range } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
-                Ok(handle.ask(|reply| WorkerMsg::Demand {
+                Ok(handle.ask(self.opts.deadline, |reply| WorkerMsg::Demand {
                     sheet: sid,
                     range,
                     fetch: false,
@@ -796,7 +880,7 @@ impl Registry {
             }
             Request::GetRangeFresh { token, sheet, range } => {
                 let (_, handle, sid) = self.resolve_sheet(token, &sheet)?;
-                Ok(handle.ask(|reply| WorkerMsg::Demand {
+                Ok(handle.ask(self.opts.deadline, |reply| WorkerMsg::Demand {
                     sheet: sid,
                     range,
                     fetch: true,
@@ -806,7 +890,10 @@ impl Registry {
             }
             Request::Save { token } => {
                 let (_, handle) = self.resolve(token)?;
-                Ok(handle.ask(|reply| WorkerMsg::Save { ctx: TraceContext::current(), reply }))
+                Ok(handle.ask(self.opts.deadline, |reply| WorkerMsg::Save {
+                    ctx: TraceContext::current(),
+                    reply,
+                }))
             }
             Request::Stats { token } => {
                 let (_, handle) = self.resolve(token)?;
@@ -827,6 +914,8 @@ impl Registry {
                     busy_rejected: self.refusals.busy.load(Ordering::Relaxed),
                     auth_failures: self.refusals.auth.load(Ordering::Relaxed),
                     scope_denials: self.refusals.scope.load(Ordering::Relaxed),
+                    degraded: u64::from(handle.shared.is_degraded()),
+                    deadline_expired: self.refusals.deadline.load(Ordering::Relaxed),
                 }))
             }
             Request::Metrics { token } => {
@@ -858,7 +947,11 @@ impl Registry {
     ) -> Result<Response, ServiceError> {
         let (_, handle, sid) = self.resolve_sheet(token, sheet)?;
         let op = WriteOp::Edit(EditRecord::Structural { sheet: sid, op });
-        Ok(handle.ask(|reply| WorkerMsg::Write { op, ctx: TraceContext::current(), reply }))
+        Ok(handle.ask(self.opts.deadline, |reply| WorkerMsg::Write {
+            op,
+            ctx: TraceContext::current(),
+            reply,
+        }))
     }
 
     fn open(
@@ -937,6 +1030,9 @@ fn record_sheet(rec: &EditRecord) -> Option<usize> {
 /// context this worker installs per message).
 struct WorkerObs {
     coalesce_batch: taco_obs::Histogram,
+    /// `taco_degraded_workbooks` — bumped on entering the degraded
+    /// state, dropped when a `Save` heals it.
+    degraded_books: taco_obs::Gauge,
     tracer: Tracer,
 }
 
@@ -965,6 +1061,25 @@ fn publish_spanned(
     epoch
 }
 
+/// Enters the degraded state (fleet gauge kept in sync); `reason`
+/// reaches refused clients verbatim in the typed error.
+fn degrade(shared: &BookShared, wobs: &Option<WorkerObs>, reason: String) {
+    if shared.degrade(reason) {
+        if let Some(o) = wobs {
+            o.degraded_books.add(1);
+        }
+    }
+}
+
+/// Leaves the degraded state after a successful save.
+fn heal(shared: &BookShared, wobs: &Option<WorkerObs>) {
+    if shared.heal() {
+        if let Some(o) = wobs {
+            o.degraded_books.sub(1);
+        }
+    }
+}
+
 fn worker_loop(
     rx: Receiver<WorkerMsg>,
     mut backing: Backing,
@@ -972,13 +1087,6 @@ fn worker_loop(
     opts: ServiceOptions,
     wobs: Option<WorkerObs>,
 ) {
-    // Set when the WAL refused an append/fsync while the corresponding
-    // edits are live in memory: the log is now *behind* the workbook, so
-    // appending anything further would punch a hole in it. Writes are
-    // rejected until a successful `Save` (compaction rewrites the
-    // snapshot from the live state and resets the log, restoring
-    // memory/disk agreement).
-    let mut wal_down = false;
     'outer: loop {
         let Ok(msg) = rx.recv() else { break };
         let mut pending = Some(msg);
@@ -1031,15 +1139,7 @@ fn worker_loop(
                         // close before any member request span can).
                         g.a = writes.len() as u64;
                     }
-                    apply_writes(
-                        &mut backing,
-                        &shared,
-                        &opts,
-                        &wobs,
-                        batch_guard,
-                        writes,
-                        &mut wal_down,
-                    );
+                    apply_writes(&mut backing, &shared, &opts, &wobs, batch_guard, writes);
                 }
                 WorkerMsg::Graph { dependents, sheet, range, ctx, reply } => {
                     let _span = ctx.enter();
@@ -1108,10 +1208,17 @@ fn worker_loop(
                                 // The snapshot now reflects the full live
                                 // state and the log is empty: a prior WAL
                                 // failure is healed.
-                                wal_down = false;
+                                heal(&shared, &wobs);
                                 Response::Saved { wal_records: p.wal_record_count() }
                             }
-                            Err(e) => Response::Err(ServiceError::BadRequest(format!("save: {e}"))),
+                            Err(e) => {
+                                // A failed snapshot rewrite degrades the
+                                // workbook just like a failed WAL append:
+                                // the disk can no longer be trusted to
+                                // absorb further writes.
+                                degrade(&shared, &wobs, format!("snapshot save failed: {e}"));
+                                Response::Err(shared.degraded_error())
+                            }
                         },
                     };
                     let _ = reply.send(resp);
@@ -1131,13 +1238,6 @@ fn dirty_sheets(wb: &Workbook) -> BTreeSet<usize> {
     (0..wb.sheet_count()).filter(|&i| wb.sheet(SheetId(i)).dirty_count() > 0).collect()
 }
 
-/// The reply clients get while the WAL is behind the live workbook.
-fn wal_down_error() -> ServiceError {
-    ServiceError::BadRequest(
-        "write-ahead log unavailable; workbook is read-only until a successful Save".into(),
-    )
-}
-
 /// Applies one drained run of writes: consecutive edits in one batch
 /// (one `apply_batch`, one recalculation), autofills individually. All
 /// replies carry the epoch of the snapshot published at the end.
@@ -1148,9 +1248,10 @@ fn wal_down_error() -> ServiceError {
 ///   the suffix re-applies individually so every edit gets a true result;
 /// - a **log**-stage failure means the edits are live in memory but the
 ///   WAL is short: nothing may be re-applied (double-apply) or appended
-///   (a hole in the log), so the affected edits are answered with an
-///   error and `wal_down` rejects further writes until `Save` heals the
-///   log by rewriting the snapshot from the live state.
+///   (a hole in the log), so the affected edits are answered with a typed
+///   [`ServiceError::Degraded`] and the degraded state rejects further
+///   writes until `Save` heals the log by rewriting the snapshot from the
+///   live state.
 fn apply_writes(
     backing: &mut Backing,
     shared: &Arc<BookShared>,
@@ -1158,7 +1259,6 @@ fn apply_writes(
     wobs: &Option<WorkerObs>,
     batch_guard: Option<taco_obs::SpanGuard>,
     writes: Vec<(WriteOp, TraceContext, Sender<Response>)>,
-    wal_down: &mut bool,
 ) {
     use taco_engine::BatchStage;
     // (reply, result) pairs deferred until the new epoch is known.
@@ -1166,8 +1266,8 @@ fn apply_writes(
     let mut touched: BTreeSet<usize> = BTreeSet::new();
     let mut i = 0;
     while i < writes.len() {
-        if *wal_down {
-            deferred.push((writes[i].2.clone(), Err(wal_down_error())));
+        if shared.is_degraded() {
+            deferred.push((writes[i].2.clone(), Err(shared.degraded_error())));
             i += 1;
             continue;
         }
@@ -1207,12 +1307,12 @@ fn apply_writes(
                         // Live workbook ahead of the log: acknowledge the
                         // durably-logged prefix, fail the rest, and stop
                         // logging anything further.
-                        *wal_down = true;
+                        degrade(shared, wobs, format!("wal append failed: {}", be.error));
                         for (k, (_, _, tx)) in run.iter().enumerate() {
                             if k < be.index {
                                 deferred.push((tx.clone(), Ok(0)));
                             } else {
-                                deferred.push((tx.clone(), Err(wal_down_error())));
+                                deferred.push((tx.clone(), Err(shared.degraded_error())));
                             }
                         }
                     }
@@ -1229,8 +1329,8 @@ fn apply_writes(
                                     tx.clone(),
                                     Err(ServiceError::BadRequest(be.error.to_string())),
                                 ));
-                            } else if *wal_down {
-                                deferred.push((tx.clone(), Err(wal_down_error())));
+                            } else if shared.is_degraded() {
+                                deferred.push((tx.clone(), Err(shared.degraded_error())));
                             } else {
                                 let result = match backing.apply_batch(&records[k..=k]) {
                                     Ok(receipt) => {
@@ -1240,8 +1340,12 @@ fn apply_writes(
                                         Ok(receipt.dirty.len() as u64)
                                     }
                                     Err(e) if e.stage == BatchStage::Log => {
-                                        *wal_down = true;
-                                        Err(wal_down_error())
+                                        degrade(
+                                            shared,
+                                            wobs,
+                                            format!("wal append failed: {}", e.error),
+                                        );
+                                        Err(shared.degraded_error())
                                     }
                                     Err(e) => Err(ServiceError::BadRequest(e.error.to_string())),
                                 };
@@ -1272,9 +1376,8 @@ fn apply_writes(
                         // WAL append that died after the fill applied —
                         // same discipline as a log-stage batch failure.
                         Err(e @ taco_store::StoreError::Io { .. }) if backing.is_persistent() => {
-                            *wal_down = true;
-                            let _ = e;
-                            Err(wal_down_error())
+                            degrade(shared, wobs, format!("wal append failed: {e}"));
+                            Err(shared.degraded_error())
                         }
                         Err(e) => Err(ServiceError::BadRequest(format!("autofill: {e}"))),
                     }

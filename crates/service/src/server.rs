@@ -40,8 +40,10 @@ use taco_store::{read_frame, write_frame, StoreError, DEFAULT_MAX_FRAME};
 
 /// Leading handshake magic.
 pub const HANDSHAKE_MAGIC: [u8; 4] = *b"TSRV";
-/// Current wire protocol version.
-pub const WIRE_VERSION: u16 = 1;
+/// Current wire protocol version. Version 2 widened the `Stats` reply
+/// with degradation and deadline counters; servers still accept v1
+/// clients (the handshake rejects only *newer* peers).
+pub const WIRE_VERSION: u16 = 2;
 
 /// Tuning for a [`Server`].
 #[derive(Debug, Clone)]
@@ -143,6 +145,16 @@ impl Server {
     /// shared with in-process clients); shut it down separately.
     pub fn shutdown(mut self) {
         self.stop();
+    }
+
+    /// Severs every live connection while the acceptor keeps serving —
+    /// a failover drill. Each dropped connection's sessions are closed
+    /// by its exiting thread, so reconnecting clients must re-`Open`;
+    /// a retrying [`Client`](crate::Client) does both automatically.
+    pub fn drop_connections(&self) {
+        for (_, stream) in self.shared.conns.lock().iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
     }
 
     fn stop(&mut self) {

@@ -45,7 +45,7 @@ fn raw_conn(server: &Server) -> TcpStream {
     s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
     let mut hello = [0u8; 6];
     hello[..4].copy_from_slice(b"TSRV");
-    hello[4..].copy_from_slice(&1u16.to_le_bytes());
+    hello[4..].copy_from_slice(&taco_service::server::WIRE_VERSION.to_le_bytes());
     s.write_all(&hello).unwrap();
     let mut echo = [0u8; 6];
     s.read_exact(&mut echo).unwrap();

@@ -48,8 +48,10 @@ use taco_grid::{Axis, Cell, Offset, Range};
 pub const MAGIC: [u8; 4] = *b"TACO";
 /// Trailing file magic (cheap truncation tripwire).
 pub const TAIL_MAGIC: [u8; 4] = *b"OCAT";
-/// Current format version. Readers reject anything newer.
-pub const FORMAT_VERSION: u16 = 1;
+/// Current format version. Readers reject anything newer. Version 2
+/// added the replay epoch to the footer; version-1 files read back with
+/// epoch `0`.
+pub const FORMAT_VERSION: u16 = 2;
 /// Upper bound on any single decoded string (names, formula sources,
 /// text values) so corrupt lengths cannot drive huge allocations.
 pub(crate) const MAX_STRING: u64 = 1 << 24;
@@ -82,9 +84,22 @@ const PREC_ZETA_K: u32 = 3;
 
 /// Encodes a whole workbook image into container bytes.
 pub fn encode_workbook(image: &WorkbookImage) -> Result<Vec<u8>, StoreError> {
+    encode_workbook_versioned(image, FORMAT_VERSION)
+}
+
+/// Encodes at an explicit format version — the compat-test hook for
+/// producing version-1 (epoch-less) images with today's encoder.
+#[doc(hidden)]
+pub fn encode_workbook_versioned(
+    image: &WorkbookImage,
+    version: u16,
+) -> Result<Vec<u8>, StoreError> {
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&0u16.to_le_bytes()); // flags
 
     // Sections, streamed back-to-back; the footer records their spans.
@@ -103,8 +118,12 @@ pub fn encode_workbook(image: &WorkbookImage) -> Result<Vec<u8>, StoreError> {
     let cross_span = (out.len() as u64, cross_payload.len() as u64, crc32(&cross_payload));
     out.extend_from_slice(&cross_payload);
 
-    // Footer.
+    // Footer. Version 2 leads with the replay epoch: every WAL record
+    // with an older stamp is already folded into this snapshot.
     let mut footer = Vec::new();
+    if version >= 2 {
+        write_uvarint(&mut footer, image.epoch)?;
+    }
     write_uvarint(&mut footer, footer_entries.len() as u64)?;
     for (name, off, len, crc) in &footer_entries {
         write_string(&mut footer, name)?;
@@ -130,27 +149,36 @@ pub fn encode_workbook(image: &WorkbookImage) -> Result<Vec<u8>, StoreError> {
 
 /// Encodes and writes a workbook image to `path` atomically: the bytes
 /// go to a `<path>.tmp` sibling, are fsynced, and rename over `path` —
-/// so a crash mid-write can never destroy an existing snapshot.
+/// so a crash mid-write can never destroy an existing snapshot. The
+/// parent directory is then fsynced, so the rename itself survives
+/// power loss (a lost rename would silently resurrect the old
+/// snapshot).
 pub fn write_workbook_file(path: &Path, image: &WorkbookImage) -> Result<(), StoreError> {
+    write_workbook_file_with(crate::vfs::std_vfs().as_ref(), path, image)
+}
+
+/// [`write_workbook_file`] over an explicit [`Vfs`].
+///
+/// [`Vfs`]: crate::vfs::Vfs
+pub fn write_workbook_file_with(
+    vfs: &dyn crate::vfs::Vfs,
+    path: &Path,
+    image: &WorkbookImage,
+) -> Result<(), StoreError> {
     let bytes = encode_workbook(image)?;
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
     {
-        let mut f = std::fs::File::create(&tmp)?;
+        let mut f = vfs.create(&tmp)?;
         f.write_all(&bytes)?;
-        f.sync_all()?;
+        f.sync()?;
     }
-    if let Err(e) = std::fs::rename(&tmp, path) {
-        let _ = std::fs::remove_file(&tmp);
-        return Err(e.into());
+    if let Err(e) = vfs.rename(&tmp, path) {
+        let _ = vfs.remove(&tmp);
+        return Err(e);
     }
-    // Durably record the rename itself where the platform allows it.
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
+    vfs.sync_parent_dir(path)?;
     Ok(())
 }
 
@@ -581,12 +609,18 @@ pub struct StoreReader {
     names: Vec<String>,
     sheets: Vec<Span>,
     cross: Span,
+    epoch: u64,
 }
 
 impl StoreReader {
     /// Opens and validates a container file.
     pub fn open(path: &Path) -> Result<Self, StoreError> {
         Self::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Opens and validates a container file through an explicit vfs.
+    pub fn open_with(vfs: &dyn crate::vfs::Vfs, path: &Path) -> Result<Self, StoreError> {
+        Self::from_bytes(vfs.read(path)?)
     }
 
     /// Validates container bytes.
@@ -618,8 +652,9 @@ impl StoreReader {
             return Err(StoreError::ChecksumMismatch { what: "footer" });
         }
 
-        // Parse the footer.
+        // Parse the footer. Version 2 leads with the replay epoch.
         let r = &mut &footer[..];
+        let epoch = if version >= 2 { read_uvarint(r)? } else { 0 };
         let sheet_count = read_uvarint(r)?;
         // Each footer entry is at least 7 bytes (name len + span + crc).
         let sheet_count = bounded_count(sheet_count, r.len(), 7, "sheet count exceeds footer")?;
@@ -645,7 +680,13 @@ impl StoreReader {
         if !r.is_empty() {
             return Err(StoreError::Malformed("trailing bytes in footer"));
         }
-        Ok(StoreReader { bytes, names, sheets, cross })
+        Ok(StoreReader { bytes, names, sheets, cross, epoch })
+    }
+
+    /// The snapshot's replay epoch (0 for a version-1 file): WAL records
+    /// stamped with an older epoch are already folded into it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of sheet sections.
@@ -680,7 +721,7 @@ impl StoreReader {
     pub fn read_all(&self) -> Result<WorkbookImage, StoreError> {
         let sheets =
             (0..self.sheet_count()).map(|i| self.read_sheet(i)).collect::<Result<_, _>>()?;
-        Ok(WorkbookImage { sheets, cross: self.read_cross()? })
+        Ok(WorkbookImage { sheets, cross: self.read_cross()?, epoch: self.epoch })
     }
 
     fn section(&self, span: &Span, what: &'static str) -> Result<&[u8], StoreError> {
@@ -808,6 +849,7 @@ mod tests {
                 dst: 1,
                 dep: Cell::new(1, 1),
             }],
+            epoch: 7,
         }
     }
 
@@ -833,8 +875,27 @@ mod tests {
         let reader = StoreReader::from_bytes(bytes).unwrap();
         assert_eq!(reader.sheet_count(), 2);
         assert_eq!(reader.sheet_name(0), "My Sheet");
+        assert_eq!(reader.epoch(), 7);
         let back = reader.read_all().unwrap();
         assert_eq!(back, image);
+    }
+
+    #[test]
+    fn version_1_files_read_back_with_epoch_zero() {
+        // An epoch-less image written by the v1 encoder must still open,
+        // reporting epoch 0 — the compat contract for pre-epoch files.
+        let mut image = sample_image();
+        image.epoch = 0;
+        let bytes = encode_workbook_versioned(&image, 1).unwrap();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 1);
+        let reader = StoreReader::from_bytes(bytes).unwrap();
+        assert_eq!(reader.epoch(), 0);
+        assert_eq!(reader.read_all().unwrap(), image);
+        // And a version beyond the current one is refused at encode time.
+        assert!(matches!(
+            encode_workbook_versioned(&image, FORMAT_VERSION + 1),
+            Err(StoreError::UnsupportedVersion(_))
+        ));
     }
 
     #[test]

@@ -66,6 +66,10 @@ pub struct WorkbookImage {
     pub sheets: Vec<SheetImage>,
     /// The inter-sheet edge table.
     pub cross: Vec<CrossEdgeImage>,
+    /// The replay epoch this snapshot was written at (see
+    /// [`crate::wal`]); `0` for images that never belonged to a
+    /// WAL-backed workbook and for version-1 files.
+    pub epoch: u64,
 }
 
 // ---- value encoding (shared by cell sections and WAL records) ----------

@@ -31,14 +31,17 @@ pub mod container;
 pub mod frame;
 pub mod image;
 pub mod obs;
+pub mod vfs;
 pub mod wal;
 
 pub use container::{
-    decode_graph, encode_graph, encode_workbook, write_workbook_file, StoreReader, FORMAT_VERSION,
+    decode_graph, encode_graph, encode_workbook, write_workbook_file, write_workbook_file_with,
+    StoreReader, FORMAT_VERSION,
 };
 pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 pub use image::{CellRecord, CrossEdgeImage, SheetImage, WorkbookImage};
 pub use obs::WalObs;
+pub use vfs::{std_vfs, FaultHits, FaultPlan, FaultVfs, StdVfs, Vfs, VfsFile};
 pub use wal::{EditRecord, ReplayMode, WalReader, WalReplay, WalWriter};
 
 use std::fmt;

@@ -7,7 +7,7 @@
 //! [`WalWriter`]: crate::WalWriter
 
 use std::time::Instant;
-use taco_obs::{Counter, Histogram, Obs, SpanCat};
+use taco_obs::{Counter, Gauge, Histogram, Obs, SpanCat};
 
 /// Metric and tracer handles for one write-ahead log.
 pub struct WalObs {
@@ -26,6 +26,11 @@ pub struct WalObs {
     /// `taco_wal_torn_recoveries_total` — reopens that truncated a torn
     /// tail (bumped by the owner that observed the replay).
     pub torn_recoveries: Counter,
+    /// `taco_wal_epoch` — the replay epoch stamped into appended
+    /// records (set by [`WalWriter::set_epoch`]).
+    ///
+    /// [`WalWriter::set_epoch`]: crate::WalWriter::set_epoch
+    pub epoch: Gauge,
     tracer: taco_obs::Tracer,
 }
 
@@ -42,6 +47,7 @@ impl WalObs {
             append_ns: m.histogram("taco_wal_append_ns"),
             fsync_ns: m.histogram("taco_wal_fsync_ns"),
             torn_recoveries: m.counter("taco_wal_torn_recoveries_total"),
+            epoch: m.gauge("taco_wal_epoch"),
             tracer: obs.tracer.clone(),
         }
     }

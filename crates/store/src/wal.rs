@@ -3,11 +3,21 @@
 //! ```text
 //! wal     := magic "TWAL" · version u16 LE · record*
 //! record  := payload_len uvarint · crc32(payload) u32 LE · payload
-//! payload := op u8 · fields
+//! payload := epoch uvarint · op u8 · fields        (version 2)
+//!          | op u8 · fields                        (version 1)
 //! ```
 //!
-//! Each record carries its own CRC-32, so the two failure modes are
-//! distinguishable:
+//! Version 2 stamps every record with the **replay epoch** current when
+//! it was appended: the epoch of the snapshot the record extends.
+//! Replay-on-open compares each record's epoch against the snapshot's —
+//! a record with an older epoch was already folded into the snapshot by
+//! a compaction whose log truncation never hit the disk, and is
+//! skipped. That makes replay idempotent for *every* record kind,
+//! including structural edits, whose double application would shift
+//! rows twice. Version-1 logs decode with epoch `0` on every record.
+//!
+//! Each record carries its own CRC-32 (covering the epoch stamp too),
+//! so the two failure modes are distinguishable:
 //!
 //! - a **tear** — the file ends before a record is complete (the classic
 //!   crash-mid-append shape). [`ReplayMode::TolerateTear`] drops the torn
@@ -25,18 +35,19 @@
 use crate::codec::{crc32, read_string, read_uvarint, write_string, write_uvarint};
 use crate::container::MAX_STRING;
 use crate::image::{read_cell, read_range, read_value, write_cell, write_range, write_value};
+use crate::vfs::{std_vfs, Vfs, VfsFile};
 use crate::StoreError;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use taco_core::StructuralOp;
 use taco_formula::Value;
 use taco_grid::{Cell, Range};
 
 /// Leading WAL magic.
 pub const WAL_MAGIC: [u8; 4] = *b"TWAL";
-/// Current WAL format version.
-pub const WAL_VERSION: u16 = 1;
+/// Current WAL format version (2 = epoch-stamped records). Version-1
+/// logs are still readable; their records carry epoch `0`.
+pub const WAL_VERSION: u16 = 2;
 const WAL_HEADER_LEN: u64 = 6;
 
 /// One logged edit. Sheet indices are dense [`sheet ids`](usize) in the
@@ -202,29 +213,48 @@ fn read_grid_index(r: &mut &[u8]) -> Result<u32, StoreError> {
 
 // ---- writing ------------------------------------------------------------
 
-/// Appends edit records to a WAL file with explicit fsync points.
+/// Appends edit records to a WAL file with explicit fsync points. All
+/// I/O goes through a [`Vfs`]; [`WalWriter::create`] /
+/// [`WalWriter::open_append`] use the production [`std_vfs`], the
+/// `*_with` constructors take any vfs (fault injection, in-memory).
 pub struct WalWriter {
-    file: File,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     bytes: u64,
     records: u64,
+    /// The replay epoch stamped into appended records
+    /// ([`WalWriter::set_epoch`]).
+    epoch: u64,
     /// Attached observability handles ([`WalWriter::set_obs`]); `None`
     /// costs one branch per append/fsync.
     obs: Option<Box<crate::obs::WalObs>>,
 }
 
 impl WalWriter {
-    /// Creates (or truncates to) an empty log and fsyncs the header.
+    /// Creates (or truncates to) an empty log and fsyncs the header —
+    /// plus the parent directory, so a brand-new log's entry survives
+    /// power loss.
     pub fn create(path: &Path) -> Result<Self, StoreError> {
-        let mut file = OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
-        file.write_all(&WAL_MAGIC)?;
-        file.write_all(&WAL_VERSION.to_le_bytes())?;
-        file.sync_all()?;
+        Self::create_with(std_vfs(), path)
+    }
+
+    /// [`WalWriter::create`] over an explicit vfs.
+    pub fn create_with(vfs: Arc<dyn Vfs>, path: &Path) -> Result<Self, StoreError> {
+        let mut file = vfs.create(path)?;
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+        header.extend_from_slice(&WAL_MAGIC);
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        file.write_all(&header)?;
+        file.sync()?;
+        vfs.sync_parent_dir(path)?;
         Ok(WalWriter {
+            vfs,
             file,
             path: path.to_path_buf(),
             bytes: WAL_HEADER_LEN,
             records: 0,
+            epoch: 0,
             obs: None,
         })
     }
@@ -234,36 +264,61 @@ impl WalWriter {
     /// resume from the replay's clean prefix, and a torn tail is truncated
     /// away so new appends extend the valid prefix.
     pub fn open_append(path: &Path) -> Result<(Self, WalReplay), StoreError> {
-        if !path.exists() {
-            return Ok((Self::create(path)?, WalReplay::default()));
+        Self::open_append_with(std_vfs(), path)
+    }
+
+    /// [`WalWriter::open_append`] over an explicit vfs.
+    pub fn open_append_with(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+    ) -> Result<(Self, WalReplay), StoreError> {
+        if !vfs.exists(path) {
+            return Ok((Self::create_with(vfs, path)?, WalReplay::default()));
         }
-        let replay = WalReader::load(path, ReplayMode::TolerateTear)?;
+        let replay = WalReader::parse(&vfs.read(path)?, ReplayMode::TolerateTear)?;
         if replay.clean_len < WAL_HEADER_LEN {
             // A crash truncated the file inside the header: recreate it so
             // appended records land behind a valid magic, not at offset 0.
-            return Ok((Self::create(path)?, replay));
+            return Ok((Self::create_with(vfs, path)?, replay));
         }
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut file = vfs.open_append(path)?;
         file.set_len(replay.clean_len)?;
-        let mut w = WalWriter {
+        let w = WalWriter {
+            vfs,
             file,
             path: path.to_path_buf(),
             bytes: replay.clean_len,
             records: replay.records.len() as u64,
+            epoch: replay.epochs.last().copied().unwrap_or(0),
             obs: None,
         };
-        use std::io::Seek;
-        w.file.seek(std::io::SeekFrom::End(0))?;
         Ok((w, replay))
+    }
+
+    /// Sets the replay epoch stamped into subsequent appends — the
+    /// epoch of the snapshot those records extend.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        if let Some(obs) = self.obs.as_deref() {
+            obs.epoch.set(i64::try_from(epoch).unwrap_or(i64::MAX));
+        }
+    }
+
+    /// The epoch currently stamped into appended records.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Appends one record (buffered by the OS until the next [`sync`]
     /// point; a single `write_all` keeps torn appends prefix-clean).
+    /// The record is stamped with the current replay epoch.
     ///
     /// [`sync`]: WalWriter::sync
     pub fn append(&mut self, rec: &EditRecord) -> Result<(), StoreError> {
         let timing = self.obs.as_deref().map(|o| (std::time::Instant::now(), o.now_ns()));
-        let payload = rec.encode();
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, self.epoch)?;
+        payload.extend_from_slice(&rec.encode());
         let mut frame = Vec::with_capacity(payload.len() + 9);
         write_uvarint(&mut frame, payload.len() as u64)?;
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -280,7 +335,7 @@ impl WalWriter {
     /// An fsync point: durably flushes everything appended so far.
     pub fn sync(&mut self) -> Result<(), StoreError> {
         let timing = self.obs.as_deref().map(|o| (std::time::Instant::now(), o.now_ns()));
-        self.file.sync_data()?;
+        self.file.sync()?;
         if let (Some(obs), Some((start, start_ns))) = (self.obs.as_deref(), timing) {
             obs.on_fsync(start, start_ns);
         }
@@ -288,12 +343,12 @@ impl WalWriter {
     }
 
     /// Truncates the log back to an empty header — the fold point after
-    /// compaction has written a fresh snapshot.
+    /// compaction has written a fresh snapshot — and syncs the file and
+    /// its parent directory so the truncation itself is durable.
     pub fn reset(&mut self) -> Result<(), StoreError> {
         self.file.set_len(WAL_HEADER_LEN)?;
-        use std::io::Seek;
-        self.file.seek(std::io::SeekFrom::End(0))?;
-        self.file.sync_all()?;
+        self.file.sync()?;
+        self.vfs.sync_parent_dir(&self.path)?;
         self.bytes = WAL_HEADER_LEN;
         self.records = 0;
         if let Some(obs) = self.obs.as_deref() {
@@ -321,6 +376,7 @@ impl WalWriter {
     /// resets record WAL counters, latency histograms, and spans through
     /// them. Detached (the default) the cost is one branch per call.
     pub fn set_obs(&mut self, obs: crate::obs::WalObs) {
+        obs.epoch.set(i64::try_from(self.epoch).unwrap_or(i64::MAX));
         self.obs = Some(Box::new(obs));
     }
 }
@@ -342,10 +398,20 @@ pub enum ReplayMode {
 pub struct WalReplay {
     /// The clean-prefix records, in append order.
     pub records: Vec<EditRecord>,
+    /// Per-record replay epochs, parallel to `records` (all `0` for a
+    /// version-1 log).
+    pub epochs: Vec<u64>,
     /// Where a torn tail began, if any: `(record index, byte offset)`.
     pub torn: Option<(u64, u64)>,
     /// Length in bytes of the clean prefix (header + whole records).
     pub clean_len: u64,
+}
+
+impl WalReplay {
+    /// Records with their epochs, in append order.
+    pub fn stamped(&self) -> impl Iterator<Item = (&EditRecord, u64)> {
+        self.records.iter().zip(self.epochs.iter().copied())
+    }
 }
 
 /// Decodes WAL files / byte buffers.
@@ -357,15 +423,24 @@ impl WalReader {
         Self::parse(&std::fs::read(path)?, mode)
     }
 
+    /// Reads and replays a WAL file through an explicit vfs.
+    pub fn load_with(
+        vfs: &dyn Vfs,
+        path: &Path,
+        mode: ReplayMode,
+    ) -> Result<WalReplay, StoreError> {
+        Self::parse(&vfs.read(path)?, mode)
+    }
+
     /// Replays WAL bytes.
     pub fn parse(bytes: &[u8], mode: ReplayMode) -> Result<WalReplay, StoreError> {
+        let empty =
+            |torn| WalReplay { records: Vec::new(), epochs: Vec::new(), torn, clean_len: 0 };
         if bytes.is_empty() {
             // A crash can leave a zero-length file before the header ever
             // hits the disk: an empty log.
             return match mode {
-                ReplayMode::TolerateTear => {
-                    Ok(WalReplay { records: Vec::new(), torn: Some((0, 0)), clean_len: 0 })
-                }
+                ReplayMode::TolerateTear => Ok(empty(Some((0, 0)))),
                 ReplayMode::Strict => Err(StoreError::Truncated { what: "WAL header" }),
             };
         }
@@ -374,7 +449,7 @@ impl WalReader {
                 ReplayMode::TolerateTear
                     if bytes[..bytes.len().min(4)] == WAL_MAGIC[..bytes.len().min(4)] =>
                 {
-                    Ok(WalReplay { records: Vec::new(), torn: Some((0, 0)), clean_len: 0 })
+                    Ok(empty(Some((0, 0))))
                 }
                 ReplayMode::TolerateTear => Err(StoreError::BadMagic),
                 ReplayMode::Strict => Err(StoreError::Truncated { what: "WAL header" }),
@@ -389,15 +464,17 @@ impl WalReader {
         }
 
         let mut records = Vec::new();
+        let mut epochs = Vec::new();
         let mut pos = WAL_HEADER_LEN as usize;
         loop {
             if pos == bytes.len() {
-                return Ok(WalReplay { records, torn: None, clean_len: pos as u64 });
+                return Ok(WalReplay { records, epochs, torn: None, clean_len: pos as u64 });
             }
             let record_index = records.len() as u64;
-            let tear = |records: Vec<EditRecord>| match mode {
+            let tear = |records: Vec<EditRecord>, epochs: Vec<u64>| match mode {
                 ReplayMode::TolerateTear => Ok(WalReplay {
                     records,
+                    epochs,
                     torn: Some((record_index, pos as u64)),
                     clean_len: pos as u64,
                 }),
@@ -409,25 +486,28 @@ impl WalReader {
             let mut r = &bytes[pos..];
             let len = match read_uvarint(&mut r) {
                 Ok(len) => len,
-                Err(_) => return tear(records),
+                Err(_) => return tear(records, epochs),
             };
             let after_len = bytes.len() - r.len();
             // CRC + payload.
             let Some(end) = (after_len as u64).checked_add(4 + len) else {
-                return tear(records);
+                return tear(records, epochs);
             };
             if end > bytes.len() as u64 {
-                return tear(records);
+                return tear(records, epochs);
             }
             let crc =
                 u32::from_le_bytes(bytes[after_len..after_len + 4].try_into().expect("4 bytes"));
-            let payload = &bytes[after_len + 4..end as usize];
+            let mut payload = &bytes[after_len + 4..end as usize];
             if crc32(payload) != crc {
                 // A complete record failing its checksum is corruption in
                 // the middle of the log, never a tear.
                 return Err(StoreError::WalCorrupt { record: record_index });
             }
+            // Version 2 prefixes the payload with the replay epoch.
+            let epoch = if version >= 2 { read_uvarint(&mut payload)? } else { 0 };
             records.push(EditRecord::decode(payload)?);
+            epochs.push(epoch);
             pos = end as usize;
         }
     }
@@ -595,6 +675,44 @@ mod tests {
         let replay = WalReader::load(&path, ReplayMode::Strict).unwrap();
         assert_eq!(replay.records, vec![EditRecord::AddSheet { name: "Fresh".into() }]);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn records_carry_the_epoch_current_at_append_time() {
+        let vfs: Arc<dyn Vfs> = Arc::new(crate::vfs::FaultVfs::pristine(1));
+        let path = PathBuf::from("epochs.twal");
+        let mut w = WalWriter::create_with(Arc::clone(&vfs), &path).unwrap();
+        w.set_epoch(3);
+        w.append(&EditRecord::AddSheet { name: "A".into() }).unwrap();
+        w.set_epoch(4);
+        w.append(&EditRecord::SetValue { sheet: 0, cell: Cell::new(1, 1), value: Value::Empty })
+            .unwrap();
+        w.sync().unwrap();
+        let replay = WalReader::load_with(vfs.as_ref(), &path, ReplayMode::Strict).unwrap();
+        assert_eq!(replay.epochs, vec![3, 4]);
+        assert_eq!(replay.records.len(), 2);
+        // Reopening resumes stamping at the last record's epoch.
+        let (w2, _) = WalWriter::open_append_with(vfs, &path).unwrap();
+        assert_eq!(w2.epoch(), 4);
+    }
+
+    #[test]
+    fn version_1_logs_replay_with_epoch_zero() {
+        // A pre-epoch log: version 1 header, payloads without the epoch
+        // stamp. This is what PR 3–9 images left on disk.
+        let recs = sample_records();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        for rec in &recs {
+            let payload = rec.encode();
+            write_uvarint(&mut bytes, payload.len() as u64).unwrap();
+            bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+        }
+        let replay = WalReader::parse(&bytes, ReplayMode::Strict).unwrap();
+        assert_eq!(replay.records, recs);
+        assert_eq!(replay.epochs, vec![0; recs.len()]);
     }
 
     #[test]

@@ -75,6 +75,7 @@ fn rich_image() -> WorkbookImage {
                 dep: Cell::new(7, 2),
             },
         ],
+        epoch: 3,
     }
 }
 

@@ -1,0 +1,183 @@
+//! Crash torture: a persistence cycle on a deliberately hostile disk.
+//!
+//! ```sh
+//! cargo run --release --example crash_torture
+//! ```
+//!
+//! Runs a save → edit burst → compaction → structural-burst cycle over
+//! `taco_store`'s fault-injecting [`FaultVfs`], twice: once on a flaky
+//! disk (periodic short writes and failed fsyncs), once on a disk that
+//! crashes outright two-thirds of the way through the cycle's I/O. Each
+//! act prints the injected-fault log as it happened, then reopens the
+//! durable image the way a process restart would and proves the
+//! recovered workbook is **bit-identical to a clean prefix** of the
+//! edit order: no half-applied edit, no double-applied structural op,
+//! nothing invented.
+//!
+//! `TACO_EXAMPLE_ROWS` scales the per-sheet row count (default 48).
+//!
+//! [`FaultVfs`]: taco_repro::store::FaultVfs
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use taco_repro::engine::{PersistOptions, PersistentWorkbook, Workbook};
+use taco_repro::store::{encode_workbook, EditRecord, FaultPlan, FaultVfs, StoreError, Vfs};
+use taco_repro::workload::persistence::{
+    gen_persist_workload, persist_enron_like, PersistParams, PersistWorkload,
+};
+
+fn rows() -> u32 {
+    std::env::var("TACO_EXAMPLE_ROWS").ok().and_then(|s| s.parse().ok()).unwrap_or(48)
+}
+
+/// Canonical fingerprint: the encoded snapshot image (deterministic —
+/// structural replay was made order-stable exactly so this holds).
+fn fingerprint(wb: &Workbook) -> Vec<u8> {
+    encode_workbook(&wb.to_image()).expect("encode")
+}
+
+fn build_workbook(wl: &PersistWorkload) -> Workbook {
+    let mut wb = Workbook::with_taco();
+    for rec in &wl.build {
+        wb.apply_edit(rec).expect("build script applies");
+    }
+    wb
+}
+
+/// The post-save edit order: the preset's burst plus a structural tail
+/// (row insert + column delete) whose double application could not hide.
+fn post_edits(wl: &PersistWorkload) -> Vec<EditRecord> {
+    use taco_repro::core::StructuralOp;
+    let mut edits = wl.burst.clone();
+    edits.push(EditRecord::Structural { sheet: 0, op: StructuralOp::InsertRows { at: 2, n: 2 } });
+    edits.push(EditRecord::SetValue {
+        sheet: 0,
+        cell: taco_repro::grid::Cell::new(1, 2),
+        value: taco_repro::formula::Value::Number(123.5),
+    });
+    edits.push(EditRecord::Structural { sheet: 0, op: StructuralOp::DeleteCols { at: 2, n: 1 } });
+    edits
+}
+
+/// One full persistence cycle over `vfs`; stops at the first storage
+/// error (once the log cannot be extended, nothing further may be
+/// logged) and reports how many post-save edits were attempted.
+fn run_cycle(
+    vfs: Arc<dyn Vfs>,
+    path: &Path,
+    wl: &PersistWorkload,
+    post: &[EditRecord],
+) -> Result<(), (usize, StoreError)> {
+    let opts = PersistOptions { compact_after_records: 0, sync_every_records: 1 };
+    let wb = build_workbook(wl);
+    let mut pers = PersistentWorkbook::create_with(vfs, path, wb, opts).map_err(|e| (0, e))?;
+    let (burst, tail) = post.split_at(wl.burst.len());
+    for (i, rec) in burst.iter().enumerate() {
+        pers.log_edit(rec).map_err(|e| (i, e))?;
+    }
+    pers.compact().map_err(|e| (burst.len(), e))?;
+    for (i, rec) in tail.iter().enumerate() {
+        pers.log_edit(rec).map_err(|e| (burst.len() + i, e))?;
+    }
+    pers.sync().map_err(|e| (post.len(), e))?;
+    Ok(())
+}
+
+fn main() {
+    let params = PersistParams { rows: rows(), ..persist_enron_like() };
+    let wl = gen_persist_workload(&params);
+    let post = post_edits(&wl);
+    let path = PathBuf::from("book.taco");
+    println!(
+        "cycle: save {} build edits, log {} more (incl. {} structural), compact mid-way",
+        wl.build.len(),
+        post.len(),
+        3
+    );
+
+    // Fault-free dry run: counts the cycle's I/O operations so the
+    // crash point can land two-thirds of the way through.
+    let dry = FaultVfs::pristine(11);
+    run_cycle(Arc::new(dry.clone()), &path, &wl, &post).expect("fault-free cycle completes");
+    let total_ops = dry.op_count();
+    let crash_at = total_ops * 2 / 3;
+    println!("dry run: {total_ops} disk operations; torture will crash at op {crash_at}");
+
+    // Clean prefix states: fps[i] = build + first i post-save edits.
+    let fps: Vec<Vec<u8>> = {
+        let mut wb = build_workbook(&wl);
+        let mut fps = vec![fingerprint(&wb)];
+        for rec in &post {
+            wb.apply_edit(rec).expect("prefix edit applies");
+            fps.push(fingerprint(&wb));
+        }
+        fps
+    };
+
+    // Act 1 — a flaky disk: occasional short writes and failed fsyncs.
+    // The cycle stops at its first storage error (the log discipline:
+    // once the log cannot be extended, nothing further may be logged).
+    println!("\n== act 1: flaky disk (short writes + failing fsyncs) ==");
+    let flaky = FaultVfs::new(FaultPlan {
+        short_write_every: 33,
+        fail_fsync_every: 89,
+        ..FaultPlan::none(11)
+    });
+    torture(Arc::new(flaky.clone()), &flaky, &path, &wl, &post, &fps);
+
+    // Act 2 — a hard crash mid-cycle: the durable image freezes at the
+    // crash point; every later operation errors.
+    println!("\n== act 2: hard crash at op {crash_at}/{total_ops} ==");
+    let crashy = FaultVfs::new(FaultPlan { crash_at_op: Some(crash_at), ..FaultPlan::none(11) });
+    torture(Arc::new(crashy.clone()), &crashy, &path, &wl, &post, &fps);
+
+    println!("\ndone");
+}
+
+/// Runs the cycle over a faulty disk, prints the injected-fault log,
+/// then reopens the durable image the way a restart would and asserts
+/// the recovered state is bit-identical to a clean prefix of the edit
+/// order.
+fn torture(
+    vfs: Arc<dyn Vfs>,
+    disk: &FaultVfs,
+    path: &Path,
+    wl: &PersistWorkload,
+    post: &[EditRecord],
+    fps: &[Vec<u8>],
+) {
+    let attempted = match run_cycle(vfs, path, wl, post) {
+        Ok(()) => {
+            println!("cycle completed despite the faults");
+            post.len()
+        }
+        Err((at, e)) => {
+            println!("cycle stopped at post-save edit {at}/{}: {e}", post.len());
+            at
+        }
+    };
+
+    let hits = disk.hits();
+    println!(
+        "injected faults: {} short writes, {} failed fsyncs, {} crash refusals",
+        hits.short_writes, hits.failed_fsyncs, hits.crashes
+    );
+    for line in disk.fault_log().iter().take(8) {
+        println!("  fault: {line}");
+    }
+
+    // Restart: reopen whatever the disk durably holds (a torn WAL tail
+    // is truncated away on replay).
+    let frozen: Arc<dyn Vfs> = Arc::new(disk.reopen_from_crash());
+    let recovered = Workbook::open_with(frozen, path).expect("snapshot survives the faults");
+    let fp = fingerprint(&recovered);
+    let prefix = fps.iter().position(|p| *p == fp).expect(
+        "recovered state must be bit-identical to a clean prefix of the edit order \
+         (anything else means a torn or double-applied edit)",
+    );
+    println!(
+        "recovered = clean prefix of {prefix}/{} post-save edits (attempted {attempted}) — \
+         bit-identical ✔",
+        post.len()
+    );
+}

@@ -145,7 +145,7 @@ fn run_remote(r: &mut Remote, input: &str) -> Result<bool, String> {
         let s = r.client.stats().map_err(|e| e.to_string())?;
         println!(
             "remote stats: epoch={} sheets={} cells={} dirty={} edits={} batches={} \
-             recalcs={} coalesced={} sessions={}",
+             recalcs={} coalesced={} sessions={}{}",
             s.epoch,
             s.sheets,
             s.cells,
@@ -154,7 +154,8 @@ fn run_remote(r: &mut Remote, input: &str) -> Result<bool, String> {
             s.batches,
             s.recalcs,
             s.coalesced,
-            s.sessions
+            s.sessions,
+            if s.degraded != 0 { " DEGRADED (read-only until Save)" } else { "" }
         );
         return Ok(false);
     }

@@ -17,7 +17,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use mpsc::{RecvError, SendError, TryRecvError};
+    pub use mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// The sending half of an unbounded channel.
     #[derive(Debug)]
@@ -50,6 +50,12 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
         }
+
+        /// Blocks until a message arrives, all senders are dropped, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
     }
 
     /// Creates an unbounded channel.
@@ -68,6 +74,17 @@ pub mod channel {
             tx.send(7u32).unwrap();
             assert_eq!(rx.recv(), Ok(7));
             assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_and_delivers() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9u32).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(100)), Ok(9));
         }
 
         #[test]

@@ -228,6 +228,22 @@ fn repl_connects_to_a_live_server() {
 }
 
 #[test]
+fn crash_torture_survives_faults_bit_identically() {
+    let out = run_example("crash_torture", Some("16"), None);
+    let text = stdout_of(&out);
+    assert!(text.contains("act 1: flaky disk"), "flaky-disk act missing:\n{text}");
+    assert!(text.contains("act 2: hard crash"), "hard-crash act missing:\n{text}");
+    assert!(text.contains("fault:"), "the injected-fault log must be visible:\n{text}");
+    // Both acts end in the bit-identity proof (the example asserts it
+    // internally; the marker must appear once per act).
+    assert!(
+        text.matches("bit-identical ✔").count() >= 2,
+        "each act must prove clean-prefix recovery:\n{text}"
+    );
+    assert!(text.contains("done"), "example did not finish:\n{text}");
+}
+
+#[test]
 fn metrics_dashboard_renders_a_snapshot() {
     let out = run_example("metrics_dashboard", Some("24"), None);
     let text = stdout_of(&out);
